@@ -1,0 +1,51 @@
+//! E4b / E4c — the ACID censuses and the eventual-consistency simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use udbms_consistency::{
+    atomicity_census, lost_update_census, pbs_curve, staleness_distribution, write_skew_census,
+    ConsistencyConfig, LagModel, ReadPolicy, ReplicatedSim,
+};
+use udbms_core::{Key, Value};
+use udbms_engine::Isolation;
+
+fn bench_acid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4b_acid");
+    g.sample_size(10);
+    g.bench_function("atomicity_census_100", |b| {
+        b.iter(|| atomicity_census(100, 0.25, 42).expect("census"))
+    });
+    g.bench_function("lost_update_census_si_50", |b| {
+        b.iter(|| lost_update_census(Isolation::Snapshot, 50).expect("census"))
+    });
+    g.bench_function("write_skew_census_ser_50", |b| {
+        b.iter(|| write_skew_census(Isolation::Serializable, 50).expect("census"))
+    });
+    g.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4c_sim");
+    g.bench_function("write_read_cycle", |b| {
+        let mut sim = ReplicatedSim::new(3, LagModel::Uniform(5, 50), 1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            sim.write_at(t, Key::str("k"), Value::Int(t as i64));
+            sim.read_at(t + 5, &Key::str("k"), ReadPolicy::AnyReplica)
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("pbs_point_200_trials", |b| {
+        let cfg = ConsistencyConfig { trials: 200, ..Default::default() };
+        b.iter(|| pbs_curve(&cfg, &[25]))
+    });
+    g.bench_function("staleness_500_writes", |b| {
+        let cfg = ConsistencyConfig { trials: 500, ..Default::default() };
+        b.iter(|| staleness_distribution(&cfg, 20, ReadPolicy::AnyReplica))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_acid, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E5 — model-conversion task throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use udbms_convert::{
+    doc_to_rel_shred, json_to_xml, kv_to_rel, rel_to_doc_nest, rel_to_graph, score_all,
+    xml_to_json,
+};
+use udbms_datagen::{generate, GenConfig};
+
+fn bench_tasks(c: &mut Criterion) {
+    let data = generate(&GenConfig::at_scale(0.1));
+
+    let mut g = c.benchmark_group("e5_conversion");
+    g.bench_function("rel_to_doc_nest", |b| {
+        b.iter(|| rel_to_doc_nest(&data.customers, &data.orders))
+    });
+    g.bench_function("doc_to_rel_shred", |b| b.iter(|| doc_to_rel_shred(&data.orders)));
+    g.bench_function("rel_to_graph", |b| {
+        b.iter(|| rel_to_graph(&data.customers, &data.orders))
+    });
+    g.bench_function("kv_to_rel", |b| b.iter(|| kv_to_rel(&data.feedback)));
+    g.bench_function("doc_xml_roundtrip_one_order", |b| {
+        let proj = udbms_convert::roundtrip_projection(&data.orders[0]);
+        b.iter(|| {
+            let xml = json_to_xml("order", &proj).expect("faithful");
+            xml_to_json(&xml)
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("score_all_gold_standards", |b| b.iter(|| score_all(&data)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tasks);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! E1 / F1 — data generation and the text codecs it leans on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use udbms_datagen::{generate, GenConfig, SchemaVariation};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_generation");
+    g.sample_size(10);
+    for sf in [0.05, 0.2] {
+        g.bench_function(format!("sf_{sf}"), |b| {
+            let cfg = GenConfig::at_scale(sf);
+            b.iter(|| generate(&cfg))
+        });
+    }
+    g.bench_function("sf_0.05_wild_schema", |b| {
+        let cfg = GenConfig {
+            scale_factor: 0.05,
+            variation: SchemaVariation {
+                optional_field_prob: 0.5,
+                nesting_depth: 4,
+                extra_attr_count: 6,
+            },
+            ..Default::default()
+        };
+        b.iter(|| generate(&cfg))
+    });
+    g.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let data = generate(&GenConfig::at_scale(0.05));
+    let order_json: Vec<String> = data.orders.iter().map(udbms_json::to_string).collect();
+    let invoice_xml: Vec<String> = data
+        .invoices
+        .iter()
+        .map(|(_, x)| udbms_xml::to_string(&udbms_xml::XmlDocument::new(x.clone())))
+        .collect();
+
+    let mut g = c.benchmark_group("codecs");
+    g.bench_function("json_serialize_order", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let o = &data.orders[i % data.orders.len()];
+            i += 1;
+            udbms_json::to_string(o)
+        })
+    });
+    g.bench_function("json_parse_order", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = &order_json[i % order_json.len()];
+            i += 1;
+            udbms_json::parse(s).expect("valid")
+        })
+    });
+    g.bench_function("xml_serialize_invoice", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (_, x) = &data.invoices[i % data.invoices.len()];
+            i += 1;
+            udbms_xml::to_string(&udbms_xml::XmlDocument::new(x.clone()))
+        })
+    });
+    g.bench_function("xml_parse_invoice", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = &invoice_xml[i % invoice_xml.len()];
+            i += 1;
+            udbms_xml::parse(s).expect("valid")
+        })
+    });
+    g.bench_function("xpath_total", |b| {
+        let xp = udbms_xml::XPath::parse("/Invoice/Total/text()").expect("valid");
+        let mut i = 0usize;
+        b.iter(|| {
+            let (_, x) = &data.invoices[i % data.invoices.len()];
+            i += 1;
+            xp.strings(x)
+        })
+    });
+    g.finish();
+}
+
+fn bench_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_load");
+    g.sample_size(10);
+    g.bench_function("load_sf_0.02", |b| {
+        let cfg = GenConfig::at_scale(0.02);
+        let data = generate(&cfg);
+        b.iter_batched(
+            || {
+                let e = udbms_engine::Engine::new();
+                udbms_datagen::create_collections(&e).expect("schemas");
+                e
+            },
+            |engine| udbms_datagen::load_into_engine(&engine, &data).expect("load"),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_codecs, bench_load);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E3 — schema-evolution machinery: migration throughput and the
+//! history-query usability analyzer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use udbms_datagen::{build_engine, generate, workload, GenConfig};
+use udbms_evolution::{analyze_workload, apply_chain, standard_chain};
+
+fn bench_migration(c: &mut Criterion) {
+    let cfg = GenConfig::at_scale(0.05);
+    let mut g = c.benchmark_group("e3_migration");
+    g.sample_size(10);
+    g.bench_function("full_chain_sf_0.05", |b| {
+        b.iter_batched(
+            || build_engine(&cfg).expect("engine").0,
+            |engine| apply_chain(&engine, &standard_chain()).expect("chain"),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_usability(c: &mut Criterion) {
+    let data = generate(&GenConfig::at_scale(0.02));
+    let params = workload::QueryParams::draw(&data, 1);
+    let stmts: Vec<_> = workload::queries(&params)
+        .iter()
+        .map(|q| udbms_query::parse(&q.mmql).expect("parses"))
+        .collect();
+    let chain = standard_chain();
+
+    let mut g = c.benchmark_group("e3_usability");
+    g.bench_function("classify_workload_full_chain", |b| {
+        b.iter(|| analyze_workload(&stmts, &chain))
+    });
+    g.bench_function("classify_workload_prefix_6", |b| {
+        b.iter(|| analyze_workload(&stmts, &chain[..6]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_migration, bench_usability);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E2 — the Q1–Q10 multi-model workload: unified engine (one MMQL text)
+//! vs the polyglot baseline (hand-written per-store code).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use udbms_datagen::{build_engine, workload, GenConfig};
+use udbms_engine::Isolation;
+use udbms_polyglot::{load_into_polyglot, run_query, PolyglotDb};
+
+fn bench_workload(c: &mut Criterion) {
+    let cfg = GenConfig::at_scale(0.1);
+    let (engine, data) = build_engine(&cfg).expect("engine");
+    let polyglot = PolyglotDb::new();
+    load_into_polyglot(&polyglot, &data).expect("polyglot");
+    let params = workload::QueryParams::draw(&data, 1);
+
+    for q in workload::queries(&params) {
+        let parsed = udbms_query::Query::parse(&q.mmql).expect("parses");
+        let mut g = c.benchmark_group(format!("e2_{}", q.id.to_lowercase()));
+        g.sample_size(20);
+        g.bench_function("unified", |b| {
+            b.iter(|| {
+                engine
+                    .run(Isolation::Snapshot, |t| parsed.execute(t))
+                    .expect("query")
+            })
+        });
+        g.bench_function("polyglot", |b| {
+            b.iter(|| run_query(&polyglot, q.id, &params).expect("query"))
+        });
+        g.finish();
+    }
+}
+
+fn bench_mmql_machinery(c: &mut Criterion) {
+    let cfg = GenConfig::at_scale(0.05);
+    let (engine, data) = build_engine(&cfg).expect("engine");
+    let params = workload::QueryParams::draw(&data, 1);
+    let q2 = &workload::queries(&params)[1];
+
+    let mut g = c.benchmark_group("mmql");
+    g.bench_function("parse_q2", |b| {
+        b.iter(|| udbms_query::Query::parse(&q2.mmql).expect("parses"))
+    });
+    let parsed = udbms_query::Query::parse(&q2.mmql).expect("parses");
+    g.bench_function("execute_q2_prepared", |b| {
+        b.iter(|| {
+            engine
+                .run(Isolation::Snapshot, |t| parsed.execute(t))
+                .expect("runs")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_workload, bench_mmql_machinery);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! The experiment harness: regenerates every table of EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p udbms-bench --bin harness            # everything, full profile
+//! cargo run --release -p udbms-bench --bin harness -- --quick # CI-sized
+//! cargo run --release -p udbms-bench --bin harness -- e2 e4a  # selected experiments
+//! ```
+
+use udbms_bench::{experiments, Report, RunScale};
+
+/// One selectable experiment: id + the function that produces its table.
+type Experiment = (&'static str, fn(RunScale) -> Report);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { RunScale::quick() } else { RunScale::full() };
+    let wanted: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+
+    let menu: Vec<Experiment> = vec![
+        ("f1", experiments::f1_inventory),
+        ("e1", experiments::e1_generation),
+        ("e2", experiments::e2_queries),
+        ("e3", experiments::e3_evolution),
+        ("e4a", experiments::e4a_transactions),
+        ("e4b", experiments::e4b_acid),
+        ("e4c", experiments::e4c_eventual),
+        ("e5", experiments::e5_conversion),
+        ("e6", experiments::e6_ablation),
+    ];
+
+    let selected: Vec<&Experiment> = if wanted.is_empty() {
+        menu.iter().collect()
+    } else {
+        let picks: Vec<_> = menu.iter().filter(|(id, _)| wanted.contains(id)).collect();
+        if picks.is_empty() {
+            eprintln!(
+                "unknown experiment(s) {wanted:?}; available: {}",
+                menu.iter().map(|(id, _)| *id).collect::<Vec<_>>().join(", ")
+            );
+            std::process::exit(2);
+        }
+        picks
+    };
+
+    println!(
+        "UDBMS-Bench harness — profile: {} (SF {}, {} reps, {} trials)\n",
+        if quick { "quick" } else { "full" },
+        scale.sf,
+        scale.reps,
+        scale.trials
+    );
+    for (id, f) in selected {
+        let t0 = std::time::Instant::now();
+        let report = f(scale);
+        println!("{}", report.render());
+        println!("[{} completed in {:?}]\n", id, t0.elapsed());
+    }
+}

@@ -1,0 +1,651 @@
+//! The experiment suite: one function per table/figure of EXPERIMENTS.md
+//! (F1, E1–E6). Each returns a [`Report`]; the `harness` binary prints
+//! them, the criterion benches time their hot loops.
+
+use std::time::Instant;
+
+use udbms_consistency::{
+    atomicity_census, convergence_time, lost_update_census, pbs_curve, session_guarantees,
+    staleness_distribution, write_skew_census, ConsistencyConfig, LagModel, ReadPolicy,
+};
+use udbms_core::{Key, SplitMix64, Value};
+use udbms_datagen::{build_engine, generate, workload, GenConfig, SchemaVariation};
+use udbms_engine::Isolation;
+use udbms_evolution::{analyze_workload, apply_chain, standard_chain};
+use udbms_polyglot::{load_into_polyglot, order_update_polyglot, run_query, PolyglotDb};
+
+use crate::report::{per_sec, us, Report};
+
+/// How thoroughly to run (quick = CI-sized).
+#[derive(Debug, Clone, Copy)]
+pub struct RunScale {
+    /// Base scale factor for loaded-engine experiments.
+    pub sf: f64,
+    /// Repetitions for latency medians.
+    pub reps: usize,
+    /// Simulator trials.
+    pub trials: usize,
+}
+
+impl RunScale {
+    /// Quick profile (seconds, for tests/CI).
+    pub fn quick() -> RunScale {
+        RunScale { sf: 0.05, reps: 5, trials: 300 }
+    }
+
+    /// Full profile (the numbers EXPERIMENTS.md records).
+    pub fn full() -> RunScale {
+        RunScale { sf: 0.5, reps: 15, trials: 2000 }
+    }
+}
+
+fn median_us(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// F1 — the Figure-1 data-model inventory.
+pub fn f1_inventory(scale: RunScale) -> Report {
+    let mut report = Report::new(
+        format!("F1 — multi-model data inventory (Figure 1), SF {}", scale.sf),
+        &["model", "collection(s)", "entities", "attributes/elements", "cross-model refs"],
+    );
+    let data = generate(&GenConfig::at_scale(scale.sf));
+    let inv = data.inventory();
+    let g = |p: &str| inv.get_dotted(p).expect("inventory path").clone();
+    report.row(vec![
+        "relational".into(),
+        "customers".into(),
+        g("relational.entities").to_string(),
+        g("relational.attributes").to_string(),
+        format!("← orders.customer ({})", g("cross_model_refs.order_to_customer")),
+    ]);
+    report.row(vec![
+        "document".into(),
+        "orders, products".into(),
+        g("document.entities").to_string(),
+        g("document.attributes").to_string(),
+        format!("items→products ({})", g("cross_model_refs.order_to_product_lines")),
+    ]);
+    report.row(vec![
+        "key-value".into(),
+        "feedback".into(),
+        g("key-value.entities").to_string(),
+        g("key-value.attributes").to_string(),
+        format!("key = fb:<product>:<customer> ({})", g("cross_model_refs.feedback_to_product_and_customer")),
+    ]);
+    report.row(vec![
+        "xml".into(),
+        "invoices".into(),
+        g("xml.entities").to_string(),
+        g("xml.elements").to_string(),
+        format!("OrderId → orders ({})", g("cross_model_refs.invoice_to_order")),
+    ]);
+    report.row(vec![
+        "graph".into(),
+        "social#v, social#e".into(),
+        g("graph.vertices").to_string(),
+        format!("{} knows + {} bought", g("graph.knows_edges"), g("graph.bought_edges")),
+        "vertices = customers ∪ products".into(),
+    ]);
+    report
+}
+
+/// E1 — generation throughput vs scale factor and schema variation.
+pub fn e1_generation(scale: RunScale) -> Report {
+    let mut report = Report::new(
+        "E1 — data generation: scale + schema-variation sweep",
+        &["scale", "variation", "entities", "gen time", "entities/s"],
+    );
+    let sfs = if scale.reps > 5 { vec![0.1, 0.5, 1.0, 2.0] } else { vec![0.05, 0.1, 0.2] };
+    for sf in sfs {
+        let cfg = GenConfig::at_scale(sf);
+        let t0 = Instant::now();
+        let data = generate(&cfg);
+        let dt = t0.elapsed();
+        report.row(vec![
+            format!("{sf}"),
+            "default".into(),
+            data.total_entities().to_string(),
+            format!("{dt:?}"),
+            per_sec(data.total_entities(), dt.as_secs_f64()),
+        ]);
+    }
+    for (label, variation) in [
+        ("regular (p=1.0, depth 1)", SchemaVariation {
+            optional_field_prob: 1.0,
+            nesting_depth: 1,
+            extra_attr_count: 0,
+        }),
+        ("sparse (p=0.3, depth 2)", SchemaVariation {
+            optional_field_prob: 0.3,
+            nesting_depth: 2,
+            extra_attr_count: 3,
+        }),
+        ("wild (p=0.5, depth 4)", SchemaVariation {
+            optional_field_prob: 0.5,
+            nesting_depth: 4,
+            extra_attr_count: 6,
+        }),
+    ] {
+        let cfg = GenConfig { scale_factor: scale.sf, variation, ..Default::default() };
+        let t0 = Instant::now();
+        let data = generate(&cfg);
+        let dt = t0.elapsed();
+        report.row(vec![
+            format!("{}", scale.sf),
+            label.into(),
+            data.total_entities().to_string(),
+            format!("{dt:?}"),
+            per_sec(data.total_entities(), dt.as_secs_f64()),
+        ]);
+    }
+    report.note("same seed ⇒ byte-identical datasets; entity substreams are independent");
+    report
+}
+
+/// E2 — the Q1–Q10 workload: unified engine vs polyglot baseline.
+pub fn e2_queries(scale: RunScale) -> Report {
+    let mut report = Report::new(
+        format!("E2 — multi-model query workload Q1–Q10, SF {} (median of {})", scale.sf, scale.reps),
+        &["query", "models", "rows", "unified", "polyglot", "uni/poly"],
+    );
+    let cfg = GenConfig::at_scale(scale.sf);
+    let (engine, data) = build_engine(&cfg).expect("engine load");
+    let polyglot = PolyglotDb::new();
+    load_into_polyglot(&polyglot, &data).expect("polyglot load");
+    let params = workload::QueryParams::draw(&data, 1);
+
+    for q in workload::queries(&params) {
+        let parsed = udbms_query::Query::parse(&q.mmql).expect("workload parses");
+        let mut engine_samples = Vec::with_capacity(scale.reps);
+        let mut rows = 0usize;
+        for _ in 0..scale.reps {
+            let t0 = Instant::now();
+            let out = engine
+                .run(Isolation::Snapshot, |t| parsed.execute(t))
+                .expect("engine query");
+            engine_samples.push(t0.elapsed().as_micros());
+            rows = out.len();
+        }
+        let mut poly_samples = Vec::with_capacity(scale.reps);
+        for _ in 0..scale.reps {
+            let t0 = Instant::now();
+            let _ = run_query(&polyglot, q.id, &params).expect("polyglot query");
+            poly_samples.push(t0.elapsed().as_micros());
+        }
+        let e = median_us(engine_samples);
+        let p = median_us(poly_samples);
+        report.row(vec![
+            q.id.into(),
+            q.models.join("+"),
+            rows.to_string(),
+            us(e),
+            us(p),
+            format!("{:.1}x", e as f64 / p.max(1) as f64),
+        ]);
+    }
+    report.note("one MMQL text runs everywhere; the polyglot column is hand-written per-store code");
+    report.note("polyglot pays wire serialization per hop but reads raw in-memory structures;");
+    report.note("the unified engine pays MVCC snapshot reads but needs no client-side glue");
+    report
+}
+
+/// E3 — schema evolution: history-query usability + migration cost.
+pub fn e3_evolution(scale: RunScale) -> Report {
+    let mut report = Report::new(
+        format!("E3 — schema evolution over the Q1–Q10 history workload, SF {}", scale.sf),
+        &["steps", "last operation", "valid", "adaptable", "broken", "strict", "adapted", "migrate"],
+    );
+    let cfg = GenConfig::at_scale(scale.sf);
+    let (engine, data) = build_engine(&cfg).expect("engine load");
+    let params = workload::QueryParams::draw(&data, 1);
+    let stmts: Vec<_> = workload::queries(&params)
+        .iter()
+        .map(|q| udbms_query::parse(&q.mmql).expect("parses"))
+        .collect();
+    let chain = standard_chain();
+    let (r0, _) = analyze_workload(&stmts, &[]);
+    report.row(vec![
+        "0".into(),
+        "(original)".into(),
+        r0.valid.to_string(),
+        r0.adaptable.to_string(),
+        r0.broken.to_string(),
+        format!("{:.0}%", r0.strict_score * 100.0),
+        format!("{:.0}%", r0.adapted_score * 100.0),
+        "-".into(),
+    ]);
+    for n in 1..=chain.len() {
+        let t0 = Instant::now();
+        apply_chain(&engine, &chain[n - 1..n]).expect("migration");
+        let dt = t0.elapsed();
+        let (r, _) = analyze_workload(&stmts, &chain[..n]);
+        report.row(vec![
+            n.to_string(),
+            chain[n - 1].describe(),
+            r.valid.to_string(),
+            r.adaptable.to_string(),
+            r.broken.to_string(),
+            format!("{:.0}%", r.strict_score * 100.0),
+            format!("{:.0}%", r.adapted_score * 100.0),
+            us(dt.as_micros()),
+        ]);
+    }
+    report.note("strict = verbatim history queries still valid; adapted = after mechanical rewriting");
+    report
+}
+
+/// E4a — cross-model transaction throughput under contention.
+pub fn e4a_transactions(scale: RunScale) -> Report {
+    let mut report = Report::new(
+        format!("E4a — order_update cross-model transactions, SF {}", scale.sf),
+        &["subject", "iso", "threads", "theta", "txns", "elapsed", "txn/s", "aborts"],
+    );
+    let per_thread = if scale.reps > 5 { 100 } else { 25 };
+    let thread_counts = [1usize, 2, 4];
+    for &threads in &thread_counts {
+        for theta in [0.0, 0.9] {
+            for iso in [Isolation::ReadCommitted, Isolation::Snapshot, Isolation::Serializable] {
+                let cfg = GenConfig::at_scale(scale.sf);
+                let (engine, data) = build_engine(&cfg).expect("engine load");
+                let picker = std::sync::Arc::new(workload::OrderPicker::new(&data, theta));
+                let t0 = Instant::now();
+                std::thread::scope(|scope| {
+                    for tid in 0..threads {
+                        let engine = engine.clone();
+                        let picker = std::sync::Arc::clone(&picker);
+                        scope.spawn(move || {
+                            let mut rng = SplitMix64::new(31 + tid as u64);
+                            for _ in 0..per_thread {
+                                let key = picker.pick(&mut rng).clone();
+                                engine
+                                    .run(iso, |t| workload::order_update(t, &key))
+                                    .expect("retried to success");
+                            }
+                        });
+                    }
+                });
+                let dt = t0.elapsed();
+                let stats = engine.stats();
+                let total = threads * per_thread;
+                report.row(vec![
+                    "unified".into(),
+                    iso.label().into(),
+                    threads.to_string(),
+                    format!("{theta}"),
+                    total.to_string(),
+                    format!("{dt:?}"),
+                    per_sec(total, dt.as_secs_f64()),
+                    stats.aborts.to_string(),
+                ]);
+            }
+            // polyglot: one global lock, no isolation knob
+            let cfg = GenConfig::at_scale(scale.sf);
+            let data = generate(&cfg);
+            let polyglot = PolyglotDb::new();
+            load_into_polyglot(&polyglot, &data).expect("polyglot load");
+            let picker = std::sync::Arc::new(workload::OrderPicker::new(&data, theta));
+            let t0 = Instant::now();
+            std::thread::scope(|scope| {
+                for tid in 0..threads {
+                    let polyglot = polyglot.clone();
+                    let picker = std::sync::Arc::clone(&picker);
+                    scope.spawn(move || {
+                        let mut rng = SplitMix64::new(31 + tid as u64);
+                        for _ in 0..per_thread {
+                            let key = picker.pick(&mut rng).clone();
+                            order_update_polyglot(&polyglot, &key).expect("global lock, no conflicts");
+                        }
+                    });
+                }
+            });
+            let dt = t0.elapsed();
+            let total = threads * per_thread;
+            report.row(vec![
+                "polyglot".into(),
+                "2PC".into(),
+                threads.to_string(),
+                format!("{theta}"),
+                total.to_string(),
+                format!("{dt:?}"),
+                per_sec(total, dt.as_secs_f64()),
+                "0".into(),
+            ]);
+        }
+    }
+    report.note("polyglot '2PC' = all five store locks for every transaction (idealized, failure-free)");
+    report.note("unified aborts are first-committer-wins conflicts, retried to success");
+    report
+}
+
+/// E4b — the ACID anomaly census.
+pub fn e4b_acid(scale: RunScale) -> Report {
+    let mut report = Report::new(
+        "E4b — ACID anomaly census on the unified engine",
+        &["experiment", "isolation", "events", "anomalies", "detail"],
+    );
+    let n = scale.trials.min(500);
+    let a = atomicity_census(n, 0.25, 42).expect("census");
+    report.row(vec![
+        "atomicity (4-model txns)".into(),
+        "SI".into(),
+        a.attempted.to_string(),
+        a.partial.to_string(),
+        format!("{} aborted mid-flight, {} complete", a.aborted, a.complete),
+    ]);
+    for iso in [Isolation::ReadCommitted, Isolation::Snapshot, Isolation::Serializable] {
+        let r = lost_update_census(iso, n.min(200)).expect("census");
+        report.row(vec![
+            "lost update".into(),
+            iso.label().into(),
+            r.committed.to_string(),
+            r.lost.to_string(),
+            format!("{} conflict retries", r.conflict_retries),
+        ]);
+    }
+    for iso in [Isolation::ReadCommitted, Isolation::Snapshot, Isolation::Serializable] {
+        let r = write_skew_census(iso, n.min(200)).expect("census");
+        report.row(vec![
+            "write skew".into(),
+            iso.label().into(),
+            r.pairs.to_string(),
+            r.violations.to_string(),
+            "invariant a+b >= 1".into(),
+        ]);
+    }
+    report.note("expected shape: RC loses updates, SI admits only write skew, SER admits neither");
+    report
+}
+
+/// E4c — eventual-consistency metrics on the replication simulator.
+pub fn e4c_eventual(scale: RunScale) -> Report {
+    let mut report = Report::new(
+        "E4c — eventual consistency (3 replicas, lag uniform 5–50 ms)",
+        &["metric", "setting", "value"],
+    );
+    let cfg = ConsistencyConfig {
+        replicas: 3,
+        lag: LagModel::Uniform(5, 50),
+        trials: scale.trials,
+        seed: 42,
+    };
+    for p in pbs_curve(&cfg, &[0, 10, 25, 50, 100]) {
+        report.row(vec![
+            "PBS P(fresh)".into(),
+            format!("Δt = {} ms", p.delta_ms),
+            format!("{:.1}%", p.p_fresh * 100.0),
+        ]);
+    }
+    for (name, policy) in [
+        ("primary", ReadPolicy::Primary),
+        ("any-replica", ReadPolicy::AnyReplica),
+    ] {
+        let s = staleness_distribution(&cfg, 20, policy);
+        report.row(vec![
+            "version staleness".into(),
+            format!("{name}, writes every 20 ms"),
+            format!(
+                "mean {:.2}, p95 {}, max {}, fresh {:.0}%",
+                s.mean_version_lag,
+                s.p95_version_lag,
+                s.max_version_lag,
+                s.fresh_fraction * 100.0
+            ),
+        ]);
+    }
+    for (name, policy) in [
+        ("primary", ReadPolicy::Primary),
+        ("any-replica", ReadPolicy::AnyReplica),
+    ] {
+        let s = session_guarantees(&cfg, 5, policy);
+        report.row(vec![
+            "session guarantees".into(),
+            format!("{name}, read 5 ms after write"),
+            format!(
+                "RYW violations {:.1}%, monotonic violations {:.1}%",
+                s.ryw_violation_rate * 100.0,
+                s.monotonic_violation_rate * 100.0
+            ),
+        ]);
+    }
+    for (name, lag) in [
+        ("fixed 10 ms", LagModel::Fixed(10)),
+        ("uniform 5–50 ms", LagModel::Uniform(5, 50)),
+        ("bimodal 10/100 ms", LagModel::Bimodal { base: 10, p_slow: 0.1 }),
+    ] {
+        let c = ConsistencyConfig { lag, trials: scale.trials.min(150), ..cfg.clone() };
+        report.row(vec![
+            "convergence (20-write burst)".into(),
+            name.into(),
+            format!("{:.1} ms", convergence_time(&c, 20)),
+        ]);
+    }
+    report
+}
+
+/// E5 — conversion fidelity and throughput.
+pub fn e5_conversion(scale: RunScale) -> Report {
+    let mut report = Report::new(
+        format!("E5 — model-conversion tasks vs gold standards, SF {}", scale.sf),
+        &["task", "records", "fidelity", "time", "records/s"],
+    );
+    let data = generate(&GenConfig::at_scale(scale.sf));
+    // score once per task with timing
+    let t0 = Instant::now();
+    let scores = udbms_convert::score_all(&data);
+    let total = t0.elapsed();
+    for s in &scores {
+        report.row(vec![
+            s.name.into(),
+            s.produced.to_string(),
+            format!("{:.4}", s.fidelity),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    // throughput of the two heavyweight directions
+    let t0 = Instant::now();
+    let nested = udbms_convert::rel_to_doc_nest(&data.customers, &data.orders);
+    let dt = t0.elapsed();
+    report.row(vec![
+        "rel_to_doc_nest (timed)".into(),
+        nested.len().to_string(),
+        "1.0000".into(),
+        us(dt.as_micros()),
+        per_sec(nested.len(), dt.as_secs_f64()),
+    ]);
+    let t0 = Instant::now();
+    let (rows, items) = udbms_convert::doc_to_rel_shred(&data.orders);
+    let dt = t0.elapsed();
+    report.row(vec![
+        "doc_to_rel_shred (timed)".into(),
+        (rows.len() + items.len()).to_string(),
+        "1.0000".into(),
+        us(dt.as_micros()),
+        per_sec(rows.len() + items.len(), dt.as_secs_f64()),
+    ]);
+    report.note(format!("all five gold-standard scorings took {total:?} combined"));
+    report
+}
+
+/// E6 — ablations: secondary indexes, version-chain GC, wire codec.
+pub fn e6_ablation(scale: RunScale) -> Report {
+    let mut report = Report::new(
+        format!("E6 — design-choice ablations, SF {}", scale.sf),
+        &["ablation", "arm", "metric", "value"],
+    );
+    let cfg = GenConfig::at_scale(scale.sf);
+    let (engine, data) = build_engine(&cfg).expect("engine load");
+    let params = workload::QueryParams::draw(&data, 1);
+
+    // (i) index on/off for the two index-friendly access patterns
+    let probes: Vec<(&str, udbms_relational::Predicate)> = vec![
+        (
+            "point lookup (orders.customer)",
+            udbms_relational::Predicate::eq("customer", Value::Int(params.customer)),
+        ),
+        (
+            "range scan (products.price)",
+            udbms_relational::Predicate::between(
+                "price",
+                Value::Float(params.price_lo),
+                Value::Float(params.price_hi),
+            ),
+        ),
+    ];
+    for (name, pred) in &probes {
+        let coll = if name.contains("orders") { "orders" } else { "products" };
+        let mut on = Vec::new();
+        let mut off = Vec::new();
+        for _ in 0..scale.reps.max(3) {
+            let t0 = Instant::now();
+            let a = engine
+                .run(Isolation::Snapshot, |t| t.select(coll, pred))
+                .expect("select");
+            on.push(t0.elapsed().as_micros());
+            let t0 = Instant::now();
+            let b = engine
+                .run(Isolation::Snapshot, |t| t.select_scan(coll, pred))
+                .expect("scan");
+            off.push(t0.elapsed().as_micros());
+            assert_eq!(a.len(), b.len(), "ablation arms must agree");
+        }
+        report.row(vec![
+            "secondary index".into(),
+            "on".into(),
+            (*name).into(),
+            us(median_us(on)),
+        ]);
+        report.row(vec![
+            "secondary index".into(),
+            "off (full scan)".into(),
+            (*name).into(),
+            us(median_us(off)),
+        ]);
+    }
+
+    // (ii) GC on/off under sustained updates of one hot record
+    let hot = Key::str(data.orders[0].get_field("_id").as_str().expect("order id"));
+    let rounds = if scale.reps > 5 { 400 } else { 100 };
+    let run_churn = |gc_each: Option<usize>| -> (usize, u128) {
+        let (engine, _) = build_engine(&cfg).expect("fresh engine");
+        for i in 0..rounds {
+            engine
+                .run(Isolation::Snapshot, |t| {
+                    t.merge("orders", &hot, udbms_core::obj! {"round" => i as i64})
+                })
+                .expect("churn");
+            if let Some(every) = gc_each {
+                if i % every == every - 1 {
+                    engine.gc();
+                }
+            }
+        }
+        let chain = engine.stats().max_chain_len;
+        let t0 = Instant::now();
+        for _ in 0..50 {
+            engine
+                .run(Isolation::Snapshot, |t| t.get("orders", &hot))
+                .expect("read");
+        }
+        (chain, t0.elapsed().as_micros() / 50)
+    };
+    let (chain_off, read_off) = run_churn(None);
+    let (chain_on, read_on) = run_churn(Some(50));
+    report.row(vec![
+        "version-chain GC".into(),
+        "off".into(),
+        format!("max chain after {rounds} updates"),
+        chain_off.to_string(),
+    ]);
+    report.row(vec![
+        "version-chain GC".into(),
+        "every 50 commits".into(),
+        format!("max chain after {rounds} updates"),
+        chain_on.to_string(),
+    ]);
+    report.row(vec![
+        "version-chain GC".into(),
+        "off".into(),
+        "hot-record read".into(),
+        us(read_off),
+    ]);
+    report.row(vec![
+        "version-chain GC".into(),
+        "every 50 commits".into(),
+        "hot-record read".into(),
+        us(read_on),
+    ]);
+
+    // (iii) wire-codec cost of the polyglot baseline
+    let polyglot = PolyglotDb::new();
+    load_into_polyglot(&polyglot, &data).expect("polyglot load");
+    let mut total_bytes = 0usize;
+    for q in workload::queries(&params) {
+        let out = run_query(&polyglot, q.id, &params).expect("query");
+        total_bytes += udbms_polyglot::result_wire_bytes(&out);
+    }
+    report.row(vec![
+        "polyglot wire codec".into(),
+        "Q1–Q10 results".into(),
+        "serialized bytes crossing store boundaries".into(),
+        total_bytes.to_string(),
+    ]);
+    report
+}
+
+/// Run everything (the `harness all` path).
+pub fn all_reports(scale: RunScale) -> Vec<Report> {
+    vec![
+        f1_inventory(scale),
+        e1_generation(scale),
+        e2_queries(scale),
+        e3_evolution(scale),
+        e4a_transactions(scale),
+        e4b_acid(scale),
+        e4c_eventual(scale),
+        e5_conversion(scale),
+        e6_ablation(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_profile_runs_every_experiment() {
+        let scale = RunScale { sf: 0.01, reps: 2, trials: 60 };
+        for report in all_reports(scale) {
+            let rendered = report.render();
+            assert!(!report.rows.is_empty(), "{} has no rows", report.title);
+            assert!(rendered.contains("=="));
+        }
+    }
+
+    #[test]
+    fn e2_ratio_column_is_well_formed() {
+        let scale = RunScale { sf: 0.01, reps: 2, trials: 10 };
+        let r = e2_queries(scale);
+        assert_eq!(r.rows.len(), 10, "one row per workload query");
+        for row in &r.rows {
+            assert!(row[5].ends_with('x'), "ratio cell: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e6_gc_arm_bounds_chains() {
+        let scale = RunScale { sf: 0.01, reps: 2, trials: 10 };
+        let r = e6_ablation(scale);
+        let chain_rows: Vec<&Vec<String>> = r
+            .rows
+            .iter()
+            .filter(|row| row[2].starts_with("max chain"))
+            .collect();
+        assert_eq!(chain_rows.len(), 2);
+        let off: usize = chain_rows[0][3].parse().unwrap();
+        let on: usize = chain_rows[1][3].parse().unwrap();
+        assert!(on < off, "GC must bound chains: on={on} off={off}");
+    }
+}

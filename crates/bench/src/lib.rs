@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! # udbms-bench
+//!
+//! The benchmark harness: the experiment suite (F1, E1–E6) mapped in
+//! DESIGN.md §4, a plain-text [`Report`] renderer, the `harness` binary
+//! that regenerates every table of EXPERIMENTS.md, and the criterion
+//! benches under `benches/`.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    all_reports, e1_generation, e2_queries, e3_evolution, e4a_transactions, e4b_acid,
+    e4c_eventual, e5_conversion, e6_ablation, f1_inventory, RunScale,
+};
+pub use report::{per_sec, us, Report};

@@ -1,0 +1,116 @@
+//! Plain-text experiment tables (the rows EXPERIMENTS.md records).
+
+use std::fmt::Write as _;
+
+/// One experiment's tabular output.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id + title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes under the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Report {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+}
+
+/// Format microseconds compactly.
+pub fn us(micros: u128) -> String {
+    if micros >= 10_000 {
+        format!("{:.1}ms", micros as f64 / 1000.0)
+    } else {
+        format!("{micros}µs")
+    }
+}
+
+/// Format a rate.
+pub fn per_sec(count: usize, secs: f64) -> String {
+    format!("{:.0}/s", count as f64 / secs.max(1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("T1 — demo", &["id", "value"]);
+        r.row(vec!["a".into(), "1".into()]);
+        r.row(vec!["long-id".into(), "22222".into()]);
+        r.note("a note");
+        let s = r.render();
+        assert!(s.contains("== T1 — demo =="));
+        assert!(s.contains("long-id"));
+        assert!(s.contains("note: a note"));
+        // columns right-aligned to the widest cell
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[2].ends_with('1') || lines[3].ends_with('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut r = Report::new("x", &["a", "b"]);
+        r.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(us(900), "900µs");
+        assert_eq!(us(25_000), "25.0ms");
+        assert_eq!(per_sec(500, 2.0), "250/s");
+    }
+}

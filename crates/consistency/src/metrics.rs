@@ -1,0 +1,269 @@
+//! Eventual-consistency metrics over the replication simulator —
+//! experiment E4c's measurement harness.
+//!
+//! The paper requires "novel consistency metrics which describe
+//! consistency behavior for different models of data … in a precise way"
+//! and that the benchmark "accurately determines consistency behavior via
+//! experiments". The metrics here are the established quantitative ones:
+//! probabilistically-bounded staleness (PBS) curves, version-staleness
+//! distributions, session-guarantee violation rates and convergence time.
+
+use udbms_core::{Key, SplitMix64, Value};
+
+use crate::sim::{LagModel, ReadPolicy, ReplicatedSim};
+
+/// Configuration of a consistency measurement run.
+#[derive(Debug, Clone)]
+pub struct ConsistencyConfig {
+    /// Replica count.
+    pub replicas: usize,
+    /// Lag model.
+    pub lag: LagModel,
+    /// Trials per measured point.
+    pub trials: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ConsistencyConfig {
+    fn default() -> Self {
+        ConsistencyConfig {
+            replicas: 3,
+            lag: LagModel::Uniform(5, 50),
+            trials: 2000,
+            seed: 42,
+        }
+    }
+}
+
+/// One point of a PBS curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PbsPoint {
+    /// Time since the write (ms).
+    pub delta_ms: u64,
+    /// Probability a random-replica read returns the fresh value.
+    pub p_fresh: f64,
+}
+
+/// Probabilistically-bounded staleness: P(fresh read | Δt after write)
+/// for each Δt in `deltas`, reading from a random replica.
+pub fn pbs_curve(cfg: &ConsistencyConfig, deltas: &[u64]) -> Vec<PbsPoint> {
+    let mut out = Vec::with_capacity(deltas.len());
+    for (di, &delta) in deltas.iter().enumerate() {
+        let mut fresh = 0usize;
+        for trial in 0..cfg.trials {
+            let seed = cfg.seed ^ (di as u64) << 32 ^ trial as u64;
+            let mut sim = ReplicatedSim::new(cfg.replicas, cfg.lag, seed);
+            // pre-populate so the key exists everywhere
+            sim.write_at(0, Key::str("k"), Value::Int(0));
+            sim.advance_to(10_000);
+            let v = sim.write_at(10_000, Key::str("k"), Value::Int(1));
+            if let Some(e) = sim.read_at(10_000 + delta, &Key::str("k"), ReadPolicy::AnyReplica) {
+                if e.version == v {
+                    fresh += 1;
+                }
+            }
+        }
+        out.push(PbsPoint { delta_ms: delta, p_fresh: fresh as f64 / cfg.trials as f64 });
+    }
+    out
+}
+
+/// Version-staleness distribution under sustained writes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StalenessReport {
+    /// Mean version lag of replica reads (0 = always fresh).
+    pub mean_version_lag: f64,
+    /// 95th-percentile version lag.
+    pub p95_version_lag: u64,
+    /// Maximum observed version lag.
+    pub max_version_lag: u64,
+    /// Fraction of reads that returned the freshest version.
+    pub fresh_fraction: f64,
+}
+
+/// Drive a write-heavy workload (one write per `write_interval_ms`) and
+/// measure how far replica reads trail the primary.
+pub fn staleness_distribution(
+    cfg: &ConsistencyConfig,
+    write_interval_ms: u64,
+    policy: ReadPolicy,
+) -> StalenessReport {
+    let mut sim = ReplicatedSim::new(cfg.replicas, cfg.lag, cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xfeed);
+    let key = Key::str("hot");
+    let mut lags: Vec<u64> = Vec::with_capacity(cfg.trials);
+    let mut t = 0u64;
+    sim.write_at(t, key.clone(), Value::Int(0));
+    for i in 0..cfg.trials {
+        t += write_interval_ms;
+        sim.write_at(t, key.clone(), Value::Int(i as i64));
+        // read at a random offset within the interval
+        let rt = t + rng.below(write_interval_ms.max(1));
+        let primary_v = sim.primary_version(&key);
+        let seen = sim.read_at(rt, &key, policy).map_or(0, |e| e.version);
+        // the primary may have moved past `primary_v` only via our own
+        // writes, which happen after rt reads in this loop, so:
+        lags.push(primary_v.saturating_sub(seen));
+    }
+    lags.sort_unstable();
+    let n = lags.len();
+    let fresh = lags.iter().filter(|&&l| l == 0).count();
+    StalenessReport {
+        mean_version_lag: lags.iter().sum::<u64>() as f64 / n as f64,
+        p95_version_lag: lags[(n * 95 / 100).min(n - 1)],
+        max_version_lag: *lags.last().expect("non-empty"),
+        fresh_fraction: fresh as f64 / n as f64,
+    }
+}
+
+/// Session-guarantee violation rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Fraction of read-your-writes checks that failed.
+    pub ryw_violation_rate: f64,
+    /// Fraction of monotonic-read pairs that regressed.
+    pub monotonic_violation_rate: f64,
+}
+
+/// Measure read-your-writes and monotonic-reads violations for a client
+/// that writes then reads twice shortly after, under the given policy.
+pub fn session_guarantees(
+    cfg: &ConsistencyConfig,
+    read_delay_ms: u64,
+    policy: ReadPolicy,
+) -> SessionReport {
+    let mut ryw_violations = 0usize;
+    let mut mono_violations = 0usize;
+    for trial in 0..cfg.trials {
+        let seed = cfg.seed ^ 0xabba ^ trial as u64;
+        let mut sim = ReplicatedSim::new(cfg.replicas, cfg.lag, seed);
+        let key = Key::str("session");
+        sim.write_at(0, key.clone(), Value::Int(0));
+        sim.advance_to(5_000);
+        let v = sim.write_at(5_000, key.clone(), Value::Int(1));
+        let r1 = sim.read_at(5_000 + read_delay_ms, &key, policy).map_or(0, |e| e.version);
+        let r2 = sim.read_at(5_000 + 2 * read_delay_ms, &key, policy).map_or(0, |e| e.version);
+        if r1 < v {
+            ryw_violations += 1;
+        }
+        if r2 < r1 {
+            mono_violations += 1;
+        }
+    }
+    SessionReport {
+        ryw_violation_rate: ryw_violations as f64 / cfg.trials as f64,
+        monotonic_violation_rate: mono_violations as f64 / cfg.trials as f64,
+    }
+}
+
+/// Convergence time after a burst of writes: how long until every replica
+/// agrees with the primary.
+pub fn convergence_time(cfg: &ConsistencyConfig, burst: usize) -> f64 {
+    let mut total = 0u64;
+    let trials = cfg.trials.clamp(1, 200);
+    for trial in 0..trials {
+        let mut sim =
+            ReplicatedSim::new(cfg.replicas, cfg.lag, cfg.seed ^ 0xc0ffee ^ trial as u64);
+        for i in 0..burst {
+            sim.write_at(i as u64, Key::int(i as i64), Value::Int(i as i64));
+        }
+        let done = sim
+            .advance_until_converged(1, 1_000_000)
+            .expect("bounded lag always converges");
+        total += done - burst as u64 + 1;
+    }
+    total as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ConsistencyConfig {
+        ConsistencyConfig { trials: 400, ..Default::default() }
+    }
+
+    #[test]
+    fn pbs_probability_rises_with_delta() {
+        let curve = pbs_curve(&cfg(), &[0, 5, 25, 60, 200]);
+        assert_eq!(curve.len(), 5);
+        // monotone non-decreasing in delta (with slack for sampling noise)
+        for w in curve.windows(2) {
+            assert!(
+                w[1].p_fresh >= w[0].p_fresh - 0.05,
+                "PBS must rise: {curve:?}"
+            );
+        }
+        assert!(curve[0].p_fresh < 0.3, "immediately after the write most reads are stale");
+        assert!(curve.last().unwrap().p_fresh > 0.95, "after max lag reads are fresh");
+    }
+
+    #[test]
+    fn primary_reads_are_always_fresh() {
+        let r = staleness_distribution(&cfg(), 20, ReadPolicy::Primary);
+        assert_eq!(r.mean_version_lag, 0.0);
+        assert_eq!(r.fresh_fraction, 1.0);
+    }
+
+    #[test]
+    fn replica_staleness_grows_with_lag() {
+        let fast = ConsistencyConfig { lag: LagModel::Fixed(2), trials: 400, ..Default::default() };
+        let slow =
+            ConsistencyConfig { lag: LagModel::Fixed(200), trials: 400, ..Default::default() };
+        let fr = staleness_distribution(&fast, 20, ReadPolicy::AnyReplica);
+        let sr = staleness_distribution(&slow, 20, ReadPolicy::AnyReplica);
+        assert!(
+            sr.mean_version_lag > fr.mean_version_lag,
+            "lag 200ms must be staler than 2ms: {sr:?} vs {fr:?}"
+        );
+        assert!(sr.max_version_lag >= 5, "200ms lag across 20ms writes ≈ 10 versions behind");
+        assert!(fr.fresh_fraction > 0.8);
+    }
+
+    #[test]
+    fn session_guarantees_depend_on_policy() {
+        // primary reads: never violated
+        let p = session_guarantees(&cfg(), 5, ReadPolicy::Primary);
+        assert_eq!(p.ryw_violation_rate, 0.0);
+        assert_eq!(p.monotonic_violation_rate, 0.0);
+        // random-replica reads violate RYW when delay << lag
+        let r = session_guarantees(&cfg(), 2, ReadPolicy::AnyReplica);
+        assert!(r.ryw_violation_rate > 0.5, "2ms delay vs 5-50ms lag: {r:?}");
+        // long delays heal RYW
+        let healed = session_guarantees(&cfg(), 100, ReadPolicy::AnyReplica);
+        assert!(healed.ryw_violation_rate < 0.05, "{healed:?}");
+    }
+
+    #[test]
+    fn monotonic_reads_can_regress_on_random_replicas() {
+        // with strongly bimodal lag and read gap between the modes, the
+        // second read may hit a slower replica
+        let cfg = ConsistencyConfig {
+            replicas: 5,
+            lag: LagModel::Bimodal { base: 4, p_slow: 0.5 },
+            trials: 800,
+            seed: 11,
+        };
+        let r = session_guarantees(&cfg, 10, ReadPolicy::AnyReplica);
+        assert!(
+            r.monotonic_violation_rate > 0.02,
+            "random replicas regress sometimes: {r:?}"
+        );
+        let sticky = session_guarantees(&cfg, 10, ReadPolicy::Replica(0));
+        assert_eq!(
+            sticky.monotonic_violation_rate, 0.0,
+            "sticky sessions never regress"
+        );
+    }
+
+    #[test]
+    fn convergence_time_tracks_lag() {
+        let fast = ConsistencyConfig { lag: LagModel::Fixed(5), trials: 50, ..Default::default() };
+        let slow = ConsistencyConfig { lag: LagModel::Fixed(80), trials: 50, ..Default::default() };
+        let tf = convergence_time(&fast, 10);
+        let ts = convergence_time(&slow, 10);
+        assert!(ts > tf, "slower lag converges later ({ts} vs {tf})");
+        assert!(tf >= 5.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! The conversion tasks: relation ↔ NoSQL transformations with measurable
+//! outputs.
+//!
+//! Paper: "An ideal multi-model database should support the model
+//! conversion between relation and NoSQL data. Therefore, data generators
+//! must support the creation of reasonable gold standard outputs for
+//! different transformation tasks." Each task here is a pure function
+//! from input records to output records, scored against the generator's
+//! gold standard (see `gold.rs`).
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use udbms_core::{obj, Key, Value};
+
+/// Nest orders under their customers: the classic relational→document
+/// denormalization. Orders arrive as flat documents with a `customer`
+/// foreign key; output is one document per customer with an embedded,
+/// date-ordered `orders` array.
+pub fn rel_to_doc_nest(customers: &[Value], orders: &[Value]) -> Vec<Value> {
+    let mut by_customer: HashMap<i64, Vec<&Value>> = HashMap::new();
+    for o in orders {
+        if let Some(c) = o.get_field("customer").as_int() {
+            by_customer.entry(c).or_default().push(o);
+        }
+    }
+    let mut out = Vec::with_capacity(customers.len());
+    for c in customers {
+        let Some(id) = c.get_field("id").as_int() else { continue };
+        let mut doc = c.clone();
+        let mut embedded: Vec<Value> = by_customer
+            .get(&id)
+            .map(|os| {
+                os.iter()
+                    .map(|o| {
+                        let mut e = (*o).clone();
+                        // the FK is redundant once embedded
+                        if let Some(obj) = e.as_object_mut() {
+                            obj.remove("customer");
+                        }
+                        e
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        embedded.sort_by(|a, b| {
+            (a.get_field("date"), a.get_field("_id")).cmp(&(b.get_field("date"), b.get_field("_id")))
+        });
+        if let Some(obj) = doc.as_object_mut() {
+            obj.insert("orders".to_string(), Value::Array(embedded));
+        }
+        out.push(doc);
+    }
+    out
+}
+
+/// Shred nested order documents into two flat relations:
+/// `orders(_id, customer, date, status, total)` and
+/// `order_items(order_id, seq, product, qty, price)` — the
+/// document→relational normalization with generated line numbers.
+pub fn doc_to_rel_shred(orders: &[Value]) -> (Vec<Value>, Vec<Value>) {
+    let mut order_rows = Vec::with_capacity(orders.len());
+    let mut item_rows = Vec::new();
+    for o in orders {
+        let oid = o.get_field("_id").clone();
+        order_rows.push(obj! {
+            "_id" => oid.clone(),
+            "customer" => o.get_field("customer").clone(),
+            "date" => o.get_field("date").clone(),
+            "status" => o.get_field("status").clone(),
+            "total" => o.get_field("total").clone(),
+        });
+        if let Some(items) = o.get_field("items").as_array() {
+            for (seq, item) in items.iter().enumerate() {
+                item_rows.push(obj! {
+                    "order_id" => oid.clone(),
+                    "seq" => seq as i64,
+                    "product" => item.get_field("product").clone(),
+                    "qty" => item.get_field("qty").clone(),
+                    "price" => item.get_field("price").clone(),
+                });
+            }
+        }
+    }
+    (order_rows, item_rows)
+}
+
+/// Relational→graph: customers and orders become vertices; each order
+/// links to its customer with a `placed` edge. Output is the canonical
+/// edge-list encoding `(src, label, dst)` plus vertex rows.
+pub fn rel_to_graph(customers: &[Value], orders: &[Value]) -> (Vec<Value>, Vec<Value>) {
+    let mut vertices = Vec::with_capacity(customers.len() + orders.len());
+    for c in customers {
+        vertices.push(obj! {
+            "key" => c.get_field("id").clone(),
+            "label" => "customer",
+            "name" => c.get_field("name").clone(),
+        });
+    }
+    for o in orders {
+        vertices.push(obj! {
+            "key" => o.get_field("_id").clone(),
+            "label" => "order",
+            "total" => o.get_field("total").clone(),
+        });
+    }
+    let mut edges = Vec::with_capacity(orders.len());
+    for o in orders {
+        edges.push(obj! {
+            "src" => o.get_field("customer").clone(),
+            "label" => "placed",
+            "dst" => o.get_field("_id").clone(),
+        });
+    }
+    (vertices, edges)
+}
+
+/// Graph→relational: the inverse — vertex and edge tables (the standard
+/// "edge list" relational encoding of a property graph).
+pub fn graph_to_rel(vertices: &[Value], edges: &[Value]) -> (Vec<Value>, Vec<Value>) {
+    (vertices.to_vec(), edges.to_vec())
+}
+
+/// Key-value→relational: parse the structured feedback keys
+/// (`fb:<product>:C<customer>`) into real columns alongside the payload —
+/// the "schema-on-read made schema-on-write" conversion.
+pub fn kv_to_rel(entries: &[(Key, Value)]) -> Vec<Value> {
+    let mut out = Vec::with_capacity(entries.len());
+    for (k, v) in entries {
+        let Some(ks) = k.value().as_str() else { continue };
+        let mut parts = ks.splitn(3, ':');
+        let (Some(prefix), Some(product), Some(cust)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        if prefix != "fb" || !cust.starts_with('C') {
+            continue;
+        }
+        let Ok(customer) = cust[1..].parse::<i64>() else { continue };
+        out.push(obj! {
+            "key" => ks,
+            "product" => product,
+            "customer" => customer,
+            "rating" => v.get_field("rating").clone(),
+            "text" => v.get_field("text").clone(),
+            "date" => v.get_field("date").clone(),
+        });
+    }
+    out
+}
+
+/// Order-insensitive fidelity score of `actual` against `expected`:
+/// `|multiset intersection| / max(|expected|, |actual|)`. 1.0 means the
+/// conversion reproduced the gold standard exactly (up to order).
+pub fn fidelity(expected: &[Value], actual: &[Value]) -> f64 {
+    if expected.is_empty() && actual.is_empty() {
+        return 1.0;
+    }
+    let mut counts: BTreeMap<&Value, i64> = BTreeMap::new();
+    for e in expected {
+        *counts.entry(e).or_insert(0) += 1;
+    }
+    let mut matched = 0usize;
+    for a in actual {
+        if let Some(c) = counts.get_mut(a) {
+            if *c > 0 {
+                *c -= 1;
+                matched += 1;
+            }
+        }
+    }
+    matched as f64 / expected.len().max(actual.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udbms_core::arr;
+
+    fn customers() -> Vec<Value> {
+        vec![
+            obj! {"id" => 1, "name" => "Ada"},
+            obj! {"id" => 2, "name" => "Bob"},
+        ]
+    }
+
+    fn orders() -> Vec<Value> {
+        vec![
+            obj! {"_id" => "o2", "customer" => 1, "date" => 20, "status" => "open", "total" => 5.0,
+                   "items" => arr![obj!{"product" => "p1", "qty" => 1, "price" => 5.0}]},
+            obj! {"_id" => "o1", "customer" => 1, "date" => 10, "status" => "paid", "total" => 7.0,
+                   "items" => arr![obj!{"product" => "p1", "qty" => 1, "price" => 2.0},
+                                    obj!{"product" => "p2", "qty" => 1, "price" => 5.0}]},
+        ]
+    }
+
+    #[test]
+    fn nesting_embeds_and_orders_by_date() {
+        let out = rel_to_doc_nest(&customers(), &orders());
+        assert_eq!(out.len(), 2);
+        let ada = &out[0];
+        let embedded = ada.get_field("orders").as_array().unwrap();
+        assert_eq!(embedded.len(), 2);
+        assert_eq!(embedded[0].get_field("_id"), &Value::from("o1"), "date order");
+        assert!(embedded[0].get_field("customer").is_null(), "FK dropped after embedding");
+        let bob = &out[1];
+        assert_eq!(bob.get_field("orders").as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn shredding_flattens_items_with_sequence() {
+        let (rows, items) = doc_to_rel_shred(&orders());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(items.len(), 3);
+        assert!(rows[0].get_field("items").is_null(), "order rows are flat");
+        let o1_items: Vec<&Value> = items
+            .iter()
+            .filter(|i| i.get_field("order_id") == &Value::from("o1"))
+            .collect();
+        assert_eq!(o1_items.len(), 2);
+        assert_eq!(o1_items[0].get_field("seq"), &Value::Int(0));
+        assert_eq!(o1_items[1].get_field("seq"), &Value::Int(1));
+    }
+
+    #[test]
+    fn nest_then_shred_recovers_orders() {
+        // shred(nest(x)).orders ≡ flat orders (modulo field order)
+        let nested = rel_to_doc_nest(&customers(), &orders());
+        let mut recovered = Vec::new();
+        for c in &nested {
+            for o in c.get_field("orders").as_array().unwrap() {
+                let mut o = o.clone();
+                if let Some(obj) = o.as_object_mut() {
+                    obj.insert("customer".into(), c.get_field("id").clone());
+                }
+                recovered.push(o);
+            }
+        }
+        let (orig_rows, _) = doc_to_rel_shred(&orders());
+        let (rec_rows, _) = doc_to_rel_shred(&recovered);
+        assert_eq!(fidelity(&orig_rows, &rec_rows), 1.0);
+    }
+
+    #[test]
+    fn graph_conversion_links_fk_edges() {
+        let (vertices, edges) = rel_to_graph(&customers(), &orders());
+        assert_eq!(vertices.len(), 4);
+        assert_eq!(edges.len(), 2);
+        for e in &edges {
+            assert_eq!(e.get_field("label"), &Value::from("placed"));
+            assert_eq!(e.get_field("src"), &Value::Int(1));
+        }
+        let (v2, e2) = graph_to_rel(&vertices, &edges);
+        assert_eq!(fidelity(&vertices, &v2), 1.0);
+        assert_eq!(fidelity(&edges, &e2), 1.0);
+    }
+
+    #[test]
+    fn kv_parsing_extracts_key_columns() {
+        let entries = vec![
+            (
+                Key::str("fb:P-0001:C7"),
+                obj! {"rating" => 4, "text" => "ok", "date" => 1},
+            ),
+            (Key::str("not-a-feedback-key"), obj! {"rating" => 1}),
+            (Key::str("fb:P-0002:Cbad"), obj! {"rating" => 1}),
+            (Key::int(5), obj! {"rating" => 1}),
+        ];
+        let rows = kv_to_rel(&entries);
+        assert_eq!(rows.len(), 1, "malformed keys are skipped");
+        assert_eq!(rows[0].get_field("product"), &Value::from("P-0001"));
+        assert_eq!(rows[0].get_field("customer"), &Value::Int(7));
+        assert_eq!(rows[0].get_field("rating"), &Value::Int(4));
+    }
+
+    #[test]
+    fn fidelity_scores() {
+        let a = vec![obj! {"x" => 1}, obj! {"x" => 2}];
+        assert_eq!(fidelity(&a, &a), 1.0);
+        let reversed: Vec<Value> = a.iter().rev().cloned().collect();
+        assert_eq!(fidelity(&a, &reversed), 1.0, "order-insensitive");
+        let half = vec![obj! {"x" => 1}];
+        assert_eq!(fidelity(&a, &half), 0.5);
+        let extra = vec![obj! {"x" => 1}, obj! {"x" => 2}, obj! {"x" => 3}];
+        assert!((fidelity(&a, &extra) - 2.0 / 3.0).abs() < 1e-9, "extras penalized");
+        assert_eq!(fidelity(&[], &[]), 1.0);
+        // duplicates are multiset-matched
+        let dup = vec![obj! {"x" => 1}, obj! {"x" => 1}];
+        assert_eq!(fidelity(&dup, &a), 0.5);
+    }
+}

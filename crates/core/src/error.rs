@@ -1,0 +1,135 @@
+//! Workspace-wide error type.
+//!
+//! Every UDBMS-Bench crate returns [`Error`]; the variants are coarse
+//! categories so callers can match on *what went wrong* (parse error,
+//! transaction conflict, missing object, …) without each substrate
+//! inventing its own hierarchy.
+
+use std::fmt;
+
+/// Convenient alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type shared by all UDBMS-Bench crates.
+#[derive(Debug)]
+pub enum Error {
+    /// A text format (JSON, XML, MMQL, …) failed to parse.
+    Parse {
+        /// Which format/parser produced the error (e.g. `"json"`, `"mmql"`).
+        format: &'static str,
+        /// 1-based line of the failure, when known.
+        line: usize,
+        /// 1-based column of the failure, when known.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A value had an unexpected type for the operation.
+    Type {
+        /// What the operation required.
+        expected: String,
+        /// What it actually got.
+        found: String,
+    },
+    /// A named object (collection, record, index, schema, …) does not exist.
+    NotFound(String),
+    /// A named object already exists.
+    AlreadyExists(String),
+    /// A transaction could not commit (write-write or read validation
+    /// conflict, first-committer-wins). The transaction must be retried.
+    TxnConflict(String),
+    /// The transaction was already finished (committed or aborted).
+    TxnClosed(String),
+    /// A schema or integrity constraint was violated.
+    Constraint(String),
+    /// Malformed input or an invalid argument.
+    Invalid(String),
+    /// Operation not supported by this model/store.
+    Unsupported(String),
+    /// An underlying I/O failure (WAL, export files).
+    Io(std::io::Error),
+}
+
+impl Error {
+    /// Shorthand constructor for parse errors.
+    pub fn parse(format: &'static str, line: usize, col: usize, msg: impl Into<String>) -> Self {
+        Error::Parse { format, line, col, msg: msg.into() }
+    }
+
+    /// Shorthand constructor for type errors.
+    pub fn type_err(expected: impl Into<String>, found: impl Into<String>) -> Self {
+        Error::Type { expected: expected.into(), found: found.into() }
+    }
+
+    /// True when the error is a transaction conflict, i.e. the operation is
+    /// safe (and expected) to retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::TxnConflict(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { format, line, col, msg } => {
+                write!(f, "{format} parse error at {line}:{col}: {msg}")
+            }
+            Error::Type { expected, found } => {
+                write!(f, "type error: expected {expected}, found {found}")
+            }
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::AlreadyExists(what) => write!(f, "already exists: {what}"),
+            Error::TxnConflict(why) => write!(f, "transaction conflict: {why}"),
+            Error::TxnClosed(why) => write!(f, "transaction closed: {why}"),
+            Error::Constraint(why) => write!(f, "constraint violation: {why}"),
+            Error::Invalid(why) => write!(f, "invalid: {why}"),
+            Error::Unsupported(what) => write!(f, "unsupported: {what}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = Error::parse("json", 3, 14, "unexpected `}`");
+        assert_eq!(e.to_string(), "json parse error at 3:14: unexpected `}`");
+        let e = Error::type_err("Int", "Str");
+        assert_eq!(e.to_string(), "type error: expected Int, found Str");
+        assert_eq!(Error::NotFound("orders".into()).to_string(), "not found: orders");
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(Error::TxnConflict("ww".into()).is_retryable());
+        assert!(!Error::NotFound("x".into()).is_retryable());
+        assert!(!Error::Constraint("pk".into()).is_retryable());
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::other("disk gone");
+        let e: Error = io.into();
+        assert!(e.to_string().contains("disk gone"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,78 @@
+//! Strongly-typed identifiers used across the engine.
+//!
+//! Newtypes keep transaction ids, timestamps and collection ids from being
+//! mixed up at call sites (the classic newtype pattern); all are `Copy` and
+//! order/hash like their underlying integers.
+
+use std::fmt;
+
+/// Identifier of a collection (table, document collection, KV namespace,
+/// vertex/edge set, or XML document store) inside an engine catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CollectionId(pub u32);
+
+impl fmt::Display for CollectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of a transaction. Monotonically increasing; also used as the
+/// placeholder commit timestamp of uncommitted versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A logical timestamp drawn from the engine's global clock. Both snapshot
+/// ("begin") and commit timestamps are `Ts` values; visibility of a version
+/// is `commit_ts <= snapshot_ts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ts(pub u64);
+
+impl Ts {
+    /// The zero timestamp — before any transaction.
+    pub const ZERO: Ts = Ts(0);
+    /// A timestamp later than every real timestamp.
+    pub const MAX: Ts = Ts(u64::MAX);
+
+    /// The next timestamp.
+    #[must_use]
+    pub fn next(self) -> Ts {
+        Ts(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_order_and_hash_like_integers() {
+        assert!(TxnId(1) < TxnId(2));
+        assert!(Ts(5) > Ts(4));
+        assert_eq!(Ts::ZERO.next(), Ts(1));
+        let mut set = HashSet::new();
+        set.insert(CollectionId(7));
+        assert!(set.contains(&CollectionId(7)));
+        assert!(!set.contains(&CollectionId(8)));
+    }
+
+    #[test]
+    fn displays_are_tagged() {
+        assert_eq!(CollectionId(3).to_string(), "c3");
+        assert_eq!(TxnId(9).to_string(), "t9");
+        assert_eq!(Ts(12).to_string(), "ts12");
+    }
+}

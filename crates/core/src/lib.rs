@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # udbms-core
+//!
+//! Foundation types shared by every UDBMS-Bench crate:
+//!
+//! * [`Value`] — the unified multi-model value: one representation that can
+//!   hold a relational cell or row, a JSON document, a key-value payload, a
+//!   graph property map, or a bridged XML tree. A single value type is what
+//!   lets the engine keep *one* integrated backend behind five model
+//!   facades, which is the defining property of a multi-model database in
+//!   the CIDR'17 vision paper this project reproduces.
+//! * [`Key`] — a scalar [`Value`] usable as a record key (totally ordered,
+//!   hashable).
+//! * [`FieldPath`] — dotted-path navigation (`a.b[2].c`) into nested
+//!   values, shared by the document store, the query language, schema
+//!   evolution and conversion tasks.
+//! * [`Error`] / [`Result`] — the workspace-wide error type.
+//! * [`schema`] — model-agnostic schema descriptions (collections, fields,
+//!   types) used for generation, validation and evolution.
+//! * [`rng`] — deterministic pseudo-randomness (SplitMix64, Zipf) so every
+//!   benchmark run is exactly reproducible from a seed.
+
+pub mod error;
+pub mod ids;
+pub mod path;
+pub mod rng;
+pub mod schema;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ids::{CollectionId, Ts, TxnId};
+pub use path::{FieldPath, PathStep};
+pub use rng::{SplitMix64, Zipf};
+pub use schema::{CollectionSchema, FieldDef, FieldType, ModelKind};
+pub use value::{Key, Value};

@@ -1,0 +1,100 @@
+//! Generator configuration: scale factor and schema-variation knobs.
+//!
+//! The paper demands that a benchmark "promote productivity by enabling
+//! the creation of a large number of multi-model data with varied schema
+//! using little manual effort" and that it be possible to "control (and
+//! systematically vary) input schema". [`SchemaVariation`] is that control
+//! surface: it decides how *irregular* the NoSQL side of the dataset is.
+
+/// Schema-variation knobs (experiment E1 sweeps these).
+#[derive(Debug, Clone)]
+pub struct SchemaVariation {
+    /// Probability that each *optional* document field is present
+    /// (1.0 = perfectly regular documents, 0.1 = highly sparse).
+    pub optional_field_prob: f64,
+    /// Maximum nesting depth of the order `shipping` sub-object (1..=4).
+    pub nesting_depth: usize,
+    /// Number of random extra attributes drawn per product (schema
+    /// "later or never": attributes differ from document to document).
+    pub extra_attr_count: usize,
+}
+
+impl Default for SchemaVariation {
+    fn default() -> Self {
+        SchemaVariation { optional_field_prob: 0.8, nesting_depth: 2, extra_attr_count: 3 }
+    }
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Master seed; equal configs generate byte-identical datasets.
+    pub seed: u64,
+    /// Scale factor. SF 1.0 ≈ 1 000 customers, 200 products, 3 000
+    /// orders, ~1 800 feedback entries, 3 000 invoices, ~8 000 social
+    /// edges.
+    pub scale_factor: f64,
+    /// Schema-variation knobs.
+    pub variation: SchemaVariation,
+    /// Zipf skew of product popularity in orders/feedback (0 = uniform).
+    pub product_skew: f64,
+    /// Average out-degree of the social `knows` graph.
+    pub avg_degree: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 42,
+            scale_factor: 1.0,
+            variation: SchemaVariation::default(),
+            product_skew: 0.8,
+            avg_degree: 8,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Config at a given scale factor with everything else default.
+    pub fn at_scale(scale_factor: f64) -> GenConfig {
+        GenConfig { scale_factor, ..Default::default() }
+    }
+
+    /// Number of customers.
+    pub fn customers(&self) -> usize {
+        ((1000.0 * self.scale_factor) as usize).max(10)
+    }
+
+    /// Number of products.
+    pub fn products(&self) -> usize {
+        ((200.0 * self.scale_factor) as usize).max(5)
+    }
+
+    /// Number of orders.
+    pub fn orders(&self) -> usize {
+        self.customers() * 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factor_controls_counts() {
+        let c = GenConfig::at_scale(1.0);
+        assert_eq!(c.customers(), 1000);
+        assert_eq!(c.products(), 200);
+        assert_eq!(c.orders(), 3000);
+        let s = GenConfig::at_scale(0.1);
+        assert_eq!(s.customers(), 100);
+        assert_eq!(s.orders(), 300);
+    }
+
+    #[test]
+    fn tiny_scales_clamp_to_minimums() {
+        let t = GenConfig::at_scale(0.0001);
+        assert_eq!(t.customers(), 10);
+        assert_eq!(t.products(), 5);
+    }
+}

@@ -1,0 +1,289 @@
+//! Whole-dataset generation and the Figure-1 inventory.
+
+use std::collections::BTreeMap;
+
+use udbms_core::{obj, Key, SplitMix64, Value, Zipf};
+use udbms_xml::XmlNode;
+
+use crate::config::GenConfig;
+use crate::domain::{self, customer_id};
+
+/// A fully generated multi-model dataset (pre-load, in memory).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The configuration that produced it.
+    pub config_seed: u64,
+    /// Relational customer rows.
+    pub customers: Vec<Value>,
+    /// Product documents.
+    pub products: Vec<Value>,
+    /// Order documents.
+    pub orders: Vec<Value>,
+    /// Feedback entries `(key, value)`.
+    pub feedback: Vec<(Key, Value)>,
+    /// Invoices `(key, xml tree)` — one per order.
+    pub invoices: Vec<(Key, XmlNode)>,
+    /// Social edges `(src customer, dst customer)`.
+    pub knows: Vec<(i64, i64)>,
+    /// Purchase edges `(customer, product id)` deduplicated.
+    pub bought: Vec<(i64, String)>,
+}
+
+/// Generate a complete dataset. Deterministic: equal configs yield equal
+/// datasets, and each entity family has its own RNG substream so sizes
+/// don't perturb one another.
+pub fn generate(cfg: &GenConfig) -> Dataset {
+    let root = SplitMix64::new(cfg.seed);
+
+    let mut customers = Vec::with_capacity(cfg.customers());
+    {
+        let mut rng = root.substream("customers");
+        for i in 0..cfg.customers() {
+            customers.push(domain::gen_customer(&mut rng, i));
+        }
+    }
+
+    let mut products = Vec::with_capacity(cfg.products());
+    {
+        let mut rng = root.substream("products");
+        for i in 0..cfg.products() {
+            products.push(domain::gen_product(&mut rng, i, cfg));
+        }
+    }
+    let prices: Vec<f64> = products
+        .iter()
+        .map(|p| p.get_field("price").as_float().expect("generated price"))
+        .collect();
+
+    let mut orders = Vec::with_capacity(cfg.orders());
+    let mut invoices = Vec::with_capacity(cfg.orders());
+    let mut feedback = Vec::new();
+    let mut bought_set: BTreeMap<(i64, usize), ()> = BTreeMap::new();
+    {
+        let mut rng = root.substream("orders");
+        let mut fb_rng = root.substream("feedback");
+        let zipf = Zipf::new(products.len(), cfg.product_skew);
+        let customer_zipf = Zipf::new(customers.len(), 0.5);
+        for i in 0..cfg.orders() {
+            let customer = customer_id(customer_zipf.sample(&mut rng));
+            let (order, lines) = domain::gen_order(&mut rng, i, customer, &prices, &zipf, cfg);
+            let oid = order.get_field("_id").as_str().expect("order id").to_string();
+            invoices.push((
+                Key::str(domain::invoice_key(&oid)),
+                domain::gen_invoice(&order),
+            ));
+            for (p, _) in &lines {
+                bought_set.insert((customer, *p), ());
+                // ~60 % of purchased lines leave feedback
+                if fb_rng.chance(0.2) {
+                    let pid = domain::product_id(*p);
+                    feedback.push((
+                        Key::str(domain::feedback_key(&pid, customer)),
+                        domain::gen_feedback(&mut fb_rng, &pid, customer, &oid),
+                    ));
+                }
+            }
+            orders.push(order);
+        }
+    }
+    // deduplicate feedback keys (same customer may review a product twice;
+    // last one wins, matching KV put semantics)
+    let mut fb_map: BTreeMap<Key, Value> = BTreeMap::new();
+    for (k, v) in feedback {
+        fb_map.insert(k, v);
+    }
+    let feedback: Vec<(Key, Value)> = fb_map.into_iter().collect();
+
+    // social graph: preferential-attachment-flavoured `knows`
+    let mut knows = Vec::new();
+    {
+        let mut rng = root.substream("social");
+        let n = customers.len();
+        let zipf = Zipf::new(n, 0.6);
+        let mut seen: std::collections::HashSet<(i64, i64)> = Default::default();
+        for i in 0..n {
+            let src = customer_id(i);
+            let degree = 1 + rng.index(cfg.avg_degree * 2 - 1); // mean ≈ avg_degree
+            for _ in 0..degree {
+                let dst = customer_id(zipf.sample(&mut rng));
+                if dst != src && seen.insert((src, dst)) {
+                    knows.push((src, dst));
+                }
+            }
+        }
+    }
+
+    let bought = bought_set
+        .into_keys()
+        .map(|(c, p)| (c, domain::product_id(p)))
+        .collect();
+
+    Dataset {
+        config_seed: cfg.seed,
+        customers,
+        products,
+        orders,
+        feedback,
+        invoices,
+        knows,
+        bought,
+    }
+}
+
+impl Dataset {
+    /// The Figure-1 inventory: per-model entity counts, attribute (leaf)
+    /// counts, byte sizes and the cross-model reference tally — the
+    /// numbers experiment F1 reports.
+    pub fn inventory(&self) -> Value {
+        let leaf = |vs: &[Value]| vs.iter().map(Value::leaf_count).sum::<usize>() as i64;
+        let size = |vs: &[Value]| vs.iter().map(Value::deep_size).sum::<usize>() as i64;
+        let fb_values: Vec<Value> = self.feedback.iter().map(|(_, v)| v.clone()).collect();
+        let invoice_elems: i64 =
+            self.invoices.iter().map(|(_, x)| x.element_count() as i64).sum();
+        obj! {
+            "relational" => obj! {
+                "collection" => "customers",
+                "entities" => self.customers.len(),
+                "attributes" => leaf(&self.customers),
+                "bytes" => size(&self.customers),
+            },
+            "document" => obj! {
+                "collections" => udbms_core::arr!["orders", "products"],
+                "entities" => self.orders.len() + self.products.len(),
+                "attributes" => leaf(&self.orders) + leaf(&self.products),
+                "bytes" => size(&self.orders) + size(&self.products),
+            },
+            "key-value" => obj! {
+                "namespace" => "feedback",
+                "entities" => self.feedback.len(),
+                "attributes" => leaf(&fb_values),
+            },
+            "xml" => obj! {
+                "collection" => "invoices",
+                "entities" => self.invoices.len(),
+                "elements" => invoice_elems,
+            },
+            "graph" => obj! {
+                "vertices" => self.customers.len() + self.products.len(),
+                "knows_edges" => self.knows.len(),
+                "bought_edges" => self.bought.len(),
+            },
+            "cross_model_refs" => obj! {
+                "order_to_customer" => self.orders.len(),
+                "order_to_product_lines" => self
+                    .orders
+                    .iter()
+                    .map(|o| o.get_field("items").as_array().map_or(0, |a| a.len()) as i64)
+                    .sum::<i64>(),
+                "invoice_to_order" => self.invoices.len(),
+                "feedback_to_product_and_customer" => self.feedback.len(),
+            },
+        }
+    }
+
+    /// Total number of entities across models.
+    pub fn total_entities(&self) -> usize {
+        self.customers.len()
+            + self.products.len()
+            + self.orders.len()
+            + self.feedback.len()
+            + self.invoices.len()
+            + self.knows.len()
+            + self.bought.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig { scale_factor: 0.02, ..Default::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.customers, b.customers);
+        assert_eq!(a.orders, b.orders);
+        assert_eq!(a.feedback, b.feedback);
+        assert_eq!(a.knows, b.knows);
+        let c = generate(&GenConfig { seed: 43, scale_factor: 0.02, ..Default::default() });
+        assert_ne!(a.customers, c.customers, "different seed, different data");
+    }
+
+    #[test]
+    fn counts_follow_config() {
+        let cfg = GenConfig { scale_factor: 0.05, ..Default::default() };
+        let d = generate(&cfg);
+        assert_eq!(d.customers.len(), cfg.customers());
+        assert_eq!(d.products.len(), cfg.products());
+        assert_eq!(d.orders.len(), cfg.orders());
+        assert_eq!(d.invoices.len(), d.orders.len(), "one invoice per order");
+        assert!(!d.feedback.is_empty());
+        assert!(!d.knows.is_empty());
+    }
+
+    #[test]
+    fn referential_integrity_across_models() {
+        let cfg = GenConfig { scale_factor: 0.02, ..Default::default() };
+        let d = generate(&cfg);
+        let max_cust = d.customers.len() as i64;
+        for o in &d.orders {
+            let c = o.get_field("customer").as_int().unwrap();
+            assert!(c >= 1 && c <= max_cust, "order references existing customer");
+            for item in o.get_field("items").as_array().unwrap() {
+                let pid = item.get_field("product").as_str().unwrap();
+                let pnum: usize = pid[2..].parse().unwrap();
+                assert!(pnum >= 1 && pnum <= d.products.len());
+            }
+        }
+        for (src, dst) in &d.knows {
+            assert!(*src >= 1 && *src <= max_cust);
+            assert!(*dst >= 1 && *dst <= max_cust);
+            assert_ne!(src, dst, "no self-loops");
+        }
+        // feedback keys parse back to product + customer
+        for (k, v) in &d.feedback {
+            let ks = k.value().as_str().unwrap();
+            assert!(ks.starts_with("fb:P-"));
+            assert_eq!(
+                v.get_field("product").as_str().unwrap(),
+                &ks[3..9],
+                "key product matches payload"
+            );
+        }
+    }
+
+    #[test]
+    fn knows_edges_unique() {
+        let d = generate(&GenConfig { scale_factor: 0.02, ..Default::default() });
+        let mut set = std::collections::HashSet::new();
+        for e in &d.knows {
+            assert!(set.insert(*e), "duplicate edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn inventory_reports_every_model() {
+        let d = generate(&GenConfig { scale_factor: 0.02, ..Default::default() });
+        let inv = d.inventory();
+        for model in ["relational", "document", "key-value", "xml", "graph", "cross_model_refs"] {
+            assert!(!inv.get_field(model).is_null(), "missing {model}");
+        }
+        assert_eq!(
+            inv.get_dotted("relational.entities").unwrap(),
+            &Value::Int(d.customers.len() as i64)
+        );
+        assert!(d.total_entities() > 0);
+    }
+
+    #[test]
+    fn substreams_decouple_entity_families() {
+        // doubling orders must not change the customers generated
+        let small = generate(&GenConfig { scale_factor: 0.02, ..Default::default() });
+        let mut cfg2 = GenConfig { scale_factor: 0.02, ..Default::default() };
+        cfg2.product_skew = 0.2; // affects the orders substream only
+        let other = generate(&cfg2);
+        assert_eq!(small.customers, other.customers);
+        assert_eq!(small.products, other.products);
+    }
+}

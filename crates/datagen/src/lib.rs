@@ -1,0 +1,90 @@
+#![warn(missing_docs)]
+
+//! # udbms-datagen
+//!
+//! The multi-model data generator, workload and loader of UDBMS-Bench.
+//!
+//! Generates the paper's Figure-1 social-commerce dataset — Customers
+//! (relational), Orders/Products (JSON documents), Feedback (key-value),
+//! Invoices (XML), and the social/purchase graph — deterministically from
+//! a seed, at any scale factor, with systematically variable schema
+//! irregularity ([`SchemaVariation`]). Ships the Q1–Q10 multi-model query
+//! workload and the flagship `order_update` cross-model transaction.
+
+mod config;
+mod dataset;
+mod domain;
+mod load;
+pub mod workload;
+
+pub use config::{GenConfig, SchemaVariation};
+pub use dataset::{generate, Dataset};
+pub use domain::{customer_id, feedback_key, gen_invoice, invoice_key, order_id, product_id};
+pub use load::{build_engine, create_collections, load_into_engine, schemas};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Every generated dataset validates against the canonical
+        /// schemas, at any scale and any variation setting.
+        #[test]
+        fn datasets_always_validate(
+            seed in 0u64..1000,
+            sf in 0.005f64..0.03,
+            opt_prob in 0.0f64..1.0,
+            depth in 1usize..4,
+        ) {
+            let cfg = GenConfig {
+                seed,
+                scale_factor: sf,
+                variation: SchemaVariation {
+                    optional_field_prob: opt_prob,
+                    nesting_depth: depth,
+                    extra_attr_count: 2,
+                },
+                ..Default::default()
+            };
+            let data = generate(&cfg);
+            let schemas = schemas();
+            let customers = schemas.iter().find(|s| s.name == "customers").unwrap();
+            let orders = schemas.iter().find(|s| s.name == "orders").unwrap();
+            let products = schemas.iter().find(|s| s.name == "products").unwrap();
+            for c in &data.customers {
+                prop_assert!(customers.validate(c).is_ok(), "customer {c}");
+            }
+            for o in &data.orders {
+                prop_assert!(orders.validate(o).is_ok(), "order {o}");
+            }
+            for p in &data.products {
+                prop_assert!(products.validate(p).is_ok(), "product {p}");
+            }
+        }
+
+        /// Invoice XML always parses back and totals match the order.
+        #[test]
+        fn invoices_serialize_and_reparse(seed in 0u64..500) {
+            let cfg = GenConfig { seed, scale_factor: 0.005, ..Default::default() };
+            let data = generate(&cfg);
+            for (i, (_, inv)) in data.invoices.iter().enumerate().take(10) {
+                let text = udbms_xml::to_string(&udbms_xml::XmlDocument::new(inv.clone()));
+                let back = udbms_xml::parse(&text).unwrap();
+                prop_assert_eq!(back.root(), inv);
+                let total: f64 = back
+                    .root()
+                    .child_element("Total")
+                    .unwrap()
+                    .text_content()
+                    .parse()
+                    .unwrap();
+                let order_total =
+                    data.orders[i].get_field("total").as_float().unwrap();
+                prop_assert!((total - order_total).abs() < 0.005);
+            }
+        }
+    }
+}

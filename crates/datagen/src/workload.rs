@@ -1,0 +1,425 @@
+//! The benchmark workload: ten multi-model queries (Q1–Q10) and the
+//! paper's flagship cross-model transaction (`order_update`).
+//!
+//! Q1–Q10 are MMQL texts so the *same query set* runs against any engine
+//! that executes MMQL; the polyglot baseline re-implements each one by
+//! hand (as real polyglot applications must — the paper's point about
+//! missing standard multi-model query languages).
+
+use udbms_core::{Error, Key, Result, SplitMix64, Value, Zipf};
+use udbms_engine::Txn;
+
+use crate::dataset::Dataset;
+use crate::domain::{feedback_key, invoice_key};
+
+/// One workload query.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Identifier (`"Q1"`…`"Q10"`).
+    pub id: &'static str,
+    /// Human-readable description.
+    pub name: &'static str,
+    /// Models the query touches.
+    pub models: &'static [&'static str],
+    /// The MMQL text (parameters already substituted).
+    pub mmql: String,
+}
+
+/// Concrete parameters drawn (deterministically) from a dataset.
+#[derive(Debug, Clone)]
+pub struct QueryParams {
+    /// A customer id that exists.
+    pub customer: i64,
+    /// A product id that exists.
+    pub product: String,
+    /// An order id that exists.
+    pub order: String,
+    /// Price band for the range query.
+    pub price_lo: f64,
+    /// Upper bound of the price band.
+    pub price_hi: f64,
+    /// A country present in the data.
+    pub country: String,
+}
+
+impl QueryParams {
+    /// Draw parameters from a dataset with a seeded RNG (`which` varies
+    /// the draw; equal inputs draw equal parameters).
+    pub fn draw(data: &Dataset, which: u64) -> QueryParams {
+        let mut rng = SplitMix64::new(data.config_seed ^ (0x9e37 + which));
+        let customer = data.customers[rng.index(data.customers.len())]
+            .get_field("id")
+            .as_int()
+            .expect("customer id");
+        let product = data.products[rng.index(data.products.len())]
+            .get_field("_id")
+            .as_str()
+            .expect("product id")
+            .to_string();
+        let order = data.orders[rng.index(data.orders.len())]
+            .get_field("_id")
+            .as_str()
+            .expect("order id")
+            .to_string();
+        let price_lo = (rng.range_f64(1.0, 300.0) * 100.0).round() / 100.0;
+        let country = data.customers[rng.index(data.customers.len())]
+            .get_field("country")
+            .as_str()
+            .expect("country")
+            .to_string();
+        QueryParams { customer, product, order, price_lo, price_hi: price_lo + 100.0, country }
+    }
+}
+
+/// Instantiate the full Q1–Q10 query set for the given parameters.
+pub fn queries(p: &QueryParams) -> Vec<BenchQuery> {
+    let QueryParams { customer, product, order, price_lo, price_hi, country } = p;
+    vec![
+        BenchQuery {
+            id: "Q1",
+            name: "relational point lookup: customer by primary key",
+            models: &["relational"],
+            mmql: format!(r#"FOR c IN customers FILTER c.id == {customer} RETURN c"#),
+        },
+        BenchQuery {
+            id: "Q2",
+            name: "order history of a customer (relational ⋈ document)",
+            models: &["relational", "document"],
+            mmql: format!(
+                r#"FOR c IN customers FILTER c.id == {customer}
+                   FOR o IN orders FILTER o.customer == c.id
+                   SORT o.date DESC
+                   RETURN {{ name: c.name, order: o._id, total: o.total, status: o.status }}"#
+            ),
+        },
+        BenchQuery {
+            id: "Q3",
+            name: "products bought by friends (graph → document)",
+            models: &["graph", "document"],
+            mmql: format!(
+                r#"FOR friend IN 1..1 OUTBOUND {customer} GRAPH social LABEL "knows"
+                   FOR o IN orders FILTER o.customer == friend.cid
+                   FOR item IN o.items
+                   RETURN DISTINCT item.product"#
+            ),
+        },
+        BenchQuery {
+            id: "Q4",
+            name: "feedback for a product joined with its catalog entry (kv + document)",
+            models: &["key-value", "document"],
+            mmql: format!(
+                r#"LET prod = DOCUMENT("products", "{product}")
+                   FOR fb IN feedback
+                     FILTER fb.product == "{product}"
+                     RETURN {{ title: prod.title, rating: fb.rating, customer: fb.customer }}"#
+            ),
+        },
+        BenchQuery {
+            id: "Q5",
+            name: "invoiced total of a customer from XML invoices (document → xml)",
+            models: &["document", "xml"],
+            mmql: format!(
+                r#"FOR o IN orders FILTER o.customer == {customer}
+                   LET inv = DOCUMENT("invoices", CONCAT("inv:", o._id))
+                   RETURN {{ order: o._id,
+                             invoiced: TO_NUMBER(XPATH_FIRST(inv, "/Invoice/Total/text()")) }}"#
+            ),
+        },
+        BenchQuery {
+            id: "Q6",
+            name: "top-10 customers by spend (document aggregation ⋈ relational)",
+            models: &["document", "relational"],
+            mmql: r#"FOR o IN orders
+                     COLLECT customer = o.customer AGGREGATE spent = SUM(o.total)
+                     SORT spent DESC
+                     LIMIT 10
+                     LET c = DOCUMENT("customers", customer)
+                     RETURN { customer, name: c.name, spent }"#
+                .to_string(),
+        },
+        BenchQuery {
+            id: "Q7",
+            name: "friends-of-friends in the same country (graph + relational)",
+            models: &["graph", "relational"],
+            mmql: format!(
+                r#"LET me = DOCUMENT("customers", {customer})
+                   FOR v IN 2..2 OUTBOUND {customer} GRAPH social LABEL "knows"
+                   LET other = DOCUMENT("customers", v.cid)
+                   FILTER other.country == me.country
+                   RETURN {{ id: v.cid, name: other.name }}"#
+            ),
+        },
+        BenchQuery {
+            id: "Q8",
+            name: "order 360°: one order across all five models",
+            models: &["document", "relational", "xml", "key-value", "graph"],
+            mmql: format!(
+                r#"LET o = DOCUMENT("orders", "{order}")
+                   LET c = DOCUMENT("customers", o.customer)
+                   LET inv = DOCUMENT("invoices", CONCAT("inv:", o._id))
+                   LET ratings = (FOR item IN o.items
+                                    LET fb = DOCUMENT("feedback", CONCAT("fb:", item.product, ":C", TO_STRING(o.customer)))
+                                    FILTER fb != NULL
+                                    RETURN fb.rating)
+                   LET friends = LENGTH(NEIGHBORS("social", o.customer, "OUT", "knows"))
+                   RETURN {{ order: o._id, customer: c.name, country: c.country,
+                             invoiced: XPATH_FIRST(inv, "/Invoice/Total/text()"),
+                             items: LENGTH(o.items), ratings, friends }}"#
+            ),
+        },
+        BenchQuery {
+            id: "Q9",
+            name: "product price-range scan (document B-tree index)",
+            models: &["document"],
+            mmql: format!(
+                r#"FOR p IN products
+                   FILTER p.price >= {price_lo} AND p.price <= {price_hi}
+                   SORT p.price
+                   RETURN {{ id: p._id, price: p.price }}"#
+            ),
+        },
+        BenchQuery {
+            id: "Q10",
+            name: "customers of a country without any order (anti-join)",
+            models: &["relational", "document"],
+            mmql: format!(
+                r#"FOR c IN customers FILTER c.country == "{country}"
+                   LET n = LENGTH((FOR o IN orders FILTER o.customer == c.id RETURN 1))
+                   FILTER n == 0
+                   RETURN c.id"#
+            ),
+        },
+    ]
+}
+
+/// The paper's motivating cross-model transaction: "an update of order
+/// information may affect JSON files (Orders, Product), key-value
+/// messages (Feedback) and XML data (Invoice)".
+///
+/// Marks the order shipped, decrements the stock of every ordered
+/// product, records a shipping notice in the feedback store, and flips
+/// the invoice's status attribute — all in the caller's transaction, so
+/// the four model writes commit (or abort) atomically.
+pub fn order_update(txn: &mut Txn, order_key: &Key) -> Result<()> {
+    let order = txn
+        .get("orders", order_key)?
+        .ok_or_else(|| Error::NotFound(format!("order {order_key}")))?;
+    let oid = order.get_field("_id").expect_str("order id")?.to_string();
+    let customer = order.get_field("customer").expect_int("order customer")?;
+
+    // 1. JSON: order status
+    txn.merge("orders", order_key, udbms_core::obj! {"status" => "shipped"})?;
+
+    // 2. JSON: product stock
+    if let Some(items) = order.get_field("items").as_array() {
+        for item in items {
+            let pid = item.get_field("product").expect_str("item product")?;
+            let qty = item.get_field("qty").expect_int("item qty")?;
+            let pkey = Key::str(pid);
+            if let Some(product) = txn.get("products", &pkey)? {
+                let stock = product.get_field("stock").as_int().unwrap_or(0);
+                txn.merge(
+                    "products",
+                    &pkey,
+                    udbms_core::obj! {"stock" => (stock - qty).max(0)},
+                )?;
+            }
+            // 3. KV: a feedback-channel shipping notice per line
+            txn.put(
+                "feedback",
+                Key::str(feedback_key(pid, customer)),
+                udbms_core::obj! {
+                    "product" => pid,
+                    "customer" => customer,
+                    "order" => oid.clone(),
+                    "rating" => Value::Null,
+                    "text" => "shipped",
+                    "date" => order.get_field("date").clone(),
+                },
+            )?;
+        }
+    }
+
+    // 4. XML: invoice status attribute
+    let ikey = Key::str(invoice_key(&oid));
+    if let Some(doc) = txn.get_xml("invoices", &ikey)? {
+        let mut root = doc.into_root();
+        root.set_attr("status", "shipped");
+        txn.put("invoices", ikey, udbms_xml::xml_to_value(&root))?;
+    }
+    Ok(())
+}
+
+/// Deterministic order picker with Zipf contention for the E4a
+/// transaction benchmark (θ = 0 → uniform; θ ≈ 0.9 → hot orders).
+pub struct OrderPicker {
+    keys: Vec<Key>,
+    zipf: Zipf,
+}
+
+impl OrderPicker {
+    /// Build over a dataset's orders.
+    pub fn new(data: &Dataset, theta: f64) -> OrderPicker {
+        let keys = data
+            .orders
+            .iter()
+            .map(|o| Key::str(o.get_field("_id").as_str().expect("order id")))
+            .collect::<Vec<_>>();
+        let zipf = Zipf::new(keys.len(), theta);
+        OrderPicker { keys, zipf }
+    }
+
+    /// Pick the next order key.
+    pub fn pick(&self, rng: &mut SplitMix64) -> &Key {
+        &self.keys[self.zipf.sample(rng)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_engine, GenConfig};
+    use udbms_engine::Isolation;
+
+    fn small() -> (udbms_engine::Engine, Dataset) {
+        build_engine(&GenConfig { scale_factor: 0.02, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn all_ten_queries_parse_and_run() {
+        let (engine, data) = small();
+        let params = QueryParams::draw(&data, 1);
+        for q in queries(&params) {
+            let out = udbms_query::run(&engine, Isolation::Snapshot, &q.mmql)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", q.id, q.mmql));
+            // Q1 must find exactly the customer; others just run
+            if q.id == "Q1" {
+                assert_eq!(out.len(), 1, "Q1 point lookup");
+            }
+        }
+    }
+
+    #[test]
+    fn query_set_spans_all_models() {
+        let params = QueryParams {
+            customer: 1,
+            product: "P-0001".into(),
+            order: "O-000001".into(),
+            price_lo: 1.0,
+            price_hi: 10.0,
+            country: "FI".into(),
+        };
+        let qs = queries(&params);
+        assert_eq!(qs.len(), 10);
+        let mut models: std::collections::HashSet<&str> = Default::default();
+        for q in &qs {
+            models.extend(q.models);
+        }
+        for m in ["relational", "document", "key-value", "xml", "graph"] {
+            assert!(models.contains(m), "no query touches {m}");
+        }
+        assert!(qs.iter().any(|q| q.models.len() == 5), "Q8 spans all five");
+    }
+
+    #[test]
+    fn q2_and_q5_agree_on_order_count() {
+        let (engine, data) = small();
+        let params = QueryParams::draw(&data, 2);
+        let qs = queries(&params);
+        let q2 = udbms_query::run(&engine, Isolation::Snapshot, &qs[1].mmql).unwrap();
+        let q5 = udbms_query::run(&engine, Isolation::Snapshot, &qs[4].mmql).unwrap();
+        assert_eq!(q2.len(), q5.len(), "same customer, same orders");
+        // invoiced totals equal order totals
+        for row in &q5 {
+            let invoiced = row.get_field("invoiced").as_float().unwrap();
+            assert!(invoiced > 0.0);
+        }
+    }
+
+    #[test]
+    fn order_update_touches_all_four_models_atomically() {
+        let (engine, data) = small();
+        let okey = Key::str(data.orders[0].get_field("_id").as_str().unwrap());
+        let oid = data.orders[0].get_field("_id").as_str().unwrap().to_string();
+        let customer = data.orders[0].get_field("customer").as_int().unwrap();
+        let first_pid = data.orders[0]
+            .get_field("items")
+            .as_array()
+            .unwrap()[0]
+            .get_field("product")
+            .as_str()
+            .unwrap()
+            .to_string();
+        let qty: i64 = data.orders[0]
+            .get_field("items")
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|i| i.get_field("product").as_str() == Some(&first_pid))
+            .map(|i| i.get_field("qty").as_int().unwrap())
+            .sum();
+
+        let stock_before = engine
+            .run(Isolation::Snapshot, |t| {
+                Ok(t.get("products", &Key::str(&first_pid))?.unwrap().get_field("stock").as_int().unwrap())
+            })
+            .unwrap();
+
+        engine.run(Isolation::Snapshot, |t| order_update(t, &okey)).unwrap();
+
+        engine
+            .run(Isolation::Snapshot, |t| {
+                let o = t.get("orders", &okey)?.unwrap();
+                assert_eq!(o.get_field("status"), &Value::from("shipped"));
+                let p = t.get("products", &Key::str(&first_pid))?.unwrap();
+                assert_eq!(
+                    p.get_field("stock").as_int().unwrap(),
+                    (stock_before - qty).max(0)
+                );
+                let fb = t.get("feedback", &Key::str(feedback_key(&first_pid, customer)))?.unwrap();
+                assert_eq!(fb.get_field("text"), &Value::from("shipped"));
+                let status = t.xpath("invoices", &Key::str(invoice_key(&oid)), "/Invoice/@status")?;
+                assert_eq!(status, vec![Value::from("shipped")]);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn order_update_on_missing_order_fails_cleanly() {
+        let (engine, _) = small();
+        let err = engine
+            .run(Isolation::Snapshot, |t| order_update(t, &Key::str("O-999999")))
+            .unwrap_err();
+        assert!(matches!(err, Error::NotFound(_)));
+    }
+
+    #[test]
+    fn order_picker_is_deterministic_and_skewed() {
+        let (_, data) = small();
+        let picker = OrderPicker::new(&data, 0.99);
+        let mut r1 = SplitMix64::new(5);
+        let mut r2 = SplitMix64::new(5);
+        for _ in 0..50 {
+            assert_eq!(picker.pick(&mut r1), picker.pick(&mut r2));
+        }
+        // skew: the most popular order appears much more often than uniform
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..5000 {
+            *counts.entry(picker.pick(&mut r1).clone()).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().unwrap();
+        assert!(*max as f64 > 5000.0 / data.orders.len() as f64 * 5.0);
+    }
+
+    #[test]
+    fn params_draw_is_deterministic() {
+        let (_, data) = small();
+        let a = QueryParams::draw(&data, 3);
+        let b = QueryParams::draw(&data, 3);
+        assert_eq!(a.customer, b.customer);
+        assert_eq!(a.product, b.product);
+        let c = QueryParams::draw(&data, 4);
+        assert!(a.customer != c.customer || a.product != c.product || a.order != c.order);
+    }
+}

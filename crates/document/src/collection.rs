@@ -1,0 +1,487 @@
+//! Document collections and the document store.
+
+use std::collections::{BTreeMap, HashMap};
+
+use udbms_core::{Error, FieldPath, Key, Result, Value};
+use udbms_relational::{Index, IndexKind, Predicate};
+
+/// The reserved id field of every document.
+pub const ID_FIELD: &str = "_id";
+
+/// A schemaless collection of JSON documents keyed by `_id`.
+#[derive(Debug, Clone)]
+pub struct DocCollection {
+    name: String,
+    docs: BTreeMap<Key, Value>,
+    indexes: HashMap<FieldPath, Index>,
+    next_auto_id: i64,
+}
+
+impl DocCollection {
+    /// Empty collection.
+    pub fn new(name: impl Into<String>) -> DocCollection {
+        DocCollection {
+            name: name.into(),
+            docs: BTreeMap::new(),
+            indexes: HashMap::new(),
+            next_auto_id: 1,
+        }
+    }
+
+    /// Collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Insert a document. If it carries `_id` that key is used (and must be
+    /// free); otherwise a fresh integer id is assigned and written into the
+    /// document. Returns the key.
+    pub fn insert(&mut self, mut doc: Value) -> Result<Key> {
+        let obj = doc
+            .as_object_mut()
+            .ok_or_else(|| Error::type_err("Object (document)", "non-object"))?;
+        let key = match obj.get(ID_FIELD) {
+            Some(v) if !v.is_null() => Key::new(v.clone())?,
+            _ => {
+                // skip ids taken by explicit inserts
+                while self.docs.contains_key(&Key::int(self.next_auto_id)) {
+                    self.next_auto_id += 1;
+                }
+                let key = Key::int(self.next_auto_id);
+                self.next_auto_id += 1;
+                obj.insert(ID_FIELD.to_string(), key.value().clone());
+                key
+            }
+        };
+        if self.docs.contains_key(&key) {
+            return Err(Error::AlreadyExists(format!("document {key} in `{}`", self.name)));
+        }
+        for (path, idx) in &mut self.indexes {
+            index_doc(idx, path, &doc, &key);
+        }
+        self.docs.insert(key.clone(), doc);
+        Ok(key)
+    }
+
+    /// Fetch by id.
+    pub fn get(&self, key: &Key) -> Option<&Value> {
+        self.docs.get(key)
+    }
+
+    /// Replace a document wholesale (the `_id` must match).
+    pub fn replace(&mut self, key: &Key, mut doc: Value) -> Result<()> {
+        if !self.docs.contains_key(key) {
+            return Err(Error::NotFound(format!("document {key} in `{}`", self.name)));
+        }
+        let obj = doc
+            .as_object_mut()
+            .ok_or_else(|| Error::type_err("Object (document)", "non-object"))?;
+        match obj.get(ID_FIELD) {
+            Some(v) if v == key.value() => {}
+            Some(_) => {
+                return Err(Error::Constraint("replacement may not change `_id`".into()));
+            }
+            None => {
+                obj.insert(ID_FIELD.to_string(), key.value().clone());
+            }
+        }
+        let old = self.docs.get(key).expect("checked").clone();
+        for (path, idx) in &mut self.indexes {
+            unindex_doc(idx, path, &old, key);
+            index_doc(idx, path, &doc, key);
+        }
+        self.docs.insert(key.clone(), doc);
+        Ok(())
+    }
+
+    /// Deep-merge `patch` into the document (objects merge, other values
+    /// replace).
+    pub fn merge(&mut self, key: &Key, patch: Value) -> Result<()> {
+        let mut doc = self
+            .docs
+            .get(key)
+            .ok_or_else(|| Error::NotFound(format!("document {key} in `{}`", self.name)))?
+            .clone();
+        doc.merge_from(patch);
+        self.replace(key, doc)
+    }
+
+    /// Set a single path inside the document.
+    pub fn set_path(&mut self, key: &Key, path: &FieldPath, value: Value) -> Result<()> {
+        let mut doc = self
+            .docs
+            .get(key)
+            .ok_or_else(|| Error::NotFound(format!("document {key} in `{}`", self.name)))?
+            .clone();
+        doc.set_path(path, value)?;
+        self.replace(key, doc)
+    }
+
+    /// Remove a single path inside the document.
+    pub fn unset_path(&mut self, key: &Key, path: &FieldPath) -> Result<Option<Value>> {
+        let mut doc = self
+            .docs
+            .get(key)
+            .ok_or_else(|| Error::NotFound(format!("document {key} in `{}`", self.name)))?
+            .clone();
+        let removed = doc.remove_path(path)?;
+        self.replace(key, doc)?;
+        Ok(removed)
+    }
+
+    /// Delete a document, returning it.
+    pub fn delete(&mut self, key: &Key) -> Result<Value> {
+        let doc = self
+            .docs
+            .remove(key)
+            .ok_or_else(|| Error::NotFound(format!("document {key} in `{}`", self.name)))?;
+        for (path, idx) in &mut self.indexes {
+            unindex_doc(idx, path, &doc, key);
+        }
+        Ok(doc)
+    }
+
+    /// Iterate all documents in id order.
+    pub fn scan(&self) -> impl Iterator<Item = &Value> {
+        self.docs.values()
+    }
+
+    /// Iterate `(key, doc)` pairs.
+    pub fn scan_entries(&self) -> impl Iterator<Item = (&Key, &Value)> {
+        self.docs.iter()
+    }
+
+    /// Create a path index and backfill it. Array values index every
+    /// element (multikey), scalars index the value itself.
+    pub fn create_index(&mut self, path: FieldPath, kind: IndexKind) -> Result<()> {
+        if self.indexes.contains_key(&path) {
+            return Err(Error::AlreadyExists(format!("index on `{path}`")));
+        }
+        let mut idx = Index::new(kind);
+        for (key, doc) in &self.docs {
+            index_doc(&mut idx, &path, doc, key);
+        }
+        self.indexes.insert(path, idx);
+        Ok(())
+    }
+
+    /// Drop a path index.
+    pub fn drop_index(&mut self, path: &FieldPath) -> Result<()> {
+        self.indexes
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| Error::NotFound(format!("index on `{path}`")))
+    }
+
+    /// Indexed paths.
+    pub fn indexed_paths(&self) -> Vec<&FieldPath> {
+        self.indexes.keys().collect()
+    }
+
+    /// Find documents matching a predicate, using a path index when the
+    /// predicate pins an indexed path; candidates are always re-validated.
+    pub fn find(&self, pred: &Predicate) -> Vec<Value> {
+        for (path, idx) in &self.indexes {
+            if let Some(v) = pred.equality_on(path) {
+                if v.is_null() {
+                    // nulls are never indexed but Null == Null matches:
+                    // fall through to the scan
+                    continue;
+                }
+                return idx
+                    .lookup_eq(v)
+                    .into_iter()
+                    .filter_map(|k| self.docs.get(&k))
+                    .filter(|d| pred.matches(d))
+                    .cloned()
+                    .collect();
+            }
+            if let Some((lo, hi)) = pred.range_on(path) {
+                if lo.as_ref().is_some_and(Value::is_null)
+                    || hi.as_ref().is_some_and(Value::is_null)
+                {
+                    continue;
+                }
+                if let Some(keys) = idx.lookup_range(lo.as_ref(), hi.as_ref()) {
+                    let mut seen = std::collections::HashSet::new();
+                    return keys
+                        .into_iter()
+                        .filter(|k| seen.insert(k.clone()))
+                        .filter_map(|k| self.docs.get(&k))
+                        .filter(|d| pred.matches(d))
+                        .cloned()
+                        .collect();
+                }
+            }
+        }
+        self.docs.values().filter(|d| pred.matches(d)).cloned().collect()
+    }
+
+    /// Count matching documents.
+    pub fn count(&self, pred: &Predicate) -> usize {
+        self.docs.values().filter(|d| pred.matches(d)).count()
+    }
+
+    /// Import NDJSON / concatenated JSON text as documents.
+    pub fn import_json(&mut self, text: &str) -> Result<usize> {
+        let docs = udbms_json::parse_many(text)?;
+        let n = docs.len();
+        for d in docs {
+            self.insert(d)?;
+        }
+        Ok(n)
+    }
+
+    /// Export all documents as NDJSON (canonical form, one per line).
+    pub fn export_json(&self) -> String {
+        let mut out = String::new();
+        for doc in self.docs.values() {
+            out.push_str(&udbms_json::to_string(doc));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Index every value reachable at `path` (multikey: arrays index each
+/// element).
+fn index_doc(idx: &mut Index, path: &FieldPath, doc: &Value, key: &Key) {
+    match doc.get_path(path) {
+        Value::Array(items) => {
+            for item in items {
+                idx.insert(item.clone(), key.clone());
+            }
+        }
+        v => idx.insert(v.clone(), key.clone()),
+    }
+}
+
+fn unindex_doc(idx: &mut Index, path: &FieldPath, doc: &Value, key: &Key) {
+    match doc.get_path(path) {
+        Value::Array(items) => {
+            for item in items {
+                idx.remove(item, key);
+            }
+        }
+        v => idx.remove(v, key),
+    }
+}
+
+/// A named set of document collections — the standalone document database
+/// used by the polyglot baseline.
+#[derive(Debug, Clone, Default)]
+pub struct DocumentStore {
+    collections: BTreeMap<String, DocCollection>,
+}
+
+impl DocumentStore {
+    /// Empty store.
+    pub fn new() -> DocumentStore {
+        DocumentStore::default()
+    }
+
+    /// Get or create a collection.
+    pub fn collection(&mut self, name: &str) -> &mut DocCollection {
+        self.collections
+            .entry(name.to_string())
+            .or_insert_with(|| DocCollection::new(name))
+    }
+
+    /// Borrow an existing collection.
+    pub fn get_collection(&self, name: &str) -> Result<&DocCollection> {
+        self.collections
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("collection `{name}`")))
+    }
+
+    /// Collection names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.collections.keys().map(String::as_str).collect()
+    }
+
+    /// Total documents across collections.
+    pub fn total_docs(&self) -> usize {
+        self.collections.values().map(DocCollection::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udbms_core::{arr, obj};
+
+    fn orders() -> DocCollection {
+        let mut c = DocCollection::new("orders");
+        c.insert(obj! {
+            "_id" => "o1", "customer" => 1, "total" => 25.0, "status" => "paid",
+            "items" => arr![obj!{"product" => "p1", "qty" => 2}, obj!{"product" => "p2", "qty" => 1}],
+        })
+        .unwrap();
+        c.insert(obj! {"_id" => "o2", "customer" => 2, "total" => 5.0, "status" => "open",
+                        "items" => arr![obj!{"product" => "p1", "qty" => 1}]})
+            .unwrap();
+        c.insert(obj! {"_id" => "o3", "customer" => 1, "total" => 7.5, "status" => "open",
+                        "items" => arr![]})
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn insert_with_and_without_ids() {
+        let mut c = DocCollection::new("c");
+        let k1 = c.insert(obj! {"_id" => "explicit", "x" => 1}).unwrap();
+        assert_eq!(k1, Key::str("explicit"));
+        let k2 = c.insert(obj! {"x" => 2}).unwrap();
+        assert_eq!(k2, Key::int(1), "auto ids are dense integers");
+        assert_eq!(
+            c.get(&k2).unwrap().get_field(ID_FIELD),
+            &Value::Int(1),
+            "auto id written into doc"
+        );
+        assert!(c.insert(obj! {"_id" => "explicit"}).is_err(), "duplicate id");
+        assert!(c.insert(Value::Int(3)).is_err(), "non-object document");
+    }
+
+    #[test]
+    fn auto_id_skips_taken_keys() {
+        let mut c = DocCollection::new("c");
+        c.insert(obj! {"_id" => 1}).unwrap();
+        let k = c.insert(obj! {"x" => 1}).unwrap();
+        assert_eq!(k, Key::int(2));
+    }
+
+    #[test]
+    fn find_with_predicates() {
+        let c = orders();
+        let open = c.find(&Predicate::eq("status", Value::from("open")));
+        assert_eq!(open.len(), 2);
+        let rich = c.find(&Predicate::gt("total", Value::Float(6.0)));
+        assert_eq!(rich.len(), 2);
+        let nested = c.find(&Predicate::Eq(
+            FieldPath::parse("items[0].product").unwrap(),
+            Value::from("p1"),
+        ));
+        assert_eq!(nested.len(), 2);
+        assert_eq!(c.count(&Predicate::True), 3);
+    }
+
+    #[test]
+    fn multikey_index_on_array_elements() {
+        let mut c = orders();
+        c.create_index(FieldPath::parse("items[0].product").unwrap(), IndexKind::Hash)
+            .unwrap();
+        let pred = Predicate::Eq(
+            FieldPath::parse("items[0].product").unwrap(),
+            Value::from("p1"),
+        );
+        assert_eq!(c.find(&pred).len(), 2);
+    }
+
+    #[test]
+    fn replace_merge_set_unset() {
+        let mut c = orders();
+        c.replace(&Key::str("o2"), obj! {"_id" => "o2", "total" => 6.0}).unwrap();
+        assert_eq!(c.get(&Key::str("o2")).unwrap().get_field("status"), &Value::Null);
+
+        c.merge(&Key::str("o3"), obj! {"status" => "paid", "note" => "rush"}).unwrap();
+        let o3 = c.get(&Key::str("o3")).unwrap();
+        assert_eq!(o3.get_field("status"), &Value::from("paid"));
+        assert_eq!(o3.get_field("total"), &Value::Float(7.5), "merge keeps other fields");
+
+        c.set_path(&Key::str("o1"), &FieldPath::parse("meta.flag").unwrap(), Value::Bool(true))
+            .unwrap();
+        assert_eq!(
+            c.get(&Key::str("o1")).unwrap().get_dotted("meta.flag").unwrap(),
+            &Value::Bool(true)
+        );
+        let removed = c
+            .unset_path(&Key::str("o1"), &FieldPath::parse("meta.flag").unwrap())
+            .unwrap();
+        assert_eq!(removed, Some(Value::Bool(true)));
+
+        assert!(c.replace(&Key::str("o1"), obj! {"_id" => "other"}).is_err(), "id change");
+        assert!(c.replace(&Key::str("missing"), obj! {}).is_err());
+    }
+
+    #[test]
+    fn delete_maintains_indexes() {
+        let mut c = orders();
+        c.create_index(FieldPath::key("status"), IndexKind::Hash).unwrap();
+        c.delete(&Key::str("o2")).unwrap();
+        assert_eq!(c.find(&Predicate::eq("status", Value::from("open"))).len(), 1);
+        assert!(c.delete(&Key::str("o2")).is_err());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn index_updates_on_replace() {
+        let mut c = orders();
+        c.create_index(FieldPath::key("status"), IndexKind::Hash).unwrap();
+        c.merge(&Key::str("o2"), obj! {"status" => "paid"}).unwrap();
+        assert_eq!(c.find(&Predicate::eq("status", Value::from("paid"))).len(), 2);
+        assert_eq!(c.find(&Predicate::eq("status", Value::from("open"))).len(), 1);
+    }
+
+    #[test]
+    fn btree_path_index_range_find() {
+        let mut c = orders();
+        c.create_index(FieldPath::key("total"), IndexKind::BTree).unwrap();
+        let pred = Predicate::between("total", Value::Float(5.0), Value::Float(10.0));
+        let got = c.find(&pred);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn null_equality_probe_bypasses_path_index() {
+        let mut c = orders();
+        c.create_index(FieldPath::key("status"), IndexKind::Hash).unwrap();
+        c.insert(obj! {"_id" => "nostatus", "total" => 1.0}).unwrap();
+        let hits = c.find(&Predicate::eq("status", Value::Null));
+        assert_eq!(hits.len(), 1, "document without the field matches Null equality");
+        assert_eq!(hits[0].get_field("_id"), &Value::from("nostatus"));
+    }
+
+    #[test]
+    fn json_import_export_roundtrip() {
+        let c = orders();
+        let text = c.export_json();
+        assert_eq!(text.lines().count(), 3);
+        let mut c2 = DocCollection::new("copy");
+        assert_eq!(c2.import_json(&text).unwrap(), 3);
+        assert_eq!(c2.len(), 3);
+        assert_eq!(c2.get(&Key::str("o1")), c.get(&Key::str("o1")));
+        assert!(c2.import_json("not json").is_err());
+    }
+
+    #[test]
+    fn store_collections() {
+        let mut s = DocumentStore::new();
+        s.collection("orders").insert(obj! {"x" => 1}).unwrap();
+        s.collection("products").insert(obj! {"y" => 2}).unwrap();
+        assert_eq!(s.names(), vec!["orders", "products"]);
+        assert_eq!(s.total_docs(), 2);
+        assert!(s.get_collection("orders").is_ok());
+        assert!(s.get_collection("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_and_missing_index_errors() {
+        let mut c = orders();
+        let p = FieldPath::key("status");
+        c.create_index(p.clone(), IndexKind::Hash).unwrap();
+        assert!(c.create_index(p.clone(), IndexKind::Hash).is_err());
+        assert_eq!(c.indexed_paths(), vec![&p]);
+        c.drop_index(&p).unwrap();
+        assert!(c.drop_index(&p).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! The catalog: collection metadata, auto-id counters and secondary
+//! indexes for the unified engine.
+//!
+//! Engine indexes are **over-approximating**: postings are added at commit
+//! time and only reconciled during GC (rebuilt from retained versions), so
+//! an index lookup may return keys whose current/visible value no longer
+//! matches — readers always re-validate candidates against their snapshot.
+//! This is the standard MVCC-secondary-index design and one of the E6
+//! ablation subjects.
+
+use std::collections::HashMap;
+
+use udbms_core::{CollectionId, CollectionSchema, Error, FieldPath, Key, Result, Value};
+use udbms_relational::{Index, IndexKind};
+
+/// Metadata of one collection.
+#[derive(Debug)]
+pub struct CollectionInfo {
+    /// Assigned id.
+    pub id: CollectionId,
+    /// Schema (model kind, fields, primary key…).
+    pub schema: CollectionSchema,
+    /// Next auto-assigned integer id for inserts without a key.
+    pub next_auto_id: i64,
+}
+
+/// The engine catalog.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    by_name: HashMap<String, CollectionInfo>,
+    names_by_id: HashMap<CollectionId, String>,
+    indexes: HashMap<(CollectionId, FieldPath), Index>,
+    next_collection_id: u32,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a collection.
+    pub fn create(&mut self, schema: CollectionSchema) -> Result<CollectionId> {
+        let name = schema.name.clone();
+        if self.by_name.contains_key(&name) {
+            return Err(Error::AlreadyExists(format!("collection `{name}`")));
+        }
+        let id = CollectionId(self.next_collection_id);
+        self.next_collection_id += 1;
+        self.by_name.insert(name.clone(), CollectionInfo { id, schema, next_auto_id: 1 });
+        self.names_by_id.insert(id, name);
+        Ok(id)
+    }
+
+    /// Remove a collection and its indexes.
+    pub fn drop_collection(&mut self, name: &str) -> Result<CollectionId> {
+        let info = self
+            .by_name
+            .remove(name)
+            .ok_or_else(|| Error::NotFound(format!("collection `{name}`")))?;
+        self.names_by_id.remove(&info.id);
+        self.indexes.retain(|(cid, _), _| *cid != info.id);
+        Ok(info.id)
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> Result<&CollectionInfo> {
+        self.by_name
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("collection `{name}`")))
+    }
+
+    /// Look up mutably by name.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut CollectionInfo> {
+        self.by_name
+            .get_mut(name)
+            .ok_or_else(|| Error::NotFound(format!("collection `{name}`")))
+    }
+
+    /// Name of a collection id.
+    pub fn name_of(&self, id: CollectionId) -> Option<&str> {
+        self.names_by_id.get(&id).map(String::as_str)
+    }
+
+    /// All collection names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.by_name.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Allocate the next auto id for a collection (skipping is fine; ids
+    /// are only required to be unique).
+    pub fn next_auto_id(&mut self, name: &str) -> Result<i64> {
+        let info = self.get_mut(name)?;
+        let id = info.next_auto_id;
+        info.next_auto_id += 1;
+        Ok(id)
+    }
+
+    /// Replace a collection's schema in place (schema evolution).
+    pub fn set_schema(&mut self, name: &str, schema: CollectionSchema) -> Result<()> {
+        let info = self.get_mut(name)?;
+        info.schema = schema;
+        Ok(())
+    }
+
+    /// Create a secondary index on `path` of collection `name`.
+    pub fn create_index(&mut self, name: &str, path: FieldPath, kind: IndexKind) -> Result<()> {
+        let id = self.get(name)?.id;
+        let slot = (id, path);
+        if self.indexes.contains_key(&slot) {
+            return Err(Error::AlreadyExists(format!("index on `{}`.`{}`", name, slot.1)));
+        }
+        self.indexes.insert(slot, Index::new(kind));
+        Ok(())
+    }
+
+    /// Drop a secondary index.
+    pub fn drop_index(&mut self, name: &str, path: &FieldPath) -> Result<()> {
+        let id = self.get(name)?.id;
+        self.indexes
+            .remove(&(id, path.clone()))
+            .map(|_| ())
+            .ok_or_else(|| Error::NotFound(format!("index on `{name}`.`{path}`")))
+    }
+
+    /// Indexed paths of a collection.
+    pub fn indexed_paths(&self, id: CollectionId) -> Vec<&FieldPath> {
+        self.indexes
+            .keys()
+            .filter(|(cid, _)| *cid == id)
+            .map(|(_, p)| p)
+            .collect()
+    }
+
+    /// Borrow an index.
+    pub fn index(&self, id: CollectionId, path: &FieldPath) -> Option<&Index> {
+        self.indexes.get(&(id, path.clone()))
+    }
+
+    /// Add postings for a newly committed value (arrays index per element).
+    pub fn index_new_value(&mut self, id: CollectionId, key: &Key, value: &Value) {
+        for ((cid, path), idx) in &mut self.indexes {
+            if *cid != id {
+                continue;
+            }
+            match value.get_path(path) {
+                Value::Array(items) => {
+                    for item in items {
+                        idx.insert(item.clone(), key.clone());
+                    }
+                }
+                v => idx.insert(v.clone(), key.clone()),
+            }
+        }
+    }
+
+    /// Rebuild every index of a collection from the values retained in
+    /// storage (called by GC; see module docs).
+    pub fn rebuild_indexes(&mut self, id: CollectionId, retained: &[(Key, Vec<&Value>)]) {
+        for ((cid, path), idx) in &mut self.indexes {
+            if *cid != id {
+                continue;
+            }
+            let mut fresh = Index::new(idx.kind());
+            for (key, values) in retained {
+                let mut seen: Vec<&Value> = Vec::new();
+                for value in values {
+                    match value.get_path(path) {
+                        Value::Array(items) => {
+                            for item in items {
+                                if !seen.contains(&item) {
+                                    seen.push(item);
+                                    fresh.insert(item.clone(), key.clone());
+                                }
+                            }
+                        }
+                        v => {
+                            if !seen.contains(&v) {
+                                seen.push(v);
+                                fresh.insert(v.clone(), key.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            *idx = fresh;
+        }
+    }
+
+    /// Collection ids currently registered.
+    pub fn ids(&self) -> Vec<CollectionId> {
+        self.names_by_id.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udbms_core::obj;
+
+    #[test]
+    fn create_get_drop() {
+        let mut c = Catalog::new();
+        let id = c.create(CollectionSchema::key_value("feedback")).unwrap();
+        assert_eq!(c.get("feedback").unwrap().id, id);
+        assert_eq!(c.name_of(id), Some("feedback"));
+        assert!(c.create(CollectionSchema::key_value("feedback")).is_err());
+        assert_eq!(c.names(), vec!["feedback"]);
+        c.drop_collection("feedback").unwrap();
+        assert!(c.get("feedback").is_err());
+        assert!(c.drop_collection("feedback").is_err());
+    }
+
+    #[test]
+    fn auto_ids_are_unique() {
+        let mut c = Catalog::new();
+        c.create(CollectionSchema::document("orders", "_id", vec![])).unwrap();
+        assert_eq!(c.next_auto_id("orders").unwrap(), 1);
+        assert_eq!(c.next_auto_id("orders").unwrap(), 2);
+        assert!(c.next_auto_id("missing").is_err());
+    }
+
+    #[test]
+    fn index_lifecycle_and_postings() {
+        let mut c = Catalog::new();
+        let id = c.create(CollectionSchema::document("orders", "_id", vec![])).unwrap();
+        let path = FieldPath::key("status");
+        c.create_index("orders", path.clone(), IndexKind::Hash).unwrap();
+        assert!(c.create_index("orders", path.clone(), IndexKind::Hash).is_err());
+        assert_eq!(c.indexed_paths(id).len(), 1);
+
+        c.index_new_value(id, &Key::int(1), &obj! {"status" => "open"});
+        c.index_new_value(id, &Key::int(2), &obj! {"status" => "open"});
+        c.index_new_value(id, &Key::int(3), &obj! {"status" => "paid"});
+        let idx = c.index(id, &path).unwrap();
+        assert_eq!(idx.lookup_eq(&Value::from("open")).len(), 2);
+
+        c.drop_index("orders", &path).unwrap();
+        assert!(c.index(id, &path).is_none());
+        assert!(c.drop_index("orders", &path).is_err());
+    }
+
+    #[test]
+    fn multikey_postings_for_arrays() {
+        let mut c = Catalog::new();
+        let id = c.create(CollectionSchema::document("orders", "_id", vec![])).unwrap();
+        let path = FieldPath::key("tags");
+        c.create_index("orders", path.clone(), IndexKind::Hash).unwrap();
+        c.index_new_value(id, &Key::int(1), &obj! {"tags" => udbms_core::arr!["a", "b"]});
+        let idx = c.index(id, &path).unwrap();
+        assert_eq!(idx.lookup_eq(&Value::from("a")), vec![Key::int(1)]);
+        assert_eq!(idx.lookup_eq(&Value::from("b")), vec![Key::int(1)]);
+    }
+
+    #[test]
+    fn rebuild_deduplicates_versions() {
+        let mut c = Catalog::new();
+        let id = c.create(CollectionSchema::key_value("ns")).unwrap();
+        let path = FieldPath::key("v");
+        c.create_index("ns", path.clone(), IndexKind::BTree).unwrap();
+        // simulate three committed versions of one record, two sharing v=1
+        let v1 = obj! {"v" => 1};
+        let v2 = obj! {"v" => 2};
+        let retained = vec![(Key::int(7), vec![&v1, &v2, &v1])];
+        c.rebuild_indexes(id, &retained);
+        let idx = c.index(id, &path).unwrap();
+        assert_eq!(idx.lookup_eq(&Value::Int(1)), vec![Key::int(7)]);
+        assert_eq!(idx.lookup_eq(&Value::Int(2)), vec![Key::int(7)]);
+        assert_eq!(idx.len(), 2, "duplicate (value,key) postings collapse");
+    }
+
+    #[test]
+    fn drop_collection_drops_its_indexes() {
+        let mut c = Catalog::new();
+        let id = c.create(CollectionSchema::key_value("ns")).unwrap();
+        c.create_index("ns", FieldPath::key("v"), IndexKind::Hash).unwrap();
+        c.drop_collection("ns").unwrap();
+        assert!(c.index(id, &FieldPath::key("v")).is_none());
+    }
+}

@@ -1,0 +1,1386 @@
+//! The [`Engine`] (unified multi-model database) and its [`Txn`] handle.
+//!
+//! ## Commit protocol
+//!
+//! ```text
+//! begin:   lock(commit) → snapshot = clock → register active → unlock
+//! commit:  lock(commit)
+//!            validate writes  (SI/SER: first-committer-wins)
+//!            validate reads   (SER: OCC — observed versions unchanged)
+//!            commit_ts = ++clock
+//!            install versions (storage write lock)
+//!            add index postings (catalog write lock)
+//!            append WAL record
+//!          unlock(commit) → unregister active
+//! ```
+//!
+//! Because `begin` reads the clock under the same lock that commits hold
+//! while installing, a snapshot can never observe a half-installed commit.
+//! The `active` registry is only ever locked on its own (never while
+//! acquiring another lock), so the lock order is acyclic.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use udbms_core::{
+    CollectionSchema, Error, FieldPath, Key, ModelKind, Result, Ts, TxnId, Value,
+};
+use udbms_graph::Direction;
+use udbms_relational::{IndexKind, Predicate};
+use udbms_xml::{XmlDocument, XPath};
+
+use crate::catalog::Catalog;
+use crate::storage::{RecordId, Storage};
+use crate::txn::{Isolation, TxnState};
+use crate::wal::{Wal, WalRecord};
+
+/// Maximum automatic retries in [`Engine::run`].
+const MAX_RETRIES: usize = 64;
+
+#[derive(Debug, Default)]
+struct Stats {
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    ww_conflicts: AtomicU64,
+    read_conflicts: AtomicU64,
+}
+
+struct Inner {
+    clock: AtomicU64,
+    next_txn: AtomicU64,
+    storage: RwLock<Storage>,
+    catalog: RwLock<Catalog>,
+    commit_lock: Mutex<()>,
+    wal: Mutex<Option<Wal>>,
+    /// txn id → snapshot ts of every open transaction (GC watermark).
+    active: Mutex<HashMap<TxnId, Ts>>,
+    stats: Stats,
+}
+
+/// Counters and storage shape, for reports and the E6 ablations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transactions (explicit aborts + validation failures).
+    pub aborts: u64,
+    /// Commit-time write-write conflicts.
+    pub ww_conflicts: u64,
+    /// Commit-time read-validation (OCC) conflicts.
+    pub read_conflicts: u64,
+    /// Stored versions across all chains.
+    pub versions: usize,
+    /// Record chains.
+    pub chains: usize,
+    /// Longest chain.
+    pub max_chain_len: usize,
+    /// Currently open transactions.
+    pub active_txns: usize,
+}
+
+/// Result of a garbage-collection pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcStats {
+    /// Watermark used (oldest snapshot that must stay readable).
+    pub watermark: Ts,
+    /// Versions pruned.
+    pub versions_removed: usize,
+    /// Whole chains removed (tombstoned records nobody can see).
+    pub chains_removed: usize,
+}
+
+/// The unified multi-model database engine. Cheap to clone (`Arc` inside);
+/// all methods take `&self` and are thread-safe.
+///
+/// ```
+/// use udbms_core::{obj, CollectionSchema, Key, Value};
+/// use udbms_engine::{Engine, Isolation};
+///
+/// let engine = Engine::new();
+/// engine.create_collection(CollectionSchema::document("orders", "_id", vec![]))?;
+/// engine.create_collection(CollectionSchema::key_value("feedback"))?;
+///
+/// // one ACID transaction across two models
+/// engine.run(Isolation::Snapshot, |txn| {
+///     txn.insert("orders", obj! {"_id" => "O-1", "total" => 9.5})?;
+///     txn.put("feedback", Key::str("fb:O-1"), obj! {"rating" => 5})
+/// })?;
+///
+/// let mut txn = engine.begin(Isolation::Snapshot);
+/// let order = txn.get("orders", &Key::str("O-1"))?.expect("committed");
+/// assert_eq!(order.get_field("total"), &Value::Float(9.5));
+/// # udbms_core::Result::Ok(())
+/// ```
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<Inner>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// A fresh in-memory engine without a WAL.
+    pub fn new() -> Engine {
+        Engine {
+            inner: Arc::new(Inner {
+                clock: AtomicU64::new(0),
+                next_txn: AtomicU64::new(1),
+                storage: RwLock::new(Storage::new()),
+                catalog: RwLock::new(Catalog::new()),
+                commit_lock: Mutex::new(()),
+                wal: Mutex::new(None),
+                active: Mutex::new(HashMap::new()),
+                stats: Stats::default(),
+            }),
+        }
+    }
+
+    /// An engine whose commits append to a WAL file. If the file already
+    /// holds records they are **replayed first** (collections named in the
+    /// log that were not created yet are auto-registered as open
+    /// key-value collections; create typed collections before calling
+    /// this to preserve validation).
+    pub fn with_wal(path: impl AsRef<Path>) -> Result<Engine> {
+        let engine = Engine::new();
+        engine.replay_wal(path.as_ref())?;
+        let wal = Wal::open(path)?;
+        *engine.inner.wal.lock() = Some(wal);
+        Ok(engine)
+    }
+
+    /// Replay a WAL file into this engine (used by [`Engine::with_wal`];
+    /// public for recovery tests and tooling).
+    pub fn replay_wal(&self, path: &Path) -> Result<usize> {
+        let records = Wal::read_all(path)?;
+        let n = records.len();
+        let mut storage = self.inner.storage.write();
+        let mut catalog = self.inner.catalog.write();
+        let mut max_ts = self.inner.clock.load(Ordering::SeqCst);
+        for rec in records {
+            for (coll, key, value) in rec.writes {
+                let id = match catalog.get(&coll) {
+                    Ok(info) => info.id,
+                    Err(_) => catalog.create(CollectionSchema::key_value(&coll))?,
+                };
+                if let Some(v) = &value {
+                    catalog.index_new_value(id, &key, v);
+                }
+                storage.install(RecordId::new(id, key), rec.commit_ts, value);
+            }
+            max_ts = max_ts.max(rec.commit_ts.0);
+        }
+        self.inner.clock.store(max_ts, Ordering::SeqCst);
+        Ok(n)
+    }
+
+    /// Compact the WAL to one synthetic record holding the current live
+    /// state. No-op (Ok) when the engine has no WAL.
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut wal_guard = self.inner.wal.lock();
+        let Some(wal) = wal_guard.as_mut() else {
+            return Ok(());
+        };
+        let _commit = self.inner.commit_lock.lock();
+        let snapshot = Ts(self.inner.clock.load(Ordering::SeqCst));
+        let storage = self.inner.storage.read();
+        let catalog = self.inner.catalog.read();
+        let mut writes = Vec::new();
+        for name in catalog.names() {
+            let id = catalog.get(&name).expect("listed name exists").id;
+            for (key, value) in storage.scan(id, snapshot) {
+                writes.push((name.clone(), key, Some(value)));
+            }
+        }
+        let rec = WalRecord { commit_ts: snapshot, txn: TxnId(0), writes };
+        wal.rewrite(std::slice::from_ref(&rec))
+    }
+
+    /// Register a collection.
+    pub fn create_collection(&self, schema: CollectionSchema) -> Result<()> {
+        self.inner.catalog.write().create(schema).map(|_| ())
+    }
+
+    /// Drop a collection and all its data.
+    pub fn drop_collection(&self, name: &str) -> Result<()> {
+        let id = self.inner.catalog.write().drop_collection(name)?;
+        self.inner.storage.write().drop_collection(id);
+        Ok(())
+    }
+
+    /// Create a property graph: collections `{name}#v` (vertices) and
+    /// `{name}#e` (edges), with hash indexes on the edge endpoints.
+    pub fn create_graph(&self, name: &str) -> Result<()> {
+        let mut catalog = self.inner.catalog.write();
+        catalog.create(CollectionSchema::graph(format!("{name}#v"), vec![]))?;
+        catalog.create(CollectionSchema::graph(format!("{name}#e"), vec![]))?;
+        catalog.create_index(&format!("{name}#e"), FieldPath::key("_src"), IndexKind::Hash)?;
+        catalog.create_index(&format!("{name}#e"), FieldPath::key("_dst"), IndexKind::Hash)?;
+        Ok(())
+    }
+
+    /// Create a secondary index on a collection path and backfill it from
+    /// the latest committed state.
+    pub fn create_index(&self, collection: &str, path: FieldPath, kind: IndexKind) -> Result<()> {
+        let _commit = self.inner.commit_lock.lock();
+        let mut catalog = self.inner.catalog.write();
+        catalog.create_index(collection, path, kind)?;
+        let id = catalog.get(collection)?.id;
+        let storage = self.inner.storage.read();
+        for (key, value) in storage.scan(id, Ts::MAX) {
+            catalog.index_new_value(id, &key, &value);
+        }
+        Ok(())
+    }
+
+    /// Drop a secondary index.
+    pub fn drop_index(&self, collection: &str, path: &FieldPath) -> Result<()> {
+        self.inner.catalog.write().drop_index(collection, path)
+    }
+
+    /// Collection names, sorted.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.inner.catalog.read().names()
+    }
+
+    /// Schema of a collection.
+    pub fn schema_of(&self, collection: &str) -> Result<CollectionSchema> {
+        Ok(self.inner.catalog.read().get(collection)?.schema.clone())
+    }
+
+    /// Replace a collection's schema (schema evolution).
+    pub fn set_schema(&self, collection: &str, schema: CollectionSchema) -> Result<()> {
+        self.inner.catalog.write().set_schema(collection, schema)
+    }
+
+    /// Begin a transaction at the given isolation level.
+    pub fn begin(&self, isolation: Isolation) -> Txn {
+        let snapshot = {
+            let _g = self.inner.commit_lock.lock();
+            Ts(self.inner.clock.load(Ordering::SeqCst))
+        };
+        let id = TxnId(self.inner.next_txn.fetch_add(1, Ordering::SeqCst));
+        self.inner.active.lock().insert(id, snapshot);
+        Txn {
+            inner: Arc::clone(&self.inner),
+            state: Some(TxnState::new(id, snapshot, isolation)),
+        }
+    }
+
+    /// Run a closure in a transaction, retrying (with a fresh snapshot) on
+    /// conflicts up to an internal limit. Non-conflict errors abort and
+    /// propagate.
+    pub fn run<T>(
+        &self,
+        isolation: Isolation,
+        mut body: impl FnMut(&mut Txn) -> Result<T>,
+    ) -> Result<T> {
+        for _ in 0..MAX_RETRIES {
+            let mut txn = self.begin(isolation);
+            match body(&mut txn) {
+                Ok(out) => match txn.commit() {
+                    Ok(_) => return Ok(out),
+                    Err(e) if e.is_retryable() => continue,
+                    Err(e) => return Err(e),
+                },
+                Err(e) if e.is_retryable() => {
+                    txn.abort();
+                    continue;
+                }
+                Err(e) => {
+                    txn.abort();
+                    return Err(e);
+                }
+            }
+        }
+        Err(Error::TxnConflict(format!("gave up after {MAX_RETRIES} retries")))
+    }
+
+    /// Garbage-collect versions below the oldest active snapshot and
+    /// rebuild over-approximating indexes from the retained versions.
+    pub fn gc(&self) -> GcStats {
+        let watermark = {
+            let active = self.inner.active.lock();
+            active
+                .values()
+                .copied()
+                .min()
+                .unwrap_or(Ts(self.inner.clock.load(Ordering::SeqCst)))
+        };
+        let _commit = self.inner.commit_lock.lock();
+        let mut storage = self.inner.storage.write();
+        let (versions_removed, chains_removed) = storage.gc(watermark);
+        let mut catalog = self.inner.catalog.write();
+        for id in catalog.ids() {
+            let retained = storage.all_retained(id);
+            catalog.rebuild_indexes(id, &retained);
+        }
+        GcStats { watermark, versions_removed, chains_removed }
+    }
+
+    /// Current counters and storage shape.
+    pub fn stats(&self) -> EngineStats {
+        let storage = self.inner.storage.read();
+        EngineStats {
+            commits: self.inner.stats.commits.load(Ordering::Relaxed),
+            aborts: self.inner.stats.aborts.load(Ordering::Relaxed),
+            ww_conflicts: self.inner.stats.ww_conflicts.load(Ordering::Relaxed),
+            read_conflicts: self.inner.stats.read_conflicts.load(Ordering::Relaxed),
+            versions: storage.version_count(),
+            chains: storage.chain_count(),
+            max_chain_len: storage.max_chain_len(),
+            active_txns: self.inner.active.lock().len(),
+        }
+    }
+}
+
+/// A transaction handle. Obtain with [`Engine::begin`]; finish with
+/// [`Txn::commit`] or [`Txn::abort`] (dropping an open handle aborts).
+pub struct Txn {
+    inner: Arc<Inner>,
+    state: Option<TxnState>,
+}
+
+impl Txn {
+    fn state(&mut self) -> Result<&mut TxnState> {
+        self.state
+            .as_mut()
+            .filter(|s| s.open)
+            .ok_or_else(|| Error::TxnClosed("transaction already finished".into()))
+    }
+
+    /// This transaction's snapshot timestamp.
+    pub fn snapshot(&self) -> Option<Ts> {
+        self.state.as_ref().map(|s| s.snapshot)
+    }
+
+    /// This transaction's id.
+    pub fn id(&self) -> Option<TxnId> {
+        self.state.as_ref().map(|s| s.id)
+    }
+
+    fn resolve(&self, collection: &str) -> Result<(udbms_core::CollectionId, ModelKind)> {
+        let catalog = self.inner.catalog.read();
+        let info = catalog.get(collection)?;
+        Ok((info.id, info.schema.model))
+    }
+
+    /// Snapshot-correct read of a record, honouring buffered writes.
+    fn read(&mut self, rid: RecordId) -> Result<Option<Value>> {
+        let inner = Arc::clone(&self.inner);
+        let state = self.state()?;
+        if let Some(buffered) = state.own_write(&rid) {
+            return Ok(buffered.clone());
+        }
+        let read_ts = match state.isolation {
+            Isolation::ReadCommitted => Ts::MAX,
+            _ => state.snapshot,
+        };
+        let storage = inner.storage.read();
+        let version = storage.visible(&rid, read_ts);
+        let seen = version.map(|v| v.commit_ts).unwrap_or(Ts::ZERO);
+        let value = version.and_then(|v| v.value.clone());
+        state.note_read(rid, seen);
+        Ok(value)
+    }
+
+    /// Fetch a record by key.
+    pub fn get(&mut self, collection: &str, key: &Key) -> Result<Option<Value>> {
+        let (id, _) = self.resolve(collection)?;
+        self.read(RecordId::new(id, key.clone()))
+    }
+
+    /// Upsert a record. Relational collections validate their closed
+    /// schema; document collections validate declared fields; XML
+    /// collections require a valid bridge encoding.
+    pub fn put(&mut self, collection: &str, key: Key, mut value: Value) -> Result<()> {
+        let (id, model) = {
+            let catalog = self.inner.catalog.read();
+            let info = catalog.get(collection)?;
+            match model_validate(&info.schema, &mut value) {
+                Ok(()) => {}
+                Err(e) => return Err(e),
+            }
+            (info.id, info.schema.model)
+        };
+        if model == ModelKind::Xml {
+            udbms_xml::value_to_xml(&value)?;
+        }
+        self.state()?.buffer_write(RecordId::new(id, key), Some(value));
+        Ok(())
+    }
+
+    /// Insert a new record; fails if the key already exists (at this
+    /// transaction's read horizon). For document collections a missing
+    /// `_id` is auto-assigned. Returns the key.
+    pub fn insert(&mut self, collection: &str, mut value: Value) -> Result<Key> {
+        let (pk_field, model) = {
+            let catalog = self.inner.catalog.read();
+            let info = catalog.get(collection)?;
+            (info.schema.primary_key.clone(), info.schema.model)
+        };
+        let pk_field = pk_field.ok_or_else(|| {
+            Error::Unsupported(format!(
+                "insert() needs a primary-keyed collection; `{collection}` has none (use put)"
+            ))
+        })?;
+        let key = match value.get_field(&pk_field) {
+            Value::Null if model == ModelKind::Document => {
+                let auto = self.inner.catalog.write().next_auto_id(collection)?;
+                let key = Key::int(auto);
+                if let Some(obj) = value.as_object_mut() {
+                    obj.insert(pk_field.clone(), key.value().clone());
+                }
+                key
+            }
+            Value::Null => {
+                return Err(Error::Constraint(format!("row lacks primary key `{pk_field}`")))
+            }
+            v => Key::new(v.clone())?,
+        };
+        if self.get(collection, &key)?.is_some() {
+            return Err(Error::AlreadyExists(format!("key {key} in `{collection}`")));
+        }
+        self.put(collection, key.clone(), value)?;
+        Ok(key)
+    }
+
+    /// Replace an existing record; fails when absent.
+    pub fn update(&mut self, collection: &str, key: &Key, value: Value) -> Result<()> {
+        if self.get(collection, key)?.is_none() {
+            return Err(Error::NotFound(format!("key {key} in `{collection}`")));
+        }
+        self.put(collection, key.clone(), value)
+    }
+
+    /// Deep-merge a patch into an existing record.
+    pub fn merge(&mut self, collection: &str, key: &Key, patch: Value) -> Result<()> {
+        let mut current = self
+            .get(collection, key)?
+            .ok_or_else(|| Error::NotFound(format!("key {key} in `{collection}`")))?;
+        current.merge_from(patch);
+        self.put(collection, key.clone(), current)
+    }
+
+    /// Delete a record; returns whether it existed.
+    pub fn delete(&mut self, collection: &str, key: &Key) -> Result<bool> {
+        let existed = self.get(collection, key)?.is_some();
+        if existed {
+            let (id, _) = self.resolve(collection)?;
+            self.state()?.buffer_write(RecordId::new(id, key.clone()), None);
+        }
+        Ok(existed)
+    }
+
+    /// All live `(key, value)` pairs of a collection at this transaction's
+    /// read horizon, own writes applied, in key order.
+    pub fn scan(&mut self, collection: &str) -> Result<Vec<(Key, Value)>> {
+        let (id, _) = self.resolve(collection)?;
+        let inner = Arc::clone(&self.inner);
+        let state = self.state()?;
+        let read_ts = match state.isolation {
+            Isolation::ReadCommitted => Ts::MAX,
+            _ => state.snapshot,
+        };
+        let mut rows: std::collections::BTreeMap<Key, Value> = {
+            let storage = inner.storage.read();
+            storage.scan(id, read_ts).into_iter().collect()
+        };
+        // Serializable: a scan observes every record it returns.
+        if state.isolation == Isolation::Serializable {
+            let storage = inner.storage.read();
+            for key in rows.keys() {
+                let rid = RecordId::new(id, key.clone());
+                let seen = storage
+                    .visible(&rid, read_ts)
+                    .map(|v| v.commit_ts)
+                    .unwrap_or(Ts::ZERO);
+                state.note_read(rid, seen);
+            }
+        }
+        for (rid, w) in &state.writes {
+            if rid.collection != id {
+                continue;
+            }
+            match w {
+                Some(v) => {
+                    rows.insert(rid.key.clone(), v.clone());
+                }
+                None => {
+                    rows.remove(&rid.key);
+                }
+            }
+        }
+        Ok(rows.into_iter().collect())
+    }
+
+    /// Records matching a predicate, using a secondary index when the
+    /// predicate pins an indexed path (candidates are re-validated against
+    /// this transaction's read horizon), else a full scan.
+    pub fn select(&mut self, collection: &str, pred: &Predicate) -> Result<Vec<Value>> {
+        let (id, _) = self.resolve(collection)?;
+        // primary-key fast path: an equality on the pk field is a point get
+        let pk_probe: Option<Key> = {
+            let catalog = self.inner.catalog.read();
+            let info = catalog.get(collection)?;
+            info.schema.primary_key.as_ref().and_then(|pk| {
+                pred.equality_on(&FieldPath::key(pk.clone()))
+                    .and_then(|v| Key::new(v.clone()).ok())
+            })
+        };
+        if let Some(key) = pk_probe {
+            let mut out = Vec::new();
+            if let Some(v) = self.read(RecordId::new(id, key))? {
+                if pred.matches(&v) {
+                    out.push(v);
+                }
+            }
+            // own writes may still add matches under other keys only if the
+            // pk equality admits them — it cannot, so we are done.
+            return Ok(out);
+        }
+        // probe indexes; Null probes must scan (nulls are never indexed,
+        // yet `Null == Null` holds in the canonical order, so an index
+        // lookup would silently drop matching records)
+        let candidates: Option<Vec<Key>> = {
+            let catalog = self.inner.catalog.read();
+            let mut found = None;
+            for path in catalog.indexed_paths(id) {
+                let idx = catalog.index(id, path).expect("listed index exists");
+                if let Some(v) = pred.equality_on(path) {
+                    if v.is_null() {
+                        continue;
+                    }
+                    found = Some(idx.lookup_eq(v));
+                    break;
+                }
+                if let Some((lo, hi)) = pred.range_on(path) {
+                    if lo.as_ref().is_some_and(Value::is_null)
+                        || hi.as_ref().is_some_and(Value::is_null)
+                    {
+                        continue;
+                    }
+                    if let Some(keys) = idx.lookup_range(lo.as_ref(), hi.as_ref()) {
+                        found = Some(keys);
+                        break;
+                    }
+                }
+            }
+            found
+        };
+        match candidates {
+            Some(keys) => {
+                let mut seen = std::collections::HashSet::new();
+                let mut out = Vec::new();
+                for key in keys {
+                    if !seen.insert(key.clone()) {
+                        continue;
+                    }
+                    if let Some(v) = self.read(RecordId::new(id, key))? {
+                        if pred.matches(&v) {
+                            out.push(v);
+                        }
+                    }
+                }
+                // own writes may add matches the index has not seen
+                let state = self.state()?;
+                for (rid, w) in &state.writes {
+                    if rid.collection == id && !seen.contains(&rid.key) {
+                        if let Some(v) = w {
+                            if pred.matches(v) {
+                                out.push(v.clone());
+                            }
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            None => Ok(self
+                .scan(collection)?
+                .into_iter()
+                .map(|(_, v)| v)
+                .filter(|v| pred.matches(v))
+                .collect()),
+        }
+    }
+
+    /// Like [`Txn::select`] but never uses an index (E6 ablation arm).
+    pub fn select_scan(&mut self, collection: &str, pred: &Predicate) -> Result<Vec<Value>> {
+        Ok(self
+            .scan(collection)?
+            .into_iter()
+            .map(|(_, v)| v)
+            .filter(|v| pred.matches(v))
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Graph facade
+    // ------------------------------------------------------------------
+
+    /// Add a vertex to a graph created with [`Engine::create_graph`].
+    pub fn add_vertex(
+        &mut self,
+        graph: &str,
+        key: Key,
+        label: &str,
+        props: Value,
+    ) -> Result<()> {
+        let mut v = match props {
+            Value::Object(_) => props,
+            Value::Null => Value::Object(Default::default()),
+            other => return Err(Error::type_err("Object (vertex props)", other.type_name())),
+        };
+        if let Some(obj) = v.as_object_mut() {
+            obj.insert("_label".into(), Value::from(label));
+        }
+        let coll = format!("{graph}#v");
+        if self.get(&coll, &key)?.is_some() {
+            return Err(Error::AlreadyExists(format!("vertex {key} in graph `{graph}`")));
+        }
+        self.put(&coll, key, v)
+    }
+
+    /// Fetch a vertex's properties (including `_label`).
+    pub fn vertex(&mut self, graph: &str, key: &Key) -> Result<Option<Value>> {
+        self.get(&format!("{graph}#v"), key)
+    }
+
+    /// Add an edge between existing vertices; returns the edge key.
+    pub fn add_edge(
+        &mut self,
+        graph: &str,
+        src: &Key,
+        dst: &Key,
+        label: &str,
+        props: Value,
+    ) -> Result<Key> {
+        if self.vertex(graph, src)?.is_none() {
+            return Err(Error::NotFound(format!("source vertex {src} in graph `{graph}`")));
+        }
+        if self.vertex(graph, dst)?.is_none() {
+            return Err(Error::NotFound(format!("destination vertex {dst} in graph `{graph}`")));
+        }
+        let ecoll = format!("{graph}#e");
+        let auto = self.inner.catalog.write().next_auto_id(&ecoll)?;
+        let ekey = Key::int(auto);
+        let edge = udbms_core::obj! {
+            "_src" => src.value().clone(),
+            "_dst" => dst.value().clone(),
+            "_label" => label,
+            "props" => props,
+        };
+        self.put(&ecoll, ekey.clone(), edge)?;
+        Ok(ekey)
+    }
+
+    /// Neighbor vertex keys along `dir`, optionally filtered by edge
+    /// label. Deduplicated, sorted by key.
+    pub fn neighbors(
+        &mut self,
+        graph: &str,
+        key: &Key,
+        dir: Direction,
+        label: Option<&str>,
+    ) -> Result<Vec<Key>> {
+        let ecoll = format!("{graph}#e");
+        let mut out: std::collections::BTreeSet<Key> = Default::default();
+        let mut probe = |field: &str, other: &str, me: &mut Self| -> Result<()> {
+            let mut pred = Predicate::Eq(FieldPath::key(field), key.value().clone());
+            if let Some(l) = label {
+                pred = Predicate::And(vec![
+                    pred,
+                    Predicate::Eq(FieldPath::key("_label"), Value::from(l)),
+                ]);
+            }
+            for edge in me.select(&ecoll, &pred)? {
+                out.insert(Key::new(edge.get_field(other).clone())?);
+            }
+            Ok(())
+        };
+        match dir {
+            Direction::Out => probe("_src", "_dst", self)?,
+            Direction::In => probe("_dst", "_src", self)?,
+            Direction::Both => {
+                probe("_src", "_dst", self)?;
+                probe("_dst", "_src", self)?;
+            }
+        }
+        Ok(out.into_iter().collect())
+    }
+
+    /// Vertices at exactly `k` hops from `start` (BFS frontier).
+    pub fn k_hop(
+        &mut self,
+        graph: &str,
+        start: &Key,
+        k: usize,
+        dir: Direction,
+        label: Option<&str>,
+    ) -> Result<Vec<Key>> {
+        let mut frontier = vec![start.clone()];
+        let mut seen: std::collections::HashSet<Key> = [start.clone()].into_iter().collect();
+        for _ in 0..k {
+            let mut next = Vec::new();
+            for v in &frontier {
+                for n in self.neighbors(graph, v, dir, label)? {
+                    if seen.insert(n.clone()) {
+                        next.push(n);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        Ok(frontier)
+    }
+
+    // ------------------------------------------------------------------
+    // XML facade
+    // ------------------------------------------------------------------
+
+    /// Parse XML text and store it under `key` (bridge-encoded).
+    pub fn put_xml(&mut self, collection: &str, key: Key, xml_text: &str) -> Result<()> {
+        let doc = udbms_xml::parse(xml_text)?;
+        let value = udbms_xml::xml_to_value(doc.root());
+        self.put(collection, key, value)
+    }
+
+    /// Fetch a stored XML document.
+    pub fn get_xml(&mut self, collection: &str, key: &Key) -> Result<Option<XmlDocument>> {
+        match self.get(collection, key)? {
+            None => Ok(None),
+            Some(v) => Ok(Some(XmlDocument::new(udbms_xml::value_to_xml(&v)?))),
+        }
+    }
+
+    /// Evaluate an XPath-lite expression against a stored XML document.
+    /// Returns `[]` when the document is absent.
+    pub fn xpath(&mut self, collection: &str, key: &Key, expr: &str) -> Result<Vec<Value>> {
+        let compiled = XPath::parse(expr)?;
+        match self.get_xml(collection, key)? {
+            None => Ok(Vec::new()),
+            Some(doc) => Ok(compiled.values(doc.root())),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / abort
+    // ------------------------------------------------------------------
+
+    /// Commit. Returns the commit timestamp, or a retryable
+    /// [`Error::TxnConflict`] when validation fails (the transaction is
+    /// then aborted).
+    pub fn commit(mut self) -> Result<Ts> {
+        let state = match self.state.take() {
+            Some(s) if s.open => s,
+            _ => return Err(Error::TxnClosed("transaction already finished".into())),
+        };
+        let inner = Arc::clone(&self.inner);
+
+        // read-only fast path
+        if state.writes.is_empty() {
+            inner.active.lock().remove(&state.id);
+            inner.stats.commits.fetch_add(1, Ordering::Relaxed);
+            return Ok(state.snapshot);
+        }
+
+        let commit_ts = {
+            let _commit = inner.commit_lock.lock();
+            // --- validation ---
+            if state.isolation != Isolation::ReadCommitted {
+                let storage = inner.storage.read();
+                for rid in state.writes.keys() {
+                    if let Some(latest) = storage.latest(rid) {
+                        if latest.commit_ts > state.snapshot {
+                            drop(storage);
+                            inner.active.lock().remove(&state.id);
+                            inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                            inner.stats.ww_conflicts.fetch_add(1, Ordering::Relaxed);
+                            return Err(Error::TxnConflict(format!(
+                                "write-write conflict on {}",
+                                rid.key
+                            )));
+                        }
+                    }
+                }
+                if state.isolation == Isolation::Serializable {
+                    for (rid, seen) in &state.reads {
+                        let current =
+                            storage.latest(rid).map(|v| v.commit_ts).unwrap_or(Ts::ZERO);
+                        if current != *seen {
+                            drop(storage);
+                            inner.active.lock().remove(&state.id);
+                            inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                            inner.stats.read_conflicts.fetch_add(1, Ordering::Relaxed);
+                            return Err(Error::TxnConflict(format!(
+                                "read validation failed on {}",
+                                rid.key
+                            )));
+                        }
+                    }
+                }
+            }
+            // --- install ---
+            let commit_ts = Ts(inner.clock.fetch_add(1, Ordering::SeqCst) + 1);
+            {
+                let mut storage = inner.storage.write();
+                for rid in &state.write_order {
+                    let value = state.writes[rid].clone();
+                    storage.install(rid.clone(), commit_ts, value);
+                }
+            }
+            {
+                let mut catalog = inner.catalog.write();
+                for rid in &state.write_order {
+                    if let Some(v) = &state.writes[rid] {
+                        catalog.index_new_value(rid.collection, &rid.key, v);
+                    }
+                }
+            }
+            // --- log ---
+            let mut wal_guard = inner.wal.lock();
+            if let Some(wal) = wal_guard.as_mut() {
+                let catalog = inner.catalog.read();
+                let writes: Vec<(String, Key, Option<Value>)> = state
+                    .write_order
+                    .iter()
+                    .map(|rid| {
+                        let name = catalog
+                            .name_of(rid.collection)
+                            .unwrap_or("<dropped>")
+                            .to_string();
+                        (name, rid.key.clone(), state.writes[rid].clone())
+                    })
+                    .collect();
+                wal.append(&WalRecord { commit_ts, txn: state.id, writes })?;
+            }
+            commit_ts
+        };
+        inner.active.lock().remove(&state.id);
+        inner.stats.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(commit_ts)
+    }
+
+    /// Abort, discarding buffered writes.
+    pub fn abort(mut self) {
+        self.abort_in_place();
+    }
+
+    fn abort_in_place(&mut self) {
+        if let Some(state) = self.state.take() {
+            if state.open {
+                self.inner.active.lock().remove(&state.id);
+                self.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        self.abort_in_place();
+    }
+}
+
+/// Per-model write validation; may canonicalize the value (defaults).
+fn model_validate(schema: &CollectionSchema, value: &mut Value) -> Result<()> {
+    match schema.model {
+        ModelKind::Relational | ModelKind::Document => {
+            schema.apply_defaults(value);
+            schema.validate(value)
+        }
+        ModelKind::KeyValue | ModelKind::Graph => Ok(()),
+        // XML bridge validity is checked by the caller (needs the xml crate)
+        ModelKind::Xml => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udbms_core::{arr, obj, FieldDef, FieldType};
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.create_collection(CollectionSchema::relational(
+            "customers",
+            "id",
+            vec![
+                FieldDef::required("id", FieldType::Int),
+                FieldDef::required("name", FieldType::Str),
+                FieldDef::optional("country", FieldType::Str),
+            ],
+        ))
+        .unwrap();
+        e.create_collection(CollectionSchema::document("orders", "_id", vec![])).unwrap();
+        e.create_collection(CollectionSchema::key_value("feedback")).unwrap();
+        e.create_collection(CollectionSchema::xml("invoices")).unwrap();
+        e.create_graph("social").unwrap();
+        e
+    }
+
+    #[test]
+    fn cross_model_transaction_commits_atomically() {
+        let e = engine();
+        let mut t = e.begin(Isolation::Snapshot);
+        t.insert("customers", obj! {"id" => 1, "name" => "Ada", "country" => "FI"}).unwrap();
+        let okey = t.insert("orders", obj! {"customer" => 1, "total" => 12.5}).unwrap();
+        t.put("feedback", Key::str("fb:1"), obj! {"rating" => 5}).unwrap();
+        t.put_xml(
+            "invoices",
+            Key::str("inv:1"),
+            "<Invoice id=\"inv:1\"><Total>12.50</Total></Invoice>",
+        )
+        .unwrap();
+        t.add_vertex("social", Key::int(1), "customer", obj! {}).unwrap();
+
+        // nothing visible before commit
+        let mut other = e.begin(Isolation::Snapshot);
+        assert!(other.get("customers", &Key::int(1)).unwrap().is_none());
+        assert!(other.get("orders", &okey).unwrap().is_none());
+        other.abort();
+
+        t.commit().unwrap();
+
+        // everything visible after
+        let mut after = e.begin(Isolation::Snapshot);
+        assert!(after.get("customers", &Key::int(1)).unwrap().is_some());
+        assert!(after.get("orders", &okey).unwrap().is_some());
+        assert!(after.get("feedback", &Key::str("fb:1")).unwrap().is_some());
+        let totals = after.xpath("invoices", &Key::str("inv:1"), "/Invoice/Total/text()").unwrap();
+        assert_eq!(totals, vec![Value::from("12.50")]);
+    }
+
+    #[test]
+    fn read_your_writes_inside_txn() {
+        let e = engine();
+        let mut t = e.begin(Isolation::Snapshot);
+        t.put("feedback", Key::str("k"), Value::Int(1)).unwrap();
+        assert_eq!(t.get("feedback", &Key::str("k")).unwrap(), Some(Value::Int(1)));
+        t.delete("feedback", &Key::str("k")).unwrap();
+        assert_eq!(t.get("feedback", &Key::str("k")).unwrap(), None);
+        t.abort();
+        // aborted writes never surface
+        let mut t2 = e.begin(Isolation::Snapshot);
+        assert_eq!(t2.get("feedback", &Key::str("k")).unwrap(), None);
+    }
+
+    #[test]
+    fn snapshot_isolation_prevents_lost_updates() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| t.put("feedback", Key::str("ctr"), Value::Int(0)))
+            .unwrap();
+        let mut t1 = e.begin(Isolation::Snapshot);
+        let mut t2 = e.begin(Isolation::Snapshot);
+        let v1 = t1.get("feedback", &Key::str("ctr")).unwrap().unwrap().as_int().unwrap();
+        let v2 = t2.get("feedback", &Key::str("ctr")).unwrap().unwrap().as_int().unwrap();
+        t1.put("feedback", Key::str("ctr"), Value::Int(v1 + 1)).unwrap();
+        t2.put("feedback", Key::str("ctr"), Value::Int(v2 + 1)).unwrap();
+        t1.commit().unwrap();
+        let err = t2.commit().unwrap_err();
+        assert!(err.is_retryable(), "second committer must conflict: {err}");
+        assert_eq!(e.stats().ww_conflicts, 1);
+    }
+
+    #[test]
+    fn read_committed_permits_lost_updates() {
+        let e = engine();
+        e.run(Isolation::ReadCommitted, |t| t.put("feedback", Key::str("ctr"), Value::Int(0)))
+            .unwrap();
+        let mut t1 = e.begin(Isolation::ReadCommitted);
+        let mut t2 = e.begin(Isolation::ReadCommitted);
+        let v1 = t1.get("feedback", &Key::str("ctr")).unwrap().unwrap().as_int().unwrap();
+        let v2 = t2.get("feedback", &Key::str("ctr")).unwrap().unwrap().as_int().unwrap();
+        t1.put("feedback", Key::str("ctr"), Value::Int(v1 + 1)).unwrap();
+        t2.put("feedback", Key::str("ctr"), Value::Int(v2 + 1)).unwrap();
+        t1.commit().unwrap();
+        t2.commit().unwrap(); // no validation: the anomaly the census counts
+        let mut t = e.begin(Isolation::Snapshot);
+        assert_eq!(
+            t.get("feedback", &Key::str("ctr")).unwrap(),
+            Some(Value::Int(1)),
+            "one increment lost under RC"
+        );
+    }
+
+    #[test]
+    fn serializable_prevents_write_skew() {
+        let e = engine();
+        // invariant: a + b >= 1; each txn checks the other's record then
+        // zeroes its own — classic write skew.
+        e.run(Isolation::Snapshot, |t| {
+            t.put("feedback", Key::str("a"), Value::Int(1))?;
+            t.put("feedback", Key::str("b"), Value::Int(1))
+        })
+        .unwrap();
+        let mut t1 = e.begin(Isolation::Serializable);
+        let mut t2 = e.begin(Isolation::Serializable);
+        let b = t1.get("feedback", &Key::str("b")).unwrap().unwrap().as_int().unwrap();
+        let a = t2.get("feedback", &Key::str("a")).unwrap().unwrap().as_int().unwrap();
+        assert_eq!((a, b), (1, 1));
+        t1.put("feedback", Key::str("a"), Value::Int(0)).unwrap();
+        t2.put("feedback", Key::str("b"), Value::Int(0)).unwrap();
+        t1.commit().unwrap();
+        let err = t2.commit().unwrap_err();
+        assert!(err.is_retryable(), "OCC read validation must fire: {err}");
+        assert_eq!(e.stats().read_conflicts, 1);
+    }
+
+    #[test]
+    fn write_skew_allowed_under_snapshot() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| {
+            t.put("feedback", Key::str("a"), Value::Int(1))?;
+            t.put("feedback", Key::str("b"), Value::Int(1))
+        })
+        .unwrap();
+        let mut t1 = e.begin(Isolation::Snapshot);
+        let mut t2 = e.begin(Isolation::Snapshot);
+        let _ = t1.get("feedback", &Key::str("b")).unwrap();
+        let _ = t2.get("feedback", &Key::str("a")).unwrap();
+        t1.put("feedback", Key::str("a"), Value::Int(0)).unwrap();
+        t2.put("feedback", Key::str("b"), Value::Int(0)).unwrap();
+        t1.commit().unwrap();
+        t2.commit().unwrap(); // disjoint write sets: SI lets it through
+        let mut t = e.begin(Isolation::Snapshot);
+        assert_eq!(t.get("feedback", &Key::str("a")).unwrap(), Some(Value::Int(0)));
+        assert_eq!(t.get("feedback", &Key::str("b")).unwrap(), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn run_retries_conflicts_to_success() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| t.put("feedback", Key::str("ctr"), Value::Int(0)))
+            .unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let e = e.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        e.run(Isolation::Snapshot, |t| {
+                            let v = t
+                                .get("feedback", &Key::str("ctr"))?
+                                .unwrap()
+                                .as_int()
+                                .unwrap();
+                            t.put("feedback", Key::str("ctr"), Value::Int(v + 1))
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut t = e.begin(Isolation::Snapshot);
+        assert_eq!(
+            t.get("feedback", &Key::str("ctr")).unwrap(),
+            Some(Value::Int(100)),
+            "no increment may be lost under SI with retries"
+        );
+    }
+
+    #[test]
+    fn insert_semantics_per_model() {
+        let e = engine();
+        let mut t = e.begin(Isolation::Snapshot);
+        // relational: schema enforced
+        assert!(t.insert("customers", obj! {"id" => 1}).is_err(), "missing name");
+        assert!(t.insert("customers", obj! {"name" => "NoId"}).is_err(), "missing pk");
+        t.insert("customers", obj! {"id" => 1, "name" => "Ada"}).unwrap();
+        assert!(
+            t.insert("customers", obj! {"id" => 1, "name" => "Dup"}).is_err(),
+            "duplicate pk inside own writes"
+        );
+        // document: auto id
+        let k = t.insert("orders", obj! {"total" => 1.0}).unwrap();
+        assert_eq!(k, Key::int(1));
+        let doc = t.get("orders", &k).unwrap().unwrap();
+        assert_eq!(doc.get_field("_id"), &Value::Int(1));
+        // kv: insert unsupported, put works
+        assert!(t.insert("feedback", obj! {"x" => 1}).is_err());
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn update_merge_delete() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| {
+            t.insert("customers", obj! {"id" => 1, "name" => "Ada", "country" => "FI"})?;
+            Ok(())
+        })
+        .unwrap();
+        e.run(Isolation::Snapshot, |t| {
+            assert!(t
+                .update("customers", &Key::int(9), obj! {"id" => 9, "name" => "X"})
+                .is_err());
+            t.merge("customers", &Key::int(1), obj! {"country" => "SE"})?;
+            Ok(())
+        })
+        .unwrap();
+        e.run(Isolation::Snapshot, |t| {
+            let c = t.get("customers", &Key::int(1))?.unwrap();
+            assert_eq!(c.get_field("country"), &Value::from("SE"));
+            assert_eq!(c.get_field("name"), &Value::from("Ada"));
+            assert!(t.delete("customers", &Key::int(1))?);
+            assert!(!t.delete("customers", &Key::int(1))?);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn select_uses_indexes_and_matches_scan() {
+        let e = engine();
+        e.create_index("orders", FieldPath::key("status"), IndexKind::Hash).unwrap();
+        e.run(Isolation::Snapshot, |t| {
+            for i in 0..20 {
+                t.insert(
+                    "orders",
+                    obj! {"status" => if i % 3 == 0 { "open" } else { "paid" }, "n" => i},
+                )?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let mut t = e.begin(Isolation::Snapshot);
+        let pred = Predicate::eq("status", Value::from("open"));
+        let mut a = t.select("orders", &pred).unwrap();
+        let mut b = t.select_scan("orders", &pred).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+    }
+
+    #[test]
+    fn index_candidates_revalidate_against_snapshot() {
+        let e = engine();
+        e.create_index("orders", FieldPath::key("status"), IndexKind::Hash).unwrap();
+        e.run(Isolation::Snapshot, |t| {
+            t.put("orders", Key::int(1), obj! {"_id" => 1, "status" => "open"})
+        })
+        .unwrap();
+        let mut old = e.begin(Isolation::Snapshot);
+        // concurrent flip to paid
+        e.run(Isolation::Snapshot, |t| {
+            t.put("orders", Key::int(1), obj! {"_id" => 1, "status" => "paid"})
+        })
+        .unwrap();
+        // the old snapshot still finds the order under "open"…
+        let open_old = old.select("orders", &Predicate::eq("status", Value::from("open"))).unwrap();
+        assert_eq!(open_old.len(), 1);
+        // …and a new snapshot does not, despite the stale index posting.
+        let mut new = e.begin(Isolation::Snapshot);
+        let open_new = new.select("orders", &Predicate::eq("status", Value::from("open"))).unwrap();
+        assert!(open_new.is_empty());
+    }
+
+    #[test]
+    fn graph_facade_traversals_in_txn() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| {
+            for i in 1..=4 {
+                t.add_vertex("social", Key::int(i), "customer", obj! {"n" => i})?;
+            }
+            t.add_edge("social", &Key::int(1), &Key::int(2), "knows", Value::Null)?;
+            t.add_edge("social", &Key::int(2), &Key::int(3), "knows", Value::Null)?;
+            t.add_edge("social", &Key::int(3), &Key::int(4), "follows", Value::Null)?;
+            Ok(())
+        })
+        .unwrap();
+        let mut t = e.begin(Isolation::Snapshot);
+        assert_eq!(
+            t.neighbors("social", &Key::int(1), Direction::Out, None).unwrap(),
+            vec![Key::int(2)]
+        );
+        assert_eq!(
+            t.neighbors("social", &Key::int(2), Direction::Both, Some("knows")).unwrap(),
+            vec![Key::int(1), Key::int(3)]
+        );
+        assert_eq!(
+            t.k_hop("social", &Key::int(1), 2, Direction::Out, Some("knows")).unwrap(),
+            vec![Key::int(3)]
+        );
+        assert_eq!(
+            t.k_hop("social", &Key::int(1), 3, Direction::Out, None).unwrap(),
+            vec![Key::int(4)]
+        );
+        assert!(t
+            .add_edge("social", &Key::int(1), &Key::int(99), "knows", Value::Null)
+            .is_err(), "dangling endpoints rejected");
+        assert!(t
+            .add_vertex("social", Key::int(1), "dup", obj! {})
+            .is_err());
+    }
+
+    #[test]
+    fn xml_facade_validates_and_queries() {
+        let e = engine();
+        let mut t = e.begin(Isolation::Snapshot);
+        assert!(t.put_xml("invoices", Key::int(1), "<broken").is_err());
+        assert!(
+            t.put("invoices", Key::int(1), obj! {"not" => "xml bridge"}).is_err(),
+            "raw puts to xml collections must be valid bridge values"
+        );
+        t.put_xml(
+            "invoices",
+            Key::int(1),
+            r#"<Invoice><Items><Item qty="2"/><Item qty="5"/></Items></Invoice>"#,
+        )
+        .unwrap();
+        let qtys = t.xpath("invoices", &Key::int(1), "//Item/@qty").unwrap();
+        assert_eq!(qtys, vec![Value::from("2"), Value::from("5")]);
+        assert!(t.xpath("invoices", &Key::int(9), "//x").unwrap().is_empty());
+        let doc = t.get_xml("invoices", &Key::int(1)).unwrap().unwrap();
+        assert_eq!(doc.root().name(), Some("Invoice"));
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn scan_merges_own_writes() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| {
+            t.put("feedback", Key::int(1), Value::Int(10))?;
+            t.put("feedback", Key::int(2), Value::Int(20))
+        })
+        .unwrap();
+        let mut t = e.begin(Isolation::Snapshot);
+        t.put("feedback", Key::int(3), Value::Int(30)).unwrap();
+        t.delete("feedback", &Key::int(1)).unwrap();
+        t.put("feedback", Key::int(2), Value::Int(99)).unwrap();
+        let scan = t.scan("feedback").unwrap();
+        assert_eq!(
+            scan,
+            vec![(Key::int(2), Value::Int(99)), (Key::int(3), Value::Int(30))]
+        );
+    }
+
+    #[test]
+    fn wal_recovery_restores_state() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("udbms-engine-wal-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let e = Engine::with_wal(&path).unwrap();
+            e.create_collection(CollectionSchema::key_value("ns")).unwrap();
+            e.run(Isolation::Snapshot, |t| t.put("ns", Key::int(1), Value::Int(10))).unwrap();
+            e.run(Isolation::Snapshot, |t| t.put("ns", Key::int(2), Value::Int(20))).unwrap();
+            e.run(Isolation::Snapshot, |t| {
+                t.delete("ns", &Key::int(1))?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        let e2 = Engine::with_wal(&path).unwrap();
+        let mut t = e2.begin(Isolation::Snapshot);
+        assert_eq!(t.get("ns", &Key::int(1)).unwrap(), None, "delete survived recovery");
+        assert_eq!(t.get("ns", &Key::int(2)).unwrap(), Some(Value::Int(20)));
+        drop(t);
+        // checkpoint compacts, state still recoverable
+        e2.checkpoint().unwrap();
+        let e3 = Engine::with_wal(&path).unwrap();
+        let mut t3 = e3.begin(Isolation::Snapshot);
+        assert_eq!(t3.get("ns", &Key::int(2)).unwrap(), Some(Value::Int(20)));
+        assert_eq!(t3.get("ns", &Key::int(1)).unwrap(), None);
+        drop(t3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn gc_respects_active_snapshots() {
+        let e = engine();
+        for i in 0..5 {
+            e.run(Isolation::Snapshot, |t| t.put("feedback", Key::str("k"), Value::Int(i)))
+                .unwrap();
+        }
+        let mut old = e.begin(Isolation::Snapshot);
+        // more writes after the old snapshot
+        for i in 5..10 {
+            e.run(Isolation::Snapshot, |t| t.put("feedback", Key::str("k"), Value::Int(i)))
+                .unwrap();
+        }
+        let stats = e.gc();
+        assert!(stats.watermark <= old.snapshot().unwrap());
+        assert_eq!(
+            old.get("feedback", &Key::str("k")).unwrap(),
+            Some(Value::Int(4)),
+            "old snapshot still reads its version after GC"
+        );
+        drop(old);
+        let stats2 = e.gc();
+        assert!(stats2.versions_removed > 0, "with no active txns history is pruned");
+        let mut t = e.begin(Isolation::Snapshot);
+        assert_eq!(t.get("feedback", &Key::str("k")).unwrap(), Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| t.put("feedback", Key::int(1), Value::Int(1))).unwrap();
+        let t = e.begin(Isolation::Snapshot);
+        t.abort();
+        let s = e.stats();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.aborts, 1);
+        assert_eq!(s.versions, 1);
+        assert_eq!(s.active_txns, 0);
+    }
+
+    #[test]
+    fn dropped_txn_aborts_implicitly() {
+        let e = engine();
+        {
+            let mut t = e.begin(Isolation::Snapshot);
+            t.put("feedback", Key::int(1), Value::Int(1)).unwrap();
+            // dropped without commit
+        }
+        let mut t = e.begin(Isolation::Snapshot);
+        assert_eq!(t.get("feedback", &Key::int(1)).unwrap(), None);
+        drop(t);
+        assert_eq!(e.stats().active_txns, 0);
+        assert_eq!(e.stats().aborts, 2, "both dropped handles count as aborts");
+    }
+
+    #[test]
+    fn closed_txn_rejects_operations() {
+        let e = engine();
+        let t = e.begin(Isolation::Snapshot);
+        let ts = t.commit().unwrap();
+        assert!(ts >= Ts::ZERO);
+        // commit consumed the txn; a new handle that was aborted:
+        let mut t2 = e.begin(Isolation::Snapshot);
+        t2.abort_in_place();
+        assert!(matches!(t2.get("feedback", &Key::int(1)), Err(Error::TxnClosed(_))));
+    }
+
+    #[test]
+    fn arrays_and_contains_work_through_engine() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| {
+            t.insert("orders", obj! {"tags" => arr!["rush", "eu"]})?;
+            t.insert("orders", obj! {"tags" => arr!["bulk"]})?;
+            Ok(())
+        })
+        .unwrap();
+        let mut t = e.begin(Isolation::Snapshot);
+        let rush = t
+            .select(
+                "orders",
+                &Predicate::Contains(FieldPath::key("tags"), Value::from("rush")),
+            )
+            .unwrap();
+        assert_eq!(rush.len(), 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! The versioned record store at the heart of the unified backend.
+//!
+//! Every record of every model lives here as a **version chain**: a list
+//! of `(commit_ts, value-or-tombstone)` pairs in commit order. A reader
+//! with snapshot `S` sees the newest version with `commit_ts <= S`.
+//! Chains are pruned by [`Storage::gc`] below the oldest active snapshot.
+
+use std::collections::{BTreeSet, HashMap};
+
+use udbms_core::{CollectionId, Key, Ts, Value};
+
+/// Globally unique record address: which collection, which key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RecordId {
+    /// Owning collection.
+    pub collection: CollectionId,
+    /// Record key within the collection.
+    pub key: Key,
+}
+
+impl RecordId {
+    /// Construct a record id.
+    pub fn new(collection: CollectionId, key: Key) -> RecordId {
+        RecordId { collection, key }
+    }
+}
+
+/// One committed version of a record. `value == None` is a tombstone
+/// (the record was deleted at `commit_ts`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Version {
+    /// Commit timestamp of the writing transaction.
+    pub commit_ts: Ts,
+    /// The value, or `None` for a delete.
+    pub value: Option<Value>,
+}
+
+/// The multi-version store.
+#[derive(Debug, Default)]
+pub struct Storage {
+    chains: HashMap<RecordId, Vec<Version>>,
+    /// Ordered key directory per collection (keys that have *ever* had a
+    /// version; liveness is decided by the chain at read time).
+    directories: HashMap<CollectionId, BTreeSet<Key>>,
+}
+
+impl Storage {
+    /// Empty storage.
+    pub fn new() -> Storage {
+        Storage::default()
+    }
+
+    /// The newest version with `commit_ts <= snapshot`, if any.
+    pub fn visible(&self, rid: &RecordId, snapshot: Ts) -> Option<&Version> {
+        self.chains
+            .get(rid)?
+            .iter()
+            .rev()
+            .find(|v| v.commit_ts <= snapshot)
+    }
+
+    /// The visible *value* (resolving tombstones to `None`).
+    pub fn visible_value(&self, rid: &RecordId, snapshot: Ts) -> Option<&Value> {
+        self.visible(rid, snapshot).and_then(|v| v.value.as_ref())
+    }
+
+    /// The newest committed version regardless of snapshot (read-committed
+    /// reads and commit-time validation).
+    pub fn latest(&self, rid: &RecordId) -> Option<&Version> {
+        self.chains.get(rid).and_then(|c| c.last())
+    }
+
+    /// Install a new version (called by the commit protocol, which
+    /// guarantees `commit_ts` is newer than everything in the chain).
+    pub fn install(&mut self, rid: RecordId, commit_ts: Ts, value: Option<Value>) {
+        debug_assert!(
+            self.chains
+                .get(&rid)
+                .and_then(|c| c.last())
+                .is_none_or(|last| last.commit_ts < commit_ts),
+            "commit timestamps must be monotone per chain"
+        );
+        self.directories
+            .entry(rid.collection)
+            .or_default()
+            .insert(rid.key.clone());
+        self.chains
+            .entry(rid)
+            .or_default()
+            .push(Version { commit_ts, value });
+    }
+
+    /// Ordered keys of a collection that are live (non-tombstone) at
+    /// `snapshot`.
+    pub fn live_keys(&self, collection: CollectionId, snapshot: Ts) -> Vec<Key> {
+        let Some(dir) = self.directories.get(&collection) else {
+            return Vec::new();
+        };
+        dir.iter()
+            .filter(|k| {
+                let rid = RecordId::new(collection, (*k).clone());
+                self.visible_value(&rid, snapshot).is_some()
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// All `(key, value)` pairs of a collection live at `snapshot`, in key
+    /// order.
+    pub fn scan(&self, collection: CollectionId, snapshot: Ts) -> Vec<(Key, Value)> {
+        let Some(dir) = self.directories.get(&collection) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for k in dir {
+            let rid = RecordId::new(collection, k.clone());
+            if let Some(v) = self.visible_value(&rid, snapshot) {
+                out.push((k.clone(), v.clone()));
+            }
+        }
+        out
+    }
+
+    /// Every value present in any retained version of a collection
+    /// (used to rebuild over-approximating secondary indexes after GC).
+    pub fn all_retained(&self, collection: CollectionId) -> Vec<(Key, Vec<&Value>)> {
+        let Some(dir) = self.directories.get(&collection) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for k in dir {
+            let rid = RecordId::new(collection, k.clone());
+            if let Some(chain) = self.chains.get(&rid) {
+                let vals: Vec<&Value> = chain.iter().filter_map(|v| v.value.as_ref()).collect();
+                if !vals.is_empty() {
+                    out.push((k.clone(), vals));
+                }
+            }
+        }
+        out
+    }
+
+    /// Prune versions no snapshot at or after `watermark` can see: for
+    /// each chain, drop everything older than the newest version with
+    /// `commit_ts <= watermark`; drop chains whose only remnant is a
+    /// tombstone. Returns `(versions_removed, chains_removed)`.
+    pub fn gc(&mut self, watermark: Ts) -> (usize, usize) {
+        let mut versions_removed = 0usize;
+        let mut chains_removed = 0usize;
+        let mut dead: Vec<RecordId> = Vec::new();
+        for (rid, chain) in &mut self.chains {
+            // index of the newest version visible at the watermark
+            let keep_from = chain
+                .iter()
+                .rposition(|v| v.commit_ts <= watermark)
+                .unwrap_or(0);
+            if keep_from > 0 {
+                versions_removed += keep_from;
+                chain.drain(..keep_from);
+            }
+            if chain.len() == 1 && chain[0].value.is_none() && chain[0].commit_ts <= watermark {
+                versions_removed += 1;
+                dead.push(rid.clone());
+            }
+        }
+        for rid in dead {
+            self.chains.remove(&rid);
+            if let Some(dir) = self.directories.get_mut(&rid.collection) {
+                dir.remove(&rid.key);
+            }
+            chains_removed += 1;
+        }
+        (versions_removed, chains_removed)
+    }
+
+    /// Total number of stored versions.
+    pub fn version_count(&self) -> usize {
+        self.chains.values().map(Vec::len).sum()
+    }
+
+    /// Number of record chains.
+    pub fn chain_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Length of the longest chain (E6 GC-ablation metric).
+    pub fn max_chain_len(&self) -> usize {
+        self.chains.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Drop every record of a collection (DDL `drop`).
+    pub fn drop_collection(&mut self, collection: CollectionId) {
+        if let Some(dir) = self.directories.remove(&collection) {
+            for k in dir {
+                self.chains.remove(&RecordId::new(collection, k));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: CollectionId = CollectionId(1);
+
+    fn rid(k: i64) -> RecordId {
+        RecordId::new(C, Key::int(k))
+    }
+
+    #[test]
+    fn visibility_follows_snapshots() {
+        let mut s = Storage::new();
+        s.install(rid(1), Ts(10), Some(Value::Int(100)));
+        s.install(rid(1), Ts(20), Some(Value::Int(200)));
+        assert_eq!(s.visible_value(&rid(1), Ts(5)), None, "before first commit");
+        assert_eq!(s.visible_value(&rid(1), Ts(10)), Some(&Value::Int(100)));
+        assert_eq!(s.visible_value(&rid(1), Ts(15)), Some(&Value::Int(100)));
+        assert_eq!(s.visible_value(&rid(1), Ts(20)), Some(&Value::Int(200)));
+        assert_eq!(s.visible_value(&rid(1), Ts::MAX), Some(&Value::Int(200)));
+        assert_eq!(s.latest(&rid(1)).unwrap().commit_ts, Ts(20));
+    }
+
+    #[test]
+    fn tombstones_hide_records() {
+        let mut s = Storage::new();
+        s.install(rid(1), Ts(10), Some(Value::Int(1)));
+        s.install(rid(1), Ts(20), None);
+        assert_eq!(s.visible_value(&rid(1), Ts(15)), Some(&Value::Int(1)));
+        assert_eq!(s.visible_value(&rid(1), Ts(25)), None);
+        assert!(s.visible(&rid(1), Ts(25)).is_some(), "tombstone is a version");
+        assert!(s.live_keys(C, Ts(15)).contains(&Key::int(1)));
+        assert!(s.live_keys(C, Ts(25)).is_empty());
+    }
+
+    #[test]
+    fn scan_is_snapshot_consistent() {
+        let mut s = Storage::new();
+        s.install(rid(1), Ts(10), Some(Value::Int(1)));
+        s.install(rid(2), Ts(20), Some(Value::Int(2)));
+        s.install(rid(1), Ts(30), None);
+        assert_eq!(s.scan(C, Ts(10)), vec![(Key::int(1), Value::Int(1))]);
+        assert_eq!(
+            s.scan(C, Ts(20)),
+            vec![(Key::int(1), Value::Int(1)), (Key::int(2), Value::Int(2))]
+        );
+        assert_eq!(s.scan(C, Ts(30)), vec![(Key::int(2), Value::Int(2))]);
+        assert!(s.scan(CollectionId(99), Ts(30)).is_empty());
+    }
+
+    #[test]
+    fn gc_prunes_history_not_visibility() {
+        let mut s = Storage::new();
+        for t in 1..=5 {
+            s.install(rid(1), Ts(t * 10), Some(Value::Int(t as i64)));
+        }
+        assert_eq!(s.version_count(), 5);
+        let (removed, dead) = s.gc(Ts(35));
+        assert_eq!(removed, 2, "versions at 10 and 20 are invisible to snapshots >= 35");
+        assert_eq!(dead, 0);
+        assert_eq!(s.visible_value(&rid(1), Ts(35)), Some(&Value::Int(3)));
+        assert_eq!(s.visible_value(&rid(1), Ts(50)), Some(&Value::Int(5)));
+        assert_eq!(s.max_chain_len(), 3);
+    }
+
+    #[test]
+    fn gc_removes_dead_tombstoned_chains() {
+        let mut s = Storage::new();
+        s.install(rid(1), Ts(10), Some(Value::Int(1)));
+        s.install(rid(1), Ts(20), None);
+        let (_, dead) = s.gc(Ts(30));
+        assert_eq!(dead, 1);
+        assert_eq!(s.chain_count(), 0);
+        assert!(s.live_keys(C, Ts(40)).is_empty());
+        // tombstone newer than the watermark must survive
+        s.install(rid(2), Ts(50), Some(Value::Int(2)));
+        s.install(rid(2), Ts(60), None);
+        let (_, dead) = s.gc(Ts(55));
+        assert_eq!(dead, 0, "a snapshot at 55 still sees the value under the tombstone");
+    }
+
+    #[test]
+    fn all_retained_reports_every_live_version() {
+        let mut s = Storage::new();
+        s.install(rid(1), Ts(10), Some(Value::Int(1)));
+        s.install(rid(1), Ts(20), Some(Value::Int(2)));
+        s.install(rid(2), Ts(30), None);
+        let retained = s.all_retained(C);
+        assert_eq!(retained.len(), 1, "tombstone-only chains carry no values");
+        assert_eq!(retained[0].1.len(), 2);
+    }
+
+    #[test]
+    fn drop_collection_erases_everything() {
+        let mut s = Storage::new();
+        s.install(rid(1), Ts(10), Some(Value::Int(1)));
+        s.install(RecordId::new(CollectionId(2), Key::int(1)), Ts(10), Some(Value::Int(9)));
+        s.drop_collection(C);
+        assert_eq!(s.chain_count(), 1);
+        assert!(s.scan(C, Ts::MAX).is_empty());
+        assert_eq!(s.scan(CollectionId(2), Ts::MAX).len(), 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Transaction state and isolation levels.
+//!
+//! The commit *protocol* lives in `engine.rs` (it needs the storage and
+//! catalog locks); this module defines the per-transaction bookkeeping the
+//! protocol validates.
+
+use std::collections::HashMap;
+
+use udbms_core::{Ts, TxnId, Value};
+
+use crate::storage::RecordId;
+
+/// Isolation level of a transaction (see the crate docs for semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Isolation {
+    /// Latest-committed reads, no commit validation.
+    ReadCommitted,
+    /// Snapshot reads + first-committer-wins write validation.
+    Snapshot,
+    /// Snapshot reads + write validation + OCC read-set validation.
+    Serializable,
+}
+
+impl Isolation {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Isolation::ReadCommitted => "RC",
+            Isolation::Snapshot => "SI",
+            Isolation::Serializable => "SER",
+        }
+    }
+}
+
+impl std::fmt::Display for Isolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Mutable state of an open transaction.
+#[derive(Debug)]
+pub struct TxnState {
+    /// Transaction id.
+    pub id: TxnId,
+    /// Snapshot timestamp (what this transaction reads).
+    pub snapshot: Ts,
+    /// Isolation level.
+    pub isolation: Isolation,
+    /// Buffered writes: record → new value (`None` = delete). Applied to
+    /// storage only on commit; reads see them first (read-your-writes).
+    pub writes: HashMap<RecordId, Option<Value>>,
+    /// Deterministic ordering of first-write per record (for WAL replay
+    /// and index maintenance in a stable order).
+    pub write_order: Vec<RecordId>,
+    /// Versions read: record → the commit_ts of the version observed
+    /// (`Ts::ZERO` when the record was absent). Only tracked under
+    /// `Serializable`.
+    pub reads: HashMap<RecordId, Ts>,
+    /// Whether the transaction is still open.
+    pub open: bool,
+}
+
+impl TxnState {
+    /// Fresh state for a beginning transaction.
+    pub fn new(id: TxnId, snapshot: Ts, isolation: Isolation) -> TxnState {
+        TxnState {
+            id,
+            snapshot,
+            isolation,
+            writes: HashMap::new(),
+            write_order: Vec::new(),
+            reads: HashMap::new(),
+            open: true,
+        }
+    }
+
+    /// Record a buffered write.
+    pub fn buffer_write(&mut self, rid: RecordId, value: Option<Value>) {
+        if !self.writes.contains_key(&rid) {
+            self.write_order.push(rid.clone());
+        }
+        self.writes.insert(rid, value);
+    }
+
+    /// Record a read observation (serializable only; no-op otherwise).
+    /// The *first* observation wins — OCC validates against what the
+    /// transaction actually based its logic on.
+    pub fn note_read(&mut self, rid: RecordId, seen: Ts) {
+        if self.isolation == Isolation::Serializable {
+            self.reads.entry(rid).or_insert(seen);
+        }
+    }
+
+    /// The buffered write for a record, if any (`Some(None)` = buffered
+    /// delete).
+    pub fn own_write(&self, rid: &RecordId) -> Option<&Option<Value>> {
+        self.writes.get(rid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udbms_core::{CollectionId, Key};
+
+    fn rid(k: i64) -> RecordId {
+        RecordId::new(CollectionId(0), Key::int(k))
+    }
+
+    #[test]
+    fn write_order_tracks_first_write_only() {
+        let mut s = TxnState::new(TxnId(1), Ts(5), Isolation::Snapshot);
+        s.buffer_write(rid(1), Some(Value::Int(1)));
+        s.buffer_write(rid(2), Some(Value::Int(2)));
+        s.buffer_write(rid(1), Some(Value::Int(10)));
+        assert_eq!(s.write_order, vec![rid(1), rid(2)]);
+        assert_eq!(s.own_write(&rid(1)), Some(&Some(Value::Int(10))));
+        assert_eq!(s.own_write(&rid(3)), None);
+    }
+
+    #[test]
+    fn reads_only_tracked_under_serializable() {
+        let mut si = TxnState::new(TxnId(1), Ts(5), Isolation::Snapshot);
+        si.note_read(rid(1), Ts(3));
+        assert!(si.reads.is_empty());
+
+        let mut ser = TxnState::new(TxnId(2), Ts(5), Isolation::Serializable);
+        ser.note_read(rid(1), Ts(3));
+        ser.note_read(rid(1), Ts(4)); // later observation ignored
+        assert_eq!(ser.reads[&rid(1)], Ts(3));
+    }
+
+    #[test]
+    fn isolation_labels() {
+        assert_eq!(Isolation::ReadCommitted.label(), "RC");
+        assert_eq!(Isolation::Snapshot.to_string(), "SI");
+        assert_eq!(Isolation::Serializable.label(), "SER");
+    }
+}

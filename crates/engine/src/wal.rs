@@ -1,0 +1,225 @@
+//! Write-ahead log: logical redo records as JSON lines.
+//!
+//! Each commit appends one line describing every write (collection name,
+//! key, new value or tombstone). Recovery replays lines in order into a
+//! fresh engine. A checkpoint rewrites the log as one synthetic commit
+//! containing the current live state, bounding replay time.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+use udbms_core::{obj, Error, Key, Result, Ts, TxnId, Value};
+
+/// One logged commit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Commit timestamp.
+    pub commit_ts: Ts,
+    /// Writing transaction.
+    pub txn: TxnId,
+    /// Writes in apply order: `(collection, key, value-or-tombstone)`.
+    pub writes: Vec<(String, Key, Option<Value>)>,
+}
+
+impl WalRecord {
+    /// Serialize as a canonical JSON line.
+    pub fn to_line(&self) -> String {
+        let writes: Vec<Value> = self
+            .writes
+            .iter()
+            .map(|(coll, key, value)| {
+                obj! {
+                    "coll" => coll.clone(),
+                    "key" => key.value().clone(),
+                    "value" => value.clone(),
+                }
+            })
+            .collect();
+        let rec = obj! {
+            "ts" => self.commit_ts.0 as i64,
+            "txn" => self.txn.0 as i64,
+            "writes" => Value::Array(writes),
+        };
+        udbms_json::to_string(&rec)
+    }
+
+    /// Parse a JSON line back into a record.
+    pub fn from_line(line: &str) -> Result<WalRecord> {
+        let v = udbms_json::parse(line)?;
+        let ts = v.get_field("ts").expect_int("wal ts")? as u64;
+        let txn = v.get_field("txn").expect_int("wal txn")? as u64;
+        let writes_v = v
+            .get_field("writes")
+            .as_array()
+            .ok_or_else(|| Error::Invalid("wal record lacks writes array".into()))?;
+        let mut writes = Vec::with_capacity(writes_v.len());
+        for w in writes_v {
+            let coll = w.get_field("coll").expect_str("wal coll")?.to_string();
+            let key = Key::new(w.get_field("key").clone())?;
+            let value = match w.get_field("value") {
+                Value::Null => None,
+                other => Some(other.clone()),
+            };
+            writes.push((coll, key, value));
+        }
+        Ok(WalRecord { commit_ts: Ts(ts), txn: TxnId(txn), writes })
+    }
+}
+
+/// An append-only write-ahead log backed by a file.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    records_written: usize,
+}
+
+impl Wal {
+    /// Open (creating or appending to) a WAL file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Wal { path, writer: BufWriter::new(file), records_written: 0 })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended through this handle.
+    pub fn records_written(&self) -> usize {
+        self.records_written
+    }
+
+    /// Append and flush one commit record.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<()> {
+        self.writer.write_all(rec.to_line().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.records_written += 1;
+        Ok(())
+    }
+
+    /// Read every record of a WAL file in order. Unknown/corrupt trailing
+    /// lines abort with an error (a torn final line would indicate a crash
+    /// mid-append; callers may choose to truncate — we surface it).
+    pub fn read_all(path: impl AsRef<Path>) -> Result<Vec<WalRecord>> {
+        let file = match File::open(path.as_ref()) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let reader = BufReader::new(file);
+        let mut out = Vec::new();
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            out.push(WalRecord::from_line(&line)?);
+        }
+        Ok(out)
+    }
+
+    /// Replace the log's contents with the given records (checkpointing).
+    /// Writes to a sibling temp file then renames over the original.
+    pub fn rewrite(&mut self, records: &[WalRecord]) -> Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            for rec in records {
+                w.write_all(rec.to_line().as_bytes())?;
+                w.write_all(b"\n")?;
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let file = OpenOptions::new().append(true).open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("udbms-wal-test-{}-{name}.log", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample(ts: u64) -> WalRecord {
+        WalRecord {
+            commit_ts: Ts(ts),
+            txn: TxnId(ts * 10),
+            writes: vec![
+                ("orders".into(), Key::str("o1"), Some(obj! {"total" => 5.0})),
+                ("feedback".into(), Key::int(7), None),
+            ],
+        }
+    }
+
+    #[test]
+    fn record_line_roundtrip() {
+        let rec = sample(42);
+        let line = rec.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(WalRecord::from_line(&line).unwrap(), rec);
+    }
+
+    #[test]
+    fn tombstones_encode_as_null() {
+        let rec = sample(1);
+        let line = rec.to_line();
+        let back = WalRecord::from_line(&line).unwrap();
+        assert_eq!(back.writes[1].2, None);
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let path = temp_path("append");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&sample(1)).unwrap();
+            wal.append(&sample(2)).unwrap();
+            assert_eq!(wal.records_written(), 2);
+        }
+        let recs = Wal::read_all(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].commit_ts, Ts(1));
+        assert_eq!(recs[1].commit_ts, Ts(2));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reading_missing_file_is_empty() {
+        assert!(Wal::read_all("/nonexistent/udbms.wal").unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_lines_error() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "{\"ts\": 1, \"txn\": 1, \"writes\": []}\nnot json\n").unwrap();
+        assert!(Wal::read_all(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rewrite_truncates_history() {
+        let path = temp_path("rewrite");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&sample(1)).unwrap();
+        wal.append(&sample(2)).unwrap();
+        wal.rewrite(&[sample(9)]).unwrap();
+        wal.append(&sample(10)).unwrap();
+        let recs = Wal::read_all(&path).unwrap();
+        let tss: Vec<u64> = recs.iter().map(|r| r.commit_ts.0).collect();
+        assert_eq!(tss, vec![9, 10]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

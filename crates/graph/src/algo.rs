@@ -1,0 +1,202 @@
+//! Graph analytics: PageRank, connected components, degree statistics.
+
+use std::collections::HashMap;
+
+use udbms_core::Key;
+
+use crate::graph::{Direction, PropertyGraph};
+
+/// PageRank parameters.
+#[derive(Debug, Clone)]
+pub struct PageRankConfig {
+    /// Damping factor (0.85 classically).
+    pub damping: f64,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Stop when the L1 delta between iterations drops below this.
+    pub tolerance: f64,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig { damping: 0.85, max_iters: 50, tolerance: 1e-9 }
+    }
+}
+
+/// Power-iteration PageRank over out-edges (dangling mass redistributed
+/// uniformly). Returns a rank per vertex; ranks sum to ~1.
+pub fn pagerank(g: &PropertyGraph, cfg: &PageRankConfig) -> HashMap<Key, f64> {
+    let n = g.vertex_count();
+    if n == 0 {
+        return HashMap::new();
+    }
+    let keys: Vec<Key> = g.vertices().map(|(k, _)| k.clone()).collect();
+    let index: HashMap<&Key, usize> = keys.iter().enumerate().map(|(i, k)| (k, i)).collect();
+    // out-neighbor index lists (parallel edges count once per edge)
+    let mut outs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (_, e) in g.edges() {
+        let s = index[&e.src];
+        let d = index[&e.dst];
+        outs[s].push(d);
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..cfg.max_iters {
+        let base = (1.0 - cfg.damping) / n as f64;
+        next.iter_mut().for_each(|x| *x = base);
+        let mut dangling = 0.0;
+        for (i, out) in outs.iter().enumerate() {
+            if out.is_empty() {
+                dangling += rank[i];
+            } else {
+                let share = cfg.damping * rank[i] / out.len() as f64;
+                for &d in out {
+                    next[d] += share;
+                }
+            }
+        }
+        let dangling_share = cfg.damping * dangling / n as f64;
+        next.iter_mut().for_each(|x| *x += dangling_share);
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < cfg.tolerance {
+            break;
+        }
+    }
+    keys.into_iter().zip(rank).collect()
+}
+
+/// Weakly connected components (edges treated as undirected). Returns a
+/// component id per vertex; ids are dense, ordered by first-seen vertex.
+pub fn connected_components(g: &PropertyGraph) -> HashMap<Key, usize> {
+    let mut comp: HashMap<Key, usize> = HashMap::with_capacity(g.vertex_count());
+    let mut next_id = 0usize;
+    for (start, _) in g.vertices() {
+        if comp.contains_key(start) {
+            continue;
+        }
+        let id = next_id;
+        next_id += 1;
+        let mut stack = vec![start.clone()];
+        comp.insert(start.clone(), id);
+        while let Some(v) = stack.pop() {
+            for n in g.neighbors(&v, Direction::Both, None) {
+                if !comp.contains_key(&n) {
+                    comp.insert(n.clone(), id);
+                    stack.push(n);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Degree statistics of a graph (out-degree based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum out-degree.
+    pub min: usize,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Vertices with zero out-degree.
+    pub sinks: usize,
+}
+
+/// Compute out-degree statistics.
+pub fn degree_stats(g: &PropertyGraph) -> Option<DegreeStats> {
+    if g.vertex_count() == 0 {
+        return None;
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut total = 0usize;
+    let mut sinks = 0usize;
+    for (k, _) in g.vertices() {
+        let d = g.incident(k, Direction::Out, None).len();
+        min = min.min(d);
+        max = max.max(d);
+        total += d;
+        if d == 0 {
+            sinks += 1;
+        }
+    }
+    Some(DegreeStats { min, max, mean: total as f64 / g.vertex_count() as f64, sinks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udbms_core::Value;
+
+    fn star() -> PropertyGraph {
+        // hub ← spokes: everything links to "hub"
+        let mut g = PropertyGraph::new();
+        g.add_vertex(Key::str("hub"), "v", Value::Null).unwrap();
+        for i in 0..5 {
+            let k = Key::str(format!("s{i}"));
+            g.add_vertex(k.clone(), "v", Value::Null).unwrap();
+            g.add_edge(k, Key::str("hub"), "link", Value::Null).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn pagerank_ranks_hub_highest_and_sums_to_one() {
+        let g = star();
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let total: f64 = pr.values().sum();
+        assert!((total - 1.0).abs() < 1e-6, "ranks sum to 1, got {total}");
+        let hub = pr[&Key::str("hub")];
+        for i in 0..5 {
+            assert!(hub > pr[&Key::str(format!("s{i}"))]);
+        }
+    }
+
+    #[test]
+    fn pagerank_uniform_on_ring() {
+        let mut g = PropertyGraph::new();
+        for i in 0..4 {
+            g.add_vertex(Key::int(i), "v", Value::Null).unwrap();
+        }
+        for i in 0..4 {
+            g.add_edge(Key::int(i), Key::int((i + 1) % 4), "n", Value::Null).unwrap();
+        }
+        let pr = pagerank(&g, &PageRankConfig::default());
+        for r in pr.values() {
+            assert!((r - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pagerank_empty_graph() {
+        assert!(pagerank(&PropertyGraph::new(), &PageRankConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn components_split_and_merge() {
+        let mut g = star();
+        g.add_vertex(Key::str("lone"), "v", Value::Null).unwrap();
+        g.add_vertex(Key::str("pair1"), "v", Value::Null).unwrap();
+        g.add_vertex(Key::str("pair2"), "v", Value::Null).unwrap();
+        g.add_edge(Key::str("pair1"), Key::str("pair2"), "link", Value::Null).unwrap();
+        let comp = connected_components(&g);
+        let ids: std::collections::HashSet<usize> = comp.values().copied().collect();
+        assert_eq!(ids.len(), 3, "star, lone, pair");
+        assert_eq!(comp[&Key::str("hub")], comp[&Key::str("s0")]);
+        assert_eq!(comp[&Key::str("pair1")], comp[&Key::str("pair2")]);
+        assert_ne!(comp[&Key::str("lone")], comp[&Key::str("hub")]);
+    }
+
+    #[test]
+    fn degree_stats_of_star() {
+        let g = star();
+        let s = degree_stats(&g).unwrap();
+        assert_eq!(s.min, 0, "hub has no out-edges");
+        assert_eq!(s.max, 1);
+        assert_eq!(s.sinks, 1);
+        assert!((s.mean - 5.0 / 6.0).abs() < 1e-9);
+        assert!(degree_stats(&PropertyGraph::new()).is_none());
+    }
+}

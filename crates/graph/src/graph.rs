@@ -1,0 +1,339 @@
+//! The property-graph store.
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{BTreeMap, HashMap};
+
+use udbms_core::{Error, Key, Result, Value};
+
+/// Identifier of an edge (assigned by the graph, dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u64);
+
+impl std::fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Traversal direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges source → destination.
+    Out,
+    /// Follow edges destination → source.
+    In,
+    /// Both directions.
+    Both,
+}
+
+/// A vertex: label + property object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vertex {
+    /// Vertex label (e.g. `"customer"`, `"product"`).
+    pub label: String,
+    /// Property map (any unified value; `Null` means no properties).
+    pub props: Value,
+}
+
+/// An edge: endpoints, label, property object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Source vertex key.
+    pub src: Key,
+    /// Destination vertex key.
+    pub dst: Key,
+    /// Edge label (e.g. `"knows"`, `"bought"`).
+    pub label: String,
+    /// Property map.
+    pub props: Value,
+}
+
+/// An in-memory directed property graph with adjacency indexes.
+#[derive(Debug, Clone, Default)]
+pub struct PropertyGraph {
+    vertices: BTreeMap<Key, Vertex>,
+    edges: BTreeMap<EdgeId, Edge>,
+    out_adj: HashMap<Key, Vec<EdgeId>>,
+    in_adj: HashMap<Key, Vec<EdgeId>>,
+    next_edge_id: u64,
+}
+
+impl PropertyGraph {
+    /// Empty graph.
+    pub fn new() -> PropertyGraph {
+        PropertyGraph::default()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a vertex. Fails if the key exists.
+    pub fn add_vertex(&mut self, key: Key, label: impl Into<String>, props: Value) -> Result<()> {
+        match self.vertices.entry(key) {
+            std::collections::btree_map::Entry::Occupied(e) => {
+                Err(Error::AlreadyExists(format!("vertex {}", e.key())))
+            }
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(Vertex { label: label.into(), props });
+                Ok(())
+            }
+        }
+    }
+
+    /// Fetch a vertex.
+    pub fn vertex(&self, key: &Key) -> Option<&Vertex> {
+        self.vertices.get(key)
+    }
+
+    /// Mutably fetch a vertex (for property updates).
+    pub fn vertex_mut(&mut self, key: &Key) -> Option<&mut Vertex> {
+        self.vertices.get_mut(key)
+    }
+
+    /// Iterate vertices in key order.
+    pub fn vertices(&self) -> impl Iterator<Item = (&Key, &Vertex)> {
+        self.vertices.iter()
+    }
+
+    /// Remove a vertex and every incident edge. Returns the vertex.
+    pub fn remove_vertex(&mut self, key: &Key) -> Result<Vertex> {
+        let v = self
+            .vertices
+            .remove(key)
+            .ok_or_else(|| Error::NotFound(format!("vertex {key}")))?;
+        let mut doomed: Vec<EdgeId> = Vec::new();
+        doomed.extend(self.out_adj.get(key).into_iter().flatten().copied());
+        doomed.extend(self.in_adj.get(key).into_iter().flatten().copied());
+        doomed.sort_unstable();
+        doomed.dedup();
+        for eid in doomed {
+            let _ = self.remove_edge(eid);
+        }
+        self.out_adj.remove(key);
+        self.in_adj.remove(key);
+        Ok(v)
+    }
+
+    /// Add an edge between existing vertices. Returns its id.
+    pub fn add_edge(
+        &mut self,
+        src: Key,
+        dst: Key,
+        label: impl Into<String>,
+        props: Value,
+    ) -> Result<EdgeId> {
+        if !self.vertices.contains_key(&src) {
+            return Err(Error::NotFound(format!("source vertex {src}")));
+        }
+        if !self.vertices.contains_key(&dst) {
+            return Err(Error::NotFound(format!("destination vertex {dst}")));
+        }
+        let id = EdgeId(self.next_edge_id);
+        self.next_edge_id += 1;
+        self.out_adj.entry(src.clone()).or_default().push(id);
+        self.in_adj.entry(dst.clone()).or_default().push(id);
+        self.edges.insert(id, Edge { src, dst, label: label.into(), props });
+        Ok(id)
+    }
+
+    /// Fetch an edge.
+    pub fn edge(&self, id: EdgeId) -> Option<&Edge> {
+        self.edges.get(&id)
+    }
+
+    /// Iterate edges in id order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges.iter().map(|(id, e)| (*id, e))
+    }
+
+    /// Remove an edge. Returns it.
+    pub fn remove_edge(&mut self, id: EdgeId) -> Result<Edge> {
+        let e = self
+            .edges
+            .remove(&id)
+            .ok_or_else(|| Error::NotFound(format!("edge {id}")))?;
+        if let MapEntry::Occupied(mut adj) = self.out_adj.entry(e.src.clone()) {
+            adj.get_mut().retain(|x| *x != id);
+            if adj.get().is_empty() {
+                adj.remove();
+            }
+        }
+        if let MapEntry::Occupied(mut adj) = self.in_adj.entry(e.dst.clone()) {
+            adj.get_mut().retain(|x| *x != id);
+            if adj.get().is_empty() {
+                adj.remove();
+            }
+        }
+        Ok(e)
+    }
+
+    /// Incident edges of `key` in `dir`, optionally filtered by label.
+    pub fn incident(
+        &self,
+        key: &Key,
+        dir: Direction,
+        label: Option<&str>,
+    ) -> Vec<(EdgeId, &Edge)> {
+        fn push_from<'g>(
+            edges: &'g BTreeMap<EdgeId, Edge>,
+            ids: Option<&Vec<EdgeId>>,
+            label: Option<&str>,
+            out: &mut Vec<(EdgeId, &'g Edge)>,
+        ) {
+            for id in ids.into_iter().flatten() {
+                if let Some(e) = edges.get(id) {
+                    if label.is_none_or(|l| e.label == l) {
+                        out.push((*id, e));
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(EdgeId, &Edge)> = Vec::new();
+        match dir {
+            Direction::Out => push_from(&self.edges, self.out_adj.get(key), label, &mut out),
+            Direction::In => push_from(&self.edges, self.in_adj.get(key), label, &mut out),
+            Direction::Both => {
+                push_from(&self.edges, self.out_adj.get(key), label, &mut out);
+                push_from(&self.edges, self.in_adj.get(key), label, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Neighbor keys of `key` along `dir`, optionally filtered by edge
+    /// label. Deduplicated, in first-seen order.
+    pub fn neighbors(&self, key: &Key, dir: Direction, label: Option<&str>) -> Vec<Key> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for (_, e) in self.incident(key, dir, label) {
+            let other = match dir {
+                Direction::Out => &e.dst,
+                Direction::In => &e.src,
+                Direction::Both => {
+                    if &e.src == key {
+                        &e.dst
+                    } else {
+                        &e.src
+                    }
+                }
+            };
+            if seen.insert(other.clone()) {
+                out.push(other.clone());
+            }
+        }
+        out
+    }
+
+    /// Vertices carrying a given label, in key order.
+    pub fn vertices_with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = (&'a Key, &'a Vertex)> + 'a {
+        self.vertices.iter().filter(move |(_, v)| v.label == label)
+    }
+
+    /// Edges between two specific vertices (any direction), optionally by
+    /// label.
+    pub fn edges_between(&self, a: &Key, b: &Key, label: Option<&str>) -> Vec<(EdgeId, &Edge)> {
+        self.incident(a, Direction::Both, label)
+            .into_iter()
+            .filter(|(_, e)| (&e.src == a && &e.dst == b) || (&e.src == b && &e.dst == a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udbms_core::obj;
+
+    fn triangle() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_vertex(Key::str("a"), "customer", obj! {"name" => "Ada"}).unwrap();
+        g.add_vertex(Key::str("b"), "customer", obj! {"name" => "Bob"}).unwrap();
+        g.add_vertex(Key::str("p"), "product", obj! {"name" => "Pen"}).unwrap();
+        g.add_edge(Key::str("a"), Key::str("b"), "knows", Value::Null).unwrap();
+        g.add_edge(Key::str("b"), Key::str("a"), "knows", Value::Null).unwrap();
+        g.add_edge(Key::str("a"), Key::str("p"), "bought", obj! {"qty" => 2}).unwrap();
+        g
+    }
+
+    #[test]
+    fn crud_vertices_and_edges() {
+        let mut g = triangle();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.vertex(&Key::str("a")).unwrap().label, "customer");
+        assert!(g.add_vertex(Key::str("a"), "dup", Value::Null).is_err());
+        assert!(g
+            .add_edge(Key::str("a"), Key::str("zz"), "x", Value::Null)
+            .is_err(), "dangling dst");
+        assert!(g
+            .add_edge(Key::str("zz"), Key::str("a"), "x", Value::Null)
+            .is_err(), "dangling src");
+        let e0 = g.edges().next().unwrap().0;
+        let e = g.remove_edge(e0).unwrap();
+        assert_eq!(e.label, "knows");
+        assert!(g.remove_edge(e0).is_err());
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn neighbors_by_direction_and_label() {
+        let g = triangle();
+        let out_a = g.neighbors(&Key::str("a"), Direction::Out, None);
+        assert_eq!(out_a, vec![Key::str("b"), Key::str("p")]);
+        let out_a_knows = g.neighbors(&Key::str("a"), Direction::Out, Some("knows"));
+        assert_eq!(out_a_knows, vec![Key::str("b")]);
+        let in_a = g.neighbors(&Key::str("a"), Direction::In, None);
+        assert_eq!(in_a, vec![Key::str("b")]);
+        let both_a = g.neighbors(&Key::str("a"), Direction::Both, None);
+        assert_eq!(both_a.len(), 2, "deduplicated");
+        assert!(g.neighbors(&Key::str("zz"), Direction::Out, None).is_empty());
+    }
+
+    #[test]
+    fn remove_vertex_cascades() {
+        let mut g = triangle();
+        let v = g.remove_vertex(&Key::str("a")).unwrap();
+        assert_eq!(v.props.get_field("name"), &Value::from("Ada"));
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 0, "all three edges touched a");
+        assert!(g.remove_vertex(&Key::str("a")).is_err());
+        // b and p survive with clean adjacency
+        assert!(g.neighbors(&Key::str("b"), Direction::Both, None).is_empty());
+    }
+
+    #[test]
+    fn label_scan_and_edges_between() {
+        let g = triangle();
+        let customers: Vec<&Key> = g.vertices_with_label("customer").map(|(k, _)| k).collect();
+        assert_eq!(customers, vec![&Key::str("a"), &Key::str("b")]);
+        assert_eq!(g.edges_between(&Key::str("a"), &Key::str("b"), None).len(), 2);
+        assert_eq!(g.edges_between(&Key::str("a"), &Key::str("b"), Some("knows")).len(), 2);
+        assert_eq!(g.edges_between(&Key::str("a"), &Key::str("p"), Some("knows")).len(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_are_allowed() {
+        let mut g = triangle();
+        g.add_edge(Key::str("a"), Key::str("p"), "bought", obj! {"qty" => 1}).unwrap();
+        assert_eq!(g.edges_between(&Key::str("a"), &Key::str("p"), Some("bought")).len(), 2);
+        // neighbors still deduplicate
+        assert_eq!(g.neighbors(&Key::str("a"), Direction::Out, Some("bought")).len(), 1);
+    }
+
+    #[test]
+    fn vertex_property_updates() {
+        let mut g = triangle();
+        g.vertex_mut(&Key::str("a")).unwrap().props.merge_from(obj! {"vip" => true});
+        assert_eq!(
+            g.vertex(&Key::str("a")).unwrap().props.get_field("vip"),
+            &Value::Bool(true)
+        );
+    }
+}

@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+
+//! # udbms-graph
+//!
+//! The property-graph substrate: labelled vertices and edges with property
+//! maps, adjacency indexes, traversals (BFS, k-hop, shortest paths),
+//! path-pattern matching, and the analytics the benchmark's social-network
+//! queries need (PageRank, connected components, degree statistics).
+//!
+//! In the benchmark's domain the graph holds the *social network*
+//! (customer `knows` customer) and the *purchase network* (customer
+//! `bought` product) of the paper's Figure 1.
+
+mod algo;
+mod graph;
+mod pattern;
+mod traverse;
+
+pub use algo::{connected_components, degree_stats, pagerank, DegreeStats, PageRankConfig};
+pub use graph::{Direction, Edge, EdgeId, PropertyGraph, Vertex};
+pub use pattern::{PatternStep, PathPattern};
+pub use traverse::{bfs_layers, k_hop_neighbors, shortest_path, shortest_path_weighted};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use udbms_core::{Key, Value};
+
+    fn ring(n: usize) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for i in 0..n {
+            g.add_vertex(Key::int(i as i64), "v", Value::Null).unwrap();
+        }
+        for i in 0..n {
+            g.add_edge(
+                Key::int(i as i64),
+                Key::int(((i + 1) % n) as i64),
+                "next",
+                Value::Null,
+            )
+            .unwrap();
+        }
+        g
+    }
+
+    proptest! {
+        /// On a directed ring, the shortest path i→j has length (j-i) mod n.
+        #[test]
+        fn ring_shortest_paths(n in 3usize..20, a in 0usize..20, b in 0usize..20) {
+            let (a, b) = (a % n, b % n);
+            let g = ring(n);
+            let path = shortest_path(&g, &Key::int(a as i64), &Key::int(b as i64), None);
+            let expected = (b + n - a) % n;
+            prop_assert_eq!(path.map(|p| p.len() - 1), Some(expected));
+        }
+
+        /// k-hop frontier sizes on a ring are 1 until wrap-around.
+        #[test]
+        fn ring_k_hop(n in 4usize..16) {
+            let g = ring(n);
+            for k in 1..n {
+                let frontier = k_hop_neighbors(&g, &Key::int(0), k, Direction::Out, None);
+                prop_assert_eq!(frontier.len(), 1, "exactly one vertex at distance {}", k);
+            }
+        }
+
+        /// Vertex deletion removes all incident edges (referential
+        /// integrity invariant).
+        #[test]
+        fn delete_vertex_cleans_edges(n in 3usize..12, victim in 0usize..12) {
+            let victim = victim % n;
+            let mut g = ring(n);
+            g.remove_vertex(&Key::int(victim as i64)).unwrap();
+            prop_assert_eq!(g.edge_count(), n.saturating_sub(2));
+            for (_, e) in g.edges() {
+                prop_assert!(e.src != Key::int(victim as i64));
+                prop_assert!(e.dst != Key::int(victim as i64));
+            }
+        }
+    }
+}

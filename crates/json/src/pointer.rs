@@ -1,0 +1,185 @@
+//! RFC 6901 JSON Pointer resolution over unified values.
+//!
+//! Pointers complement `udbms_core::FieldPath`: paths are the engine's
+//! native navigation, pointers are the interoperable notation the
+//! conversion tasks use when emitting gold-standard mappings (e.g.
+//! "`/items/0/price` in the document equals column `price` of row 0").
+
+use udbms_core::{Error, FieldPath, Result, Value};
+
+/// A parsed JSON Pointer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pointer {
+    tokens: Vec<String>,
+}
+
+impl Pointer {
+    /// Parse a pointer string: `""` (whole document) or `/tok/tok/…` with
+    /// `~0` → `~` and `~1` → `/` unescaping.
+    pub fn parse(s: &str) -> Result<Pointer> {
+        if s.is_empty() {
+            return Ok(Pointer { tokens: Vec::new() });
+        }
+        if !s.starts_with('/') {
+            return Err(Error::Invalid(format!("JSON pointer must start with '/': {s:?}")));
+        }
+        let mut tokens = Vec::new();
+        for raw in s[1..].split('/') {
+            let mut tok = String::with_capacity(raw.len());
+            let mut chars = raw.chars();
+            while let Some(c) = chars.next() {
+                if c == '~' {
+                    match chars.next() {
+                        Some('0') => tok.push('~'),
+                        Some('1') => tok.push('/'),
+                        _ => return Err(Error::Invalid(format!("bad ~ escape in pointer {s:?}"))),
+                    }
+                } else {
+                    tok.push(c);
+                }
+            }
+            tokens.push(tok);
+        }
+        Ok(Pointer { tokens })
+    }
+
+    /// Tokens of this pointer.
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// Resolve against a value. Returns `None` when any step is missing,
+    /// mirroring RFC behaviour (absence, not error).
+    pub fn resolve<'v>(&self, root: &'v Value) -> Option<&'v Value> {
+        let mut cur = root;
+        for tok in &self.tokens {
+            cur = match cur {
+                Value::Object(o) => o.get(tok.as_str())?,
+                Value::Array(a) => {
+                    // RFC 6901: index tokens are digits without leading zeros
+                    if tok == "-" {
+                        return None; // "past the end" never resolves on read
+                    }
+                    if tok.len() > 1 && tok.starts_with('0') {
+                        return None;
+                    }
+                    let idx: usize = tok.parse().ok()?;
+                    a.get(idx)?
+                }
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// Convert to the engine's [`FieldPath`], best-effort: digit-only
+    /// tokens become indexes when they *could* index an array; since the
+    /// pointer grammar cannot distinguish `{"0": …}` from `[…]`, callers
+    /// that need exactness should resolve against a concrete value instead.
+    pub fn to_field_path(&self) -> FieldPath {
+        let mut p = FieldPath::root();
+        for tok in &self.tokens {
+            if !tok.is_empty()
+                && tok.chars().all(|c| c.is_ascii_digit())
+                && !(tok.len() > 1 && tok.starts_with('0'))
+            {
+                p = p.at(tok.parse().expect("digits"));
+            } else {
+                p = p.child(tok.clone());
+            }
+        }
+        p
+    }
+}
+
+impl std::fmt::Display for Pointer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for tok in &self.tokens {
+            f.write_str("/")?;
+            for c in tok.chars() {
+                match c {
+                    '~' => f.write_str("~0")?,
+                    '/' => f.write_str("~1")?,
+                    c => {
+                        use std::fmt::Write as _;
+                        f.write_char(c)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udbms_core::{arr, obj};
+
+    fn doc() -> Value {
+        obj! {
+            "foo" => arr!["bar", "baz"],
+            "" => 0,
+            "a/b" => 1,
+            "m~n" => 8,
+            "nested" => obj!{"k" => arr![obj!{"deep" => true}]},
+        }
+    }
+
+    #[test]
+    fn rfc_6901_examples() {
+        let d = doc();
+        assert_eq!(Pointer::parse("").unwrap().resolve(&d), Some(&d));
+        assert_eq!(
+            Pointer::parse("/foo").unwrap().resolve(&d),
+            Some(&arr!["bar", "baz"])
+        );
+        assert_eq!(Pointer::parse("/foo/0").unwrap().resolve(&d), Some(&Value::from("bar")));
+        assert_eq!(Pointer::parse("/").unwrap().resolve(&d), Some(&Value::Int(0)));
+        assert_eq!(Pointer::parse("/a~1b").unwrap().resolve(&d), Some(&Value::Int(1)));
+        assert_eq!(Pointer::parse("/m~0n").unwrap().resolve(&d), Some(&Value::Int(8)));
+    }
+
+    #[test]
+    fn missing_paths_resolve_to_none() {
+        let d = doc();
+        assert_eq!(Pointer::parse("/nope").unwrap().resolve(&d), None);
+        assert_eq!(Pointer::parse("/foo/7").unwrap().resolve(&d), None);
+        assert_eq!(Pointer::parse("/foo/-").unwrap().resolve(&d), None);
+        assert_eq!(Pointer::parse("/foo/01").unwrap().resolve(&d), None, "leading zero");
+        assert_eq!(Pointer::parse("/foo/bar/x").unwrap().resolve(&d), None, "through scalar");
+    }
+
+    #[test]
+    fn deep_resolution() {
+        let d = doc();
+        assert_eq!(
+            Pointer::parse("/nested/k/0/deep").unwrap().resolve(&d),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Pointer::parse("foo").is_err(), "must start with /");
+        assert!(Pointer::parse("/~2").is_err(), "bad escape");
+        assert!(Pointer::parse("/~").is_err(), "dangling tilde");
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in ["", "/foo", "/foo/0", "/a~1b", "/m~0n", "/x/y/z"] {
+            let p = Pointer::parse(s).unwrap();
+            assert_eq!(p.to_string(), s);
+            assert_eq!(Pointer::parse(&p.to_string()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn field_path_conversion() {
+        let p = Pointer::parse("/nested/k/0/deep").unwrap();
+        let fp = p.to_field_path();
+        assert_eq!(fp.to_string(), "nested.k[0].deep");
+        assert_eq!(doc().get_path(&fp), &Value::Bool(true));
+    }
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! # udbms-kv
+//!
+//! The key-value substrate: versioned namespaces with compare-and-swap,
+//! TTL under a logical clock, and ordered prefix/range scans.
+//!
+//! In the benchmark's social-commerce domain this store holds the
+//! *Feedback* messages ("key-value messages (Feedback)" in the paper's
+//! transaction example). The polyglot baseline uses it standalone; the
+//! unified engine provides the same operations over its MVCC backend.
+
+mod store;
+
+pub use store::{Entry, KvNamespace, KvStore};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use udbms_core::{Key, Value};
+
+    proptest! {
+        /// put/get/delete behaves like a model BTreeMap.
+        #[test]
+        fn behaves_like_a_map(ops in prop::collection::vec(
+            (0u8..3, 0i64..20, any::<i64>()), 1..100)
+        ) {
+            let mut ns = KvNamespace::new();
+            let mut model = std::collections::BTreeMap::new();
+            for (op, k, v) in ops {
+                let key = Key::int(k);
+                match op {
+                    0 => {
+                        ns.put(key.clone(), Value::Int(v));
+                        model.insert(k, v);
+                    }
+                    1 => {
+                        let got = ns.get(&key).map(|e| e.value.clone());
+                        prop_assert_eq!(got, model.get(&k).map(|v| Value::Int(*v)));
+                    }
+                    _ => {
+                        let removed = ns.delete(&key).is_some();
+                        prop_assert_eq!(removed, model.remove(&k).is_some());
+                    }
+                }
+            }
+            prop_assert_eq!(ns.len(), model.len());
+        }
+
+        /// Versions increase monotonically per key across overwrites.
+        #[test]
+        fn versions_monotonic(writes in prop::collection::vec(0i64..5, 1..50)) {
+            let mut ns = KvNamespace::new();
+            let mut last: std::collections::HashMap<i64, u64> = Default::default();
+            for (i, k) in writes.iter().enumerate() {
+                let ver = ns.put(Key::int(*k), Value::Int(i as i64));
+                if let Some(prev) = last.get(k) {
+                    prop_assert!(ver > *prev);
+                }
+                last.insert(*k, ver);
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The key-value store proper.
+
+use std::collections::BTreeMap;
+
+use udbms_core::{Error, Key, Result, Value};
+
+/// One stored entry: the value plus bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The stored value.
+    pub value: Value,
+    /// Per-key write version, starting at 1 and bumped by every put/cas.
+    pub version: u64,
+    /// Logical-clock tick after which the entry is invisible, if any.
+    pub expires_at: Option<u64>,
+}
+
+/// One namespace of keys — an independent ordered map with CAS and TTL.
+#[derive(Debug, Clone, Default)]
+pub struct KvNamespace {
+    entries: BTreeMap<Key, Entry>,
+    /// Logical clock for TTL; advanced explicitly by [`KvNamespace::tick`]
+    /// so tests and benchmarks are deterministic.
+    now: u64,
+}
+
+impl KvNamespace {
+    /// Empty namespace at logical time 0.
+    pub fn new() -> KvNamespace {
+        KvNamespace::default()
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advance the logical clock (expired entries become invisible; they
+    /// are physically removed lazily on access or via [`KvNamespace::vacuum`]).
+    pub fn tick(&mut self, by: u64) {
+        self.now += by;
+    }
+
+    fn live<'a>(&self, e: &'a Entry) -> Option<&'a Entry> {
+        match e.expires_at {
+            Some(t) if t <= self.now => None,
+            _ => Some(e),
+        }
+    }
+
+    /// Store a value, overwriting any previous entry. Returns the new
+    /// per-key version.
+    pub fn put(&mut self, key: Key, value: Value) -> u64 {
+        self.put_with_ttl(key, value, None)
+    }
+
+    /// Store a value that expires `ttl` logical ticks from now.
+    pub fn put_with_ttl(&mut self, key: Key, value: Value, ttl: Option<u64>) -> u64 {
+        let expires_at = ttl.map(|t| self.now + t);
+        let version = match self.entries.get(&key) {
+            Some(e) => e.version + 1,
+            None => 1,
+        };
+        self.entries.insert(key, Entry { value, version, expires_at });
+        version
+    }
+
+    /// Fetch a live entry.
+    pub fn get(&self, key: &Key) -> Option<&Entry> {
+        self.entries.get(key).and_then(|e| self.live(e))
+    }
+
+    /// Fetch just the live value.
+    pub fn get_value(&self, key: &Key) -> Option<&Value> {
+        self.get(key).map(|e| &e.value)
+    }
+
+    /// Compare-and-swap: write only if the current version equals
+    /// `expected_version` (0 means "key must be absent"). Returns the new
+    /// version, or a conflict error carrying the actual version.
+    pub fn cas(&mut self, key: Key, value: Value, expected_version: u64) -> Result<u64> {
+        let current = self.get(&key).map(|e| e.version).unwrap_or(0);
+        if current != expected_version {
+            return Err(Error::TxnConflict(format!(
+                "cas on {key}: expected v{expected_version}, found v{current}"
+            )));
+        }
+        Ok(self.put(key, value))
+    }
+
+    /// Remove an entry, returning its live value.
+    pub fn delete(&mut self, key: &Key) -> Option<Value> {
+        let live_now = self.get(key).is_some();
+        match self.entries.remove(key) {
+            Some(e) if live_now => Some(e.value),
+            _ => None,
+        }
+    }
+
+    /// Number of live entries. O(n) because expiry is lazy.
+    pub fn len(&self) -> usize {
+        self.entries.values().filter(|e| self.live(e).is_some()).count()
+    }
+
+    /// True when no live entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate live `(key, entry)` pairs in key order.
+    pub fn scan(&self) -> impl Iterator<Item = (&Key, &Entry)> {
+        self.entries.iter().filter_map(|(k, e)| self.live(e).map(|e| (k, e)))
+    }
+
+    /// Iterate live entries whose *string* keys start with `prefix`.
+    pub fn scan_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a Key, &'a Entry)> + 'a {
+        self.scan().filter(move |(k, _)| {
+            k.value().as_str().is_some_and(|s| s.starts_with(prefix))
+        })
+    }
+
+    /// Iterate live entries with keys in `[lo, hi)` order.
+    pub fn scan_range<'a>(&'a self, lo: &Key, hi: &Key) -> impl Iterator<Item = (&'a Key, &'a Entry)> + 'a {
+        self.entries
+            .range(lo.clone()..hi.clone())
+            .filter_map(|(k, e)| self.live(e).map(|e| (k, e)))
+    }
+
+    /// Physically drop expired entries; returns how many were removed.
+    pub fn vacuum(&mut self) -> usize {
+        let now = self.now;
+        let before = self.entries.len();
+        self.entries.retain(|_, e| match e.expires_at {
+            Some(t) => t > now,
+            None => true,
+        });
+        before - self.entries.len()
+    }
+}
+
+/// A store of named namespaces — the standalone KV database used by the
+/// polyglot baseline.
+#[derive(Debug, Clone, Default)]
+pub struct KvStore {
+    namespaces: BTreeMap<String, KvNamespace>,
+}
+
+impl KvStore {
+    /// Empty store.
+    pub fn new() -> KvStore {
+        KvStore::default()
+    }
+
+    /// Get or create a namespace.
+    pub fn namespace(&mut self, name: &str) -> &mut KvNamespace {
+        self.namespaces.entry(name.to_string()).or_default()
+    }
+
+    /// Borrow an existing namespace.
+    pub fn get_namespace(&self, name: &str) -> Result<&KvNamespace> {
+        self.namespaces
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("kv namespace `{name}`")))
+    }
+
+    /// Namespace names in sorted order.
+    pub fn names(&self) -> Vec<&str> {
+        self.namespaces.keys().map(String::as_str).collect()
+    }
+
+    /// Total live entries across namespaces.
+    pub fn total_entries(&self) -> usize {
+        self.namespaces.values().map(KvNamespace::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let mut ns = KvNamespace::new();
+        assert_eq!(ns.put(Key::str("a"), Value::Int(1)), 1);
+        assert_eq!(ns.get_value(&Key::str("a")), Some(&Value::Int(1)));
+        assert_eq!(ns.put(Key::str("a"), Value::Int(2)), 2, "overwrite bumps version");
+        assert_eq!(ns.delete(&Key::str("a")), Some(Value::Int(2)));
+        assert_eq!(ns.delete(&Key::str("a")), None);
+        assert!(ns.is_empty());
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_matching_version() {
+        let mut ns = KvNamespace::new();
+        assert_eq!(ns.cas(Key::str("k"), Value::Int(1), 0).unwrap(), 1, "create via cas(0)");
+        assert!(ns.cas(Key::str("k"), Value::Int(2), 0).is_err(), "stale create");
+        assert_eq!(ns.cas(Key::str("k"), Value::Int(2), 1).unwrap(), 2);
+        let err = ns.cas(Key::str("k"), Value::Int(3), 1).unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(ns.get_value(&Key::str("k")), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn ttl_expiry_is_logical_and_lazy() {
+        let mut ns = KvNamespace::new();
+        ns.put_with_ttl(Key::str("tmp"), Value::Int(1), Some(5));
+        ns.put(Key::str("keep"), Value::Int(2));
+        assert_eq!(ns.len(), 2);
+        ns.tick(4);
+        assert!(ns.get(&Key::str("tmp")).is_some(), "not expired at t=4");
+        ns.tick(1);
+        assert!(ns.get(&Key::str("tmp")).is_none(), "expired at t=5");
+        assert_eq!(ns.len(), 1);
+        assert_eq!(ns.vacuum(), 1);
+        assert_eq!(ns.len(), 1);
+        assert_eq!(ns.now(), 5);
+    }
+
+    #[test]
+    fn expired_delete_returns_none() {
+        let mut ns = KvNamespace::new();
+        ns.put_with_ttl(Key::str("tmp"), Value::Int(1), Some(1));
+        ns.tick(1);
+        assert_eq!(ns.delete(&Key::str("tmp")), None, "expired value is not observable");
+        assert!(ns.get(&Key::str("tmp")).is_none());
+    }
+
+    #[test]
+    fn overwrite_clears_ttl() {
+        let mut ns = KvNamespace::new();
+        ns.put_with_ttl(Key::str("k"), Value::Int(1), Some(2));
+        ns.put(Key::str("k"), Value::Int(2));
+        ns.tick(10);
+        assert_eq!(ns.get_value(&Key::str("k")), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn prefix_and_range_scans() {
+        let mut ns = KvNamespace::new();
+        for (k, v) in [("fb:p1:u1", 5), ("fb:p1:u2", 4), ("fb:p2:u1", 3), ("other", 1)] {
+            ns.put(Key::str(k), Value::Int(v));
+        }
+        let p1: Vec<&Key> = ns.scan_prefix("fb:p1:").map(|(k, _)| k).collect();
+        assert_eq!(p1, vec![&Key::str("fb:p1:u1"), &Key::str("fb:p1:u2")]);
+        assert_eq!(ns.scan_prefix("fb:").count(), 3);
+        assert_eq!(ns.scan_prefix("zzz").count(), 0);
+        let range: Vec<&Key> = ns
+            .scan_range(&Key::str("fb:p1:"), &Key::str("fb:p2:"))
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(range.len(), 2);
+    }
+
+    #[test]
+    fn scan_skips_expired() {
+        let mut ns = KvNamespace::new();
+        ns.put_with_ttl(Key::str("a"), Value::Int(1), Some(1));
+        ns.put(Key::str("b"), Value::Int(2));
+        ns.tick(2);
+        let live: Vec<&Key> = ns.scan().map(|(k, _)| k).collect();
+        assert_eq!(live, vec![&Key::str("b")]);
+    }
+
+    #[test]
+    fn store_namespaces_are_independent() {
+        let mut store = KvStore::new();
+        store.namespace("feedback").put(Key::str("x"), Value::Int(1));
+        store.namespace("sessions").put(Key::str("x"), Value::Int(2));
+        assert_eq!(store.names(), vec!["feedback", "sessions"]);
+        assert_eq!(
+            store.get_namespace("feedback").unwrap().get_value(&Key::str("x")),
+            Some(&Value::Int(1))
+        );
+        assert_eq!(store.total_entries(), 2);
+        assert!(store.get_namespace("missing").is_err());
+    }
+
+    #[test]
+    fn mixed_key_types_order_canonically() {
+        let mut ns = KvNamespace::new();
+        ns.put(Key::str("s"), Value::Int(1));
+        ns.put(Key::int(5), Value::Int(2));
+        let keys: Vec<&Key> = ns.scan().map(|(k, _)| k).collect();
+        // numbers sort before strings in canonical order
+        assert_eq!(keys, vec![&Key::int(5), &Key::str("s")]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Loading the generated dataset into the polyglot deployment. Writes pay
+//! the wire codec, as they would through real drivers.
+
+use udbms_core::{obj, FieldPath, Key, Result, Value};
+use udbms_datagen::Dataset;
+use udbms_relational::IndexKind;
+
+use crate::stores::PolyglotDb;
+use crate::wire::{json_hop, xml_hop};
+
+/// Create schemas/indexes and load a dataset. Returns records written.
+pub fn load_into_polyglot(db: &PolyglotDb, data: &Dataset) -> Result<usize> {
+    let mut written = 0usize;
+
+    {
+        let mut rel = db.relational.lock();
+        let schemas = udbms_datagen::schemas();
+        let customers_schema =
+            schemas.iter().find(|s| s.name == "customers").expect("canonical schema").clone();
+        rel.create_table(customers_schema)?;
+        rel.table_mut("customers")?.create_index("country", IndexKind::Hash)?;
+        for c in &data.customers {
+            rel.insert("customers", json_hop(c))?;
+            written += 1;
+        }
+    }
+    {
+        let mut docs = db.documents.lock();
+        let orders = docs.collection("orders");
+        orders.create_index(FieldPath::key("customer"), IndexKind::Hash)?;
+        orders.create_index(FieldPath::key("status"), IndexKind::Hash)?;
+        for o in &data.orders {
+            orders.insert(json_hop(o))?;
+            written += 1;
+        }
+        let products = docs.collection("products");
+        products.create_index(FieldPath::key("price"), IndexKind::BTree)?;
+        for p in &data.products {
+            products.insert(json_hop(p))?;
+            written += 1;
+        }
+    }
+    {
+        let mut kv = db.kv.lock();
+        let ns = kv.namespace("feedback");
+        for (k, v) in &data.feedback {
+            ns.put(k.clone(), json_hop(v));
+            written += 1;
+        }
+    }
+    {
+        let mut graph = db.graph.lock();
+        for c in &data.customers {
+            let id = c.get_field("id").as_int().expect("customer id");
+            graph.add_vertex(
+                Key::int(id),
+                "customer",
+                json_hop(&obj! {"cid" => id, "country" => c.get_field("country").clone()}),
+            )?;
+            written += 1;
+        }
+        for p in &data.products {
+            let pid = p.get_field("_id").as_str().expect("product id");
+            graph.add_vertex(
+                Key::str(pid),
+                "product",
+                json_hop(&obj! {"pid" => pid, "category" => p.get_field("category").clone()}),
+            )?;
+            written += 1;
+        }
+        for (src, dst) in &data.knows {
+            graph.add_edge(Key::int(*src), Key::int(*dst), "knows", Value::Null)?;
+            written += 1;
+        }
+        for (cust, pid) in &data.bought {
+            graph.add_edge(Key::int(*cust), Key::str(pid.clone()), "bought", Value::Null)?;
+            written += 1;
+        }
+    }
+    {
+        let mut xml = db.xml.lock();
+        for (k, tree) in &data.invoices {
+            xml.insert(k.clone(), xml_hop(tree)?);
+            written += 1;
+        }
+    }
+    Ok(written)
+}
+
+/// Convenience: generate + load, returning the deployment and dataset.
+pub fn build_polyglot(cfg: &udbms_datagen::GenConfig) -> Result<(PolyglotDb, Dataset)> {
+    let data = udbms_datagen::generate(cfg);
+    let db = PolyglotDb::new();
+    load_into_polyglot(&db, &data)?;
+    Ok((db, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udbms_datagen::GenConfig;
+
+    #[test]
+    fn loads_every_model() {
+        let (db, data) =
+            build_polyglot(&GenConfig { scale_factor: 0.02, ..Default::default() }).unwrap();
+        assert_eq!(db.relational.lock().total_rows(), data.customers.len());
+        assert_eq!(
+            db.documents.lock().total_docs(),
+            data.orders.len() + data.products.len()
+        );
+        assert_eq!(db.kv.lock().total_entries(), data.feedback.len());
+        assert_eq!(
+            db.graph.lock().vertex_count(),
+            data.customers.len() + data.products.len()
+        );
+        assert_eq!(db.graph.lock().edge_count(), data.knows.len() + data.bought.len());
+        assert_eq!(db.xml.lock().len(), data.invoices.len());
+    }
+}

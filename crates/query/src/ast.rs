@@ -1,0 +1,342 @@
+//! MMQL abstract syntax.
+
+use udbms_core::Value;
+use udbms_graph::Direction;
+
+/// A full MMQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A read query (`FOR … RETURN …` pipeline).
+    Query(QueryBody),
+    /// `INSERT <expr> INTO <collection>`
+    Insert {
+        /// Value to insert.
+        value: Expr,
+        /// Target collection.
+        collection: String,
+    },
+    /// `UPDATE <key> WITH <patch> IN <collection>` (deep merge).
+    Update {
+        /// Key expression.
+        key: Expr,
+        /// Patch object.
+        patch: Expr,
+        /// Target collection.
+        collection: String,
+    },
+    /// `REMOVE <key> IN <collection>`
+    Remove {
+        /// Key expression.
+        key: Expr,
+        /// Target collection.
+        collection: String,
+    },
+}
+
+/// The clause pipeline of a read query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBody {
+    /// Clauses applied in order.
+    pub clauses: Vec<Clause>,
+    /// Whether `RETURN DISTINCT` was requested.
+    pub distinct: bool,
+    /// The projected expression.
+    pub ret: Expr,
+}
+
+/// One pipeline clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `FOR var IN source`
+    For {
+        /// Loop variable.
+        var: String,
+        /// What to iterate.
+        source: Source,
+    },
+    /// `FILTER expr`
+    Filter(Expr),
+    /// `LET var = expr`
+    Let {
+        /// Bound variable.
+        var: String,
+        /// Bound value.
+        value: Expr,
+    },
+    /// `SORT expr [ASC|DESC], …`
+    Sort {
+        /// Sort keys with ascending flags.
+        keys: Vec<(Expr, bool)>,
+    },
+    /// `LIMIT [offset,] count`
+    Limit {
+        /// Rows to skip.
+        offset: usize,
+        /// Rows to keep.
+        count: usize,
+    },
+    /// `COLLECT g = expr, … [AGGREGATE a = FN(expr), …] [INTO var]`
+    Collect {
+        /// Group keys: output name → expression.
+        groups: Vec<(String, Expr)>,
+        /// Aggregates: output name → (function, input expression).
+        aggregates: Vec<(String, AggFunc, Expr)>,
+        /// Bind the group's member bindings (as objects) to this name.
+        into: Option<String>,
+    },
+}
+
+/// Aggregation functions available in `COLLECT … AGGREGATE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Row count.
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Numeric mean.
+    Avg,
+    /// Canonical minimum.
+    Min,
+    /// Canonical maximum.
+    Max,
+}
+
+impl AggFunc {
+    /// Parse an aggregate function name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" | "LENGTH" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" | "AVERAGE" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// What a `FOR` iterates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// A named collection.
+    Collection(String),
+    /// Graph traversal: `min..max OUTBOUND|INBOUND|ANY start GRAPH g
+    /// [LABEL "l"]`; yields vertices between `min` and `max` hops.
+    Traversal {
+        /// Minimum depth (inclusive).
+        min: usize,
+        /// Maximum depth (inclusive).
+        max: usize,
+        /// Direction of travel.
+        dir: Direction,
+        /// Start-vertex key expression.
+        start: Box<Expr>,
+        /// Graph name.
+        graph: String,
+        /// Optional edge-label restriction.
+        label: Option<String>,
+    },
+    /// Any expression evaluating to an array.
+    Expr(Box<Expr>),
+}
+
+/// One step of a member access chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberStep {
+    /// `.field`
+    Field(String),
+    /// `[expr]`
+    Index(Box<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `==` (canonical equality)
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND` / `&&`
+    And,
+    /// `OR` / `||`
+    Or,
+    /// `+` (numeric add or string/array concat)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `IN` (membership in array)
+    In,
+    /// `LIKE` (SQL pattern)
+    Like,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `NOT` / `!`
+    Not,
+    /// Numeric negation.
+    Neg,
+}
+
+/// An MMQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Variable reference.
+    Var(String),
+    /// Member access chain rooted at an expression.
+    Member {
+        /// The base expression.
+        base: Box<Expr>,
+        /// Access steps.
+        steps: Vec<MemberStep>,
+    },
+    /// Array constructor.
+    Array(Vec<Expr>),
+    /// Object constructor.
+    Object(Vec<(String, Expr)>),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Uppercased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Subquery expression `( FOR … RETURN … )`.
+    Subquery(Box<QueryBody>),
+}
+
+impl Expr {
+    /// Shorthand string literal.
+    pub fn str(s: &str) -> Expr {
+        Expr::Literal(Value::from(s))
+    }
+
+    /// Shorthand int literal.
+    pub fn int(i: i64) -> Expr {
+        Expr::Literal(Value::Int(i))
+    }
+
+    /// If this expression is `var.path.only.of.fields`, return the
+    /// variable and the path — the planner's pushdown hook.
+    pub fn as_var_path(&self) -> Option<(&str, udbms_core::FieldPath)> {
+        match self {
+            Expr::Var(v) => Some((v, udbms_core::FieldPath::root())),
+            Expr::Member { base, steps } => {
+                let Expr::Var(v) = base.as_ref() else { return None };
+                let mut path = udbms_core::FieldPath::root();
+                for s in steps {
+                    match s {
+                        MemberStep::Field(f) => path = path.child(f.clone()),
+                        MemberStep::Index(e) => match e.as_ref() {
+                            Expr::Literal(Value::Int(i)) if *i >= 0 => {
+                                path = path.at(*i as usize);
+                            }
+                            _ => return None,
+                        },
+                    }
+                }
+                Some((v, path))
+            }
+            _ => None,
+        }
+    }
+
+    /// True when the expression contains no variables or calls (safe to
+    /// fold at plan time).
+    pub fn is_const(&self) -> bool {
+        match self {
+            Expr::Literal(_) => true,
+            Expr::Array(items) => items.iter().all(Expr::is_const),
+            Expr::Object(fields) => fields.iter().all(|(_, e)| e.is_const()),
+            Expr::Unary { expr, .. } => expr.is_const(),
+            Expr::Binary { lhs, rhs, .. } => lhs.is_const() && rhs.is_const(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_path_extraction() {
+        let e = Expr::Member {
+            base: Box::new(Expr::Var("c".into())),
+            steps: vec![
+                MemberStep::Field("address".into()),
+                MemberStep::Field("city".into()),
+            ],
+        };
+        let (var, path) = e.as_var_path().unwrap();
+        assert_eq!(var, "c");
+        assert_eq!(path.to_string(), "address.city");
+
+        let with_idx = Expr::Member {
+            base: Box::new(Expr::Var("o".into())),
+            steps: vec![
+                MemberStep::Field("items".into()),
+                MemberStep::Index(Box::new(Expr::int(0))),
+            ],
+        };
+        assert_eq!(with_idx.as_var_path().unwrap().1.to_string(), "items[0]");
+
+        let dynamic = Expr::Member {
+            base: Box::new(Expr::Var("o".into())),
+            steps: vec![MemberStep::Index(Box::new(Expr::Var("i".into())))],
+        };
+        assert!(dynamic.as_var_path().is_none(), "dynamic index defeats pushdown");
+    }
+
+    #[test]
+    fn const_detection() {
+        assert!(Expr::int(1).is_const());
+        let sum = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::int(1)),
+            rhs: Box::new(Expr::int(2)),
+        };
+        assert!(sum.is_const());
+        assert!(!Expr::Var("x".into()).is_const());
+    }
+
+    #[test]
+    fn agg_names() {
+        assert_eq!(AggFunc::from_name("sum"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::from_name("LENGTH"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+}

@@ -1,0 +1,680 @@
+//! Expression evaluation and the MMQL function library.
+
+use std::collections::BTreeMap;
+
+use udbms_core::{Error, Key, Result, Value};
+use udbms_engine::Txn;
+use udbms_graph::Direction;
+use udbms_relational::like_match;
+
+use crate::ast::{BinOp, Expr, MemberStep, UnOp};
+
+/// A variable environment (one per pipeline row). Small and cloned per
+/// binding — queries bind a handful of variables.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    vars: Vec<(String, Value)>,
+}
+
+impl Env {
+    /// Empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Look up a variable (innermost binding wins).
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Bind (or shadow) a variable, builder-style.
+    #[must_use]
+    pub fn with(&self, name: &str, value: Value) -> Env {
+        let mut next = self.clone();
+        next.vars.push((name.to_string(), value));
+        next
+    }
+
+    /// All bindings as an object (used by `COLLECT … INTO`).
+    pub fn as_object(&self) -> Value {
+        let mut m = BTreeMap::new();
+        for (n, v) in &self.vars {
+            m.insert(n.clone(), v.clone());
+        }
+        Value::Object(m)
+    }
+
+    /// Variable names currently bound.
+    pub fn names(&self) -> Vec<&str> {
+        self.vars.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+/// Evaluate an expression that must be constant (no variables, calls or
+/// subqueries). Returns `None` when the expression is not constant.
+pub fn eval_const(expr: &Expr) -> Option<Value> {
+    if !expr.is_const() {
+        return None;
+    }
+    // No vars/calls ⇒ evaluation cannot touch the txn or an environment.
+    eval_pure(expr).ok()
+}
+
+/// Evaluate expressions that need no transaction (no DOCUMENT/NEIGHBORS/
+/// subqueries). Internal helper for constant folding.
+fn eval_pure(expr: &Expr) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Array(items) => {
+            items.iter().map(eval_pure).collect::<Result<Vec<_>>>().map(Value::Array)
+        }
+        Expr::Object(fields) => {
+            let mut m = BTreeMap::new();
+            for (k, e) in fields {
+                m.insert(k.clone(), eval_pure(e)?);
+            }
+            Ok(Value::Object(m))
+        }
+        Expr::Unary { op, expr } => apply_unary(*op, eval_pure(expr)?),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_pure(lhs)?;
+            // short-circuit still applies
+            match op {
+                BinOp::And if !l.is_truthy() => return Ok(Value::Bool(false)),
+                BinOp::Or if l.is_truthy() => return Ok(Value::Bool(true)),
+                _ => {}
+            }
+            let r = eval_pure(rhs)?;
+            apply_binary(*op, l, r)
+        }
+        _ => Err(Error::Invalid("non-constant expression in constant context".into())),
+    }
+}
+
+/// Evaluate an expression against an environment with transaction access
+/// (`DOCUMENT`, `NEIGHBORS`, `XPATH` on stored docs, subqueries).
+pub fn eval(expr: &Expr, env: &Env, txn: &mut Txn) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Var(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("variable `{name}`"))),
+        Expr::Member { base, steps } => {
+            let mut cur = eval(base, env, txn)?;
+            for step in steps {
+                cur = match step {
+                    MemberStep::Field(f) => cur.get_field(f).clone(),
+                    MemberStep::Index(e) => {
+                        let idx = eval(e, env, txn)?;
+                        match (&cur, &idx) {
+                            (Value::Array(items), Value::Int(i)) => {
+                                let i = *i;
+                                if i >= 0 {
+                                    items.get(i as usize).cloned().unwrap_or(Value::Null)
+                                } else {
+                                    // negative indexes count from the end
+                                    let n = items.len() as i64;
+                                    items
+                                        .get((n + i).max(0) as usize)
+                                        .cloned()
+                                        .unwrap_or(Value::Null)
+                                }
+                            }
+                            (Value::Object(_), Value::Str(k)) => cur.get_field(k).clone(),
+                            _ => Value::Null,
+                        }
+                    }
+                };
+            }
+            Ok(cur)
+        }
+        Expr::Array(items) => items
+            .iter()
+            .map(|e| eval(e, env, txn))
+            .collect::<Result<Vec<_>>>()
+            .map(Value::Array),
+        Expr::Object(fields) => {
+            let mut m = BTreeMap::new();
+            for (k, e) in fields {
+                m.insert(k.clone(), eval(e, env, txn)?);
+            }
+            Ok(Value::Object(m))
+        }
+        Expr::Unary { op, expr } => apply_unary(*op, eval(expr, env, txn)?),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval(lhs, env, txn)?;
+            match op {
+                BinOp::And if !l.is_truthy() => return Ok(Value::Bool(false)),
+                BinOp::Or if l.is_truthy() => return Ok(Value::Bool(true)),
+                _ => {}
+            }
+            let r = eval(rhs, env, txn)?;
+            apply_binary(*op, l, r)
+        }
+        Expr::Call { name, args } => call_function(name, args, env, txn),
+        Expr::Subquery(body) => {
+            let rows = crate::exec::run_body(body, env, txn)?;
+            Ok(Value::Array(rows))
+        }
+    }
+}
+
+fn apply_unary(op: UnOp, v: Value) -> Result<Value> {
+    match op {
+        UnOp::Not => Ok(Value::Bool(!v.is_truthy())),
+        UnOp::Neg => match v {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(Error::type_err("number (unary -)", other.type_name())),
+        },
+    }
+}
+
+fn apply_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    use std::cmp::Ordering;
+    let ord = || l.canonical_cmp(&r);
+    Ok(match op {
+        BinOp::Eq => Value::Bool(ord() == Ordering::Equal),
+        BinOp::Ne => Value::Bool(ord() != Ordering::Equal),
+        BinOp::Lt => Value::Bool(ord() == Ordering::Less),
+        BinOp::Le => Value::Bool(ord() != Ordering::Greater),
+        BinOp::Gt => Value::Bool(ord() == Ordering::Greater),
+        BinOp::Ge => Value::Bool(ord() != Ordering::Less),
+        BinOp::And => Value::Bool(l.is_truthy() && r.is_truthy()),
+        BinOp::Or => Value::Bool(l.is_truthy() || r.is_truthy()),
+        BinOp::In => match r {
+            Value::Array(items) => Value::Bool(items.contains(&l)),
+            _ => Value::Bool(false),
+        },
+        BinOp::Like => match (&l, &r) {
+            (Value::Str(s), Value::Str(p)) => Value::Bool(like_match(p, s)),
+            _ => Value::Bool(false),
+        },
+        BinOp::Add => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
+            (Value::Str(a), Value::Str(b)) => Value::Str(format!("{a}{b}")),
+            (Value::Array(a), Value::Array(b)) => {
+                let mut out = a.clone();
+                out.extend(b.iter().cloned());
+                Value::Array(out)
+            }
+            _ => numeric_op(&l, &r, "+", |a, b| a + b)?,
+        },
+        BinOp::Sub => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_sub(*b)),
+            _ => numeric_op(&l, &r, "-", |a, b| a - b)?,
+        },
+        BinOp::Mul => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_mul(*b)),
+            _ => numeric_op(&l, &r, "*", |a, b| a * b)?,
+        },
+        BinOp::Div => {
+            let (a, b) = both_numeric(&l, &r, "/")?;
+            if b == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(a / b)
+            }
+        }
+        BinOp::Mod => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a.rem_euclid(*b))
+                }
+            }
+            _ => return Err(Error::type_err("integers (%)", format!("{} % {}", l.type_name(), r.type_name()))),
+        },
+    })
+}
+
+fn both_numeric(l: &Value, r: &Value, op: &str) -> Result<(f64, f64)> {
+    match (l.as_float(), r.as_float()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(Error::type_err(
+            format!("numbers ({op})"),
+            format!("{} {op} {}", l.type_name(), r.type_name()),
+        )),
+    }
+}
+
+fn numeric_op(l: &Value, r: &Value, name: &str, f: impl Fn(f64, f64) -> f64) -> Result<Value> {
+    let (a, b) = both_numeric(l, r, name)?;
+    Ok(Value::Float(f(a, b)))
+}
+
+/// Dispatch a function call.
+fn call_function(name: &str, args: &[Expr], env: &Env, txn: &mut Txn) -> Result<Value> {
+    let argc = args.len();
+    let wrong_arity = |want: &str| {
+        Err(Error::Invalid(format!("{name}() expects {want} argument(s), got {argc}")))
+    };
+    let mut vals: Vec<Value> = Vec::with_capacity(argc);
+    for a in args {
+        vals.push(eval(a, env, txn)?);
+    }
+    match name {
+        "LENGTH" | "COUNT" => {
+            if argc != 1 {
+                return wrong_arity("1");
+            }
+            Ok(Value::Int(match &vals[0] {
+                Value::Array(a) => a.len() as i64,
+                Value::Object(o) => o.len() as i64,
+                Value::Str(s) => s.chars().count() as i64,
+                Value::Null => 0,
+                _ => 1,
+            }))
+        }
+        "SUM" | "AVG" | "MIN" | "MAX" => {
+            if argc != 1 {
+                return wrong_arity("1");
+            }
+            let items = vals[0]
+                .as_array()
+                .ok_or_else(|| Error::type_err("Array", vals[0].type_name()))?;
+            Ok(aggregate_array(name, items))
+        }
+        "FIRST" => {
+            if argc != 1 {
+                return wrong_arity("1");
+            }
+            Ok(vals[0].as_array().and_then(|a| a.first()).cloned().unwrap_or(Value::Null))
+        }
+        "LAST" => {
+            if argc != 1 {
+                return wrong_arity("1");
+            }
+            Ok(vals[0].as_array().and_then(|a| a.last()).cloned().unwrap_or(Value::Null))
+        }
+        "UNIQUE" => {
+            if argc != 1 {
+                return wrong_arity("1");
+            }
+            let items = vals[0]
+                .as_array()
+                .ok_or_else(|| Error::type_err("Array", vals[0].type_name()))?;
+            let mut seen = Vec::new();
+            for v in items {
+                if !seen.contains(v) {
+                    seen.push(v.clone());
+                }
+            }
+            Ok(Value::Array(seen))
+        }
+        "FLATTEN" => {
+            if argc != 1 {
+                return wrong_arity("1");
+            }
+            let items = vals[0]
+                .as_array()
+                .ok_or_else(|| Error::type_err("Array", vals[0].type_name()))?;
+            let mut out = Vec::new();
+            for v in items {
+                match v {
+                    Value::Array(inner) => out.extend(inner.iter().cloned()),
+                    other => out.push(other.clone()),
+                }
+            }
+            Ok(Value::Array(out))
+        }
+        "APPEND" => {
+            if argc != 2 {
+                return wrong_arity("2");
+            }
+            let mut items = vals[0]
+                .as_array()
+                .ok_or_else(|| Error::type_err("Array", vals[0].type_name()))?
+                .to_vec();
+            items.push(vals[1].clone());
+            Ok(Value::Array(items))
+        }
+        "CONCAT" => {
+            let mut s = String::new();
+            for v in &vals {
+                match v {
+                    Value::Null => {}
+                    Value::Str(t) => s.push_str(t),
+                    other => s.push_str(&other.to_string()),
+                }
+            }
+            Ok(Value::Str(s))
+        }
+        "UPPER" | "LOWER" => {
+            if argc != 1 {
+                return wrong_arity("1");
+            }
+            let s = vals[0].expect_str(name)?;
+            Ok(Value::Str(if name == "UPPER" { s.to_uppercase() } else { s.to_lowercase() }))
+        }
+        "SUBSTRING" => {
+            if !(2..=3).contains(&argc) {
+                return wrong_arity("2 or 3");
+            }
+            let s: Vec<char> = vals[0].expect_str("SUBSTRING")?.chars().collect();
+            let start = vals[1].expect_int("SUBSTRING start")?.max(0) as usize;
+            let len = match vals.get(2) {
+                Some(v) => v.expect_int("SUBSTRING length")?.max(0) as usize,
+                None => s.len().saturating_sub(start),
+            };
+            Ok(Value::Str(s.iter().skip(start).take(len).collect()))
+        }
+        "CONTAINS" => {
+            if argc != 2 {
+                return wrong_arity("2");
+            }
+            match (&vals[0], &vals[1]) {
+                (Value::Str(s), Value::Str(sub)) => Ok(Value::Bool(s.contains(sub.as_str()))),
+                (Value::Array(a), v) => Ok(Value::Bool(a.contains(v))),
+                _ => Ok(Value::Bool(false)),
+            }
+        }
+        "ABS" | "FLOOR" | "CEIL" | "ROUND" => {
+            if argc != 1 {
+                return wrong_arity("1");
+            }
+            match &vals[0] {
+                Value::Int(i) if name == "ABS" => Ok(Value::Int(i.abs())),
+                Value::Int(i) => Ok(Value::Int(*i)),
+                Value::Float(f) => Ok(match name {
+                    "ABS" => Value::Float(f.abs()),
+                    "FLOOR" => Value::Int(f.floor() as i64),
+                    "CEIL" => Value::Int(f.ceil() as i64),
+                    _ => Value::Int(f.round() as i64),
+                }),
+                other => Err(Error::type_err("number", other.type_name())),
+            }
+        }
+        "TO_STRING" => {
+            if argc != 1 {
+                return wrong_arity("1");
+            }
+            Ok(Value::Str(match &vals[0] {
+                Value::Str(s) => s.clone(),
+                other => other.to_string(),
+            }))
+        }
+        "TO_NUMBER" => {
+            if argc != 1 {
+                return wrong_arity("1");
+            }
+            Ok(match &vals[0] {
+                Value::Int(i) => Value::Int(*i),
+                Value::Float(f) => Value::Float(*f),
+                Value::Str(s) => match s.trim().parse::<i64>() {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => s.trim().parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
+                },
+                Value::Bool(b) => Value::Int(i64::from(*b)),
+                _ => Value::Null,
+            })
+        }
+        "COALESCE" | "NOT_NULL" => Ok(vals.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null)),
+        "MERGE" => {
+            if argc != 2 {
+                return wrong_arity("2");
+            }
+            let mut base = vals[0].clone();
+            base.merge_from(vals[1].clone());
+            Ok(base)
+        }
+        "KEYS" => {
+            if argc != 1 {
+                return wrong_arity("1");
+            }
+            let obj = vals[0].expect_object("KEYS")?;
+            Ok(Value::Array(obj.keys().map(|k| Value::from(k.clone())).collect()))
+        }
+        "VALUES" => {
+            if argc != 1 {
+                return wrong_arity("1");
+            }
+            let obj = vals[0].expect_object("VALUES")?;
+            Ok(Value::Array(obj.values().cloned().collect()))
+        }
+        "HAS" => {
+            if argc != 2 {
+                return wrong_arity("2");
+            }
+            let obj = vals[0].expect_object("HAS")?;
+            Ok(Value::Bool(obj.contains_key(vals[1].expect_str("HAS key")?)))
+        }
+        "RANGE" => {
+            if argc != 2 {
+                return wrong_arity("2");
+            }
+            let a = vals[0].expect_int("RANGE start")?;
+            let b = vals[1].expect_int("RANGE end")?;
+            Ok(Value::Array((a..=b).map(Value::Int).collect()))
+        }
+        "DOCUMENT" => {
+            if argc != 2 {
+                return wrong_arity("2");
+            }
+            let coll = vals[0].expect_str("DOCUMENT collection")?.to_string();
+            let key = Key::new(vals[1].clone())?;
+            Ok(txn.get(&coll, &key)?.unwrap_or(Value::Null))
+        }
+        "NEIGHBORS" => {
+            if !(3..=4).contains(&argc) {
+                return wrong_arity("3 or 4");
+            }
+            let graph = vals[0].expect_str("NEIGHBORS graph")?.to_string();
+            let key = Key::new(vals[1].clone())?;
+            let dir = match vals[2].expect_str("NEIGHBORS direction")?.to_ascii_uppercase().as_str()
+            {
+                "OUT" | "OUTBOUND" => Direction::Out,
+                "IN" | "INBOUND" => Direction::In,
+                "ANY" | "BOTH" => Direction::Both,
+                other => return Err(Error::Invalid(format!("unknown direction `{other}`"))),
+            };
+            let label = match vals.get(3) {
+                Some(Value::Str(s)) => Some(s.clone()),
+                Some(Value::Null) | None => None,
+                Some(other) => return Err(Error::type_err("Str (label)", other.type_name())),
+            };
+            let keys = txn.neighbors(&graph, &key, dir, label.as_deref())?;
+            Ok(Value::Array(keys.into_iter().map(Key::into_value).collect()))
+        }
+        "XPATH" => {
+            if argc != 2 {
+                return wrong_arity("2");
+            }
+            let expr_s = vals[1].expect_str("XPATH expression")?;
+            let compiled = udbms_xml::XPath::parse(expr_s)?;
+            if vals[0].is_null() {
+                return Ok(Value::Array(Vec::new()));
+            }
+            let node = udbms_xml::value_to_xml(&vals[0])?;
+            Ok(Value::Array(compiled.values(&node)))
+        }
+        "XPATH_FIRST" => {
+            if argc != 2 {
+                return wrong_arity("2");
+            }
+            let expr_s = vals[1].expect_str("XPATH_FIRST expression")?;
+            let compiled = udbms_xml::XPath::parse(expr_s)?;
+            if vals[0].is_null() {
+                return Ok(Value::Null);
+            }
+            let node = udbms_xml::value_to_xml(&vals[0])?;
+            Ok(compiled.values(&node).into_iter().next().unwrap_or(Value::Null))
+        }
+        other => Err(Error::NotFound(format!("function `{other}`"))),
+    }
+}
+
+/// Shared array aggregation used by both the function library and
+/// `COLLECT AGGREGATE`.
+pub fn aggregate_array(func: &str, items: &[Value]) -> Value {
+    match func {
+        "SUM" | "AVG" => {
+            let nums: Vec<f64> = items.iter().filter_map(Value::as_float).collect();
+            if nums.is_empty() {
+                return Value::Null;
+            }
+            let sum: f64 = nums.iter().sum();
+            if func == "AVG" {
+                Value::Float(sum / nums.len() as f64)
+            } else if items.iter().all(|v| matches!(v, Value::Int(_) | Value::Null)) {
+                Value::Int(sum as i64)
+            } else {
+                Value::Float(sum)
+            }
+        }
+        "MIN" => items.iter().filter(|v| !v.is_null()).min().cloned().unwrap_or(Value::Null),
+        "MAX" => items.iter().filter(|v| !v.is_null()).max().cloned().unwrap_or(Value::Null),
+        _ => Value::Int(items.len() as i64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+    use udbms_core::{arr, obj, CollectionSchema};
+    use udbms_engine::{Engine, Isolation};
+
+    fn eval_str(src: &str) -> Value {
+        let engine = Engine::new();
+        engine.create_collection(CollectionSchema::key_value("kv")).unwrap();
+        let mut txn = engine.begin(Isolation::Snapshot);
+        let stmt = parser::parse(&format!("RETURN {src}")).unwrap();
+        let crate::ast::Statement::Query(body) = stmt else { panic!() };
+        eval(&body.ret, &Env::new(), &mut txn).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_types() {
+        assert_eq!(eval_str("1 + 2"), Value::Int(3));
+        assert_eq!(eval_str("1 + 2.5"), Value::Float(3.5));
+        assert_eq!(eval_str("7 % 3"), Value::Int(1));
+        assert_eq!(eval_str("1 / 0"), Value::Null);
+        assert_eq!(eval_str("7 % 0"), Value::Null);
+        assert_eq!(eval_str("2 * 3 + 1"), Value::Int(7));
+        assert_eq!(eval_str("-5"), Value::Int(-5));
+        assert_eq!(eval_str("\"a\" + \"b\""), Value::from("ab"));
+        assert_eq!(eval_str("[1] + [2]"), arr![1, 2]);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(eval_str("1 < 2 AND 2 < 3"), Value::Bool(true));
+        assert_eq!(eval_str("1 == 1.0"), Value::Bool(true), "canonical equality");
+        assert_eq!(eval_str("NOT NULL"), Value::Bool(true));
+        assert_eq!(eval_str("FALSE OR 5"), Value::Bool(true), "truthiness");
+        assert_eq!(eval_str("2 IN [1, 2]"), Value::Bool(true));
+        assert_eq!(eval_str("3 IN [1, 2]"), Value::Bool(false));
+        assert_eq!(eval_str("\"abc\" LIKE \"a%\""), Value::Bool(true));
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs_errors() {
+        // UPPER(1) would be a type error; AND must not evaluate it
+        assert_eq!(eval_str("FALSE AND UPPER(1)"), Value::Bool(false));
+        assert_eq!(eval_str("TRUE OR UPPER(1)"), Value::Bool(true));
+    }
+
+    #[test]
+    fn member_access_variants() {
+        assert_eq!(eval_str("{a: {b: [10, 20]}}.a.b[1]"), Value::Int(20));
+        assert_eq!(eval_str("[1, 2, 3][-1]"), Value::Int(3), "negative index");
+        assert_eq!(eval_str("{a: 1}[\"a\"]"), Value::Int(1));
+        assert_eq!(eval_str("{a: 1}.missing"), Value::Null);
+        assert_eq!(eval_str("[1][9]"), Value::Null);
+    }
+
+    #[test]
+    fn array_functions() {
+        assert_eq!(eval_str("LENGTH([1, 2, 3])"), Value::Int(3));
+        assert_eq!(eval_str("LENGTH(\"häh\")"), Value::Int(3), "chars, not bytes");
+        assert_eq!(eval_str("SUM([1, 2, 3])"), Value::Int(6));
+        assert_eq!(eval_str("SUM([1.5, 2.5])"), Value::Float(4.0));
+        assert_eq!(eval_str("AVG([1, 2, 3])"), Value::Float(2.0));
+        assert_eq!(eval_str("MIN([3, 1, 2])"), Value::Int(1));
+        assert_eq!(eval_str("MAX([3, NULL, 2])"), Value::Int(3));
+        assert_eq!(eval_str("SUM([])"), Value::Null);
+        assert_eq!(eval_str("FIRST([7, 8])"), Value::Int(7));
+        assert_eq!(eval_str("LAST([7, 8])"), Value::Int(8));
+        assert_eq!(eval_str("UNIQUE([1, 2, 1, 3])"), arr![1, 2, 3]);
+        assert_eq!(eval_str("FLATTEN([[1, 2], 3, [4]])"), arr![1, 2, 3, 4]);
+        assert_eq!(eval_str("APPEND([1], 2)"), arr![1, 2]);
+        assert_eq!(eval_str("RANGE(1, 4)"), arr![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(eval_str("CONCAT(\"a\", 1, NULL, \"b\")"), Value::from("a1b"));
+        assert_eq!(eval_str("UPPER(\"abc\")"), Value::from("ABC"));
+        assert_eq!(eval_str("LOWER(\"ABC\")"), Value::from("abc"));
+        assert_eq!(eval_str("SUBSTRING(\"hello\", 1, 3)"), Value::from("ell"));
+        assert_eq!(eval_str("SUBSTRING(\"hello\", 3)"), Value::from("lo"));
+        assert_eq!(eval_str("CONTAINS(\"hello\", \"ell\")"), Value::Bool(true));
+        assert_eq!(eval_str("CONTAINS([1, 2], 2)"), Value::Bool(true));
+    }
+
+    #[test]
+    fn numeric_and_misc_functions() {
+        assert_eq!(eval_str("ABS(-3)"), Value::Int(3));
+        assert_eq!(eval_str("FLOOR(2.7)"), Value::Int(2));
+        assert_eq!(eval_str("CEIL(2.1)"), Value::Int(3));
+        assert_eq!(eval_str("ROUND(2.5)"), Value::Int(3));
+        assert_eq!(eval_str("TO_STRING(42)"), Value::from("42"));
+        assert_eq!(eval_str("TO_NUMBER(\"42\")"), Value::Int(42));
+        assert_eq!(eval_str("TO_NUMBER(\"4.5\")"), Value::Float(4.5));
+        assert_eq!(eval_str("TO_NUMBER(\"zzz\")"), Value::Null);
+        assert_eq!(eval_str("COALESCE(NULL, NULL, 7)"), Value::Int(7));
+        assert_eq!(eval_str("MERGE({a: 1}, {b: 2})"), obj! {"a" => 1, "b" => 2});
+        assert_eq!(eval_str("KEYS({b: 1, a: 2})"), arr!["a", "b"]);
+        assert_eq!(eval_str("VALUES({b: 1, a: 2})"), arr![2, 1]);
+        assert_eq!(eval_str("HAS({a: 1}, \"a\")"), Value::Bool(true));
+    }
+
+    #[test]
+    fn xpath_function_on_bridge_value() {
+        let engine = Engine::new();
+        engine.create_collection(CollectionSchema::xml("inv")).unwrap();
+        let mut txn = engine.begin(Isolation::Snapshot);
+        txn.put_xml("inv", Key::int(1), "<Invoice><Total>9.50</Total></Invoice>").unwrap();
+        let stmt = parser::parse(
+            "RETURN XPATH_FIRST(DOCUMENT(\"inv\", 1), \"/Invoice/Total/text()\")",
+        )
+        .unwrap();
+        let crate::ast::Statement::Query(body) = stmt else { panic!() };
+        let out = eval(&body.ret, &Env::new(), &mut txn).unwrap();
+        assert_eq!(out, Value::from("9.50"));
+    }
+
+    #[test]
+    fn unknown_function_and_bad_arity() {
+        let engine = Engine::new();
+        let mut txn = engine.begin(Isolation::Snapshot);
+        let bad = parser::parse("RETURN NO_SUCH_FN(1)").unwrap();
+        let crate::ast::Statement::Query(body) = bad else { panic!() };
+        assert!(eval(&body.ret, &Env::new(), &mut txn).is_err());
+
+        let bad = parser::parse("RETURN LENGTH(1, 2)").unwrap();
+        let crate::ast::Statement::Query(body) = bad else { panic!() };
+        assert!(eval(&body.ret, &Env::new(), &mut txn).is_err());
+    }
+
+    #[test]
+    fn env_shadowing_and_object() {
+        let env = Env::new().with("x", Value::Int(1)).with("x", Value::Int(2));
+        assert_eq!(env.get("x"), Some(&Value::Int(2)));
+        assert_eq!(env.get("y"), None);
+        assert_eq!(env.as_object().get_field("x"), &Value::Int(2));
+    }
+
+    #[test]
+    fn const_folding() {
+        let stmt = parser::parse("RETURN 1 + 2 * 3").unwrap();
+        let crate::ast::Statement::Query(body) = stmt else { panic!() };
+        assert_eq!(eval_const(&body.ret), Some(Value::Int(7)));
+        let stmt = parser::parse("RETURN x + 1").unwrap();
+        let crate::ast::Statement::Query(body) = stmt else { panic!() };
+        assert_eq!(eval_const(&body.ret), None);
+    }
+}

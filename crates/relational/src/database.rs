@@ -1,0 +1,134 @@
+//! A named collection of tables — the standalone relational store used by
+//! the polyglot-persistence baseline.
+
+use std::collections::BTreeMap;
+
+use udbms_core::{CollectionSchema, Error, Key, Result, Value};
+
+use crate::predicate::Predicate;
+use crate::table::Table;
+
+/// An in-memory relational database: tables addressed by name.
+#[derive(Debug, Default, Clone)]
+pub struct RelationalDb {
+    tables: BTreeMap<String, Table>,
+}
+
+impl RelationalDb {
+    /// Empty database.
+    pub fn new() -> RelationalDb {
+        RelationalDb::default()
+    }
+
+    /// Create a table from a schema.
+    pub fn create_table(&mut self, schema: CollectionSchema) -> Result<()> {
+        let name = schema.name.clone();
+        if self.tables.contains_key(&name) {
+            return Err(Error::AlreadyExists(format!("table `{name}`")));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| Error::NotFound(format!("table `{name}`")))
+    }
+
+    /// Borrow a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables.get(name).ok_or_else(|| Error::NotFound(format!("table `{name}`")))
+    }
+
+    /// Mutably borrow a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables.get_mut(name).ok_or_else(|| Error::NotFound(format!("table `{name}`")))
+    }
+
+    /// Table names in sorted order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Insert into a named table.
+    pub fn insert(&mut self, table: &str, row: Value) -> Result<Key> {
+        self.table_mut(table)?.insert(row)
+    }
+
+    /// Fetch by primary key from a named table.
+    pub fn get(&self, table: &str, key: &Key) -> Result<Option<Value>> {
+        Ok(self.table(table)?.get(key).cloned())
+    }
+
+    /// Select matching rows from a named table.
+    pub fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<Value>> {
+        Ok(self.table(table)?.select(pred).collect())
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udbms_core::{obj, FieldDef, FieldType};
+
+    fn db() -> RelationalDb {
+        let mut db = RelationalDb::new();
+        db.create_table(CollectionSchema::relational(
+            "customers",
+            "id",
+            vec![
+                FieldDef::required("id", FieldType::Int),
+                FieldDef::required("name", FieldType::Str),
+            ],
+        ))
+        .unwrap();
+        db.insert("customers", obj! {"id" => 1, "name" => "Ada"}).unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_get() {
+        let db = db();
+        assert_eq!(db.table_names(), vec!["customers"]);
+        let row = db.get("customers", &Key::int(1)).unwrap().unwrap();
+        assert_eq!(row.get_field("name"), &Value::from("Ada"));
+        assert!(db.get("customers", &Key::int(2)).unwrap().is_none());
+        assert_eq!(db.total_rows(), 1);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let mut db = db();
+        assert!(db.get("nope", &Key::int(1)).is_err());
+        assert!(db.insert("nope", obj! {"id" => 1}).is_err());
+        assert!(db.drop_table("nope").is_err());
+        assert!(db.select("nope", &Predicate::True).is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected_and_drop() {
+        let mut db = db();
+        assert!(db
+            .create_table(CollectionSchema::relational("customers", "id", vec![]))
+            .is_err());
+        db.drop_table("customers").unwrap();
+        assert!(db.table("customers").is_err());
+    }
+
+    #[test]
+    fn select_via_db() {
+        let db = db();
+        let rows = db
+            .select("customers", &Predicate::eq("name", Value::from("Ada")))
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! XML serialization (compact and pretty).
+//!
+//! Escaping: `< > &` always; `"` inside attribute values. The compact form
+//! is canonical for normalized trees: `parse(to_string(doc)) == doc` (see
+//! the round-trip property test in `lib.rs`).
+
+use crate::node::{XmlDocument, XmlNode};
+
+/// Serialize a document compactly.
+pub fn to_string(doc: &XmlDocument) -> String {
+    let mut out = String::with_capacity(256);
+    if doc.with_declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    }
+    write_node(&mut out, doc.root(), None);
+    out
+}
+
+/// Serialize a document with two-space indentation. Mixed-content elements
+/// (any text child) are kept on one line so no significant whitespace is
+/// introduced.
+pub fn to_string_pretty(doc: &XmlDocument) -> String {
+    let mut out = String::with_capacity(512);
+    if doc.with_declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    }
+    write_node(&mut out, doc.root(), Some(0));
+    out.push('\n');
+    out
+}
+
+/// Serialize a bare node compactly (used by `Display`).
+pub fn node_to_string(node: &XmlNode) -> String {
+    let mut out = String::with_capacity(128);
+    write_node(&mut out, node, None);
+    out
+}
+
+fn write_node(out: &mut String, node: &XmlNode, indent: Option<usize>) {
+    match node {
+        XmlNode::Text(t) => escape_text(out, t),
+        XmlNode::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        XmlNode::Element { name, attrs, children } => {
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attrs {
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
+                escape_attr(out, v);
+                out.push('"');
+            }
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let mixed = children.iter().any(|c| matches!(c, XmlNode::Text(_)));
+            match indent {
+                Some(depth) if !mixed => {
+                    for child in children {
+                        out.push('\n');
+                        for _ in 0..=depth {
+                            out.push_str("  ");
+                        }
+                        write_node(out, child, Some(depth + 1));
+                    }
+                    out.push('\n');
+                    for _ in 0..depth {
+                        out.push_str("  ");
+                    }
+                }
+                _ => {
+                    for child in children {
+                        write_node(out, child, None);
+                    }
+                }
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+    }
+}
+
+fn escape_text(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn invoice() -> XmlDocument {
+        XmlDocument::new(
+            XmlNode::element("Invoice")
+                .with_attr("id", "I-1")
+                .with_child(XmlNode::leaf("Total", "39.98"))
+                .with_child(
+                    XmlNode::element("Items")
+                        .with_child(XmlNode::element("Item").with_attr("qty", "2")),
+                ),
+        )
+    }
+
+    #[test]
+    fn compact_form() {
+        assert_eq!(
+            to_string(&invoice()),
+            r#"<Invoice id="I-1"><Total>39.98</Total><Items><Item qty="2"/></Items></Invoice>"#
+        );
+    }
+
+    #[test]
+    fn pretty_form_reparses_identically() {
+        let doc = invoice();
+        let pretty = to_string_pretty(&doc);
+        assert!(pretty.contains("\n  <Total>39.98</Total>"));
+        assert_eq!(parse(&pretty).unwrap(), doc);
+    }
+
+    #[test]
+    fn declaration_emitted_when_requested() {
+        let mut doc = invoice();
+        doc.with_declaration = true;
+        assert!(to_string(&doc).starts_with("<?xml version=\"1.0\""));
+        assert_eq!(parse(&to_string(&doc)).unwrap().root(), doc.root());
+    }
+
+    #[test]
+    fn text_and_attr_escaping_roundtrip() {
+        let doc = XmlDocument::new(
+            XmlNode::element("t")
+                .with_attr("a", "x<y & \"z\"")
+                .with_child(XmlNode::text("1 < 2 && 3 > 2")),
+        );
+        let s = to_string(&doc);
+        assert!(!s.contains("&&"), "raw ampersands must be escaped: {s}");
+        assert_eq!(parse(&s).unwrap(), doc);
+    }
+
+    #[test]
+    fn mixed_content_not_reindented() {
+        let doc = XmlDocument::new(
+            XmlNode::element("p")
+                .with_child(XmlNode::text("hello "))
+                .with_child(XmlNode::element("b").with_child(XmlNode::text("world"))),
+        );
+        let pretty = to_string_pretty(&doc);
+        assert_eq!(pretty, "<p>hello <b>world</b></p>\n");
+        assert_eq!(parse(&pretty).unwrap(), doc);
+    }
+
+    #[test]
+    fn comments_roundtrip() {
+        let doc = XmlDocument::new(
+            XmlNode::element("t").with_child(XmlNode::comment(" keep me ")),
+        );
+        assert_eq!(parse(&to_string(&doc)).unwrap(), doc);
+    }
+}

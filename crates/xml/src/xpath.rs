@@ -1,0 +1,640 @@
+//! XPath-lite: the subset of XPath 1.0 the benchmark's XML queries need.
+//!
+//! Supported grammar (examples from the Invoice workload):
+//!
+//! ```text
+//! /Invoice/Total/text()              absolute child paths + text()
+//! /Invoice/Items/Item[@qty='2']      attribute-equality predicates
+//! //Item[2]/Price                    descendants + 1-based positions
+//! /Invoice/Item[Price>10]/@productId child string-value comparisons, attrs
+//! /Invoice/*/text()                  wildcards
+//! ```
+//!
+//! Comparisons are numeric when the literal is a number, string otherwise.
+//! Comments are invisible to all tests. Predicates chain left-to-right,
+//! each filtering the candidate list of its step (XPath semantics: a
+//! position predicate applies per context node).
+
+use udbms_core::{Error, Result, Value};
+
+use crate::node::XmlNode;
+
+/// Result of a selection: element node, attribute value, or text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selected<'a> {
+    /// An element node.
+    Node(&'a XmlNode),
+    /// An attribute value.
+    Attr(&'a str),
+    /// A text node's content.
+    Text(&'a str),
+}
+
+impl<'a> Selected<'a> {
+    /// String value (XPath `string()`).
+    pub fn string_value(&self) -> String {
+        match self {
+            Selected::Node(n) => n.text_content(),
+            Selected::Attr(s) => (*s).to_string(),
+            Selected::Text(s) => (*s).to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Axis {
+    Child,
+    DescendantOrSelf,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum NodeTest {
+    Named(String),
+    AnyElement,
+    Text,
+    Attr(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Literal {
+    Str(String),
+    Num(f64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum PredLhs {
+    Attr(String),
+    ChildText(String),
+    OwnText,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Pred {
+    Position(usize),
+    HasAttr(String),
+    Cmp { lhs: PredLhs, op: CmpOp, rhs: Literal },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Step {
+    axis: Axis,
+    test: NodeTest,
+    preds: Vec<Pred>,
+}
+
+/// A compiled XPath-lite expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XPath {
+    steps: Vec<Step>,
+}
+
+impl XPath {
+    /// Compile an expression. Errors are reported with 1-based columns.
+    pub fn parse(src: &str) -> Result<XPath> {
+        XPathParser { src, pos: 0 }.parse()
+    }
+
+    /// Evaluate against a root element (the element is treated as the
+    /// document's single child, so `/Invoice/...` works as expected).
+    pub fn select<'a>(&self, root: &'a XmlNode) -> Vec<Selected<'a>> {
+        // `None` in the context means "the virtual document node".
+        let mut ctx: Vec<Option<&'a XmlNode>> = vec![None];
+        let mut terminal: Vec<Selected<'a>> = Vec::new();
+        for (si, step) in self.steps.iter().enumerate() {
+            let last = si + 1 == self.steps.len();
+            let mut next: Vec<Option<&'a XmlNode>> = Vec::new();
+            for c in &ctx {
+                let out = apply_step(*c, root, step);
+                match out {
+                    StepOut::Nodes(nodes) => {
+                        next.extend(nodes.into_iter().map(Some));
+                    }
+                    StepOut::Terminal(sel) => {
+                        if last {
+                            terminal.extend(sel);
+                        }
+                        // terminal mid-path selects nothing downstream
+                    }
+                }
+            }
+            if !terminal.is_empty() && si + 1 == self.steps.len() {
+                return terminal;
+            }
+            ctx = next;
+            if ctx.is_empty() {
+                break;
+            }
+        }
+        if !terminal.is_empty() {
+            return terminal;
+        }
+        let mut out: Vec<Selected<'a>> = Vec::with_capacity(ctx.len());
+        let mut seen: Vec<*const XmlNode> = Vec::new();
+        for c in ctx.into_iter().flatten() {
+            let p = c as *const XmlNode;
+            if !seen.contains(&p) {
+                seen.push(p);
+                out.push(Selected::Node(c));
+            }
+        }
+        out
+    }
+
+    /// String values of every selected item.
+    pub fn strings(&self, root: &XmlNode) -> Vec<String> {
+        self.select(root).iter().map(Selected::string_value).collect()
+    }
+
+    /// String value of the first selected item.
+    pub fn first_string(&self, root: &XmlNode) -> Option<String> {
+        self.select(root).first().map(Selected::string_value)
+    }
+
+    /// First selected item parsed as a number.
+    pub fn number(&self, root: &XmlNode) -> Option<f64> {
+        self.first_string(root).and_then(|s| s.trim().parse().ok())
+    }
+
+    /// Selected items as unified values: attrs/text become `Str`, nodes are
+    /// bridged via [`crate::xml_to_value`]. This is the MMQL `XPATH()`
+    /// function's return shape.
+    pub fn values(&self, root: &XmlNode) -> Vec<Value> {
+        self.select(root)
+            .into_iter()
+            .map(|s| match s {
+                Selected::Node(n) => crate::bridge::xml_to_value(n),
+                Selected::Attr(a) => Value::from(a),
+                Selected::Text(t) => Value::from(t),
+            })
+            .collect()
+    }
+}
+
+enum StepOut<'a> {
+    Nodes(Vec<&'a XmlNode>),
+    Terminal(Vec<Selected<'a>>),
+}
+
+fn apply_step<'a>(ctx: Option<&'a XmlNode>, root: &'a XmlNode, step: &Step) -> StepOut<'a> {
+    // The attribute axis belongs to the *context node itself* (`a/@id` is
+    // an attribute of `a`), unlike child/descendant tests — handle it first.
+    if let NodeTest::Attr(name) = &step.test {
+        let holders: Vec<&'a XmlNode> = match step.axis {
+            Axis::Child => match ctx {
+                None => Vec::new(), // the document node carries no attributes
+                Some(n) => vec![n],
+            },
+            Axis::DescendantOrSelf => {
+                fn walk_elems<'a>(n: &'a XmlNode, out: &mut Vec<&'a XmlNode>) {
+                    if let XmlNode::Element { children, .. } = n {
+                        out.push(n);
+                        for c in children {
+                            walk_elems(c, out);
+                        }
+                    }
+                }
+                let mut out = Vec::new();
+                match ctx {
+                    None => walk_elems(root, &mut out),
+                    Some(n) => walk_elems(n, &mut out),
+                }
+                out
+            }
+        };
+        let mut sel = Vec::new();
+        for h in holders {
+            if let Some(v) = h.attr(name) {
+                sel.push(Selected::Attr(v));
+            }
+        }
+        return StepOut::Terminal(sel);
+    }
+
+    // Gather candidate nodes along the axis.
+    let mut elem_candidates: Vec<&'a XmlNode> = Vec::new();
+    let mut text_candidates: Vec<&'a str> = Vec::new();
+    match step.axis {
+        Axis::Child => match ctx {
+            None => elem_candidates.push(root),
+            Some(node) => {
+                for child in node.children() {
+                    match child {
+                        XmlNode::Element { .. } => elem_candidates.push(child),
+                        XmlNode::Text(t) => text_candidates.push(t),
+                        XmlNode::Comment(_) => {}
+                    }
+                }
+            }
+        },
+        Axis::DescendantOrSelf => {
+            // descendant-or-self then child test == all descendants incl. self
+            fn walk<'a>(n: &'a XmlNode, elems: &mut Vec<&'a XmlNode>, texts: &mut Vec<&'a str>) {
+                match n {
+                    XmlNode::Element { children, .. } => {
+                        elems.push(n);
+                        for c in children {
+                            walk(c, elems, texts);
+                        }
+                    }
+                    XmlNode::Text(t) => texts.push(t),
+                    XmlNode::Comment(_) => {}
+                }
+            }
+            match ctx {
+                None => walk(root, &mut elem_candidates, &mut text_candidates),
+                Some(node) => {
+                    for c in node.children() {
+                        walk(c, &mut elem_candidates, &mut text_candidates);
+                    }
+                    if let XmlNode::Element { .. } = node {
+                        elem_candidates.insert(0, node);
+                    }
+                }
+            }
+        }
+    }
+
+    match &step.test {
+        NodeTest::Text => {
+            StepOut::Terminal(text_candidates.into_iter().map(Selected::Text).collect())
+        }
+        NodeTest::Attr(_) => unreachable!("attribute tests handled above"),
+        NodeTest::AnyElement => StepOut::Nodes(filter_preds(elem_candidates, &step.preds)),
+        NodeTest::Named(name) => {
+            let named: Vec<&XmlNode> =
+                elem_candidates.into_iter().filter(|e| e.is_element_named(name)).collect();
+            StepOut::Nodes(filter_preds(named, &step.preds))
+        }
+    }
+}
+
+fn filter_preds<'a>(mut nodes: Vec<&'a XmlNode>, preds: &[Pred]) -> Vec<&'a XmlNode> {
+    for pred in preds {
+        nodes = match pred {
+            Pred::Position(p) => {
+                if *p >= 1 && *p <= nodes.len() {
+                    vec![nodes[*p - 1]]
+                } else {
+                    Vec::new()
+                }
+            }
+            Pred::HasAttr(name) => nodes.into_iter().filter(|n| n.attr(name).is_some()).collect(),
+            Pred::Cmp { lhs, op, rhs } => nodes
+                .into_iter()
+                .filter(|n| {
+                    let actual: Option<String> = match lhs {
+                        PredLhs::Attr(a) => n.attr(a).map(str::to_string),
+                        PredLhs::ChildText(tag) => {
+                            n.child_element(tag).map(|c| c.text_content())
+                        }
+                        PredLhs::OwnText => Some(n.text_content()),
+                    };
+                    match actual {
+                        None => false,
+                        Some(s) => compare(&s, *op, rhs),
+                    }
+                })
+                .collect(),
+        };
+    }
+    nodes
+}
+
+fn compare(actual: &str, op: CmpOp, rhs: &Literal) -> bool {
+    let ord = match rhs {
+        Literal::Num(n) => match actual.trim().parse::<f64>() {
+            Ok(a) => a.partial_cmp(n),
+            Err(_) => None,
+        },
+        Literal::Str(s) => Some(actual.cmp(s.as_str())),
+    };
+    let Some(ord) = ord else { return false };
+    match op {
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+    }
+}
+
+struct XPathParser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> XPathParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::parse("xpath", 1, self.pos + 1, msg)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn consume(&mut self, s: &str) -> bool {
+        if self.src[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse(mut self) -> Result<XPath> {
+        let mut steps = Vec::new();
+        // leading axis
+        let mut axis = if self.consume("//") {
+            Axis::DescendantOrSelf
+        } else {
+            // optional leading slash; relative paths start at the document
+            let _ = self.consume("/");
+            Axis::Child
+        };
+        loop {
+            let step = self.parse_step(axis)?;
+            steps.push(step);
+            if self.pos >= self.src.len() {
+                break;
+            }
+            axis = if self.consume("//") {
+                Axis::DescendantOrSelf
+            } else if self.consume("/") {
+                Axis::Child
+            } else {
+                return Err(self.err("expected `/`, `//` or end of expression"));
+            };
+        }
+        if steps.is_empty() {
+            return Err(self.err("empty XPath expression"));
+        }
+        Ok(XPath { steps })
+    }
+
+    fn parse_step(&mut self, axis: Axis) -> Result<Step> {
+        let test = if self.consume("text()") {
+            NodeTest::Text
+        } else if self.consume("@") {
+            NodeTest::Attr(self.parse_name()?)
+        } else if self.consume("*") {
+            NodeTest::AnyElement
+        } else {
+            NodeTest::Named(self.parse_name()?)
+        };
+        let mut preds = Vec::new();
+        while self.consume("[") {
+            preds.push(self.parse_pred()?);
+            if !self.consume("]") {
+                return Err(self.err("expected `]`"));
+            }
+        }
+        if !preds.is_empty() && !matches!(test, NodeTest::Named(_) | NodeTest::AnyElement) {
+            return Err(self.err("predicates only apply to element tests"));
+        }
+        Ok(Step { axis, test, preds })
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected name")),
+        }
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || "_-.:".contains(c)) {
+            self.bump();
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn parse_pred(&mut self) -> Result<Pred> {
+        self.skip_spaces();
+        // position predicate
+        if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+            let p: usize = self.src[start..self.pos]
+                .parse()
+                .map_err(|_| self.err("bad position"))?;
+            if p == 0 {
+                return Err(self.err("positions are 1-based"));
+            }
+            self.skip_spaces();
+            return Ok(Pred::Position(p));
+        }
+        let lhs = if self.consume("@") {
+            PredLhs::Attr(self.parse_name()?)
+        } else if self.consume("text()") {
+            PredLhs::OwnText
+        } else {
+            PredLhs::ChildText(self.parse_name()?)
+        };
+        self.skip_spaces();
+        let op = if self.consume("!=") {
+            CmpOp::Ne
+        } else if self.consume("<=") {
+            CmpOp::Le
+        } else if self.consume(">=") {
+            CmpOp::Ge
+        } else if self.consume("=") {
+            CmpOp::Eq
+        } else if self.consume("<") {
+            CmpOp::Lt
+        } else if self.consume(">") {
+            CmpOp::Gt
+        } else {
+            // bare attribute-existence predicate
+            return match lhs {
+                PredLhs::Attr(a) => Ok(Pred::HasAttr(a)),
+                _ => Err(self.err("expected comparison operator")),
+            };
+        };
+        self.skip_spaces();
+        let rhs = self.parse_literal()?;
+        self.skip_spaces();
+        Ok(Pred::Cmp { lhs, op, rhs })
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal> {
+        match self.peek() {
+            Some(q @ ('\'' | '"')) => {
+                self.bump();
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == q {
+                        let s = self.src[start..self.pos].to_string();
+                        self.bump();
+                        return Ok(Literal::Str(s));
+                    }
+                    self.bump();
+                }
+                Err(self.err("unterminated string literal"))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let start = self.pos;
+                self.bump();
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '.') {
+                    self.bump();
+                }
+                self.src[start..self.pos]
+                    .parse()
+                    .map(Literal::Num)
+                    .map_err(|_| self.err("bad numeric literal"))
+            }
+            _ => Err(self.err("expected literal")),
+        }
+    }
+
+    fn skip_spaces(&mut self) {
+        while self.peek() == Some(' ') {
+            self.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn invoice() -> XmlNode {
+        parse(
+            r#"<Invoice id="I-1" status="paid">
+                 <OrderId>O-7</OrderId>
+                 <Items>
+                   <Item productId="P-1" qty="2"><Price>19.99</Price></Item>
+                   <Item productId="P-2" qty="1"><Price>5.00</Price></Item>
+                   <Item productId="P-3" qty="4"><Price>2.50</Price></Item>
+                 </Items>
+                 <Total currency="EUR">54.98</Total>
+               </Invoice>"#,
+        )
+        .unwrap()
+        .into_root()
+    }
+
+    fn eval(expr: &str) -> Vec<String> {
+        XPath::parse(expr).unwrap().strings(&invoice())
+    }
+
+    #[test]
+    fn absolute_child_paths() {
+        assert_eq!(eval("/Invoice/Total/text()"), vec!["54.98"]);
+        assert_eq!(eval("/Invoice/OrderId/text()"), vec!["O-7"]);
+        assert_eq!(eval("/Invoice/Missing/text()"), Vec::<String>::new());
+        assert_eq!(eval("/Wrong/Total/text()"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn attribute_selection() {
+        assert_eq!(eval("/Invoice/@id"), vec!["I-1"]);
+        assert_eq!(eval("/Invoice/Items/Item/@productId"), vec!["P-1", "P-2", "P-3"]);
+        assert_eq!(eval("/Invoice/@missing"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn descendant_axis() {
+        assert_eq!(eval("//Price/text()"), vec!["19.99", "5.00", "2.50"]);
+        assert_eq!(eval("//Item/@qty"), vec!["2", "1", "4"]);
+        assert_eq!(eval("/Invoice//Price/text()").len(), 3);
+    }
+
+    #[test]
+    fn positional_predicates() {
+        assert_eq!(eval("//Item[2]/@productId"), vec!["P-2"]);
+        assert_eq!(eval("//Item[9]/@productId"), Vec::<String>::new());
+        assert_eq!(eval("/Invoice/Items/Item[1]/Price/text()"), vec!["19.99"]);
+    }
+
+    #[test]
+    fn attribute_predicates() {
+        assert_eq!(eval("//Item[@qty='2']/@productId"), vec!["P-1"]);
+        assert_eq!(eval("//Item[@qty]/@productId").len(), 3);
+        assert_eq!(eval("//Item[@qty>1]/@productId"), vec!["P-1", "P-3"]);
+        assert_eq!(eval("//Item[@qty!=1]/@productId"), vec!["P-1", "P-3"]);
+    }
+
+    #[test]
+    fn child_text_predicates() {
+        assert_eq!(eval("//Item[Price=5.00]/@productId"), vec!["P-2"]);
+        assert_eq!(eval("//Item[Price<=5]/@productId"), vec!["P-2", "P-3"]);
+        // quoted literal forces *string* comparison: "5.00" and "2.50" also
+        // sort after "10" lexicographically
+        assert_eq!(eval("//Item[Price>'10']/@productId"), vec!["P-1", "P-2", "P-3"]);
+        // numeric literal compares numerically
+        assert_eq!(eval("//Item[Price>10]/@productId"), vec!["P-1"]);
+    }
+
+    #[test]
+    fn own_text_predicate_and_wildcards() {
+        assert_eq!(eval("/Invoice/Total[text()='54.98']").len(), 1);
+        assert_eq!(eval("/Invoice/*").len(), 3, "OrderId, Items, Total");
+        let names: Vec<String> = XPath::parse("/Invoice/*")
+            .unwrap()
+            .select(&invoice())
+            .iter()
+            .map(|s| match s {
+                Selected::Node(n) => n.name().unwrap().to_string(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(names, vec!["OrderId", "Items", "Total"]);
+    }
+
+    #[test]
+    fn chained_predicates() {
+        assert_eq!(eval("//Item[@qty>1][2]/@productId"), vec!["P-3"]);
+    }
+
+    #[test]
+    fn values_bridge_types() {
+        let vals = XPath::parse("/Invoice/Total/text()").unwrap().values(&invoice());
+        assert_eq!(vals, vec![Value::from("54.98")]);
+        assert_eq!(XPath::parse("/Invoice/Total").unwrap().number(&invoice()), Some(54.98));
+    }
+
+    #[test]
+    fn node_results_and_string_value() {
+        let sel = XPath::parse("/Invoice/Items").unwrap();
+        let doc = invoice();
+        let out = sel.select(&doc);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].string_value(), "19.995.002.50");
+    }
+
+    #[test]
+    fn parser_rejects_malformed() {
+        for bad in [
+            "", "/", "/Invoice/[1]", "/Invoice/Item[", "/Invoice/Item[@]",
+            "/a/text()[1]", "/a/@b[1]", "//Item[0]", "/Invoice/Item[Price~5]",
+            "/Invoice/Item[Price=']", "/a b",
+        ] {
+            assert!(XPath::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn relative_paths_start_at_document() {
+        assert_eq!(eval("Invoice/Total/text()"), vec!["54.98"]);
+    }
+}

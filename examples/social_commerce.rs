@@ -1,0 +1,84 @@
+//! The full social-commerce benchmark scenario (paper Figure 1), end to
+//! end: generate the multi-model dataset, load it into both subjects
+//! (unified engine and polyglot baseline), run the Q1–Q10 workload on
+//! each, and execute the paper's flagship cross-model `order_update`
+//! transaction.
+//!
+//! ```sh
+//! cargo run --release --example social_commerce
+//! ```
+
+use std::time::Instant;
+
+use udbms::core::Key;
+use udbms::datagen::{build_engine, workload, GenConfig};
+use udbms::engine::Isolation;
+use udbms::polyglot::{load_into_polyglot, run_query, PolyglotDb};
+
+fn main() -> udbms::Result<()> {
+    let cfg = GenConfig { scale_factor: 0.1, ..Default::default() };
+
+    // -- generate + load -------------------------------------------------
+    let t0 = Instant::now();
+    let (engine, data) = build_engine(&cfg)?;
+    println!(
+        "generated + loaded SF {} in {:?}: {} customers, {} products, {} orders, \
+         {} feedback, {} invoices, {} social edges",
+        cfg.scale_factor,
+        t0.elapsed(),
+        data.customers.len(),
+        data.products.len(),
+        data.orders.len(),
+        data.feedback.len(),
+        data.invoices.len(),
+        data.knows.len() + data.bought.len(),
+    );
+    let polyglot = PolyglotDb::new();
+    load_into_polyglot(&polyglot, &data)?;
+
+    println!("\nFigure-1 inventory:\n{}", udbms::json::to_string_pretty(&data.inventory()));
+
+    // -- the Q1..Q10 multi-model workload on both subjects ---------------
+    let params = workload::QueryParams::draw(&data, 1);
+    println!("\n{:<4} {:>10} {:>10} {:>7}  query", "id", "engine", "polyglot", "rows");
+    for q in workload::queries(&params) {
+        let t = Instant::now();
+        let unified = udbms::query::run(&engine, Isolation::Snapshot, &q.mmql)?;
+        let engine_us = t.elapsed().as_micros();
+        let t = Instant::now();
+        let poly = run_query(&polyglot, q.id, &params)?;
+        let poly_us = t.elapsed().as_micros();
+        assert_eq!(unified.len(), poly.len(), "{} cardinality drift", q.id);
+        println!(
+            "{:<4} {:>8}µs {:>8}µs {:>7}  {}",
+            q.id,
+            engine_us,
+            poly_us,
+            unified.len(),
+            q.name
+        );
+    }
+
+    // -- the paper's cross-model transaction ------------------------------
+    let order_key = Key::str(data.orders[0].get_field("_id").as_str().expect("order id"));
+    println!("\norder_update({order_key}) — JSON orders + JSON products + KV feedback + XML invoice:");
+    let before = engine.run(Isolation::Snapshot, |t| {
+        Ok(t.get("orders", &order_key)?.expect("seeded order").get_field("status").clone())
+    })?;
+    engine.run(Isolation::Snapshot, |t| workload::order_update(t, &order_key))?;
+    let after = engine.run(Isolation::Snapshot, |t| {
+        Ok(t.get("orders", &order_key)?.expect("still there").get_field("status").clone())
+    })?;
+    println!("  order status: {before} -> {after}");
+    let invoice_status = engine.run(Isolation::Snapshot, |t| {
+        t.xpath(
+            "invoices",
+            &Key::str(format!("inv:{}", order_key)),
+            "/Invoice/@status",
+        )
+    })?;
+    println!("  invoice status attribute: {invoice_status:?} (same transaction)");
+
+    println!("\nengine stats: {:?}", engine.stats());
+    Ok(())
+}
