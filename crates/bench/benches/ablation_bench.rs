@@ -22,16 +22,24 @@ fn bench_index_ablation(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("e6_index");
     g.bench_function("orders_eq_indexed", |b| {
-        b.iter(|| engine.run(Isolation::Snapshot, |t| t.select("orders", &eq)).expect("select"))
+        b.iter(|| {
+            engine
+                .run(Isolation::Snapshot, |t| t.select("orders", &eq))
+                .expect("select")
+        })
     });
     g.bench_function("orders_eq_scan", |b| {
         b.iter(|| {
-            engine.run(Isolation::Snapshot, |t| t.select_scan("orders", &eq)).expect("scan")
+            engine
+                .run(Isolation::Snapshot, |t| t.select_scan("orders", &eq))
+                .expect("scan")
         })
     });
     g.bench_function("products_range_indexed", |b| {
         b.iter(|| {
-            engine.run(Isolation::Snapshot, |t| t.select("products", &range)).expect("select")
+            engine
+                .run(Isolation::Snapshot, |t| t.select("products", &range))
+                .expect("select")
         })
     });
     g.bench_function("products_range_scan", |b| {
@@ -57,7 +65,11 @@ fn bench_gc_ablation(c: &mut Criterion) {
                 })
                 .expect("churn");
         }
-        b.iter(|| engine.run(Isolation::Snapshot, |t| t.get("orders", &hot)).expect("get"))
+        b.iter(|| {
+            engine
+                .run(Isolation::Snapshot, |t| t.get("orders", &hot))
+                .expect("get")
+        })
     });
     g.bench_function("read_hot_record_after_gc", |b| {
         let (engine, data) = build_engine(&GenConfig::at_scale(0.02)).expect("engine");
@@ -70,7 +82,11 @@ fn bench_gc_ablation(c: &mut Criterion) {
                 .expect("churn");
         }
         engine.gc();
-        b.iter(|| engine.run(Isolation::Snapshot, |t| t.get("orders", &hot)).expect("get"))
+        b.iter(|| {
+            engine
+                .run(Isolation::Snapshot, |t| t.get("orders", &hot))
+                .expect("get")
+        })
     });
     g.bench_function("gc_pass_after_500_updates", |b| {
         b.iter_custom(|iters| {
@@ -117,5 +133,10 @@ fn bench_wire_codec(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_index_ablation, bench_gc_ablation, bench_wire_codec);
+criterion_group!(
+    benches,
+    bench_index_ablation,
+    bench_gc_ablation,
+    bench_wire_codec
+);
 criterion_main!(benches);

@@ -37,11 +37,17 @@ fn bench_sim(c: &mut Criterion) {
     });
     g.sample_size(10);
     g.bench_function("pbs_point_200_trials", |b| {
-        let cfg = ConsistencyConfig { trials: 200, ..Default::default() };
+        let cfg = ConsistencyConfig {
+            trials: 200,
+            ..Default::default()
+        };
         b.iter(|| pbs_curve(&cfg, &[25]))
     });
     g.bench_function("staleness_500_writes", |b| {
-        let cfg = ConsistencyConfig { trials: 500, ..Default::default() };
+        let cfg = ConsistencyConfig {
+            trials: 500,
+            ..Default::default()
+        };
         b.iter(|| staleness_distribution(&cfg, 20, ReadPolicy::AnyReplica))
     });
     g.finish();

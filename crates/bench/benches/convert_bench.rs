@@ -3,8 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use udbms_convert::{
-    doc_to_rel_shred, json_to_xml, kv_to_rel, rel_to_doc_nest, rel_to_graph, score_all,
-    xml_to_json,
+    doc_to_rel_shred, json_to_xml, kv_to_rel, rel_to_doc_nest, rel_to_graph, score_all, xml_to_json,
 };
 use udbms_datagen::{generate, GenConfig};
 
@@ -15,7 +14,9 @@ fn bench_tasks(c: &mut Criterion) {
     g.bench_function("rel_to_doc_nest", |b| {
         b.iter(|| rel_to_doc_nest(&data.customers, &data.orders))
     });
-    g.bench_function("doc_to_rel_shred", |b| b.iter(|| doc_to_rel_shred(&data.orders)));
+    g.bench_function("doc_to_rel_shred", |b| {
+        b.iter(|| doc_to_rel_shred(&data.orders))
+    });
     g.bench_function("rel_to_graph", |b| {
         b.iter(|| rel_to_graph(&data.customers, &data.orders))
     });

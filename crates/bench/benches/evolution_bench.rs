@@ -23,9 +23,10 @@ fn bench_migration(c: &mut Criterion) {
 fn bench_usability(c: &mut Criterion) {
     let data = generate(&GenConfig::at_scale(0.02));
     let params = workload::QueryParams::draw(&data, 1);
-    let stmts: Vec<_> = workload::queries(&params)
-        .iter()
-        .map(|q| udbms_query::parse(&q.mmql).expect("parses"))
+    let stmts: Vec<_> = workload::bound_queries(&params)
+        .expect("workload binds")
+        .into_iter()
+        .map(|(_, q)| q.statement().clone())
         .collect();
     let chain = standard_chain();
 

@@ -13,15 +13,17 @@ fn bench_workload(c: &mut Criterion) {
     let polyglot = PolyglotDb::new();
     load_into_polyglot(&polyglot, &data).expect("polyglot");
     let params = workload::QueryParams::draw(&data, 1);
+    let binds = params.bindings();
 
-    for q in workload::queries(&params) {
-        let parsed = udbms_query::Query::parse(&q.mmql).expect("parses");
+    for q in workload::queries() {
+        let parsed = udbms_query::Query::parse(q.mmql).expect("parses");
+        let bound = parsed.bind(&binds).expect("binds");
         let mut g = c.benchmark_group(format!("e2_{}", q.id.to_lowercase()));
         g.sample_size(20);
         g.bench_function("unified", |b| {
             b.iter(|| {
                 engine
-                    .run(Isolation::Snapshot, |t| parsed.execute(t))
+                    .run(Isolation::Snapshot, |t| bound.execute(t))
                     .expect("query")
             })
         });
@@ -36,17 +38,22 @@ fn bench_mmql_machinery(c: &mut Criterion) {
     let cfg = GenConfig::at_scale(0.05);
     let (engine, data) = build_engine(&cfg).expect("engine");
     let params = workload::QueryParams::draw(&data, 1);
-    let q2 = &workload::queries(&params)[1];
+    let binds = params.bindings();
+    let q2 = workload::queries()[1];
 
     let mut g = c.benchmark_group("mmql");
     g.bench_function("parse_q2", |b| {
-        b.iter(|| udbms_query::Query::parse(&q2.mmql).expect("parses"))
+        b.iter(|| udbms_query::Query::parse(q2.mmql).expect("parses"))
     });
-    let parsed = udbms_query::Query::parse(&q2.mmql).expect("parses");
+    let parsed = udbms_query::Query::parse(q2.mmql).expect("parses");
+    g.bench_function("bind_q2", |b| {
+        b.iter(|| parsed.bind(&binds).expect("binds"))
+    });
+    let bound = parsed.bind(&binds).expect("binds");
     g.bench_function("execute_q2_prepared", |b| {
         b.iter(|| {
             engine
-                .run(Isolation::Snapshot, |t| parsed.execute(t))
+                .run(Isolation::Snapshot, |t| bound.execute(t))
                 .expect("runs")
         })
     });

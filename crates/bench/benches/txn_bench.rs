@@ -14,7 +14,11 @@ fn bench_order_update(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("e4a_order_update");
     g.sample_size(20);
-    for iso in [Isolation::ReadCommitted, Isolation::Snapshot, Isolation::Serializable] {
+    for iso in [
+        Isolation::ReadCommitted,
+        Isolation::Snapshot,
+        Isolation::Serializable,
+    ] {
         g.bench_function(format!("unified_{}", iso.label()), |b| {
             let (engine, data) = build_engine(&cfg).expect("engine");
             let picker = workload::OrderPicker::new(&data, 0.0);
@@ -57,7 +61,12 @@ fn bench_micro_ops(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("engine_micro");
     g.bench_function("begin_commit_empty", |b| {
-        b.iter(|| engine.begin(Isolation::Snapshot).commit().expect("empty commit"))
+        b.iter(|| {
+            engine
+                .begin(Isolation::Snapshot)
+                .commit()
+                .expect("empty commit")
+        })
     });
     g.bench_function("point_get", |b| {
         let mut rng = SplitMix64::new(5);
@@ -73,7 +82,9 @@ fn bench_micro_ops(c: &mut Criterion) {
         b.iter(|| {
             let k = Key::int(rng.range_i64(0, 9_999));
             engine
-                .run(Isolation::Snapshot, |t| t.put("kv", k.clone(), Value::Int(1)))
+                .run(Isolation::Snapshot, |t| {
+                    t.put("kv", k.clone(), Value::Int(1))
+                })
                 .expect("put")
         })
     });

@@ -4,9 +4,17 @@
 //! cargo run --release -p udbms-bench --bin harness            # everything, full profile
 //! cargo run --release -p udbms-bench --bin harness -- --quick # CI-sized
 //! cargo run --release -p udbms-bench --bin harness -- e2 e4a  # selected experiments
+//! cargo run --release -p udbms-bench --bin harness -- --clients 8 e2
+//! cargo run --release -p udbms-bench --bin harness -- --json out.json e2 e4a
 //! ```
+//!
+//! `--clients N` sets the concurrent client threads the Subject-driven
+//! experiments (E2, E4a) use; `--json <path>` additionally writes every
+//! produced report as machine-readable JSON (the `BENCH_*.json` perf
+//! trajectory input).
 
 use udbms_bench::{experiments, Report, RunScale};
+use udbms_core::Value;
 
 /// One selectable experiment: id + the function that produces its table.
 type Experiment = (&'static str, fn(RunScale) -> Report);
@@ -14,9 +22,45 @@ type Experiment = (&'static str, fn(RunScale) -> Report);
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { RunScale::quick() } else { RunScale::full() };
-    let wanted: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let mut scale = if quick {
+        RunScale::quick()
+    } else {
+        RunScale::full()
+    };
+
+    // flags with values: --clients N, --json PATH
+    let mut wanted: Vec<&str> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {}
+            "--clients" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .filter(|v| !v.starts_with("--"))
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| die("--clients needs a positive integer"));
+                scale = scale.with_clients(n);
+            }
+            "--json" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .filter(|v| !v.starts_with("--"))
+                    .unwrap_or_else(|| die("--json needs an output path"))
+                    .clone();
+                json_path = Some(path);
+            }
+            flag if flag.starts_with("--") => die(&format!(
+                "unknown flag `{flag}` (known: --quick, --clients N, --json PATH)"
+            )),
+            id => wanted.push(id),
+        }
+        i += 1;
+    }
 
     let menu: Vec<Experiment> = vec![
         ("f1", experiments::f1_inventory),
@@ -37,7 +81,10 @@ fn main() {
         if picks.is_empty() {
             eprintln!(
                 "unknown experiment(s) {wanted:?}; available: {}",
-                menu.iter().map(|(id, _)| *id).collect::<Vec<_>>().join(", ")
+                menu.iter()
+                    .map(|(id, _)| *id)
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
             std::process::exit(2);
         }
@@ -45,16 +92,57 @@ fn main() {
     };
 
     println!(
-        "UDBMS-Bench harness — profile: {} (SF {}, {} reps, {} trials)\n",
+        "UDBMS-Bench harness — profile: {} (SF {}, {} reps, {} trials, {} clients)\n",
         if quick { "quick" } else { "full" },
         scale.sf,
         scale.reps,
-        scale.trials
+        scale.trials,
+        scale.clients
     );
+    let mut json_reports: Vec<Value> = Vec::new();
     for (id, f) in selected {
         let t0 = std::time::Instant::now();
         let report = f(scale);
         println!("{}", report.render());
         println!("[{} completed in {:?}]\n", id, t0.elapsed());
+        if json_path.is_some() {
+            let mut v = report.to_value();
+            if let Some(obj) = v.as_object_mut() {
+                obj.insert("id".to_string(), Value::from(id.to_string()));
+                obj.insert(
+                    "elapsed_ms".to_string(),
+                    Value::Int(t0.elapsed().as_millis() as i64),
+                );
+            }
+            json_reports.push(v);
+        }
     }
+
+    if let Some(path) = json_path {
+        let doc = Value::Object(
+            [
+                (
+                    "profile".to_string(),
+                    Value::from(if quick { "quick" } else { "full" }),
+                ),
+                ("sf".to_string(), Value::Float(scale.sf)),
+                ("reps".to_string(), Value::Int(scale.reps as i64)),
+                ("trials".to_string(), Value::Int(scale.trials as i64)),
+                ("clients".to_string(), Value::Int(scale.clients as i64)),
+                ("reports".to_string(), Value::Array(json_reports)),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        if let Err(e) = std::fs::write(&path, udbms_json::to_string_pretty(&doc)) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("machine-readable reports written to {path}");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
 }

@@ -8,11 +8,12 @@ use udbms_consistency::{
     atomicity_census, convergence_time, lost_update_census, pbs_curve, session_guarantees,
     staleness_distribution, write_skew_census, ConsistencyConfig, LagModel, ReadPolicy,
 };
-use udbms_core::{Key, SplitMix64, Value};
+use udbms_core::{Key, Params, SplitMix64, Value};
 use udbms_datagen::{build_engine, generate, workload, GenConfig, SchemaVariation};
+use udbms_driver::{registry, run_concurrent, run_query_clients, TxnOp};
 use udbms_engine::Isolation;
 use udbms_evolution::{analyze_workload, apply_chain, standard_chain};
-use udbms_polyglot::{load_into_polyglot, order_update_polyglot, run_query, PolyglotDb};
+use udbms_polyglot::{load_into_polyglot, run_query, PolyglotDb};
 
 use crate::report::{per_sec, us, Report};
 
@@ -21,21 +22,40 @@ use crate::report::{per_sec, us, Report};
 pub struct RunScale {
     /// Base scale factor for loaded-engine experiments.
     pub sf: f64,
-    /// Repetitions for latency medians.
+    /// Repetitions for latency medians (per client in concurrent runs).
     pub reps: usize,
     /// Simulator trials.
     pub trials: usize,
+    /// Concurrent client threads for the Subject-driven experiments
+    /// (E2, E4a); the harness `--clients N` flag overrides it.
+    pub clients: usize,
 }
 
 impl RunScale {
     /// Quick profile (seconds, for tests/CI).
     pub fn quick() -> RunScale {
-        RunScale { sf: 0.05, reps: 5, trials: 300 }
+        RunScale {
+            sf: 0.05,
+            reps: 5,
+            trials: 300,
+            clients: 2,
+        }
     }
 
     /// Full profile (the numbers EXPERIMENTS.md records).
     pub fn full() -> RunScale {
-        RunScale { sf: 0.5, reps: 15, trials: 2000 }
+        RunScale {
+            sf: 0.5,
+            reps: 15,
+            trials: 2000,
+            clients: 4,
+        }
+    }
+
+    /// Override the concurrent client count (builder-style).
+    pub fn with_clients(mut self, clients: usize) -> RunScale {
+        self.clients = clients.max(1);
+        self
     }
 }
 
@@ -47,8 +67,17 @@ fn median_us(mut samples: Vec<u128>) -> u128 {
 /// F1 — the Figure-1 data-model inventory.
 pub fn f1_inventory(scale: RunScale) -> Report {
     let mut report = Report::new(
-        format!("F1 — multi-model data inventory (Figure 1), SF {}", scale.sf),
-        &["model", "collection(s)", "entities", "attributes/elements", "cross-model refs"],
+        format!(
+            "F1 — multi-model data inventory (Figure 1), SF {}",
+            scale.sf
+        ),
+        &[
+            "model",
+            "collection(s)",
+            "entities",
+            "attributes/elements",
+            "cross-model refs",
+        ],
     );
     let data = generate(&GenConfig::at_scale(scale.sf));
     let inv = data.inventory();
@@ -58,34 +87,50 @@ pub fn f1_inventory(scale: RunScale) -> Report {
         "customers".into(),
         g("relational.entities").to_string(),
         g("relational.attributes").to_string(),
-        format!("← orders.customer ({})", g("cross_model_refs.order_to_customer")),
+        format!(
+            "← orders.customer ({})",
+            g("cross_model_refs.order_to_customer")
+        ),
     ]);
     report.row(vec![
         "document".into(),
         "orders, products".into(),
         g("document.entities").to_string(),
         g("document.attributes").to_string(),
-        format!("items→products ({})", g("cross_model_refs.order_to_product_lines")),
+        format!(
+            "items→products ({})",
+            g("cross_model_refs.order_to_product_lines")
+        ),
     ]);
     report.row(vec![
         "key-value".into(),
         "feedback".into(),
         g("key-value.entities").to_string(),
         g("key-value.attributes").to_string(),
-        format!("key = fb:<product>:<customer> ({})", g("cross_model_refs.feedback_to_product_and_customer")),
+        format!(
+            "key = fb:<product>:<customer> ({})",
+            g("cross_model_refs.feedback_to_product_and_customer")
+        ),
     ]);
     report.row(vec![
         "xml".into(),
         "invoices".into(),
         g("xml.entities").to_string(),
         g("xml.elements").to_string(),
-        format!("OrderId → orders ({})", g("cross_model_refs.invoice_to_order")),
+        format!(
+            "OrderId → orders ({})",
+            g("cross_model_refs.invoice_to_order")
+        ),
     ]);
     report.row(vec![
         "graph".into(),
         "social#v, social#e".into(),
         g("graph.vertices").to_string(),
-        format!("{} knows + {} bought", g("graph.knows_edges"), g("graph.bought_edges")),
+        format!(
+            "{} knows + {} bought",
+            g("graph.knows_edges"),
+            g("graph.bought_edges")
+        ),
         "vertices = customers ∪ products".into(),
     ]);
     report
@@ -97,7 +142,11 @@ pub fn e1_generation(scale: RunScale) -> Report {
         "E1 — data generation: scale + schema-variation sweep",
         &["scale", "variation", "entities", "gen time", "entities/s"],
     );
-    let sfs = if scale.reps > 5 { vec![0.1, 0.5, 1.0, 2.0] } else { vec![0.05, 0.1, 0.2] };
+    let sfs = if scale.reps > 5 {
+        vec![0.1, 0.5, 1.0, 2.0]
+    } else {
+        vec![0.05, 0.1, 0.2]
+    };
     for sf in sfs {
         let cfg = GenConfig::at_scale(sf);
         let t0 = Instant::now();
@@ -112,23 +161,36 @@ pub fn e1_generation(scale: RunScale) -> Report {
         ]);
     }
     for (label, variation) in [
-        ("regular (p=1.0, depth 1)", SchemaVariation {
-            optional_field_prob: 1.0,
-            nesting_depth: 1,
-            extra_attr_count: 0,
-        }),
-        ("sparse (p=0.3, depth 2)", SchemaVariation {
-            optional_field_prob: 0.3,
-            nesting_depth: 2,
-            extra_attr_count: 3,
-        }),
-        ("wild (p=0.5, depth 4)", SchemaVariation {
-            optional_field_prob: 0.5,
-            nesting_depth: 4,
-            extra_attr_count: 6,
-        }),
+        (
+            "regular (p=1.0, depth 1)",
+            SchemaVariation {
+                optional_field_prob: 1.0,
+                nesting_depth: 1,
+                extra_attr_count: 0,
+            },
+        ),
+        (
+            "sparse (p=0.3, depth 2)",
+            SchemaVariation {
+                optional_field_prob: 0.3,
+                nesting_depth: 2,
+                extra_attr_count: 3,
+            },
+        ),
+        (
+            "wild (p=0.5, depth 4)",
+            SchemaVariation {
+                optional_field_prob: 0.5,
+                nesting_depth: 4,
+                extra_attr_count: 6,
+            },
+        ),
     ] {
-        let cfg = GenConfig { scale_factor: scale.sf, variation, ..Default::default() };
+        let cfg = GenConfig {
+            scale_factor: scale.sf,
+            variation,
+            ..Default::default()
+        };
         let t0 = Instant::now();
         let data = generate(&cfg);
         let dt = t0.elapsed();
@@ -144,65 +206,88 @@ pub fn e1_generation(scale: RunScale) -> Report {
     report
 }
 
-/// E2 — the Q1–Q10 workload: unified engine vs polyglot baseline.
+/// E2 — the Q1–Q10 workload, driven through `dyn Subject` over every
+/// registered backend with N concurrent clients: throughput and latency
+/// percentiles per backend, measured by the exact same loop.
 pub fn e2_queries(scale: RunScale) -> Report {
     let mut report = Report::new(
-        format!("E2 — multi-model query workload Q1–Q10, SF {} (median of {})", scale.sf, scale.reps),
-        &["query", "models", "rows", "unified", "polyglot", "uni/poly"],
+        format!(
+            "E2 — multi-model query workload Q1–Q10 over dyn Subject, SF {}, {} client(s) x {} ops",
+            scale.sf, scale.clients, scale.reps
+        ),
+        &[
+            "query", "models", "subject", "rows", "p50", "p95", "p99", "ops/s",
+        ],
     );
     let cfg = GenConfig::at_scale(scale.sf);
-    let (engine, data) = build_engine(&cfg).expect("engine load");
-    let polyglot = PolyglotDb::new();
-    load_into_polyglot(&polyglot, &data).expect("polyglot load");
-    let params = workload::QueryParams::draw(&data, 1);
-
-    for q in workload::queries(&params) {
-        let parsed = udbms_query::Query::parse(&q.mmql).expect("workload parses");
-        let mut engine_samples = Vec::with_capacity(scale.reps);
-        let mut rows = 0usize;
-        for _ in 0..scale.reps {
-            let t0 = Instant::now();
-            let out = engine
-                .run(Isolation::Snapshot, |t| parsed.execute(t))
-                .expect("engine query");
-            engine_samples.push(t0.elapsed().as_micros());
-            rows = out.len();
-        }
-        let mut poly_samples = Vec::with_capacity(scale.reps);
-        for _ in 0..scale.reps {
-            let t0 = Instant::now();
-            let _ = run_query(&polyglot, q.id, &params).expect("polyglot query");
-            poly_samples.push(t0.elapsed().as_micros());
-        }
-        let e = median_us(engine_samples);
-        let p = median_us(poly_samples);
-        report.row(vec![
-            q.id.into(),
-            q.models.join("+"),
-            rows.to_string(),
-            us(e),
-            us(p),
-            format!("{:.1}x", e as f64 / p.max(1) as f64),
-        ]);
+    let data = generate(&cfg);
+    let draws: Vec<Params> = (1..=4u64)
+        .map(|w| workload::QueryParams::draw(&data, w).bindings())
+        .collect();
+    let subjects = registry();
+    for subject in &subjects {
+        subject.load(&data).expect("subject load");
     }
-    report.note("one MMQL text runs everywhere; the polyglot column is hand-written per-store code");
-    report.note("polyglot pays wire serialization per hop but reads raw in-memory structures;");
-    report.note("the unified engine pays MVCC snapshot reads but needs no client-side glue");
+    for q in workload::queries() {
+        for subject in &subjects {
+            // prepare once per text (parse for MMQL subjects, dispatch
+            // resolution for hand-written ones), execute per draw
+            let prepared = subject.prepare(&q).expect("prepare");
+            let rows = subject
+                .execute(&prepared, &draws[0])
+                .expect("execute")
+                .len();
+            let stats = run_query_clients(
+                subject.as_ref(),
+                &prepared,
+                &draws,
+                scale.clients,
+                scale.reps,
+            )
+            .expect("concurrent run");
+            report.row(vec![
+                q.id.into(),
+                q.models.join("+"),
+                subject.name().into(),
+                rows.to_string(),
+                us(stats.percentile_us(50.0).into()),
+                us(stats.percentile_us(95.0).into()),
+                us(stats.percentile_us(99.0).into()),
+                format!("{:.0}/s", stats.throughput()),
+            ]);
+        }
+    }
+    report.note("every subject is driven through the same Subject trait and measurement loop;");
+    report.note("'unified' parses one MMQL text and binds @params per draw, 'polyglot' is");
+    report.note("hand-written per-store client code — the architecture is the only variable");
     report
 }
 
 /// E3 — schema evolution: history-query usability + migration cost.
 pub fn e3_evolution(scale: RunScale) -> Report {
     let mut report = Report::new(
-        format!("E3 — schema evolution over the Q1–Q10 history workload, SF {}", scale.sf),
-        &["steps", "last operation", "valid", "adaptable", "broken", "strict", "adapted", "migrate"],
+        format!(
+            "E3 — schema evolution over the Q1–Q10 history workload, SF {}",
+            scale.sf
+        ),
+        &[
+            "steps",
+            "last operation",
+            "valid",
+            "adaptable",
+            "broken",
+            "strict",
+            "adapted",
+            "migrate",
+        ],
     );
     let cfg = GenConfig::at_scale(scale.sf);
     let (engine, data) = build_engine(&cfg).expect("engine load");
     let params = workload::QueryParams::draw(&data, 1);
-    let stmts: Vec<_> = workload::queries(&params)
-        .iter()
-        .map(|q| udbms_query::parse(&q.mmql).expect("parses"))
+    let stmts: Vec<_> = workload::bound_queries(&params)
+        .expect("workload binds")
+        .into_iter()
+        .map(|(_, q)| q.statement().clone())
         .collect();
     let chain = standard_chain();
     let (r0, _) = analyze_workload(&stmts, &[]);
@@ -232,90 +317,81 @@ pub fn e3_evolution(scale: RunScale) -> Report {
             us(dt.as_micros()),
         ]);
     }
-    report.note("strict = verbatim history queries still valid; adapted = after mechanical rewriting");
+    report.note(
+        "strict = verbatim history queries still valid; adapted = after mechanical rewriting",
+    );
     report
 }
 
-/// E4a — cross-model transaction throughput under contention.
+/// E4a — cross-model transaction throughput under contention, driven
+/// through `dyn Subject`: every backend runs the same `TxnOp` with the
+/// same concurrent-client loop, sweeping its own isolation levels.
 pub fn e4a_transactions(scale: RunScale) -> Report {
     let mut report = Report::new(
-        format!("E4a — order_update cross-model transactions, SF {}", scale.sf),
-        &["subject", "iso", "threads", "theta", "txns", "elapsed", "txn/s", "aborts"],
+        format!(
+            "E4a — order_update cross-model transactions over dyn Subject, SF {}",
+            scale.sf
+        ),
+        &[
+            "subject", "iso", "clients", "theta", "txns", "elapsed", "txn/s", "p95", "counters",
+        ],
     );
-    let per_thread = if scale.reps > 5 { 100 } else { 25 };
-    let thread_counts = [1usize, 2, 4];
-    for &threads in &thread_counts {
+    let per_client = if scale.reps > 5 { 100 } else { 25 };
+    let client_counts: Vec<usize> = if scale.clients <= 1 {
+        vec![1]
+    } else {
+        vec![1, scale.clients]
+    };
+    let cfg = GenConfig::at_scale(scale.sf);
+    let data = generate(&cfg);
+    let subject_isolations: Vec<Vec<&'static str>> =
+        registry().iter().map(|s| s.isolations()).collect();
+    for &clients in &client_counts {
         for theta in [0.0, 0.9] {
-            for iso in [Isolation::ReadCommitted, Isolation::Snapshot, Isolation::Serializable] {
-                let cfg = GenConfig::at_scale(scale.sf);
-                let (engine, data) = build_engine(&cfg).expect("engine load");
-                let picker = std::sync::Arc::new(workload::OrderPicker::new(&data, theta));
-                let t0 = Instant::now();
-                std::thread::scope(|scope| {
-                    for tid in 0..threads {
-                        let engine = engine.clone();
-                        let picker = std::sync::Arc::clone(&picker);
-                        scope.spawn(move || {
-                            let mut rng = SplitMix64::new(31 + tid as u64);
-                            for _ in 0..per_thread {
-                                let key = picker.pick(&mut rng).clone();
-                                engine
-                                    .run(iso, |t| workload::order_update(t, &key))
-                                    .expect("retried to success");
-                            }
-                        });
-                    }
-                });
-                let dt = t0.elapsed();
-                let stats = engine.stats();
-                let total = threads * per_thread;
-                report.row(vec![
-                    "unified".into(),
-                    iso.label().into(),
-                    threads.to_string(),
-                    format!("{theta}"),
-                    total.to_string(),
-                    format!("{dt:?}"),
-                    per_sec(total, dt.as_secs_f64()),
-                    stats.aborts.to_string(),
-                ]);
-            }
-            // polyglot: one global lock, no isolation knob
-            let cfg = GenConfig::at_scale(scale.sf);
-            let data = generate(&cfg);
-            let polyglot = PolyglotDb::new();
-            load_into_polyglot(&polyglot, &data).expect("polyglot load");
-            let picker = std::sync::Arc::new(workload::OrderPicker::new(&data, theta));
-            let t0 = Instant::now();
-            std::thread::scope(|scope| {
-                for tid in 0..threads {
-                    let polyglot = polyglot.clone();
-                    let picker = std::sync::Arc::clone(&picker);
-                    scope.spawn(move || {
-                        let mut rng = SplitMix64::new(31 + tid as u64);
-                        for _ in 0..per_thread {
-                            let key = picker.pick(&mut rng).clone();
-                            order_update_polyglot(&polyglot, &key).expect("global lock, no conflicts");
-                        }
-                    });
+            let picker = workload::OrderPicker::new(&data, theta);
+            for (si, isolations) in subject_isolations.iter().enumerate() {
+                for &iso in isolations {
+                    // a fresh subject per isolation keeps counters per-cell
+                    let subject = registry().swap_remove(si);
+                    subject.load(&data).expect("subject load");
+                    let stats = run_concurrent(clients, per_client, |client, i| {
+                        // deterministic per-op pick, stable across runs
+                        let mut rng = SplitMix64::new(31 + client as u64 * 1_000_003 + i as u64);
+                        let key = picker.pick(&mut rng).clone();
+                        subject.transact(&TxnOp::OrderUpdate { order: key }, iso)
+                    })
+                    .expect("retried to success");
+                    let counters = subject
+                        .counters()
+                        .into_iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    report.row(vec![
+                        subject.name().into(),
+                        iso.into(),
+                        clients.to_string(),
+                        format!("{theta}"),
+                        stats.total_ops.to_string(),
+                        format!("{:?}", stats.elapsed),
+                        per_sec(stats.total_ops, stats.elapsed.as_secs_f64()),
+                        us(stats.percentile_us(95.0).into()),
+                        if counters.is_empty() {
+                            "-".into()
+                        } else {
+                            counters
+                        },
+                    ]);
                 }
-            });
-            let dt = t0.elapsed();
-            let total = threads * per_thread;
-            report.row(vec![
-                "polyglot".into(),
-                "2PC".into(),
-                threads.to_string(),
-                format!("{theta}"),
-                total.to_string(),
-                format!("{dt:?}"),
-                per_sec(total, dt.as_secs_f64()),
-                "0".into(),
-            ]);
+            }
         }
     }
-    report.note("polyglot '2PC' = all five store locks for every transaction (idealized, failure-free)");
-    report.note("unified aborts are first-committer-wins conflicts, retried to success");
+    report.note(
+        "polyglot '2PC' = all five store locks for every transaction (idealized, failure-free)",
+    );
+    report.note(
+        "unified aborts are first-committer-wins conflicts, retried to success inside transact()",
+    );
     report
 }
 
@@ -334,7 +410,11 @@ pub fn e4b_acid(scale: RunScale) -> Report {
         a.partial.to_string(),
         format!("{} aborted mid-flight, {} complete", a.aborted, a.complete),
     ]);
-    for iso in [Isolation::ReadCommitted, Isolation::Snapshot, Isolation::Serializable] {
+    for iso in [
+        Isolation::ReadCommitted,
+        Isolation::Snapshot,
+        Isolation::Serializable,
+    ] {
         let r = lost_update_census(iso, n.min(200)).expect("census");
         report.row(vec![
             "lost update".into(),
@@ -344,7 +424,11 @@ pub fn e4b_acid(scale: RunScale) -> Report {
             format!("{} conflict retries", r.conflict_retries),
         ]);
     }
-    for iso in [Isolation::ReadCommitted, Isolation::Snapshot, Isolation::Serializable] {
+    for iso in [
+        Isolation::ReadCommitted,
+        Isolation::Snapshot,
+        Isolation::Serializable,
+    ] {
         let r = write_skew_census(iso, n.min(200)).expect("census");
         report.row(vec![
             "write skew".into(),
@@ -412,9 +496,19 @@ pub fn e4c_eventual(scale: RunScale) -> Report {
     for (name, lag) in [
         ("fixed 10 ms", LagModel::Fixed(10)),
         ("uniform 5–50 ms", LagModel::Uniform(5, 50)),
-        ("bimodal 10/100 ms", LagModel::Bimodal { base: 10, p_slow: 0.1 }),
+        (
+            "bimodal 10/100 ms",
+            LagModel::Bimodal {
+                base: 10,
+                p_slow: 0.1,
+            },
+        ),
     ] {
-        let c = ConsistencyConfig { lag, trials: scale.trials.min(150), ..cfg.clone() };
+        let c = ConsistencyConfig {
+            lag,
+            trials: scale.trials.min(150),
+            ..cfg.clone()
+        };
         report.row(vec![
             "convergence (20-write burst)".into(),
             name.into(),
@@ -427,7 +521,10 @@ pub fn e4c_eventual(scale: RunScale) -> Report {
 /// E5 — conversion fidelity and throughput.
 pub fn e5_conversion(scale: RunScale) -> Report {
     let mut report = Report::new(
-        format!("E5 — model-conversion tasks vs gold standards, SF {}", scale.sf),
+        format!(
+            "E5 — model-conversion tasks vs gold standards, SF {}",
+            scale.sf
+        ),
         &["task", "records", "fidelity", "time", "records/s"],
     );
     let data = generate(&GenConfig::at_scale(scale.sf));
@@ -465,7 +562,9 @@ pub fn e5_conversion(scale: RunScale) -> Report {
         us(dt.as_micros()),
         per_sec(rows.len() + items.len(), dt.as_secs_f64()),
     ]);
-    report.note(format!("all five gold-standard scorings took {total:?} combined"));
+    report.note(format!(
+        "all five gold-standard scorings took {total:?} combined"
+    ));
     report
 }
 
@@ -495,7 +594,11 @@ pub fn e6_ablation(scale: RunScale) -> Report {
         ),
     ];
     for (name, pred) in &probes {
-        let coll = if name.contains("orders") { "orders" } else { "products" };
+        let coll = if name.contains("orders") {
+            "orders"
+        } else {
+            "products"
+        };
         let mut on = Vec::new();
         let mut off = Vec::new();
         for _ in 0..scale.reps.max(3) {
@@ -582,7 +685,7 @@ pub fn e6_ablation(scale: RunScale) -> Report {
     let polyglot = PolyglotDb::new();
     load_into_polyglot(&polyglot, &data).expect("polyglot load");
     let mut total_bytes = 0usize;
-    for q in workload::queries(&params) {
+    for q in workload::queries() {
         let out = run_query(&polyglot, q.id, &params).expect("query");
         total_bytes += udbms_polyglot::result_wire_bytes(&out);
     }
@@ -616,7 +719,12 @@ mod tests {
 
     #[test]
     fn quick_profile_runs_every_experiment() {
-        let scale = RunScale { sf: 0.01, reps: 2, trials: 60 };
+        let scale = RunScale {
+            sf: 0.01,
+            reps: 2,
+            trials: 60,
+            clients: 2,
+        };
         for report in all_reports(scale) {
             let rendered = report.render();
             assert!(!report.rows.is_empty(), "{} has no rows", report.title);
@@ -625,18 +733,73 @@ mod tests {
     }
 
     #[test]
-    fn e2_ratio_column_is_well_formed() {
-        let scale = RunScale { sf: 0.01, reps: 2, trials: 10 };
+    fn e2_covers_every_query_for_every_subject_with_clients() {
+        let scale = RunScale {
+            sf: 0.01,
+            reps: 2,
+            trials: 10,
+            clients: 4,
+        };
         let r = e2_queries(scale);
-        assert_eq!(r.rows.len(), 10, "one row per workload query");
+        let n_subjects = registry().len();
+        assert_eq!(
+            r.rows.len(),
+            10 * n_subjects,
+            "one row per (query, subject)"
+        );
+        for q in workload::queries() {
+            for subject in registry() {
+                assert!(
+                    r.rows
+                        .iter()
+                        .any(|row| row[0] == q.id && row[2] == subject.name()),
+                    "missing row for {} x {}",
+                    q.id,
+                    subject.name()
+                );
+            }
+        }
         for row in &r.rows {
-            assert!(row[5].ends_with('x'), "ratio cell: {row:?}");
+            assert!(row[7].ends_with("/s"), "throughput cell: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e4a_sweeps_subject_isolations_under_concurrency() {
+        let scale = RunScale {
+            sf: 0.01,
+            reps: 2,
+            trials: 10,
+            clients: 4,
+        };
+        let r = e4a_transactions(scale);
+        // client counts {1, 4} x theta {0, 0.9} x (unified: RC/SI/SER + polyglot: 2PC)
+        assert_eq!(r.rows.len(), 2 * 2 * 4);
+        assert!(r
+            .rows
+            .iter()
+            .any(|row| row[0] == "unified" && row[1] == "SER"));
+        assert!(r
+            .rows
+            .iter()
+            .any(|row| row[0] == "polyglot" && row[1] == "2PC"));
+        assert!(
+            r.rows.iter().any(|row| row[2] == "4"),
+            "concurrent cells present"
+        );
+        for row in r.rows.iter().filter(|row| row[0] == "unified") {
+            assert!(row[8].contains("aborts="), "unified counters: {row:?}");
         }
     }
 
     #[test]
     fn e6_gc_arm_bounds_chains() {
-        let scale = RunScale { sf: 0.01, reps: 2, trials: 10 };
+        let scale = RunScale {
+            sf: 0.01,
+            reps: 2,
+            trials: 10,
+            clients: 2,
+        };
         let r = e6_ablation(scale);
         let chain_rows: Vec<&Vec<String>> = r
             .rows

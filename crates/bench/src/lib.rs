@@ -11,7 +11,7 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{
-    all_reports, e1_generation, e2_queries, e3_evolution, e4a_transactions, e4b_acid,
-    e4c_eventual, e5_conversion, e6_ablation, f1_inventory, RunScale,
+    all_reports, e1_generation, e2_queries, e3_evolution, e4a_transactions, e4b_acid, e4c_eventual,
+    e5_conversion, e6_ablation, f1_inventory, RunScale,
 };
 pub use report::{per_sec, us, Report};

@@ -1,6 +1,9 @@
-//! Plain-text experiment tables (the rows EXPERIMENTS.md records).
+//! Plain-text experiment tables (the rows EXPERIMENTS.md records), plus
+//! a machine-readable [`Value`] form for the harness's `--json` output.
 
 use std::fmt::Write as _;
+
+use udbms_core::Value;
 
 /// One experiment's tabular output.
 #[derive(Debug, Clone)]
@@ -28,7 +31,12 @@ impl Report {
 
     /// Append a row (must match the header count).
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.title);
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.title
+        );
         self.rows.push(cells);
     }
 
@@ -64,6 +72,45 @@ impl Report {
             let _ = writeln!(out, "note: {note}");
         }
         out
+    }
+
+    /// The report as a structured [`Value`]: rows become objects keyed
+    /// by header, so `--json` output is self-describing.
+    pub fn to_value(&self) -> Value {
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                Value::Object(
+                    self.headers
+                        .iter()
+                        .zip(row)
+                        .map(|(h, cell)| (h.clone(), Value::from(cell.clone())))
+                        .collect(),
+                )
+            })
+            .collect();
+        Value::Object(
+            [
+                ("title".to_string(), Value::from(self.title.clone())),
+                (
+                    "headers".to_string(),
+                    Value::Array(
+                        self.headers
+                            .iter()
+                            .map(|h| Value::from(h.clone()))
+                            .collect(),
+                    ),
+                ),
+                ("rows".to_string(), Value::Array(rows)),
+                (
+                    "notes".to_string(),
+                    Value::Array(self.notes.iter().map(|n| Value::from(n.clone())).collect()),
+                ),
+            ]
+            .into_iter()
+            .collect(),
+        )
     }
 }
 
@@ -105,6 +152,22 @@ mod tests {
     fn row_width_checked() {
         let mut r = Report::new("x", &["a", "b"]);
         r.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn to_value_is_self_describing() {
+        let mut r = Report::new("E9 — demo", &["id", "value"]);
+        r.row(vec!["a".into(), "1".into()]);
+        r.note("n1");
+        let v = r.to_value();
+        assert_eq!(v.get_field("title"), &Value::from("E9 — demo"));
+        let rows = v.get_field("rows").as_array().unwrap();
+        assert_eq!(rows[0].get_field("id"), &Value::from("a"));
+        assert_eq!(rows[0].get_field("value"), &Value::from("1"));
+        // and it serializes to JSON cleanly
+        let json = udbms_json::to_string(&v);
+        assert!(json.contains("\"rows\""), "{json}");
+        assert_eq!(udbms_json::parse(&json).unwrap(), v);
     }
 
     #[test]

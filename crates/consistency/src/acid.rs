@@ -40,7 +40,10 @@ pub fn atomicity_census(n: usize, failure_rate: f64, seed: u64) -> Result<Atomic
     engine.create_collection(CollectionSchema::relational(
         "rel",
         "id",
-        vec![udbms_core::FieldDef::required("id", udbms_core::FieldType::Int)],
+        vec![udbms_core::FieldDef::required(
+            "id",
+            udbms_core::FieldType::Int,
+        )],
     ))?;
     engine.create_collection(CollectionSchema::document("doc", "_id", vec![]))?;
     engine.create_collection(CollectionSchema::key_value("kv"))?;
@@ -84,7 +87,12 @@ pub fn atomicity_census(n: usize, failure_rate: f64, seed: u64) -> Result<Atomic
         }
         Ok(())
     })?;
-    Ok(AtomicityReport { attempted: n, aborted, complete, partial })
+    Ok(AtomicityReport {
+        attempted: n,
+        aborted,
+        complete,
+        partial,
+    })
 }
 
 /// Result of the lost-update census.
@@ -110,7 +118,9 @@ pub struct LostUpdateReport {
 pub fn lost_update_census(isolation: Isolation, pairs: usize) -> Result<LostUpdateReport> {
     let engine = Engine::new();
     engine.create_collection(CollectionSchema::key_value("ctr"))?;
-    engine.run(Isolation::Snapshot, |t| t.put("ctr", Key::str("n"), Value::Int(0)))?;
+    engine.run(Isolation::Snapshot, |t| {
+        t.put("ctr", Key::str("n"), Value::Int(0))
+    })?;
 
     let mut committed = 0u64;
     let mut retries = 0u64;
@@ -138,7 +148,9 @@ pub fn lost_update_census(isolation: Isolation, pairs: usize) -> Result<LostUpda
         }
     }
     let final_value = engine.run(Isolation::Snapshot, |t| {
-        Ok(t.get("ctr", &Key::str("n"))?.and_then(|v| v.as_int()).expect("counter"))
+        Ok(t.get("ctr", &Key::str("n"))?
+            .and_then(|v| v.as_int())
+            .expect("counter"))
     })?;
     Ok(LostUpdateReport {
         isolation,
@@ -160,7 +172,9 @@ pub fn concurrent_increment_stress(
 ) -> Result<LostUpdateReport> {
     let engine = Engine::new();
     engine.create_collection(CollectionSchema::key_value("ctr"))?;
-    engine.run(Isolation::Snapshot, |t| t.put("ctr", Key::str("n"), Value::Int(0)))?;
+    engine.run(Isolation::Snapshot, |t| {
+        t.put("ctr", Key::str("n"), Value::Int(0))
+    })?;
 
     let committed = Arc::new(AtomicU64::new(0));
     let retries = Arc::new(AtomicU64::new(0));
@@ -179,7 +193,8 @@ pub fn concurrent_increment_stress(
                             .expect("collection exists")
                             .and_then(|v| v.as_int())
                             .expect("counter is an int");
-                        txn.put("ctr", Key::str("n"), Value::Int(v + 1)).expect("buffered");
+                        txn.put("ctr", Key::str("n"), Value::Int(v + 1))
+                            .expect("buffered");
                         match txn.commit() {
                             Ok(_) => {
                                 committed.fetch_add(1, Ordering::Relaxed);
@@ -200,7 +215,9 @@ pub fn concurrent_increment_stress(
     }
 
     let final_value = engine.run(Isolation::Snapshot, |t| {
-        Ok(t.get("ctr", &Key::str("n"))?.and_then(|v| v.as_int()).expect("counter"))
+        Ok(t.get("ctr", &Key::str("n"))?
+            .and_then(|v| v.as_int())
+            .expect("counter"))
     })?;
     let committed = committed.load(Ordering::Relaxed);
     Ok(LostUpdateReport {
@@ -263,7 +280,11 @@ pub fn write_skew_census(isolation: Isolation, pairs: usize) -> Result<WriteSkew
             violations += 1;
         }
     }
-    Ok(WriteSkewReport { isolation, pairs, violations })
+    Ok(WriteSkewReport {
+        isolation,
+        pairs,
+        violations,
+    })
 }
 
 #[cfg(test)]
@@ -275,7 +296,11 @@ mod tests {
         let r = atomicity_census(200, 0.3, 7).unwrap();
         assert_eq!(r.partial, 0, "no partial cross-model commits, ever");
         assert_eq!(r.complete + r.aborted, r.attempted);
-        assert!(r.aborted > 30, "~30% of 200 inject failures, got {}", r.aborted);
+        assert!(
+            r.aborted > 30,
+            "~30% of 200 inject failures, got {}",
+            r.aborted
+        );
     }
 
     #[test]
@@ -291,7 +316,10 @@ mod tests {
         let rc = lost_update_census(Isolation::ReadCommitted, 50).unwrap();
         let si = lost_update_census(Isolation::Snapshot, 50).unwrap();
         let ser = lost_update_census(Isolation::Serializable, 50).unwrap();
-        assert_eq!(rc.lost, 50, "RC loses one increment per overlapped pair: {rc:?}");
+        assert_eq!(
+            rc.lost, 50,
+            "RC loses one increment per overlapped pair: {rc:?}"
+        );
         assert_eq!(rc.conflict_retries, 0, "RC never even notices");
         assert_eq!(si.lost, 0, "SI preserves every increment: {si:?}");
         assert_eq!(si.conflict_retries, 50, "SI detects every overlap");
@@ -314,7 +342,10 @@ mod tests {
     #[test]
     fn write_skew_differentiates_si_from_ser() {
         let si = write_skew_census(Isolation::Snapshot, 50).unwrap();
-        assert_eq!(si.violations, 50, "SI admits write skew every time (deterministic interleave)");
+        assert_eq!(
+            si.violations, 50,
+            "SI admits write skew every time (deterministic interleave)"
+        );
         let ser = write_skew_census(Isolation::Serializable, 50).unwrap();
         assert_eq!(ser.violations, 0, "OCC read validation prevents write skew");
         let rc = write_skew_census(Isolation::ReadCommitted, 10).unwrap();

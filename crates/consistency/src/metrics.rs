@@ -64,7 +64,10 @@ pub fn pbs_curve(cfg: &ConsistencyConfig, deltas: &[u64]) -> Vec<PbsPoint> {
                 }
             }
         }
-        out.push(PbsPoint { delta_ms: delta, p_fresh: fresh as f64 / cfg.trials as f64 });
+        out.push(PbsPoint {
+            delta_ms: delta,
+            p_fresh: fresh as f64 / cfg.trials as f64,
+        });
     }
     out
 }
@@ -142,8 +145,12 @@ pub fn session_guarantees(
         sim.write_at(0, key.clone(), Value::Int(0));
         sim.advance_to(5_000);
         let v = sim.write_at(5_000, key.clone(), Value::Int(1));
-        let r1 = sim.read_at(5_000 + read_delay_ms, &key, policy).map_or(0, |e| e.version);
-        let r2 = sim.read_at(5_000 + 2 * read_delay_ms, &key, policy).map_or(0, |e| e.version);
+        let r1 = sim
+            .read_at(5_000 + read_delay_ms, &key, policy)
+            .map_or(0, |e| e.version);
+        let r2 = sim
+            .read_at(5_000 + 2 * read_delay_ms, &key, policy)
+            .map_or(0, |e| e.version);
         if r1 < v {
             ryw_violations += 1;
         }
@@ -163,8 +170,7 @@ pub fn convergence_time(cfg: &ConsistencyConfig, burst: usize) -> f64 {
     let mut total = 0u64;
     let trials = cfg.trials.clamp(1, 200);
     for trial in 0..trials {
-        let mut sim =
-            ReplicatedSim::new(cfg.replicas, cfg.lag, cfg.seed ^ 0xc0ffee ^ trial as u64);
+        let mut sim = ReplicatedSim::new(cfg.replicas, cfg.lag, cfg.seed ^ 0xc0ffee ^ trial as u64);
         for i in 0..burst {
             sim.write_at(i as u64, Key::int(i as i64), Value::Int(i as i64));
         }
@@ -181,7 +187,10 @@ mod tests {
     use super::*;
 
     fn cfg() -> ConsistencyConfig {
-        ConsistencyConfig { trials: 400, ..Default::default() }
+        ConsistencyConfig {
+            trials: 400,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -195,8 +204,14 @@ mod tests {
                 "PBS must rise: {curve:?}"
             );
         }
-        assert!(curve[0].p_fresh < 0.3, "immediately after the write most reads are stale");
-        assert!(curve.last().unwrap().p_fresh > 0.95, "after max lag reads are fresh");
+        assert!(
+            curve[0].p_fresh < 0.3,
+            "immediately after the write most reads are stale"
+        );
+        assert!(
+            curve.last().unwrap().p_fresh > 0.95,
+            "after max lag reads are fresh"
+        );
     }
 
     #[test]
@@ -208,16 +223,26 @@ mod tests {
 
     #[test]
     fn replica_staleness_grows_with_lag() {
-        let fast = ConsistencyConfig { lag: LagModel::Fixed(2), trials: 400, ..Default::default() };
-        let slow =
-            ConsistencyConfig { lag: LagModel::Fixed(200), trials: 400, ..Default::default() };
+        let fast = ConsistencyConfig {
+            lag: LagModel::Fixed(2),
+            trials: 400,
+            ..Default::default()
+        };
+        let slow = ConsistencyConfig {
+            lag: LagModel::Fixed(200),
+            trials: 400,
+            ..Default::default()
+        };
         let fr = staleness_distribution(&fast, 20, ReadPolicy::AnyReplica);
         let sr = staleness_distribution(&slow, 20, ReadPolicy::AnyReplica);
         assert!(
             sr.mean_version_lag > fr.mean_version_lag,
             "lag 200ms must be staler than 2ms: {sr:?} vs {fr:?}"
         );
-        assert!(sr.max_version_lag >= 5, "200ms lag across 20ms writes ≈ 10 versions behind");
+        assert!(
+            sr.max_version_lag >= 5,
+            "200ms lag across 20ms writes ≈ 10 versions behind"
+        );
         assert!(fr.fresh_fraction > 0.8);
     }
 
@@ -241,7 +266,10 @@ mod tests {
         // second read may hit a slower replica
         let cfg = ConsistencyConfig {
             replicas: 5,
-            lag: LagModel::Bimodal { base: 4, p_slow: 0.5 },
+            lag: LagModel::Bimodal {
+                base: 4,
+                p_slow: 0.5,
+            },
             trials: 800,
             seed: 11,
         };
@@ -259,8 +287,16 @@ mod tests {
 
     #[test]
     fn convergence_time_tracks_lag() {
-        let fast = ConsistencyConfig { lag: LagModel::Fixed(5), trials: 50, ..Default::default() };
-        let slow = ConsistencyConfig { lag: LagModel::Fixed(80), trials: 50, ..Default::default() };
+        let fast = ConsistencyConfig {
+            lag: LagModel::Fixed(5),
+            trials: 50,
+            ..Default::default()
+        };
+        let slow = ConsistencyConfig {
+            lag: LagModel::Fixed(80),
+            trials: 50,
+            ..Default::default()
+        };
         let tf = convergence_time(&fast, 10);
         let ts = convergence_time(&slow, 10);
         assert!(ts > tf, "slower lag converges later ({ts} vs {tf})");

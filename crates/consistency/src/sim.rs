@@ -125,11 +125,13 @@ impl ReplicatedSim {
             }
             self.pending.pop();
             let d = self.deliveries.remove(&(at, seq)).expect("queued delivery");
-            let slot = self.replicas[d.replica].entry(d.key).or_insert_with(|| Versioned {
-                value: Value::Null,
-                version: 0,
-                written_at: 0,
-            });
+            let slot = self.replicas[d.replica]
+                .entry(d.key)
+                .or_insert_with(|| Versioned {
+                    value: Value::Null,
+                    version: 0,
+                    written_at: 0,
+                });
             // out-of-order deliveries never regress a replica
             if d.entry.version > slot.version {
                 *slot = d.entry;
@@ -144,7 +146,11 @@ impl ReplicatedSim {
     pub fn write_at(&mut self, t: u64, key: Key, value: Value) -> u64 {
         self.advance_to(t);
         let version = self.primary.get(&key).map_or(1, |e| e.version + 1);
-        let entry = Versioned { value, version, written_at: t };
+        let entry = Versioned {
+            value,
+            version,
+            written_at: t,
+        };
         self.primary.insert(key.clone(), entry.clone());
         for replica in 0..self.replicas.len() {
             let lag = self.lag.sample(&mut self.rng).max(1);
@@ -154,7 +160,11 @@ impl ReplicatedSim {
             self.pending.push(Reverse((at, seq)));
             self.deliveries.insert(
                 (at, seq),
-                Delivery { replica, key: key.clone(), entry: entry.clone() },
+                Delivery {
+                    replica,
+                    key: key.clone(),
+                    entry: entry.clone(),
+                },
             );
         }
         version
@@ -165,9 +175,10 @@ impl ReplicatedSim {
         self.advance_to(t);
         match policy {
             ReadPolicy::Primary => self.primary.get(key).cloned(),
-            ReadPolicy::Replica(i) => {
-                self.replicas[i % self.replicas.len()].get(key).cloned().filter(|e| e.version > 0)
-            }
+            ReadPolicy::Replica(i) => self.replicas[i % self.replicas.len()]
+                .get(key)
+                .cloned()
+                .filter(|e| e.version > 0),
             ReadPolicy::AnyReplica => {
                 let i = self.rng.index(self.replicas.len());
                 self.replicas[i].get(key).cloned().filter(|e| e.version > 0)
@@ -183,7 +194,9 @@ impl ReplicatedSim {
     /// Do all replicas agree with the primary on every key?
     pub fn converged(&self) -> bool {
         self.replicas.iter().all(|r| {
-            self.primary.iter().all(|(k, e)| r.get(k).is_some_and(|re| re.version == e.version))
+            self.primary
+                .iter()
+                .all(|(k, e)| r.get(k).is_some_and(|re| re.version == e.version))
         })
     }
 
@@ -215,13 +228,23 @@ mod tests {
         let mut sim = ReplicatedSim::new(2, LagModel::Fixed(10), 1);
         sim.write_at(100, k("x"), Value::Int(1));
         // immediately: replicas blind, primary sees it
-        assert_eq!(sim.read_at(100, &k("x"), ReadPolicy::Primary).unwrap().version, 1);
+        assert_eq!(
+            sim.read_at(100, &k("x"), ReadPolicy::Primary)
+                .unwrap()
+                .version,
+            1
+        );
         assert!(sim.read_at(105, &k("x"), ReadPolicy::Replica(0)).is_none());
         // after the lag: everyone sees it
         let e = sim.read_at(110, &k("x"), ReadPolicy::Replica(0)).unwrap();
         assert_eq!(e.version, 1);
         assert_eq!(e.value, Value::Int(1));
-        assert_eq!(sim.read_at(110, &k("x"), ReadPolicy::Replica(1)).unwrap().version, 1);
+        assert_eq!(
+            sim.read_at(110, &k("x"), ReadPolicy::Replica(1))
+                .unwrap()
+                .version,
+            1
+        );
         assert!(sim.converged());
     }
 
@@ -282,7 +305,10 @@ mod tests {
     #[test]
     fn bimodal_lag_has_a_tail() {
         let mut rng = SplitMix64::new(9);
-        let lag = LagModel::Bimodal { base: 10, p_slow: 0.2 };
+        let lag = LagModel::Bimodal {
+            base: 10,
+            p_slow: 0.2,
+        };
         let samples: Vec<u64> = (0..1000).map(|_| lag.sample(&mut rng)).collect();
         let slow = samples.iter().filter(|&&s| s == 100).count();
         assert!(samples.iter().all(|&s| s == 10 || s == 100));

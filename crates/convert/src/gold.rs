@@ -50,12 +50,18 @@ pub fn gold_rel_to_doc_nest(data: &Dataset) -> GoldTask {
             })
             .collect();
         orders.sort_by(|a, b| {
-            (a.get_field("date"), a.get_field("_id")).cmp(&(b.get_field("date"), b.get_field("_id")))
+            (a.get_field("date"), a.get_field("_id"))
+                .cmp(&(b.get_field("date"), b.get_field("_id")))
         });
-        doc.as_object_mut().expect("customer object").insert("orders".into(), Value::Array(orders));
+        doc.as_object_mut()
+            .expect("customer object")
+            .insert("orders".into(), Value::Array(orders));
         expected.push(doc);
     }
-    GoldTask { name: "rel_to_doc_nest", expected }
+    GoldTask {
+        name: "rel_to_doc_nest",
+        expected,
+    }
 }
 
 /// Gold standard for document→relational shredding (order line items).
@@ -74,7 +80,10 @@ pub fn gold_doc_to_rel_items(data: &Dataset) -> GoldTask {
             }
         }
     }
-    GoldTask { name: "doc_to_rel_shred", expected }
+    GoldTask {
+        name: "doc_to_rel_shred",
+        expected,
+    }
 }
 
 /// Gold standard for relational→graph FK edges.
@@ -90,7 +99,10 @@ pub fn gold_rel_to_graph_edges(data: &Dataset) -> GoldTask {
             }
         })
         .collect();
-    GoldTask { name: "rel_to_graph", expected }
+    GoldTask {
+        name: "rel_to_graph",
+        expected,
+    }
 }
 
 /// Gold standard for key-value→relational feedback parsing.
@@ -109,7 +121,10 @@ pub fn gold_kv_to_rel(data: &Dataset) -> GoldTask {
             }
         })
         .collect();
-    GoldTask { name: "kv_to_rel", expected }
+    GoldTask {
+        name: "kv_to_rel",
+        expected,
+    }
 }
 
 /// Gold standard for the document↔XML round-trip: the round trip of a
@@ -117,7 +132,10 @@ pub fn gold_kv_to_rel(data: &Dataset) -> GoldTask {
 /// mapping represents faithfully), which must come back verbatim.
 pub fn gold_doc_xml_roundtrip(data: &Dataset) -> GoldTask {
     let expected = data.orders.iter().map(roundtrip_projection).collect();
-    GoldTask { name: "doc_xml_roundtrip", expected }
+    GoldTask {
+        name: "doc_xml_roundtrip",
+        expected,
+    }
 }
 
 /// The projection of an order that the data-centric XML mapping
@@ -134,7 +152,9 @@ pub fn roundtrip_projection(order: &Value) -> Value {
     // multi-item orders' items (the mapping's documented corner)
     if let Some(items) = order.get_field("items").as_array() {
         if items.len() > 1 {
-            v.as_object_mut().expect("object").insert("items".into(), Value::Array(items.to_vec()));
+            v.as_object_mut()
+                .expect("object")
+                .insert("items".into(), Value::Array(items.to_vec()));
         }
     }
     v
@@ -202,7 +222,10 @@ mod tests {
 
     #[test]
     fn every_task_hits_its_gold_standard_exactly() {
-        let data = generate(&GenConfig { scale_factor: 0.02, ..Default::default() });
+        let data = generate(&GenConfig {
+            scale_factor: 0.02,
+            ..Default::default()
+        });
         let scores = score_all(&data);
         assert_eq!(scores.len(), 5);
         for s in &scores {
@@ -218,7 +241,10 @@ mod tests {
 
     #[test]
     fn tampering_is_detected() {
-        let data = generate(&GenConfig { scale_factor: 0.01, ..Default::default() });
+        let data = generate(&GenConfig {
+            scale_factor: 0.01,
+            ..Default::default()
+        });
         let gold = gold_rel_to_doc_nest(&data);
         let mut actual = tasks::rel_to_doc_nest(&data.customers, &data.orders);
         // corrupt one record
@@ -229,17 +255,29 @@ mod tests {
         let f = tasks::fidelity(&gold.expected, &actual);
         assert!(f < 1.0, "corruption must lower fidelity, got {f}");
         let n = gold.expected.len() as f64;
-        assert!((f - (n - 1.0) / n).abs() < 1e-9, "exactly one record was corrupted");
+        assert!(
+            (f - (n - 1.0) / n).abs() < 1e-9,
+            "exactly one record was corrupted"
+        );
     }
 
     #[test]
     fn gold_standards_scale_with_data() {
-        let small = generate(&GenConfig { scale_factor: 0.01, ..Default::default() });
-        let big = generate(&GenConfig { scale_factor: 0.02, ..Default::default() });
+        let small = generate(&GenConfig {
+            scale_factor: 0.01,
+            ..Default::default()
+        });
+        let big = generate(&GenConfig {
+            scale_factor: 0.02,
+            ..Default::default()
+        });
         assert!(
             gold_doc_to_rel_items(&big).expected.len()
                 > gold_doc_to_rel_items(&small).expected.len()
         );
-        assert_eq!(gold_rel_to_graph_edges(&small).expected.len(), small.orders.len());
+        assert_eq!(
+            gold_rel_to_graph_edges(&small).expected.len(),
+            small.orders.len()
+        );
     }
 }

@@ -36,7 +36,9 @@ fn fill_element(el: &mut XmlNode, v: &Value) -> Result<()> {
         Value::Float(f) => el.push_child(XmlNode::text(format_float(*f))),
         Value::Str(s) => el.push_child(XmlNode::text(s.clone())),
         Value::Bytes(_) => {
-            return Err(Error::Unsupported("bytes in data-centric XML mapping".into()))
+            return Err(Error::Unsupported(
+                "bytes in data-centric XML mapping".into(),
+            ))
         }
         Value::Object(map) => {
             for (k, child_v) in map {
@@ -83,7 +85,13 @@ fn format_float(f: f64) -> String {
 fn sanitize_name(k: &str) -> String {
     let mut out: String = k
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.is_empty() || out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         out.insert(0, '_');
@@ -98,8 +106,10 @@ fn sanitize_name(k: &str) -> String {
 /// * element with child elements → object; repeated names → arrays
 pub fn xml_to_json(el: &XmlNode) -> Value {
     let children = el.children();
-    let elements: Vec<&XmlNode> =
-        children.iter().filter(|c| matches!(c, XmlNode::Element { .. })).collect();
+    let elements: Vec<&XmlNode> = children
+        .iter()
+        .filter(|c| matches!(c, XmlNode::Element { .. }))
+        .collect();
     if elements.is_empty() {
         let text = el.text_content();
         if text.is_empty() {
@@ -115,7 +125,11 @@ pub fn xml_to_json(el: &XmlNode) -> Value {
     }
     let mut obj = BTreeMap::new();
     for (name, mut vals) in grouped {
-        let v = if vals.len() == 1 { vals.remove(0) } else { Value::Array(vals) };
+        let v = if vals.len() == 1 {
+            vals.remove(0)
+        } else {
+            Value::Array(vals)
+        };
         obj.insert(name, v);
     }
     Value::Object(obj)
@@ -159,7 +173,10 @@ mod tests {
         let v = obj! {"item" => arr![obj!{"q" => 1}, obj!{"q" => 2}]};
         let el = json_to_xml("order", &v).unwrap();
         let s = udbms_xml::to_string(&udbms_xml::XmlDocument::new(el));
-        assert_eq!(s, "<order><item><q>1</q></item><item><q>2</q></item></order>");
+        assert_eq!(
+            s,
+            "<order><item><q>1</q></item><item><q>2</q></item></order>"
+        );
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub fn rel_to_doc_nest(customers: &[Value], orders: &[Value]) -> Vec<Value> {
     }
     let mut out = Vec::with_capacity(customers.len());
     for c in customers {
-        let Some(id) = c.get_field("id").as_int() else { continue };
+        let Some(id) = c.get_field("id").as_int() else {
+            continue;
+        };
         let mut doc = c.clone();
         let mut embedded: Vec<Value> = by_customer
             .get(&id)
@@ -44,7 +46,8 @@ pub fn rel_to_doc_nest(customers: &[Value], orders: &[Value]) -> Vec<Value> {
             })
             .unwrap_or_default();
         embedded.sort_by(|a, b| {
-            (a.get_field("date"), a.get_field("_id")).cmp(&(b.get_field("date"), b.get_field("_id")))
+            (a.get_field("date"), a.get_field("_id"))
+                .cmp(&(b.get_field("date"), b.get_field("_id")))
         });
         if let Some(obj) = doc.as_object_mut() {
             obj.insert("orders".to_string(), Value::Array(embedded));
@@ -127,7 +130,9 @@ pub fn graph_to_rel(vertices: &[Value], edges: &[Value]) -> (Vec<Value>, Vec<Val
 pub fn kv_to_rel(entries: &[(Key, Value)]) -> Vec<Value> {
     let mut out = Vec::with_capacity(entries.len());
     for (k, v) in entries {
-        let Some(ks) = k.value().as_str() else { continue };
+        let Some(ks) = k.value().as_str() else {
+            continue;
+        };
         let mut parts = ks.splitn(3, ':');
         let (Some(prefix), Some(product), Some(cust)) = (parts.next(), parts.next(), parts.next())
         else {
@@ -136,7 +141,9 @@ pub fn kv_to_rel(entries: &[(Key, Value)]) -> Vec<Value> {
         if prefix != "fb" || !cust.starts_with('C') {
             continue;
         }
-        let Ok(customer) = cust[1..].parse::<i64>() else { continue };
+        let Ok(customer) = cust[1..].parse::<i64>() else {
+            continue;
+        };
         out.push(obj! {
             "key" => ks,
             "product" => product,
@@ -187,10 +194,10 @@ mod tests {
     fn orders() -> Vec<Value> {
         vec![
             obj! {"_id" => "o2", "customer" => 1, "date" => 20, "status" => "open", "total" => 5.0,
-                   "items" => arr![obj!{"product" => "p1", "qty" => 1, "price" => 5.0}]},
+            "items" => arr![obj!{"product" => "p1", "qty" => 1, "price" => 5.0}]},
             obj! {"_id" => "o1", "customer" => 1, "date" => 10, "status" => "paid", "total" => 7.0,
-                   "items" => arr![obj!{"product" => "p1", "qty" => 1, "price" => 2.0},
-                                    obj!{"product" => "p2", "qty" => 1, "price" => 5.0}]},
+            "items" => arr![obj!{"product" => "p1", "qty" => 1, "price" => 2.0},
+                             obj!{"product" => "p2", "qty" => 1, "price" => 5.0}]},
         ]
     }
 
@@ -201,8 +208,15 @@ mod tests {
         let ada = &out[0];
         let embedded = ada.get_field("orders").as_array().unwrap();
         assert_eq!(embedded.len(), 2);
-        assert_eq!(embedded[0].get_field("_id"), &Value::from("o1"), "date order");
-        assert!(embedded[0].get_field("customer").is_null(), "FK dropped after embedding");
+        assert_eq!(
+            embedded[0].get_field("_id"),
+            &Value::from("o1"),
+            "date order"
+        );
+        assert!(
+            embedded[0].get_field("customer").is_null(),
+            "FK dropped after embedding"
+        );
         let bob = &out[1];
         assert_eq!(bob.get_field("orders").as_array().unwrap().len(), 0);
     }
@@ -282,7 +296,10 @@ mod tests {
         let half = vec![obj! {"x" => 1}];
         assert_eq!(fidelity(&a, &half), 0.5);
         let extra = vec![obj! {"x" => 1}, obj! {"x" => 2}, obj! {"x" => 3}];
-        assert!((fidelity(&a, &extra) - 2.0 / 3.0).abs() < 1e-9, "extras penalized");
+        assert!(
+            (fidelity(&a, &extra) - 2.0 / 3.0).abs() < 1e-9,
+            "extras penalized"
+        );
         assert_eq!(fidelity(&[], &[]), 1.0);
         // duplicates are multiset-matched
         let dup = vec![obj! {"x" => 1}, obj! {"x" => 1}];

@@ -53,12 +53,20 @@ pub enum Error {
 impl Error {
     /// Shorthand constructor for parse errors.
     pub fn parse(format: &'static str, line: usize, col: usize, msg: impl Into<String>) -> Self {
-        Error::Parse { format, line, col, msg: msg.into() }
+        Error::Parse {
+            format,
+            line,
+            col,
+            msg: msg.into(),
+        }
     }
 
     /// Shorthand constructor for type errors.
     pub fn type_err(expected: impl Into<String>, found: impl Into<String>) -> Self {
-        Error::Type { expected: expected.into(), found: found.into() }
+        Error::Type {
+            expected: expected.into(),
+            found: found.into(),
+        }
     }
 
     /// True when the error is a transaction conflict, i.e. the operation is
@@ -71,7 +79,12 @@ impl Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::Parse { format, line, col, msg } => {
+            Error::Parse {
+                format,
+                line,
+                col,
+                msg,
+            } => {
                 write!(f, "{format} parse error at {line}:{col}: {msg}")
             }
             Error::Type { expected, found } => {
@@ -114,7 +127,10 @@ mod tests {
         assert_eq!(e.to_string(), "json parse error at 3:14: unexpected `}`");
         let e = Error::type_err("Int", "Str");
         assert_eq!(e.to_string(), "type error: expected Int, found Str");
-        assert_eq!(Error::NotFound("orders".into()).to_string(), "not found: orders");
+        assert_eq!(
+            Error::NotFound("orders".into()).to_string(),
+            "not found: orders"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod error;
 pub mod ids;
+pub mod params;
 pub mod path;
 pub mod rng;
 pub mod schema;
@@ -30,6 +31,7 @@ pub mod value;
 
 pub use error::{Error, Result};
 pub use ids::{CollectionId, Ts, TxnId};
+pub use params::Params;
 pub use path::{FieldPath, PathStep};
 pub use rng::{SplitMix64, Zipf};
 pub use schema::{CollectionSchema, FieldDef, FieldType, ModelKind};

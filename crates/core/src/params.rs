@@ -1,0 +1,112 @@
+//! Named bind-parameter sets for parameterized queries.
+//!
+//! MMQL texts may reference parameters as `@name`; a [`Params`] map
+//! supplies the concrete values at execution time. Keeping the type here
+//! (rather than in the query crate) lets every layer — the workload
+//! generator, the query engine and the benchmark driver's `Subject`
+//! API — share one currency for "the inputs of this query" without
+//! depending on each other.
+
+use std::collections::BTreeMap;
+
+use crate::Value;
+
+/// An ordered name → value map of query bind parameters.
+///
+/// ```
+/// use udbms_core::{Params, Value};
+///
+/// let p = Params::new().with("customer", 42).with("country", "FI");
+/// assert_eq!(p.get("customer"), Some(&Value::Int(42)));
+/// assert_eq!(p.names().collect::<Vec<_>>(), vec!["country", "customer"]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params {
+    values: BTreeMap<String, Value>,
+}
+
+impl Params {
+    /// An empty parameter set.
+    pub fn new() -> Params {
+        Params::default()
+    }
+
+    /// Builder-style insert; later sets of the same name win.
+    #[must_use]
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Params {
+        self.values.insert(name.into(), value.into());
+        self
+    }
+
+    /// Insert a parameter value.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.values.insert(name.into(), value.into());
+    }
+
+    /// Look up a parameter by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// Whether a parameter is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Iterate names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(String::as_str)
+    }
+
+    /// Iterate `(name, value)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl<N: Into<String>, V: Into<Value>> FromIterator<(N, V)> for Params {
+    fn from_iter<T: IntoIterator<Item = (N, V)>>(iter: T) -> Params {
+        Params {
+            values: iter
+                .into_iter()
+                .map(|(n, v)| (n.into(), v.into()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_lookup_iterate() {
+        let mut p = Params::new().with("b", 2).with("a", "x");
+        p.set("c", 1.5);
+        assert_eq!(p.len(), 3);
+        assert!(p.contains("a"));
+        assert!(!p.contains("z"));
+        assert_eq!(p.get("b"), Some(&Value::Int(2)));
+        assert_eq!(p.names().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        let pairs: Vec<(&str, &Value)> = p.iter().collect();
+        assert_eq!(pairs[0].0, "a");
+    }
+
+    #[test]
+    fn from_iterator_and_overwrite() {
+        let p: Params = vec![("k", 1), ("k", 2)].into_iter().collect();
+        assert_eq!(p.get("k"), Some(&Value::Int(2)));
+        assert_eq!(p.len(), 1);
+        assert!(Params::new().is_empty());
+    }
+}

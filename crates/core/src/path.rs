@@ -37,7 +37,9 @@ impl FieldPath {
 
     /// A single-key path.
     pub fn key(k: impl Into<String>) -> FieldPath {
-        FieldPath { steps: vec![PathStep::Key(k.into())] }
+        FieldPath {
+            steps: vec![PathStep::Key(k.into())],
+        }
     }
 
     /// Parse `"a.b[0].c"`. Keys are runs of non-dot, non-bracket
@@ -228,7 +230,10 @@ mod tests {
 
     #[test]
     fn builder_and_prefix_ops() {
-        let p = FieldPath::root().child("customer").child("address").child("city");
+        let p = FieldPath::root()
+            .child("customer")
+            .child("address")
+            .child("city");
         assert_eq!(p.to_string(), "customer.address.city");
         let prefix = FieldPath::root().child("customer").child("address");
         assert!(p.starts_with(&prefix));
@@ -236,14 +241,20 @@ mod tests {
             .replace_prefix(&prefix, &FieldPath::root().child("cust").child("addr"))
             .unwrap();
         assert_eq!(renamed.to_string(), "cust.addr.city");
-        assert!(p.replace_prefix(&FieldPath::key("other"), &FieldPath::key("x")).is_none());
+        assert!(p
+            .replace_prefix(&FieldPath::key("other"), &FieldPath::key("x"))
+            .is_none());
     }
 
     #[test]
     fn display_roundtrips_through_parse() {
         for s in ["a", "a.b", "a[0]", "a.b[3].c", "[1][2]", "x.y[0][1].z"] {
             let p = FieldPath::parse(s).unwrap();
-            assert_eq!(FieldPath::parse(&p.to_string()).unwrap(), p, "roundtrip {s}");
+            assert_eq!(
+                FieldPath::parse(&p.to_string()).unwrap(),
+                p,
+                "roundtrip {s}"
+            );
         }
     }
 }

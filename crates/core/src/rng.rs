@@ -31,7 +31,12 @@ impl SplitMix64 {
             h ^= u64::from(*b);
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        SplitMix64::new(self.state.wrapping_add(h).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+        SplitMix64::new(
+            self.state
+                .wrapping_add(h)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                | 1,
+        )
     }
 
     /// Next raw 64-bit output.
@@ -136,7 +141,9 @@ impl SplitMix64 {
     /// A lowercase ASCII identifier-like string of length `len`.
     pub fn ident(&mut self, len: usize) -> String {
         const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
-        (0..len).map(|_| ALPHA[self.index(ALPHA.len())] as char).collect()
+        (0..len)
+            .map(|_| ALPHA[self.index(ALPHA.len())] as char)
+            .collect()
     }
 }
 
@@ -271,7 +278,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "overwhelmingly unlikely to be identity");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "overwhelmingly unlikely to be identity"
+        );
     }
 
     #[test]

@@ -96,9 +96,7 @@ impl FieldType {
             (FieldType::Array(elem), Value::Array(items)) => {
                 items.iter().all(|i| elem.admits(i) || i.is_null())
             }
-            (FieldType::Object(fields), Value::Object(_)) => {
-                validate_fields(fields, v).is_ok()
-            }
+            (FieldType::Object(fields), Value::Object(_)) => validate_fields(fields, v).is_ok(),
             _ => false,
         }
     }
@@ -149,12 +147,22 @@ pub struct FieldDef {
 impl FieldDef {
     /// A required (non-null, no default) field.
     pub fn required(name: impl Into<String>, ftype: FieldType) -> FieldDef {
-        FieldDef { name: name.into(), ftype, nullable: false, default: None }
+        FieldDef {
+            name: name.into(),
+            ftype,
+            nullable: false,
+            default: None,
+        }
     }
 
     /// An optional (nullable) field.
     pub fn optional(name: impl Into<String>, ftype: FieldType) -> FieldDef {
-        FieldDef { name: name.into(), ftype, nullable: true, default: None }
+        FieldDef {
+            name: name.into(),
+            ftype,
+            nullable: true,
+            default: None,
+        }
     }
 
     /// Attach a default value, builder-style.
@@ -213,7 +221,11 @@ pub struct CollectionSchema {
 
 impl CollectionSchema {
     /// A schema-first relational table (closed; extra columns rejected).
-    pub fn relational(name: impl Into<String>, pk: impl Into<String>, fields: Vec<FieldDef>) -> Self {
+    pub fn relational(
+        name: impl Into<String>,
+        pk: impl Into<String>,
+        fields: Vec<FieldDef>,
+    ) -> Self {
         CollectionSchema {
             name: name.into(),
             model: ModelKind::Relational,
@@ -303,7 +315,8 @@ impl CollectionSchema {
         if let Value::Object(obj) = v {
             for fd in &self.fields {
                 if let Some(default) = &fd.default {
-                    obj.entry(fd.name.clone()).or_insert_with(|| default.clone());
+                    obj.entry(fd.name.clone())
+                        .or_insert_with(|| default.clone());
                 }
             }
         }
@@ -318,7 +331,10 @@ impl CollectionSchema {
         m.insert("fields".into(), Value::from(self.fields.len()));
         m.insert(
             "primary_key".into(),
-            self.primary_key.clone().map(Value::from).unwrap_or(Value::Null),
+            self.primary_key
+                .clone()
+                .map(Value::from)
+                .unwrap_or(Value::Null),
         );
         m
     }
@@ -346,10 +362,17 @@ mod tests {
     fn relational_schema_validates_rows() {
         let s = customer_schema();
         assert!(s.validate(&obj! {"id" => 1, "name" => "Ada"}).is_ok());
-        assert!(s.validate(&obj! {"id" => 1}).is_err(), "missing required name");
-        assert!(s.validate(&obj! {"id" => "x", "name" => "Ada"}).is_err(), "id type");
         assert!(
-            s.validate(&obj! {"id" => 1, "name" => "Ada", "extra" => 1}).is_err(),
+            s.validate(&obj! {"id" => 1}).is_err(),
+            "missing required name"
+        );
+        assert!(
+            s.validate(&obj! {"id" => "x", "name" => "Ada"}).is_err(),
+            "id type"
+        );
+        assert!(
+            s.validate(&obj! {"id" => 1, "name" => "Ada", "extra" => 1})
+                .is_err(),
             "closed schema rejects undeclared columns"
         );
     }
@@ -361,8 +384,13 @@ mod tests {
             "order_id",
             vec![FieldDef::required("order_id", FieldType::Str)],
         );
-        assert!(s.validate(&obj! {"order_id" => "o1", "anything" => arr_like()}).is_ok());
-        assert!(s.validate(&obj! {"whatever" => 1}).is_err(), "declared required still enforced");
+        assert!(s
+            .validate(&obj! {"order_id" => "o1", "anything" => arr_like()})
+            .is_ok());
+        assert!(
+            s.validate(&obj! {"whatever" => 1}).is_err(),
+            "declared required still enforced"
+        );
     }
 
     fn arr_like() -> Value {
@@ -372,7 +400,9 @@ mod tests {
     #[test]
     fn int_widens_into_float_column() {
         let s = customer_schema();
-        assert!(s.validate(&obj! {"id" => 1, "name" => "A", "score" => 3}).is_ok());
+        assert!(s
+            .validate(&obj! {"id" => 1, "name" => "A", "score" => 3})
+            .is_ok());
     }
 
     #[test]
@@ -414,7 +444,10 @@ mod tests {
     #[test]
     fn model_labels_cover_figure_1() {
         let labels: Vec<&str> = ModelKind::ALL.iter().map(|m| m.label()).collect();
-        assert_eq!(labels, ["relational", "document", "key-value", "graph", "xml"]);
+        assert_eq!(
+            labels,
+            ["relational", "document", "key-value", "graph", "xml"]
+        );
     }
 
     #[test]

@@ -82,7 +82,11 @@ fn cmp_numeric(a: &Value, b: &Value) -> Ordering {
                     // For floats that are exactly integral keep an i64 tiebreak
                     // so Int(i) == Float(i as f64) compares Equal, while huge
                     // floats beyond i64 range still order by magnitude.
-                    let t = if f >= i64::MIN as f64 && f <= i64::MAX as f64 { f as i64 } else { 0 };
+                    let t = if f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+                        f as i64
+                    } else {
+                        0
+                    };
                     (false, f, t)
                 }
             }
@@ -258,17 +262,20 @@ impl Value {
 
     /// Like [`Value::as_str`] but returns an error mentioning `ctx`.
     pub fn expect_str(&self, ctx: &str) -> Result<&str> {
-        self.as_str().ok_or_else(|| Error::type_err(format!("Str ({ctx})"), self.type_name()))
+        self.as_str()
+            .ok_or_else(|| Error::type_err(format!("Str ({ctx})"), self.type_name()))
     }
 
     /// Like [`Value::as_int`] but returns an error mentioning `ctx`.
     pub fn expect_int(&self, ctx: &str) -> Result<i64> {
-        self.as_int().ok_or_else(|| Error::type_err(format!("Int ({ctx})"), self.type_name()))
+        self.as_int()
+            .ok_or_else(|| Error::type_err(format!("Int ({ctx})"), self.type_name()))
     }
 
     /// Like [`Value::as_object`] but returns an error mentioning `ctx`.
     pub fn expect_object(&self, ctx: &str) -> Result<&BTreeMap<String, Value>> {
-        self.as_object().ok_or_else(|| Error::type_err(format!("Object ({ctx})"), self.type_name()))
+        self.as_object()
+            .ok_or_else(|| Error::type_err(format!("Object ({ctx})"), self.type_name()))
     }
 
     /// Field access on objects; `Null` (not an error) when absent or when
@@ -406,7 +413,10 @@ impl Value {
             (Value::Object(dst), Value::Object(src)) => {
                 for (k, v) in src {
                     match dst.get_mut(&k) {
-                        Some(slot) if matches!(slot, Value::Object(_)) && matches!(v, Value::Object(_)) => {
+                        Some(slot)
+                            if matches!(slot, Value::Object(_))
+                                && matches!(v, Value::Object(_)) =>
+                        {
                             slot.merge_from(v);
                         }
                         _ => {
@@ -427,9 +437,10 @@ impl Value {
             Value::Str(s) => s.capacity(),
             Value::Bytes(b) => b.capacity(),
             Value::Array(a) => a.iter().map(Value::deep_size).sum(),
-            Value::Object(o) => {
-                o.iter().map(|(k, v)| k.capacity() + v.deep_size()).sum::<usize>()
-            }
+            Value::Object(o) => o
+                .iter()
+                .map(|(k, v)| k.capacity() + v.deep_size())
+                .sum::<usize>(),
             _ => 0,
         }
     }
@@ -497,7 +508,11 @@ impl Hash for Value {
                 } else {
                     state.write_u8(1);
                     // normalize -0.0
-                    let bits = if *f == 0.0 { 0f64.to_bits() } else { f.to_bits() };
+                    let bits = if *f == 0.0 {
+                        0f64.to_bits()
+                    } else {
+                        f.to_bits()
+                    };
                     bits.hash(state);
                 }
             }
@@ -680,7 +695,10 @@ impl Key {
         match v {
             Value::Bool(_) | Value::Int(_) | Value::Str(_) | Value::Bytes(_) => Ok(Key(v)),
             Value::Float(f) if !f.is_nan() => Ok(Key(Value::Float(f))),
-            other => Err(Error::Invalid(format!("{} cannot be used as a key", other.type_name()))),
+            other => Err(Error::Invalid(format!(
+                "{} cannot be used as a key",
+                other.type_name()
+            ))),
         }
     }
 
@@ -812,7 +830,10 @@ mod tests {
             "total" => 99.5,
         };
         assert_eq!(v.get_dotted("customer.name").unwrap(), &Value::from("Ada"));
-        assert_eq!(v.get_dotted("customer.tags[1]").unwrap(), &Value::from("eu"));
+        assert_eq!(
+            v.get_dotted("customer.tags[1]").unwrap(),
+            &Value::from("eu")
+        );
         assert_eq!(v.get_dotted("customer.tags[9]").unwrap(), &Value::Null);
         assert_eq!(v.get_dotted("missing.deep.path").unwrap(), &Value::Null);
 

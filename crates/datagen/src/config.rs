@@ -21,7 +21,11 @@ pub struct SchemaVariation {
 
 impl Default for SchemaVariation {
     fn default() -> Self {
-        SchemaVariation { optional_field_prob: 0.8, nesting_depth: 2, extra_attr_count: 3 }
+        SchemaVariation {
+            optional_field_prob: 0.8,
+            nesting_depth: 2,
+            extra_attr_count: 3,
+        }
     }
 }
 
@@ -57,7 +61,10 @@ impl Default for GenConfig {
 impl GenConfig {
     /// Config at a given scale factor with everything else default.
     pub fn at_scale(scale_factor: f64) -> GenConfig {
-        GenConfig { scale_factor, ..Default::default() }
+        GenConfig {
+            scale_factor,
+            ..Default::default()
+        }
     }
 
     /// Number of customers.

@@ -67,7 +67,11 @@ pub fn generate(cfg: &GenConfig) -> Dataset {
         for i in 0..cfg.orders() {
             let customer = customer_id(customer_zipf.sample(&mut rng));
             let (order, lines) = domain::gen_order(&mut rng, i, customer, &prices, &zipf, cfg);
-            let oid = order.get_field("_id").as_str().expect("order id").to_string();
+            let oid = order
+                .get_field("_id")
+                .as_str()
+                .expect("order id")
+                .to_string();
             invoices.push((
                 Key::str(domain::invoice_key(&oid)),
                 domain::gen_invoice(&order),
@@ -138,8 +142,11 @@ impl Dataset {
         let leaf = |vs: &[Value]| vs.iter().map(Value::leaf_count).sum::<usize>() as i64;
         let size = |vs: &[Value]| vs.iter().map(Value::deep_size).sum::<usize>() as i64;
         let fb_values: Vec<Value> = self.feedback.iter().map(|(_, v)| v.clone()).collect();
-        let invoice_elems: i64 =
-            self.invoices.iter().map(|(_, x)| x.element_count() as i64).sum();
+        let invoice_elems: i64 = self
+            .invoices
+            .iter()
+            .map(|(_, x)| x.element_count() as i64)
+            .sum();
         obj! {
             "relational" => obj! {
                 "collection" => "customers",
@@ -199,20 +206,30 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = GenConfig { scale_factor: 0.02, ..Default::default() };
+        let cfg = GenConfig {
+            scale_factor: 0.02,
+            ..Default::default()
+        };
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(a.customers, b.customers);
         assert_eq!(a.orders, b.orders);
         assert_eq!(a.feedback, b.feedback);
         assert_eq!(a.knows, b.knows);
-        let c = generate(&GenConfig { seed: 43, scale_factor: 0.02, ..Default::default() });
+        let c = generate(&GenConfig {
+            seed: 43,
+            scale_factor: 0.02,
+            ..Default::default()
+        });
         assert_ne!(a.customers, c.customers, "different seed, different data");
     }
 
     #[test]
     fn counts_follow_config() {
-        let cfg = GenConfig { scale_factor: 0.05, ..Default::default() };
+        let cfg = GenConfig {
+            scale_factor: 0.05,
+            ..Default::default()
+        };
         let d = generate(&cfg);
         assert_eq!(d.customers.len(), cfg.customers());
         assert_eq!(d.products.len(), cfg.products());
@@ -224,12 +241,18 @@ mod tests {
 
     #[test]
     fn referential_integrity_across_models() {
-        let cfg = GenConfig { scale_factor: 0.02, ..Default::default() };
+        let cfg = GenConfig {
+            scale_factor: 0.02,
+            ..Default::default()
+        };
         let d = generate(&cfg);
         let max_cust = d.customers.len() as i64;
         for o in &d.orders {
             let c = o.get_field("customer").as_int().unwrap();
-            assert!(c >= 1 && c <= max_cust, "order references existing customer");
+            assert!(
+                c >= 1 && c <= max_cust,
+                "order references existing customer"
+            );
             for item in o.get_field("items").as_array().unwrap() {
                 let pid = item.get_field("product").as_str().unwrap();
                 let pnum: usize = pid[2..].parse().unwrap();
@@ -255,7 +278,10 @@ mod tests {
 
     #[test]
     fn knows_edges_unique() {
-        let d = generate(&GenConfig { scale_factor: 0.02, ..Default::default() });
+        let d = generate(&GenConfig {
+            scale_factor: 0.02,
+            ..Default::default()
+        });
         let mut set = std::collections::HashSet::new();
         for e in &d.knows {
             assert!(set.insert(*e), "duplicate edge {e:?}");
@@ -264,9 +290,19 @@ mod tests {
 
     #[test]
     fn inventory_reports_every_model() {
-        let d = generate(&GenConfig { scale_factor: 0.02, ..Default::default() });
+        let d = generate(&GenConfig {
+            scale_factor: 0.02,
+            ..Default::default()
+        });
         let inv = d.inventory();
-        for model in ["relational", "document", "key-value", "xml", "graph", "cross_model_refs"] {
+        for model in [
+            "relational",
+            "document",
+            "key-value",
+            "xml",
+            "graph",
+            "cross_model_refs",
+        ] {
             assert!(!inv.get_field(model).is_null(), "missing {model}");
         }
         assert_eq!(
@@ -279,8 +315,14 @@ mod tests {
     #[test]
     fn substreams_decouple_entity_families() {
         // doubling orders must not change the customers generated
-        let small = generate(&GenConfig { scale_factor: 0.02, ..Default::default() });
-        let mut cfg2 = GenConfig { scale_factor: 0.02, ..Default::default() };
+        let small = generate(&GenConfig {
+            scale_factor: 0.02,
+            ..Default::default()
+        });
+        let mut cfg2 = GenConfig {
+            scale_factor: 0.02,
+            ..Default::default()
+        };
         cfg2.product_skew = 0.2; // affects the orders substream only
         let other = generate(&cfg2);
         assert_eq!(small.customers, other.customers);

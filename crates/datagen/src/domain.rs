@@ -20,29 +20,69 @@ pub(crate) const FIRST_NAMES: &[&str] = &[
 ];
 
 pub(crate) const LAST_NAMES: &[&str] = &[
-    "Lovelace", "Turing", "Liskov", "Dijkstra", "Hopper", "Knuth", "Lamport", "Berners-Lee",
-    "Torvalds", "Hamilton", "McCarthy", "Ritchie", "Thompson", "Stroustrup", "Rossum",
-    "Kernighan", "Allen", "Perlman", "Goldwasser", "Goldberg",
+    "Lovelace",
+    "Turing",
+    "Liskov",
+    "Dijkstra",
+    "Hopper",
+    "Knuth",
+    "Lamport",
+    "Berners-Lee",
+    "Torvalds",
+    "Hamilton",
+    "McCarthy",
+    "Ritchie",
+    "Thompson",
+    "Stroustrup",
+    "Rossum",
+    "Kernighan",
+    "Allen",
+    "Perlman",
+    "Goldwasser",
+    "Goldberg",
 ];
 
-pub(crate) const COUNTRIES: &[&str] =
-    &["FI", "SE", "NO", "DK", "DE", "FR", "NL", "US", "GB", "JP"];
+pub(crate) const COUNTRIES: &[&str] = &["FI", "SE", "NO", "DK", "DE", "FR", "NL", "US", "GB", "JP"];
 
 pub(crate) const CITIES: &[&str] = &[
-    "Helsinki", "Stockholm", "Oslo", "Copenhagen", "Berlin", "Paris", "Amsterdam", "Boston",
-    "London", "Tokyo",
+    "Helsinki",
+    "Stockholm",
+    "Oslo",
+    "Copenhagen",
+    "Berlin",
+    "Paris",
+    "Amsterdam",
+    "Boston",
+    "London",
+    "Tokyo",
 ];
 
 pub(crate) const SEGMENTS: &[&str] = &["consumer", "corporate", "smb"];
 
-pub(crate) const CATEGORIES: &[&str] =
-    &["books", "electronics", "garden", "toys", "grocery", "sports", "office"];
+pub(crate) const CATEGORIES: &[&str] = &[
+    "books",
+    "electronics",
+    "garden",
+    "toys",
+    "grocery",
+    "sports",
+    "office",
+];
 
-pub(crate) const BRANDS: &[&str] =
-    &["Acme", "Globex", "Initech", "Umbrella", "Hooli", "Stark", "Wayne", "Tyrell"];
+pub(crate) const BRANDS: &[&str] = &[
+    "Acme", "Globex", "Initech", "Umbrella", "Hooli", "Stark", "Wayne", "Tyrell",
+];
 
-pub(crate) const TAGS: &[&str] =
-    &["new", "sale", "eco", "premium", "clearance", "bestseller", "limited", "refurb"];
+pub(crate) const TAGS: &[&str] = &[
+    "new",
+    "sale",
+    "eco",
+    "premium",
+    "clearance",
+    "bestseller",
+    "limited",
+    "refurb",
+];
 
 pub(crate) const ORDER_STATUS: &[&str] = &["open", "paid", "shipped", "cancelled"];
 
@@ -169,7 +209,10 @@ pub fn gen_order(
     };
     let o = doc.as_object_mut().expect("object literal");
     if rng.chance(cfg.variation.optional_field_prob) {
-        o.insert("shipping".into(), gen_shipping(rng, cfg.variation.nesting_depth));
+        o.insert(
+            "shipping".into(),
+            gen_shipping(rng, cfg.variation.nesting_depth),
+        );
     }
     if rng.chance(cfg.variation.optional_field_prob * 0.5) {
         o.insert("note".into(), Value::from(format!("note {}", rng.ident(6))));
@@ -195,7 +238,11 @@ fn gen_shipping(rng: &mut SplitMix64, depth: usize) -> Value {
             .as_object_mut()
             .expect("object")
             .insert("handling".into(), child);
-        current = current.as_object_mut().expect("object").get_mut("handling").expect("inserted");
+        current = current
+            .as_object_mut()
+            .expect("object")
+            .get_mut("handling")
+            .expect("inserted");
     }
     node
 }
@@ -217,11 +264,18 @@ pub fn gen_invoice(order: &Value) -> XmlNode {
     let oid = order.get_field("_id").as_str().unwrap_or("?").to_string();
     let mut inv = XmlNode::element("Invoice")
         .with_attr("id", invoice_key(&oid))
-        .with_attr("status", order.get_field("status").as_str().unwrap_or("open"));
+        .with_attr(
+            "status",
+            order.get_field("status").as_str().unwrap_or("open"),
+        );
     inv.push_child(XmlNode::leaf("OrderId", oid));
     inv.push_child(XmlNode::leaf(
         "CustomerId",
-        order.get_field("customer").as_int().unwrap_or(0).to_string(),
+        order
+            .get_field("customer")
+            .as_int()
+            .unwrap_or(0)
+            .to_string(),
     ));
     inv.push_child(XmlNode::leaf(
         "Date",
@@ -231,8 +285,14 @@ pub fn gen_invoice(order: &Value) -> XmlNode {
     if let Some(items) = order.get_field("items").as_array() {
         for item in items {
             let el = XmlNode::element("Item")
-                .with_attr("productId", item.get_field("product").as_str().unwrap_or("?"))
-                .with_attr("qty", item.get_field("qty").as_int().unwrap_or(0).to_string())
+                .with_attr(
+                    "productId",
+                    item.get_field("product").as_str().unwrap_or("?"),
+                )
+                .with_attr(
+                    "qty",
+                    item.get_field("qty").as_int().unwrap_or(0).to_string(),
+                )
                 .with_child(XmlNode::leaf(
                     "Price",
                     format!("{:.2}", item.get_field("price").as_float().unwrap_or(0.0)),
@@ -269,7 +329,16 @@ mod tests {
     fn customers_have_closed_schema_shape() {
         let mut rng = SplitMix64::new(1);
         let c = gen_customer(&mut rng, 0);
-        for field in ["id", "name", "email", "country", "city", "segment", "registered", "score"] {
+        for field in [
+            "id",
+            "name",
+            "email",
+            "country",
+            "city",
+            "segment",
+            "registered",
+            "score",
+        ] {
             assert!(!c.get_field(field).is_null(), "missing {field}");
         }
         // country and city stay aligned
@@ -294,7 +363,10 @@ mod tests {
                 Some(cfg.variation.extra_attr_count)
             );
         }
-        assert!(with_tags > 100 && with_tags < 200, "optional fields appear probabilistically");
+        assert!(
+            with_tags > 100 && with_tags < 200,
+            "optional fields appear probabilistically"
+        );
     }
 
     #[test]
@@ -336,7 +408,9 @@ mod tests {
         let (order, _) = gen_order(&mut rng, 0, 1, &prices, &zipf, &cfg);
         let d1 = order.get_dotted("shipping.handling").unwrap();
         assert!(!d1.is_null());
-        let d3 = order.get_dotted("shipping.handling.handling.handling").unwrap();
+        let d3 = order
+            .get_dotted("shipping.handling.handling.handling")
+            .unwrap();
         assert!(!d3.is_null(), "depth 4 yields three nested handling levels");
     }
 
@@ -348,7 +422,10 @@ mod tests {
         let zipf = Zipf::new(2, 0.0);
         let (order, _) = gen_order(&mut rng, 3, 9, &prices, &zipf, &cfg);
         let inv = gen_invoice(&order);
-        assert_eq!(inv.child_element("OrderId").unwrap().text_content(), "O-000004");
+        assert_eq!(
+            inv.child_element("OrderId").unwrap().text_content(),
+            "O-000004"
+        );
         assert_eq!(inv.child_element("CustomerId").unwrap().text_content(), "9");
         let n_items = inv.child_element("Items").unwrap().children().len();
         assert_eq!(n_items, order.get_field("items").as_array().unwrap().len());

@@ -135,7 +135,13 @@ pub fn load_into_engine(engine: &Engine, data: &Dataset) -> Result<usize> {
     for chunk in data.knows.chunks(BATCH) {
         engine.run(Isolation::Snapshot, |t| {
             for (src, dst) in chunk {
-                t.add_edge("social", &Key::int(*src), &Key::int(*dst), "knows", Value::Null)?;
+                t.add_edge(
+                    "social",
+                    &Key::int(*src),
+                    &Key::int(*dst),
+                    "knows",
+                    Value::Null,
+                )?;
             }
             Ok(())
         })?;
@@ -144,7 +150,13 @@ pub fn load_into_engine(engine: &Engine, data: &Dataset) -> Result<usize> {
     for chunk in data.bought.chunks(BATCH) {
         engine.run(Isolation::Snapshot, |t| {
             for (cust, pid) in chunk {
-                t.add_edge("social", &Key::int(*cust), &Key::str(pid.clone()), "bought", Value::Null)?;
+                t.add_edge(
+                    "social",
+                    &Key::int(*cust),
+                    &Key::str(pid.clone()),
+                    "bought",
+                    Value::Null,
+                )?;
             }
             Ok(())
         })?;
@@ -171,7 +183,10 @@ mod tests {
 
     #[test]
     fn load_roundtrips_every_model() {
-        let cfg = GenConfig { scale_factor: 0.02, ..Default::default() };
+        let cfg = GenConfig {
+            scale_factor: 0.02,
+            ..Default::default()
+        };
         let (engine, data) = build_engine(&cfg).unwrap();
 
         let mut t = engine.begin(Isolation::Snapshot);
@@ -201,7 +216,9 @@ mod tests {
 
         // graph reachable
         let first = data.customers[0].get_field("id").as_int().unwrap();
-        let n = t.neighbors("social", &Key::int(first), Direction::Out, None).unwrap();
+        let n = t
+            .neighbors("social", &Key::int(first), Direction::Out, None)
+            .unwrap();
         assert!(!n.is_empty(), "first customer has some edge");
     }
 

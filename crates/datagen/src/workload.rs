@@ -1,19 +1,23 @@
 //! The benchmark workload: ten multi-model queries (Q1–Q10) and the
 //! paper's flagship cross-model transaction (`order_update`).
 //!
-//! Q1–Q10 are MMQL texts so the *same query set* runs against any engine
-//! that executes MMQL; the polyglot baseline re-implements each one by
-//! hand (as real polyglot applications must — the paper's point about
-//! missing standard multi-model query languages).
+//! Q1–Q10 are **static, parameterized** MMQL texts (`@customer`,
+//! `@price_lo`, …) so the *same query set* runs against any engine that
+//! executes MMQL, parsed once and executed per parameter draw; the
+//! polyglot baseline re-implements each one by hand (as real polyglot
+//! applications must — the paper's point about missing standard
+//! multi-model query languages). [`QueryParams::draw`] produces a
+//! concrete draw; [`QueryParams::bindings`] turns it into the
+//! [`Params`] map every benchmark subject consumes.
 
-use udbms_core::{Error, Key, Result, SplitMix64, Value, Zipf};
+use udbms_core::{Error, Key, Params, Result, SplitMix64, Value, Zipf};
 use udbms_engine::Txn;
 
 use crate::dataset::Dataset;
 use crate::domain::{feedback_key, invoice_key};
 
-/// One workload query.
-#[derive(Debug, Clone)]
+/// One workload query: a static parameterized MMQL text.
+#[derive(Debug, Clone, Copy)]
 pub struct BenchQuery {
     /// Identifier (`"Q1"`…`"Q10"`).
     pub id: &'static str,
@@ -21,8 +25,8 @@ pub struct BenchQuery {
     pub name: &'static str,
     /// Models the query touches.
     pub models: &'static [&'static str],
-    /// The MMQL text (parameters already substituted).
-    pub mmql: String,
+    /// The MMQL text with `@name` bind-parameter placeholders.
+    pub mmql: &'static str,
 }
 
 /// Concrete parameters drawn (deterministically) from a dataset.
@@ -67,63 +71,98 @@ impl QueryParams {
             .as_str()
             .expect("country")
             .to_string();
-        QueryParams { customer, product, order, price_lo, price_hi: price_lo + 100.0, country }
+        QueryParams {
+            customer,
+            product,
+            order,
+            price_lo,
+            price_hi: price_lo + 100.0,
+            country,
+        }
+    }
+
+    /// The draw as an MMQL bind-parameter map — the shared currency of
+    /// every benchmark subject (`@customer`, `@product`, `@order`,
+    /// `@price_lo`, `@price_hi`, `@country`).
+    pub fn bindings(&self) -> Params {
+        Params::new()
+            .with("customer", self.customer)
+            .with("product", self.product.clone())
+            .with("order", self.order.clone())
+            .with("price_lo", self.price_lo)
+            .with("price_hi", self.price_hi)
+            .with("country", self.country.clone())
+    }
+
+    /// Reconstruct a typed draw from a bindings map (what a hand-written
+    /// polyglot client does with the generic parameters it receives).
+    pub fn from_bindings(params: &Params) -> Result<QueryParams> {
+        let get = |name: &str| {
+            params
+                .get(name)
+                .ok_or_else(|| Error::NotFound(format!("bind parameter `@{name}`")))
+        };
+        Ok(QueryParams {
+            customer: get("customer")?.expect_int("@customer")?,
+            product: get("product")?.expect_str("@product")?.to_string(),
+            order: get("order")?.expect_str("@order")?.to_string(),
+            price_lo: get("price_lo")?
+                .as_float()
+                .ok_or_else(|| Error::type_err("Float (@price_lo)", "non-number"))?,
+            price_hi: get("price_hi")?
+                .as_float()
+                .ok_or_else(|| Error::type_err("Float (@price_hi)", "non-number"))?,
+            country: get("country")?.expect_str("@country")?.to_string(),
+        })
     }
 }
 
-/// Instantiate the full Q1–Q10 query set for the given parameters.
-pub fn queries(p: &QueryParams) -> Vec<BenchQuery> {
-    let QueryParams { customer, product, order, price_lo, price_hi, country } = p;
+/// The full Q1–Q10 query set: static parameterized texts, the same for
+/// every draw. Parse once, then bind a [`QueryParams::bindings`] map per
+/// execution.
+pub fn queries() -> Vec<BenchQuery> {
     vec![
         BenchQuery {
             id: "Q1",
             name: "relational point lookup: customer by primary key",
             models: &["relational"],
-            mmql: format!(r#"FOR c IN customers FILTER c.id == {customer} RETURN c"#),
+            mmql: r#"FOR c IN customers FILTER c.id == @customer RETURN c"#,
         },
         BenchQuery {
             id: "Q2",
             name: "order history of a customer (relational ⋈ document)",
             models: &["relational", "document"],
-            mmql: format!(
-                r#"FOR c IN customers FILTER c.id == {customer}
+            mmql: r#"FOR c IN customers FILTER c.id == @customer
                    FOR o IN orders FILTER o.customer == c.id
                    SORT o.date DESC
-                   RETURN {{ name: c.name, order: o._id, total: o.total, status: o.status }}"#
-            ),
+                   RETURN { name: c.name, order: o._id, total: o.total, status: o.status }"#,
         },
         BenchQuery {
             id: "Q3",
             name: "products bought by friends (graph → document)",
             models: &["graph", "document"],
-            mmql: format!(
-                r#"FOR friend IN 1..1 OUTBOUND {customer} GRAPH social LABEL "knows"
+            mmql: r#"FOR friend IN 1..1 OUTBOUND @customer GRAPH social LABEL "knows"
                    FOR o IN orders FILTER o.customer == friend.cid
                    FOR item IN o.items
-                   RETURN DISTINCT item.product"#
-            ),
+                   RETURN DISTINCT item.product"#,
         },
         BenchQuery {
             id: "Q4",
             name: "feedback for a product joined with its catalog entry (kv + document)",
             models: &["key-value", "document"],
-            mmql: format!(
-                r#"LET prod = DOCUMENT("products", "{product}")
+            mmql: r#"LET prod = DOCUMENT("products", @product)
                    FOR fb IN feedback
-                     FILTER fb.product == "{product}"
-                     RETURN {{ title: prod.title, rating: fb.rating, customer: fb.customer }}"#
-            ),
+                     FILTER fb.product == @product
+                     RETURN { title: prod.title, rating: fb.rating, customer: fb.customer }"#,
         },
         BenchQuery {
             id: "Q5",
             name: "invoiced total of a customer from XML invoices (document → xml)",
             models: &["document", "xml"],
-            mmql: format!(
-                r#"FOR o IN orders FILTER o.customer == {customer}
+            mmql: r#"FOR o IN orders FILTER o.customer == @customer
                    LET inv = DOCUMENT("invoices", CONCAT("inv:", o._id))
-                   RETURN {{ order: o._id,
-                             invoiced: TO_NUMBER(XPATH_FIRST(inv, "/Invoice/Total/text()")) }}"#
-            ),
+                   RETURN { order: o._id,
+                             invoiced: TO_NUMBER(XPATH_FIRST(inv, "/Invoice/Total/text()")) }"#,
         },
         BenchQuery {
             id: "Q6",
@@ -134,27 +173,23 @@ pub fn queries(p: &QueryParams) -> Vec<BenchQuery> {
                      SORT spent DESC
                      LIMIT 10
                      LET c = DOCUMENT("customers", customer)
-                     RETURN { customer, name: c.name, spent }"#
-                .to_string(),
+                     RETURN { customer, name: c.name, spent }"#,
         },
         BenchQuery {
             id: "Q7",
             name: "friends-of-friends in the same country (graph + relational)",
             models: &["graph", "relational"],
-            mmql: format!(
-                r#"LET me = DOCUMENT("customers", {customer})
-                   FOR v IN 2..2 OUTBOUND {customer} GRAPH social LABEL "knows"
+            mmql: r#"LET me = DOCUMENT("customers", @customer)
+                   FOR v IN 2..2 OUTBOUND @customer GRAPH social LABEL "knows"
                    LET other = DOCUMENT("customers", v.cid)
                    FILTER other.country == me.country
-                   RETURN {{ id: v.cid, name: other.name }}"#
-            ),
+                   RETURN { id: v.cid, name: other.name }"#,
         },
         BenchQuery {
             id: "Q8",
             name: "order 360°: one order across all five models",
             models: &["document", "relational", "xml", "key-value", "graph"],
-            mmql: format!(
-                r#"LET o = DOCUMENT("orders", "{order}")
+            mmql: r#"LET o = DOCUMENT("orders", @order)
                    LET c = DOCUMENT("customers", o.customer)
                    LET inv = DOCUMENT("invoices", CONCAT("inv:", o._id))
                    LET ratings = (FOR item IN o.items
@@ -162,34 +197,44 @@ pub fn queries(p: &QueryParams) -> Vec<BenchQuery> {
                                     FILTER fb != NULL
                                     RETURN fb.rating)
                    LET friends = LENGTH(NEIGHBORS("social", o.customer, "OUT", "knows"))
-                   RETURN {{ order: o._id, customer: c.name, country: c.country,
+                   RETURN { order: o._id, customer: c.name, country: c.country,
                              invoiced: XPATH_FIRST(inv, "/Invoice/Total/text()"),
-                             items: LENGTH(o.items), ratings, friends }}"#
-            ),
+                             items: LENGTH(o.items), ratings, friends }"#,
         },
         BenchQuery {
             id: "Q9",
             name: "product price-range scan (document B-tree index)",
             models: &["document"],
-            mmql: format!(
-                r#"FOR p IN products
-                   FILTER p.price >= {price_lo} AND p.price <= {price_hi}
+            mmql: r#"FOR p IN products
+                   FILTER p.price >= @price_lo AND p.price <= @price_hi
                    SORT p.price
-                   RETURN {{ id: p._id, price: p.price }}"#
-            ),
+                   RETURN { id: p._id, price: p.price }"#,
         },
         BenchQuery {
             id: "Q10",
             name: "customers of a country without any order (anti-join)",
             models: &["relational", "document"],
-            mmql: format!(
-                r#"FOR c IN customers FILTER c.country == "{country}"
+            mmql: r#"FOR c IN customers FILTER c.country == @country
                    LET n = LENGTH((FOR o IN orders FILTER o.customer == c.id RETURN 1))
                    FILTER n == 0
-                   RETURN c.id"#
-            ),
+                   RETURN c.id"#,
         },
     ]
+}
+
+/// Parse and bind the whole workload for one draw: `(query, executable)`
+/// pairs ready for any MMQL subject. Parsing happens once per call;
+/// callers that execute many draws should parse once themselves and
+/// rebind via [`udbms_query::Query::bind`].
+pub fn bound_queries(p: &QueryParams) -> Result<Vec<(BenchQuery, udbms_query::Query)>> {
+    let binds = p.bindings();
+    queries()
+        .into_iter()
+        .map(|q| {
+            let parsed = udbms_query::Query::parse(q.mmql)?;
+            Ok((q, parsed.bind(&binds)?))
+        })
+        .collect()
 }
 
 /// The paper's motivating cross-model transaction: "an update of order
@@ -208,7 +253,11 @@ pub fn order_update(txn: &mut Txn, order_key: &Key) -> Result<()> {
     let customer = order.get_field("customer").expect_int("order customer")?;
 
     // 1. JSON: order status
-    txn.merge("orders", order_key, udbms_core::obj! {"status" => "shipped"})?;
+    txn.merge(
+        "orders",
+        order_key,
+        udbms_core::obj! {"status" => "shipped"},
+    )?;
 
     // 2. JSON: product stock
     if let Some(items) = order.get_field("items").as_array() {
@@ -282,15 +331,20 @@ mod tests {
     use udbms_engine::Isolation;
 
     fn small() -> (udbms_engine::Engine, Dataset) {
-        build_engine(&GenConfig { scale_factor: 0.02, ..Default::default() }).unwrap()
+        build_engine(&GenConfig {
+            scale_factor: 0.02,
+            ..Default::default()
+        })
+        .unwrap()
     }
 
     #[test]
     fn all_ten_queries_parse_and_run() {
         let (engine, data) = small();
         let params = QueryParams::draw(&data, 1);
-        for q in queries(&params) {
-            let out = udbms_query::run(&engine, Isolation::Snapshot, &q.mmql)
+        for (q, bound) in bound_queries(&params).unwrap() {
+            let out = engine
+                .run(Isolation::Snapshot, |t| bound.execute(t))
                 .unwrap_or_else(|e| panic!("{}: {e}\n{}", q.id, q.mmql));
             // Q1 must find exactly the customer; others just run
             if q.id == "Q1" {
@@ -301,15 +355,7 @@ mod tests {
 
     #[test]
     fn query_set_spans_all_models() {
-        let params = QueryParams {
-            customer: 1,
-            product: "P-0001".into(),
-            order: "O-000001".into(),
-            price_lo: 1.0,
-            price_hi: 10.0,
-            country: "FI".into(),
-        };
-        let qs = queries(&params);
+        let qs = queries();
         assert_eq!(qs.len(), 10);
         let mut models: std::collections::HashSet<&str> = Default::default();
         for q in &qs {
@@ -322,12 +368,37 @@ mod tests {
     }
 
     #[test]
+    fn texts_are_static_and_draws_only_change_bindings() {
+        let (_, data) = small();
+        let a = QueryParams::draw(&data, 1).bindings();
+        let b = QueryParams::draw(&data, 2).bindings();
+        assert_ne!(a, b, "different draws differ");
+        // the texts themselves never change — parse once, bind many
+        let texts: Vec<&str> = queries().iter().map(|q| q.mmql).collect();
+        assert_eq!(texts, queries().iter().map(|q| q.mmql).collect::<Vec<_>>());
+        // every parameter a query references is supplied by a draw
+        for q in queries() {
+            let parsed = udbms_query::Query::parse(q.mmql).unwrap();
+            for p in parsed.parameters() {
+                assert!(a.contains(&p), "{} references unsupplied @{p}", q.id);
+            }
+        }
+        // round trip through the generic bindings map
+        let typed = QueryParams::from_bindings(&a).unwrap();
+        assert_eq!(typed.bindings(), a);
+    }
+
+    #[test]
     fn q2_and_q5_agree_on_order_count() {
         let (engine, data) = small();
         let params = QueryParams::draw(&data, 2);
-        let qs = queries(&params);
-        let q2 = udbms_query::run(&engine, Isolation::Snapshot, &qs[1].mmql).unwrap();
-        let q5 = udbms_query::run(&engine, Isolation::Snapshot, &qs[4].mmql).unwrap();
+        let qs = bound_queries(&params).unwrap();
+        let q2 = engine
+            .run(Isolation::Snapshot, |t| qs[1].1.execute(t))
+            .unwrap();
+        let q5 = engine
+            .run(Isolation::Snapshot, |t| qs[4].1.execute(t))
+            .unwrap();
         assert_eq!(q2.len(), q5.len(), "same customer, same orders");
         // invoiced totals equal order totals
         for row in &q5 {
@@ -340,12 +411,13 @@ mod tests {
     fn order_update_touches_all_four_models_atomically() {
         let (engine, data) = small();
         let okey = Key::str(data.orders[0].get_field("_id").as_str().unwrap());
-        let oid = data.orders[0].get_field("_id").as_str().unwrap().to_string();
+        let oid = data.orders[0]
+            .get_field("_id")
+            .as_str()
+            .unwrap()
+            .to_string();
         let customer = data.orders[0].get_field("customer").as_int().unwrap();
-        let first_pid = data.orders[0]
-            .get_field("items")
-            .as_array()
-            .unwrap()[0]
+        let first_pid = data.orders[0].get_field("items").as_array().unwrap()[0]
             .get_field("product")
             .as_str()
             .unwrap()
@@ -361,11 +433,17 @@ mod tests {
 
         let stock_before = engine
             .run(Isolation::Snapshot, |t| {
-                Ok(t.get("products", &Key::str(&first_pid))?.unwrap().get_field("stock").as_int().unwrap())
+                Ok(t.get("products", &Key::str(&first_pid))?
+                    .unwrap()
+                    .get_field("stock")
+                    .as_int()
+                    .unwrap())
             })
             .unwrap();
 
-        engine.run(Isolation::Snapshot, |t| order_update(t, &okey)).unwrap();
+        engine
+            .run(Isolation::Snapshot, |t| order_update(t, &okey))
+            .unwrap();
 
         engine
             .run(Isolation::Snapshot, |t| {
@@ -376,9 +454,12 @@ mod tests {
                     p.get_field("stock").as_int().unwrap(),
                     (stock_before - qty).max(0)
                 );
-                let fb = t.get("feedback", &Key::str(feedback_key(&first_pid, customer)))?.unwrap();
+                let fb = t
+                    .get("feedback", &Key::str(feedback_key(&first_pid, customer)))?
+                    .unwrap();
                 assert_eq!(fb.get_field("text"), &Value::from("shipped"));
-                let status = t.xpath("invoices", &Key::str(invoice_key(&oid)), "/Invoice/@status")?;
+                let status =
+                    t.xpath("invoices", &Key::str(invoice_key(&oid)), "/Invoice/@status")?;
                 assert_eq!(status, vec![Value::from("shipped")]);
                 Ok(())
             })
@@ -389,7 +470,9 @@ mod tests {
     fn order_update_on_missing_order_fails_cleanly() {
         let (engine, _) = small();
         let err = engine
-            .run(Isolation::Snapshot, |t| order_update(t, &Key::str("O-999999")))
+            .run(Isolation::Snapshot, |t| {
+                order_update(t, &Key::str("O-999999"))
+            })
             .unwrap_err();
         assert!(matches!(err, Error::NotFound(_)));
     }

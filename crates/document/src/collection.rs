@@ -64,7 +64,10 @@ impl DocCollection {
             }
         };
         if self.docs.contains_key(&key) {
-            return Err(Error::AlreadyExists(format!("document {key} in `{}`", self.name)));
+            return Err(Error::AlreadyExists(format!(
+                "document {key} in `{}`",
+                self.name
+            )));
         }
         for (path, idx) in &mut self.indexes {
             index_doc(idx, path, &doc, &key);
@@ -81,7 +84,10 @@ impl DocCollection {
     /// Replace a document wholesale (the `_id` must match).
     pub fn replace(&mut self, key: &Key, mut doc: Value) -> Result<()> {
         if !self.docs.contains_key(key) {
-            return Err(Error::NotFound(format!("document {key} in `{}`", self.name)));
+            return Err(Error::NotFound(format!(
+                "document {key} in `{}`",
+                self.name
+            )));
         }
         let obj = doc
             .as_object_mut()
@@ -224,7 +230,11 @@ impl DocCollection {
                 }
             }
         }
-        self.docs.values().filter(|d| pred.matches(d)).cloned().collect()
+        self.docs
+            .values()
+            .filter(|d| pred.matches(d))
+            .cloned()
+            .collect()
     }
 
     /// Count matching documents.
@@ -327,12 +337,16 @@ mod tests {
             "items" => arr![obj!{"product" => "p1", "qty" => 2}, obj!{"product" => "p2", "qty" => 1}],
         })
         .unwrap();
-        c.insert(obj! {"_id" => "o2", "customer" => 2, "total" => 5.0, "status" => "open",
-                        "items" => arr![obj!{"product" => "p1", "qty" => 1}]})
-            .unwrap();
-        c.insert(obj! {"_id" => "o3", "customer" => 1, "total" => 7.5, "status" => "open",
-                        "items" => arr![]})
-            .unwrap();
+        c.insert(
+            obj! {"_id" => "o2", "customer" => 2, "total" => 5.0, "status" => "open",
+            "items" => arr![obj!{"product" => "p1", "qty" => 1}]},
+        )
+        .unwrap();
+        c.insert(
+            obj! {"_id" => "o3", "customer" => 1, "total" => 7.5, "status" => "open",
+            "items" => arr![]},
+        )
+        .unwrap();
         c
     }
 
@@ -348,7 +362,10 @@ mod tests {
             &Value::Int(1),
             "auto id written into doc"
         );
-        assert!(c.insert(obj! {"_id" => "explicit"}).is_err(), "duplicate id");
+        assert!(
+            c.insert(obj! {"_id" => "explicit"}).is_err(),
+            "duplicate id"
+        );
         assert!(c.insert(Value::Int(3)).is_err(), "non-object document");
     }
 
@@ -378,8 +395,11 @@ mod tests {
     #[test]
     fn multikey_index_on_array_elements() {
         let mut c = orders();
-        c.create_index(FieldPath::parse("items[0].product").unwrap(), IndexKind::Hash)
-            .unwrap();
+        c.create_index(
+            FieldPath::parse("items[0].product").unwrap(),
+            IndexKind::Hash,
+        )
+        .unwrap();
         let pred = Predicate::Eq(
             FieldPath::parse("items[0].product").unwrap(),
             Value::from("p1"),
@@ -390,18 +410,34 @@ mod tests {
     #[test]
     fn replace_merge_set_unset() {
         let mut c = orders();
-        c.replace(&Key::str("o2"), obj! {"_id" => "o2", "total" => 6.0}).unwrap();
-        assert_eq!(c.get(&Key::str("o2")).unwrap().get_field("status"), &Value::Null);
-
-        c.merge(&Key::str("o3"), obj! {"status" => "paid", "note" => "rush"}).unwrap();
-        let o3 = c.get(&Key::str("o3")).unwrap();
-        assert_eq!(o3.get_field("status"), &Value::from("paid"));
-        assert_eq!(o3.get_field("total"), &Value::Float(7.5), "merge keeps other fields");
-
-        c.set_path(&Key::str("o1"), &FieldPath::parse("meta.flag").unwrap(), Value::Bool(true))
+        c.replace(&Key::str("o2"), obj! {"_id" => "o2", "total" => 6.0})
             .unwrap();
         assert_eq!(
-            c.get(&Key::str("o1")).unwrap().get_dotted("meta.flag").unwrap(),
+            c.get(&Key::str("o2")).unwrap().get_field("status"),
+            &Value::Null
+        );
+
+        c.merge(&Key::str("o3"), obj! {"status" => "paid", "note" => "rush"})
+            .unwrap();
+        let o3 = c.get(&Key::str("o3")).unwrap();
+        assert_eq!(o3.get_field("status"), &Value::from("paid"));
+        assert_eq!(
+            o3.get_field("total"),
+            &Value::Float(7.5),
+            "merge keeps other fields"
+        );
+
+        c.set_path(
+            &Key::str("o1"),
+            &FieldPath::parse("meta.flag").unwrap(),
+            Value::Bool(true),
+        )
+        .unwrap();
+        assert_eq!(
+            c.get(&Key::str("o1"))
+                .unwrap()
+                .get_dotted("meta.flag")
+                .unwrap(),
             &Value::Bool(true)
         );
         let removed = c
@@ -409,16 +445,23 @@ mod tests {
             .unwrap();
         assert_eq!(removed, Some(Value::Bool(true)));
 
-        assert!(c.replace(&Key::str("o1"), obj! {"_id" => "other"}).is_err(), "id change");
+        assert!(
+            c.replace(&Key::str("o1"), obj! {"_id" => "other"}).is_err(),
+            "id change"
+        );
         assert!(c.replace(&Key::str("missing"), obj! {}).is_err());
     }
 
     #[test]
     fn delete_maintains_indexes() {
         let mut c = orders();
-        c.create_index(FieldPath::key("status"), IndexKind::Hash).unwrap();
+        c.create_index(FieldPath::key("status"), IndexKind::Hash)
+            .unwrap();
         c.delete(&Key::str("o2")).unwrap();
-        assert_eq!(c.find(&Predicate::eq("status", Value::from("open"))).len(), 1);
+        assert_eq!(
+            c.find(&Predicate::eq("status", Value::from("open"))).len(),
+            1
+        );
         assert!(c.delete(&Key::str("o2")).is_err());
         assert_eq!(c.len(), 2);
     }
@@ -426,16 +469,24 @@ mod tests {
     #[test]
     fn index_updates_on_replace() {
         let mut c = orders();
-        c.create_index(FieldPath::key("status"), IndexKind::Hash).unwrap();
+        c.create_index(FieldPath::key("status"), IndexKind::Hash)
+            .unwrap();
         c.merge(&Key::str("o2"), obj! {"status" => "paid"}).unwrap();
-        assert_eq!(c.find(&Predicate::eq("status", Value::from("paid"))).len(), 2);
-        assert_eq!(c.find(&Predicate::eq("status", Value::from("open"))).len(), 1);
+        assert_eq!(
+            c.find(&Predicate::eq("status", Value::from("paid"))).len(),
+            2
+        );
+        assert_eq!(
+            c.find(&Predicate::eq("status", Value::from("open"))).len(),
+            1
+        );
     }
 
     #[test]
     fn btree_path_index_range_find() {
         let mut c = orders();
-        c.create_index(FieldPath::key("total"), IndexKind::BTree).unwrap();
+        c.create_index(FieldPath::key("total"), IndexKind::BTree)
+            .unwrap();
         let pred = Predicate::between("total", Value::Float(5.0), Value::Float(10.0));
         let got = c.find(&pred);
         assert_eq!(got.len(), 2);
@@ -444,10 +495,16 @@ mod tests {
     #[test]
     fn null_equality_probe_bypasses_path_index() {
         let mut c = orders();
-        c.create_index(FieldPath::key("status"), IndexKind::Hash).unwrap();
-        c.insert(obj! {"_id" => "nostatus", "total" => 1.0}).unwrap();
+        c.create_index(FieldPath::key("status"), IndexKind::Hash)
+            .unwrap();
+        c.insert(obj! {"_id" => "nostatus", "total" => 1.0})
+            .unwrap();
         let hits = c.find(&Predicate::eq("status", Value::Null));
-        assert_eq!(hits.len(), 1, "document without the field matches Null equality");
+        assert_eq!(
+            hits.len(),
+            1,
+            "document without the field matches Null equality"
+        );
         assert_eq!(hits[0].get_field("_id"), &Value::from("nostatus"));
     }
 

@@ -1,0 +1,187 @@
+//! The shared multi-client measurement loop: N client threads drive one
+//! subject; the runner aggregates throughput and latency percentiles.
+//! Every backend is measured by exactly this code, so reported numbers
+//! differ only by what the backend does, never by how it was driven.
+
+use std::time::{Duration, Instant};
+
+use udbms_core::{Params, Result};
+
+use crate::{PreparedQuery, Subject};
+
+/// Aggregated results of one concurrent run.
+#[derive(Debug, Clone)]
+pub struct ConcurrentStats {
+    /// Client threads used.
+    pub clients: usize,
+    /// Total operations completed across all clients.
+    pub total_ops: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Per-operation latencies in microseconds, unsorted.
+    pub latencies_us: Vec<u64>,
+}
+
+impl ConcurrentStats {
+    /// Operations per second over the wall clock.
+    pub fn throughput(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The p-th latency percentile in microseconds (p in 0..=100).
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        percentile_us(&self.latencies_us, p)
+    }
+}
+
+/// Percentile over a latency sample (nearest-rank); 0 for empty input.
+pub fn percentile_us(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    // classic nearest-rank: the smallest value with at least p% of the
+    // sample at or below it
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Drive `subject` with `clients` concurrent threads, each executing
+/// `ops_per_client` operations. The `op` closure receives the client id
+/// and the per-client operation index and performs one operation (a
+/// prepared-query execution, a transaction, …); its latency is recorded.
+///
+/// Clients run to completion independently; if any client errored, the
+/// first error (in client order) is returned instead of stats.
+pub fn run_concurrent<F>(clients: usize, ops_per_client: usize, op: F) -> Result<ConcurrentStats>
+where
+    F: Fn(usize, usize) -> Result<()> + Sync,
+{
+    let clients = clients.max(1);
+    let t0 = Instant::now();
+    let results: Vec<Result<Vec<u64>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let op = &op;
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(ops_per_client);
+                    for i in 0..ops_per_client {
+                        let t = Instant::now();
+                        op(client, i)?;
+                        latencies.push(t.elapsed().as_micros() as u64);
+                    }
+                    Ok(latencies)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+    let mut latencies_us = Vec::with_capacity(clients * ops_per_client);
+    for r in results {
+        latencies_us.extend(r?);
+    }
+    Ok(ConcurrentStats {
+        clients,
+        total_ops: latencies_us.len(),
+        elapsed,
+        latencies_us,
+    })
+}
+
+/// Convenience: N clients repeatedly executing one prepared query with
+/// parameters cycled from `draws` (client c starts at draw c to avoid
+/// lock-step identical requests).
+pub fn run_query_clients(
+    subject: &dyn Subject,
+    prepared: &PreparedQuery,
+    draws: &[Params],
+    clients: usize,
+    ops_per_client: usize,
+) -> Result<ConcurrentStats> {
+    assert!(!draws.is_empty(), "at least one parameter draw");
+    run_concurrent(clients, ops_per_client, |client, i| {
+        let params = &draws[(client + i) % draws.len()];
+        subject.execute(prepared, params).map(|_| ())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{registry, TxnOp};
+    use udbms_core::Key;
+    use udbms_datagen::{generate, workload, GenConfig};
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&s, 50.0), 50);
+        assert_eq!(percentile_us(&s, 95.0), 95);
+        assert_eq!(percentile_us(&s, 100.0), 100);
+        assert_eq!(percentile_us(&s, 0.0), 1);
+        assert_eq!(percentile_us(&[], 50.0), 0);
+        assert_eq!(percentile_us(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn concurrent_runner_counts_every_op() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        let stats = run_concurrent(4, 25, |_, _| {
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(stats.total_ops, 100);
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 100);
+        assert_eq!(stats.latencies_us.len(), 100);
+        assert!(stats.throughput() > 0.0);
+    }
+
+    #[test]
+    fn errors_propagate_from_clients() {
+        let r = run_concurrent(2, 10, |client, i| {
+            if client == 1 && i == 5 {
+                Err(udbms_core::Error::Invalid("boom".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn four_clients_drive_every_subject() {
+        let cfg = GenConfig {
+            scale_factor: 0.01,
+            ..Default::default()
+        };
+        let data = generate(&cfg);
+        let q1 = workload::queries()[0];
+        let draws: Vec<_> = (1..=3)
+            .map(|w| workload::QueryParams::draw(&data, w).bindings())
+            .collect();
+        for subject in registry() {
+            subject.load(&data).unwrap();
+            let prepared = subject.prepare(&q1).unwrap();
+            let stats = run_query_clients(subject.as_ref(), &prepared, &draws, 4, 10).unwrap();
+            assert_eq!(stats.total_ops, 40, "{}", subject.name());
+            assert!(stats.percentile_us(95.0) >= stats.percentile_us(50.0));
+
+            // transactions under concurrency, at every isolation the
+            // subject offers
+            let order = Key::str(data.orders[0].get_field("_id").as_str().unwrap());
+            for iso in subject.isolations() {
+                let op = TxnOp::OrderUpdate {
+                    order: order.clone(),
+                };
+                let stats = run_concurrent(4, 5, |_, _| subject.transact(&op, iso)).unwrap();
+                assert_eq!(stats.total_ops, 20);
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The built-in [`Subject`] implementations: the unified engine and the
+//! polyglot-persistence baseline. Each is the ~100-line adapter shape a
+//! future backend (sharded engine, remote store) would copy.
+
+use udbms_core::{Error, Params, Result, Value};
+use udbms_datagen::{create_collections, load_into_engine, workload, Dataset};
+use udbms_engine::{Engine, Isolation};
+use udbms_polyglot::{load_into_polyglot, order_update_polyglot, run_query, PolyglotDb};
+use udbms_query::Query;
+
+use crate::{PreparedQuery, Subject, TxnOp};
+
+/// The unified multi-model engine as a benchmark subject: one MMQL text
+/// per query, parsed at prepare time and bound per execution.
+pub struct EngineSubject {
+    engine: Engine,
+}
+
+impl EngineSubject {
+    /// A fresh, empty engine subject.
+    pub fn new() -> EngineSubject {
+        EngineSubject {
+            engine: Engine::new(),
+        }
+    }
+
+    /// Direct access to the wrapped engine (for experiment-specific
+    /// probes like GC stats; benchmark loops should stay on the trait).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    fn isolation(label: &str) -> Result<Isolation> {
+        match label {
+            "RC" => Ok(Isolation::ReadCommitted),
+            "SI" | "default" => Ok(Isolation::Snapshot),
+            "SER" => Ok(Isolation::Serializable),
+            other => Err(Error::Invalid(format!("unknown isolation label `{other}`"))),
+        }
+    }
+}
+
+impl Default for EngineSubject {
+    fn default() -> Self {
+        EngineSubject::new()
+    }
+}
+
+impl Subject for EngineSubject {
+    fn name(&self) -> &str {
+        "unified"
+    }
+
+    fn load(&self, data: &Dataset) -> Result<()> {
+        create_collections(&self.engine)?;
+        load_into_engine(&self.engine, data)?;
+        Ok(())
+    }
+
+    fn prepare(&self, q: &workload::BenchQuery) -> Result<PreparedQuery> {
+        Ok(PreparedQuery::new(q, Query::parse(q.mmql)?))
+    }
+
+    fn execute(&self, q: &PreparedQuery, params: &Params) -> Result<Vec<Value>> {
+        let parsed: &Query = q.payload().ok_or_else(|| {
+            Error::Invalid("PreparedQuery is not an EngineSubject payload".into())
+        })?;
+        // bind once per draw, outside the retry loop
+        let bound = parsed.bind(params)?;
+        self.engine.run(Isolation::Snapshot, |t| bound.execute(t))
+    }
+
+    fn transact(&self, op: &TxnOp, isolation: &str) -> Result<()> {
+        let iso = Self::isolation(isolation)?;
+        match op {
+            TxnOp::OrderUpdate { order } => {
+                self.engine.run(iso, |t| workload::order_update(t, order))
+            }
+        }
+    }
+
+    fn isolations(&self) -> Vec<&'static str> {
+        vec!["RC", "SI", "SER"]
+    }
+
+    fn counters(&self) -> Vec<(String, i64)> {
+        let stats = self.engine.stats();
+        vec![("aborts".into(), stats.aborts as i64)]
+    }
+}
+
+/// The polyglot-persistence baseline as a benchmark subject: the same
+/// workload, answered by hand-written per-store client code — which is
+/// exactly why its `prepare` resolves a dispatch id instead of parsing
+/// anything.
+pub struct PolyglotSubject {
+    db: PolyglotDb,
+}
+
+impl PolyglotSubject {
+    /// A fresh, empty polyglot deployment.
+    pub fn new() -> PolyglotSubject {
+        PolyglotSubject {
+            db: PolyglotDb::new(),
+        }
+    }
+
+    /// Direct access to the wrapped stores (for experiment-specific
+    /// probes like wire-byte accounting).
+    pub fn db(&self) -> &PolyglotDb {
+        &self.db
+    }
+}
+
+impl Default for PolyglotSubject {
+    fn default() -> Self {
+        PolyglotSubject::new()
+    }
+}
+
+/// Marker payload distinguishing polyglot-prepared queries.
+struct PolyglotPrepared;
+
+impl Subject for PolyglotSubject {
+    fn name(&self) -> &str {
+        "polyglot"
+    }
+
+    fn load(&self, data: &Dataset) -> Result<()> {
+        load_into_polyglot(&self.db, data)?;
+        Ok(())
+    }
+
+    fn prepare(&self, q: &workload::BenchQuery) -> Result<PreparedQuery> {
+        // validate the id is implemented before the measurement loop
+        if !workload::queries().iter().any(|known| known.id == q.id) {
+            return Err(Error::NotFound(format!(
+                "polyglot implementation of `{}`",
+                q.id
+            )));
+        }
+        Ok(PreparedQuery::new(q, PolyglotPrepared))
+    }
+
+    fn execute(&self, q: &PreparedQuery, params: &Params) -> Result<Vec<Value>> {
+        q.payload::<PolyglotPrepared>().ok_or_else(|| {
+            Error::Invalid("PreparedQuery is not a PolyglotSubject payload".into())
+        })?;
+        // a real polyglot client receives generic parameters and decodes
+        // them itself — from_bindings is that decoding step
+        let typed = workload::QueryParams::from_bindings(params)?;
+        run_query(&self.db, q.id(), &typed)
+    }
+
+    fn transact(&self, op: &TxnOp, isolation: &str) -> Result<()> {
+        if isolation != "2PC" && isolation != "default" {
+            return Err(Error::Invalid(format!(
+                "polyglot has no isolation knob (got `{isolation}`)"
+            )));
+        }
+        match op {
+            TxnOp::OrderUpdate { order } => order_update_polyglot(&self.db, order),
+        }
+    }
+
+    fn isolations(&self) -> Vec<&'static str> {
+        vec!["2PC"]
+    }
+}

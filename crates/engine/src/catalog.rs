@@ -47,7 +47,14 @@ impl Catalog {
         }
         let id = CollectionId(self.next_collection_id);
         self.next_collection_id += 1;
-        self.by_name.insert(name.clone(), CollectionInfo { id, schema, next_auto_id: 1 });
+        self.by_name.insert(
+            name.clone(),
+            CollectionInfo {
+                id,
+                schema,
+                next_auto_id: 1,
+            },
+        );
         self.names_by_id.insert(id, name);
         Ok(id)
     }
@@ -110,7 +117,10 @@ impl Catalog {
         let id = self.get(name)?.id;
         let slot = (id, path);
         if self.indexes.contains_key(&slot) {
-            return Err(Error::AlreadyExists(format!("index on `{}`.`{}`", name, slot.1)));
+            return Err(Error::AlreadyExists(format!(
+                "index on `{}`.`{}`",
+                name, slot.1
+            )));
         }
         self.indexes.insert(slot, Index::new(kind));
         Ok(())
@@ -216,7 +226,8 @@ mod tests {
     #[test]
     fn auto_ids_are_unique() {
         let mut c = Catalog::new();
-        c.create(CollectionSchema::document("orders", "_id", vec![])).unwrap();
+        c.create(CollectionSchema::document("orders", "_id", vec![]))
+            .unwrap();
         assert_eq!(c.next_auto_id("orders").unwrap(), 1);
         assert_eq!(c.next_auto_id("orders").unwrap(), 2);
         assert!(c.next_auto_id("missing").is_err());
@@ -225,10 +236,15 @@ mod tests {
     #[test]
     fn index_lifecycle_and_postings() {
         let mut c = Catalog::new();
-        let id = c.create(CollectionSchema::document("orders", "_id", vec![])).unwrap();
+        let id = c
+            .create(CollectionSchema::document("orders", "_id", vec![]))
+            .unwrap();
         let path = FieldPath::key("status");
-        c.create_index("orders", path.clone(), IndexKind::Hash).unwrap();
-        assert!(c.create_index("orders", path.clone(), IndexKind::Hash).is_err());
+        c.create_index("orders", path.clone(), IndexKind::Hash)
+            .unwrap();
+        assert!(c
+            .create_index("orders", path.clone(), IndexKind::Hash)
+            .is_err());
         assert_eq!(c.indexed_paths(id).len(), 1);
 
         c.index_new_value(id, &Key::int(1), &obj! {"status" => "open"});
@@ -245,10 +261,17 @@ mod tests {
     #[test]
     fn multikey_postings_for_arrays() {
         let mut c = Catalog::new();
-        let id = c.create(CollectionSchema::document("orders", "_id", vec![])).unwrap();
+        let id = c
+            .create(CollectionSchema::document("orders", "_id", vec![]))
+            .unwrap();
         let path = FieldPath::key("tags");
-        c.create_index("orders", path.clone(), IndexKind::Hash).unwrap();
-        c.index_new_value(id, &Key::int(1), &obj! {"tags" => udbms_core::arr!["a", "b"]});
+        c.create_index("orders", path.clone(), IndexKind::Hash)
+            .unwrap();
+        c.index_new_value(
+            id,
+            &Key::int(1),
+            &obj! {"tags" => udbms_core::arr!["a", "b"]},
+        );
         let idx = c.index(id, &path).unwrap();
         assert_eq!(idx.lookup_eq(&Value::from("a")), vec![Key::int(1)]);
         assert_eq!(idx.lookup_eq(&Value::from("b")), vec![Key::int(1)]);
@@ -259,7 +282,8 @@ mod tests {
         let mut c = Catalog::new();
         let id = c.create(CollectionSchema::key_value("ns")).unwrap();
         let path = FieldPath::key("v");
-        c.create_index("ns", path.clone(), IndexKind::BTree).unwrap();
+        c.create_index("ns", path.clone(), IndexKind::BTree)
+            .unwrap();
         // simulate three committed versions of one record, two sharing v=1
         let v1 = obj! {"v" => 1};
         let v2 = obj! {"v" => 2};
@@ -275,7 +299,8 @@ mod tests {
     fn drop_collection_drops_its_indexes() {
         let mut c = Catalog::new();
         let id = c.create(CollectionSchema::key_value("ns")).unwrap();
-        c.create_index("ns", FieldPath::key("v"), IndexKind::Hash).unwrap();
+        c.create_index("ns", FieldPath::key("v"), IndexKind::Hash)
+            .unwrap();
         c.drop_collection("ns").unwrap();
         assert!(c.index(id, &FieldPath::key("v")).is_none());
     }

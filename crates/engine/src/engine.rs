@@ -26,12 +26,10 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use udbms_core::{
-    CollectionSchema, Error, FieldPath, Key, ModelKind, Result, Ts, TxnId, Value,
-};
+use udbms_core::{CollectionSchema, Error, FieldPath, Key, ModelKind, Result, Ts, TxnId, Value};
 use udbms_graph::Direction;
 use udbms_relational::{IndexKind, Predicate};
-use udbms_xml::{XmlDocument, XPath};
+use udbms_xml::{XPath, XmlDocument};
 
 use crate::catalog::Catalog;
 use crate::storage::{RecordId, Storage};
@@ -199,7 +197,11 @@ impl Engine {
                 writes.push((name.clone(), key, Some(value)));
             }
         }
-        let rec = WalRecord { commit_ts: snapshot, txn: TxnId(0), writes };
+        let rec = WalRecord {
+            commit_ts: snapshot,
+            txn: TxnId(0),
+            writes,
+        };
         wal.rewrite(std::slice::from_ref(&rec))
     }
 
@@ -221,8 +223,16 @@ impl Engine {
         let mut catalog = self.inner.catalog.write();
         catalog.create(CollectionSchema::graph(format!("{name}#v"), vec![]))?;
         catalog.create(CollectionSchema::graph(format!("{name}#e"), vec![]))?;
-        catalog.create_index(&format!("{name}#e"), FieldPath::key("_src"), IndexKind::Hash)?;
-        catalog.create_index(&format!("{name}#e"), FieldPath::key("_dst"), IndexKind::Hash)?;
+        catalog.create_index(
+            &format!("{name}#e"),
+            FieldPath::key("_src"),
+            IndexKind::Hash,
+        )?;
+        catalog.create_index(
+            &format!("{name}#e"),
+            FieldPath::key("_dst"),
+            IndexKind::Hash,
+        )?;
         Ok(())
     }
 
@@ -300,7 +310,9 @@ impl Engine {
                 }
             }
         }
-        Err(Error::TxnConflict(format!("gave up after {MAX_RETRIES} retries")))
+        Err(Error::TxnConflict(format!(
+            "gave up after {MAX_RETRIES} retries"
+        )))
     }
 
     /// Garbage-collect versions below the oldest active snapshot and
@@ -322,7 +334,11 @@ impl Engine {
             let retained = storage.all_retained(id);
             catalog.rebuild_indexes(id, &retained);
         }
-        GcStats { watermark, versions_removed, chains_removed }
+        GcStats {
+            watermark,
+            versions_removed,
+            chains_removed,
+        }
     }
 
     /// Current counters and storage shape.
@@ -413,7 +429,8 @@ impl Txn {
         if model == ModelKind::Xml {
             udbms_xml::value_to_xml(&value)?;
         }
-        self.state()?.buffer_write(RecordId::new(id, key), Some(value));
+        self.state()?
+            .buffer_write(RecordId::new(id, key), Some(value));
         Ok(())
     }
 
@@ -441,7 +458,9 @@ impl Txn {
                 key
             }
             Value::Null => {
-                return Err(Error::Constraint(format!("row lacks primary key `{pk_field}`")))
+                return Err(Error::Constraint(format!(
+                    "row lacks primary key `{pk_field}`"
+                )))
             }
             v => Key::new(v.clone())?,
         };
@@ -474,7 +493,8 @@ impl Txn {
         let existed = self.get(collection, key)?.is_some();
         if existed {
             let (id, _) = self.resolve(collection)?;
-            self.state()?.buffer_write(RecordId::new(id, key.clone()), None);
+            self.state()?
+                .buffer_write(RecordId::new(id, key.clone()), None);
         }
         Ok(existed)
     }
@@ -626,13 +646,7 @@ impl Txn {
     // ------------------------------------------------------------------
 
     /// Add a vertex to a graph created with [`Engine::create_graph`].
-    pub fn add_vertex(
-        &mut self,
-        graph: &str,
-        key: Key,
-        label: &str,
-        props: Value,
-    ) -> Result<()> {
+    pub fn add_vertex(&mut self, graph: &str, key: Key, label: &str, props: Value) -> Result<()> {
         let mut v = match props {
             Value::Object(_) => props,
             Value::Null => Value::Object(Default::default()),
@@ -643,7 +657,9 @@ impl Txn {
         }
         let coll = format!("{graph}#v");
         if self.get(&coll, &key)?.is_some() {
-            return Err(Error::AlreadyExists(format!("vertex {key} in graph `{graph}`")));
+            return Err(Error::AlreadyExists(format!(
+                "vertex {key} in graph `{graph}`"
+            )));
         }
         self.put(&coll, key, v)
     }
@@ -663,10 +679,14 @@ impl Txn {
         props: Value,
     ) -> Result<Key> {
         if self.vertex(graph, src)?.is_none() {
-            return Err(Error::NotFound(format!("source vertex {src} in graph `{graph}`")));
+            return Err(Error::NotFound(format!(
+                "source vertex {src} in graph `{graph}`"
+            )));
         }
         if self.vertex(graph, dst)?.is_none() {
-            return Err(Error::NotFound(format!("destination vertex {dst} in graph `{graph}`")));
+            return Err(Error::NotFound(format!(
+                "destination vertex {dst} in graph `{graph}`"
+            )));
         }
         let ecoll = format!("{graph}#e");
         let auto = self.inner.catalog.write().next_auto_id(&ecoll)?;
@@ -815,8 +835,7 @@ impl Txn {
                 }
                 if state.isolation == Isolation::Serializable {
                     for (rid, seen) in &state.reads {
-                        let current =
-                            storage.latest(rid).map(|v| v.commit_ts).unwrap_or(Ts::ZERO);
+                        let current = storage.latest(rid).map(|v| v.commit_ts).unwrap_or(Ts::ZERO);
                         if current != *seen {
                             drop(storage);
                             inner.active.lock().remove(&state.id);
@@ -862,7 +881,11 @@ impl Txn {
                         (name, rid.key.clone(), state.writes[rid].clone())
                     })
                     .collect();
-                wal.append(&WalRecord { commit_ts, txn: state.id, writes })?;
+                wal.append(&WalRecord {
+                    commit_ts,
+                    txn: state.id,
+                    writes,
+                })?;
             }
             commit_ts
         };
@@ -922,9 +945,12 @@ mod tests {
             ],
         ))
         .unwrap();
-        e.create_collection(CollectionSchema::document("orders", "_id", vec![])).unwrap();
-        e.create_collection(CollectionSchema::key_value("feedback")).unwrap();
-        e.create_collection(CollectionSchema::xml("invoices")).unwrap();
+        e.create_collection(CollectionSchema::document("orders", "_id", vec![]))
+            .unwrap();
+        e.create_collection(CollectionSchema::key_value("feedback"))
+            .unwrap();
+        e.create_collection(CollectionSchema::xml("invoices"))
+            .unwrap();
         e.create_graph("social").unwrap();
         e
     }
@@ -933,16 +959,24 @@ mod tests {
     fn cross_model_transaction_commits_atomically() {
         let e = engine();
         let mut t = e.begin(Isolation::Snapshot);
-        t.insert("customers", obj! {"id" => 1, "name" => "Ada", "country" => "FI"}).unwrap();
-        let okey = t.insert("orders", obj! {"customer" => 1, "total" => 12.5}).unwrap();
-        t.put("feedback", Key::str("fb:1"), obj! {"rating" => 5}).unwrap();
+        t.insert(
+            "customers",
+            obj! {"id" => 1, "name" => "Ada", "country" => "FI"},
+        )
+        .unwrap();
+        let okey = t
+            .insert("orders", obj! {"customer" => 1, "total" => 12.5})
+            .unwrap();
+        t.put("feedback", Key::str("fb:1"), obj! {"rating" => 5})
+            .unwrap();
         t.put_xml(
             "invoices",
             Key::str("inv:1"),
             "<Invoice id=\"inv:1\"><Total>12.50</Total></Invoice>",
         )
         .unwrap();
-        t.add_vertex("social", Key::int(1), "customer", obj! {}).unwrap();
+        t.add_vertex("social", Key::int(1), "customer", obj! {})
+            .unwrap();
 
         // nothing visible before commit
         let mut other = e.begin(Isolation::Snapshot);
@@ -957,7 +991,9 @@ mod tests {
         assert!(after.get("customers", &Key::int(1)).unwrap().is_some());
         assert!(after.get("orders", &okey).unwrap().is_some());
         assert!(after.get("feedback", &Key::str("fb:1")).unwrap().is_some());
-        let totals = after.xpath("invoices", &Key::str("inv:1"), "/Invoice/Total/text()").unwrap();
+        let totals = after
+            .xpath("invoices", &Key::str("inv:1"), "/Invoice/Total/text()")
+            .unwrap();
         assert_eq!(totals, vec![Value::from("12.50")]);
     }
 
@@ -966,7 +1002,10 @@ mod tests {
         let e = engine();
         let mut t = e.begin(Isolation::Snapshot);
         t.put("feedback", Key::str("k"), Value::Int(1)).unwrap();
-        assert_eq!(t.get("feedback", &Key::str("k")).unwrap(), Some(Value::Int(1)));
+        assert_eq!(
+            t.get("feedback", &Key::str("k")).unwrap(),
+            Some(Value::Int(1))
+        );
         t.delete("feedback", &Key::str("k")).unwrap();
         assert_eq!(t.get("feedback", &Key::str("k")).unwrap(), None);
         t.abort();
@@ -978,14 +1017,28 @@ mod tests {
     #[test]
     fn snapshot_isolation_prevents_lost_updates() {
         let e = engine();
-        e.run(Isolation::Snapshot, |t| t.put("feedback", Key::str("ctr"), Value::Int(0)))
-            .unwrap();
+        e.run(Isolation::Snapshot, |t| {
+            t.put("feedback", Key::str("ctr"), Value::Int(0))
+        })
+        .unwrap();
         let mut t1 = e.begin(Isolation::Snapshot);
         let mut t2 = e.begin(Isolation::Snapshot);
-        let v1 = t1.get("feedback", &Key::str("ctr")).unwrap().unwrap().as_int().unwrap();
-        let v2 = t2.get("feedback", &Key::str("ctr")).unwrap().unwrap().as_int().unwrap();
-        t1.put("feedback", Key::str("ctr"), Value::Int(v1 + 1)).unwrap();
-        t2.put("feedback", Key::str("ctr"), Value::Int(v2 + 1)).unwrap();
+        let v1 = t1
+            .get("feedback", &Key::str("ctr"))
+            .unwrap()
+            .unwrap()
+            .as_int()
+            .unwrap();
+        let v2 = t2
+            .get("feedback", &Key::str("ctr"))
+            .unwrap()
+            .unwrap()
+            .as_int()
+            .unwrap();
+        t1.put("feedback", Key::str("ctr"), Value::Int(v1 + 1))
+            .unwrap();
+        t2.put("feedback", Key::str("ctr"), Value::Int(v2 + 1))
+            .unwrap();
         t1.commit().unwrap();
         let err = t2.commit().unwrap_err();
         assert!(err.is_retryable(), "second committer must conflict: {err}");
@@ -995,14 +1048,28 @@ mod tests {
     #[test]
     fn read_committed_permits_lost_updates() {
         let e = engine();
-        e.run(Isolation::ReadCommitted, |t| t.put("feedback", Key::str("ctr"), Value::Int(0)))
-            .unwrap();
+        e.run(Isolation::ReadCommitted, |t| {
+            t.put("feedback", Key::str("ctr"), Value::Int(0))
+        })
+        .unwrap();
         let mut t1 = e.begin(Isolation::ReadCommitted);
         let mut t2 = e.begin(Isolation::ReadCommitted);
-        let v1 = t1.get("feedback", &Key::str("ctr")).unwrap().unwrap().as_int().unwrap();
-        let v2 = t2.get("feedback", &Key::str("ctr")).unwrap().unwrap().as_int().unwrap();
-        t1.put("feedback", Key::str("ctr"), Value::Int(v1 + 1)).unwrap();
-        t2.put("feedback", Key::str("ctr"), Value::Int(v2 + 1)).unwrap();
+        let v1 = t1
+            .get("feedback", &Key::str("ctr"))
+            .unwrap()
+            .unwrap()
+            .as_int()
+            .unwrap();
+        let v2 = t2
+            .get("feedback", &Key::str("ctr"))
+            .unwrap()
+            .unwrap()
+            .as_int()
+            .unwrap();
+        t1.put("feedback", Key::str("ctr"), Value::Int(v1 + 1))
+            .unwrap();
+        t2.put("feedback", Key::str("ctr"), Value::Int(v2 + 1))
+            .unwrap();
         t1.commit().unwrap();
         t2.commit().unwrap(); // no validation: the anomaly the census counts
         let mut t = e.begin(Isolation::Snapshot);
@@ -1025,8 +1092,18 @@ mod tests {
         .unwrap();
         let mut t1 = e.begin(Isolation::Serializable);
         let mut t2 = e.begin(Isolation::Serializable);
-        let b = t1.get("feedback", &Key::str("b")).unwrap().unwrap().as_int().unwrap();
-        let a = t2.get("feedback", &Key::str("a")).unwrap().unwrap().as_int().unwrap();
+        let b = t1
+            .get("feedback", &Key::str("b"))
+            .unwrap()
+            .unwrap()
+            .as_int()
+            .unwrap();
+        let a = t2
+            .get("feedback", &Key::str("a"))
+            .unwrap()
+            .unwrap()
+            .as_int()
+            .unwrap();
         assert_eq!((a, b), (1, 1));
         t1.put("feedback", Key::str("a"), Value::Int(0)).unwrap();
         t2.put("feedback", Key::str("b"), Value::Int(0)).unwrap();
@@ -1053,15 +1130,23 @@ mod tests {
         t1.commit().unwrap();
         t2.commit().unwrap(); // disjoint write sets: SI lets it through
         let mut t = e.begin(Isolation::Snapshot);
-        assert_eq!(t.get("feedback", &Key::str("a")).unwrap(), Some(Value::Int(0)));
-        assert_eq!(t.get("feedback", &Key::str("b")).unwrap(), Some(Value::Int(0)));
+        assert_eq!(
+            t.get("feedback", &Key::str("a")).unwrap(),
+            Some(Value::Int(0))
+        );
+        assert_eq!(
+            t.get("feedback", &Key::str("b")).unwrap(),
+            Some(Value::Int(0))
+        );
     }
 
     #[test]
     fn run_retries_conflicts_to_success() {
         let e = engine();
-        e.run(Isolation::Snapshot, |t| t.put("feedback", Key::str("ctr"), Value::Int(0)))
-            .unwrap();
+        e.run(Isolation::Snapshot, |t| {
+            t.put("feedback", Key::str("ctr"), Value::Int(0))
+        })
+        .unwrap();
         let threads: Vec<_> = (0..4)
             .map(|_| {
                 let e = e.clone();
@@ -1096,11 +1181,19 @@ mod tests {
         let e = engine();
         let mut t = e.begin(Isolation::Snapshot);
         // relational: schema enforced
-        assert!(t.insert("customers", obj! {"id" => 1}).is_err(), "missing name");
-        assert!(t.insert("customers", obj! {"name" => "NoId"}).is_err(), "missing pk");
-        t.insert("customers", obj! {"id" => 1, "name" => "Ada"}).unwrap();
         assert!(
-            t.insert("customers", obj! {"id" => 1, "name" => "Dup"}).is_err(),
+            t.insert("customers", obj! {"id" => 1}).is_err(),
+            "missing name"
+        );
+        assert!(
+            t.insert("customers", obj! {"name" => "NoId"}).is_err(),
+            "missing pk"
+        );
+        t.insert("customers", obj! {"id" => 1, "name" => "Ada"})
+            .unwrap();
+        assert!(
+            t.insert("customers", obj! {"id" => 1, "name" => "Dup"})
+                .is_err(),
             "duplicate pk inside own writes"
         );
         // document: auto id
@@ -1117,7 +1210,10 @@ mod tests {
     fn update_merge_delete() {
         let e = engine();
         e.run(Isolation::Snapshot, |t| {
-            t.insert("customers", obj! {"id" => 1, "name" => "Ada", "country" => "FI"})?;
+            t.insert(
+                "customers",
+                obj! {"id" => 1, "name" => "Ada", "country" => "FI"},
+            )?;
             Ok(())
         })
         .unwrap();
@@ -1143,7 +1239,8 @@ mod tests {
     #[test]
     fn select_uses_indexes_and_matches_scan() {
         let e = engine();
-        e.create_index("orders", FieldPath::key("status"), IndexKind::Hash).unwrap();
+        e.create_index("orders", FieldPath::key("status"), IndexKind::Hash)
+            .unwrap();
         e.run(Isolation::Snapshot, |t| {
             for i in 0..20 {
                 t.insert(
@@ -1167,7 +1264,8 @@ mod tests {
     #[test]
     fn index_candidates_revalidate_against_snapshot() {
         let e = engine();
-        e.create_index("orders", FieldPath::key("status"), IndexKind::Hash).unwrap();
+        e.create_index("orders", FieldPath::key("status"), IndexKind::Hash)
+            .unwrap();
         e.run(Isolation::Snapshot, |t| {
             t.put("orders", Key::int(1), obj! {"_id" => 1, "status" => "open"})
         })
@@ -1179,11 +1277,15 @@ mod tests {
         })
         .unwrap();
         // the old snapshot still finds the order under "open"…
-        let open_old = old.select("orders", &Predicate::eq("status", Value::from("open"))).unwrap();
+        let open_old = old
+            .select("orders", &Predicate::eq("status", Value::from("open")))
+            .unwrap();
         assert_eq!(open_old.len(), 1);
         // …and a new snapshot does not, despite the stale index posting.
         let mut new = e.begin(Isolation::Snapshot);
-        let open_new = new.select("orders", &Predicate::eq("status", Value::from("open"))).unwrap();
+        let open_new = new
+            .select("orders", &Predicate::eq("status", Value::from("open")))
+            .unwrap();
         assert!(open_new.is_empty());
     }
 
@@ -1202,27 +1304,31 @@ mod tests {
         .unwrap();
         let mut t = e.begin(Isolation::Snapshot);
         assert_eq!(
-            t.neighbors("social", &Key::int(1), Direction::Out, None).unwrap(),
+            t.neighbors("social", &Key::int(1), Direction::Out, None)
+                .unwrap(),
             vec![Key::int(2)]
         );
         assert_eq!(
-            t.neighbors("social", &Key::int(2), Direction::Both, Some("knows")).unwrap(),
+            t.neighbors("social", &Key::int(2), Direction::Both, Some("knows"))
+                .unwrap(),
             vec![Key::int(1), Key::int(3)]
         );
         assert_eq!(
-            t.k_hop("social", &Key::int(1), 2, Direction::Out, Some("knows")).unwrap(),
+            t.k_hop("social", &Key::int(1), 2, Direction::Out, Some("knows"))
+                .unwrap(),
             vec![Key::int(3)]
         );
         assert_eq!(
-            t.k_hop("social", &Key::int(1), 3, Direction::Out, None).unwrap(),
+            t.k_hop("social", &Key::int(1), 3, Direction::Out, None)
+                .unwrap(),
             vec![Key::int(4)]
         );
-        assert!(t
-            .add_edge("social", &Key::int(1), &Key::int(99), "knows", Value::Null)
-            .is_err(), "dangling endpoints rejected");
-        assert!(t
-            .add_vertex("social", Key::int(1), "dup", obj! {})
-            .is_err());
+        assert!(
+            t.add_edge("social", &Key::int(1), &Key::int(99), "knows", Value::Null)
+                .is_err(),
+            "dangling endpoints rejected"
+        );
+        assert!(t.add_vertex("social", Key::int(1), "dup", obj! {}).is_err());
     }
 
     #[test]
@@ -1231,7 +1337,8 @@ mod tests {
         let mut t = e.begin(Isolation::Snapshot);
         assert!(t.put_xml("invoices", Key::int(1), "<broken").is_err());
         assert!(
-            t.put("invoices", Key::int(1), obj! {"not" => "xml bridge"}).is_err(),
+            t.put("invoices", Key::int(1), obj! {"not" => "xml bridge"})
+                .is_err(),
             "raw puts to xml collections must be valid bridge values"
         );
         t.put_xml(
@@ -1274,9 +1381,16 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let e = Engine::with_wal(&path).unwrap();
-            e.create_collection(CollectionSchema::key_value("ns")).unwrap();
-            e.run(Isolation::Snapshot, |t| t.put("ns", Key::int(1), Value::Int(10))).unwrap();
-            e.run(Isolation::Snapshot, |t| t.put("ns", Key::int(2), Value::Int(20))).unwrap();
+            e.create_collection(CollectionSchema::key_value("ns"))
+                .unwrap();
+            e.run(Isolation::Snapshot, |t| {
+                t.put("ns", Key::int(1), Value::Int(10))
+            })
+            .unwrap();
+            e.run(Isolation::Snapshot, |t| {
+                t.put("ns", Key::int(2), Value::Int(20))
+            })
+            .unwrap();
             e.run(Isolation::Snapshot, |t| {
                 t.delete("ns", &Key::int(1))?;
                 Ok(())
@@ -1285,7 +1399,11 @@ mod tests {
         }
         let e2 = Engine::with_wal(&path).unwrap();
         let mut t = e2.begin(Isolation::Snapshot);
-        assert_eq!(t.get("ns", &Key::int(1)).unwrap(), None, "delete survived recovery");
+        assert_eq!(
+            t.get("ns", &Key::int(1)).unwrap(),
+            None,
+            "delete survived recovery"
+        );
         assert_eq!(t.get("ns", &Key::int(2)).unwrap(), Some(Value::Int(20)));
         drop(t);
         // checkpoint compacts, state still recoverable
@@ -1302,14 +1420,18 @@ mod tests {
     fn gc_respects_active_snapshots() {
         let e = engine();
         for i in 0..5 {
-            e.run(Isolation::Snapshot, |t| t.put("feedback", Key::str("k"), Value::Int(i)))
-                .unwrap();
+            e.run(Isolation::Snapshot, |t| {
+                t.put("feedback", Key::str("k"), Value::Int(i))
+            })
+            .unwrap();
         }
         let mut old = e.begin(Isolation::Snapshot);
         // more writes after the old snapshot
         for i in 5..10 {
-            e.run(Isolation::Snapshot, |t| t.put("feedback", Key::str("k"), Value::Int(i)))
-                .unwrap();
+            e.run(Isolation::Snapshot, |t| {
+                t.put("feedback", Key::str("k"), Value::Int(i))
+            })
+            .unwrap();
         }
         let stats = e.gc();
         assert!(stats.watermark <= old.snapshot().unwrap());
@@ -1320,15 +1442,24 @@ mod tests {
         );
         drop(old);
         let stats2 = e.gc();
-        assert!(stats2.versions_removed > 0, "with no active txns history is pruned");
+        assert!(
+            stats2.versions_removed > 0,
+            "with no active txns history is pruned"
+        );
         let mut t = e.begin(Isolation::Snapshot);
-        assert_eq!(t.get("feedback", &Key::str("k")).unwrap(), Some(Value::Int(9)));
+        assert_eq!(
+            t.get("feedback", &Key::str("k")).unwrap(),
+            Some(Value::Int(9))
+        );
     }
 
     #[test]
     fn stats_count_events() {
         let e = engine();
-        e.run(Isolation::Snapshot, |t| t.put("feedback", Key::int(1), Value::Int(1))).unwrap();
+        e.run(Isolation::Snapshot, |t| {
+            t.put("feedback", Key::int(1), Value::Int(1))
+        })
+        .unwrap();
         let t = e.begin(Isolation::Snapshot);
         t.abort();
         let s = e.stats();
@@ -1362,7 +1493,10 @@ mod tests {
         // commit consumed the txn; a new handle that was aborted:
         let mut t2 = e.begin(Isolation::Snapshot);
         t2.abort_in_place();
-        assert!(matches!(t2.get("feedback", &Key::int(1)), Err(Error::TxnClosed(_))));
+        assert!(matches!(
+            t2.get("feedback", &Key::int(1)),
+            Err(Error::TxnClosed(_))
+        ));
     }
 
     #[test]

@@ -56,7 +56,8 @@ mod proptests {
 
     fn engine_with(coll: &str) -> Engine {
         let e = Engine::new();
-        e.create_collection(udbms_core::CollectionSchema::key_value(coll)).unwrap();
+        e.create_collection(udbms_core::CollectionSchema::key_value(coll))
+            .unwrap();
         e
     }
 

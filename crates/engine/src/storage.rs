@@ -228,7 +228,10 @@ mod tests {
         s.install(rid(1), Ts(20), None);
         assert_eq!(s.visible_value(&rid(1), Ts(15)), Some(&Value::Int(1)));
         assert_eq!(s.visible_value(&rid(1), Ts(25)), None);
-        assert!(s.visible(&rid(1), Ts(25)).is_some(), "tombstone is a version");
+        assert!(
+            s.visible(&rid(1), Ts(25)).is_some(),
+            "tombstone is a version"
+        );
         assert!(s.live_keys(C, Ts(15)).contains(&Key::int(1)));
         assert!(s.live_keys(C, Ts(25)).is_empty());
     }
@@ -256,7 +259,10 @@ mod tests {
         }
         assert_eq!(s.version_count(), 5);
         let (removed, dead) = s.gc(Ts(35));
-        assert_eq!(removed, 2, "versions at 10 and 20 are invisible to snapshots >= 35");
+        assert_eq!(
+            removed, 2,
+            "versions at 10 and 20 are invisible to snapshots >= 35"
+        );
         assert_eq!(dead, 0);
         assert_eq!(s.visible_value(&rid(1), Ts(35)), Some(&Value::Int(3)));
         assert_eq!(s.visible_value(&rid(1), Ts(50)), Some(&Value::Int(5)));
@@ -276,7 +282,10 @@ mod tests {
         s.install(rid(2), Ts(50), Some(Value::Int(2)));
         s.install(rid(2), Ts(60), None);
         let (_, dead) = s.gc(Ts(55));
-        assert_eq!(dead, 0, "a snapshot at 55 still sees the value under the tombstone");
+        assert_eq!(
+            dead, 0,
+            "a snapshot at 55 still sees the value under the tombstone"
+        );
     }
 
     #[test]
@@ -294,7 +303,11 @@ mod tests {
     fn drop_collection_erases_everything() {
         let mut s = Storage::new();
         s.install(rid(1), Ts(10), Some(Value::Int(1)));
-        s.install(RecordId::new(CollectionId(2), Key::int(1)), Ts(10), Some(Value::Int(9)));
+        s.install(
+            RecordId::new(CollectionId(2), Key::int(1)),
+            Ts(10),
+            Some(Value::Int(9)),
+        );
         s.drop_collection(C);
         assert_eq!(s.chain_count(), 1);
         assert!(s.scan(C, Ts::MAX).is_empty());

@@ -63,7 +63,11 @@ impl WalRecord {
             };
             writes.push((coll, key, value));
         }
-        Ok(WalRecord { commit_ts: Ts(ts), txn: TxnId(txn), writes })
+        Ok(WalRecord {
+            commit_ts: Ts(ts),
+            txn: TxnId(txn),
+            writes,
+        })
     }
 }
 
@@ -80,7 +84,11 @@ impl Wal {
     pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Wal { path, writer: BufWriter::new(file), records_written: 0 })
+        Ok(Wal {
+            path,
+            writer: BufWriter::new(file),
+            records_written: 0,
+        })
     }
 
     /// The log file path.

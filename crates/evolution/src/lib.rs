@@ -23,7 +23,9 @@ mod usability;
 
 pub use migrate::{apply, apply_chain, MigrationStats};
 pub use ops::{Compat, EvolutionOp, PathOutcome};
-pub use usability::{accessed_paths, adapt_statement, analyze_workload, classify, QueryFate, UsabilityReport};
+pub use usability::{
+    accessed_paths, adapt_statement, analyze_workload, classify, QueryFate, UsabilityReport,
+};
 
 use udbms_core::{FieldDef, FieldType, Value};
 
@@ -58,16 +60,25 @@ pub fn standard_chain() -> Vec<EvolutionOp> {
             from: "title".into(),
             to: "name".into(),
         },
-        EvolutionOp::FlattenField { collection: "orders".into(), field: "shipping".into() },
+        EvolutionOp::FlattenField {
+            collection: "orders".into(),
+            field: "shipping".into(),
+        },
         // 7-8: silent cleanups — break only queries using exotic fields
-        EvolutionOp::DropField { collection: "orders".into(), field: "note".into() },
+        EvolutionOp::DropField {
+            collection: "orders".into(),
+            field: "note".into(),
+        },
         EvolutionOp::ChangeType {
             collection: "customers".into(),
             field: "score".into(),
             to: FieldType::Any,
         },
         // 9-12: destructive — history queries on these paths are lost
-        EvolutionOp::DropField { collection: "orders".into(), field: "state".into() },
+        EvolutionOp::DropField {
+            collection: "orders".into(),
+            field: "state".into(),
+        },
         EvolutionOp::NestFields {
             collection: "orders".into(),
             fields: vec!["customer".into()],
@@ -78,7 +89,10 @@ pub fn standard_chain() -> Vec<EvolutionOp> {
             field: "price".into(),
             to: FieldType::Int,
         },
-        EvolutionOp::DropField { collection: "customers".into(), field: "email".into() },
+        EvolutionOp::DropField {
+            collection: "customers".into(),
+            field: "email".into(),
+        },
     ]
 }
 
@@ -87,12 +101,15 @@ mod tests {
     use super::*;
     use udbms_datagen::{build_engine, workload, GenConfig};
     use udbms_engine::Isolation;
-    use udbms_query::{Query, Statement};
+    use udbms_query::Statement;
 
     #[test]
     fn standard_chain_applies_end_to_end_on_generated_data() {
-        let (engine, _data) =
-            build_engine(&GenConfig { scale_factor: 0.01, ..Default::default() }).unwrap();
+        let (engine, _data) = build_engine(&GenConfig {
+            scale_factor: 0.01,
+            ..Default::default()
+        })
+        .unwrap();
         let stats = apply_chain(&engine, &standard_chain()).unwrap();
         assert_eq!(stats.len(), 12);
         assert!(stats.iter().all(|s| s.migrated > 0));
@@ -104,18 +121,25 @@ mod tests {
 
     #[test]
     fn workload_usability_degrades_monotonically() {
-        let data = udbms_datagen::generate(&GenConfig { scale_factor: 0.01, ..Default::default() });
+        let data = udbms_datagen::generate(&GenConfig {
+            scale_factor: 0.01,
+            ..Default::default()
+        });
         let params = workload::QueryParams::draw(&data, 1);
-        let stmts: Vec<Statement> = workload::queries(&params)
-            .iter()
-            .map(|q| udbms_query::parse(&q.mmql).unwrap())
+        let stmts: Vec<Statement> = workload::bound_queries(&params)
+            .unwrap()
+            .into_iter()
+            .map(|(_, q)| q.statement().clone())
             .collect();
         let chain = standard_chain();
         let mut last_strict = f64::INFINITY;
         let mut strict_scores = Vec::new();
         for n in 0..=chain.len() {
             let (report, _) = analyze_workload(&stmts, &chain[..n]);
-            assert!(report.strict_score <= last_strict + 1e-9, "strict usability can only fall");
+            assert!(
+                report.strict_score <= last_strict + 1e-9,
+                "strict usability can only fall"
+            );
             last_strict = report.strict_score;
             strict_scores.push(report.strict_score);
         }
@@ -125,7 +149,10 @@ mod tests {
             "the full chain must invalidate some verbatim queries"
         );
         let (final_report, _) = analyze_workload(&stmts, &chain);
-        assert!(final_report.broken > 0, "the destructive tail breaks something");
+        assert!(
+            final_report.broken > 0,
+            "the destructive tail breaks something"
+        );
         assert!(
             final_report.adapted_score >= final_report.strict_score,
             "adaptation can only help"
@@ -134,12 +161,16 @@ mod tests {
 
     #[test]
     fn adapted_queries_actually_run_after_migration() {
-        let (engine, data) =
-            build_engine(&GenConfig { scale_factor: 0.01, ..Default::default() }).unwrap();
+        let (engine, data) = build_engine(&GenConfig {
+            scale_factor: 0.01,
+            ..Default::default()
+        })
+        .unwrap();
         let params = workload::QueryParams::draw(&data, 1);
-        let stmts: Vec<Statement> = workload::queries(&params)
-            .iter()
-            .map(|q| udbms_query::parse(&q.mmql).unwrap())
+        let stmts: Vec<Statement> = workload::bound_queries(&params)
+            .unwrap()
+            .into_iter()
+            .map(|(_, q)| q.statement().clone())
             .collect();
         // apply the adaptable prefix of the chain (steps 1..=6)
         let prefix = &standard_chain()[..6];
@@ -158,24 +189,27 @@ mod tests {
 
     #[test]
     fn verbatim_queries_break_at_runtime_exactly_when_classified_broken() {
-        let (engine, data) =
-            build_engine(&GenConfig { scale_factor: 0.01, ..Default::default() }).unwrap();
+        let (engine, data) = build_engine(&GenConfig {
+            scale_factor: 0.01,
+            ..Default::default()
+        })
+        .unwrap();
         let params = workload::QueryParams::draw(&data, 1);
         let chain = standard_chain();
         apply_chain(&engine, &chain).unwrap();
         // Q2 returns o.status which was renamed then dropped: classified broken
-        let q2 = &workload::queries(&params)[1];
-        let stmt = udbms_query::parse(&q2.mmql).unwrap();
-        let (fate, _) = classify(&stmt, &chain);
+        let (_, q2) = workload::bound_queries(&params).unwrap().swap_remove(1);
+        let (fate, _) = classify(q2.statement(), &chain);
         assert_eq!(fate, QueryFate::Broken);
         // verbatim execution still *runs* (schemaless reads yield nulls) —
         // usability is a semantic notion, which is exactly why the
         // benchmark must track it (silent nulls, not crashes)
-        let out = engine
-            .run(Isolation::Snapshot, |t| Query::parse(&q2.mmql).unwrap().execute(t))
-            .unwrap();
+        let out = engine.run(Isolation::Snapshot, |t| q2.execute(t)).unwrap();
         for row in &out {
-            assert!(row.get_field("status").is_null(), "history query silently degrades");
+            assert!(
+                row.get_field("status").is_null(),
+                "history query silently degrades"
+            );
         }
     }
 }

@@ -51,7 +51,10 @@ pub fn apply(engine: &Engine, op: &EvolutionOp) -> Result<MigrationStats> {
         })?;
         migrated += chunk.len();
     }
-    Ok(MigrationStats { migrated, new_version: new_schema.version })
+    Ok(MigrationStats {
+        migrated,
+        new_version: new_schema.version,
+    })
 }
 
 /// Apply a whole chain in order, returning per-step stats.
@@ -78,7 +81,10 @@ mod tests {
         ))
         .unwrap();
         e.run(Isolation::Snapshot, |t| {
-            t.insert("orders", obj! {"_id" => "o1", "status" => "open", "city" => "Helsinki"})?;
+            t.insert(
+                "orders",
+                obj! {"_id" => "o1", "status" => "open", "city" => "Helsinki"},
+            )?;
             t.insert("orders", obj! {"_id" => "o2", "status" => "paid"})?;
             Ok(())
         })
@@ -132,7 +138,10 @@ mod tests {
         assert_eq!(e.schema_of("orders").unwrap().version, 4);
         e.run(Isolation::Snapshot, |t| {
             let o1 = t.get("orders", &Key::str("o1"))?.unwrap();
-            assert_eq!(o1.get_dotted("address.city").unwrap(), &Value::from("Helsinki"));
+            assert_eq!(
+                o1.get_dotted("address.city").unwrap(),
+                &Value::from("Helsinki")
+            );
             assert_eq!(o1.get_field("channel"), &Value::from("web"));
             assert_eq!(o1.get_field("state"), &Value::from("open"));
             Ok(())
@@ -143,7 +152,10 @@ mod tests {
     #[test]
     fn failing_op_reports_error() {
         let e = engine();
-        let op = EvolutionOp::DropField { collection: "orders".into(), field: "_id".into() };
+        let op = EvolutionOp::DropField {
+            collection: "orders".into(),
+            field: "_id".into(),
+        };
         assert!(apply(&e, &op).is_err());
         let op = EvolutionOp::RenameField {
             collection: "missing".into(),

@@ -119,7 +119,11 @@ impl EvolutionOp {
             EvolutionOp::AddField { .. } => Compat::BackwardCompatible,
             EvolutionOp::DropField { .. } => Compat::Breaking,
             EvolutionOp::RenameField { .. } => Compat::Adaptable,
-            EvolutionOp::ChangeType { collection: _, field: _, to } => {
+            EvolutionOp::ChangeType {
+                collection: _,
+                field: _,
+                to,
+            } => {
                 // we cannot see the old type here; apply_schema() checks it.
                 // Widening to Any/Float is the common compatible case.
                 match to {
@@ -195,7 +199,8 @@ impl EvolutionOp {
                     .cloned()
                     .collect();
                 next.fields.retain(|f| !fields.contains(&f.name));
-                next.fields.push(FieldDef::optional(into.clone(), FieldType::Object(moved)));
+                next.fields
+                    .push(FieldDef::optional(into.clone(), FieldType::Object(moved)));
             }
             EvolutionOp::FlattenField { field, .. } => {
                 let mut lifted: Vec<FieldDef> = Vec::new();
@@ -213,11 +218,14 @@ impl EvolutionOp {
 
     /// Migrate one stored value forward.
     pub fn migrate_value(&self, value: &mut Value) {
-        let Some(obj) = value.as_object_mut() else { return };
+        let Some(obj) = value.as_object_mut() else {
+            return;
+        };
         match self {
             EvolutionOp::AddField { field, .. } => {
                 if let Some(default) = &field.default {
-                    obj.entry(field.name.clone()).or_insert_with(|| default.clone());
+                    obj.entry(field.name.clone())
+                        .or_insert_with(|| default.clone());
                 }
             }
             EvolutionOp::DropField { field, .. } => {
@@ -264,7 +272,9 @@ impl EvolutionOp {
                 }
             }
             EvolutionOp::RenameField { from, to, .. } => {
-                match path.replace_prefix(&FieldPath::key(from.clone()), &FieldPath::key(to.clone())) {
+                match path
+                    .replace_prefix(&FieldPath::key(from.clone()), &FieldPath::key(to.clone()))
+                {
                     Some(p) => PathOutcome::Rewritten(p),
                     None => PathOutcome::Unchanged,
                 }
@@ -313,13 +323,25 @@ impl EvolutionOp {
             EvolutionOp::DropField { collection, field } => {
                 format!("drop `{collection}`.`{field}`")
             }
-            EvolutionOp::RenameField { collection, from, to } => {
+            EvolutionOp::RenameField {
+                collection,
+                from,
+                to,
+            } => {
                 format!("rename `{collection}`.`{from}` -> `{to}`")
             }
-            EvolutionOp::ChangeType { collection, field, to } => {
+            EvolutionOp::ChangeType {
+                collection,
+                field,
+                to,
+            } => {
                 format!("retype `{collection}`.`{field}` to {to}")
             }
-            EvolutionOp::NestFields { collection, fields, into } => {
+            EvolutionOp::NestFields {
+                collection,
+                fields,
+                into,
+            } => {
                 format!("nest `{collection}`.{fields:?} into `{into}`")
             }
             EvolutionOp::FlattenField { collection, field } => {
@@ -387,7 +409,10 @@ mod tests {
         op.migrate_value(&mut v);
         assert_eq!(v.get_field("channel"), &Value::from("web"));
         assert_eq!(op.compatibility(), Compat::BackwardCompatible);
-        assert_eq!(op.rewrite_path(&FieldPath::key("total")), PathOutcome::Unchanged);
+        assert_eq!(
+            op.rewrite_path(&FieldPath::key("total")),
+            PathOutcome::Unchanged
+        );
 
         // duplicate & default-less required adds are rejected
         let dup = EvolutionOp::AddField {
@@ -404,21 +429,33 @@ mod tests {
 
     #[test]
     fn drop_field_breaks_paths() {
-        let op = EvolutionOp::DropField { collection: "orders".into(), field: "status".into() };
+        let op = EvolutionOp::DropField {
+            collection: "orders".into(),
+            field: "status".into(),
+        };
         let next = op.apply_schema(&schema()).unwrap();
         assert!(next.field("status").is_none());
         let mut v = obj! {"_id" => "o1", "status" => "open", "total" => 1.0};
         op.migrate_value(&mut v);
         assert!(v.get_field("status").is_null());
         assert_eq!(op.compatibility(), Compat::Breaking);
-        assert_eq!(op.rewrite_path(&FieldPath::key("status")), PathOutcome::Dropped);
+        assert_eq!(
+            op.rewrite_path(&FieldPath::key("status")),
+            PathOutcome::Dropped
+        );
         assert_eq!(
             op.rewrite_path(&FieldPath::parse("status.sub").unwrap()),
             PathOutcome::Dropped
         );
-        assert_eq!(op.rewrite_path(&FieldPath::key("total")), PathOutcome::Unchanged);
+        assert_eq!(
+            op.rewrite_path(&FieldPath::key("total")),
+            PathOutcome::Unchanged
+        );
 
-        let pk = EvolutionOp::DropField { collection: "orders".into(), field: "_id".into() };
+        let pk = EvolutionOp::DropField {
+            collection: "orders".into(),
+            field: "_id".into(),
+        };
         assert!(pk.apply_schema(&schema()).is_err());
     }
 
@@ -458,7 +495,10 @@ mod tests {
             to: FieldType::Any,
         };
         assert_eq!(widen.compatibility(), Compat::BackwardCompatible);
-        assert_eq!(widen.rewrite_path(&FieldPath::key("total")), PathOutcome::Unchanged);
+        assert_eq!(
+            widen.rewrite_path(&FieldPath::key("total")),
+            PathOutcome::Unchanged
+        );
 
         let narrow = EvolutionOp::ChangeType {
             collection: "orders".into(),
@@ -468,7 +508,11 @@ mod tests {
         assert_eq!(narrow.compatibility(), Compat::Breaking);
         let mut v = obj! {"total" => 9.5};
         narrow.migrate_value(&mut v);
-        assert_eq!(v.get_field("total"), &Value::Int(9), "float truncates to int");
+        assert_eq!(
+            v.get_field("total"),
+            &Value::Int(9),
+            "float truncates to int"
+        );
         let mut bad = obj! {"total" => "not a number"};
         narrow.migrate_value(&mut bad);
         assert!(bad.get_field("total").is_null(), "uncastable becomes null");
@@ -488,7 +532,10 @@ mod tests {
 
         let mut v = obj! {"_id" => "o1", "city" => "Helsinki", "zip" => "00100", "total" => 1.0};
         nest.migrate_value(&mut v);
-        assert_eq!(v.get_dotted("address.city").unwrap(), &Value::from("Helsinki"));
+        assert_eq!(
+            v.get_dotted("address.city").unwrap(),
+            &Value::from("Helsinki")
+        );
         assert!(v.get_field("city").is_null());
 
         match nest.rewrite_path(&FieldPath::key("city")) {
@@ -518,7 +565,10 @@ mod tests {
     #[test]
     fn versions_increment_per_op() {
         let s = schema();
-        let op = EvolutionOp::DropField { collection: "orders".into(), field: "zip".into() };
+        let op = EvolutionOp::DropField {
+            collection: "orders".into(),
+            field: "zip".into(),
+        };
         let s2 = op.apply_schema(&s).unwrap();
         assert_eq!(s2.version, s.version + 1);
     }

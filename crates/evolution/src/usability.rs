@@ -127,7 +127,11 @@ pub fn accessed_paths(stmt: &Statement) -> Vec<(String, FieldPath)> {
             walk_expr(value, &Scope::new(), &mut out);
             let _ = collection;
         }
-        Statement::Update { key, patch, collection } => {
+        Statement::Update {
+            key,
+            patch,
+            collection,
+        } => {
             walk_expr(key, &Scope::new(), &mut out);
             walk_expr(patch, &Scope::new(), &mut out);
             let _ = collection;
@@ -141,21 +145,19 @@ fn walk_body(body: &QueryBody, outer: &Scope, out: &mut Vec<(String, FieldPath)>
     let mut scope = outer.clone();
     for clause in &body.clauses {
         match clause {
-            Clause::For { var, source } => {
-                match source {
-                    Source::Collection(name) => {
-                        scope.insert(var.clone(), name.clone());
-                    }
-                    Source::Traversal { start, graph, .. } => {
-                        walk_expr_scoped(start, &scope, out);
-                        scope.insert(var.clone(), format!("{graph}#v"));
-                    }
-                    Source::Expr(e) => {
-                        walk_expr_scoped(e, &scope, out);
-                        scope.remove(var.as_str());
-                    }
+            Clause::For { var, source } => match source {
+                Source::Collection(name) => {
+                    scope.insert(var.clone(), name.clone());
                 }
-            }
+                Source::Traversal { start, graph, .. } => {
+                    walk_expr_scoped(start, &scope, out);
+                    scope.insert(var.clone(), format!("{graph}#v"));
+                }
+                Source::Expr(e) => {
+                    walk_expr_scoped(e, &scope, out);
+                    scope.remove(var.as_str());
+                }
+            },
             Clause::Filter(e) => walk_expr_scoped(e, &scope, out),
             Clause::Let { var, value } => {
                 walk_expr_scoped(value, &scope, out);
@@ -176,7 +178,11 @@ fn walk_body(body: &QueryBody, outer: &Scope, out: &mut Vec<(String, FieldPath)>
                 }
             }
             Clause::Limit { .. } => {}
-            Clause::Collect { groups, aggregates, into } => {
+            Clause::Collect {
+                groups,
+                aggregates,
+                into,
+            } => {
                 for (_, e) in groups {
                     walk_expr_scoped(e, &scope, out);
                 }
@@ -227,7 +233,9 @@ fn walk_expr_inner(e: &Expr, scope: &Scope, out: &mut Vec<(String, FieldPath)>) 
             }
         }
         Expr::Array(items) => items.iter().for_each(|i| walk_expr_inner(i, scope, out)),
-        Expr::Object(fields) => fields.iter().for_each(|(_, v)| walk_expr_inner(v, scope, out)),
+        Expr::Object(fields) => fields
+            .iter()
+            .for_each(|(_, v)| walk_expr_inner(v, scope, out)),
         Expr::Unary { expr, .. } => walk_expr_inner(expr, scope, out),
         Expr::Binary { lhs, rhs, .. } => {
             walk_expr_inner(lhs, scope, out);
@@ -235,7 +243,7 @@ fn walk_expr_inner(e: &Expr, scope: &Scope, out: &mut Vec<(String, FieldPath)>) 
         }
         Expr::Call { args, .. } => args.iter().for_each(|a| walk_expr_inner(a, scope, out)),
         Expr::Subquery(body) => walk_body(body, scope, out),
-        Expr::Literal(_) | Expr::Var(_) => {}
+        Expr::Literal(_) | Expr::Var(_) | Expr::Param { .. } => {}
     }
 }
 
@@ -259,7 +267,14 @@ fn adapt_body(body: &QueryBody, outer: &Scope, ops: &[EvolutionOp]) -> QueryBody
                         scope.insert(var.clone(), name.clone());
                         Source::Collection(name.clone())
                     }
-                    Source::Traversal { min, max, dir, start, graph, label } => {
+                    Source::Traversal {
+                        min,
+                        max,
+                        dir,
+                        start,
+                        graph,
+                        label,
+                    } => {
                         let s = adapt_expr(start, &scope, ops);
                         scope.insert(var.clone(), format!("{graph}#v"));
                         Source::Traversal {
@@ -277,7 +292,10 @@ fn adapt_body(body: &QueryBody, outer: &Scope, ops: &[EvolutionOp]) -> QueryBody
                         adapted
                     }
                 };
-                Clause::For { var: var.clone(), source: new_source }
+                Clause::For {
+                    var: var.clone(),
+                    source: new_source,
+                }
             }
             Clause::Filter(e) => Clause::Filter(adapt_expr(e, &scope, ops)),
             Clause::Let { var, value } => {
@@ -289,13 +307,26 @@ fn adapt_body(body: &QueryBody, outer: &Scope, ops: &[EvolutionOp]) -> QueryBody
                         }
                     }
                 }
-                Clause::Let { var: var.clone(), value: v }
+                Clause::Let {
+                    var: var.clone(),
+                    value: v,
+                }
             }
             Clause::Sort { keys } => Clause::Sort {
-                keys: keys.iter().map(|(e, asc)| (adapt_expr(e, &scope, ops), *asc)).collect(),
+                keys: keys
+                    .iter()
+                    .map(|(e, asc)| (adapt_expr(e, &scope, ops), *asc))
+                    .collect(),
             },
-            Clause::Limit { offset, count } => Clause::Limit { offset: *offset, count: *count },
-            Clause::Collect { groups, aggregates, into } => {
+            Clause::Limit { offset, count } => Clause::Limit {
+                offset: *offset,
+                count: *count,
+            },
+            Clause::Collect {
+                groups,
+                aggregates,
+                into,
+            } => {
                 let c = Clause::Collect {
                     groups: groups
                         .iter()
@@ -313,7 +344,11 @@ fn adapt_body(body: &QueryBody, outer: &Scope, ops: &[EvolutionOp]) -> QueryBody
         };
         clauses.push(adapted);
     }
-    QueryBody { clauses, distinct: body.distinct, ret: adapt_expr(&body.ret, &scope, ops) }
+    QueryBody {
+        clauses,
+        distinct: body.distinct,
+        ret: adapt_expr(&body.ret, &scope, ops),
+    }
 }
 
 fn adapt_expr(e: &Expr, scope: &Scope, ops: &[EvolutionOp]) -> Expr {
@@ -339,13 +374,19 @@ fn adapt_expr(e: &Expr, scope: &Scope, ops: &[EvolutionOp]) -> Expr {
                     .collect(),
             }
         }
-        Expr::Array(items) => Expr::Array(items.iter().map(|i| adapt_expr(i, scope, ops)).collect()),
-        Expr::Object(fields) => Expr::Object(
-            fields.iter().map(|(k, v)| (k.clone(), adapt_expr(v, scope, ops))).collect(),
-        ),
-        Expr::Unary { op, expr } => {
-            Expr::Unary { op: *op, expr: Box::new(adapt_expr(expr, scope, ops)) }
+        Expr::Array(items) => {
+            Expr::Array(items.iter().map(|i| adapt_expr(i, scope, ops)).collect())
         }
+        Expr::Object(fields) => Expr::Object(
+            fields
+                .iter()
+                .map(|(k, v)| (k.clone(), adapt_expr(v, scope, ops)))
+                .collect(),
+        ),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(adapt_expr(expr, scope, ops)),
+        },
         Expr::Binary { op, lhs, rhs } => Expr::Binary {
             op: *op,
             lhs: Box::new(adapt_expr(lhs, scope, ops)),
@@ -356,7 +397,7 @@ fn adapt_expr(e: &Expr, scope: &Scope, ops: &[EvolutionOp]) -> Expr {
             args: args.iter().map(|a| adapt_expr(a, scope, ops)).collect(),
         },
         Expr::Subquery(body) => Expr::Subquery(Box::new(adapt_body(body, scope, ops))),
-        Expr::Literal(_) | Expr::Var(_) => e.clone(),
+        Expr::Literal(_) | Expr::Var(_) | Expr::Param { .. } => e.clone(),
     }
 }
 
@@ -367,12 +408,13 @@ fn rebuild_member(var: &str, path: &FieldPath) -> Expr {
         .iter()
         .map(|s| match s {
             PathStep::Key(k) => MemberStep::Field(k.clone()),
-            PathStep::Index(i) => {
-                MemberStep::Index(Box::new(Expr::Literal(Value::Int(*i as i64))))
-            }
+            PathStep::Index(i) => MemberStep::Index(Box::new(Expr::Literal(Value::Int(*i as i64)))),
         })
         .collect();
-    Expr::Member { base: Box::new(Expr::Var(var.to_string())), steps }
+    Expr::Member {
+        base: Box::new(Expr::Var(var.to_string())),
+        steps,
+    }
 }
 
 #[cfg(test)]
@@ -437,7 +479,10 @@ mod tests {
         assert!(paths.contains(&("orders".into(), FieldPath::key("state"))));
         assert!(!paths.contains(&("orders".into(), FieldPath::key("status"))));
 
-        let drop = EvolutionOp::DropField { collection: "orders".into(), field: "status".into() };
+        let drop = EvolutionOp::DropField {
+            collection: "orders".into(),
+            field: "status".into(),
+        };
         let (fate, _) = classify(&touches_status, &[drop]);
         assert_eq!(fate, QueryFate::Broken);
     }
@@ -448,7 +493,10 @@ mod tests {
         let q = parse(r#"FOR o IN orders RETURN o.status"#);
         let ops = vec![
             rename_op(),
-            EvolutionOp::DropField { collection: "orders".into(), field: "state".into() },
+            EvolutionOp::DropField {
+                collection: "orders".into(),
+                field: "state".into(),
+            },
         ];
         let (fate, _) = classify(&q, &ops);
         assert_eq!(fate, QueryFate::Broken);
@@ -478,8 +526,14 @@ mod tests {
         let (fate, adapted) = classify(&q, &ops);
         assert_eq!(fate, QueryFate::Adaptable);
         let paths = accessed_paths(&adapted);
-        assert!(paths.contains(&("customers".into(), FieldPath::parse("address.country").unwrap())));
-        assert!(paths.contains(&("customers".into(), FieldPath::parse("address.city").unwrap())));
+        assert!(paths.contains(&(
+            "customers".into(),
+            FieldPath::parse("address.country").unwrap()
+        )));
+        assert!(paths.contains(&(
+            "customers".into(),
+            FieldPath::parse("address.city").unwrap()
+        )));
     }
 
     #[test]
@@ -503,7 +557,10 @@ mod tests {
         ];
         let ops = vec![
             rename_op(),
-            EvolutionOp::DropField { collection: "orders".into(), field: "note".into() },
+            EvolutionOp::DropField {
+                collection: "orders".into(),
+                field: "note".into(),
+            },
         ];
         let (report, fates) = analyze_workload(&queries, &ops);
         assert_eq!(report.valid, 1);

@@ -19,7 +19,11 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, max_iters: 50, tolerance: 1e-9 }
+        PageRankConfig {
+            damping: 0.85,
+            max_iters: 50,
+            tolerance: 1e-9,
+        }
     }
 }
 
@@ -122,7 +126,12 @@ pub fn degree_stats(g: &PropertyGraph) -> Option<DegreeStats> {
             sinks += 1;
         }
     }
-    Some(DegreeStats { min, max, mean: total as f64 / g.vertex_count() as f64, sinks })
+    Some(DegreeStats {
+        min,
+        max,
+        mean: total as f64 / g.vertex_count() as f64,
+        sinks,
+    })
 }
 
 #[cfg(test)]
@@ -161,7 +170,8 @@ mod tests {
             g.add_vertex(Key::int(i), "v", Value::Null).unwrap();
         }
         for i in 0..4 {
-            g.add_edge(Key::int(i), Key::int((i + 1) % 4), "n", Value::Null).unwrap();
+            g.add_edge(Key::int(i), Key::int((i + 1) % 4), "n", Value::Null)
+                .unwrap();
         }
         let pr = pagerank(&g, &PageRankConfig::default());
         for r in pr.values() {
@@ -180,7 +190,8 @@ mod tests {
         g.add_vertex(Key::str("lone"), "v", Value::Null).unwrap();
         g.add_vertex(Key::str("pair1"), "v", Value::Null).unwrap();
         g.add_vertex(Key::str("pair2"), "v", Value::Null).unwrap();
-        g.add_edge(Key::str("pair1"), Key::str("pair2"), "link", Value::Null).unwrap();
+        g.add_edge(Key::str("pair1"), Key::str("pair2"), "link", Value::Null)
+            .unwrap();
         let comp = connected_components(&g);
         let ids: std::collections::HashSet<usize> = comp.values().copied().collect();
         assert_eq!(ids.len(), 3, "star, lone, pair");

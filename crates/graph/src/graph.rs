@@ -81,7 +81,10 @@ impl PropertyGraph {
                 Err(Error::AlreadyExists(format!("vertex {}", e.key())))
             }
             std::collections::btree_map::Entry::Vacant(slot) => {
-                slot.insert(Vertex { label: label.into(), props });
+                slot.insert(Vertex {
+                    label: label.into(),
+                    props,
+                });
                 Ok(())
             }
         }
@@ -139,7 +142,15 @@ impl PropertyGraph {
         self.next_edge_id += 1;
         self.out_adj.entry(src.clone()).or_default().push(id);
         self.in_adj.entry(dst.clone()).or_default().push(id);
-        self.edges.insert(id, Edge { src, dst, label: label.into(), props });
+        self.edges.insert(
+            id,
+            Edge {
+                src,
+                dst,
+                label: label.into(),
+                props,
+            },
+        );
         Ok(id)
     }
 
@@ -175,12 +186,7 @@ impl PropertyGraph {
     }
 
     /// Incident edges of `key` in `dir`, optionally filtered by label.
-    pub fn incident(
-        &self,
-        key: &Key,
-        dir: Direction,
-        label: Option<&str>,
-    ) -> Vec<(EdgeId, &Edge)> {
+    pub fn incident(&self, key: &Key, dir: Direction, label: Option<&str>) -> Vec<(EdgeId, &Edge)> {
         fn push_from<'g>(
             edges: &'g BTreeMap<EdgeId, Edge>,
             ids: Option<&Vec<EdgeId>>,
@@ -232,7 +238,10 @@ impl PropertyGraph {
     }
 
     /// Vertices carrying a given label, in key order.
-    pub fn vertices_with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = (&'a Key, &'a Vertex)> + 'a {
+    pub fn vertices_with_label<'a>(
+        &'a self,
+        label: &'a str,
+    ) -> impl Iterator<Item = (&'a Key, &'a Vertex)> + 'a {
         self.vertices.iter().filter(move |(_, v)| v.label == label)
     }
 
@@ -253,12 +262,18 @@ mod tests {
 
     fn triangle() -> PropertyGraph {
         let mut g = PropertyGraph::new();
-        g.add_vertex(Key::str("a"), "customer", obj! {"name" => "Ada"}).unwrap();
-        g.add_vertex(Key::str("b"), "customer", obj! {"name" => "Bob"}).unwrap();
-        g.add_vertex(Key::str("p"), "product", obj! {"name" => "Pen"}).unwrap();
-        g.add_edge(Key::str("a"), Key::str("b"), "knows", Value::Null).unwrap();
-        g.add_edge(Key::str("b"), Key::str("a"), "knows", Value::Null).unwrap();
-        g.add_edge(Key::str("a"), Key::str("p"), "bought", obj! {"qty" => 2}).unwrap();
+        g.add_vertex(Key::str("a"), "customer", obj! {"name" => "Ada"})
+            .unwrap();
+        g.add_vertex(Key::str("b"), "customer", obj! {"name" => "Bob"})
+            .unwrap();
+        g.add_vertex(Key::str("p"), "product", obj! {"name" => "Pen"})
+            .unwrap();
+        g.add_edge(Key::str("a"), Key::str("b"), "knows", Value::Null)
+            .unwrap();
+        g.add_edge(Key::str("b"), Key::str("a"), "knows", Value::Null)
+            .unwrap();
+        g.add_edge(Key::str("a"), Key::str("p"), "bought", obj! {"qty" => 2})
+            .unwrap();
         g
     }
 
@@ -269,12 +284,16 @@ mod tests {
         assert_eq!(g.edge_count(), 3);
         assert_eq!(g.vertex(&Key::str("a")).unwrap().label, "customer");
         assert!(g.add_vertex(Key::str("a"), "dup", Value::Null).is_err());
-        assert!(g
-            .add_edge(Key::str("a"), Key::str("zz"), "x", Value::Null)
-            .is_err(), "dangling dst");
-        assert!(g
-            .add_edge(Key::str("zz"), Key::str("a"), "x", Value::Null)
-            .is_err(), "dangling src");
+        assert!(
+            g.add_edge(Key::str("a"), Key::str("zz"), "x", Value::Null)
+                .is_err(),
+            "dangling dst"
+        );
+        assert!(
+            g.add_edge(Key::str("zz"), Key::str("a"), "x", Value::Null)
+                .is_err(),
+            "dangling src"
+        );
         let e0 = g.edges().next().unwrap().0;
         let e = g.remove_edge(e0).unwrap();
         assert_eq!(e.label, "knows");
@@ -293,7 +312,9 @@ mod tests {
         assert_eq!(in_a, vec![Key::str("b")]);
         let both_a = g.neighbors(&Key::str("a"), Direction::Both, None);
         assert_eq!(both_a.len(), 2, "deduplicated");
-        assert!(g.neighbors(&Key::str("zz"), Direction::Out, None).is_empty());
+        assert!(g
+            .neighbors(&Key::str("zz"), Direction::Out, None)
+            .is_empty());
     }
 
     #[test]
@@ -305,7 +326,9 @@ mod tests {
         assert_eq!(g.edge_count(), 0, "all three edges touched a");
         assert!(g.remove_vertex(&Key::str("a")).is_err());
         // b and p survive with clean adjacency
-        assert!(g.neighbors(&Key::str("b"), Direction::Both, None).is_empty());
+        assert!(g
+            .neighbors(&Key::str("b"), Direction::Both, None)
+            .is_empty());
     }
 
     #[test]
@@ -313,24 +336,47 @@ mod tests {
         let g = triangle();
         let customers: Vec<&Key> = g.vertices_with_label("customer").map(|(k, _)| k).collect();
         assert_eq!(customers, vec![&Key::str("a"), &Key::str("b")]);
-        assert_eq!(g.edges_between(&Key::str("a"), &Key::str("b"), None).len(), 2);
-        assert_eq!(g.edges_between(&Key::str("a"), &Key::str("b"), Some("knows")).len(), 2);
-        assert_eq!(g.edges_between(&Key::str("a"), &Key::str("p"), Some("knows")).len(), 0);
+        assert_eq!(
+            g.edges_between(&Key::str("a"), &Key::str("b"), None).len(),
+            2
+        );
+        assert_eq!(
+            g.edges_between(&Key::str("a"), &Key::str("b"), Some("knows"))
+                .len(),
+            2
+        );
+        assert_eq!(
+            g.edges_between(&Key::str("a"), &Key::str("p"), Some("knows"))
+                .len(),
+            0
+        );
     }
 
     #[test]
     fn parallel_edges_are_allowed() {
         let mut g = triangle();
-        g.add_edge(Key::str("a"), Key::str("p"), "bought", obj! {"qty" => 1}).unwrap();
-        assert_eq!(g.edges_between(&Key::str("a"), &Key::str("p"), Some("bought")).len(), 2);
+        g.add_edge(Key::str("a"), Key::str("p"), "bought", obj! {"qty" => 1})
+            .unwrap();
+        assert_eq!(
+            g.edges_between(&Key::str("a"), &Key::str("p"), Some("bought"))
+                .len(),
+            2
+        );
         // neighbors still deduplicate
-        assert_eq!(g.neighbors(&Key::str("a"), Direction::Out, Some("bought")).len(), 1);
+        assert_eq!(
+            g.neighbors(&Key::str("a"), Direction::Out, Some("bought"))
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn vertex_property_updates() {
         let mut g = triangle();
-        g.vertex_mut(&Key::str("a")).unwrap().props.merge_from(obj! {"vip" => true});
+        g.vertex_mut(&Key::str("a"))
+            .unwrap()
+            .props
+            .merge_from(obj! {"vip" => true});
         assert_eq!(
             g.vertex(&Key::str("a")).unwrap().props.get_field("vip"),
             &Value::Bool(true)

@@ -18,7 +18,7 @@ mod traverse;
 
 pub use algo::{connected_components, degree_stats, pagerank, DegreeStats, PageRankConfig};
 pub use graph::{Direction, Edge, EdgeId, PropertyGraph, Vertex};
-pub use pattern::{PatternStep, PathPattern};
+pub use pattern::{PathPattern, PatternStep};
 pub use traverse::{bfs_layers, k_hop_neighbors, shortest_path, shortest_path_weighted};
 
 #[cfg(test)]

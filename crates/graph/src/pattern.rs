@@ -24,17 +24,29 @@ pub struct PatternStep {
 impl PatternStep {
     /// Follow out-edges labelled `label`.
     pub fn out(label: &str) -> PatternStep {
-        PatternStep { label: Some(label.to_string()), dir: Direction::Out, vertex_filter: None }
+        PatternStep {
+            label: Some(label.to_string()),
+            dir: Direction::Out,
+            vertex_filter: None,
+        }
     }
 
     /// Follow in-edges labelled `label`.
     pub fn inbound(label: &str) -> PatternStep {
-        PatternStep { label: Some(label.to_string()), dir: Direction::In, vertex_filter: None }
+        PatternStep {
+            label: Some(label.to_string()),
+            dir: Direction::In,
+            vertex_filter: None,
+        }
     }
 
     /// Follow edges of any label in both directions.
     pub fn any() -> PatternStep {
-        PatternStep { label: None, dir: Direction::Both, vertex_filter: None }
+        PatternStep {
+            label: None,
+            dir: Direction::Both,
+            vertex_filter: None,
+        }
     }
 
     /// Attach a landing-vertex filter, builder-style.
@@ -156,7 +168,8 @@ mod tests {
             ("eve", "pad", "bought"),
             ("ada", "pad", "bought"),
         ] {
-            g.add_edge(Key::str(a), Key::str(b), l, Value::Null).unwrap();
+            g.add_edge(Key::str(a), Key::str(b), l, Value::Null)
+                .unwrap();
         }
         g
     }
@@ -181,7 +194,11 @@ mod tests {
             .then(PatternStep::out("knows").filtered(Predicate::eq("country", Value::from("FI"))))
             .then(PatternStep::out("bought").filtered(Predicate::gt("price", Value::Float(5.0))));
         let products = pattern.terminals(&g, &Key::str("ada"));
-        assert_eq!(products, vec![Key::str("pad")], "only FI friends, only pricey products");
+        assert_eq!(
+            products,
+            vec![Key::str("pad")],
+            "only FI friends, only pricey products"
+        );
     }
 
     #[test]
@@ -201,7 +218,11 @@ mod tests {
             .then(PatternStep::out("bought"))
             .then(PatternStep::inbound("bought"));
         let others = pattern.terminals(&g, &Key::str("ada"));
-        assert_eq!(others, vec![Key::str("eve")], "eve co-bought the pad; ada excluded (simple paths)");
+        assert_eq!(
+            others,
+            vec![Key::str("eve")],
+            "eve co-bought the pad; ada excluded (simple paths)"
+        );
     }
 
     #[test]
@@ -222,7 +243,8 @@ mod tests {
     #[test]
     fn simple_path_constraint_blocks_cycles() {
         let mut g = shop();
-        g.add_edge(Key::str("bob"), Key::str("ada"), "knows", Value::Null).unwrap();
+        g.add_edge(Key::str("bob"), Key::str("ada"), "knows", Value::Null)
+            .unwrap();
         // ada -knows-> bob -knows-> ? : ada is excluded (already on path)
         let pattern = PathPattern::new()
             .then(PatternStep::out("knows"))

@@ -45,7 +45,10 @@ pub fn k_hop_neighbors(
     dir: Direction,
     label: Option<&str>,
 ) -> Vec<Key> {
-    bfs_layers(g, start, k, dir, label).into_iter().nth(k).unwrap_or_default()
+    bfs_layers(g, start, k, dir, label)
+        .into_iter()
+        .nth(k)
+        .unwrap_or_default()
 }
 
 /// Unweighted shortest path from `src` to `dst` (BFS). Returns the vertex
@@ -147,7 +150,9 @@ fn reconstruct(prev: &HashMap<Key, Key>, src: &Key, dst: &Key) -> Vec<Key> {
     let mut path = vec![dst.clone()];
     let mut cur = dst;
     while cur != src {
-        cur = prev.get(cur).expect("reconstruct called with complete prev chain");
+        cur = prev
+            .get(cur)
+            .expect("reconstruct called with complete prev chain");
         path.push(cur.clone());
     }
     path.reverse();
@@ -166,11 +171,16 @@ mod tests {
         for k in ["a", "b", "c", "d", "e", "island"] {
             g.add_vertex(Key::str(k), "v", Value::Null).unwrap();
         }
-        g.add_edge(Key::str("a"), Key::str("b"), "road", obj! {"w" => 1.0}).unwrap();
-        g.add_edge(Key::str("b"), Key::str("c"), "road", obj! {"w" => 1.0}).unwrap();
-        g.add_edge(Key::str("c"), Key::str("d"), "road", obj! {"w" => 1.0}).unwrap();
-        g.add_edge(Key::str("a"), Key::str("d"), "road", obj! {"w" => 10.0}).unwrap();
-        g.add_edge(Key::str("a"), Key::str("e"), "knows", Value::Null).unwrap();
+        g.add_edge(Key::str("a"), Key::str("b"), "road", obj! {"w" => 1.0})
+            .unwrap();
+        g.add_edge(Key::str("b"), Key::str("c"), "road", obj! {"w" => 1.0})
+            .unwrap();
+        g.add_edge(Key::str("c"), Key::str("d"), "road", obj! {"w" => 1.0})
+            .unwrap();
+        g.add_edge(Key::str("a"), Key::str("d"), "road", obj! {"w" => 10.0})
+            .unwrap();
+        g.add_edge(Key::str("a"), Key::str("e"), "knows", Value::Null)
+            .unwrap();
         g
     }
 
@@ -182,7 +192,11 @@ mod tests {
         // layer 1: b, d, e (order: edge insertion order)
         assert_eq!(layers[1].len(), 3);
         assert_eq!(layers[2], vec![Key::str("c")]);
-        assert_eq!(layers.len(), 3, "no layer 3: everything reachable already seen");
+        assert_eq!(
+            layers.len(),
+            3,
+            "no layer 3: everything reachable already seen"
+        );
     }
 
     #[test]
@@ -219,11 +233,18 @@ mod tests {
     fn unweighted_shortest_path_prefers_fewer_hops() {
         let g = sample();
         let p = shortest_path(&g, &Key::str("a"), &Key::str("d"), Some("road")).unwrap();
-        assert_eq!(p, vec![Key::str("a"), Key::str("d")], "direct shortcut wins by hop count");
+        assert_eq!(
+            p,
+            vec![Key::str("a"), Key::str("d")],
+            "direct shortcut wins by hop count"
+        );
         let p = shortest_path(&g, &Key::str("a"), &Key::str("c"), None).unwrap();
         assert_eq!(p.len(), 3);
         assert!(shortest_path(&g, &Key::str("a"), &Key::str("island"), None).is_none());
-        assert!(shortest_path(&g, &Key::str("d"), &Key::str("a"), None).is_none(), "directed");
+        assert!(
+            shortest_path(&g, &Key::str("d"), &Key::str("a"), None).is_none(),
+            "directed"
+        );
         assert_eq!(
             shortest_path(&g, &Key::str("a"), &Key::str("a"), None).unwrap(),
             vec![Key::str("a")]
@@ -250,8 +271,7 @@ mod tests {
     fn missing_weight_defaults_to_one() {
         let g = sample();
         let (_, cost) =
-            shortest_path_weighted(&g, &Key::str("a"), &Key::str("e"), Some("knows"), "w")
-                .unwrap();
+            shortest_path_weighted(&g, &Key::str("a"), &Key::str("e"), Some("knows"), "w").unwrap();
         assert_eq!(cost, 1.0);
     }
 }

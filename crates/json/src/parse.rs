@@ -19,7 +19,10 @@ pub struct ParseOptions {
 
 impl Default for ParseOptions {
     fn default() -> Self {
-        ParseOptions { max_depth: 128, reject_duplicate_keys: false }
+        ParseOptions {
+            max_depth: 128,
+            reject_duplicate_keys: false,
+        }
     }
 }
 
@@ -69,7 +72,13 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str, opts: ParseOptions) -> Self {
-        Parser { bytes: input.as_bytes(), pos: 0, line: 1, col: 1, opts }
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            opts,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> Error {
@@ -110,7 +119,9 @@ impl<'a> Parser<'a> {
     fn expect(&mut self, b: u8) -> Result<()> {
         match self.bump() {
             Some(got) if got == b => Ok(()),
-            Some(got) => Err(self.err(format!("expected `{}`, found `{}`", b as char, got as char))),
+            Some(got) => {
+                Err(self.err(format!("expected `{}`, found `{}`", b as char, got as char)))
+            }
             None => Err(self.err(format!("expected `{}`, found end of input", b as char))),
         }
     }
@@ -166,7 +177,9 @@ impl<'a> Parser<'a> {
             match self.bump() {
                 Some(b',') => continue,
                 Some(b']') => return Ok(Value::Array(items)),
-                Some(b) => return Err(self.err(format!("expected `,` or `]`, found `{}`", b as char))),
+                Some(b) => {
+                    return Err(self.err(format!("expected `,` or `]`, found `{}`", b as char)))
+                }
                 None => return Err(self.err("unterminated array")),
             }
         }
@@ -196,7 +209,9 @@ impl<'a> Parser<'a> {
             match self.bump() {
                 Some(b',') => continue,
                 Some(b'}') => return Ok(Value::Object(map)),
-                Some(b) => return Err(self.err(format!("expected `,` or `}}`, found `{}`", b as char))),
+                Some(b) => {
+                    return Err(self.err(format!("expected `,` or `}}`, found `{}`", b as char)))
+                }
                 None => return Err(self.err("unterminated object")),
             }
         }
@@ -218,9 +233,10 @@ impl<'a> Parser<'a> {
                 // SAFETY-free: input was &str, so any byte run is valid UTF-8
                 // as long as we only split at ASCII boundaries, which `"`,
                 // `\` and control chars are.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| {
-                    self.err("invalid UTF-8 inside string")
-                })?);
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 inside string"))?,
+                );
             }
             match self.bump() {
                 None => return Err(self.err("unterminated string")),
@@ -246,7 +262,9 @@ impl<'a> Parser<'a> {
                                 return Err(self.err("invalid low surrogate"));
                             }
                             let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
-                            out.push(char::from_u32(c).ok_or_else(|| self.err("bad surrogate pair"))?);
+                            out.push(
+                                char::from_u32(c).ok_or_else(|| self.err("bad surrogate pair"))?,
+                            );
                         } else if (0xDC00..0xE000).contains(&cp) {
                             return Err(self.err("unpaired low surrogate"));
                         } else {
@@ -267,8 +285,12 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
-            let d = (b as char).to_digit(16).ok_or_else(|| self.err("bad hex digit in \\u"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit in \\u"))?;
             v = v * 16 + d;
         }
         Ok(v)
@@ -389,9 +411,25 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "{", "}", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "01", "1.", "1e",
-            "\"unterminated", "\"bad \\q escape\"", "[1] trailing", "{\"a\":1,}",
-            "\"\\ud800\"", "nan", "+1", "--1", "[\u{0007}]",
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "[1] trailing",
+            "{\"a\":1,}",
+            "\"\\ud800\"",
+            "nan",
+            "+1",
+            "--1",
+            "[\u{0007}]",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -403,7 +441,10 @@ mod tests {
         assert_eq!(v.get_field("a"), &Value::Int(2));
         let err = parse_with(
             r#"{"a":1,"a":2}"#,
-            ParseOptions { reject_duplicate_keys: true, ..Default::default() },
+            ParseOptions {
+                reject_duplicate_keys: true,
+                ..Default::default()
+            },
         )
         .unwrap_err();
         assert!(err.to_string().contains("duplicate"));

@@ -21,7 +21,9 @@ impl Pointer {
             return Ok(Pointer { tokens: Vec::new() });
         }
         if !s.starts_with('/') {
-            return Err(Error::Invalid(format!("JSON pointer must start with '/': {s:?}")));
+            return Err(Error::Invalid(format!(
+                "JSON pointer must start with '/': {s:?}"
+            )));
         }
         let mut tokens = Vec::new();
         for raw in s[1..].split('/') {
@@ -134,10 +136,22 @@ mod tests {
             Pointer::parse("/foo").unwrap().resolve(&d),
             Some(&arr!["bar", "baz"])
         );
-        assert_eq!(Pointer::parse("/foo/0").unwrap().resolve(&d), Some(&Value::from("bar")));
-        assert_eq!(Pointer::parse("/").unwrap().resolve(&d), Some(&Value::Int(0)));
-        assert_eq!(Pointer::parse("/a~1b").unwrap().resolve(&d), Some(&Value::Int(1)));
-        assert_eq!(Pointer::parse("/m~0n").unwrap().resolve(&d), Some(&Value::Int(8)));
+        assert_eq!(
+            Pointer::parse("/foo/0").unwrap().resolve(&d),
+            Some(&Value::from("bar"))
+        );
+        assert_eq!(
+            Pointer::parse("/").unwrap().resolve(&d),
+            Some(&Value::Int(0))
+        );
+        assert_eq!(
+            Pointer::parse("/a~1b").unwrap().resolve(&d),
+            Some(&Value::Int(1))
+        );
+        assert_eq!(
+            Pointer::parse("/m~0n").unwrap().resolve(&d),
+            Some(&Value::Int(8))
+        );
     }
 
     #[test]
@@ -146,8 +160,16 @@ mod tests {
         assert_eq!(Pointer::parse("/nope").unwrap().resolve(&d), None);
         assert_eq!(Pointer::parse("/foo/7").unwrap().resolve(&d), None);
         assert_eq!(Pointer::parse("/foo/-").unwrap().resolve(&d), None);
-        assert_eq!(Pointer::parse("/foo/01").unwrap().resolve(&d), None, "leading zero");
-        assert_eq!(Pointer::parse("/foo/bar/x").unwrap().resolve(&d), None, "through scalar");
+        assert_eq!(
+            Pointer::parse("/foo/01").unwrap().resolve(&d),
+            None,
+            "leading zero"
+        );
+        assert_eq!(
+            Pointer::parse("/foo/bar/x").unwrap().resolve(&d),
+            None,
+            "through scalar"
+        );
     }
 
     #[test]

@@ -61,7 +61,14 @@ impl KvNamespace {
             Some(e) => e.version + 1,
             None => 1,
         };
-        self.entries.insert(key, Entry { value, version, expires_at });
+        self.entries.insert(
+            key,
+            Entry {
+                value,
+                version,
+                expires_at,
+            },
+        );
         version
     }
 
@@ -99,7 +106,10 @@ impl KvNamespace {
 
     /// Number of live entries. O(n) because expiry is lazy.
     pub fn len(&self) -> usize {
-        self.entries.values().filter(|e| self.live(e).is_some()).count()
+        self.entries
+            .values()
+            .filter(|e| self.live(e).is_some())
+            .count()
     }
 
     /// True when no live entries exist.
@@ -109,18 +119,26 @@ impl KvNamespace {
 
     /// Iterate live `(key, entry)` pairs in key order.
     pub fn scan(&self) -> impl Iterator<Item = (&Key, &Entry)> {
-        self.entries.iter().filter_map(|(k, e)| self.live(e).map(|e| (k, e)))
+        self.entries
+            .iter()
+            .filter_map(|(k, e)| self.live(e).map(|e| (k, e)))
     }
 
     /// Iterate live entries whose *string* keys start with `prefix`.
-    pub fn scan_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a Key, &'a Entry)> + 'a {
-        self.scan().filter(move |(k, _)| {
-            k.value().as_str().is_some_and(|s| s.starts_with(prefix))
-        })
+    pub fn scan_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a Key, &'a Entry)> + 'a {
+        self.scan()
+            .filter(move |(k, _)| k.value().as_str().is_some_and(|s| s.starts_with(prefix)))
     }
 
     /// Iterate live entries with keys in `[lo, hi)` order.
-    pub fn scan_range<'a>(&'a self, lo: &Key, hi: &Key) -> impl Iterator<Item = (&'a Key, &'a Entry)> + 'a {
+    pub fn scan_range<'a>(
+        &'a self,
+        lo: &Key,
+        hi: &Key,
+    ) -> impl Iterator<Item = (&'a Key, &'a Entry)> + 'a {
         self.entries
             .range(lo.clone()..hi.clone())
             .filter_map(|(k, e)| self.live(e).map(|e| (k, e)))
@@ -183,7 +201,11 @@ mod tests {
         let mut ns = KvNamespace::new();
         assert_eq!(ns.put(Key::str("a"), Value::Int(1)), 1);
         assert_eq!(ns.get_value(&Key::str("a")), Some(&Value::Int(1)));
-        assert_eq!(ns.put(Key::str("a"), Value::Int(2)), 2, "overwrite bumps version");
+        assert_eq!(
+            ns.put(Key::str("a"), Value::Int(2)),
+            2,
+            "overwrite bumps version"
+        );
         assert_eq!(ns.delete(&Key::str("a")), Some(Value::Int(2)));
         assert_eq!(ns.delete(&Key::str("a")), None);
         assert!(ns.is_empty());
@@ -192,8 +214,15 @@ mod tests {
     #[test]
     fn cas_succeeds_only_on_matching_version() {
         let mut ns = KvNamespace::new();
-        assert_eq!(ns.cas(Key::str("k"), Value::Int(1), 0).unwrap(), 1, "create via cas(0)");
-        assert!(ns.cas(Key::str("k"), Value::Int(2), 0).is_err(), "stale create");
+        assert_eq!(
+            ns.cas(Key::str("k"), Value::Int(1), 0).unwrap(),
+            1,
+            "create via cas(0)"
+        );
+        assert!(
+            ns.cas(Key::str("k"), Value::Int(2), 0).is_err(),
+            "stale create"
+        );
         assert_eq!(ns.cas(Key::str("k"), Value::Int(2), 1).unwrap(), 2);
         let err = ns.cas(Key::str("k"), Value::Int(3), 1).unwrap_err();
         assert!(err.is_retryable());
@@ -221,7 +250,11 @@ mod tests {
         let mut ns = KvNamespace::new();
         ns.put_with_ttl(Key::str("tmp"), Value::Int(1), Some(1));
         ns.tick(1);
-        assert_eq!(ns.delete(&Key::str("tmp")), None, "expired value is not observable");
+        assert_eq!(
+            ns.delete(&Key::str("tmp")),
+            None,
+            "expired value is not observable"
+        );
         assert!(ns.get(&Key::str("tmp")).is_none());
     }
 
@@ -237,7 +270,12 @@ mod tests {
     #[test]
     fn prefix_and_range_scans() {
         let mut ns = KvNamespace::new();
-        for (k, v) in [("fb:p1:u1", 5), ("fb:p1:u2", 4), ("fb:p2:u1", 3), ("other", 1)] {
+        for (k, v) in [
+            ("fb:p1:u1", 5),
+            ("fb:p1:u2", 4),
+            ("fb:p2:u1", 3),
+            ("other", 1),
+        ] {
             ns.put(Key::str(k), Value::Int(v));
         }
         let p1: Vec<&Key> = ns.scan_prefix("fb:p1:").map(|(k, _)| k).collect();
@@ -264,11 +302,18 @@ mod tests {
     #[test]
     fn store_namespaces_are_independent() {
         let mut store = KvStore::new();
-        store.namespace("feedback").put(Key::str("x"), Value::Int(1));
-        store.namespace("sessions").put(Key::str("x"), Value::Int(2));
+        store
+            .namespace("feedback")
+            .put(Key::str("x"), Value::Int(1));
+        store
+            .namespace("sessions")
+            .put(Key::str("x"), Value::Int(2));
         assert_eq!(store.names(), vec!["feedback", "sessions"]);
         assert_eq!(
-            store.get_namespace("feedback").unwrap().get_value(&Key::str("x")),
+            store
+                .get_namespace("feedback")
+                .unwrap()
+                .get_value(&Key::str("x")),
             Some(&Value::Int(1))
         );
         assert_eq!(store.total_entries(), 2);

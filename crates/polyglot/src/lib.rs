@@ -41,15 +41,19 @@ mod equivalence {
 
     #[test]
     fn polyglot_matches_unified_engine_on_the_whole_workload() {
-        let cfg = GenConfig { scale_factor: 0.02, ..Default::default() };
+        let cfg = GenConfig {
+            scale_factor: 0.02,
+            ..Default::default()
+        };
         let (engine, data) = build_engine(&cfg).unwrap();
         let db = PolyglotDb::new();
         load_into_polyglot(&db, &data).unwrap();
 
         for which in 1..=3u64 {
             let params = workload::QueryParams::draw(&data, which);
-            for q in workload::queries(&params) {
-                let unified = udbms_query::run(&engine, Isolation::Snapshot, &q.mmql)
+            for (q, bound) in workload::bound_queries(&params).unwrap() {
+                let unified = engine
+                    .run(Isolation::Snapshot, |t| bound.execute(t))
                     .unwrap_or_else(|e| panic!("{} (engine): {e}", q.id));
                 let poly = run_query(&db, q.id, &params)
                     .unwrap_or_else(|e| panic!("{} (polyglot): {e}", q.id));
@@ -66,32 +70,45 @@ mod equivalence {
 
     #[test]
     fn order_update_semantics_agree() {
-        let cfg = GenConfig { scale_factor: 0.01, ..Default::default() };
+        let cfg = GenConfig {
+            scale_factor: 0.01,
+            ..Default::default()
+        };
         let (engine, data) = build_engine(&cfg).unwrap();
         let db = PolyglotDb::new();
         load_into_polyglot(&db, &data).unwrap();
 
         let okey = udbms_core::Key::str(data.orders[0].get_field("_id").as_str().unwrap());
         engine
-            .run(Isolation::Snapshot, |t| udbms_datagen::workload::order_update(t, &okey))
+            .run(Isolation::Snapshot, |t| {
+                udbms_datagen::workload::order_update(t, &okey)
+            })
             .unwrap();
         order_update_polyglot(&db, &okey).unwrap();
 
         // both subjects end with the same order status and product stocks
         let engine_order = engine
-            .run(Isolation::Snapshot, |t| Ok(t.get("orders", &okey)?.unwrap()))
+            .run(Isolation::Snapshot, |t| {
+                Ok(t.get("orders", &okey)?.unwrap())
+            })
             .unwrap();
         let poly_order = {
             let docs = db.documents.lock();
             json_hop(docs.get_collection("orders").unwrap().get(&okey).unwrap())
         };
-        assert_eq!(engine_order.get_field("status"), poly_order.get_field("status"));
+        assert_eq!(
+            engine_order.get_field("status"),
+            poly_order.get_field("status")
+        );
         for item in engine_order.get_field("items").as_array().unwrap() {
             let pid = item.get_field("product").as_str().unwrap();
             let pkey = udbms_core::Key::str(pid);
             let engine_stock = engine
                 .run(Isolation::Snapshot, |t| {
-                    Ok(t.get("products", &pkey)?.unwrap().get_field("stock").clone())
+                    Ok(t.get("products", &pkey)?
+                        .unwrap()
+                        .get_field("stock")
+                        .clone())
                 })
                 .unwrap();
             let poly_stock = {

@@ -15,10 +15,14 @@ pub fn load_into_polyglot(db: &PolyglotDb, data: &Dataset) -> Result<usize> {
     {
         let mut rel = db.relational.lock();
         let schemas = udbms_datagen::schemas();
-        let customers_schema =
-            schemas.iter().find(|s| s.name == "customers").expect("canonical schema").clone();
+        let customers_schema = schemas
+            .iter()
+            .find(|s| s.name == "customers")
+            .expect("canonical schema")
+            .clone();
         rel.create_table(customers_schema)?;
-        rel.table_mut("customers")?.create_index("country", IndexKind::Hash)?;
+        rel.table_mut("customers")?
+            .create_index("country", IndexKind::Hash)?;
         for c in &data.customers {
             rel.insert("customers", json_hop(c))?;
             written += 1;
@@ -73,7 +77,12 @@ pub fn load_into_polyglot(db: &PolyglotDb, data: &Dataset) -> Result<usize> {
             written += 1;
         }
         for (cust, pid) in &data.bought {
-            graph.add_edge(Key::int(*cust), Key::str(pid.clone()), "bought", Value::Null)?;
+            graph.add_edge(
+                Key::int(*cust),
+                Key::str(pid.clone()),
+                "bought",
+                Value::Null,
+            )?;
             written += 1;
         }
     }
@@ -102,8 +111,11 @@ mod tests {
 
     #[test]
     fn loads_every_model() {
-        let (db, data) =
-            build_polyglot(&GenConfig { scale_factor: 0.02, ..Default::default() }).unwrap();
+        let (db, data) = build_polyglot(&GenConfig {
+            scale_factor: 0.02,
+            ..Default::default()
+        })
+        .unwrap();
         assert_eq!(db.relational.lock().total_rows(), data.customers.len());
         assert_eq!(
             db.documents.lock().total_docs(),
@@ -114,7 +126,10 @@ mod tests {
             db.graph.lock().vertex_count(),
             data.customers.len() + data.products.len()
         );
-        assert_eq!(db.graph.lock().edge_count(), data.knows.len() + data.bought.len());
+        assert_eq!(
+            db.graph.lock().edge_count(),
+            data.knows.len() + data.bought.len()
+        );
         assert_eq!(db.xml.lock().len(), data.invoices.len());
     }
 }

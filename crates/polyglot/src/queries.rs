@@ -89,7 +89,9 @@ pub fn q3(db: &PolyglotDb, p: &QueryParams) -> Result<Vec<Value>> {
     let orders = docs.get_collection("orders")?;
     let mut seen = Vec::new();
     for friend in friends {
-        let Some(cid) = friend.value().as_int() else { continue };
+        let Some(cid) = friend.value().as_int() else {
+            continue;
+        };
         for o in orders.find(&Predicate::eq("customer", Value::Int(cid))) {
             let o = json_hop(&o);
             if let Some(items) = o.get_field("items").as_array() {
@@ -170,9 +172,10 @@ pub fn q6(db: &PolyglotDb, _p: &QueryParams) -> Result<Vec<Value>> {
         let docs = db.documents.lock();
         for o in docs.get_collection("orders")?.scan() {
             let o = json_hop(o);
-            if let (Some(c), Some(t)) =
-                (o.get_field("customer").as_int(), o.get_field("total").as_float())
-            {
+            if let (Some(c), Some(t)) = (
+                o.get_field("customer").as_int(),
+                o.get_field("total").as_float(),
+            ) {
                 *spend.entry(c).or_insert(0.0) += t;
             }
         }
@@ -204,13 +207,21 @@ pub fn q7(db: &PolyglotDb, p: &QueryParams) -> Result<Vec<Value>> {
     };
     let mut fof = {
         let graph = db.graph.lock();
-        k_hop_neighbors(&graph, &Key::int(p.customer), 2, Direction::Out, Some("knows"))
+        k_hop_neighbors(
+            &graph,
+            &Key::int(p.customer),
+            2,
+            Direction::Out,
+            Some("knows"),
+        )
     };
     fof.sort();
     let rel = db.relational.lock();
     let mut out = Vec::new();
     for k in fof {
-        let Some(id) = k.value().as_int() else { continue };
+        let Some(id) = k.value().as_int() else {
+            continue;
+        };
         if let Some(c) = rel.get("customers", &Key::int(id))? {
             let c = json_hop(&c);
             if c.get_field("country") == &my_country {
@@ -233,7 +244,8 @@ pub fn q8(db: &PolyglotDb, p: &QueryParams) -> Result<Vec<Value>> {
     let customer_id = order.get_field("customer").expect_int("order customer")?;
     let customer = {
         let rel = db.relational.lock();
-        rel.get("customers", &Key::int(customer_id))?.map(|c| json_hop(&c))
+        rel.get("customers", &Key::int(customer_id))?
+            .map(|c| json_hop(&c))
     };
     let invoiced = {
         let xml = db.xml.lock();
@@ -262,7 +274,9 @@ pub fn q8(db: &PolyglotDb, p: &QueryParams) -> Result<Vec<Value>> {
     };
     let friends = {
         let graph = db.graph.lock();
-        graph.neighbors(&Key::int(customer_id), Direction::Out, Some("knows")).len()
+        graph
+            .neighbors(&Key::int(customer_id), Direction::Out, Some("knows"))
+            .len()
     };
     Ok(vec![obj! {
         "order" => order.get_field("_id").clone(),
@@ -299,17 +313,24 @@ pub fn q9(db: &PolyglotDb, p: &QueryParams) -> Result<Vec<Value>> {
 pub fn q10(db: &PolyglotDb, p: &QueryParams) -> Result<Vec<Value>> {
     let customers: Vec<Value> = {
         let rel = db.relational.lock();
-        rel.select("customers", &Predicate::eq("country", Value::from(p.country.clone())))?
-            .iter()
-            .map(json_hop)
-            .collect()
+        rel.select(
+            "customers",
+            &Predicate::eq("country", Value::from(p.country.clone())),
+        )?
+        .iter()
+        .map(json_hop)
+        .collect()
     };
     let docs = db.documents.lock();
     let orders = docs.get_collection("orders")?;
     let mut out = Vec::new();
     for c in customers {
-        let Some(id) = c.get_field("id").as_int() else { continue };
-        let n = orders.find(&Predicate::eq("customer", Value::Int(id))).len();
+        let Some(id) = c.get_field("id").as_int() else {
+            continue;
+        };
+        let n = orders
+            .find(&Predicate::eq("customer", Value::Int(id)))
+            .len();
         if n == 0 {
             out.push(Value::Int(id));
         }
@@ -347,10 +368,9 @@ pub fn order_update_polyglot(db: &PolyglotDb, order_key: &Key) -> Result<()> {
                     .get(&pkey)
                     .map(|p| json_hop(p).get_field("stock").as_int().unwrap_or(0));
                 if let Some(stock) = stock {
-                    s.documents.collection("products").merge(
-                        &pkey,
-                        json_hop(&obj! {"stock" => (stock - qty).max(0)}),
-                    )?;
+                    s.documents
+                        .collection("products")
+                        .merge(&pkey, json_hop(&obj! {"stock" => (stock - qty).max(0)}))?;
                 }
                 s.kv.namespace("feedback").put(
                     Key::str(udbms_datagen::feedback_key(pid, customer)),
@@ -388,8 +408,11 @@ mod tests {
     use udbms_datagen::GenConfig;
 
     fn setup() -> (PolyglotDb, udbms_datagen::Dataset, QueryParams) {
-        let (db, data) =
-            build_polyglot(&GenConfig { scale_factor: 0.02, ..Default::default() }).unwrap();
+        let (db, data) = build_polyglot(&GenConfig {
+            scale_factor: 0.02,
+            ..Default::default()
+        })
+        .unwrap();
         let params = QueryParams::draw(&data, 1);
         (db, data, params)
     }
@@ -416,7 +439,9 @@ mod tests {
         let (db, _, params) = setup();
         let out = q8(&db, &params).unwrap();
         assert_eq!(out.len(), 1);
-        for f in ["order", "customer", "country", "invoiced", "items", "ratings", "friends"] {
+        for f in [
+            "order", "customer", "country", "invoiced", "items", "ratings", "friends",
+        ] {
             assert!(
                 out[0].as_object().unwrap().contains_key(f),
                 "missing field {f}: {}",

@@ -89,8 +89,14 @@ mod tests {
         let db = PolyglotDb::new();
         // hold the relational lock; the kv store must stay accessible
         let _rel = db.relational.lock();
-        db.kv.lock().namespace("fb").put(Key::str("k"), Value::Int(1));
-        assert_eq!(db.kv.lock().namespace("fb").get_value(&Key::str("k")), Some(&Value::Int(1)));
+        db.kv
+            .lock()
+            .namespace("fb")
+            .put(Key::str("k"), Value::Int(1));
+        assert_eq!(
+            db.kv.lock().namespace("fb").get_value(&Key::str("k")),
+            Some(&Value::Int(1))
+        );
     }
 
     #[test]
@@ -106,7 +112,9 @@ mod tests {
             .unwrap();
         db.transact(|s| {
             s.relational.insert("customers", obj! {"id" => 1})?;
-            s.documents.collection("orders").insert(obj! {"_id" => "o1"})?;
+            s.documents
+                .collection("orders")
+                .insert(obj! {"_id" => "o1"})?;
             s.kv.namespace("fb").put(Key::str("f1"), Value::Int(5));
             s.graph.add_vertex(Key::int(1), "customer", Value::Null)?;
             s.xml.insert(Key::str("i1"), XmlNode::element("Invoice"));

@@ -198,6 +198,17 @@ pub enum UnOp {
 pub enum Expr {
     /// Literal value.
     Literal(Value),
+    /// Bind parameter (`@name`), replaced by a literal when the statement
+    /// is bound against a [`udbms_core::Params`] set. The source position
+    /// is kept so missing-parameter errors can point at the reference.
+    Param {
+        /// Parameter name (without the `@`).
+        name: String,
+        /// Source line of the `@`.
+        line: usize,
+        /// Source column of the `@`.
+        col: usize,
+    },
     /// Variable reference.
     Var(String),
     /// Member access chain rooted at an expression.
@@ -255,7 +266,9 @@ impl Expr {
         match self {
             Expr::Var(v) => Some((v, udbms_core::FieldPath::root())),
             Expr::Member { base, steps } => {
-                let Expr::Var(v) = base.as_ref() else { return None };
+                let Expr::Var(v) = base.as_ref() else {
+                    return None;
+                };
                 let mut path = udbms_core::FieldPath::root();
                 for s in steps {
                     match s {
@@ -318,7 +331,10 @@ mod tests {
             base: Box::new(Expr::Var("o".into())),
             steps: vec![MemberStep::Index(Box::new(Expr::Var("i".into())))],
         };
-        assert!(dynamic.as_var_path().is_none(), "dynamic index defeats pushdown");
+        assert!(
+            dynamic.as_var_path().is_none(),
+            "dynamic index defeats pushdown"
+        );
     }
 
     #[test]

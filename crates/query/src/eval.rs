@@ -24,7 +24,11 @@ impl Env {
 
     /// Look up a variable (innermost binding wins).
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.vars.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 
     /// Bind (or shadow) a variable, builder-style.
@@ -65,9 +69,17 @@ pub fn eval_const(expr: &Expr) -> Option<Value> {
 fn eval_pure(expr: &Expr) -> Result<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
-        Expr::Array(items) => {
-            items.iter().map(eval_pure).collect::<Result<Vec<_>>>().map(Value::Array)
-        }
+        Expr::Param { name, line, col } => Err(Error::parse(
+            "mmql",
+            *line,
+            *col,
+            format!("unbound parameter `@{name}`"),
+        )),
+        Expr::Array(items) => items
+            .iter()
+            .map(eval_pure)
+            .collect::<Result<Vec<_>>>()
+            .map(Value::Array),
         Expr::Object(fields) => {
             let mut m = BTreeMap::new();
             for (k, e) in fields {
@@ -87,7 +99,9 @@ fn eval_pure(expr: &Expr) -> Result<Value> {
             let r = eval_pure(rhs)?;
             apply_binary(*op, l, r)
         }
-        _ => Err(Error::Invalid("non-constant expression in constant context".into())),
+        _ => Err(Error::Invalid(
+            "non-constant expression in constant context".into(),
+        )),
     }
 }
 
@@ -96,6 +110,12 @@ fn eval_pure(expr: &Expr) -> Result<Value> {
 pub fn eval(expr: &Expr, env: &Env, txn: &mut Txn) -> Result<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
+        Expr::Param { name, line, col } => Err(Error::parse(
+            "mmql",
+            *line,
+            *col,
+            format!("unbound parameter `@{name}` (execute with Params or bind first)"),
+        )),
         Expr::Var(name) => env
             .get(name)
             .cloned()
@@ -225,7 +245,12 @@ fn apply_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
                     Value::Int(a.rem_euclid(*b))
                 }
             }
-            _ => return Err(Error::type_err("integers (%)", format!("{} % {}", l.type_name(), r.type_name()))),
+            _ => {
+                return Err(Error::type_err(
+                    "integers (%)",
+                    format!("{} % {}", l.type_name(), r.type_name()),
+                ))
+            }
         },
     })
 }
@@ -249,7 +274,9 @@ fn numeric_op(l: &Value, r: &Value, name: &str, f: impl Fn(f64, f64) -> f64) -> 
 fn call_function(name: &str, args: &[Expr], env: &Env, txn: &mut Txn) -> Result<Value> {
     let argc = args.len();
     let wrong_arity = |want: &str| {
-        Err(Error::Invalid(format!("{name}() expects {want} argument(s), got {argc}")))
+        Err(Error::Invalid(format!(
+            "{name}() expects {want} argument(s), got {argc}"
+        )))
     };
     let mut vals: Vec<Value> = Vec::with_capacity(argc);
     for a in args {
@@ -281,13 +308,21 @@ fn call_function(name: &str, args: &[Expr], env: &Env, txn: &mut Txn) -> Result<
             if argc != 1 {
                 return wrong_arity("1");
             }
-            Ok(vals[0].as_array().and_then(|a| a.first()).cloned().unwrap_or(Value::Null))
+            Ok(vals[0]
+                .as_array()
+                .and_then(|a| a.first())
+                .cloned()
+                .unwrap_or(Value::Null))
         }
         "LAST" => {
             if argc != 1 {
                 return wrong_arity("1");
             }
-            Ok(vals[0].as_array().and_then(|a| a.last()).cloned().unwrap_or(Value::Null))
+            Ok(vals[0]
+                .as_array()
+                .and_then(|a| a.last())
+                .cloned()
+                .unwrap_or(Value::Null))
         }
         "UNIQUE" => {
             if argc != 1 {
@@ -347,7 +382,11 @@ fn call_function(name: &str, args: &[Expr], env: &Env, txn: &mut Txn) -> Result<
                 return wrong_arity("1");
             }
             let s = vals[0].expect_str(name)?;
-            Ok(Value::Str(if name == "UPPER" { s.to_uppercase() } else { s.to_lowercase() }))
+            Ok(Value::Str(if name == "UPPER" {
+                s.to_uppercase()
+            } else {
+                s.to_lowercase()
+            }))
         }
         "SUBSTRING" => {
             if !(2..=3).contains(&argc) {
@@ -405,13 +444,20 @@ fn call_function(name: &str, args: &[Expr], env: &Env, txn: &mut Txn) -> Result<
                 Value::Float(f) => Value::Float(*f),
                 Value::Str(s) => match s.trim().parse::<i64>() {
                     Ok(i) => Value::Int(i),
-                    Err(_) => s.trim().parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
+                    Err(_) => s
+                        .trim()
+                        .parse::<f64>()
+                        .map(Value::Float)
+                        .unwrap_or(Value::Null),
                 },
                 Value::Bool(b) => Value::Int(i64::from(*b)),
                 _ => Value::Null,
             })
         }
-        "COALESCE" | "NOT_NULL" => Ok(vals.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null)),
+        "COALESCE" | "NOT_NULL" => Ok(vals
+            .into_iter()
+            .find(|v| !v.is_null())
+            .unwrap_or(Value::Null)),
         "MERGE" => {
             if argc != 2 {
                 return wrong_arity("2");
@@ -425,7 +471,9 @@ fn call_function(name: &str, args: &[Expr], env: &Env, txn: &mut Txn) -> Result<
                 return wrong_arity("1");
             }
             let obj = vals[0].expect_object("KEYS")?;
-            Ok(Value::Array(obj.keys().map(|k| Value::from(k.clone())).collect()))
+            Ok(Value::Array(
+                obj.keys().map(|k| Value::from(k.clone())).collect(),
+            ))
         }
         "VALUES" => {
             if argc != 1 {
@@ -439,7 +487,9 @@ fn call_function(name: &str, args: &[Expr], env: &Env, txn: &mut Txn) -> Result<
                 return wrong_arity("2");
             }
             let obj = vals[0].expect_object("HAS")?;
-            Ok(Value::Bool(obj.contains_key(vals[1].expect_str("HAS key")?)))
+            Ok(Value::Bool(
+                obj.contains_key(vals[1].expect_str("HAS key")?),
+            ))
         }
         "RANGE" => {
             if argc != 2 {
@@ -463,7 +513,10 @@ fn call_function(name: &str, args: &[Expr], env: &Env, txn: &mut Txn) -> Result<
             }
             let graph = vals[0].expect_str("NEIGHBORS graph")?.to_string();
             let key = Key::new(vals[1].clone())?;
-            let dir = match vals[2].expect_str("NEIGHBORS direction")?.to_ascii_uppercase().as_str()
+            let dir = match vals[2]
+                .expect_str("NEIGHBORS direction")?
+                .to_ascii_uppercase()
+                .as_str()
             {
                 "OUT" | "OUTBOUND" => Direction::Out,
                 "IN" | "INBOUND" => Direction::In,
@@ -476,7 +529,9 @@ fn call_function(name: &str, args: &[Expr], env: &Env, txn: &mut Txn) -> Result<
                 Some(other) => return Err(Error::type_err("Str (label)", other.type_name())),
             };
             let keys = txn.neighbors(&graph, &key, dir, label.as_deref())?;
-            Ok(Value::Array(keys.into_iter().map(Key::into_value).collect()))
+            Ok(Value::Array(
+                keys.into_iter().map(Key::into_value).collect(),
+            ))
         }
         "XPATH" => {
             if argc != 2 {
@@ -500,7 +555,11 @@ fn call_function(name: &str, args: &[Expr], env: &Env, txn: &mut Txn) -> Result<
                 return Ok(Value::Null);
             }
             let node = udbms_xml::value_to_xml(&vals[0])?;
-            Ok(compiled.values(&node).into_iter().next().unwrap_or(Value::Null))
+            Ok(compiled
+                .values(&node)
+                .into_iter()
+                .next()
+                .unwrap_or(Value::Null))
         }
         other => Err(Error::NotFound(format!("function `{other}`"))),
     }
@@ -518,14 +577,27 @@ pub fn aggregate_array(func: &str, items: &[Value]) -> Value {
             let sum: f64 = nums.iter().sum();
             if func == "AVG" {
                 Value::Float(sum / nums.len() as f64)
-            } else if items.iter().all(|v| matches!(v, Value::Int(_) | Value::Null)) {
+            } else if items
+                .iter()
+                .all(|v| matches!(v, Value::Int(_) | Value::Null))
+            {
                 Value::Int(sum as i64)
             } else {
                 Value::Float(sum)
             }
         }
-        "MIN" => items.iter().filter(|v| !v.is_null()).min().cloned().unwrap_or(Value::Null),
-        "MAX" => items.iter().filter(|v| !v.is_null()).max().cloned().unwrap_or(Value::Null),
+        "MIN" => items
+            .iter()
+            .filter(|v| !v.is_null())
+            .min()
+            .cloned()
+            .unwrap_or(Value::Null),
+        "MAX" => items
+            .iter()
+            .filter(|v| !v.is_null())
+            .max()
+            .cloned()
+            .unwrap_or(Value::Null),
         _ => Value::Int(items.len() as i64),
     }
 }
@@ -539,10 +611,14 @@ mod tests {
 
     fn eval_str(src: &str) -> Value {
         let engine = Engine::new();
-        engine.create_collection(CollectionSchema::key_value("kv")).unwrap();
+        engine
+            .create_collection(CollectionSchema::key_value("kv"))
+            .unwrap();
         let mut txn = engine.begin(Isolation::Snapshot);
         let stmt = parser::parse(&format!("RETURN {src}")).unwrap();
-        let crate::ast::Statement::Query(body) = stmt else { panic!() };
+        let crate::ast::Statement::Query(body) = stmt else {
+            panic!()
+        };
         eval(&body.ret, &Env::new(), &mut txn).unwrap()
     }
 
@@ -562,7 +638,11 @@ mod tests {
     #[test]
     fn comparisons_and_logic() {
         assert_eq!(eval_str("1 < 2 AND 2 < 3"), Value::Bool(true));
-        assert_eq!(eval_str("1 == 1.0"), Value::Bool(true), "canonical equality");
+        assert_eq!(
+            eval_str("1 == 1.0"),
+            Value::Bool(true),
+            "canonical equality"
+        );
         assert_eq!(eval_str("NOT NULL"), Value::Bool(true));
         assert_eq!(eval_str("FALSE OR 5"), Value::Bool(true), "truthiness");
         assert_eq!(eval_str("2 IN [1, 2]"), Value::Bool(true));
@@ -589,7 +669,11 @@ mod tests {
     #[test]
     fn array_functions() {
         assert_eq!(eval_str("LENGTH([1, 2, 3])"), Value::Int(3));
-        assert_eq!(eval_str("LENGTH(\"häh\")"), Value::Int(3), "chars, not bytes");
+        assert_eq!(
+            eval_str("LENGTH(\"häh\")"),
+            Value::Int(3),
+            "chars, not bytes"
+        );
         assert_eq!(eval_str("SUM([1, 2, 3])"), Value::Int(6));
         assert_eq!(eval_str("SUM([1.5, 2.5])"), Value::Float(4.0));
         assert_eq!(eval_str("AVG([1, 2, 3])"), Value::Float(2.0));
@@ -606,7 +690,10 @@ mod tests {
 
     #[test]
     fn string_functions() {
-        assert_eq!(eval_str("CONCAT(\"a\", 1, NULL, \"b\")"), Value::from("a1b"));
+        assert_eq!(
+            eval_str("CONCAT(\"a\", 1, NULL, \"b\")"),
+            Value::from("a1b")
+        );
         assert_eq!(eval_str("UPPER(\"abc\")"), Value::from("ABC"));
         assert_eq!(eval_str("LOWER(\"ABC\")"), Value::from("abc"));
         assert_eq!(eval_str("SUBSTRING(\"hello\", 1, 3)"), Value::from("ell"));
@@ -635,14 +722,18 @@ mod tests {
     #[test]
     fn xpath_function_on_bridge_value() {
         let engine = Engine::new();
-        engine.create_collection(CollectionSchema::xml("inv")).unwrap();
+        engine
+            .create_collection(CollectionSchema::xml("inv"))
+            .unwrap();
         let mut txn = engine.begin(Isolation::Snapshot);
-        txn.put_xml("inv", Key::int(1), "<Invoice><Total>9.50</Total></Invoice>").unwrap();
-        let stmt = parser::parse(
-            "RETURN XPATH_FIRST(DOCUMENT(\"inv\", 1), \"/Invoice/Total/text()\")",
-        )
-        .unwrap();
-        let crate::ast::Statement::Query(body) = stmt else { panic!() };
+        txn.put_xml("inv", Key::int(1), "<Invoice><Total>9.50</Total></Invoice>")
+            .unwrap();
+        let stmt =
+            parser::parse("RETURN XPATH_FIRST(DOCUMENT(\"inv\", 1), \"/Invoice/Total/text()\")")
+                .unwrap();
+        let crate::ast::Statement::Query(body) = stmt else {
+            panic!()
+        };
         let out = eval(&body.ret, &Env::new(), &mut txn).unwrap();
         assert_eq!(out, Value::from("9.50"));
     }
@@ -652,11 +743,15 @@ mod tests {
         let engine = Engine::new();
         let mut txn = engine.begin(Isolation::Snapshot);
         let bad = parser::parse("RETURN NO_SUCH_FN(1)").unwrap();
-        let crate::ast::Statement::Query(body) = bad else { panic!() };
+        let crate::ast::Statement::Query(body) = bad else {
+            panic!()
+        };
         assert!(eval(&body.ret, &Env::new(), &mut txn).is_err());
 
         let bad = parser::parse("RETURN LENGTH(1, 2)").unwrap();
-        let crate::ast::Statement::Query(body) = bad else { panic!() };
+        let crate::ast::Statement::Query(body) = bad else {
+            panic!()
+        };
         assert!(eval(&body.ret, &Env::new(), &mut txn).is_err());
     }
 
@@ -671,10 +766,14 @@ mod tests {
     #[test]
     fn const_folding() {
         let stmt = parser::parse("RETURN 1 + 2 * 3").unwrap();
-        let crate::ast::Statement::Query(body) = stmt else { panic!() };
+        let crate::ast::Statement::Query(body) = stmt else {
+            panic!()
+        };
         assert_eq!(eval_const(&body.ret), Some(Value::Int(7)));
         let stmt = parser::parse("RETURN x + 1").unwrap();
-        let crate::ast::Statement::Query(body) = stmt else { panic!() };
+        let crate::ast::Statement::Query(body) = stmt else {
+            panic!()
+        };
         assert_eq!(eval_const(&body.ret), None);
     }
 }

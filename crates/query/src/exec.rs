@@ -19,7 +19,11 @@ pub fn execute(stmt: &Statement, txn: &mut Txn) -> Result<Vec<Value>> {
             let key = txn.insert(collection, v)?;
             Ok(vec![key.into_value()])
         }
-        Statement::Update { key, patch, collection } => {
+        Statement::Update {
+            key,
+            patch,
+            collection,
+        } => {
             let k = Key::new(eval(key, &Env::new(), txn)?)?;
             let p = eval(patch, &Env::new(), txn)?;
             txn.merge(collection, &k, p)?;
@@ -77,7 +81,9 @@ pub fn run_body(body: &QueryBody, base: &Env, txn: &mut Txn) -> Result<Vec<Value
                 let mut next = Vec::new();
                 for env in &rows {
                     let items = if name_is_var {
-                        let Source::Collection(name) = source else { unreachable!() };
+                        let Source::Collection(name) = source else {
+                            unreachable!()
+                        };
                         match env.get(name).cloned().unwrap_or(Value::Null) {
                             Value::Array(items) => items,
                             Value::Null => Vec::new(),
@@ -93,12 +99,11 @@ pub fn run_body(body: &QueryBody, base: &Env, txn: &mut Txn) -> Result<Vec<Value
                         let bound: Option<Predicate> = if dynamic.is_empty() {
                             pushed.clone()
                         } else {
-                            let mut parts: Vec<Predicate> =
-                                match &pushed {
-                                    Some(Predicate::And(ps)) => ps.clone(),
-                                    Some(p) => vec![p.clone()],
-                                    None => Vec::new(),
-                                };
+                            let mut parts: Vec<Predicate> = match &pushed {
+                                Some(Predicate::And(ps)) => ps.clone(),
+                                Some(p) => vec![p.clone()],
+                                None => Vec::new(),
+                            };
                             for d in &dynamic {
                                 let rhs = eval(&d.rhs, env, txn)?;
                                 parts.push(d.bind(rhs));
@@ -167,7 +172,11 @@ pub fn run_body(body: &QueryBody, base: &Env, txn: &mut Txn) -> Result<Vec<Value
             Clause::Limit { offset, count } => {
                 rows = rows.into_iter().skip(*offset).take(*count).collect();
             }
-            Clause::Collect { groups, aggregates, into } => {
+            Clause::Collect {
+                groups,
+                aggregates,
+                into,
+            } => {
                 // group key → (group values, member envs)
                 let mut grouped: BTreeMap<Vec<Value>, Vec<Env>> = BTreeMap::new();
                 for env in rows {
@@ -239,12 +248,18 @@ fn source_items(
             Some(pred) => txn.select(name, pred),
             None => Ok(txn.scan(name)?.into_iter().map(|(_, v)| v).collect()),
         },
-        Source::Traversal { min, max, dir, start, graph, label } => {
+        Source::Traversal {
+            min,
+            max,
+            dir,
+            start,
+            graph,
+            label,
+        } => {
             let start_key = Key::new(eval(start, env, txn)?)?;
             // BFS layers 0..=max, then flatten layers min..=max.
             let mut layers: Vec<Vec<Key>> = vec![vec![start_key.clone()]];
-            let mut seen: std::collections::HashSet<Key> =
-                [start_key].into_iter().collect();
+            let mut seen: std::collections::HashSet<Key> = [start_key].into_iter().collect();
             for _ in 0..*max {
                 let mut next = Vec::new();
                 for v in layers.last().expect("layer 0 exists") {
@@ -261,7 +276,9 @@ fn source_items(
             }
             let mut out = Vec::new();
             for depth in *min..=*max {
-                let Some(layer) = layers.get(depth) else { break };
+                let Some(layer) = layers.get(depth) else {
+                    break;
+                };
                 for key in layer {
                     // yield the vertex properties with its key attached
                     let mut v = txn.vertex(graph, key)?.unwrap_or(Value::Null);
@@ -335,12 +352,13 @@ fn rebuild_member_expr(var: &str, path: &udbms_core::FieldPath) -> Expr {
         .iter()
         .map(|s| match s {
             PathStep::Key(k) => MemberStep::Field(k.clone()),
-            PathStep::Index(i) => {
-                MemberStep::Index(Box::new(Expr::Literal(Value::Int(*i as i64))))
-            }
+            PathStep::Index(i) => MemberStep::Index(Box::new(Expr::Literal(Value::Int(*i as i64)))),
         })
         .collect();
-    Expr::Member { base: Box::new(Expr::Var(var.to_string())), steps }
+    Expr::Member {
+        base: Box::new(Expr::Var(var.to_string())),
+        steps,
+    }
 }
 
 /// Full conjunct classification: `(static predicate, dynamic conjuncts,
@@ -373,7 +391,12 @@ fn split_conjuncts(
     dynamic: &mut Vec<DynPred>,
     residual: &mut Vec<Expr>,
 ) {
-    if let Expr::Binary { op: BinOp::And, lhs, rhs } = expr {
+    if let Expr::Binary {
+        op: BinOp::And,
+        lhs,
+        rhs,
+    } = expr
+    {
         split_conjuncts(lhs, var, preds, dynamic, residual);
         split_conjuncts(rhs, var, preds, dynamic, residual);
         return;
@@ -394,18 +417,29 @@ fn to_dynamic(expr: &Expr, var: &str) -> Option<DynPred> {
     let Expr::Binary { op, lhs, rhs } = expr else {
         return None;
     };
-    if !matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
+    if !matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+    ) {
         return None;
     }
     // orient: loop-var path on the left
     if let Some((v, path)) = lhs.as_var_path() {
         if v == var && !path.is_root() && !expr_uses_var(rhs, var) {
-            return Some(DynPred { path, op: *op, rhs: rhs.as_ref().clone() });
+            return Some(DynPred {
+                path,
+                op: *op,
+                rhs: rhs.as_ref().clone(),
+            });
         }
     }
     if let Some((v, path)) = rhs.as_var_path() {
         if v == var && !path.is_root() && !expr_uses_var(lhs, var) {
-            return Some(DynPred { path, op: flip(*op)?, rhs: lhs.as_ref().clone() });
+            return Some(DynPred {
+                path,
+                op: flip(*op)?,
+                rhs: lhs.as_ref().clone(),
+            });
         }
     }
     None
@@ -416,7 +450,7 @@ fn to_dynamic(expr: &Expr, var: &str) -> Option<DynPred> {
 fn expr_uses_var(expr: &Expr, var: &str) -> bool {
     match expr {
         Expr::Var(v) => v == var,
-        Expr::Literal(_) => false,
+        Expr::Literal(_) | Expr::Param { .. } => false,
         Expr::Member { base, steps } => {
             expr_uses_var(base, var)
                 || steps.iter().any(|s| match s {
@@ -440,7 +474,9 @@ fn expr_uses_var(expr: &Expr, var: &str) -> bool {
                 Clause::Let { value, .. } => expr_uses_var(value, var),
                 Clause::Sort { keys } => keys.iter().any(|(e, _)| expr_uses_var(e, var)),
                 Clause::Limit { .. } => false,
-                Clause::Collect { groups, aggregates, .. } => {
+                Clause::Collect {
+                    groups, aggregates, ..
+                } => {
                     groups.iter().any(|(_, e)| expr_uses_var(e, var))
                         || aggregates.iter().any(|(_, _, e)| expr_uses_var(e, var))
                 }
@@ -457,9 +493,7 @@ fn to_predicate(expr: &Expr, var: &str) -> Option<Predicate> {
     let (path, value, op) = match (lhs.as_var_path(), eval_const(rhs)) {
         (Some((v, path)), Some(c)) if v == var && !path.is_root() => (path, c, *op),
         _ => match (rhs.as_var_path(), eval_const(lhs)) {
-            (Some((v, path)), Some(c)) if v == var && !path.is_root() => {
-                (path, c, flip(*op)?)
-            }
+            (Some((v, path)), Some(c)) if v == var && !path.is_root() => (path, c, flip(*op)?),
             _ => return None,
         },
     };
@@ -522,7 +556,14 @@ pub fn explain(stmt: &Statement) -> String {
                     out.push_str(&line);
                     out.push('\n');
                 }
-                Source::Traversal { min, max, dir, graph, label, .. } => {
+                Source::Traversal {
+                    min,
+                    max,
+                    dir,
+                    graph,
+                    label,
+                    ..
+                } => {
                     out.push_str(&format!(
                         "for {var} in traversal {min}..{max} {dir:?} graph `{graph}` label {label:?}\n"
                     ));
@@ -535,7 +576,9 @@ pub fn explain(stmt: &Statement) -> String {
             Clause::Limit { offset, count } => {
                 out.push_str(&format!("limit offset={offset} count={count}\n"))
             }
-            Clause::Collect { groups, aggregates, .. } => out.push_str(&format!(
+            Clause::Collect {
+                groups, aggregates, ..
+            } => out.push_str(&format!(
                 "collect {} group key(s), {} aggregate(s)\n",
                 groups.len(),
                 aggregates.len()
@@ -543,7 +586,11 @@ pub fn explain(stmt: &Statement) -> String {
         }
         i += 1;
     }
-    out.push_str(if body.distinct { "return distinct\n" } else { "return\n" });
+    out.push_str(if body.distinct {
+        "return distinct\n"
+    } else {
+        "return\n"
+    });
     out
 }
 
@@ -558,13 +605,20 @@ mod tests {
             "FOR c IN t FILTER c.country == \"FI\" AND c.score > 3 AND LENGTH(c.tags) > 0 RETURN c",
         )
         .unwrap();
-        let Statement::Query(body) = stmt else { panic!() };
-        let Clause::Filter(f) = &body.clauses[1] else { panic!() };
+        let Statement::Query(body) = stmt else {
+            panic!()
+        };
+        let Clause::Filter(f) = &body.clauses[1] else {
+            panic!()
+        };
         let (pred, residual) = extract_predicate(f, "c");
         match pred.unwrap() {
             Predicate::And(ps) => {
                 assert_eq!(ps.len(), 2);
-                assert_eq!(ps[0], Predicate::Eq(FieldPath::key("country"), Value::from("FI")));
+                assert_eq!(
+                    ps[0],
+                    Predicate::Eq(FieldPath::key("country"), Value::from("FI"))
+                );
                 assert_eq!(ps[1], Predicate::Gt(FieldPath::key("score"), Value::Int(3)));
             }
             other => panic!("{other:?}"),
@@ -575,10 +629,17 @@ mod tests {
     #[test]
     fn reversed_comparisons_flip() {
         let stmt = crate::parser::parse("FOR c IN t FILTER 3 < c.score RETURN c").unwrap();
-        let Statement::Query(body) = stmt else { panic!() };
-        let Clause::Filter(f) = &body.clauses[1] else { panic!() };
+        let Statement::Query(body) = stmt else {
+            panic!()
+        };
+        let Clause::Filter(f) = &body.clauses[1] else {
+            panic!()
+        };
         let (pred, residual) = extract_predicate(f, "c");
-        assert_eq!(pred, Some(Predicate::Gt(FieldPath::key("score"), Value::Int(3))));
+        assert_eq!(
+            pred,
+            Some(Predicate::Gt(FieldPath::key("score"), Value::Int(3)))
+        );
         assert!(residual.is_none());
     }
 
@@ -586,8 +647,12 @@ mod tests {
     fn foreign_variables_stay_residual() {
         let stmt =
             crate::parser::parse("FOR o IN orders FILTER o.customer == c.id RETURN o").unwrap();
-        let Statement::Query(body) = stmt else { panic!() };
-        let Clause::Filter(f) = &body.clauses[1] else { panic!() };
+        let Statement::Query(body) = stmt else {
+            panic!()
+        };
+        let Clause::Filter(f) = &body.clauses[1] else {
+            panic!()
+        };
         let (pred, residual) = extract_predicate(f, "o");
         assert!(pred.is_none(), "c.id is not constant");
         assert!(residual.is_some());
@@ -599,8 +664,12 @@ mod tests {
             "FOR c IN t FILTER c.country IN [\"FI\", \"SE\"] AND c.name LIKE \"A%\" RETURN c",
         )
         .unwrap();
-        let Statement::Query(body) = stmt else { panic!() };
-        let Clause::Filter(f) = &body.clauses[1] else { panic!() };
+        let Statement::Query(body) = stmt else {
+            panic!()
+        };
+        let Clause::Filter(f) = &body.clauses[1] else {
+            panic!()
+        };
         let (pred, residual) = extract_predicate(f, "c");
         assert!(residual.is_none());
         match pred.unwrap() {

@@ -30,6 +30,8 @@ pub enum TokenKind {
     Float(f64),
     /// String literal (unescaped).
     Str(String),
+    /// Bind parameter (`@name`, stored without the `@`).
+    Param(String),
     /// Punctuation / operator.
     Punct(&'static str),
     /// End of input.
@@ -45,6 +47,7 @@ impl TokenKind {
             TokenKind::Int(i) => format!("integer `{i}`"),
             TokenKind::Float(f) => format!("float `{f}`"),
             TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Param(p) => format!("parameter `@{p}`"),
             TokenKind::Punct(p) => format!("`{p}`"),
             TokenKind::Eof => "end of input".to_string(),
         }
@@ -52,14 +55,40 @@ impl TokenKind {
 }
 
 const KEYWORDS: &[&str] = &[
-    "FOR", "IN", "FILTER", "RETURN", "LET", "SORT", "ASC", "DESC", "LIMIT", "COLLECT",
-    "AGGREGATE", "INTO", "INSERT", "UPDATE", "WITH", "REMOVE", "OUTBOUND", "INBOUND", "ANY",
-    "GRAPH", "LABEL", "AND", "OR", "NOT", "TRUE", "FALSE", "NULL", "LIKE", "DISTINCT",
+    "FOR",
+    "IN",
+    "FILTER",
+    "RETURN",
+    "LET",
+    "SORT",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "COLLECT",
+    "AGGREGATE",
+    "INTO",
+    "INSERT",
+    "UPDATE",
+    "WITH",
+    "REMOVE",
+    "OUTBOUND",
+    "INBOUND",
+    "ANY",
+    "GRAPH",
+    "LABEL",
+    "AND",
+    "OR",
+    "NOT",
+    "TRUE",
+    "FALSE",
+    "NULL",
+    "LIKE",
+    "DISTINCT",
 ];
 
 const PUNCTS: &[&str] = &[
-    "..", "==", "!=", "<=", ">=", "&&", "||", "(", ")", "[", "]", "{", "}", ",", ":", ".",
-    "<", ">", "=", "+", "-", "*", "/", "%", "!",
+    "..", "==", "!=", "<=", ">=", "&&", "||", "(", ")", "[", "]", "{", "}", ",", ":", ".", "<",
+    ">", "=", "+", "-", "*", "/", "%", "!",
 ];
 
 /// Tokenize MMQL source text.
@@ -147,7 +176,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 }
                 i += ch_len;
             }
-            tokens.push(Token { kind: TokenKind::Str(s), line: tline, col: tcol });
+            tokens.push(Token {
+                kind: TokenKind::Str(s),
+                line: tline,
+                col: tcol,
+            });
             continue;
         }
         // numbers
@@ -193,15 +226,37 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         .map_err(|_| err(tline, tcol, format!("integer overflow `{text}`")))?,
                 )
             };
-            tokens.push(Token { kind, line: tline, col: tcol });
+            tokens.push(Token {
+                kind,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // bind parameters: `@name`
+        if b == b'@' {
+            i += 1;
+            col += 1;
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+                col += 1;
+            }
+            if start == i {
+                return Err(err(tline, tcol, "expected parameter name after `@`".into()));
+            }
+            let name = std::str::from_utf8(&bytes[start..i]).expect("ascii param name");
+            tokens.push(Token {
+                kind: TokenKind::Param(name.to_string()),
+                line: tline,
+                col: tcol,
+            });
             continue;
         }
         // identifiers / keywords
         if b.is_ascii_alphabetic() || b == b'_' {
             let start = i;
-            while i < bytes.len()
-                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-            {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                 i += 1;
                 col += 1;
             }
@@ -211,7 +266,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 Some(k) => TokenKind::Keyword(k),
                 None => TokenKind::Ident(text.to_string()),
             };
-            tokens.push(Token { kind, line: tline, col: tcol });
+            tokens.push(Token {
+                kind,
+                line: tline,
+                col: tcol,
+            });
             continue;
         }
         // punctuation (longest match first)
@@ -219,7 +278,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
         let mut matched = false;
         for p in PUNCTS {
             if rest.starts_with(p) {
-                tokens.push(Token { kind: TokenKind::Punct(p), line: tline, col: tcol });
+                tokens.push(Token {
+                    kind: TokenKind::Punct(p),
+                    line: tline,
+                    col: tcol,
+                });
                 i += p.len();
                 col += p.len();
                 matched = true;
@@ -227,10 +290,18 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             }
         }
         if !matched {
-            return Err(err(tline, tcol, format!("unexpected character `{}`", b as char)));
+            return Err(err(
+                tline,
+                tcol,
+                format!("unexpected character `{}`", b as char),
+            ));
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
     Ok(tokens)
 }
 
@@ -343,10 +414,36 @@ mod tests {
     }
 
     #[test]
+    fn bind_parameters() {
+        assert_eq!(
+            kinds("FILTER c.id == @customer_1"),
+            vec![
+                TokenKind::Keyword("FILTER"),
+                TokenKind::Ident("c".into()),
+                TokenKind::Punct("."),
+                TokenKind::Ident("id".into()),
+                TokenKind::Punct("=="),
+                TokenKind::Param("customer_1".into()),
+                TokenKind::Eof
+            ]
+        );
+        let toks = lex("  @p").unwrap();
+        assert_eq!(
+            (toks[0].line, toks[0].col),
+            (1, 3),
+            "position is at the `@`"
+        );
+    }
+
+    #[test]
     fn comments_are_skipped() {
         assert_eq!(
             kinds("FOR // the rest is gone\nRETURN"),
-            vec![TokenKind::Keyword("FOR"), TokenKind::Keyword("RETURN"), TokenKind::Eof]
+            vec![
+                TokenKind::Keyword("FOR"),
+                TokenKind::Keyword("RETURN"),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -29,20 +29,27 @@
 //!
 //! Use [`Query::parse`] + [`Query::execute`] inside an explicit
 //! transaction, or [`run`] for one-shot execution with automatic retry.
+//!
+//! Queries may reference **bind parameters** (`@customer`, `@price_lo`):
+//! parse once, then [`Query::bind`] or [`Query::execute_with`] per
+//! parameter draw. Binding substitutes literals before planning, so a
+//! parameterized filter uses indexes exactly like an inline constant.
 
 mod ast;
+mod bind;
 mod eval;
 mod exec;
 mod lexer;
 mod parser;
 
 pub use ast::{AggFunc, BinOp, Clause, Expr, MemberStep, QueryBody, Source, Statement, UnOp};
+pub use bind::{bind_statement, check_extra_params, statement_params};
 pub use eval::{eval, eval_const, Env};
 pub use exec::{execute, explain, extract_predicate};
 pub use lexer::{lex, Token, TokenKind};
 pub use parser::parse;
 
-use udbms_core::{Result, Value};
+use udbms_core::{Params, Result, Value};
 use udbms_engine::{Engine, Isolation, Txn};
 
 /// A parsed MMQL statement, ready for repeated execution.
@@ -76,7 +83,10 @@ pub struct Query {
 impl Query {
     /// Parse MMQL text.
     pub fn parse(text: &str) -> Result<Query> {
-        Ok(Query { stmt: parser::parse(text)?, text: text.to_string() })
+        Ok(Query {
+            stmt: parser::parse(text)?,
+            text: text.to_string(),
+        })
     }
 
     /// The original query text.
@@ -94,6 +104,34 @@ impl Query {
         exec::execute(&self.stmt, txn)
     }
 
+    /// The distinct `@name` parameters this query references, in first
+    /// appearance order.
+    pub fn parameters(&self) -> Vec<String> {
+        bind::statement_params(&self.stmt)
+    }
+
+    /// Resolve every `@name` against `params`, yielding an executable
+    /// query whose plan (including index pushdown) is identical to one
+    /// written with inline constants. Missing parameters error with the
+    /// `@`'s source position; unused entries in `params` are permitted —
+    /// see [`check_extra_params`] for the strict check.
+    pub fn bind(&self, params: &Params) -> Result<Query> {
+        Ok(Query {
+            stmt: bind::bind_statement(&self.stmt, params)?,
+            text: self.text.clone(),
+        })
+    }
+
+    /// Parse-once/execute-many entry point: bind `params` and execute
+    /// inside an open transaction.
+    pub fn execute_with(&self, txn: &mut Txn, params: &Params) -> Result<Vec<Value>> {
+        if params.is_empty() && self.parameters().is_empty() {
+            return exec::execute(&self.stmt, txn);
+        }
+        let bound = bind::bind_statement(&self.stmt, params)?;
+        exec::execute(&bound, txn)
+    }
+
     /// A human-readable plan sketch (pushdown decisions, clause order).
     pub fn explain(&self) -> String {
         exec::explain(&self.stmt)
@@ -104,6 +142,18 @@ impl Query {
 /// conflict retry.
 pub fn run(engine: &Engine, isolation: Isolation, text: &str) -> Result<Vec<Value>> {
     let query = Query::parse(text)?;
+    engine.run(isolation, |txn| query.execute(txn))
+}
+
+/// One-shot with bind parameters: parse, bind `params` and execute in a
+/// fresh transaction with automatic conflict retry.
+pub fn run_with(
+    engine: &Engine,
+    isolation: Isolation,
+    text: &str,
+    params: &Params,
+) -> Result<Vec<Value>> {
+    let query = Query::parse(text)?.bind(params)?;
     engine.run(isolation, |txn| query.execute(txn))
 }
 
@@ -126,18 +176,31 @@ mod tests {
             ],
         ))
         .unwrap();
-        e.create_collection(CollectionSchema::document("orders", "_id", vec![])).unwrap();
-        e.create_collection(CollectionSchema::key_value("feedback")).unwrap();
-        e.create_collection(CollectionSchema::xml("invoices")).unwrap();
-        e.create_graph("social").unwrap();
-        e.create_index("orders", udbms_core::FieldPath::key("customer"), IndexKind::Hash)
+        e.create_collection(CollectionSchema::document("orders", "_id", vec![]))
             .unwrap();
+        e.create_collection(CollectionSchema::key_value("feedback"))
+            .unwrap();
+        e.create_collection(CollectionSchema::xml("invoices"))
+            .unwrap();
+        e.create_graph("social").unwrap();
+        e.create_index(
+            "orders",
+            udbms_core::FieldPath::key("customer"),
+            IndexKind::Hash,
+        )
+        .unwrap();
 
         e.run(Isolation::Snapshot, |t| {
-            for (id, name, country) in
-                [(1, "Ada", "FI"), (2, "Bob", "SE"), (3, "Eve", "FI"), (4, "Mallory", "NO")]
-            {
-                t.insert("customers", obj! {"id" => id, "name" => name, "country" => country})?;
+            for (id, name, country) in [
+                (1, "Ada", "FI"),
+                (2, "Bob", "SE"),
+                (3, "Eve", "FI"),
+                (4, "Mallory", "NO"),
+            ] {
+                t.insert(
+                    "customers",
+                    obj! {"id" => id, "name" => name, "country" => country},
+                )?;
             }
             for (oid, cust, total, status) in [
                 ("o1", 1, 25.0, "paid"),
@@ -150,7 +213,11 @@ mod tests {
                     obj! {"_id" => oid, "customer" => cust, "total" => total, "status" => status},
                 )?;
             }
-            t.put("feedback", Key::str("fb:o1"), obj! {"order" => "o1", "rating" => 5})?;
+            t.put(
+                "feedback",
+                Key::str("fb:o1"),
+                obj! {"order" => "o1", "rating" => 5},
+            )?;
             t.put_xml(
                 "invoices",
                 Key::str("inv:o1"),
@@ -175,7 +242,10 @@ mod tests {
     #[test]
     fn filter_sort_project() {
         let e = engine();
-        let out = q(&e, r#"FOR c IN customers FILTER c.country == "FI" SORT c.name DESC RETURN c.name"#);
+        let out = q(
+            &e,
+            r#"FOR c IN customers FILTER c.country == "FI" SORT c.name DESC RETURN c.name"#,
+        );
         assert_eq!(out, vec![Value::from("Eve"), Value::from("Ada")]);
     }
 
@@ -184,7 +254,10 @@ mod tests {
         let e = engine();
         let pushed = q(&e, r#"FOR o IN orders FILTER o.customer == 1 RETURN o._id"#);
         // defeat pushdown with a function call wrapper
-        let scanned = q(&e, r#"FOR o IN orders FILTER TO_NUMBER(o.customer) == 1 RETURN o._id"#);
+        let scanned = q(
+            &e,
+            r#"FOR o IN orders FILTER TO_NUMBER(o.customer) == 1 RETURN o._id"#,
+        );
         assert_eq!(pushed, scanned);
         assert_eq!(pushed.len(), 2);
     }
@@ -230,7 +303,10 @@ mod tests {
         );
         assert_eq!(out, vec![Value::Int(2), Value::Int(3)]);
         // min 0 includes the start vertex
-        let out = q(&e, r#"FOR v IN 0..1 OUTBOUND 1 GRAPH social LABEL "knows" RETURN v._key"#);
+        let out = q(
+            &e,
+            r#"FOR v IN 0..1 OUTBOUND 1 GRAPH social LABEL "knows" RETURN v._key"#,
+        );
         assert_eq!(out, vec![Value::Int(1), Value::Int(2)]);
         // unlabelled traversal crosses both edge kinds
         let out = q(&e, r#"FOR v IN 1..1 OUTBOUND 1 GRAPH social RETURN v.cid"#);
@@ -296,8 +372,14 @@ mod tests {
     #[test]
     fn distinct_and_limit() {
         let e = engine();
-        let countries = q(&e, "FOR c IN customers SORT c.country RETURN DISTINCT c.country");
-        assert_eq!(countries, vec![Value::from("FI"), Value::from("NO"), Value::from("SE")]);
+        let countries = q(
+            &e,
+            "FOR c IN customers SORT c.country RETURN DISTINCT c.country",
+        );
+        assert_eq!(
+            countries,
+            vec![Value::from("FI"), Value::from("NO"), Value::from("SE")]
+        );
         let limited = q(&e, "FOR c IN customers SORT c.id LIMIT 1, 2 RETURN c.id");
         assert_eq!(limited, vec![Value::Int(2), Value::Int(3)]);
     }
@@ -315,15 +397,20 @@ mod tests {
     fn dml_in_transactions() {
         let e = engine();
         e.run(Isolation::Snapshot, |t| {
-            let ins = Query::parse(r#"INSERT {_id: "o9", customer: 4, total: 1.0, status: "open"} INTO orders"#)
-                .unwrap();
+            let ins = Query::parse(
+                r#"INSERT {_id: "o9", customer: 4, total: 1.0, status: "open"} INTO orders"#,
+            )
+            .unwrap();
             assert_eq!(ins.execute(t).unwrap(), vec![Value::from("o9")]);
             let upd = Query::parse(r#"UPDATE "o9" WITH {status: "paid"} IN orders"#).unwrap();
             assert_eq!(upd.execute(t).unwrap(), vec![Value::Bool(true)]);
             Ok(())
         })
         .unwrap();
-        let out = q(&e, r#"FOR o IN orders FILTER o._id == "o9" RETURN o.status"#);
+        let out = q(
+            &e,
+            r#"FOR o IN orders FILTER o._id == "o9" RETURN o.status"#,
+        );
         assert_eq!(out, vec![Value::from("paid")]);
         let removed = run(&e, Isolation::Snapshot, r#"REMOVE "o9" IN orders"#).unwrap();
         assert_eq!(removed, vec![Value::Bool(true)]);
@@ -334,8 +421,12 @@ mod tests {
     fn queries_see_transaction_writes() {
         let e = engine();
         e.run(Isolation::Snapshot, |t| {
-            t.insert("orders", obj! {"_id" => "tmp", "customer" => 1, "total" => 9.0, "status" => "open"})?;
-            let query = Query::parse(r#"FOR o IN orders FILTER o.customer == 1 RETURN o._id"#).unwrap();
+            t.insert(
+                "orders",
+                obj! {"_id" => "tmp", "customer" => 1, "total" => 9.0, "status" => "open"},
+            )?;
+            let query =
+                Query::parse(r#"FOR o IN orders FILTER o.customer == 1 RETURN o._id"#).unwrap();
             let out = query.execute(t).unwrap();
             assert_eq!(out.len(), 3, "uncommitted insert visible to own query");
             t.delete("orders", &Key::str("tmp"))?;
@@ -350,15 +441,60 @@ mod tests {
         assert!(run(&e, Isolation::Snapshot, "FOR x IN").is_err());
         assert!(run(&e, Isolation::Snapshot, "FOR x IN missing_coll RETURN x").is_err());
         assert!(run(&e, Isolation::Snapshot, "RETURN undefined_var").is_err());
-        assert!(run(&e, Isolation::Snapshot, "FOR x IN 5 RETURN x").is_err(), "scalar source");
+        assert!(
+            run(&e, Isolation::Snapshot, "FOR x IN 5 RETURN x").is_err(),
+            "scalar source"
+        );
+    }
+
+    #[test]
+    fn bound_params_match_inline_constants() {
+        let e = engine();
+        let inline = q(&e, r#"FOR o IN orders FILTER o.customer == 1 RETURN o._id"#);
+        let parsed =
+            Query::parse(r#"FOR o IN orders FILTER o.customer == @customer RETURN o._id"#).unwrap();
+        assert_eq!(parsed.parameters(), vec!["customer"]);
+        let params = udbms_core::Params::new().with("customer", 1);
+        let bound = e
+            .run(Isolation::Snapshot, |t| parsed.execute_with(t, &params))
+            .unwrap();
+        assert_eq!(inline, bound);
+        // parse-once/execute-many: a second draw reuses the parse
+        let params2 = udbms_core::Params::new().with("customer", 2);
+        let bound2 = e
+            .run(Isolation::Snapshot, |t| parsed.execute_with(t, &params2))
+            .unwrap();
+        assert_eq!(bound2, vec![Value::from("o3")]);
+    }
+
+    #[test]
+    fn bound_query_explains_with_pushdown() {
+        let parsed =
+            Query::parse(r#"FOR o IN orders FILTER o.customer == @customer RETURN o._id"#).unwrap();
+        let bound = parsed
+            .bind(&udbms_core::Params::new().with("customer", 1))
+            .unwrap();
+        assert!(bound.explain().contains("pushdown"), "{}", bound.explain());
+    }
+
+    #[test]
+    fn unbound_and_missing_params_error() {
+        let e = engine();
+        // executing an unbound parameterized query is an error
+        assert!(run(&e, Isolation::Snapshot, "RETURN @missing").is_err());
+        // binding without the value names the parameter and its position
+        let parsed = Query::parse("RETURN @missing").unwrap();
+        let err = parsed
+            .bind(&udbms_core::Params::new())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("@missing"), "{err}");
     }
 
     #[test]
     fn explain_is_stable() {
-        let query = Query::parse(
-            r#"FOR c IN customers FILTER c.country == "FI" LIMIT 5 RETURN c"#,
-        )
-        .unwrap();
+        let query = Query::parse(r#"FOR c IN customers FILTER c.country == "FI" LIMIT 5 RETURN c"#)
+            .unwrap();
         let plan = query.explain();
         assert!(plan.contains("pushdown"));
         assert!(query.text().contains("customers"));

@@ -95,7 +95,10 @@ impl Parser {
         if matches!(self.peek(), TokenKind::Eof) {
             Ok(())
         } else {
-            Err(self.err(format!("unexpected {} after statement", self.peek().describe())))
+            Err(self.err(format!(
+                "unexpected {} after statement",
+                self.peek().describe()
+            )))
         }
     }
 
@@ -117,7 +120,11 @@ impl Parser {
                 let patch = self.parse_additive()?;
                 self.expect_kw("IN")?;
                 let collection = self.expect_ident()?;
-                Ok(Statement::Update { key, patch, collection })
+                Ok(Statement::Update {
+                    key,
+                    patch,
+                    collection,
+                })
             }
             TokenKind::Keyword("REMOVE") => {
                 self.bump();
@@ -149,7 +156,10 @@ impl Parser {
                     self.bump();
                     let var = self.expect_ident()?;
                     self.expect_punct("=")?;
-                    clauses.push(Clause::Let { var, value: self.parse_expr()? });
+                    clauses.push(Clause::Let {
+                        var,
+                        value: self.parse_expr()?,
+                    });
                 }
                 TokenKind::Keyword("SORT") => {
                     self.bump();
@@ -187,7 +197,11 @@ impl Parser {
                     self.bump();
                     let distinct = self.eat_kw("DISTINCT");
                     let ret = self.parse_expr()?;
-                    return Ok(QueryBody { clauses, distinct, ret });
+                    return Ok(QueryBody {
+                        clauses,
+                        distinct,
+                        ret,
+                    });
                 }
                 other => {
                     return Err(self.err(format!(
@@ -202,14 +216,19 @@ impl Parser {
     fn parse_usize(&mut self) -> Result<usize> {
         match self.bump() {
             TokenKind::Int(i) if i >= 0 => Ok(i as usize),
-            other => Err(self.err(format!("expected non-negative integer, found {}", other.describe()))),
+            other => Err(self.err(format!(
+                "expected non-negative integer, found {}",
+                other.describe()
+            ))),
         }
     }
 
     fn parse_collect(&mut self) -> Result<Clause> {
         let mut groups = Vec::new();
         // groups are optional: COLLECT AGGREGATE … is legal
-        if matches!(self.peek(), TokenKind::Ident(_)) && matches!(self.peek2(), TokenKind::Punct("=")) {
+        if matches!(self.peek(), TokenKind::Ident(_))
+            && matches!(self.peek2(), TokenKind::Punct("="))
+        {
             loop {
                 let name = self.expect_ident()?;
                 self.expect_punct("=")?;
@@ -240,13 +259,23 @@ impl Parser {
                 }
             }
         }
-        let into = if self.eat_kw("INTO") { Some(self.expect_ident()?) } else { None };
-        Ok(Clause::Collect { groups, aggregates, into })
+        let into = if self.eat_kw("INTO") {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(Clause::Collect {
+            groups,
+            aggregates,
+            into,
+        })
     }
 
     fn parse_source(&mut self) -> Result<Source> {
         // traversal: INT .. INT (OUTBOUND|INBOUND|ANY) expr GRAPH ident [LABEL str]
-        if matches!(self.peek(), TokenKind::Int(_)) && matches!(self.peek2(), TokenKind::Punct("..")) {
+        if matches!(self.peek(), TokenKind::Int(_))
+            && matches!(self.peek2(), TokenKind::Punct(".."))
+        {
             let min = self.parse_usize()?;
             self.expect_punct("..")?;
             let max = self.parse_usize()?;
@@ -269,13 +298,22 @@ impl Parser {
                 match self.bump() {
                     TokenKind::Str(s) => Some(s),
                     other => {
-                        return Err(self.err(format!("expected label string, found {}", other.describe())))
+                        return Err(
+                            self.err(format!("expected label string, found {}", other.describe()))
+                        )
                     }
                 }
             } else {
                 None
             };
-            return Ok(Source::Traversal { min, max, dir, start: Box::new(start), graph, label });
+            return Ok(Source::Traversal {
+                min,
+                max,
+                dir,
+                start: Box::new(start),
+                graph,
+                label,
+            });
         }
         // bare identifier not followed by expression syntax = collection
         if matches!(self.peek(), TokenKind::Ident(_))
@@ -299,7 +337,11 @@ impl Parser {
         let mut lhs = self.parse_and()?;
         while self.eat_kw("OR") || self.eat_punct("||") {
             let rhs = self.parse_and()?;
-            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -308,7 +350,11 @@ impl Parser {
         let mut lhs = self.parse_not()?;
         while self.eat_kw("AND") || self.eat_punct("&&") {
             let rhs = self.parse_not()?;
-            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -316,7 +362,10 @@ impl Parser {
     fn parse_not(&mut self) -> Result<Expr> {
         if self.eat_kw("NOT") || self.eat_punct("!") {
             let expr = self.parse_not()?;
-            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(expr) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(expr),
+            });
         }
         self.parse_comparison()
     }
@@ -343,7 +392,11 @@ impl Parser {
             return Ok(lhs);
         };
         let rhs = self.parse_additive()?;
-        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
     }
 
     fn parse_additive(&mut self) -> Result<Expr> {
@@ -357,7 +410,11 @@ impl Parser {
                 return Ok(lhs);
             };
             let rhs = self.parse_multiplicative()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -374,14 +431,21 @@ impl Parser {
                 return Ok(lhs);
             };
             let rhs = self.parse_unary()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
     fn parse_unary(&mut self) -> Result<Expr> {
         if self.eat_punct("-") {
             let expr = self.parse_unary()?;
-            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(expr) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(expr),
+            });
         }
         self.parse_postfix()
     }
@@ -402,16 +466,21 @@ impl Parser {
             }
         }
         if !steps.is_empty() {
-            expr = Expr::Member { base: Box::new(expr), steps };
+            expr = Expr::Member {
+                base: Box::new(expr),
+                steps,
+            };
         }
         Ok(expr)
     }
 
     fn parse_primary(&mut self) -> Result<Expr> {
+        let (line, col) = self.here();
         match self.bump() {
             TokenKind::Int(i) => Ok(Expr::Literal(Value::Int(i))),
             TokenKind::Float(f) => Ok(Expr::Literal(Value::Float(f))),
             TokenKind::Str(s) => Ok(Expr::Literal(Value::Str(s))),
+            TokenKind::Param(name) => Ok(Expr::Param { name, line, col }),
             TokenKind::Keyword("TRUE") => Ok(Expr::Literal(Value::Bool(true))),
             TokenKind::Keyword("FALSE") => Ok(Expr::Literal(Value::Bool(false))),
             TokenKind::Keyword("NULL") => Ok(Expr::Literal(Value::Null)),
@@ -427,7 +496,10 @@ impl Parser {
                             self.expect_punct(",")?;
                         }
                     }
-                    Ok(Expr::Call { name: name.to_ascii_uppercase(), args })
+                    Ok(Expr::Call {
+                        name: name.to_ascii_uppercase(),
+                        args,
+                    })
                 } else {
                     Ok(Expr::Var(name))
                 }
@@ -457,8 +529,10 @@ impl Parser {
                             TokenKind::Str(s) => s,
                             TokenKind::Keyword(k) => k.to_ascii_lowercase(),
                             other => {
-                                return Err(self
-                                    .err(format!("expected object key, found {}", other.describe())))
+                                return Err(self.err(format!(
+                                    "expected object key, found {}",
+                                    other.describe()
+                                )))
                             }
                         };
                         // {name} is shorthand for {name: name}
@@ -481,7 +555,10 @@ impl Parser {
             }
             TokenKind::Punct("(") => {
                 // subquery or parenthesized expression
-                if matches!(self.peek(), TokenKind::Keyword("FOR") | TokenKind::Keyword("RETURN")) {
+                if matches!(
+                    self.peek(),
+                    TokenKind::Keyword("FOR") | TokenKind::Keyword("RETURN")
+                ) {
                     let body = self.parse_query_body()?;
                     self.expect_punct(")")?;
                     Ok(Expr::Subquery(Box::new(body)))
@@ -519,14 +596,19 @@ mod tests {
         let body = q(r#"FOR c IN customers FILTER c.country == "FI" RETURN c.name"#);
         assert_eq!(body.clauses.len(), 2);
         match &body.clauses[0] {
-            Clause::For { var, source: Source::Collection(c) } => {
+            Clause::For {
+                var,
+                source: Source::Collection(c),
+            } => {
                 assert_eq!(var, "c");
                 assert_eq!(c, "customers");
             }
             other => panic!("{other:?}"),
         }
         match &body.clauses[1] {
-            Clause::Filter(Expr::Binary { op: BinOp::Eq, lhs, .. }) => {
+            Clause::Filter(Expr::Binary {
+                op: BinOp::Eq, lhs, ..
+            }) => {
                 assert_eq!(lhs.as_var_path().unwrap().1.to_string(), "country");
             }
             other => panic!("{other:?}"),
@@ -544,9 +626,21 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert_eq!(body.clauses[2], Clause::Limit { offset: 5, count: 10 });
+        assert_eq!(
+            body.clauses[2],
+            Clause::Limit {
+                offset: 5,
+                count: 10
+            }
+        );
         let body2 = q("FOR x IN t LIMIT 3 RETURN x");
-        assert_eq!(body2.clauses[1], Clause::Limit { offset: 0, count: 3 });
+        assert_eq!(
+            body2.clauses[1],
+            Clause::Limit {
+                offset: 0,
+                count: 3
+            }
+        );
     }
 
     #[test]
@@ -555,7 +649,11 @@ mod tests {
             "FOR o IN orders COLLECT country = o.country AGGREGATE total = SUM(o.amount), n = COUNT() INTO grp RETURN {country, total, n}",
         );
         match &body.clauses[1] {
-            Clause::Collect { groups, aggregates, into } => {
+            Clause::Collect {
+                groups,
+                aggregates,
+                into,
+            } => {
                 assert_eq!(groups.len(), 1);
                 assert_eq!(groups[0].0, "country");
                 assert_eq!(aggregates.len(), 2);
@@ -571,7 +669,18 @@ mod tests {
     fn traversal_source() {
         let body = q("FOR v IN 1..3 OUTBOUND 42 GRAPH social LABEL \"knows\" RETURN v");
         match &body.clauses[0] {
-            Clause::For { source: Source::Traversal { min, max, dir, graph, label, .. }, .. } => {
+            Clause::For {
+                source:
+                    Source::Traversal {
+                        min,
+                        max,
+                        dir,
+                        graph,
+                        label,
+                        ..
+                    },
+                ..
+            } => {
                 assert_eq!((*min, *max), (1, 3));
                 assert_eq!(*dir, Direction::Out);
                 assert_eq!(graph, "social");
@@ -585,12 +694,21 @@ mod tests {
     #[test]
     fn for_over_expression_and_subquery() {
         let body = q("FOR x IN [1, 2, 3] RETURN x * 2");
-        assert!(matches!(&body.clauses[0], Clause::For { source: Source::Expr(_), .. }));
+        assert!(matches!(
+            &body.clauses[0],
+            Clause::For {
+                source: Source::Expr(_),
+                ..
+            }
+        ));
 
         let body = q("LET friends = (FOR f IN people RETURN f.name) RETURN friends");
         assert!(matches!(
             &body.clauses[0],
-            Clause::Let { value: Expr::Subquery(_), .. }
+            Clause::Let {
+                value: Expr::Subquery(_),
+                ..
+            }
         ));
     }
 
@@ -612,7 +730,11 @@ mod tests {
         // 1 + 2 * 3 == 7 AND NOT false
         let body = q("RETURN 1 + 2 * 3 == 7 AND NOT FALSE");
         match &body.ret {
-            Expr::Binary { op: BinOp::And, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
                 assert!(matches!(lhs.as_ref(), Expr::Binary { op: BinOp::Eq, .. }));
                 assert!(matches!(rhs.as_ref(), Expr::Unary { op: UnOp::Not, .. }));
             }
@@ -634,6 +756,34 @@ mod tests {
             parse("REMOVE \"o1\" IN orders").unwrap(),
             Statement::Remove { .. }
         ));
+    }
+
+    #[test]
+    fn bind_parameters_parse_with_positions() {
+        let body = q("FOR c IN customers FILTER c.id == @customer RETURN c");
+        match &body.clauses[1] {
+            Clause::Filter(Expr::Binary {
+                op: BinOp::Eq, rhs, ..
+            }) => match rhs.as_ref() {
+                Expr::Param { name, line, col } => {
+                    assert_eq!(name, "customer");
+                    assert_eq!((*line, *col), (1, 35));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        // params work anywhere an expression does
+        let body = q(r#"LET p = DOCUMENT("products", @product) RETURN p"#);
+        match &body.clauses[0] {
+            Clause::Let {
+                value: Expr::Call { args, .. },
+                ..
+            } => {
+                assert!(matches!(&args[1], Expr::Param { name, .. } if name == "product"));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -665,8 +815,12 @@ mod tests {
         let body = q("RETURN LENGTH(items) + COUNT(a, b)");
         match &body.ret {
             Expr::Binary { lhs, rhs, .. } => {
-                assert!(matches!(lhs.as_ref(), Expr::Call { name, args } if name == "LENGTH" && args.len() == 1));
-                assert!(matches!(rhs.as_ref(), Expr::Call { name, args } if name == "COUNT" && args.len() == 2));
+                assert!(
+                    matches!(lhs.as_ref(), Expr::Call { name, args } if name == "LENGTH" && args.len() == 1)
+                );
+                assert!(
+                    matches!(rhs.as_ref(), Expr::Call { name, args } if name == "COUNT" && args.len() == 2)
+                );
             }
             other => panic!("{other:?}"),
         }

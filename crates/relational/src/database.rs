@@ -40,12 +40,16 @@ impl RelationalDb {
 
     /// Borrow a table.
     pub fn table(&self, name: &str) -> Result<&Table> {
-        self.tables.get(name).ok_or_else(|| Error::NotFound(format!("table `{name}`")))
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("table `{name}`")))
     }
 
     /// Mutably borrow a table.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
-        self.tables.get_mut(name).ok_or_else(|| Error::NotFound(format!("table `{name}`")))
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::NotFound(format!("table `{name}`")))
     }
 
     /// Table names in sorted order.
@@ -90,7 +94,8 @@ mod tests {
             ],
         ))
         .unwrap();
-        db.insert("customers", obj! {"id" => 1, "name" => "Ada"}).unwrap();
+        db.insert("customers", obj! {"id" => 1, "name" => "Ada"})
+            .unwrap();
         db
     }
 

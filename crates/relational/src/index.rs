@@ -151,7 +151,10 @@ mod tests {
     fn equality_lookup_both_kinds() {
         for kind in [IndexKind::Hash, IndexKind::BTree] {
             let idx = populated(kind);
-            assert_eq!(idx.lookup_eq(&Value::from("FI")), vec![Key::int(1), Key::int(2)]);
+            assert_eq!(
+                idx.lookup_eq(&Value::from("FI")),
+                vec![Key::int(1), Key::int(2)]
+            );
             assert_eq!(idx.lookup_eq(&Value::from("NO")), Vec::<Key>::new());
             assert_eq!(idx.len(), 4);
             assert_eq!(idx.distinct_values(), 3);
@@ -168,7 +171,9 @@ mod tests {
         assert_eq!(keys, vec![Key::int(4), Key::int(1), Key::int(2)]);
         let all = idx.lookup_range(None, None).unwrap();
         assert_eq!(all.len(), 4);
-        assert!(populated(IndexKind::Hash).lookup_range(None, None).is_none());
+        assert!(populated(IndexKind::Hash)
+            .lookup_range(None, None)
+            .is_none());
     }
 
     #[test]

@@ -20,7 +20,9 @@ mod table;
 
 pub use database::RelationalDb;
 pub use index::{Index, IndexKind};
-pub use ops::{aggregate, hash_join, nested_loop_join, project, sort_rows, Aggregate, AggregateSpec};
+pub use ops::{
+    aggregate, hash_join, nested_loop_join, project, sort_rows, Aggregate, AggregateSpec,
+};
 pub use predicate::{like_match, Predicate};
 pub use table::Table;
 

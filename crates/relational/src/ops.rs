@@ -341,7 +341,11 @@ mod tests {
 
     #[test]
     fn aggregates_skip_nulls_and_non_numbers() {
-        let rows = vec![obj! {"v" => 1}, obj! {"v" => Value::Null}, obj! {"v" => "x"}];
+        let rows = vec![
+            obj! {"v" => 1},
+            obj! {"v" => Value::Null},
+            obj! {"v" => "x"},
+        ];
         let out = aggregate(
             &rows,
             &[],
@@ -351,7 +355,11 @@ mod tests {
             ],
         );
         assert_eq!(out[0].get_field("s"), &Value::Int(1));
-        assert_eq!(out[0].get_field("m"), &Value::Int(1), "min skips nulls, not strings? no — min is canonical");
+        assert_eq!(
+            out[0].get_field("m"),
+            &Value::Int(1),
+            "min skips nulls, not strings? no — min is canonical"
+        );
         let empty = aggregate(
             &[obj! {"v" => Value::Null}],
             &[],

@@ -118,12 +118,8 @@ impl Predicate {
             Predicate::Between(p, lo, hi) if p == path => {
                 Some((Some(lo.clone()), Some(hi.clone())))
             }
-            Predicate::Lt(p, v) | Predicate::Le(p, v) if p == path => {
-                Some((None, Some(v.clone())))
-            }
-            Predicate::Gt(p, v) | Predicate::Ge(p, v) if p == path => {
-                Some((Some(v.clone()), None))
-            }
+            Predicate::Lt(p, v) | Predicate::Le(p, v) if p == path => Some((None, Some(v.clone()))),
+            Predicate::Gt(p, v) | Predicate::Ge(p, v) if p == path => Some((Some(v.clone()), None)),
             Predicate::And(ps) => {
                 let mut lo: Option<Value> = None;
                 let mut hi: Option<Value> = None;
@@ -248,7 +244,10 @@ mod tests {
         .matches(&r));
         assert!(Predicate::Contains(FieldPath::key("tags"), Value::from("vip")).matches(&r));
         assert!(!Predicate::Contains(FieldPath::key("tags"), Value::from("na")).matches(&r));
-        assert!(!Predicate::Contains(FieldPath::key("id"), Value::Int(7)).matches(&r), "non-array");
+        assert!(
+            !Predicate::Contains(FieldPath::key("id"), Value::Int(7)).matches(&r),
+            "non-array"
+        );
         let both = Predicate::and([
             Predicate::eq("country", Value::from("FI")),
             Predicate::gt("score", Value::Int(4)),
@@ -313,7 +312,11 @@ mod tests {
             Predicate::gt("score", Value::Int(5)),
         ]);
         let (lo, _) = tighter.range_on(&path).unwrap();
-        assert_eq!(lo, Some(Value::Int(5)), "intersection keeps the tighter bound");
+        assert_eq!(
+            lo,
+            Some(Value::Int(5)),
+            "intersection keeps the tighter bound"
+        );
         assert_eq!(Predicate::True.range_on(&path), None);
     }
 }

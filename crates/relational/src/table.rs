@@ -27,7 +27,12 @@ impl Table {
             .primary_key
             .clone()
             .expect("relational schema must declare a primary key");
-        Table { schema, pk_field, rows: BTreeMap::new(), indexes: HashMap::new() }
+        Table {
+            schema,
+            pk_field,
+            rows: BTreeMap::new(),
+            indexes: HashMap::new(),
+        }
     }
 
     /// The table's schema.
@@ -101,7 +106,9 @@ impl Table {
         self.schema.validate(&row)?;
         let new_key = self.key_of(&row)?;
         if &new_key != key {
-            return Err(Error::Constraint("update may not change the primary key".into()));
+            return Err(Error::Constraint(
+                "update may not change the primary key".into(),
+            ));
         }
         for (field, idx) in &mut self.indexes {
             let old_v = old.get_field(field);
@@ -212,13 +219,21 @@ impl Table {
                 }
             }
         }
-        Box::new(self.rows.values().filter(move |row| pred.matches(row)).cloned())
+        Box::new(
+            self.rows
+                .values()
+                .filter(move |row| pred.matches(row))
+                .cloned(),
+        )
     }
 
     /// Like [`Table::select`] but forces a full scan (the E6 index
     /// ablation's "off" arm).
     pub fn select_scan<'a>(&'a self, pred: &'a Predicate) -> impl Iterator<Item = Value> + 'a {
-        self.rows.values().filter(move |row| pred.matches(row)).cloned()
+        self.rows
+            .values()
+            .filter(move |row| pred.matches(row))
+            .cloned()
     }
 }
 
@@ -242,9 +257,12 @@ mod tests {
 
     fn table() -> Table {
         let mut t = Table::new(schema());
-        t.insert(obj! {"id" => 1, "name" => "Ada", "country" => "FI"}).unwrap();
-        t.insert(obj! {"id" => 2, "name" => "Bob", "country" => "SE", "score" => 3.0}).unwrap();
-        t.insert(obj! {"id" => 3, "name" => "Eve", "country" => "FI", "score" => 2.0}).unwrap();
+        t.insert(obj! {"id" => 1, "name" => "Ada", "country" => "FI"})
+            .unwrap();
+        t.insert(obj! {"id" => 2, "name" => "Bob", "country" => "SE", "score" => 3.0})
+            .unwrap();
+        t.insert(obj! {"id" => 3, "name" => "Eve", "country" => "FI", "score" => 2.0})
+            .unwrap();
         t
     }
 
@@ -260,7 +278,10 @@ mod tests {
     #[test]
     fn defaults_applied_on_insert() {
         let t = table();
-        assert_eq!(t.get(&Key::int(1)).unwrap().get_field("score"), &Value::Float(1.0));
+        assert_eq!(
+            t.get(&Key::int(1)).unwrap().get_field("score"),
+            &Value::Float(1.0)
+        );
     }
 
     #[test]
@@ -274,23 +295,45 @@ mod tests {
     fn schema_violations_rejected() {
         let mut t = table();
         assert!(t.insert(obj! {"id" => 9}).is_err(), "missing name");
-        assert!(t.insert(obj! {"id" => "str", "name" => "X"}).is_err(), "bad pk type");
+        assert!(
+            t.insert(obj! {"id" => "str", "name" => "X"}).is_err(),
+            "bad pk type"
+        );
         assert!(t.insert(obj! {"name" => "NoKey"}).is_err(), "missing pk");
-        assert!(t.insert(obj! {"id" => 9, "name" => "X", "bogus" => 1}).is_err(), "closed schema");
+        assert!(
+            t.insert(obj! {"id" => 9, "name" => "X", "bogus" => 1})
+                .is_err(),
+            "closed schema"
+        );
     }
 
     #[test]
     fn update_patch_delete() {
         let mut t = table();
-        t.update(&Key::int(1), obj! {"id" => 1, "name" => "Ada L.", "country" => "FI"}).unwrap();
-        assert_eq!(t.get(&Key::int(1)).unwrap().get_field("name"), &Value::from("Ada L."));
-        assert!(t
-            .update(&Key::int(1), obj! {"id" => 99, "name" => "Ada"})
-            .is_err(), "pk change forbidden");
+        t.update(
+            &Key::int(1),
+            obj! {"id" => 1, "name" => "Ada L.", "country" => "FI"},
+        )
+        .unwrap();
+        assert_eq!(
+            t.get(&Key::int(1)).unwrap().get_field("name"),
+            &Value::from("Ada L.")
+        );
+        assert!(
+            t.update(&Key::int(1), obj! {"id" => 99, "name" => "Ada"})
+                .is_err(),
+            "pk change forbidden"
+        );
 
         t.patch(&Key::int(2), obj! {"score" => 9.0}).unwrap();
-        assert_eq!(t.get(&Key::int(2)).unwrap().get_field("score"), &Value::Float(9.0));
-        assert_eq!(t.get(&Key::int(2)).unwrap().get_field("name"), &Value::from("Bob"));
+        assert_eq!(
+            t.get(&Key::int(2)).unwrap().get_field("score"),
+            &Value::Float(9.0)
+        );
+        assert_eq!(
+            t.get(&Key::int(2)).unwrap().get_field("name"),
+            &Value::from("Bob")
+        );
 
         let removed = t.delete(&Key::int(3)).unwrap();
         assert_eq!(removed.get_field("name"), &Value::from("Eve"));
@@ -333,13 +376,25 @@ mod tests {
     fn index_stays_consistent_across_mutations() {
         let mut t = table();
         t.create_index("country", IndexKind::Hash).unwrap();
-        t.update(&Key::int(1), obj! {"id" => 1, "name" => "Ada", "country" => "NO"}).unwrap();
-        let fi: Vec<Value> = t.select(&Predicate::eq("country", Value::from("FI"))).collect();
+        t.update(
+            &Key::int(1),
+            obj! {"id" => 1, "name" => "Ada", "country" => "NO"},
+        )
+        .unwrap();
+        let fi: Vec<Value> = t
+            .select(&Predicate::eq("country", Value::from("FI")))
+            .collect();
         assert_eq!(fi.len(), 1);
-        let no: Vec<Value> = t.select(&Predicate::eq("country", Value::from("NO"))).collect();
+        let no: Vec<Value> = t
+            .select(&Predicate::eq("country", Value::from("NO")))
+            .collect();
         assert_eq!(no.len(), 1);
         t.delete(&Key::int(1)).unwrap();
-        assert_eq!(t.select(&Predicate::eq("country", Value::from("NO"))).count(), 0);
+        assert_eq!(
+            t.select(&Predicate::eq("country", Value::from("NO")))
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -358,8 +413,7 @@ mod tests {
         t.create_index("country", IndexKind::Hash).unwrap();
         // country is absent on row 9 → canonical Null; the index holds no
         // null postings, so select must fall back to scanning
-        let hits: Vec<Value> =
-            t.select(&Predicate::eq("country", Value::Null)).collect();
+        let hits: Vec<Value> = t.select(&Predicate::eq("country", Value::Null)).collect();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].get_field("name"), &Value::from("NoCountry"));
         // and a null range bound likewise scans

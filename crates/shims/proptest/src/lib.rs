@@ -1,0 +1,365 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of proptest it uses: the [`Strategy`] abstraction
+//! (ranges, `any`, string patterns, tuples, collections, `prop_map`,
+//! `prop_recursive`, `boxed`), the [`proptest!`]/[`prop_oneof!`] macros
+//! and the `prop_assert*` family.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its seed and values but is
+//!   not minimized.
+//! * **Deterministic seeding** — cases derive from a fixed per-test seed,
+//!   so test runs are reproducible (set `PROPTEST_SEED` to vary).
+//! * **String patterns** support the simplified regex subset the
+//!   workspace uses: literal chars, `[...]` classes with ranges and
+//!   escapes, `\PC` (printable), and `{n}` / `{n,m}` repetition.
+
+use std::fmt;
+
+pub mod strategy;
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// The commonly-imported surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`vec`, `btree_map`).
+    pub mod collection {
+        pub use crate::strategy::collection::{btree_map, vec};
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Failure raised by a `prop_assert*` macro inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result type a property body evaluates to internally.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic RNG driving case generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a label (typically the test name) plus the optional
+    /// `PROPTEST_SEED` environment override.
+    pub fn deterministic(label: &str) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in label.bytes() {
+            seed = (seed ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.parse::<u64>() {
+                seed ^= extra;
+            }
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // multiply-shift; bias is irrelevant for test-case generation
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Types with a canonical [`Strategy`] (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The strategy `any` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical full-range strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A strategy producing any value of `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = strategy::AnyInt<$t>;
+            fn arbitrary() -> Self::Strategy {
+                strategy::AnyInt(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    type Strategy = strategy::AnyBool;
+    fn arbitrary() -> Self::Strategy {
+        strategy::AnyBool
+    }
+}
+
+/// Runner used by the [`proptest!`] macro expansion. Not public API in
+/// real proptest; kept `#[doc(hidden)]`-ish but documented for the shim.
+pub fn run_property(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let mut rng = TestRng::deterministic(name);
+    for i in 0..config.cases {
+        let case_seed = rng.next_u64();
+        let mut case_rng = TestRng { state: case_seed };
+        if let Err(e) = case(&mut case_rng) {
+            panic!("property `{name}` failed at case {i} (seed {case_seed:#x}): {e}");
+        }
+    }
+}
+
+/// The property-test macro. Mirrors `proptest::proptest!` for the forms
+/// used in this workspace: an optional `#![proptest_config(...)]` header
+/// followed by `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Do not use directly.
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(stringify!($name), &config, |__rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), __rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg", args...)` — fail the
+/// current case without panicking the whole test harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} != {}` (both {:?})",
+                stringify!($a), stringify!($b), a
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// `prop_oneof![s1, s2, ...]` / `prop_oneof![w1 => s1, w2 => s2, ...]` —
+/// choose among strategies (optionally weighted).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn ranges_and_any() {
+        let mut rng = crate::TestRng::deterministic("ranges");
+        for _ in 0..200 {
+            let v = (3i64..10).generate(&mut rng);
+            assert!((3..10).contains(&v));
+            let u = (0usize..5).generate(&mut rng);
+            assert!(u < 5);
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let _: bool = crate::any::<bool>().generate(&mut rng);
+            let _: i64 = crate::any::<i64>().generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = crate::TestRng::deterministic("patterns");
+        for _ in 0..100 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let t = "[a-z][a-z0-9_]{0,6}".generate(&mut rng);
+            assert!(t.chars().next().unwrap().is_ascii_lowercase());
+            assert!(t.chars().count() <= 7);
+
+            let p = "\\PC{0,8}".generate(&mut rng);
+            assert!(p.chars().count() <= 8);
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn collections_and_maps() {
+        let mut rng = crate::TestRng::deterministic("coll");
+        for _ in 0..50 {
+            let v = crate::prop::collection::vec(0i64..10, 1..5).generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            let m: BTreeMap<String, i64> =
+                crate::prop::collection::btree_map("[a-z]{1,4}", 0i64..10, 1..5).generate(&mut rng);
+            assert!(!m.is_empty() && m.len() < 5);
+        }
+    }
+
+    #[test]
+    fn oneof_map_recursive_boxed() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum V {
+            N(i64),
+            L(Vec<V>),
+        }
+        fn depth(v: &V) -> usize {
+            match v {
+                V::N(_) => 0,
+                V::L(items) => 1 + items.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = prop_oneof![(0i64..5).prop_map(V::N), Just(V::N(-1))];
+        let tree = leaf.prop_recursive(3, 16, 4, |inner| {
+            crate::prop::collection::vec(inner, 0..4).prop_map(V::L)
+        });
+        let mut rng = crate::TestRng::deterministic("rec");
+        for _ in 0..100 {
+            let v = tree.generate(&mut rng);
+            assert!(depth(&v) <= 4, "{v:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: multi-arg properties with tuples.
+        #[test]
+        fn macro_roundtrip(pairs in prop::collection::vec((0i64..50, any::<bool>()), 1..10)) {
+            prop_assert!(!pairs.is_empty());
+            for (n, _) in &pairs {
+                prop_assert!((0..50).contains(n), "n out of range: {}", n);
+            }
+            let bools: Vec<bool> = pairs.iter().map(|(_, b)| *b).collect();
+            prop_assert_eq!(pairs.len(), bools.len());
+            prop_assert_ne!(pairs.len(), 0);
+        }
+    }
+}

@@ -32,12 +32,18 @@ pub fn xml_to_value(node: &XmlNode) -> Value {
             m.insert("comment".to_string(), Value::Str(c.clone()));
             Value::Object(m)
         }
-        XmlNode::Element { name, attrs, children } => {
+        XmlNode::Element {
+            name,
+            attrs,
+            children,
+        } => {
             let mut m = BTreeMap::new();
             m.insert("tag".to_string(), Value::Str(name.clone()));
             if !attrs.is_empty() {
-                let amap: BTreeMap<String, Value> =
-                    attrs.iter().map(|(k, v)| (k.clone(), Value::Str(v.clone()))).collect();
+                let amap: BTreeMap<String, Value> = attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .collect();
                 m.insert("attrs".to_string(), Value::Object(amap));
             }
             if !children.is_empty() {
@@ -86,12 +92,17 @@ pub fn value_to_xml(v: &Value) -> Result<XmlNode> {
             }
             for k in m.keys() {
                 if !matches!(k.as_str(), "tag" | "attrs" | "children") {
-                    return Err(Error::Invalid(format!("unexpected key `{k}` in xml bridge object")));
+                    return Err(Error::Invalid(format!(
+                        "unexpected key `{k}` in xml bridge object"
+                    )));
                 }
             }
             Ok(el)
         }
-        other => Err(Error::type_err("Str or Object (xml bridge)", other.type_name())),
+        other => Err(Error::type_err(
+            "Str or Object (xml bridge)",
+            other.type_name(),
+        )),
     }
 }
 
@@ -140,16 +151,24 @@ mod tests {
 
     #[test]
     fn attribute_order_canonicalizes_to_sorted() {
-        let el = XmlNode::element("e").with_attr("z", "1").with_attr("a", "2");
+        let el = XmlNode::element("e")
+            .with_attr("z", "1")
+            .with_attr("a", "2");
         let back = value_to_xml(&xml_to_value(&el)).unwrap();
-        assert_eq!(back.attrs(), &[("a".into(), "2".into()), ("z".into(), "1".into())]);
+        assert_eq!(
+            back.attrs(),
+            &[("a".into(), "2".into()), ("z".into(), "1".into())]
+        );
     }
 
     #[test]
     fn decode_rejects_malformed_bridge_values() {
         assert!(value_to_xml(&Value::Int(1)).is_err());
         assert!(value_to_xml(&obj! {"notag" => 1}).is_err());
-        assert!(value_to_xml(&obj! {"tag" => 1}).is_err(), "tag must be a string");
+        assert!(
+            value_to_xml(&obj! {"tag" => 1}).is_err(),
+            "tag must be a string"
+        );
         assert!(value_to_xml(&obj! {"tag" => "e", "attrs" => arr![1]}).is_err());
         assert!(value_to_xml(&obj! {"tag" => "e", "children" => "x"}).is_err());
         assert!(value_to_xml(&obj! {"tag" => "e", "bogus" => 1}).is_err());

@@ -85,7 +85,11 @@ mod proptests {
     fn canonical(node: XmlNode) -> XmlNode {
         fn sort_attrs(n: XmlNode) -> XmlNode {
             match n {
-                XmlNode::Element { name, mut attrs, children } => {
+                XmlNode::Element {
+                    name,
+                    mut attrs,
+                    children,
+                } => {
                     attrs.sort();
                     XmlNode::Element {
                         name,

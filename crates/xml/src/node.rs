@@ -27,7 +27,11 @@ pub enum XmlNode {
 impl XmlNode {
     /// New empty element.
     pub fn element(name: impl Into<String>) -> XmlNode {
-        XmlNode::Element { name: name.into(), attrs: Vec::new(), children: Vec::new() }
+        XmlNode::Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// New text node.
@@ -64,9 +68,10 @@ impl XmlNode {
     /// Attribute lookup.
     pub fn attr(&self, key: &str) -> Option<&str> {
         match self {
-            XmlNode::Element { attrs, .. } => {
-                attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
-            }
+            XmlNode::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str()),
             _ => None,
         }
     }
@@ -136,7 +141,9 @@ impl XmlNode {
 
     /// All child elements with the given tag.
     pub fn child_elements<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a XmlNode> + 'a {
-        self.children().iter().filter(move |c| c.is_element_named(tag))
+        self.children()
+            .iter()
+            .filter(move |c| c.is_element_named(tag))
     }
 
     /// Concatenated text content of this subtree (XPath `string()` value).
@@ -173,7 +180,11 @@ impl XmlNode {
     #[must_use]
     pub fn normalized(self) -> XmlNode {
         match self {
-            XmlNode::Element { name, attrs, children } => {
+            XmlNode::Element {
+                name,
+                attrs,
+                children,
+            } => {
                 let mut out: Vec<XmlNode> = Vec::with_capacity(children.len());
                 for child in children {
                     let child = child.normalized();
@@ -183,7 +194,11 @@ impl XmlNode {
                         _ => out.push(child),
                     }
                 }
-                XmlNode::Element { name, attrs, children: out }
+                XmlNode::Element {
+                    name,
+                    attrs,
+                    children: out,
+                }
             }
             other => other,
         }
@@ -212,7 +227,10 @@ impl XmlDocument {
             matches!(root, XmlNode::Element { .. }),
             "document root must be an element"
         );
-        XmlDocument { root, with_declaration: false }
+        XmlDocument {
+            root,
+            with_declaration: false,
+        }
     }
 
     /// The root element.
@@ -260,15 +278,26 @@ mod tests {
         assert_eq!(inv.attr("id"), Some("I-1"));
         assert_eq!(inv.attr("missing"), None);
         assert_eq!(inv.child_element("Total").unwrap().text_content(), "39.98");
-        assert_eq!(inv.child_element("Items").unwrap().child_elements("Item").count(), 2);
+        assert_eq!(
+            inv.child_element("Items")
+                .unwrap()
+                .child_elements("Item")
+                .count(),
+            2
+        );
         assert_eq!(inv.element_count(), 6);
     }
 
     #[test]
     fn set_attr_replaces_in_place_keeping_order() {
-        let mut el = XmlNode::element("e").with_attr("a", "1").with_attr("b", "2");
+        let mut el = XmlNode::element("e")
+            .with_attr("a", "1")
+            .with_attr("b", "2");
         el.set_attr("a", "9");
-        assert_eq!(el.attrs(), &[("a".into(), "9".into()), ("b".into(), "2".into())]);
+        assert_eq!(
+            el.attrs(),
+            &[("a".into(), "9".into()), ("b".into(), "2".into())]
+        );
     }
 
     #[test]

@@ -47,7 +47,13 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
-        Parser { bytes: src.as_bytes(), src, pos: 0, line: 1, col: 1 }
+        Parser {
+            bytes: src.as_bytes(),
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> Error {
@@ -193,7 +199,9 @@ impl<'a> Parser<'a> {
                 self.consume("</");
                 let close = self.parse_name()?;
                 if close != name {
-                    return Err(self.err(format!("mismatched close tag `</{close}>`, expected `</{name}>`")));
+                    return Err(self.err(format!(
+                        "mismatched close tag `</{close}>`, expected `</{name}>`"
+                    )));
                 }
                 self.skip_ws();
                 if !self.consume(">") {
@@ -224,7 +232,10 @@ impl<'a> Parser<'a> {
 
     fn bump_char(&mut self) -> Result<char> {
         let rest = &self.src[self.pos..];
-        let c = rest.chars().next().ok_or_else(|| self.err("unexpected end of input"))?;
+        let c = rest
+            .chars()
+            .next()
+            .ok_or_else(|| self.err("unexpected end of input"))?;
         for _ in 0..c.len_utf8() {
             self.bump();
         }
@@ -322,7 +333,9 @@ mod tests {
 
     #[test]
     fn declaration_and_prolog_comments() {
-        let doc = parse("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!-- hi -->\n<a/>\n<!-- bye -->").unwrap();
+        let doc =
+            parse("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!-- hi -->\n<a/>\n<!-- bye -->")
+                .unwrap();
         assert_eq!(doc.root().name(), Some("a"));
     }
 
@@ -410,6 +423,9 @@ mod tests {
     #[test]
     fn unicode_names_and_text() {
         let doc = parse("<lasku><summa>10€</summa></lasku>").unwrap();
-        assert_eq!(doc.root().child_element("summa").unwrap().text_content(), "10€");
+        assert_eq!(
+            doc.root().child_element("summa").unwrap().text_content(),
+            "10€"
+        );
     }
 }

@@ -44,7 +44,11 @@ fn write_node(out: &mut String, node: &XmlNode, indent: Option<usize>) {
             out.push_str(c);
             out.push_str("-->");
         }
-        XmlNode::Element { name, attrs, children } => {
+        XmlNode::Element {
+            name,
+            attrs,
+            children,
+        } => {
             out.push('<');
             out.push_str(name);
             for (k, v) in attrs {
@@ -179,9 +183,7 @@ mod tests {
 
     #[test]
     fn comments_roundtrip() {
-        let doc = XmlDocument::new(
-            XmlNode::element("t").with_child(XmlNode::comment(" keep me ")),
-        );
+        let doc = XmlDocument::new(XmlNode::element("t").with_child(XmlNode::comment(" keep me ")));
         assert_eq!(parse(&to_string(&doc)).unwrap(), doc);
     }
 }

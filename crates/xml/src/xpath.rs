@@ -82,7 +82,11 @@ enum PredLhs {
 enum Pred {
     Position(usize),
     HasAttr(String),
-    Cmp { lhs: PredLhs, op: CmpOp, rhs: Literal },
+    Cmp {
+        lhs: PredLhs,
+        op: CmpOp,
+        rhs: Literal,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -152,7 +156,10 @@ impl XPath {
 
     /// String values of every selected item.
     pub fn strings(&self, root: &XmlNode) -> Vec<String> {
-        self.select(root).iter().map(Selected::string_value).collect()
+        self.select(root)
+            .iter()
+            .map(Selected::string_value)
+            .collect()
     }
 
     /// String value of the first selected item.
@@ -271,8 +278,10 @@ fn apply_step<'a>(ctx: Option<&'a XmlNode>, root: &'a XmlNode, step: &Step) -> S
         NodeTest::Attr(_) => unreachable!("attribute tests handled above"),
         NodeTest::AnyElement => StepOut::Nodes(filter_preds(elem_candidates, &step.preds)),
         NodeTest::Named(name) => {
-            let named: Vec<&XmlNode> =
-                elem_candidates.into_iter().filter(|e| e.is_element_named(name)).collect();
+            let named: Vec<&XmlNode> = elem_candidates
+                .into_iter()
+                .filter(|e| e.is_element_named(name))
+                .collect();
             StepOut::Nodes(filter_preds(named, &step.preds))
         }
     }
@@ -288,15 +297,16 @@ fn filter_preds<'a>(mut nodes: Vec<&'a XmlNode>, preds: &[Pred]) -> Vec<&'a XmlN
                     Vec::new()
                 }
             }
-            Pred::HasAttr(name) => nodes.into_iter().filter(|n| n.attr(name).is_some()).collect(),
+            Pred::HasAttr(name) => nodes
+                .into_iter()
+                .filter(|n| n.attr(name).is_some())
+                .collect(),
             Pred::Cmp { lhs, op, rhs } => nodes
                 .into_iter()
                 .filter(|n| {
                     let actual: Option<String> = match lhs {
                         PredLhs::Attr(a) => n.attr(a).map(str::to_string),
-                        PredLhs::ChildText(tag) => {
-                            n.child_element(tag).map(|c| c.text_content())
-                        }
+                        PredLhs::ChildText(tag) => n.child_element(tag).map(|c| c.text_content()),
                         PredLhs::OwnText => Some(n.text_content()),
                     };
                     match actual {
@@ -548,7 +558,10 @@ mod tests {
     #[test]
     fn attribute_selection() {
         assert_eq!(eval("/Invoice/@id"), vec!["I-1"]);
-        assert_eq!(eval("/Invoice/Items/Item/@productId"), vec!["P-1", "P-2", "P-3"]);
+        assert_eq!(
+            eval("/Invoice/Items/Item/@productId"),
+            vec!["P-1", "P-2", "P-3"]
+        );
         assert_eq!(eval("/Invoice/@missing"), Vec::<String>::new());
     }
 
@@ -580,7 +593,10 @@ mod tests {
         assert_eq!(eval("//Item[Price<=5]/@productId"), vec!["P-2", "P-3"]);
         // quoted literal forces *string* comparison: "5.00" and "2.50" also
         // sort after "10" lexicographically
-        assert_eq!(eval("//Item[Price>'10']/@productId"), vec!["P-1", "P-2", "P-3"]);
+        assert_eq!(
+            eval("//Item[Price>'10']/@productId"),
+            vec!["P-1", "P-2", "P-3"]
+        );
         // numeric literal compares numerically
         assert_eq!(eval("//Item[Price>10]/@productId"), vec!["P-1"]);
     }
@@ -608,9 +624,14 @@ mod tests {
 
     #[test]
     fn values_bridge_types() {
-        let vals = XPath::parse("/Invoice/Total/text()").unwrap().values(&invoice());
+        let vals = XPath::parse("/Invoice/Total/text()")
+            .unwrap()
+            .values(&invoice());
         assert_eq!(vals, vec![Value::from("54.98")]);
-        assert_eq!(XPath::parse("/Invoice/Total").unwrap().number(&invoice()), Some(54.98));
+        assert_eq!(
+            XPath::parse("/Invoice/Total").unwrap().number(&invoice()),
+            Some(54.98)
+        );
     }
 
     #[test]
@@ -625,9 +646,17 @@ mod tests {
     #[test]
     fn parser_rejects_malformed() {
         for bad in [
-            "", "/", "/Invoice/[1]", "/Invoice/Item[", "/Invoice/Item[@]",
-            "/a/text()[1]", "/a/@b[1]", "//Item[0]", "/Invoice/Item[Price~5]",
-            "/Invoice/Item[Price=']", "/a b",
+            "",
+            "/",
+            "/Invoice/[1]",
+            "/Invoice/Item[",
+            "/Invoice/Item[@]",
+            "/a/text()[1]",
+            "/a/@b[1]",
+            "//Item[0]",
+            "/Invoice/Item[Price~5]",
+            "/Invoice/Item[Price=']",
+            "/a b",
         ] {
             assert!(XPath::parse(bad).is_err(), "should reject {bad:?}");
         }

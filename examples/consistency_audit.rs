@@ -21,21 +21,43 @@ fn main() -> udbms::Result<()> {
         "atomicity: {} cross-model txns, {} aborted mid-flight, {} complete, {} PARTIAL",
         a.attempted, a.aborted, a.complete, a.partial
     );
-    assert_eq!(a.partial, 0, "the unified engine never leaks partial transactions");
+    assert_eq!(
+        a.partial, 0,
+        "the unified engine never leaks partial transactions"
+    );
 
-    println!("\n{:<14} {:>10} {:>8} {:>8} {:>9}", "anomaly", "isolation", "events", "lost", "retries");
-    for iso in [Isolation::ReadCommitted, Isolation::Snapshot, Isolation::Serializable] {
+    println!(
+        "\n{:<14} {:>10} {:>8} {:>8} {:>9}",
+        "anomaly", "isolation", "events", "lost", "retries"
+    );
+    for iso in [
+        Isolation::ReadCommitted,
+        Isolation::Snapshot,
+        Isolation::Serializable,
+    ] {
         let r = lost_update_census(iso, 200)?;
         println!(
             "{:<14} {:>10} {:>8} {:>8} {:>9}",
-            "lost-update", iso.label(), r.committed, r.lost, r.conflict_retries
+            "lost-update",
+            iso.label(),
+            r.committed,
+            r.lost,
+            r.conflict_retries
         );
     }
-    for iso in [Isolation::ReadCommitted, Isolation::Snapshot, Isolation::Serializable] {
+    for iso in [
+        Isolation::ReadCommitted,
+        Isolation::Snapshot,
+        Isolation::Serializable,
+    ] {
         let r = write_skew_census(iso, 200)?;
         println!(
             "{:<14} {:>10} {:>8} {:>8} {:>9}",
-            "write-skew", iso.label(), r.pairs, r.violations, "-"
+            "write-skew",
+            iso.label(),
+            r.pairs,
+            r.violations,
+            "-"
         );
     }
 
@@ -51,7 +73,11 @@ fn main() -> udbms::Result<()> {
     println!("\nPBS curve (lag uniform 5-50ms, 3 replicas): P(fresh | Δt)");
     for p in pbs_curve(&cfg, &[0, 5, 10, 20, 30, 40, 50, 75, 100]) {
         let bar = "#".repeat((p.p_fresh * 40.0) as usize);
-        println!("  Δt={:>4}ms  {:>6.1}%  {bar}", p.delta_ms, p.p_fresh * 100.0);
+        println!(
+            "  Δt={:>4}ms  {:>6.1}%  {bar}",
+            p.delta_ms,
+            p.p_fresh * 100.0
+        );
     }
 
     println!("\nstaleness under sustained writes (every 20ms):");
@@ -72,7 +98,10 @@ fn main() -> udbms::Result<()> {
     }
 
     println!("\nsession guarantees (read 5ms after write):");
-    for (name, policy) in [("primary", ReadPolicy::Primary), ("any-replica", ReadPolicy::AnyReplica)] {
+    for (name, policy) in [
+        ("primary", ReadPolicy::Primary),
+        ("any-replica", ReadPolicy::AnyReplica),
+    ] {
         let s = session_guarantees(&cfg, 5, policy);
         println!(
             "  {:<12} read-your-writes violations {:.1}%, monotonic-read violations {:.1}%",
@@ -86,9 +115,19 @@ fn main() -> udbms::Result<()> {
     for (name, lag) in [
         ("fixed 10ms", LagModel::Fixed(10)),
         ("uniform 5-50ms", LagModel::Uniform(5, 50)),
-        ("bimodal 10ms/100ms", LagModel::Bimodal { base: 10, p_slow: 0.1 }),
+        (
+            "bimodal 10ms/100ms",
+            LagModel::Bimodal {
+                base: 10,
+                p_slow: 0.1,
+            },
+        ),
     ] {
-        let c = ConsistencyConfig { lag, trials: 100, ..cfg.clone() };
+        let c = ConsistencyConfig {
+            lag,
+            trials: 100,
+            ..cfg.clone()
+        };
         println!("  {:<20} {:>7.1}ms", name, convergence_time(&c, 20));
     }
     Ok(())

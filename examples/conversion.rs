@@ -8,12 +8,15 @@
 
 use std::time::Instant;
 
-use udbms::convert::{score_all, json_to_xml, xml_to_json};
+use udbms::convert::{json_to_xml, score_all, xml_to_json};
 use udbms::core::obj;
 use udbms::datagen::{generate, GenConfig};
 
 fn main() -> udbms::Result<()> {
-    let cfg = GenConfig { scale_factor: 0.2, ..Default::default() };
+    let cfg = GenConfig {
+        scale_factor: 0.2,
+        ..Default::default()
+    };
     let data = generate(&cfg);
     println!(
         "dataset: {} customers, {} orders, {} feedback entries",
@@ -22,14 +25,24 @@ fn main() -> udbms::Result<()> {
         data.feedback.len()
     );
 
-    println!("\n{:<22} {:>9} {:>9} {:>10}", "task", "records", "fidelity", "time");
+    println!(
+        "\n{:<22} {:>9} {:>9} {:>10}",
+        "task", "records", "fidelity", "time"
+    );
     for _ in 0..1 {
         let t0 = Instant::now();
         let scores = score_all(&data);
         let total = t0.elapsed();
         for s in &scores {
-            println!("{:<22} {:>9} {:>9.4} {:>10?}", s.name, s.produced, s.fidelity, "-");
-            assert!((s.fidelity - 1.0).abs() < 1e-12, "{} must match its gold standard", s.name);
+            println!(
+                "{:<22} {:>9} {:>9.4} {:>10?}",
+                s.name, s.produced, s.fidelity, "-"
+            );
+            assert!(
+                (s.fidelity - 1.0).abs() < 1e-12,
+                "{} must match its gold standard",
+                s.name
+            );
         }
         println!("(all five tasks scored in {total:?})");
     }

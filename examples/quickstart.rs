@@ -30,12 +30,19 @@ fn main() -> udbms::Result<()> {
 
     // 2. One transaction, five models — the paper's core scenario
     engine.run(Isolation::Snapshot, |txn| {
-        txn.insert("customers", obj! {"id" => 1, "name" => "Ada", "country" => "FI"})?;
+        txn.insert(
+            "customers",
+            obj! {"id" => 1, "name" => "Ada", "country" => "FI"},
+        )?;
         txn.insert(
             "orders",
             obj! {"_id" => "O-1", "customer" => 1, "total" => 39.98, "status" => "paid"},
         )?;
-        txn.put("feedback", Key::str("fb:O-1"), obj! {"rating" => 5, "text" => "fast!"})?;
+        txn.put(
+            "feedback",
+            Key::str("fb:O-1"),
+            obj! {"rating" => 5, "text" => "fast!"},
+        )?;
         txn.put_xml(
             "invoices",
             Key::str("inv:O-1"),
@@ -72,7 +79,11 @@ fn main() -> udbms::Result<()> {
     let mut reader = engine.begin(Isolation::Snapshot);
     let before = reader.get("feedback", &Key::str("fb:O-1"))?;
     engine.run(Isolation::Snapshot, |txn| {
-        txn.put("feedback", Key::str("fb:O-1"), obj! {"rating" => 1, "text" => "changed my mind"})
+        txn.put(
+            "feedback",
+            Key::str("fb:O-1"),
+            obj! {"rating" => 1, "text" => "changed my mind"},
+        )
     })?;
     let after = reader.get("feedback", &Key::str("fb:O-1"))?;
     assert_eq!(before, after, "snapshot stability");

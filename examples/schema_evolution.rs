@@ -14,12 +14,15 @@ use udbms::evolution::{analyze_workload, apply, standard_chain, QueryFate};
 use udbms::query::Statement;
 
 fn main() -> udbms::Result<()> {
-    let cfg = GenConfig { scale_factor: 0.05, ..Default::default() };
+    let cfg = GenConfig {
+        scale_factor: 0.05,
+        ..Default::default()
+    };
     let (engine, data) = build_engine(&cfg)?;
     let params = workload::QueryParams::draw(&data, 1);
-    let stmts: Vec<Statement> = workload::queries(&params)
-        .iter()
-        .map(|q| udbms::query::parse(&q.mmql).expect("workload queries parse"))
+    let stmts: Vec<Statement> = workload::bound_queries(&params)?
+        .into_iter()
+        .map(|(_, q)| q.statement().clone())
         .collect();
 
     let chain = standard_chain();
@@ -30,8 +33,13 @@ fn main() -> udbms::Result<()> {
     let (r0, _) = analyze_workload(&stmts, &[]);
     println!(
         "{:<5} {:<55} {:>6} {:>10} {:>7} {:>7.0}% {:>7.0}%",
-        0, "(original schema)", r0.valid, r0.adaptable, r0.broken,
-        r0.strict_score * 100.0, r0.adapted_score * 100.0
+        0,
+        "(original schema)",
+        r0.valid,
+        r0.adaptable,
+        r0.broken,
+        r0.strict_score * 100.0,
+        r0.adapted_score * 100.0
     );
 
     for (i, op) in chain.iter().enumerate() {

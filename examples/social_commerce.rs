@@ -16,7 +16,10 @@ use udbms::engine::Isolation;
 use udbms::polyglot::{load_into_polyglot, run_query, PolyglotDb};
 
 fn main() -> udbms::Result<()> {
-    let cfg = GenConfig { scale_factor: 0.1, ..Default::default() };
+    let cfg = GenConfig {
+        scale_factor: 0.1,
+        ..Default::default()
+    };
 
     // -- generate + load -------------------------------------------------
     let t0 = Instant::now();
@@ -36,14 +39,20 @@ fn main() -> udbms::Result<()> {
     let polyglot = PolyglotDb::new();
     load_into_polyglot(&polyglot, &data)?;
 
-    println!("\nFigure-1 inventory:\n{}", udbms::json::to_string_pretty(&data.inventory()));
+    println!(
+        "\nFigure-1 inventory:\n{}",
+        udbms::json::to_string_pretty(&data.inventory())
+    );
 
     // -- the Q1..Q10 multi-model workload on both subjects ---------------
     let params = workload::QueryParams::draw(&data, 1);
-    println!("\n{:<4} {:>10} {:>10} {:>7}  query", "id", "engine", "polyglot", "rows");
-    for q in workload::queries(&params) {
+    println!(
+        "\n{:<4} {:>10} {:>10} {:>7}  query",
+        "id", "engine", "polyglot", "rows"
+    );
+    for (q, bound) in workload::bound_queries(&params)? {
         let t = Instant::now();
-        let unified = udbms::query::run(&engine, Isolation::Snapshot, &q.mmql)?;
+        let unified = engine.run(Isolation::Snapshot, |t| bound.execute(t))?;
         let engine_us = t.elapsed().as_micros();
         let t = Instant::now();
         let poly = run_query(&polyglot, q.id, &params)?;
@@ -61,13 +70,23 @@ fn main() -> udbms::Result<()> {
 
     // -- the paper's cross-model transaction ------------------------------
     let order_key = Key::str(data.orders[0].get_field("_id").as_str().expect("order id"));
-    println!("\norder_update({order_key}) — JSON orders + JSON products + KV feedback + XML invoice:");
+    println!(
+        "\norder_update({order_key}) — JSON orders + JSON products + KV feedback + XML invoice:"
+    );
     let before = engine.run(Isolation::Snapshot, |t| {
-        Ok(t.get("orders", &order_key)?.expect("seeded order").get_field("status").clone())
+        Ok(t.get("orders", &order_key)?
+            .expect("seeded order")
+            .get_field("status")
+            .clone())
     })?;
-    engine.run(Isolation::Snapshot, |t| workload::order_update(t, &order_key))?;
+    engine.run(Isolation::Snapshot, |t| {
+        workload::order_update(t, &order_key)
+    })?;
     let after = engine.run(Isolation::Snapshot, |t| {
-        Ok(t.get("orders", &order_key)?.expect("still there").get_field("status").clone())
+        Ok(t.get("orders", &order_key)?
+            .expect("still there")
+            .get_field("status")
+            .clone())
     })?;
     println!("  order status: {before} -> {after}");
     let invoice_status = engine.run(Isolation::Snapshot, |t| {

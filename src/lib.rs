@@ -24,6 +24,7 @@ pub use udbms_convert as convert;
 pub use udbms_core as core;
 pub use udbms_datagen as datagen;
 pub use udbms_document as document;
+pub use udbms_driver as driver;
 pub use udbms_engine as engine;
 pub use udbms_evolution as evolution;
 pub use udbms_graph as graph;
@@ -34,4 +35,5 @@ pub use udbms_query as query;
 pub use udbms_relational as relational;
 pub use udbms_xml as xml;
 
-pub use udbms_core::{Error, Result, Value};
+pub use udbms_core::{Error, Params, Result, Value};
+pub use udbms_driver::{Subject, TxnOp};

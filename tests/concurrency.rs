@@ -11,7 +11,10 @@ use udbms::engine::Isolation;
 
 #[test]
 fn order_update_storm_preserves_cross_model_invariants() {
-    let cfg = GenConfig { scale_factor: 0.02, ..Default::default() };
+    let cfg = GenConfig {
+        scale_factor: 0.02,
+        ..Default::default()
+    };
     let (engine, data) = build_engine(&cfg).unwrap();
     let picker = Arc::new(workload::OrderPicker::new(&data, 0.9));
     let applied = Arc::new(AtomicU64::new(0));
@@ -51,8 +54,11 @@ fn order_update_storm_preserves_cross_model_invariants() {
             for (_, order) in t.scan("orders")? {
                 if order.get_field("status") == &Value::from("shipped") {
                     let oid = order.get_field("_id").as_str().unwrap();
-                    let st =
-                        t.xpath("invoices", &Key::str(format!("inv:{oid}")), "/Invoice/@status")?;
+                    let st = t.xpath(
+                        "invoices",
+                        &Key::str(format!("inv:{oid}")),
+                        "/Invoice/@status",
+                    )?;
                     assert_eq!(
                         st,
                         vec![Value::from("shipped")],
@@ -65,12 +71,18 @@ fn order_update_storm_preserves_cross_model_invariants() {
         .unwrap();
 
     let stats = engine.stats();
-    assert!(stats.ww_conflicts > 0, "θ=0.9 contention must produce conflicts: {stats:?}");
+    assert!(
+        stats.ww_conflicts > 0,
+        "θ=0.9 contention must produce conflicts: {stats:?}"
+    );
 }
 
 #[test]
 fn concurrent_readers_see_stable_snapshots_during_storm() {
-    let cfg = GenConfig { scale_factor: 0.01, ..Default::default() };
+    let cfg = GenConfig {
+        scale_factor: 0.01,
+        ..Default::default()
+    };
     let (engine, data) = build_engine(&cfg).unwrap();
     let stop = Arc::new(AtomicU64::new(0));
 
@@ -88,7 +100,11 @@ fn concurrent_readers_see_stable_snapshots_during_storm() {
             while stop.load(Ordering::Relaxed) == 0 {
                 let key = &data_orders[rng.index(data_orders.len())];
                 let _ = engine.run(Isolation::Snapshot, |t| {
-                    t.merge("orders", key, udbms::core::obj! {"churn" => rng.next_u64() as i64})
+                    t.merge(
+                        "orders",
+                        key,
+                        udbms::core::obj! {"churn" => rng.next_u64() as i64},
+                    )
                 });
             }
         })
@@ -109,7 +125,10 @@ fn concurrent_readers_see_stable_snapshots_during_storm() {
 
 #[test]
 fn gc_runs_safely_under_concurrent_load() {
-    let cfg = GenConfig { scale_factor: 0.01, ..Default::default() };
+    let cfg = GenConfig {
+        scale_factor: 0.01,
+        ..Default::default()
+    };
     let (engine, data) = build_engine(&cfg).unwrap();
     let okey = Key::str(data.orders[0].get_field("_id").as_str().unwrap());
 
@@ -134,17 +153,29 @@ fn gc_runs_safely_under_concurrent_load() {
     writer.join().unwrap();
     engine.gc();
     let v = engine
-        .run(Isolation::Snapshot, |t| Ok(t.get("orders", &okey)?.unwrap()))
+        .run(Isolation::Snapshot, |t| {
+            Ok(t.get("orders", &okey)?.unwrap())
+        })
         .unwrap();
-    assert_eq!(v.get_field("round"), &Value::Int(199), "no update lost across GC");
-    assert!(engine.stats().max_chain_len < 10, "GC bounded the hot chain");
+    assert_eq!(
+        v.get_field("round"),
+        &Value::Int(199),
+        "no update lost across GC"
+    );
+    assert!(
+        engine.stats().max_chain_len < 10,
+        "GC bounded the hot chain"
+    );
 }
 
 #[test]
 fn isolation_levels_order_by_strictness_under_contention() {
     // serializable aborts ⊇ snapshot aborts on the same contended mix
     let run_mix = |iso: Isolation| -> (u64, u64) {
-        let cfg = GenConfig { scale_factor: 0.01, ..Default::default() };
+        let cfg = GenConfig {
+            scale_factor: 0.01,
+            ..Default::default()
+        };
         let (engine, data) = build_engine(&cfg).unwrap();
         let picker = Arc::new(workload::OrderPicker::new(&data, 0.99));
         let threads: Vec<_> = (0..4)

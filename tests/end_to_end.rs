@@ -11,7 +11,10 @@ use udbms::evolution::{analyze_workload, apply_chain, standard_chain, QueryFate}
 use udbms::polyglot::{load_into_polyglot, run_query, PolyglotDb};
 
 fn small_cfg() -> GenConfig {
-    GenConfig { scale_factor: 0.02, ..Default::default() }
+    GenConfig {
+        scale_factor: 0.02,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -24,11 +27,12 @@ fn the_full_benchmark_loop() {
 
     // 2. the workload agrees across subjects
     let params = workload::QueryParams::draw(&data, 7);
-    for q in workload::queries(&params) {
-        let mut a = udbms::query::run(&engine, Isolation::Snapshot, &q.mmql)
+    for (q, bound) in workload::bound_queries(&params).expect("workload binds") {
+        let mut a = engine
+            .run(Isolation::Snapshot, |t| bound.execute(t))
             .unwrap_or_else(|e| panic!("{} engine: {e}", q.id));
-        let mut b =
-            run_query(&polyglot, q.id, &params).unwrap_or_else(|e| panic!("{} polyglot: {e}", q.id));
+        let mut b = run_query(&polyglot, q.id, &params)
+            .unwrap_or_else(|e| panic!("{} polyglot: {e}", q.id));
         a.sort();
         b.sort();
         assert_eq!(a, b, "{} diverged", q.id);
@@ -49,9 +53,10 @@ fn the_full_benchmark_loop() {
     // 4. evolve the schema and keep the history workload alive
     let chain = standard_chain();
     apply_chain(&engine, &chain[..6]).expect("non-destructive prefix");
-    let stmts: Vec<_> = workload::queries(&params)
-        .iter()
-        .map(|q| udbms::query::parse(&q.mmql).unwrap())
+    let stmts: Vec<_> = workload::bound_queries(&params)
+        .expect("workload binds")
+        .into_iter()
+        .map(|(_, q)| q.statement().clone())
         .collect();
     let (report, fates) = analyze_workload(&stmts, &chain[..6]);
     assert_eq!(report.broken, 0);
@@ -72,15 +77,20 @@ fn the_full_benchmark_loop() {
     let a = atomicity_census(100, 0.3, 9).unwrap();
     assert_eq!(a.partial, 0);
     assert_eq!(lost_update_census(Isolation::Snapshot, 20).unwrap().lost, 0);
-    assert_eq!(write_skew_census(Isolation::Serializable, 20).unwrap().violations, 0);
+    assert_eq!(
+        write_skew_census(Isolation::Serializable, 20)
+            .unwrap()
+            .violations,
+        0
+    );
 }
 
 #[test]
 fn gc_keeps_queries_correct_under_churn() {
     let (engine, data) = build_engine(&small_cfg()).unwrap();
     let params = workload::QueryParams::draw(&data, 3);
-    let q2 = &workload::queries(&params)[1];
-    let before = udbms::query::run(&engine, Isolation::Snapshot, &q2.mmql).unwrap();
+    let (_, q2) = workload::bound_queries(&params).unwrap().swap_remove(1);
+    let before = engine.run(Isolation::Snapshot, |t| q2.execute(t)).unwrap();
 
     // churn: rewrite every order several times, then GC
     for round in 0..3 {
@@ -100,7 +110,7 @@ fn gc_keeps_queries_correct_under_churn() {
     assert!(gc.versions_removed > 0);
     assert!(stats_after.versions < stats_before.versions);
 
-    let after = udbms::query::run(&engine, Isolation::Snapshot, &q2.mmql).unwrap();
+    let after = engine.run(Isolation::Snapshot, |t| q2.execute(t)).unwrap();
     // Q2 projects name/order/total/status — untouched by churn fields
     assert_eq!(before, after, "GC must not change query results");
 }
@@ -115,9 +125,13 @@ fn workload_is_deterministic_across_processes() {
     let p1 = workload::QueryParams::draw(&data1, 5);
     let p2 = workload::QueryParams::draw(&data2, 5);
     assert_eq!(p1.customer, p2.customer);
-    for q in workload::queries(&p1) {
-        let a = udbms::query::run(&engine1, Isolation::Snapshot, &q.mmql).unwrap();
-        let b = udbms::query::run(&engine2, Isolation::Snapshot, &q.mmql).unwrap();
+    for (q, bound) in workload::bound_queries(&p1).unwrap() {
+        let a = engine1
+            .run(Isolation::Snapshot, |t| bound.execute(t))
+            .unwrap();
+        let b = engine2
+            .run(Isolation::Snapshot, |t| bound.execute(t))
+            .unwrap();
         assert_eq!(a, b, "{}", q.id);
     }
 }

@@ -8,7 +8,8 @@ use udbms::relational::IndexKind;
 
 fn engine() -> Engine {
     let e = Engine::new();
-    e.create_collection(CollectionSchema::document("t", "_id", vec![])).unwrap();
+    e.create_collection(CollectionSchema::document("t", "_id", vec![]))
+        .unwrap();
     e.create_graph("g").unwrap();
     e.run(Isolation::Snapshot, |txn| {
         for i in 1..=6 {
@@ -58,11 +59,20 @@ fn let_bound_array_iterated_by_name_not_collection() {
 #[test]
 fn collect_without_groups_and_empty_inputs() {
     let e = engine();
-    let out = q(&e, "FOR x IN t FILTER x.v > 100 COLLECT AGGREGATE n = COUNT() RETURN n");
+    let out = q(
+        &e,
+        "FOR x IN t FILTER x.v > 100 COLLECT AGGREGATE n = COUNT() RETURN n",
+    );
     // no input rows ⇒ no groups ⇒ no output rows (AQL semantics)
     assert_eq!(out, Vec::<Value>::new());
-    let out = q(&e, "FOR x IN t COLLECT g = x.grp AGGREGATE n = COUNT() SORT g RETURN {g, n}");
-    assert_eq!(out, vec![obj! {"g" => 0, "n" => 3}, obj! {"g" => 1, "n" => 3}]);
+    let out = q(
+        &e,
+        "FOR x IN t COLLECT g = x.grp AGGREGATE n = COUNT() SORT g RETURN {g, n}",
+    );
+    assert_eq!(
+        out,
+        vec![obj! {"g" => 0, "n" => 3}, obj! {"g" => 1, "n" => 3}]
+    );
 }
 
 #[test]
@@ -82,14 +92,19 @@ fn traversal_cycles_and_bounds() {
 #[test]
 fn pushdown_agrees_with_residual_on_updates_in_txn() {
     let e = engine();
-    e.create_index("t", FieldPath::key("v"), IndexKind::BTree).unwrap();
+    e.create_index("t", FieldPath::key("v"), IndexKind::BTree)
+        .unwrap();
     // inside one transaction: update a row, then query — the pushed
     // predicate must see the uncommitted write exactly like a scan would
     e.run(Isolation::Snapshot, |txn| {
         txn.merge("t", &Key::int(1), obj! {"v" => 100})?;
         let query = udbms::query::Query::parse("FOR x IN t FILTER x.v >= 100 RETURN x._id")?;
         let out = query.execute(txn)?;
-        assert_eq!(out, vec![Value::Int(1)], "own write visible through index path");
+        assert_eq!(
+            out,
+            vec![Value::Int(1)],
+            "own write visible through index path"
+        );
         let scan_query =
             udbms::query::Query::parse("FOR x IN t FILTER TO_NUMBER(x.v) >= 100 RETURN x._id")?;
         assert_eq!(scan_query.execute(txn)?, out, "pushdown == residual scan");
@@ -103,7 +118,8 @@ fn dynamic_pushdown_handles_null_join_keys() {
     let e = engine();
     // an index on the probed path must NOT change null-equality results
     // (nulls are unindexed; the engine must fall back to scanning)
-    e.create_index("t", FieldPath::key("v"), IndexKind::Hash).unwrap();
+    e.create_index("t", FieldPath::key("v"), IndexKind::Hash)
+        .unwrap();
     e.run(Isolation::Snapshot, |txn| {
         txn.insert("t", obj! {"_id" => 7, "v" => Value::Null})?;
         Ok(())
@@ -126,7 +142,10 @@ fn dynamic_pushdown_handles_null_join_keys() {
 #[test]
 fn limit_offset_beyond_end_and_distinct_on_objects() {
     let e = engine();
-    assert_eq!(q(&e, "FOR x IN t LIMIT 100, 5 RETURN x"), Vec::<Value>::new());
+    assert_eq!(
+        q(&e, "FOR x IN t LIMIT 100, 5 RETURN x"),
+        Vec::<Value>::new()
+    );
     assert_eq!(q(&e, "FOR x IN t LIMIT 4, 100 RETURN x._id").len(), 2);
     let out = q(&e, "FOR x IN t RETURN DISTINCT {g: x.grp}");
     assert_eq!(out.len(), 2, "distinct works on constructed objects");
@@ -140,7 +159,10 @@ fn dml_respects_transaction_boundaries() {
     let ins = udbms::query::Query::parse("INSERT {_id: 99, v: 99} INTO t").unwrap();
     ins.execute(&mut txn).unwrap();
     txn.abort();
-    assert_eq!(q(&e, "FOR x IN t FILTER x._id == 99 RETURN x"), Vec::<Value>::new());
+    assert_eq!(
+        q(&e, "FOR x IN t FILTER x._id == 99 RETURN x"),
+        Vec::<Value>::new()
+    );
     // remove of a missing key reports false, inside the same semantics
     let out = udbms::query::run(&e, Isolation::Snapshot, "REMOVE 1234 IN t").unwrap();
     assert_eq!(out, vec![Value::Bool(false)]);

@@ -8,7 +8,12 @@ use udbms::engine::{Engine, Isolation};
 
 fn engine() -> Engine {
     // seed 42, SF 0.01 → 10 customers, 5 products, 30 orders; fixed forever
-    build_engine(&GenConfig { scale_factor: 0.01, ..Default::default() }).unwrap().0
+    build_engine(&GenConfig {
+        scale_factor: 0.01,
+        ..Default::default()
+    })
+    .unwrap()
+    .0
 }
 
 fn q(engine: &Engine, text: &str) -> Vec<Value> {
@@ -19,7 +24,10 @@ fn q(engine: &Engine, text: &str) -> Vec<Value> {
 fn golden_counts_per_model() {
     let e = engine();
     assert_eq!(
-        q(&e, "FOR c IN customers COLLECT AGGREGATE n = COUNT() RETURN n"),
+        q(
+            &e,
+            "FOR c IN customers COLLECT AGGREGATE n = COUNT() RETURN n"
+        ),
         vec![Value::Int(10)]
     );
     assert_eq!(
@@ -27,11 +35,17 @@ fn golden_counts_per_model() {
         vec![Value::Int(30)]
     );
     assert_eq!(
-        q(&e, "FOR p IN products COLLECT AGGREGATE n = COUNT() RETURN n"),
+        q(
+            &e,
+            "FOR p IN products COLLECT AGGREGATE n = COUNT() RETURN n"
+        ),
         vec![Value::Int(5)]
     );
     assert_eq!(
-        q(&e, "FOR i IN invoices COLLECT AGGREGATE n = COUNT() RETURN n"),
+        q(
+            &e,
+            "FOR i IN invoices COLLECT AGGREGATE n = COUNT() RETURN n"
+        ),
         vec![Value::Int(30)]
     );
 }
@@ -40,7 +54,10 @@ fn golden_counts_per_model() {
 fn golden_aggregate_totals() {
     let e = engine();
     // total spend across all orders — a fixed number for seed 42
-    let out = q(&e, "FOR o IN orders COLLECT AGGREGATE s = SUM(o.total) RETURN ROUND(s)");
+    let out = q(
+        &e,
+        "FOR o IN orders COLLECT AGGREGATE s = SUM(o.total) RETURN ROUND(s)",
+    );
     assert_eq!(out.len(), 1);
     let total = out[0].as_int().unwrap();
     assert!(
@@ -48,7 +65,10 @@ fn golden_aggregate_totals() {
         "sanity band for 30 orders of 1-4 items at 1-500 EUR: {total}"
     );
     // …and it must be byte-stable across runs
-    let again = q(&e, "FOR o IN orders COLLECT AGGREGATE s = SUM(o.total) RETURN ROUND(s)");
+    let again = q(
+        &e,
+        "FOR o IN orders COLLECT AGGREGATE s = SUM(o.total) RETURN ROUND(s)",
+    );
     assert_eq!(out, again);
 
     // invoiced totals agree with order totals, model-for-model
@@ -60,7 +80,11 @@ fn golden_aggregate_totals() {
              FILTER ABS(x - o.total) > 0.005
              RETURN o._id"#,
     );
-    assert_eq!(mismatch, Vec::<Value>::new(), "xml invoices always match json orders");
+    assert_eq!(
+        mismatch,
+        Vec::<Value>::new(),
+        "xml invoices always match json orders"
+    );
 }
 
 #[test]
@@ -82,7 +106,10 @@ fn golden_status_distribution() {
         .collect();
     let total: i64 = statuses.iter().map(|(_, n)| n).sum();
     assert_eq!(total, 30);
-    assert!(statuses.len() >= 3, "at least three statuses appear: {statuses:?}");
+    assert!(
+        statuses.len() >= 3,
+        "at least three statuses appear: {statuses:?}"
+    );
     // stability check
     assert_eq!(out, q(&e, "FOR o IN orders COLLECT status = o.status AGGREGATE n = COUNT() SORT status RETURN {status, n}"));
 }
@@ -98,7 +125,11 @@ fn golden_graph_shape() {
              FILTER v == NULL OR v.cid != c.id
              RETURN c.id"#,
     );
-    assert_eq!(out, Vec::<Value>::new(), "graph vertices mirror relational rows");
+    assert_eq!(
+        out,
+        Vec::<Value>::new(),
+        "graph vertices mirror relational rows"
+    );
 }
 
 #[test]
@@ -130,12 +161,18 @@ fn golden_cross_model_consistency_of_feedback_keys() {
 fn golden_workload_q1_exact_row() {
     let e = engine();
     let params = udbms::datagen::workload::QueryParams::draw(
-        &udbms::datagen::generate(&GenConfig { scale_factor: 0.01, ..Default::default() }),
+        &udbms::datagen::generate(&GenConfig {
+            scale_factor: 0.01,
+            ..Default::default()
+        }),
         1,
     );
     let rows = q(
         &e,
-        &format!("FOR c IN customers FILTER c.id == {} RETURN {{id: c.id, country: c.country}}", params.customer),
+        &format!(
+            "FOR c IN customers FILTER c.id == {} RETURN {{id: c.id, country: c.country}}",
+            params.customer
+        ),
     );
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].get_field("id"), &Value::Int(params.customer));

@@ -17,10 +17,13 @@ fn temp_wal(name: &str) -> PathBuf {
 #[test]
 fn multi_model_state_survives_recovery() {
     let path = temp_wal("multimodel");
-    let cfg = GenConfig { scale_factor: 0.01, ..Default::default() };
+    let cfg = GenConfig {
+        scale_factor: 0.01,
+        ..Default::default()
+    };
     let data = generate(&cfg);
     let params = workload::QueryParams::draw(&data, 1);
-    let queries = workload::queries(&params);
+    let queries = workload::bound_queries(&params).expect("workload binds");
 
     let before: Vec<Vec<Value>> = {
         let engine = Engine::with_wal(&path).expect("fresh wal engine");
@@ -33,7 +36,7 @@ fn multi_model_state_survives_recovery() {
             .unwrap();
         queries
             .iter()
-            .map(|q| udbms::query::run(&engine, Isolation::Snapshot, &q.mmql).unwrap())
+            .map(|(_, q)| engine.run(Isolation::Snapshot, |t| q.execute(t)).unwrap())
             .collect()
         // engine dropped = crash
     };
@@ -44,10 +47,10 @@ fn multi_model_state_survives_recovery() {
     engine.replay_wal(&path).expect("replay");
     let after: Vec<Vec<Value>> = queries
         .iter()
-        .map(|q| udbms::query::run(&engine, Isolation::Snapshot, &q.mmql).unwrap())
+        .map(|(_, q)| engine.run(Isolation::Snapshot, |t| q.execute(t)).unwrap())
         .collect();
     for (i, (b, a)) in before.iter().zip(&after).enumerate() {
-        assert_eq!(b, a, "{} diverged after recovery", queries[i].id);
+        assert_eq!(b, a, "{} diverged after recovery", queries[i].0.id);
     }
     std::fs::remove_file(&path).unwrap();
 }
@@ -63,7 +66,9 @@ fn checkpoint_compacts_without_losing_state() {
         // 50 overwrites of one key → 50 WAL records
         for i in 0..50 {
             engine
-                .run(Isolation::Snapshot, |t| t.put("ns", Key::int(1), Value::Int(i)))
+                .run(Isolation::Snapshot, |t| {
+                    t.put("ns", Key::int(1), Value::Int(i))
+                })
                 .unwrap();
         }
         let size_before = std::fs::metadata(&path).unwrap().len();
@@ -97,7 +102,9 @@ fn recovery_preserves_commit_order_semantics() {
             })
             .unwrap();
         engine
-            .run(Isolation::Snapshot, |t| t.merge("d", &Key::str("x"), obj! {"v" => 2}))
+            .run(Isolation::Snapshot, |t| {
+                t.merge("d", &Key::str("x"), obj! {"v" => 2})
+            })
             .unwrap();
         engine
             .run(Isolation::Snapshot, |t| {
