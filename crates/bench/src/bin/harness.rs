@@ -4,14 +4,16 @@
 //! cargo run --release -p udbms-bench --bin harness            # everything, full profile
 //! cargo run --release -p udbms-bench --bin harness -- --quick # CI-sized
 //! cargo run --release -p udbms-bench --bin harness -- e2 e4a  # selected experiments
-//! cargo run --release -p udbms-bench --bin harness -- --clients 8 e2
-//! cargo run --release -p udbms-bench --bin harness -- --json out.json e2 e4a
+//! cargo run --release -p udbms-bench --bin harness -- --clients 8 --shards 8 e6
+//! cargo run --release -p udbms-bench --bin harness -- --json out.json e2 e4a e6
 //! ```
 //!
 //! `--clients N` sets the concurrent client threads the Subject-driven
-//! experiments (E2, E4a) use; `--json <path>` additionally writes every
-//! produced report as machine-readable JSON (the `BENCH_*.json` perf
-//! trajectory input).
+//! experiments (E2, E4a, E6) use; `--shards N` sets the unified
+//! engine's storage shard count (and the upper arm of the E6 shard
+//! sweep); `--json <path>` additionally writes every produced report as
+//! machine-readable JSON (the `BENCH_*.json` perf trajectory input and
+//! what the `bench_gate` binary compares against `bench/baseline.json`).
 
 use udbms_bench::{experiments, Report, RunScale};
 use udbms_core::Value;
@@ -45,6 +47,16 @@ fn main() {
                     .unwrap_or_else(|| die("--clients needs a positive integer"));
                 scale = scale.with_clients(n);
             }
+            "--shards" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .filter(|v| !v.starts_with("--"))
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| die("--shards needs a positive integer"));
+                scale = scale.with_shards(n);
+            }
             "--json" => {
                 i += 1;
                 let path = args
@@ -55,7 +67,7 @@ fn main() {
                 json_path = Some(path);
             }
             flag if flag.starts_with("--") => die(&format!(
-                "unknown flag `{flag}` (known: --quick, --clients N, --json PATH)"
+                "unknown flag `{flag}` (known: --quick, --clients N, --shards N, --json PATH)"
             )),
             id => wanted.push(id),
         }
@@ -71,7 +83,8 @@ fn main() {
         ("e4b", experiments::e4b_acid),
         ("e4c", experiments::e4c_eventual),
         ("e5", experiments::e5_conversion),
-        ("e6", experiments::e6_ablation),
+        ("e6", experiments::e6_crud_scaling),
+        ("e7", experiments::e7_ablation),
     ];
 
     let selected: Vec<&Experiment> = if wanted.is_empty() {
@@ -92,12 +105,13 @@ fn main() {
     };
 
     println!(
-        "UDBMS-Bench harness — profile: {} (SF {}, {} reps, {} trials, {} clients)\n",
+        "UDBMS-Bench harness — profile: {} (SF {}, {} reps, {} trials, {} clients, {} shards)\n",
         if quick { "quick" } else { "full" },
         scale.sf,
         scale.reps,
         scale.trials,
-        scale.clients
+        scale.clients,
+        scale.shards
     );
     let mut json_reports: Vec<Value> = Vec::new();
     for (id, f) in selected {
@@ -129,6 +143,7 @@ fn main() {
                 ("reps".to_string(), Value::Int(scale.reps as i64)),
                 ("trials".to_string(), Value::Int(scale.trials as i64)),
                 ("clients".to_string(), Value::Int(scale.clients as i64)),
+                ("shards".to_string(), Value::Int(scale.shards as i64)),
                 ("reports".to_string(), Value::Array(json_reports)),
             ]
             .into_iter()

@@ -1,5 +1,5 @@
 //! The experiment suite: one function per table/figure of EXPERIMENTS.md
-//! (F1, E1–E6). Each returns a [`Report`]; the `harness` binary prints
+//! (F1, E1–E7). Each returns a [`Report`]; the `harness` binary prints
 //! them, the criterion benches time their hot loops.
 
 use std::time::Instant;
@@ -10,7 +10,7 @@ use udbms_consistency::{
 };
 use udbms_core::{Key, Params, SplitMix64, Value};
 use udbms_datagen::{build_engine, generate, workload, GenConfig, SchemaVariation};
-use udbms_driver::{registry, run_concurrent, run_query_clients, TxnOp};
+use udbms_driver::{registry, registry_with_shards, run_concurrent, run_query_clients, TxnOp};
 use udbms_engine::Isolation;
 use udbms_evolution::{analyze_workload, apply_chain, standard_chain};
 use udbms_polyglot::{load_into_polyglot, run_query, PolyglotDb};
@@ -27,8 +27,12 @@ pub struct RunScale {
     /// Simulator trials.
     pub trials: usize,
     /// Concurrent client threads for the Subject-driven experiments
-    /// (E2, E4a); the harness `--clients N` flag overrides it.
+    /// (E2, E4a, E6); the harness `--clients N` flag overrides it.
     pub clients: usize,
+    /// Storage shard count for the unified engine subject (E2, E4a) and
+    /// the upper arm of the E6 shard sweep; the harness `--shards N`
+    /// flag overrides it.
+    pub shards: usize,
 }
 
 impl RunScale {
@@ -39,6 +43,7 @@ impl RunScale {
             reps: 5,
             trials: 300,
             clients: 2,
+            shards: udbms_driver::DEFAULT_SHARDS,
         }
     }
 
@@ -49,12 +54,19 @@ impl RunScale {
             reps: 15,
             trials: 2000,
             clients: 4,
+            shards: udbms_driver::DEFAULT_SHARDS,
         }
     }
 
     /// Override the concurrent client count (builder-style).
     pub fn with_clients(mut self, clients: usize) -> RunScale {
         self.clients = clients.max(1);
+        self
+    }
+
+    /// Override the storage shard count (builder-style).
+    pub fn with_shards(mut self, shards: usize) -> RunScale {
+        self.shards = shards.max(1);
         self
     }
 }
@@ -212,8 +224,8 @@ pub fn e1_generation(scale: RunScale) -> Report {
 pub fn e2_queries(scale: RunScale) -> Report {
     let mut report = Report::new(
         format!(
-            "E2 — multi-model query workload Q1–Q10 over dyn Subject, SF {}, {} client(s) x {} ops",
-            scale.sf, scale.clients, scale.reps
+            "E2 — multi-model query workload Q1–Q10 over dyn Subject, SF {}, {} client(s) x {} ops, {} shard(s)",
+            scale.sf, scale.clients, scale.reps * 10, scale.shards
         ),
         &[
             "query", "models", "subject", "rows", "p50", "p95", "p99", "ops/s",
@@ -224,10 +236,13 @@ pub fn e2_queries(scale: RunScale) -> Report {
     let draws: Vec<Params> = (1..=4u64)
         .map(|w| workload::QueryParams::draw(&data, w).bindings())
         .collect();
-    let subjects = registry();
+    let subjects = registry_with_shards(scale.shards);
     for subject in &subjects {
         subject.load(&data).expect("subject load");
     }
+    // enough executions per cell that gate comparisons measure the
+    // engine, not scheduler noise
+    let ops_per_client = scale.reps * 10;
     for q in workload::queries() {
         for subject in &subjects {
             // prepare once per text (parse for MMQL subjects, dispatch
@@ -242,7 +257,7 @@ pub fn e2_queries(scale: RunScale) -> Report {
                 &prepared,
                 &draws,
                 scale.clients,
-                scale.reps,
+                ops_per_client,
             )
             .expect("concurrent run");
             report.row(vec![
@@ -336,7 +351,10 @@ pub fn e4a_transactions(scale: RunScale) -> Report {
             "subject", "iso", "clients", "theta", "txns", "elapsed", "txn/s", "p95", "counters",
         ],
     );
-    let per_client = if scale.reps > 5 { 100 } else { 25 };
+    // cells must run long enough that the bench gate compares signal,
+    // not scheduler noise — even the quick profile measures a few
+    // hundred transactions per cell
+    let per_client = if scale.reps > 5 { 200 } else { 80 };
     let client_counts: Vec<usize> = if scale.clients <= 1 {
         vec![1]
     } else {
@@ -352,7 +370,7 @@ pub fn e4a_transactions(scale: RunScale) -> Report {
             for (si, isolations) in subject_isolations.iter().enumerate() {
                 for &iso in isolations {
                     // a fresh subject per isolation keeps counters per-cell
-                    let subject = registry().swap_remove(si);
+                    let subject = registry_with_shards(scale.shards).swap_remove(si);
                     subject.load(&data).expect("subject load");
                     let stats = run_concurrent(clients, per_client, |client, i| {
                         // deterministic per-op pick, stable across runs
@@ -568,10 +586,157 @@ pub fn e5_conversion(scale: RunScale) -> Report {
     report
 }
 
-/// E6 — ablations: secondary indexes, version-chain GC, wire codec.
-pub fn e6_ablation(scale: RunScale) -> Report {
+/// E6 — crud-bench-style CRUD/scan scaling sweep over clients × shards:
+/// batched creates, point reads, point updates, predicate scans and
+/// batched deletes against the unified engine, at one and at
+/// `scale.shards` storage shards, with one and `scale.clients` client
+/// threads. The shard axis isolates what lock striping buys on the
+/// storage hot path (the dataset and loop are identical in every cell).
+pub fn e6_crud_scaling(scale: RunScale) -> Report {
+    use udbms_core::CollectionSchema;
+    use udbms_engine::Engine;
+
     let mut report = Report::new(
-        format!("E6 — design-choice ablations, SF {}", scale.sf),
+        format!(
+            "E6 — CRUD/scan scaling sweep (clients x shards), {} record(s)/client",
+            if scale.reps > 5 { 2048 } else { 1024 }
+        ),
+        &["op", "shards", "clients", "ops", "elapsed", "p95", "ops/s"],
+    );
+    const BATCH: usize = 32;
+    let rows_per_client = if scale.reps > 5 { 2048 } else { 1024 };
+    let mut shard_arms = vec![1usize];
+    if scale.shards > 1 {
+        shard_arms.push(scale.shards);
+    }
+    let mut client_arms = vec![1usize];
+    if scale.clients > 1 {
+        client_arms.push(scale.clients);
+    }
+    for &shards in &shard_arms {
+        for &clients in &client_arms {
+            let engine = Engine::with_shards(shards);
+            engine
+                .create_collection(CollectionSchema::key_value("crud"))
+                .expect("crud collection");
+            let total = clients * rows_per_client;
+            let key_of = |i: usize| Key::int(i as i64);
+            let record = |i: usize| {
+                udbms_core::obj! {"n" => i as i64, "g" => (i % 16) as i64}
+            };
+
+            // each cell is scored best-of-`cycles`: the first CRUD cycle
+            // runs cold (allocator warmup, hash-map growth) and its
+            // single measurement was the gate's noisiest metric by far;
+            // later cycles run warm, and the GC between cycles prunes
+            // tombstones so they measure steady-state work rather than
+            // version-chain length
+            let cycles = scale.reps.clamp(1, 3);
+            let mut best: [Option<(usize, udbms_driver::ConcurrentStats)>; 5] = Default::default();
+            let mut keep = |slot: usize, ops: usize, stats: udbms_driver::ConcurrentStats| {
+                let rate = ops as f64 / stats.elapsed.as_secs_f64().max(1e-9);
+                let better = best[slot]
+                    .as_ref()
+                    .is_none_or(|(o, s)| rate > *o as f64 / s.elapsed.as_secs_f64().max(1e-9));
+                if better {
+                    best[slot] = Some((ops, stats));
+                }
+            };
+            for _cycle in 0..cycles {
+                // create: each client inserts its own key range in batched
+                // transactions (put_many → one shard lock per shard per batch)
+                let batches = rows_per_client / BATCH;
+                let stats = run_concurrent(clients, batches, |client, b| {
+                    let base = client * rows_per_client + b * BATCH;
+                    let items: Vec<(Key, Value)> = (base..base + BATCH)
+                        .map(|i| (key_of(i), record(i)))
+                        .collect();
+                    engine.run(Isolation::Snapshot, |t| t.put_many("crud", items.clone()))
+                })
+                .expect("create phase");
+                keep(0, total, stats);
+
+                // read: every client point-reads keys drawn across the whole
+                // key space (and so across every shard)
+                let stats = run_concurrent(clients, rows_per_client, |client, i| {
+                    let mut rng = SplitMix64::new(7 + client as u64 * 65_537 + i as u64);
+                    let k = key_of((rng.next_u64() % total as u64) as usize);
+                    engine
+                        .run(Isolation::Snapshot, |t| t.get("crud", &k))
+                        .map(|_| ())
+                })
+                .expect("read phase");
+                keep(1, total, stats);
+
+                // update: point overwrites, uniformly spread
+                let stats = run_concurrent(clients, rows_per_client, |client, i| {
+                    let mut rng = SplitMix64::new(11 + client as u64 * 65_537 + i as u64);
+                    let n = (rng.next_u64() % total as u64) as usize;
+                    engine.run(Isolation::Snapshot, |t| {
+                        t.put("crud", key_of(n), record(n + total))
+                    })
+                })
+                .expect("update phase");
+                keep(2, total, stats);
+
+                // scan: predicate scans fanning out shard-locally
+                let scans = scale.reps.max(3) * 4;
+                let pred = udbms_relational::Predicate::eq("g", Value::Int(3));
+                let stats = run_concurrent(clients, scans, |_, _| {
+                    engine
+                        .run(Isolation::Snapshot, |t| t.select_scan("crud", &pred))
+                        .map(|_| ())
+                })
+                .expect("scan phase");
+                keep(3, clients * scans, stats);
+
+                // delete: each client removes its own range in batches
+                let stats = run_concurrent(clients, batches, |client, b| {
+                    let base = client * rows_per_client + b * BATCH;
+                    let keys: Vec<Key> = (base..base + BATCH).map(key_of).collect();
+                    engine
+                        .run(Isolation::Snapshot, |t| t.delete_many("crud", &keys))
+                        .map(|_| ())
+                })
+                .expect("delete phase");
+                keep(4, total, stats);
+
+                // flatten version chains before the next warm cycle
+                engine.gc();
+            }
+            let ops_of = [
+                "create (batched)",
+                "read",
+                "update",
+                "scan (predicate)",
+                "delete (batched)",
+            ];
+            for (slot, op) in ops_of.iter().enumerate() {
+                let (ops_done, stats) = best[slot].take().expect("cycle ran");
+                report.row(vec![
+                    (*op).into(),
+                    shards.to_string(),
+                    clients.to_string(),
+                    ops_done.to_string(),
+                    format!("{:?}", stats.elapsed),
+                    us(stats.percentile_us(95.0).into()),
+                    per_sec(ops_done, stats.elapsed.as_secs_f64()),
+                ]);
+            }
+        }
+    }
+    report.note("every cell runs the identical loop; shard count is the only storage variable");
+    report.note(
+        "create/delete are batched (put_many/delete_many): one shard lock per shard per batch",
+    );
+    report.note("cells score the best of up to 3 warm CRUD cycles (GC between cycles)");
+    report
+}
+
+/// E7 — ablations: secondary indexes, version-chain GC, wire codec.
+pub fn e7_ablation(scale: RunScale) -> Report {
+    let mut report = Report::new(
+        format!("E7 — design-choice ablations, SF {}", scale.sf),
         &["ablation", "arm", "metric", "value"],
     );
     let cfg = GenConfig::at_scale(scale.sf);
@@ -709,7 +874,8 @@ pub fn all_reports(scale: RunScale) -> Vec<Report> {
         e4b_acid(scale),
         e4c_eventual(scale),
         e5_conversion(scale),
-        e6_ablation(scale),
+        e6_crud_scaling(scale),
+        e7_ablation(scale),
     ]
 }
 
@@ -724,6 +890,7 @@ mod tests {
             reps: 2,
             trials: 60,
             clients: 2,
+            shards: 4,
         };
         for report in all_reports(scale) {
             let rendered = report.render();
@@ -739,6 +906,7 @@ mod tests {
             reps: 2,
             trials: 10,
             clients: 4,
+            shards: 4,
         };
         let r = e2_queries(scale);
         let n_subjects = registry().len();
@@ -771,6 +939,7 @@ mod tests {
             reps: 2,
             trials: 10,
             clients: 4,
+            shards: 4,
         };
         let r = e4a_transactions(scale);
         // client counts {1, 4} x theta {0, 0.9} x (unified: RC/SI/SER + polyglot: 2PC)
@@ -793,14 +962,43 @@ mod tests {
     }
 
     #[test]
-    fn e6_gc_arm_bounds_chains() {
+    fn e6_sweeps_clients_by_shards() {
         let scale = RunScale {
             sf: 0.01,
             reps: 2,
             trials: 10,
             clients: 2,
+            shards: 2,
         };
-        let r = e6_ablation(scale);
+        let r = e6_crud_scaling(scale);
+        // 5 ops × shard arms {1, 2} × client arms {1, 2}
+        assert_eq!(r.rows.len(), 5 * 2 * 2);
+        for op in [
+            "create (batched)",
+            "read",
+            "update",
+            "scan (predicate)",
+            "delete (batched)",
+        ] {
+            assert!(r.rows.iter().any(|row| row[0] == op), "missing op row {op}");
+        }
+        assert!(r.rows.iter().any(|row| row[1] == "1" && row[2] == "2"));
+        assert!(r.rows.iter().any(|row| row[1] == "2" && row[2] == "2"));
+        for row in &r.rows {
+            assert!(row[6].ends_with("/s"), "throughput cell: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e7_gc_arm_bounds_chains() {
+        let scale = RunScale {
+            sf: 0.01,
+            reps: 2,
+            trials: 10,
+            clients: 2,
+            shards: 4,
+        };
+        let r = e7_ablation(scale);
         let chain_rows: Vec<&Vec<String>> = r
             .rows
             .iter()

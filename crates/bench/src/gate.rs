@@ -1,0 +1,405 @@
+//! The CI bench-regression gate: compares a `harness --json` report
+//! against the committed `bench/baseline.json` and fails when any gated
+//! throughput metric regresses beyond tolerance.
+//!
+//! CI machines differ in absolute speed, so raw ops/s comparisons
+//! against a baseline recorded elsewhere would gate on hardware, not on
+//! code. The gate therefore normalizes by the **median ratio**: for
+//! every metric shared by both reports it computes `current/baseline`,
+//! takes the median of those ratios as the machine-speed factor, and
+//! fails a metric only when its ratio falls more than `tolerance`
+//! (default 20%) below that median — i.e. when *that* metric regressed
+//! relative to everything else, which a uniformly slower runner cannot
+//! cause.
+//!
+//! Scheduler noise on small cells is tamed by **best-of-N**: the gate
+//! accepts several current reports (CI runs the harness three times)
+//! and scores each metric by its best observed throughput — a real
+//! regression depresses every run, while a noise spike depresses one.
+
+use udbms_core::Value;
+
+/// Gated experiments: `(report id, identity columns, throughput column)`.
+/// A metric key is the report id plus the identity cells; the metric is
+/// the throughput cell parsed from its `"123/s"` form.
+const GATED: &[(&str, &[&str], &str)] = &[
+    ("e2", &["query", "subject"], "ops/s"),
+    ("e4a", &["subject", "iso", "clients", "theta"], "txn/s"),
+    ("e6", &["op", "shards", "clients"], "ops/s"),
+];
+
+/// Result of one gate comparison.
+#[derive(Debug)]
+pub struct GateOutcome {
+    /// Metrics compared (shared between baseline and current).
+    pub checked: usize,
+    /// Median `current/baseline` ratio across the compared metrics (the
+    /// machine-speed normalization factor); 1.0 when nothing compared.
+    pub median_ratio: f64,
+    /// Human-readable failures (empty = gate passed).
+    pub failures: Vec<String>,
+    /// Informational notes (new metrics, skipped cells…).
+    pub notes: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Parse a `"1234/s"` throughput cell.
+fn parse_rate(cell: &str) -> Option<f64> {
+    cell.trim().strip_suffix("/s")?.trim().parse().ok()
+}
+
+/// Best-of merge: `key → max throughput` across several harness `--json`
+/// documents (one entry per key, in first-seen order).
+pub fn best_metrics(docs: &[Value]) -> Vec<(String, f64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut best: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for doc in docs {
+        for (key, rate) in metrics_of(doc) {
+            match best.get_mut(&key) {
+                Some(cur) => *cur = cur.max(rate),
+                None => {
+                    order.push(key.clone());
+                    best.insert(key, rate);
+                }
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|k| (best[&k], k))
+        .map(|(v, k)| (k, v))
+        .collect()
+}
+
+/// Extract `key → throughput` for every gated row of a harness `--json`
+/// document.
+pub fn metrics_of(doc: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(reports) = doc.get_field("reports").as_array() else {
+        return out;
+    };
+    for report in reports {
+        let id = report.get_field("id");
+        let Some(id) = id.as_str() else { continue };
+        let Some((_, identity, metric)) = GATED.iter().find(|(gid, _, _)| *gid == id) else {
+            continue;
+        };
+        let Some(rows) = report.get_field("rows").as_array() else {
+            continue;
+        };
+        for row in rows {
+            let Some(rate) = row.get_field(metric).as_str().and_then(parse_rate) else {
+                continue;
+            };
+            let mut key = String::from(id);
+            for col in *identity {
+                key.push(':');
+                key.push_str(&row.get_field(col).display_plain());
+            }
+            out.push((key, rate));
+        }
+    }
+    out
+}
+
+/// Merge several harness `--json` documents into one baseline document:
+/// the first document's structure with every gated throughput cell
+/// replaced by the best rate observed for its metric across all
+/// documents. Committing a merged baseline keeps single-run scheduler
+/// stalls out of the reference — a spike recorded into the baseline
+/// would depress that metric's future ratios and fail the gate on
+/// healthy code.
+pub fn merged_baseline(docs: &[Value]) -> Option<Value> {
+    let first = docs.first()?;
+    let best: std::collections::HashMap<String, f64> = best_metrics(docs).into_iter().collect();
+    let mut out = first.clone();
+    let reports = out.as_object_mut()?.get_mut("reports")?.as_array_mut()?;
+    for report in reports {
+        let id = report.get_field("id");
+        let Some(id) = id.as_str() else { continue };
+        let Some((id, identity, metric)) = GATED.iter().find(|(gid, _, _)| *gid == id) else {
+            continue;
+        };
+        let Some(rows) = report
+            .as_object_mut()
+            .and_then(|o| o.get_mut("rows"))
+            .and_then(Value::as_array_mut)
+        else {
+            continue;
+        };
+        for row in rows {
+            let mut key = String::from(*id);
+            for col in *identity {
+                key.push(':');
+                key.push_str(&row.get_field(col).display_plain());
+            }
+            if let (Some(rate), Some(obj)) = (best.get(&key), row.as_object_mut()) {
+                obj.insert((*metric).to_string(), Value::from(format!("{rate:.0}/s")));
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Compare current harness `--json` documents (scored best-of when more
+/// than one) against a baseline one. `tolerance` is the allowed
+/// fractional shortfall below the median ratio (0.2 = a metric may run
+/// 20% worse than the machine-speed normalized expectation before the
+/// gate fails).
+pub fn compare_reports(baseline: &Value, current: &[Value], tolerance: f64) -> GateOutcome {
+    let base = metrics_of(baseline);
+    let cur = best_metrics(current);
+    let cur_map: std::collections::HashMap<&str, f64> =
+        cur.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let base_keys: std::collections::HashSet<&str> = base.iter().map(|(k, _)| k.as_str()).collect();
+
+    let mut outcome = GateOutcome {
+        checked: 0,
+        median_ratio: 1.0,
+        failures: Vec::new(),
+        notes: Vec::new(),
+    };
+    for (key, _) in &cur {
+        if !base_keys.contains(key.as_str()) {
+            outcome
+                .notes
+                .push(format!("new metric (not in baseline): {key}"));
+        }
+    }
+
+    // ratios for metrics present in both documents
+    let mut shared: Vec<(&str, f64, f64)> = Vec::new(); // (key, base, ratio)
+    for (key, base_rate) in &base {
+        let Some(&cur_rate) = cur_map.get(key.as_str()) else {
+            outcome
+                .failures
+                .push(format!("metric disappeared from report: {key}"));
+            continue;
+        };
+        if *base_rate <= 0.0 {
+            outcome.notes.push(format!("skipped zero baseline: {key}"));
+            continue;
+        }
+        shared.push((key, *base_rate, cur_rate / base_rate));
+    }
+    if shared.is_empty() {
+        if outcome.failures.is_empty() {
+            outcome.notes.push("no shared metrics to compare".into());
+        }
+        return outcome;
+    }
+    let mut ratios: Vec<f64> = shared.iter().map(|(_, _, r)| *r).collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaN ratios"));
+    let median = ratios[ratios.len() / 2];
+    outcome.median_ratio = median;
+    outcome.checked = shared.len();
+
+    let floor = median * (1.0 - tolerance);
+    for (key, base_rate, ratio) in shared {
+        if ratio < floor {
+            outcome.failures.push(format!(
+                "{key}: {:.0}% of machine-normalized baseline (ratio {ratio:.3} vs median {median:.3}, floor {floor:.3}; baseline {base_rate:.0}/s)",
+                100.0 * ratio / median
+            ));
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udbms_core::obj;
+
+    fn doc(id: &str, rows: Vec<Value>) -> Value {
+        obj! {
+            "reports" => Value::Array(vec![obj! {
+                "id" => id,
+                "rows" => Value::Array(rows),
+            }]),
+        }
+    }
+
+    fn e2_row(query: &str, subject: &str, rate: &str) -> Value {
+        obj! {"query" => query, "subject" => subject, "ops/s" => rate}
+    }
+
+    #[test]
+    fn parses_rates() {
+        assert_eq!(parse_rate("1234/s"), Some(1234.0));
+        assert_eq!(parse_rate(" 12.5/s "), Some(12.5));
+        assert_eq!(parse_rate("-"), None);
+        assert_eq!(parse_rate("12ms"), None);
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let d = doc(
+            "e2",
+            vec![
+                e2_row("Q1", "unified", "1000/s"),
+                e2_row("Q2", "unified", "500/s"),
+            ],
+        );
+        let out = compare_reports(&d, std::slice::from_ref(&d), 0.2);
+        assert!(out.passed(), "{:?}", out.failures);
+        assert_eq!(out.checked, 2);
+        assert!((out.median_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniformly_slower_machine_passes() {
+        let base = doc(
+            "e2",
+            vec![
+                e2_row("Q1", "unified", "1000/s"),
+                e2_row("Q2", "unified", "500/s"),
+            ],
+        );
+        // everything exactly 3x slower: a slower runner, not a regression
+        let cur = doc(
+            "e2",
+            vec![
+                e2_row("Q1", "unified", "333/s"),
+                e2_row("Q2", "unified", "167/s"),
+            ],
+        );
+        let out = compare_reports(&base, std::slice::from_ref(&cur), 0.2);
+        assert!(out.passed(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn single_metric_regression_fails() {
+        let rows = |q3: &str| {
+            vec![
+                e2_row("Q1", "unified", "1000/s"),
+                e2_row("Q2", "unified", "1000/s"),
+                e2_row("Q3", "unified", q3),
+                e2_row("Q4", "unified", "1000/s"),
+                e2_row("Q5", "unified", "1000/s"),
+            ]
+        };
+        let base = doc("e2", rows("1000/s"));
+        let cur = doc("e2", rows("100/s"));
+        let out = compare_reports(&base, std::slice::from_ref(&cur), 0.2);
+        assert!(!out.passed());
+        assert_eq!(out.failures.len(), 1);
+        assert!(
+            out.failures[0].contains("e2:Q3:unified"),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn missing_metric_fails_and_new_metric_notes() {
+        let base = doc(
+            "e2",
+            vec![
+                e2_row("Q1", "unified", "1000/s"),
+                e2_row("Q2", "unified", "900/s"),
+            ],
+        );
+        let cur = doc(
+            "e2",
+            vec![
+                e2_row("Q1", "unified", "1000/s"),
+                e2_row("Q9", "unified", "900/s"),
+            ],
+        );
+        let out = compare_reports(&base, std::slice::from_ref(&cur), 0.2);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("disappeared"));
+        assert!(out.notes.iter().any(|n| n.contains("new metric")));
+    }
+
+    #[test]
+    fn non_gated_reports_are_ignored() {
+        let base = doc("e1", vec![obj! {"scale" => "0.1", "entities/s" => "100/s"}]);
+        let out = compare_reports(&base, std::slice::from_ref(&base), 0.2);
+        assert_eq!(out.checked, 0);
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn e4a_and_e6_rows_are_gated() {
+        let d = obj! {
+            "reports" => Value::Array(vec![
+                obj! {"id" => "e4a", "rows" => Value::Array(vec![
+                    obj! {"subject" => "unified", "iso" => "SI", "clients" => "4",
+                          "theta" => "0.9", "txn/s" => "250/s"},
+                ])},
+                obj! {"id" => "e6", "rows" => Value::Array(vec![
+                    obj! {"op" => "read", "shards" => "8", "clients" => "8",
+                          "ops/s" => "5000/s"},
+                ])},
+            ]),
+        };
+        let out = compare_reports(&d, std::slice::from_ref(&d), 0.2);
+        assert_eq!(out.checked, 2);
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn merged_baseline_takes_best_per_metric() {
+        let run_a = doc(
+            "e2",
+            vec![
+                e2_row("Q1", "unified", "400/s"),
+                e2_row("Q2", "unified", "1000/s"),
+            ],
+        );
+        let run_b = doc(
+            "e2",
+            vec![
+                e2_row("Q1", "unified", "1000/s"),
+                e2_row("Q2", "unified", "400/s"),
+            ],
+        );
+        let merged = merged_baseline(&[run_a.clone(), run_b.clone()]).unwrap();
+        let rates: std::collections::HashMap<String, f64> =
+            metrics_of(&merged).into_iter().collect();
+        assert_eq!(rates["e2:Q1:unified"], 1000.0);
+        assert_eq!(rates["e2:Q2:unified"], 1000.0);
+        // both noisy runs pass against the merged reference
+        assert!(compare_reports(&merged, &[run_a, run_b], 0.2).passed());
+        assert!(merged_baseline(&[]).is_none());
+    }
+
+    #[test]
+    fn best_of_runs_shields_noise_spikes() {
+        let base = doc(
+            "e2",
+            vec![
+                e2_row("Q1", "unified", "1000/s"),
+                e2_row("Q2", "unified", "1000/s"),
+            ],
+        );
+        // run A: Q1 hit a scheduler stall; run B: Q2 did — best-of passes
+        let run_a = doc(
+            "e2",
+            vec![
+                e2_row("Q1", "unified", "400/s"),
+                e2_row("Q2", "unified", "1000/s"),
+            ],
+        );
+        let run_b = doc(
+            "e2",
+            vec![
+                e2_row("Q1", "unified", "1000/s"),
+                e2_row("Q2", "unified", "400/s"),
+            ],
+        );
+        let out = compare_reports(&base, &[run_a.clone(), run_b.clone()], 0.2);
+        assert!(out.passed(), "{:?}", out.failures);
+        // a single depressed run alone would fail
+        let out = compare_reports(&base, std::slice::from_ref(&run_a), 0.2);
+        assert!(!out.passed());
+    }
+}

@@ -2,16 +2,19 @@
 
 //! # udbms-bench
 //!
-//! The benchmark harness: the experiment suite (F1, E1–E6) mapped in
+//! The benchmark harness: the experiment suite (F1, E1–E7) mapped in
 //! DESIGN.md §4, a plain-text [`Report`] renderer, the `harness` binary
-//! that regenerates every table of EXPERIMENTS.md, and the criterion
-//! benches under `benches/`.
+//! that regenerates every table of EXPERIMENTS.md, the `bench_gate`
+//! binary that compares a `--json` report against `bench/baseline.json`
+//! for CI regression gating, and the criterion benches under `benches/`.
 
 pub mod experiments;
+pub mod gate;
 pub mod report;
 
 pub use experiments::{
     all_reports, e1_generation, e2_queries, e3_evolution, e4a_transactions, e4b_acid, e4c_eventual,
-    e5_conversion, e6_ablation, f1_inventory, RunScale,
+    e5_conversion, e6_crud_scaling, e7_ablation, f1_inventory, RunScale,
 };
+pub use gate::{compare_reports, merged_baseline, GateOutcome};
 pub use report::{per_sec, us, Report};

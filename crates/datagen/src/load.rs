@@ -105,30 +105,30 @@ pub fn load_into_engine(engine: &Engine, data: &Dataset) -> Result<usize> {
         })?;
         written += chunk.len() * 2;
     }
+    // pure record streams load through the batched write APIs: one
+    // catalog consultation and one shard-lock acquisition per shard per
+    // chunk, instead of per record
     for chunk in data.orders.chunks(BATCH) {
         engine.run(Isolation::Snapshot, |t| {
-            for o in chunk {
-                t.insert("orders", o.clone())?;
-            }
-            Ok(())
+            t.insert_many("orders", chunk.to_vec()).map(|_| ())
         })?;
         written += chunk.len();
     }
     for chunk in data.feedback.chunks(BATCH) {
         engine.run(Isolation::Snapshot, |t| {
-            for (k, v) in chunk {
-                t.put("feedback", k.clone(), v.clone())?;
-            }
-            Ok(())
+            t.put_many("feedback", chunk.to_vec())
         })?;
         written += chunk.len();
     }
     for chunk in data.invoices.chunks(BATCH) {
         engine.run(Isolation::Snapshot, |t| {
-            for (k, x) in chunk {
-                t.put("invoices", k.clone(), udbms_xml::xml_to_value(x))?;
-            }
-            Ok(())
+            t.put_many(
+                "invoices",
+                chunk
+                    .iter()
+                    .map(|(k, x)| (k.clone(), udbms_xml::xml_to_value(x)))
+                    .collect(),
+            )
         })?;
         written += chunk.len();
     }

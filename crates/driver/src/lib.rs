@@ -34,6 +34,8 @@ mod subjects;
 pub use runner::{percentile_us, run_concurrent, run_query_clients, ConcurrentStats};
 pub use subjects::{EngineSubject, PolyglotSubject};
 
+pub use udbms_engine::DEFAULT_SHARDS;
+
 use udbms_core::{Key, Params, Result, Value};
 use udbms_datagen::{workload::BenchQuery, Dataset};
 
@@ -142,8 +144,15 @@ pub trait Subject: Send + Sync {
 /// and unloaded. Experiments call [`Subject::load`] with their dataset,
 /// then drive all subjects identically.
 pub fn registry() -> Vec<Box<dyn Subject>> {
+    registry_with_shards(DEFAULT_SHARDS)
+}
+
+/// [`registry`] with an explicit storage shard count for the unified
+/// engine subject (the polyglot baseline has no shard knob and is
+/// unaffected).
+pub fn registry_with_shards(shards: usize) -> Vec<Box<dyn Subject>> {
     vec![
-        Box::new(EngineSubject::new()),
+        Box::new(EngineSubject::with_shards(shards)),
         Box::new(PolyglotSubject::new()),
     ]
 }

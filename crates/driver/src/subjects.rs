@@ -17,10 +17,19 @@ pub struct EngineSubject {
 }
 
 impl EngineSubject {
-    /// A fresh, empty engine subject.
+    /// A fresh, empty engine subject with the engine's default shard
+    /// count.
     pub fn new() -> EngineSubject {
         EngineSubject {
             engine: Engine::new(),
+        }
+    }
+
+    /// A fresh, empty engine subject with an explicit storage shard
+    /// count (the harness `--shards N` knob).
+    pub fn with_shards(shards: usize) -> EngineSubject {
+        EngineSubject {
+            engine: Engine::with_shards(shards),
         }
     }
 
@@ -85,7 +94,10 @@ impl Subject for EngineSubject {
 
     fn counters(&self) -> Vec<(String, i64)> {
         let stats = self.engine.stats();
-        vec![("aborts".into(), stats.aborts as i64)]
+        vec![
+            ("aborts".into(), stats.aborts as i64),
+            ("shards".into(), stats.shards as i64),
+        ]
     }
 }
 

@@ -1,17 +1,22 @@
 //! The catalog: collection metadata, auto-id counters and secondary
-//! indexes for the unified engine.
+//! index **definitions** for the unified engine.
 //!
 //! Engine indexes are **over-approximating**: postings are added at commit
 //! time and only reconciled during GC (rebuilt from retained versions), so
 //! an index lookup may return keys whose current/visible value no longer
 //! matches — readers always re-validate candidates against their snapshot.
-//! This is the standard MVCC-secondary-index design and one of the E6
+//! This is the standard MVCC-secondary-index design and one of the
 //! ablation subjects.
+//!
+//! Since the sharding refactor the catalog records only *which* indexes
+//! exist (collection, path, kind); the postings live as per-shard
+//! segments inside [`crate::Shard`], guarded by the shard locks, so a
+//! commit never takes a catalog write lock on the hot path.
 
 use std::collections::HashMap;
 
-use udbms_core::{CollectionId, CollectionSchema, Error, FieldPath, Key, Result, Value};
-use udbms_relational::{Index, IndexKind};
+use udbms_core::{CollectionId, CollectionSchema, Error, FieldPath, Result};
+use udbms_relational::IndexKind;
 
 /// Metadata of one collection.
 #[derive(Debug)]
@@ -29,7 +34,7 @@ pub struct CollectionInfo {
 pub struct Catalog {
     by_name: HashMap<String, CollectionInfo>,
     names_by_id: HashMap<CollectionId, String>,
-    indexes: HashMap<(CollectionId, FieldPath), Index>,
+    indexes: HashMap<(CollectionId, FieldPath), IndexKind>,
     next_collection_id: u32,
 }
 
@@ -112,8 +117,15 @@ impl Catalog {
         Ok(())
     }
 
-    /// Create a secondary index on `path` of collection `name`.
-    pub fn create_index(&mut self, name: &str, path: FieldPath, kind: IndexKind) -> Result<()> {
+    /// Record a secondary index definition on `path` of collection
+    /// `name`; returns the collection id so the caller can create the
+    /// per-shard segments.
+    pub fn create_index(
+        &mut self,
+        name: &str,
+        path: FieldPath,
+        kind: IndexKind,
+    ) -> Result<CollectionId> {
         let id = self.get(name)?.id;
         let slot = (id, path);
         if self.indexes.contains_key(&slot) {
@@ -122,16 +134,17 @@ impl Catalog {
                 name, slot.1
             )));
         }
-        self.indexes.insert(slot, Index::new(kind));
-        Ok(())
+        self.indexes.insert(slot, kind);
+        Ok(id)
     }
 
-    /// Drop a secondary index.
-    pub fn drop_index(&mut self, name: &str, path: &FieldPath) -> Result<()> {
+    /// Drop a secondary index definition; returns the collection id so
+    /// the caller can drop the per-shard segments.
+    pub fn drop_index(&mut self, name: &str, path: &FieldPath) -> Result<CollectionId> {
         let id = self.get(name)?.id;
         self.indexes
             .remove(&(id, path.clone()))
-            .map(|_| ())
+            .map(|_| id)
             .ok_or_else(|| Error::NotFound(format!("index on `{name}`.`{path}`")))
     }
 
@@ -144,61 +157,6 @@ impl Catalog {
             .collect()
     }
 
-    /// Borrow an index.
-    pub fn index(&self, id: CollectionId, path: &FieldPath) -> Option<&Index> {
-        self.indexes.get(&(id, path.clone()))
-    }
-
-    /// Add postings for a newly committed value (arrays index per element).
-    pub fn index_new_value(&mut self, id: CollectionId, key: &Key, value: &Value) {
-        for ((cid, path), idx) in &mut self.indexes {
-            if *cid != id {
-                continue;
-            }
-            match value.get_path(path) {
-                Value::Array(items) => {
-                    for item in items {
-                        idx.insert(item.clone(), key.clone());
-                    }
-                }
-                v => idx.insert(v.clone(), key.clone()),
-            }
-        }
-    }
-
-    /// Rebuild every index of a collection from the values retained in
-    /// storage (called by GC; see module docs).
-    pub fn rebuild_indexes(&mut self, id: CollectionId, retained: &[(Key, Vec<&Value>)]) {
-        for ((cid, path), idx) in &mut self.indexes {
-            if *cid != id {
-                continue;
-            }
-            let mut fresh = Index::new(idx.kind());
-            for (key, values) in retained {
-                let mut seen: Vec<&Value> = Vec::new();
-                for value in values {
-                    match value.get_path(path) {
-                        Value::Array(items) => {
-                            for item in items {
-                                if !seen.contains(&item) {
-                                    seen.push(item);
-                                    fresh.insert(item.clone(), key.clone());
-                                }
-                            }
-                        }
-                        v => {
-                            if !seen.contains(&v) {
-                                seen.push(v);
-                                fresh.insert(v.clone(), key.clone());
-                            }
-                        }
-                    }
-                }
-            }
-            *idx = fresh;
-        }
-    }
-
     /// Collection ids currently registered.
     pub fn ids(&self) -> Vec<CollectionId> {
         self.names_by_id.keys().copied().collect()
@@ -208,7 +166,6 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use udbms_core::obj;
 
     #[test]
     fn create_get_drop() {
@@ -234,74 +191,34 @@ mod tests {
     }
 
     #[test]
-    fn index_lifecycle_and_postings() {
+    fn index_definition_lifecycle() {
         let mut c = Catalog::new();
         let id = c
             .create(CollectionSchema::document("orders", "_id", vec![]))
             .unwrap();
         let path = FieldPath::key("status");
-        c.create_index("orders", path.clone(), IndexKind::Hash)
-            .unwrap();
+        assert_eq!(
+            c.create_index("orders", path.clone(), IndexKind::Hash)
+                .unwrap(),
+            id
+        );
         assert!(c
             .create_index("orders", path.clone(), IndexKind::Hash)
             .is_err());
         assert_eq!(c.indexed_paths(id).len(), 1);
 
-        c.index_new_value(id, &Key::int(1), &obj! {"status" => "open"});
-        c.index_new_value(id, &Key::int(2), &obj! {"status" => "open"});
-        c.index_new_value(id, &Key::int(3), &obj! {"status" => "paid"});
-        let idx = c.index(id, &path).unwrap();
-        assert_eq!(idx.lookup_eq(&Value::from("open")).len(), 2);
-
-        c.drop_index("orders", &path).unwrap();
-        assert!(c.index(id, &path).is_none());
+        assert_eq!(c.drop_index("orders", &path).unwrap(), id);
+        assert!(c.indexed_paths(id).is_empty());
         assert!(c.drop_index("orders", &path).is_err());
     }
 
     #[test]
-    fn multikey_postings_for_arrays() {
-        let mut c = Catalog::new();
-        let id = c
-            .create(CollectionSchema::document("orders", "_id", vec![]))
-            .unwrap();
-        let path = FieldPath::key("tags");
-        c.create_index("orders", path.clone(), IndexKind::Hash)
-            .unwrap();
-        c.index_new_value(
-            id,
-            &Key::int(1),
-            &obj! {"tags" => udbms_core::arr!["a", "b"]},
-        );
-        let idx = c.index(id, &path).unwrap();
-        assert_eq!(idx.lookup_eq(&Value::from("a")), vec![Key::int(1)]);
-        assert_eq!(idx.lookup_eq(&Value::from("b")), vec![Key::int(1)]);
-    }
-
-    #[test]
-    fn rebuild_deduplicates_versions() {
-        let mut c = Catalog::new();
-        let id = c.create(CollectionSchema::key_value("ns")).unwrap();
-        let path = FieldPath::key("v");
-        c.create_index("ns", path.clone(), IndexKind::BTree)
-            .unwrap();
-        // simulate three committed versions of one record, two sharing v=1
-        let v1 = obj! {"v" => 1};
-        let v2 = obj! {"v" => 2};
-        let retained = vec![(Key::int(7), vec![&v1, &v2, &v1])];
-        c.rebuild_indexes(id, &retained);
-        let idx = c.index(id, &path).unwrap();
-        assert_eq!(idx.lookup_eq(&Value::Int(1)), vec![Key::int(7)]);
-        assert_eq!(idx.lookup_eq(&Value::Int(2)), vec![Key::int(7)]);
-        assert_eq!(idx.len(), 2, "duplicate (value,key) postings collapse");
-    }
-
-    #[test]
-    fn drop_collection_drops_its_indexes() {
+    fn drop_collection_drops_its_index_definitions() {
         let mut c = Catalog::new();
         let id = c.create(CollectionSchema::key_value("ns")).unwrap();
         c.create_index("ns", FieldPath::key("v"), IndexKind::Hash)
             .unwrap();
         c.drop_collection("ns").unwrap();
-        assert!(c.index(id, &FieldPath::key("v")).is_none());
+        assert!(c.indexed_paths(id).is_empty());
     }
 }

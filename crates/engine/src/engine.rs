@@ -5,19 +5,34 @@
 //! ```text
 //! begin:   lock(commit) → snapshot = clock → register active → unlock
 //! commit:  lock(commit)
-//!            validate writes  (SI/SER: first-committer-wins)
+//!            group write-set by shard (stable key hash)
+//!            validate writes  (SI/SER: first-committer-wins, one shard
+//!                              read-lock per touched shard)
 //!            validate reads   (SER: OCC — observed versions unchanged)
 //!            commit_ts = ++clock
-//!            install versions (storage write lock)
-//!            add index postings (catalog write lock)
+//!            install versions + index postings (one shard write-lock
+//!              per touched shard, ascending shard order)
 //!            append WAL record
 //!          unlock(commit) → unregister active
 //! ```
 //!
 //! Because `begin` reads the clock under the same lock that commits hold
-//! while installing, a snapshot can never observe a half-installed commit.
-//! The `active` registry is only ever locked on its own (never while
-//! acquiring another lock), so the lock order is acyclic.
+//! while installing, a snapshot can never observe a half-installed commit
+//! — per-shard locking does not weaken this: a version installed after a
+//! snapshot was taken always carries a larger `commit_ts` and is invisible
+//! to it, whichever shard it lands in. (ReadCommitted readers, which read
+//! at `Ts::MAX`, may observe a commit's writes shard by shard; that
+//! anomaly is within RC's contract and is documented in DESIGN.md.)
+//!
+//! Lock discipline, in decreasing strength: `commit_lock` is taken first
+//! by every multi-domain critical section (commit, checkpoint, DDL); the
+//! WAL mutex is only ever acquired while holding `commit_lock`, so its
+//! position relative to the other locks can never close a cycle; when
+//! `catalog` and shard locks are held together — which readers do
+//! without `commit_lock` — it is always catalog before shards; shards
+//! lock in ascending index order; and the `active` registry is only
+//! ever locked on its own. Every path fits this partial order, so it is
+//! acyclic.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -32,12 +47,45 @@ use udbms_relational::{IndexKind, Predicate};
 use udbms_xml::{XPath, XmlDocument};
 
 use crate::catalog::Catalog;
-use crate::storage::{RecordId, Storage};
+use crate::storage::{RecordId, ShardedStorage};
 use crate::txn::{Isolation, TxnState};
 use crate::wal::{Wal, WalRecord};
 
 /// Maximum automatic retries in [`Engine::run`].
 const MAX_RETRIES: usize = 64;
+
+/// Default storage shard count (see [`EngineConfig::shards`]).
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Minimum total directory size before a predicate scan fans out to one
+/// thread per shard; below this the thread overhead dominates.
+const PARALLEL_SCAN_MIN_KEYS: usize = 4096;
+
+/// Whether this machine can actually run shard scans in parallel: on a
+/// single-core host the per-scan thread spawns are pure overhead (and a
+/// large source of latency variance), so the fan-out is skipped.
+fn scan_parallelism_available() -> bool {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+        > 1
+}
+
+/// Construction-time engine tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Storage shard count: the key space is hash-partitioned into this
+    /// many independently locked shards. `1` reproduces the pre-shard
+    /// single-lock engine.
+    pub shards: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            shards: DEFAULT_SHARDS,
+        }
+    }
+}
 
 #[derive(Debug, Default)]
 struct Stats {
@@ -50,7 +98,8 @@ struct Stats {
 struct Inner {
     clock: AtomicU64,
     next_txn: AtomicU64,
-    storage: RwLock<Storage>,
+    /// Hash-sharded storage; every shard carries its own lock.
+    storage: ShardedStorage,
     catalog: RwLock<Catalog>,
     commit_lock: Mutex<()>,
     wal: Mutex<Option<Wal>>,
@@ -70,6 +119,8 @@ pub struct EngineStats {
     pub ww_conflicts: u64,
     /// Commit-time read-validation (OCC) conflicts.
     pub read_conflicts: u64,
+    /// Storage shard count.
+    pub shards: usize,
     /// Stored versions across all chains.
     pub versions: usize,
     /// Record chains.
@@ -125,13 +176,24 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// A fresh in-memory engine without a WAL.
+    /// A fresh in-memory engine without a WAL, with the default shard
+    /// count ([`DEFAULT_SHARDS`]).
     pub fn new() -> Engine {
+        Engine::with_config(EngineConfig::default())
+    }
+
+    /// A fresh in-memory engine with an explicit shard count.
+    pub fn with_shards(shards: usize) -> Engine {
+        Engine::with_config(EngineConfig { shards })
+    }
+
+    /// A fresh in-memory engine with explicit tuning.
+    pub fn with_config(config: EngineConfig) -> Engine {
         Engine {
             inner: Arc::new(Inner {
                 clock: AtomicU64::new(0),
                 next_txn: AtomicU64::new(1),
-                storage: RwLock::new(Storage::new()),
+                storage: ShardedStorage::new(config.shards),
                 catalog: RwLock::new(Catalog::new()),
                 commit_lock: Mutex::new(()),
                 wal: Mutex::new(None),
@@ -147,7 +209,14 @@ impl Engine {
     /// key-value collections; create typed collections before calling
     /// this to preserve validation).
     pub fn with_wal(path: impl AsRef<Path>) -> Result<Engine> {
-        let engine = Engine::new();
+        Engine::with_wal_config(path, EngineConfig::default())
+    }
+
+    /// [`Engine::with_wal`] with explicit tuning. The WAL records no
+    /// shard placement — keys re-hash on replay — so a log written by an
+    /// engine with any shard count recovers into any other.
+    pub fn with_wal_config(path: impl AsRef<Path>, config: EngineConfig) -> Result<Engine> {
+        let engine = Engine::with_config(config);
         engine.replay_wal(path.as_ref())?;
         let wal = Wal::open(path)?;
         *engine.inner.wal.lock() = Some(wal);
@@ -155,25 +224,36 @@ impl Engine {
     }
 
     /// Replay a WAL file into this engine (used by [`Engine::with_wal`];
-    /// public for recovery tests and tooling).
+    /// public for recovery tests and tooling). Writes are grouped by
+    /// shard across the whole log, so each shard lock is taken once.
     pub fn replay_wal(&self, path: &Path) -> Result<usize> {
         let records = Wal::read_all(path)?;
         let n = records.len();
-        let mut storage = self.inner.storage.write();
         let mut catalog = self.inner.catalog.write();
         let mut max_ts = self.inner.clock.load(Ordering::SeqCst);
+        // resolve collections and bucket installs per shard, preserving
+        // log order inside each bucket (per-key order is per-shard order)
+        let mut buckets: Vec<Vec<(RecordId, Ts, Option<Value>)>> =
+            vec![Vec::new(); self.inner.storage.shard_count()];
         for rec in records {
             for (coll, key, value) in rec.writes {
                 let id = match catalog.get(&coll) {
                     Ok(info) => info.id,
                     Err(_) => catalog.create(CollectionSchema::key_value(&coll))?,
                 };
-                if let Some(v) = &value {
-                    catalog.index_new_value(id, &key, v);
-                }
-                storage.install(RecordId::new(id, key), rec.commit_ts, value);
+                let shard = self.inner.storage.shard_of(&key);
+                buckets[shard].push((RecordId::new(id, key), rec.commit_ts, value));
             }
             max_ts = max_ts.max(rec.commit_ts.0);
+        }
+        for (si, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut shard = self.inner.storage.shard(si).write();
+            for (rid, ts, value) in bucket {
+                shard.install(rid, ts, value);
+            }
         }
         self.inner.clock.store(max_ts, Ordering::SeqCst);
         Ok(n)
@@ -182,18 +262,20 @@ impl Engine {
     /// Compact the WAL to one synthetic record holding the current live
     /// state. No-op (Ok) when the engine has no WAL.
     pub fn checkpoint(&self) -> Result<()> {
+        // commit_lock before wal — the same order the commit path takes
+        // them; grabbing the wal first would deadlock against a
+        // committer holding commit_lock and waiting to append
+        let _commit = self.inner.commit_lock.lock();
         let mut wal_guard = self.inner.wal.lock();
         let Some(wal) = wal_guard.as_mut() else {
             return Ok(());
         };
-        let _commit = self.inner.commit_lock.lock();
         let snapshot = Ts(self.inner.clock.load(Ordering::SeqCst));
-        let storage = self.inner.storage.read();
         let catalog = self.inner.catalog.read();
         let mut writes = Vec::new();
         for name in catalog.names() {
             let id = catalog.get(&name).expect("listed name exists").id;
-            for (key, value) in storage.scan(id, snapshot) {
+            for (key, value) in self.inner.storage.scan_merged(id, snapshot) {
                 writes.push((name.clone(), key, Some(value)));
             }
         }
@@ -210,25 +292,28 @@ impl Engine {
         self.inner.catalog.write().create(schema).map(|_| ())
     }
 
-    /// Drop a collection and all its data.
+    /// Drop a collection and all its data (chains and index segments in
+    /// every shard).
     pub fn drop_collection(&self, name: &str) -> Result<()> {
         let id = self.inner.catalog.write().drop_collection(name)?;
-        self.inner.storage.write().drop_collection(id);
+        self.inner.storage.drop_collection(id);
         Ok(())
     }
 
     /// Create a property graph: collections `{name}#v` (vertices) and
     /// `{name}#e` (edges), with hash indexes on the edge endpoints.
     pub fn create_graph(&self, name: &str) -> Result<()> {
-        let mut catalog = self.inner.catalog.write();
-        catalog.create(CollectionSchema::graph(format!("{name}#v"), vec![]))?;
-        catalog.create(CollectionSchema::graph(format!("{name}#e"), vec![]))?;
-        catalog.create_index(
+        {
+            let mut catalog = self.inner.catalog.write();
+            catalog.create(CollectionSchema::graph(format!("{name}#v"), vec![]))?;
+            catalog.create(CollectionSchema::graph(format!("{name}#e"), vec![]))?;
+        }
+        self.create_index(
             &format!("{name}#e"),
             FieldPath::key("_src"),
             IndexKind::Hash,
         )?;
-        catalog.create_index(
+        self.create_index(
             &format!("{name}#e"),
             FieldPath::key("_dst"),
             IndexKind::Hash,
@@ -236,23 +321,41 @@ impl Engine {
         Ok(())
     }
 
-    /// Create a secondary index on a collection path and backfill it from
-    /// the latest committed state.
+    /// Create a secondary index on a collection path: records the
+    /// definition in the catalog, then creates and backfills one segment
+    /// per shard from the shard's retained versions.
     pub fn create_index(&self, collection: &str, path: FieldPath, kind: IndexKind) -> Result<()> {
         let _commit = self.inner.commit_lock.lock();
+        // the catalog write lock is held through the backfill: a reader
+        // that can see the definition must also see complete segments
+        // (equality probes silently skip absent ones). Catalog → shards
+        // is the documented lock order, so readers cannot deadlock.
         let mut catalog = self.inner.catalog.write();
-        catalog.create_index(collection, path, kind)?;
-        let id = catalog.get(collection)?.id;
-        let storage = self.inner.storage.read();
-        for (key, value) in storage.scan(id, Ts::MAX) {
-            catalog.index_new_value(id, &key, &value);
+        let id = catalog.create_index(collection, path.clone(), kind)?;
+        for si in 0..self.inner.storage.shard_count() {
+            self.inner
+                .storage
+                .shard(si)
+                .write()
+                .create_index_segment(id, &path, kind);
         }
         Ok(())
     }
 
-    /// Drop a secondary index.
+    /// Drop a secondary index (definition and every shard segment).
     pub fn drop_index(&self, collection: &str, path: &FieldPath) -> Result<()> {
-        self.inner.catalog.write().drop_index(collection, path)
+        let _commit = self.inner.commit_lock.lock();
+        // held through the segment drops, same reason as create_index
+        let mut catalog = self.inner.catalog.write();
+        let id = catalog.drop_index(collection, path)?;
+        for si in 0..self.inner.storage.shard_count() {
+            self.inner
+                .storage
+                .shard(si)
+                .write()
+                .drop_index_segment(id, path);
+        }
+        Ok(())
     }
 
     /// Collection names, sorted.
@@ -316,7 +419,8 @@ impl Engine {
     }
 
     /// Garbage-collect versions below the oldest active snapshot and
-    /// rebuild over-approximating indexes from the retained versions.
+    /// rebuild each shard's over-approximating index segments from its
+    /// retained versions (shard locks taken one at a time).
     pub fn gc(&self) -> GcStats {
         let watermark = {
             let active = self.inner.active.lock();
@@ -327,13 +431,7 @@ impl Engine {
                 .unwrap_or(Ts(self.inner.clock.load(Ordering::SeqCst)))
         };
         let _commit = self.inner.commit_lock.lock();
-        let mut storage = self.inner.storage.write();
-        let (versions_removed, chains_removed) = storage.gc(watermark);
-        let mut catalog = self.inner.catalog.write();
-        for id in catalog.ids() {
-            let retained = storage.all_retained(id);
-            catalog.rebuild_indexes(id, &retained);
-        }
+        let (versions_removed, chains_removed) = self.inner.storage.gc(watermark);
         GcStats {
             watermark,
             versions_removed,
@@ -341,17 +439,23 @@ impl Engine {
         }
     }
 
+    /// Storage shard count.
+    pub fn shard_count(&self) -> usize {
+        self.inner.storage.shard_count()
+    }
+
     /// Current counters and storage shape.
     pub fn stats(&self) -> EngineStats {
-        let storage = self.inner.storage.read();
+        let (versions, chains, max_chain_len) = self.inner.storage.shape();
         EngineStats {
             commits: self.inner.stats.commits.load(Ordering::Relaxed),
             aborts: self.inner.stats.aborts.load(Ordering::Relaxed),
             ww_conflicts: self.inner.stats.ww_conflicts.load(Ordering::Relaxed),
             read_conflicts: self.inner.stats.read_conflicts.load(Ordering::Relaxed),
-            versions: storage.version_count(),
-            chains: storage.chain_count(),
-            max_chain_len: storage.max_chain_len(),
+            shards: self.inner.storage.shard_count(),
+            versions,
+            chains,
+            max_chain_len,
             active_txns: self.inner.active.lock().len(),
         }
     }
@@ -399,12 +503,45 @@ impl Txn {
             Isolation::ReadCommitted => Ts::MAX,
             _ => state.snapshot,
         };
-        let storage = inner.storage.read();
-        let version = storage.visible(&rid, read_ts);
-        let seen = version.map(|v| v.commit_ts).unwrap_or(Ts::ZERO);
-        let value = version.and_then(|v| v.value.clone());
+        let (seen, value) = inner.storage.visible_value_with_ts(&rid, read_ts);
         state.note_read(rid, seen);
         Ok(value)
+    }
+
+    /// Batched snapshot-correct reads: results in input order, each shard
+    /// read-locked at most once for the whole batch.
+    fn read_many(&mut self, rids: &[RecordId]) -> Result<Vec<Option<Value>>> {
+        let inner = Arc::clone(&self.inner);
+        let state = self.state()?;
+        let read_ts = match state.isolation {
+            Isolation::ReadCommitted => Ts::MAX,
+            _ => state.snapshot,
+        };
+        let mut out: Vec<Option<Value>> = vec![None; rids.len()];
+        // (shard, position) of every read the write buffer cannot answer
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        for (pos, rid) in rids.iter().enumerate() {
+            match state.own_write(rid) {
+                Some(buffered) => out[pos] = buffered.clone(),
+                None => pending.push((inner.storage.shard_of(&rid.key), pos)),
+            }
+        }
+        pending.sort_unstable();
+        let mut i = 0;
+        while i < pending.len() {
+            let si = pending[i].0;
+            let shard = inner.storage.shard(si).read();
+            while i < pending.len() && pending[i].0 == si {
+                let pos = pending[i].1;
+                let rid = &rids[pos];
+                let version = shard.store.visible(rid, read_ts);
+                let seen = version.map(|v| v.commit_ts).unwrap_or(Ts::ZERO);
+                out[pos] = version.and_then(|v| v.value.clone());
+                state.note_read(rid.clone(), seen);
+                i += 1;
+            }
+        }
+        Ok(out)
     }
 
     /// Fetch a record by key.
@@ -499,8 +636,116 @@ impl Txn {
         Ok(existed)
     }
 
+    // ------------------------------------------------------------------
+    // Batched writes
+    // ------------------------------------------------------------------
+
+    /// Upsert a batch of records in one call: the catalog is consulted
+    /// once for the whole batch, and at commit every touched storage
+    /// shard is locked once per batch rather than per record.
+    pub fn put_many(&mut self, collection: &str, items: Vec<(Key, Value)>) -> Result<()> {
+        let (id, validated) = {
+            let catalog = self.inner.catalog.read();
+            let info = catalog.get(collection)?;
+            let mut validated = Vec::with_capacity(items.len());
+            for (key, mut value) in items {
+                model_validate(&info.schema, &mut value)?;
+                if info.schema.model == ModelKind::Xml {
+                    udbms_xml::value_to_xml(&value)?;
+                }
+                validated.push((key, value));
+            }
+            (info.id, validated)
+        };
+        let state = self.state()?;
+        for (key, value) in validated {
+            state.buffer_write(RecordId::new(id, key), Some(value));
+        }
+        Ok(())
+    }
+
+    /// Insert a batch of new records; fails if any key already exists at
+    /// this transaction's read horizon (or twice within the batch).
+    /// Existence checks lock each touched shard once for the whole
+    /// batch. Returns the keys in input order.
+    pub fn insert_many(&mut self, collection: &str, values: Vec<Value>) -> Result<Vec<Key>> {
+        let (pk_field, model) = {
+            let catalog = self.inner.catalog.read();
+            let info = catalog.get(collection)?;
+            (info.schema.primary_key.clone(), info.schema.model)
+        };
+        let pk_field = pk_field.ok_or_else(|| {
+            Error::Unsupported(format!(
+                "insert_many() needs a primary-keyed collection; `{collection}` has none (use put_many)"
+            ))
+        })?;
+        // assign keys, drawing auto ids under one catalog write lock —
+        // taken lazily, so fully keyed batches never serialize on it
+        let mut keyed: Vec<(Key, Value)> = Vec::with_capacity(values.len());
+        {
+            let mut catalog = None;
+            for mut value in values {
+                let key = match value.get_field(&pk_field) {
+                    Value::Null if model == ModelKind::Document => {
+                        let catalog = catalog.get_or_insert_with(|| self.inner.catalog.write());
+                        let auto = catalog.next_auto_id(collection)?;
+                        let key = Key::int(auto);
+                        if let Some(obj) = value.as_object_mut() {
+                            obj.insert(pk_field.clone(), key.value().clone());
+                        }
+                        key
+                    }
+                    Value::Null => {
+                        return Err(Error::Constraint(format!(
+                            "row lacks primary key `{pk_field}`"
+                        )))
+                    }
+                    v => Key::new(v.clone())?,
+                };
+                keyed.push((key, value));
+            }
+        }
+        let (id, _) = self.resolve(collection)?;
+        let rids: Vec<RecordId> = keyed
+            .iter()
+            .map(|(k, _)| RecordId::new(id, k.clone()))
+            .collect();
+        let current = self.read_many(&rids)?;
+        let mut batch_keys = std::collections::HashSet::new();
+        for (rid, cur) in rids.iter().zip(&current) {
+            if cur.is_some() || !batch_keys.insert(rid.key.clone()) {
+                return Err(Error::AlreadyExists(format!(
+                    "key {} in `{collection}`",
+                    rid.key
+                )));
+            }
+        }
+        let keys: Vec<Key> = keyed.iter().map(|(k, _)| k.clone()).collect();
+        self.put_many(collection, keyed)?;
+        Ok(keys)
+    }
+
+    /// Delete a batch of records; returns how many existed. Existence
+    /// checks lock each touched shard once for the whole batch.
+    pub fn delete_many(&mut self, collection: &str, keys: &[Key]) -> Result<usize> {
+        let (id, _) = self.resolve(collection)?;
+        let rids: Vec<RecordId> = keys.iter().map(|k| RecordId::new(id, k.clone())).collect();
+        let current = self.read_many(&rids)?;
+        let state = self.state()?;
+        let mut deleted = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for (rid, cur) in rids.into_iter().zip(current) {
+            if cur.is_some() && seen.insert(rid.key.clone()) {
+                state.buffer_write(rid, None);
+                deleted += 1;
+            }
+        }
+        Ok(deleted)
+    }
+
     /// All live `(key, value)` pairs of a collection at this transaction's
-    /// read horizon, own writes applied, in key order.
+    /// read horizon, own writes applied, in key order (merged across
+    /// shards).
     pub fn scan(&mut self, collection: &str) -> Result<Vec<(Key, Value)>> {
         let (id, _) = self.resolve(collection)?;
         let inner = Arc::clone(&self.inner);
@@ -509,22 +754,18 @@ impl Txn {
             Isolation::ReadCommitted => Ts::MAX,
             _ => state.snapshot,
         };
-        let mut rows: std::collections::BTreeMap<Key, Value> = {
-            let storage = inner.storage.read();
-            storage.scan(id, read_ts).into_iter().collect()
-        };
-        // Serializable: a scan observes every record it returns.
-        if state.isolation == Isolation::Serializable {
-            let storage = inner.storage.read();
-            for key in rows.keys() {
-                let rid = RecordId::new(id, key.clone());
-                let seen = storage
-                    .visible(&rid, read_ts)
-                    .map(|v| v.commit_ts)
-                    .unwrap_or(Ts::ZERO);
-                state.note_read(rid, seen);
-            }
-        }
+        let mut rows: std::collections::BTreeMap<Key, Value> =
+            if state.isolation == Isolation::Serializable {
+                // a serializable scan observes every record it returns
+                let mut rows = std::collections::BTreeMap::new();
+                for (key, seen, value) in inner.storage.scan_merged_with_ts(id, read_ts) {
+                    state.note_read(RecordId::new(id, key.clone()), seen);
+                    rows.insert(key, value);
+                }
+                rows
+            } else {
+                inner.storage.scan_merged(id, read_ts).into_iter().collect()
+            };
         for (rid, w) in &state.writes {
             if rid.collection != id {
                 continue;
@@ -568,17 +809,17 @@ impl Txn {
         }
         // probe indexes; Null probes must scan (nulls are never indexed,
         // yet `Null == Null` holds in the canonical order, so an index
-        // lookup would silently drop matching records)
+        // lookup would silently drop matching records). Candidate keys
+        // are gathered from every shard's segment of the chosen index.
         let candidates: Option<Vec<Key>> = {
             let catalog = self.inner.catalog.read();
             let mut found = None;
             for path in catalog.indexed_paths(id) {
-                let idx = catalog.index(id, path).expect("listed index exists");
                 if let Some(v) = pred.equality_on(path) {
                     if v.is_null() {
                         continue;
                     }
-                    found = Some(idx.lookup_eq(v));
+                    found = Some(self.inner.storage.index_lookup_eq(id, path, v));
                     break;
                 }
                 if let Some((lo, hi)) = pred.range_on(path) {
@@ -587,7 +828,11 @@ impl Txn {
                     {
                         continue;
                     }
-                    if let Some(keys) = idx.lookup_range(lo.as_ref(), hi.as_ref()) {
+                    if let Some(keys) =
+                        self.inner
+                            .storage
+                            .index_lookup_range(id, path, lo.as_ref(), hi.as_ref())
+                    {
                         found = Some(keys);
                         break;
                     }
@@ -596,20 +841,23 @@ impl Txn {
             found
         };
         match candidates {
-            Some(keys) => {
-                let mut seen = std::collections::HashSet::new();
+            Some(mut keys) => {
+                // segments concatenate in shard order; sort so indexed
+                // selects return the same key order as merged scans
+                keys.sort();
+                keys.dedup();
+                let rids: Vec<RecordId> =
+                    keys.iter().map(|k| RecordId::new(id, k.clone())).collect();
+                // batched validation: one lock per touched shard, not one
+                // per candidate
                 let mut out = Vec::new();
-                for key in keys {
-                    if !seen.insert(key.clone()) {
-                        continue;
-                    }
-                    if let Some(v) = self.read(RecordId::new(id, key))? {
-                        if pred.matches(&v) {
-                            out.push(v);
-                        }
+                for v in self.read_many(&rids)?.into_iter().flatten() {
+                    if pred.matches(&v) {
+                        out.push(v);
                     }
                 }
                 // own writes may add matches the index has not seen
+                let seen: std::collections::HashSet<Key> = keys.into_iter().collect();
                 let state = self.state()?;
                 for (rid, w) in &state.writes {
                     if rid.collection == id && !seen.contains(&rid.key) {
@@ -622,23 +870,62 @@ impl Txn {
                 }
                 Ok(out)
             }
-            None => Ok(self
-                .scan(collection)?
-                .into_iter()
-                .map(|(_, v)| v)
-                .filter(|v| pred.matches(v))
-                .collect()),
+            // no usable index: the one shared sharded-scan implementation
+            None => self.select_scan(collection, pred),
         }
     }
 
-    /// Like [`Txn::select`] but never uses an index (E6 ablation arm).
+    /// Predicate scan without indexes: the single sharded-iteration
+    /// implementation behind both [`Txn::select`]'s fallback and the
+    /// ablation arm. Each shard filters its own run (fanning out to one
+    /// thread per shard for large collections), results merge in key
+    /// order, then buffered writes overlay.
     pub fn select_scan(&mut self, collection: &str, pred: &Predicate) -> Result<Vec<Value>> {
-        Ok(self
-            .scan(collection)?
-            .into_iter()
-            .map(|(_, v)| v)
-            .filter(|v| pred.matches(v))
-            .collect())
+        let (id, _) = self.resolve(collection)?;
+        let inner = Arc::clone(&self.inner);
+        let state = self.state()?;
+        let read_ts = match state.isolation {
+            Isolation::ReadCommitted => Ts::MAX,
+            _ => state.snapshot,
+        };
+        let mut rows: std::collections::BTreeMap<Key, Value> = Default::default();
+        if state.isolation == Isolation::Serializable {
+            // a serializable predicate scan observes every record it
+            // *examined*, not just the matches: write skew via predicate
+            // emptiness is only caught when the non-matching record that
+            // later changes sits in the read set (same rule as `scan`)
+            for (key, seen, value) in inner.storage.scan_merged_with_ts(id, read_ts) {
+                state.note_read(RecordId::new(id, key.clone()), seen);
+                if pred.matches(&value) {
+                    rows.insert(key, value);
+                }
+            }
+        } else {
+            let parallel = inner.storage.shard_count() > 1
+                && scan_parallelism_available()
+                && inner.storage.directory_len(id) >= PARALLEL_SCAN_MIN_KEYS;
+            for (key, _, value) in inner
+                .storage
+                .filter_scan(id, read_ts, parallel, |v| pred.matches(v))
+            {
+                rows.insert(key, value);
+            }
+        }
+        for (rid, w) in &state.writes {
+            if rid.collection != id {
+                continue;
+            }
+            match w {
+                Some(v) if pred.matches(v) => {
+                    rows.insert(rid.key.clone(), v.clone());
+                }
+                // buffered delete, or an overwrite that no longer matches
+                _ => {
+                    rows.remove(&rid.key);
+                }
+            }
+        }
+        Ok(rows.into_values().collect())
     }
 
     // ------------------------------------------------------------------
@@ -816,54 +1103,77 @@ impl Txn {
 
         let commit_ts = {
             let _commit = inner.commit_lock.lock();
-            // --- validation ---
+            // --- validation (one shard read-lock per touched shard) ---
+            let write_groups = inner.storage.group_by_shard(state.write_order.iter());
             if state.isolation != Isolation::ReadCommitted {
-                let storage = inner.storage.read();
-                for rid in state.writes.keys() {
-                    if let Some(latest) = storage.latest(rid) {
-                        if latest.commit_ts > state.snapshot {
-                            drop(storage);
-                            inner.active.lock().remove(&state.id);
-                            inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
-                            inner.stats.ww_conflicts.fetch_add(1, Ordering::Relaxed);
-                            return Err(Error::TxnConflict(format!(
-                                "write-write conflict on {}",
-                                rid.key
-                            )));
+                // write-write: first committer wins
+                let mut conflict: Option<Error> = None;
+                'ww: for (si, group) in write_groups.iter().enumerate() {
+                    if group.is_empty() {
+                        continue;
+                    }
+                    let shard = inner.storage.shard(si).read();
+                    for rid in group {
+                        if let Some(latest) = shard.store.latest(rid) {
+                            if latest.commit_ts > state.snapshot {
+                                conflict = Some(Error::TxnConflict(format!(
+                                    "write-write conflict on {}",
+                                    rid.key
+                                )));
+                                break 'ww;
+                            }
                         }
                     }
+                }
+                if let Some(err) = conflict {
+                    inner.active.lock().remove(&state.id);
+                    inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.ww_conflicts.fetch_add(1, Ordering::Relaxed);
+                    return Err(err);
                 }
                 if state.isolation == Isolation::Serializable {
-                    for (rid, seen) in &state.reads {
-                        let current = storage.latest(rid).map(|v| v.commit_ts).unwrap_or(Ts::ZERO);
-                        if current != *seen {
-                            drop(storage);
-                            inner.active.lock().remove(&state.id);
-                            inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
-                            inner.stats.read_conflicts.fetch_add(1, Ordering::Relaxed);
-                            return Err(Error::TxnConflict(format!(
-                                "read validation failed on {}",
-                                rid.key
-                            )));
+                    // OCC: every observed version must still be current
+                    let read_groups = inner.storage.group_by_shard(state.reads.keys());
+                    let mut conflict: Option<Error> = None;
+                    'occ: for (si, group) in read_groups.iter().enumerate() {
+                        if group.is_empty() {
+                            continue;
+                        }
+                        let shard = inner.storage.shard(si).read();
+                        for rid in group {
+                            let current = shard
+                                .store
+                                .latest(rid)
+                                .map(|v| v.commit_ts)
+                                .unwrap_or(Ts::ZERO);
+                            if current != state.reads[*rid] {
+                                conflict = Some(Error::TxnConflict(format!(
+                                    "read validation failed on {}",
+                                    rid.key
+                                )));
+                                break 'occ;
+                            }
                         }
                     }
-                }
-            }
-            // --- install ---
-            let commit_ts = Ts(inner.clock.fetch_add(1, Ordering::SeqCst) + 1);
-            {
-                let mut storage = inner.storage.write();
-                for rid in &state.write_order {
-                    let value = state.writes[rid].clone();
-                    storage.install(rid.clone(), commit_ts, value);
-                }
-            }
-            {
-                let mut catalog = inner.catalog.write();
-                for rid in &state.write_order {
-                    if let Some(v) = &state.writes[rid] {
-                        catalog.index_new_value(rid.collection, &rid.key, v);
+                    if let Some(err) = conflict {
+                        inner.active.lock().remove(&state.id);
+                        inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                        inner.stats.read_conflicts.fetch_add(1, Ordering::Relaxed);
+                        return Err(err);
                     }
+                }
+            }
+            // --- install (versions + index postings, one shard
+            //     write-lock per touched shard, ascending order) ---
+            let commit_ts = Ts(inner.clock.fetch_add(1, Ordering::SeqCst) + 1);
+            for (si, group) in write_groups.iter().enumerate() {
+                if group.is_empty() {
+                    continue;
+                }
+                let mut shard = inner.storage.shard(si).write();
+                for rid in group {
+                    let value = state.writes[*rid].clone();
+                    shard.install((*rid).clone(), commit_ts, value);
                 }
             }
             // --- log ---
@@ -1111,6 +1421,32 @@ mod tests {
         let err = t2.commit().unwrap_err();
         assert!(err.is_retryable(), "OCC read validation must fire: {err}");
         assert_eq!(e.stats().read_conflicts, 1);
+    }
+
+    #[test]
+    fn serializable_select_scan_prevents_predicate_write_skew() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| {
+            t.put("feedback", Key::str("o1"), obj! {"status" => "paid"})?;
+            t.put("feedback", Key::str("o2"), obj! {"status" => "paid"})
+        })
+        .unwrap();
+        // t1 decides from the *absence* of matching rows
+        let mut t1 = e.begin(Isolation::Serializable);
+        let pred = Predicate::eq("status", Value::from("open"));
+        assert!(t1.select_scan("feedback", &pred).unwrap().is_empty());
+        // concurrently o1 starts matching the predicate
+        e.run(Isolation::Snapshot, |t| {
+            t.put("feedback", Key::str("o1"), obj! {"status" => "open"})
+        })
+        .unwrap();
+        t1.put("feedback", Key::str("decision"), Value::Int(1))
+            .unwrap();
+        let err = t1.commit().unwrap_err();
+        assert!(
+            err.is_retryable(),
+            "the predicate scan examined o1, so its change must abort t1: {err}"
+        );
     }
 
     #[test]
@@ -1375,6 +1711,37 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_and_commits_interleave_without_deadlock() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("udbms-engine-ckpt-race-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let e = Engine::with_wal(&path).unwrap();
+        e.create_collection(CollectionSchema::key_value("ns"))
+            .unwrap();
+        // lock-order regression guard: a checkpoint that grabbed the wal
+        // before commit_lock deadlocks against a committer taking them
+        // in the documented commit_lock → wal order
+        std::thread::scope(|s| {
+            let engine = &e;
+            s.spawn(move || {
+                for i in 0..200i64 {
+                    engine
+                        .run(Isolation::Snapshot, |t| {
+                            t.put("ns", Key::int(i % 8), Value::Int(i))
+                        })
+                        .unwrap();
+                }
+            });
+            s.spawn(move || {
+                for _ in 0..50 {
+                    engine.checkpoint().unwrap();
+                }
+            });
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn wal_recovery_restores_state() {
         let mut path = std::env::temp_dir();
         path.push(format!("udbms-engine-wal-{}.log", std::process::id()));
@@ -1497,6 +1864,128 @@ mod tests {
             t2.get("feedback", &Key::int(1)),
             Err(Error::TxnClosed(_))
         ));
+    }
+
+    #[test]
+    fn batched_writes_roundtrip() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| {
+            t.put_many(
+                "feedback",
+                (0..50).map(|i| (Key::int(i), Value::Int(i * 10))).collect(),
+            )
+        })
+        .unwrap();
+        let mut t = e.begin(Isolation::Snapshot);
+        assert_eq!(t.scan("feedback").unwrap().len(), 50);
+        assert_eq!(
+            t.get("feedback", &Key::int(7)).unwrap(),
+            Some(Value::Int(70))
+        );
+        drop(t);
+
+        // delete_many counts only existing keys, once each
+        let deleted = e
+            .run(Isolation::Snapshot, |t| {
+                t.delete_many(
+                    "feedback",
+                    &[Key::int(1), Key::int(2), Key::int(2), Key::int(999)],
+                )
+            })
+            .unwrap();
+        assert_eq!(deleted, 2);
+        let mut t = e.begin(Isolation::Snapshot);
+        assert_eq!(t.scan("feedback").unwrap().len(), 48);
+    }
+
+    #[test]
+    fn insert_many_assigns_ids_and_rejects_duplicates() {
+        let e = engine();
+        let keys = e
+            .run(Isolation::Snapshot, |t| {
+                t.insert_many(
+                    "orders",
+                    (0..10).map(|i| obj! {"total" => i as f64}).collect(),
+                )
+            })
+            .unwrap();
+        assert_eq!(keys.len(), 10);
+        let mut t = e.begin(Isolation::Snapshot);
+        for k in &keys {
+            let doc = t.get("orders", k).unwrap().expect("inserted");
+            assert_eq!(doc.get_field("_id"), k.value(), "auto id injected");
+        }
+        drop(t);
+
+        // duplicate against committed state
+        let mut t = e.begin(Isolation::Snapshot);
+        let err = t
+            .insert_many(
+                "customers",
+                vec![
+                    obj! {"id" => 1, "name" => "Ada"},
+                    obj! {"id" => 1, "name" => "Dup"},
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::AlreadyExists(_)), "{err}");
+        // nothing from the failed batch is buffered
+        assert!(t.get("customers", &Key::int(1)).unwrap().is_none());
+        t.abort();
+
+        // batched inserts validate schemas like single inserts
+        assert!(e
+            .run(Isolation::Snapshot, |t| t
+                .insert_many("customers", vec![obj! {"id" => 2}])
+                .map(|_| ()))
+            .is_err());
+    }
+
+    #[test]
+    fn batched_writes_validate_and_buffer_atomically() {
+        let e = engine();
+        let mut t = e.begin(Isolation::Snapshot);
+        // one invalid record fails the whole put_many before buffering
+        let err = t
+            .put_many(
+                "customers",
+                vec![
+                    (Key::int(1), obj! {"id" => 1, "name" => "Ada"}),
+                    (Key::int(2), obj! {"id" => 2}), // missing required name
+                ],
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Constraint(_) | Error::Invalid(_)),
+            "{err}"
+        );
+        assert!(t.scan("customers").unwrap().is_empty(), "nothing buffered");
+    }
+
+    #[test]
+    fn engines_report_shard_count() {
+        assert_eq!(Engine::new().stats().shards, crate::DEFAULT_SHARDS);
+        assert_eq!(Engine::with_shards(3).stats().shards, 3);
+        assert_eq!(Engine::with_shards(0).stats().shards, 1, "clamped to one");
+        assert_eq!(Engine::with_shards(5).shard_count(), 5);
+    }
+
+    #[test]
+    fn single_shard_engine_behaves_identically() {
+        // the whole suite runs at DEFAULT_SHARDS; spot-check 1-shard
+        let e = Engine::with_shards(1);
+        e.create_collection(CollectionSchema::key_value("kv"))
+            .unwrap();
+        e.run(Isolation::Snapshot, |t| {
+            t.put_many(
+                "kv",
+                (0..20).map(|i| (Key::int(i), Value::Int(i))).collect(),
+            )
+        })
+        .unwrap();
+        let mut t = e.begin(Isolation::Snapshot);
+        assert_eq!(t.scan("kv").unwrap().len(), 20);
+        assert_eq!(t.get("kv", &Key::int(11)).unwrap(), Some(Value::Int(11)));
     }
 
     #[test]

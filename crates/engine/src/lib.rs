@@ -18,9 +18,11 @@
 //!   TransactionManager ── begin/commit protocol, isolation levels:
 //!        │                 ReadCommitted / Snapshot / Serializable (OCC)
 //!        ▼
-//!   Storage ── (CollectionId, Key) → version chain (MVCC), GC
-//!        │
-//!   Catalog ── schemas, auto-id counters, secondary indexes
+//!   ShardedStorage ── key → shard (stable hash) → independently locked
+//!        │             Shard: (CollectionId, Key) → version chain (MVCC)
+//!        │             + per-shard index segments, GC, merged iteration
+//!        ▼
+//!   Catalog ── schemas, auto-id counters, index *definitions*
 //!        │
 //!   Wal ── logical redo log (JSON lines), recovery, checkpointing
 //! ```
@@ -43,8 +45,8 @@ mod txn;
 mod wal;
 
 pub use catalog::{Catalog, CollectionInfo};
-pub use engine::{Engine, EngineStats, GcStats, Txn};
-pub use storage::{RecordId, Storage, Version};
+pub use engine::{Engine, EngineConfig, EngineStats, GcStats, Txn, DEFAULT_SHARDS};
+pub use storage::{shard_of, RecordId, Shard, ShardedStorage, Storage, Version};
 pub use txn::Isolation;
 pub use wal::{Wal, WalRecord};
 

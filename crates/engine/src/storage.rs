@@ -4,10 +4,21 @@
 //! of `(commit_ts, value-or-tombstone)` pairs in commit order. A reader
 //! with snapshot `S` sees the newest version with `commit_ts <= S`.
 //! Chains are pruned by [`Storage::gc`] below the oldest active snapshot.
+//!
+//! Since the sharding refactor the engine no longer holds one [`Storage`]
+//! behind one lock: [`ShardedStorage`] partitions the key space into N
+//! hash-addressed [`Shard`]s, each an independently locked `Storage` plus
+//! the **index segments** for the keys it owns. Point operations lock one
+//! shard; batches lock each touched shard once; `scan` merges the
+//! per-shard sorted runs into one key-ordered iteration.
 
 use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
 
-use udbms_core::{CollectionId, Key, Ts, Value};
+use parking_lot::RwLock;
+
+use udbms_core::{CollectionId, FieldPath, Key, Ts, Value};
+use udbms_relational::{Index, IndexKind};
 
 /// Globally unique record address: which collection, which key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -108,17 +119,35 @@ impl Storage {
     /// All `(key, value)` pairs of a collection live at `snapshot`, in key
     /// order.
     pub fn scan(&self, collection: CollectionId, snapshot: Ts) -> Vec<(Key, Value)> {
+        self.scan_with_ts(collection, snapshot)
+            .into_iter()
+            .map(|(k, _, v)| (k, v))
+            .collect()
+    }
+
+    /// Like [`Storage::scan`] but also reporting the commit timestamp of
+    /// each returned version (serializable scans record what they saw
+    /// without a second lookup).
+    pub fn scan_with_ts(&self, collection: CollectionId, snapshot: Ts) -> Vec<(Key, Ts, Value)> {
         let Some(dir) = self.directories.get(&collection) else {
             return Vec::new();
         };
         let mut out = Vec::new();
         for k in dir {
             let rid = RecordId::new(collection, k.clone());
-            if let Some(v) = self.visible_value(&rid, snapshot) {
-                out.push((k.clone(), v.clone()));
+            if let Some(v) = self.visible(&rid, snapshot) {
+                if let Some(value) = &v.value {
+                    out.push((k.clone(), v.commit_ts, value.clone()));
+                }
             }
         }
         out
+    }
+
+    /// Number of keys ever written to a collection in this store (live or
+    /// not); used as a cheap scan-size estimate.
+    pub fn directory_len(&self, collection: CollectionId) -> usize {
+        self.directories.get(&collection).map_or(0, BTreeSet::len)
     }
 
     /// Every value present in any retained version of a collection
@@ -196,6 +225,447 @@ impl Storage {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Sharding
+// ---------------------------------------------------------------------
+
+/// FNV-1a with explicit little-endian integer folding, so a key maps to
+/// the same shard on every run and platform (the WAL does not record
+/// shard placement — replay must re-derive it).
+struct StableHasher(u64);
+
+impl StableHasher {
+    fn new() -> StableHasher {
+        StableHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_usize(&mut self, i: usize) {
+        self.write(&(i as u64).to_le_bytes());
+    }
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+    fn write_isize(&mut self, i: isize) {
+        self.write_usize(i as usize);
+    }
+}
+
+/// The stable shard index of a key among `shards` partitions. Collection
+/// is deliberately not part of the address: a record's shard depends only
+/// on its key, so WAL replay and cross-shard-count recovery agree.
+pub fn shard_of(key: &Key, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut h = StableHasher::new();
+    key.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// One storage partition: the version chains of the keys that hash here,
+/// plus the **segments** of every secondary index restricted to those
+/// keys. Guarded by a single lock inside [`ShardedStorage`], so a commit
+/// installs versions *and* index postings for a shard under one
+/// acquisition.
+#[derive(Debug, Default)]
+pub struct Shard {
+    /// The shard-local version-chain store.
+    pub store: Storage,
+    /// Per-shard index segments, keyed like the catalog's definitions.
+    segments: HashMap<(CollectionId, FieldPath), Index>,
+}
+
+impl Shard {
+    /// Empty shard.
+    pub fn new() -> Shard {
+        Shard::default()
+    }
+
+    /// Install a version and (for non-tombstones) its index postings.
+    pub fn install(&mut self, rid: RecordId, commit_ts: Ts, value: Option<Value>) {
+        if let Some(v) = &value {
+            self.index_new_value(rid.collection, &rid.key, v);
+        }
+        self.store.install(rid, commit_ts, value);
+    }
+
+    /// Create this shard's segment of a new index and backfill it from
+    /// every retained version the shard holds (over-approximating, like
+    /// the pre-shard design).
+    pub fn create_index_segment(&mut self, id: CollectionId, path: &FieldPath, kind: IndexKind) {
+        let mut idx = Index::new(kind);
+        for (key, values) in self.store.all_retained(id) {
+            for value in values {
+                post_value(&mut idx, path, &key, value);
+            }
+        }
+        self.segments.insert((id, path.clone()), idx);
+    }
+
+    /// Drop this shard's segment of an index.
+    pub fn drop_index_segment(&mut self, id: CollectionId, path: &FieldPath) {
+        self.segments.remove(&(id, path.clone()));
+    }
+
+    /// Borrow this shard's segment of an index.
+    pub fn index_segment(&self, id: CollectionId, path: &FieldPath) -> Option<&Index> {
+        self.segments.get(&(id, path.clone()))
+    }
+
+    /// Add postings for a newly committed value (arrays index per
+    /// element), to every segment of the owning collection.
+    pub fn index_new_value(&mut self, id: CollectionId, key: &Key, value: &Value) {
+        for ((cid, path), idx) in &mut self.segments {
+            if *cid == id {
+                post_value(idx, path, key, value);
+            }
+        }
+    }
+
+    /// Drop a collection's chains and index segments.
+    pub fn drop_collection(&mut self, id: CollectionId) {
+        self.store.drop_collection(id);
+        self.segments.retain(|(cid, _), _| *cid != id);
+    }
+
+    /// Prune version chains below `watermark`, then rebuild this shard's
+    /// index segments from the retained versions (the shard-local half of
+    /// the old catalog-wide rebuild).
+    pub fn gc_and_rebuild(&mut self, watermark: Ts) -> (usize, usize) {
+        let removed = self.store.gc(watermark);
+        let touched: BTreeSet<CollectionId> = self.segments.keys().map(|(id, _)| *id).collect();
+        for id in touched {
+            let retained = self.store.all_retained(id);
+            for ((cid, path), idx) in &mut self.segments {
+                if *cid != id {
+                    continue;
+                }
+                let mut fresh = Index::new(idx.kind());
+                for (key, values) in &retained {
+                    let mut seen: Vec<&Value> = Vec::new();
+                    for value in values {
+                        match value.get_path(path) {
+                            Value::Array(items) => {
+                                for item in items {
+                                    if !seen.contains(&item) {
+                                        seen.push(item);
+                                        fresh.insert(item.clone(), key.clone());
+                                    }
+                                }
+                            }
+                            v => {
+                                if !seen.contains(&v) {
+                                    seen.push(v);
+                                    fresh.insert(v.clone(), key.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                *idx = fresh;
+            }
+        }
+        removed
+    }
+}
+
+/// Index one value under `path` (arrays post per element).
+fn post_value(idx: &mut Index, path: &FieldPath, key: &Key, value: &Value) {
+    match value.get_path(path) {
+        Value::Array(items) => {
+            for item in items {
+                idx.insert(item.clone(), key.clone());
+            }
+        }
+        v => idx.insert(v.clone(), key.clone()),
+    }
+}
+
+/// N hash-addressed, independently locked storage partitions.
+///
+/// Lock discipline: shards are only ever locked in **ascending index
+/// order** when an operation spans more than one (batch install, merged
+/// scan, GC), and never while holding another shard's guard — except for
+/// those ordered multi-shard walks. The catalog lock, when needed, is
+/// acquired *before* any shard lock.
+#[derive(Debug)]
+pub struct ShardedStorage {
+    shards: Vec<RwLock<Shard>>,
+}
+
+impl ShardedStorage {
+    /// `shards` partitions (clamped to at least one).
+    pub fn new(shards: usize) -> ShardedStorage {
+        let n = shards.max(1);
+        ShardedStorage {
+            shards: (0..n).map(|_| RwLock::new(Shard::new())).collect(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning a key.
+    pub fn shard_of(&self, key: &Key) -> usize {
+        shard_of(key, self.shards.len())
+    }
+
+    /// Borrow a shard's lock by index (ascending-order discipline is the
+    /// caller's responsibility for multi-shard walks).
+    pub fn shard(&self, i: usize) -> &RwLock<Shard> {
+        &self.shards[i]
+    }
+
+    /// Borrow the lock of the shard owning `key`.
+    pub fn shard_for(&self, key: &Key) -> &RwLock<Shard> {
+        &self.shards[self.shard_of(key)]
+    }
+
+    /// Group record ids by owning shard: returns one bucket per shard, in
+    /// shard order (empty buckets included), so callers can lock each
+    /// touched shard exactly once per batch.
+    pub fn group_by_shard<'a, I>(&self, rids: I) -> Vec<Vec<&'a RecordId>>
+    where
+        I: IntoIterator<Item = &'a RecordId>,
+    {
+        let mut buckets: Vec<Vec<&'a RecordId>> = vec![Vec::new(); self.shards.len()];
+        for rid in rids {
+            buckets[self.shard_of(&rid.key)].push(rid);
+        }
+        buckets
+    }
+
+    /// The newest version of a record visible at `snapshot` (value only,
+    /// tombstones resolved to `None`), plus the commit timestamp observed
+    /// (`Ts::ZERO` when the record was absent).
+    pub fn visible_value_with_ts(&self, rid: &RecordId, snapshot: Ts) -> (Ts, Option<Value>) {
+        let shard = self.shard_for(&rid.key).read();
+        match shard.store.visible(rid, snapshot) {
+            Some(v) => (v.commit_ts, v.value.clone()),
+            None => (Ts::ZERO, None),
+        }
+    }
+
+    /// Merged key-ordered scan across every shard: each shard's run is
+    /// already sorted (per-shard `BTreeSet` directories) and the key
+    /// spaces are disjoint, so this is a classic k-way merge.
+    pub fn scan_merged(&self, collection: CollectionId, snapshot: Ts) -> Vec<(Key, Value)> {
+        self.scan_merged_with_ts(collection, snapshot)
+            .into_iter()
+            .map(|(k, _, v)| (k, v))
+            .collect()
+    }
+
+    /// Merged scan that also reports each version's commit timestamp.
+    pub fn scan_merged_with_ts(
+        &self,
+        collection: CollectionId,
+        snapshot: Ts,
+    ) -> Vec<(Key, Ts, Value)> {
+        let runs: Vec<Vec<(Key, Ts, Value)>> = self
+            .shards
+            .iter()
+            .map(|s| s.read().store.scan_with_ts(collection, snapshot))
+            .collect();
+        merge_runs(runs, |t| &t.0)
+    }
+
+    /// Merged predicate scan: every shard filters its own run (in
+    /// parallel when `parallel` and more than one shard holds data),
+    /// then the matching runs merge in key order. This is the shard-local
+    /// fan-out `select`/`select_scan` share.
+    pub fn filter_scan<F>(
+        &self,
+        collection: CollectionId,
+        snapshot: Ts,
+        parallel: bool,
+        matches: F,
+    ) -> Vec<(Key, Ts, Value)>
+    where
+        F: Fn(&Value) -> bool + Sync,
+    {
+        let scan_one = |shard: &RwLock<Shard>| -> Vec<(Key, Ts, Value)> {
+            shard
+                .read()
+                .store
+                .scan_with_ts(collection, snapshot)
+                .into_iter()
+                .filter(|(_, _, v)| matches(v))
+                .collect()
+        };
+        let runs: Vec<Vec<(Key, Ts, Value)>> = if parallel && self.shards.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|shard| scope.spawn(|| scan_one(shard)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard scan panicked"))
+                    .collect()
+            })
+        } else {
+            self.shards.iter().map(scan_one).collect()
+        };
+        merge_runs(runs, |t| &t.0)
+    }
+
+    /// Candidate keys for an equality probe, concatenated across every
+    /// shard's segment of the index (order across shards is arbitrary —
+    /// callers re-validate and dedupe anyway).
+    pub fn index_lookup_eq(&self, id: CollectionId, path: &FieldPath, value: &Value) -> Vec<Key> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let s = shard.read();
+            if let Some(idx) = s.index_segment(id, path) {
+                out.extend(idx.lookup_eq(value));
+            }
+        }
+        out
+    }
+
+    /// Candidate keys for a range probe, or `None` when the index kind
+    /// does not support ranges (segments share one kind, so the first
+    /// shard answers for all).
+    pub fn index_lookup_range(
+        &self,
+        id: CollectionId,
+        path: &FieldPath,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Option<Vec<Key>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let s = shard.read();
+            let idx = s.index_segment(id, path)?;
+            out.extend(idx.lookup_range(lo, hi)?);
+        }
+        Some(out)
+    }
+
+    /// Total keys ever written to a collection across shards (cheap scan
+    /// size estimate for the parallel fan-out heuristic).
+    pub fn directory_len(&self, collection: CollectionId) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().store.directory_len(collection))
+            .sum()
+    }
+
+    /// Run GC + index-segment rebuild on every shard; returns the summed
+    /// `(versions_removed, chains_removed)`.
+    pub fn gc(&self, watermark: Ts) -> (usize, usize) {
+        let mut versions = 0;
+        let mut chains = 0;
+        for shard in &self.shards {
+            let (v, c) = shard.write().gc_and_rebuild(watermark);
+            versions += v;
+            chains += c;
+        }
+        (versions, chains)
+    }
+
+    /// Drop a collection from every shard.
+    pub fn drop_collection(&self, collection: CollectionId) {
+        for shard in &self.shards {
+            shard.write().drop_collection(collection);
+        }
+    }
+
+    /// Aggregate `(versions, chains, max_chain_len)` across shards.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        let mut versions = 0;
+        let mut chains = 0;
+        let mut max_chain = 0;
+        for shard in &self.shards {
+            let s = shard.read();
+            versions += s.store.version_count();
+            chains += s.store.chain_count();
+            max_chain = max_chain.max(s.store.max_chain_len());
+        }
+        (versions, chains, max_chain)
+    }
+}
+
+/// Merge per-shard key-sorted runs (disjoint key sets) into one sorted
+/// vector. `key` projects the sort key out of an item.
+fn merge_runs<T, F>(mut runs: Vec<Vec<T>>, key: F) -> Vec<T>
+where
+    F: Fn(&T) -> &Key,
+{
+    runs.retain(|r| !r.is_empty());
+    match runs.len() {
+        0 => return Vec::new(),
+        1 => return runs.pop().expect("non-empty"),
+        _ => {}
+    }
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut cursors: Vec<std::vec::IntoIter<T>> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<T>> = cursors.iter_mut().map(Iterator::next).collect();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut min: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            if let Some(item) = head {
+                match min {
+                    Some(m) => {
+                        if key(item) < key(heads[m].as_ref().expect("min head present")) {
+                            min = Some(i);
+                        }
+                    }
+                    None => min = Some(i),
+                }
+            }
+        }
+        let Some(m) = min else { break };
+        let item = heads[m].take().expect("selected head present");
+        out.push(item);
+        heads[m] = cursors[m].next();
+    }
+    out
 }
 
 #[cfg(test)]
@@ -312,5 +782,148 @@ mod tests {
         assert_eq!(s.chain_count(), 1);
         assert!(s.scan(C, Ts::MAX).is_empty());
         assert_eq!(s.scan(CollectionId(2), Ts::MAX).len(), 1);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for n in [1usize, 2, 7, 8, 64] {
+            for k in -200i64..200 {
+                let key = Key::int(k);
+                let s1 = shard_of(&key, n);
+                let s2 = shard_of(&key, n);
+                assert_eq!(s1, s2, "stable for the same key");
+                assert!(s1 < n);
+            }
+            assert_eq!(shard_of(&Key::str("abc"), n), shard_of(&Key::str("abc"), n));
+        }
+        // single shard always maps to 0
+        assert_eq!(shard_of(&Key::str("anything"), 1), 0);
+    }
+
+    #[test]
+    fn shard_of_spreads_keys() {
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for k in 0..4000i64 {
+            counts[shard_of(&Key::int(k), n)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (250..=750).contains(c),
+                "shard {i} got {c} of 4000 keys — hash is badly skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn numeric_key_identity_shards_identically() {
+        // Int(2) and Float(2.0) are equal keys (canonical numeric
+        // identity) so they must land in the same shard
+        let a = Key::new(Value::Int(2)).unwrap();
+        let b = Key::new(Value::Float(2.0)).unwrap();
+        assert_eq!(a, b);
+        for n in [2usize, 8, 17] {
+            assert_eq!(shard_of(&a, n), shard_of(&b, n));
+        }
+    }
+
+    #[test]
+    fn sharded_scan_merges_in_key_order() {
+        let s = ShardedStorage::new(8);
+        for k in 0..100i64 {
+            let key = Key::int(k);
+            let si = s.shard_of(&key);
+            s.shard(si)
+                .write()
+                .install(RecordId::new(C, key), Ts(1), Some(Value::Int(k)));
+        }
+        let rows = s.scan_merged(C, Ts::MAX);
+        assert_eq!(rows.len(), 100);
+        for (i, (k, v)) in rows.iter().enumerate() {
+            assert_eq!(k, &Key::int(i as i64), "key order after merge");
+            assert_eq!(v, &Value::Int(i as i64));
+        }
+        let (versions, chains, max_chain) = s.shape();
+        assert_eq!((versions, chains, max_chain), (100, 100, 1));
+    }
+
+    #[test]
+    fn filter_scan_parallel_equals_sequential() {
+        let s = ShardedStorage::new(4);
+        for k in 0..200i64 {
+            let key = Key::int(k);
+            let si = s.shard_of(&key);
+            s.shard(si)
+                .write()
+                .install(RecordId::new(C, key), Ts(1), Some(Value::Int(k % 5)));
+        }
+        let sequential = s.filter_scan(C, Ts::MAX, false, |v| v == &Value::Int(3));
+        let parallel = s.filter_scan(C, Ts::MAX, true, |v| v == &Value::Int(3));
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.len(), 40);
+    }
+
+    #[test]
+    fn shard_segments_index_and_rebuild() {
+        use udbms_core::obj;
+        let mut shard = Shard::new();
+        let path = FieldPath::key("status");
+        shard.create_index_segment(C, &path, IndexKind::Hash);
+        shard.install(
+            RecordId::new(C, Key::int(1)),
+            Ts(10),
+            Some(obj! {"status" => "open"}),
+        );
+        shard.install(
+            RecordId::new(C, Key::int(2)),
+            Ts(11),
+            Some(obj! {"status" => "open"}),
+        );
+        shard.install(
+            RecordId::new(C, Key::int(1)),
+            Ts(12),
+            Some(obj! {"status" => "paid"}),
+        );
+        let idx = shard.index_segment(C, &path).unwrap();
+        // over-approximating: key 1 posted under both values
+        assert_eq!(idx.lookup_eq(&Value::from("open")).len(), 2);
+        assert_eq!(idx.lookup_eq(&Value::from("paid")), vec![Key::int(1)]);
+        // GC below ts 12 prunes key 1's "open" version; rebuild drops it
+        let (removed, _) = shard.gc_and_rebuild(Ts(12));
+        assert!(removed >= 1);
+        let idx = shard.index_segment(C, &path).unwrap();
+        assert_eq!(idx.lookup_eq(&Value::from("open")), vec![Key::int(2)]);
+        shard.drop_index_segment(C, &path);
+        assert!(shard.index_segment(C, &path).is_none());
+    }
+
+    #[test]
+    fn segment_backfill_covers_existing_data() {
+        use udbms_core::obj;
+        let mut shard = Shard::new();
+        shard.install(
+            RecordId::new(C, Key::int(7)),
+            Ts(1),
+            Some(obj! {"tags" => udbms_core::arr!["a", "b"]}),
+        );
+        let path = FieldPath::key("tags");
+        shard.create_index_segment(C, &path, IndexKind::Hash);
+        let idx = shard.index_segment(C, &path).unwrap();
+        assert_eq!(idx.lookup_eq(&Value::from("a")), vec![Key::int(7)]);
+        assert_eq!(idx.lookup_eq(&Value::from("b")), vec![Key::int(7)]);
+    }
+
+    #[test]
+    fn group_by_shard_buckets_every_rid_once() {
+        let s = ShardedStorage::new(4);
+        let rids: Vec<RecordId> = (0..40).map(|k| RecordId::new(C, Key::int(k))).collect();
+        let groups = s.group_by_shard(rids.iter());
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 40);
+        for (si, group) in groups.iter().enumerate() {
+            for rid in group {
+                assert_eq!(s.shard_of(&rid.key), si);
+            }
+        }
     }
 }
