@@ -6,17 +6,26 @@
 //! cargo run --release -p udbms-bench --bin harness -- e2 e4a  # selected experiments
 //! cargo run --release -p udbms-bench --bin harness -- --clients 8 --shards 8 e6
 //! cargo run --release -p udbms-bench --bin harness -- --json out.json e2 e4a e6
+//! cargo run --release -p udbms-bench --bin harness -- --durability flush e8
+//! cargo run --release -p udbms-bench --bin harness -- --experiments e8 --json
 //! ```
 //!
 //! `--clients N` sets the concurrent client threads the Subject-driven
-//! experiments (E2, E4a, E6) use; `--shards N` sets the unified
+//! experiments (E2, E4a, E6, E8) use; `--shards N` sets the unified
 //! engine's storage shard count (and the upper arm of the E6 shard
-//! sweep); `--json <path>` additionally writes every produced report as
-//! machine-readable JSON (the `BENCH_*.json` perf trajectory input and
-//! what the `bench_gate` binary compares against `bench/baseline.json`).
+//! sweep); `--durability LEVEL` (buffered/flush/fsync) restricts the E8
+//! durability sweep to one level (default: all three); `--json [path]`
+//! additionally writes every produced report as machine-readable JSON
+//! (an explicit path must end in `.json` — that suffix is what tells a
+//! path apart from an experiment id; default `bench-report.json`; the
+//! `BENCH_*.json` perf trajectory input and what the `bench_gate`
+//! binary compares against `bench/baseline.json`). Experiments select
+//! by bare id; the `--experiments` flag is an accepted no-op prefix
+//! for them.
 
 use udbms_bench::{experiments, Report, RunScale};
 use udbms_core::Value;
+use udbms_driver::Durability;
 
 /// One selectable experiment: id + the function that produces its table.
 type Experiment = (&'static str, fn(RunScale) -> Report);
@@ -57,17 +66,35 @@ fn main() {
                     .unwrap_or_else(|| die("--shards needs a positive integer"));
                 scale = scale.with_shards(n);
             }
-            "--json" => {
+            "--durability" => {
                 i += 1;
-                let path = args
+                let level = args
                     .get(i)
                     .filter(|v| !v.starts_with("--"))
-                    .unwrap_or_else(|| die("--json needs an output path"))
-                    .clone();
-                json_path = Some(path);
+                    .and_then(|v| Durability::parse(v))
+                    .unwrap_or_else(|| die("--durability needs one of: buffered, flush, fsync"));
+                scale = scale.with_durability(level);
+            }
+            // accepted for compatibility: experiment ids follow as plain
+            // positionals either way
+            "--experiments" => {}
+            "--json" => {
+                // the path is optional, disambiguated from experiment
+                // ids by its `.json` suffix; a bare `--json` (or one
+                // followed by a flag / an experiment id) writes the
+                // default path — a non-`.json` token after `--json`
+                // falls through to id validation and errors loudly
+                match args.get(i + 1).filter(|v| v.ends_with(".json")) {
+                    Some(path) => {
+                        json_path = Some(path.clone());
+                        i += 1;
+                    }
+                    None => json_path = Some("bench-report.json".to_string()),
+                }
             }
             flag if flag.starts_with("--") => die(&format!(
-                "unknown flag `{flag}` (known: --quick, --clients N, --shards N, --json PATH)"
+                "unknown flag `{flag}` (known: --quick, --clients N, --shards N, \
+                 --durability LEVEL, --experiments, --json [PATH])"
             )),
             id => wanted.push(id),
         }
@@ -85,15 +112,21 @@ fn main() {
         ("e5", experiments::e5_conversion),
         ("e6", experiments::e6_crud_scaling),
         ("e7", experiments::e7_ablation),
+        ("e8", experiments::e8_durability),
     ];
 
     let selected: Vec<&Experiment> = if wanted.is_empty() {
         menu.iter().collect()
     } else {
-        let picks: Vec<_> = menu.iter().filter(|(id, _)| wanted.contains(id)).collect();
-        if picks.is_empty() {
+        // every id must be known: a typo'd id (or a non-.json --json
+        // path) silently dropped would silently change what ran
+        let unknown: Vec<&&str> = wanted
+            .iter()
+            .filter(|w| !menu.iter().any(|(id, _)| id == *w))
+            .collect();
+        if !unknown.is_empty() {
             eprintln!(
-                "unknown experiment(s) {wanted:?}; available: {}",
+                "unknown experiment(s) {unknown:?}; available: {}",
                 menu.iter()
                     .map(|(id, _)| *id)
                     .collect::<Vec<_>>()
@@ -101,17 +134,20 @@ fn main() {
             );
             std::process::exit(2);
         }
-        picks
+        menu.iter().filter(|(id, _)| wanted.contains(id)).collect()
     };
 
     println!(
-        "UDBMS-Bench harness — profile: {} (SF {}, {} reps, {} trials, {} clients, {} shards)\n",
+        "UDBMS-Bench harness — profile: {} (SF {}, {} reps, {} trials, {} clients, {} shards, durability {})\n",
         if quick { "quick" } else { "full" },
         scale.sf,
         scale.reps,
         scale.trials,
         scale.clients,
-        scale.shards
+        scale.shards,
+        scale
+            .durability
+            .map_or("all".to_string(), |d| d.to_string()),
     );
     let mut json_reports: Vec<Value> = Vec::new();
     for (id, f) in selected {
@@ -144,6 +180,14 @@ fn main() {
                 ("trials".to_string(), Value::Int(scale.trials as i64)),
                 ("clients".to_string(), Value::Int(scale.clients as i64)),
                 ("shards".to_string(), Value::Int(scale.shards as i64)),
+                (
+                    "durability".to_string(),
+                    Value::from(
+                        scale
+                            .durability
+                            .map_or("all".to_string(), |d| d.to_string()),
+                    ),
+                ),
                 ("reports".to_string(), Value::Array(json_reports)),
             ]
             .into_iter()

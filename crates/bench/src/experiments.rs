@@ -1,5 +1,5 @@
 //! The experiment suite: one function per table/figure of EXPERIMENTS.md
-//! (F1, E1–E7). Each returns a [`Report`]; the `harness` binary prints
+//! (F1, E1–E8). Each returns a [`Report`]; the `harness` binary prints
 //! them, the criterion benches time their hot loops.
 
 use std::time::Instant;
@@ -10,7 +10,10 @@ use udbms_consistency::{
 };
 use udbms_core::{Key, Params, SplitMix64, Value};
 use udbms_datagen::{build_engine, generate, workload, GenConfig, SchemaVariation};
-use udbms_driver::{registry, registry_with_shards, run_concurrent, run_query_clients, TxnOp};
+use udbms_driver::{
+    registry, registry_with_shards, run_concurrent, run_query_clients, Durability, EngineConfig,
+    EngineSubject, TxnOp,
+};
 use udbms_engine::Isolation;
 use udbms_evolution::{analyze_workload, apply_chain, standard_chain};
 use udbms_polyglot::{load_into_polyglot, run_query, PolyglotDb};
@@ -33,6 +36,11 @@ pub struct RunScale {
     /// the upper arm of the E6 shard sweep; the harness `--shards N`
     /// flag overrides it.
     pub shards: usize,
+    /// Restrict the E8 durability sweep to one level (`None` = sweep
+    /// all of Buffered/Flush/Fsync); the harness `--durability LEVEL`
+    /// flag sets it (CI pins `flush` to keep per-commit fsyncs out of
+    /// the gated wall-time).
+    pub durability: Option<Durability>,
 }
 
 impl RunScale {
@@ -44,6 +52,7 @@ impl RunScale {
             trials: 300,
             clients: 2,
             shards: udbms_driver::DEFAULT_SHARDS,
+            durability: None,
         }
     }
 
@@ -55,6 +64,7 @@ impl RunScale {
             trials: 2000,
             clients: 4,
             shards: udbms_driver::DEFAULT_SHARDS,
+            durability: None,
         }
     }
 
@@ -68,6 +78,20 @@ impl RunScale {
     pub fn with_shards(mut self, shards: usize) -> RunScale {
         self.shards = shards.max(1);
         self
+    }
+
+    /// Restrict the E8 sweep to one durability level (builder-style).
+    pub fn with_durability(mut self, durability: Durability) -> RunScale {
+        self.durability = Some(durability);
+        self
+    }
+
+    /// The durability levels E8 sweeps under this scale.
+    pub fn durability_levels(&self) -> Vec<Durability> {
+        match self.durability {
+            Some(level) => vec![level],
+            None => Durability::ALL.to_vec(),
+        }
     }
 }
 
@@ -863,6 +887,188 @@ pub fn e7_ablation(scale: RunScale) -> Report {
     report
 }
 
+/// E8 — durability: commit throughput over durability level × clients,
+/// group commit vs the historical per-commit WAL path, and recovery
+/// time vs log size (including a torn-tail crash simulation). Every
+/// throughput cell runs the identical distinct-key commit loop against
+/// a WAL-backed engine; the variables are the durability level, the
+/// client count, and which commit subsystem is on — the group-commit
+/// arm is the full new stack (queue + leader/follower drain + mmap
+/// append path), the per-commit arm is the seed engine's
+/// write-and-flush under `commit_lock`.
+pub fn e8_durability(scale: RunScale) -> Report {
+    use udbms_core::CollectionSchema;
+    use udbms_engine::{Engine, Wal};
+
+    let mut report = Report::new(
+        format!(
+            "E8 — durability × group commit: commit throughput + recovery, {} shard(s)",
+            scale.shards
+        ),
+        &[
+            "arm",
+            "durability",
+            "clients",
+            "commits",
+            "recs/batch",
+            "elapsed",
+            "p95",
+            "rate",
+        ],
+    );
+    let tmp = |name: &str| {
+        let mut p = std::env::temp_dir();
+        p.push(format!("udbms-e8-{}-{name}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+    let per_client = if scale.reps > 5 { 400 } else { 120 };
+    let client_arms: Vec<usize> = if scale.clients <= 1 {
+        vec![1]
+    } else {
+        vec![1, scale.clients]
+    };
+
+    // --- commit throughput: durability × clients × {group, per-commit} ---
+    for level in scale.durability_levels() {
+        for &clients in &client_arms {
+            for (arm, grouped) in [("group-commit", true), ("per-commit", false)] {
+                let path = tmp(&format!("{arm}-{}-{clients}", level.label()));
+                let config = EngineConfig {
+                    shards: scale.shards,
+                    durability: level,
+                    group_commit: grouped,
+                };
+                let subject =
+                    EngineSubject::with_wal_config(&path, config).expect("wal-backed subject");
+                let engine = subject.engine();
+                engine
+                    .create_collection(CollectionSchema::key_value("commits"))
+                    .expect("commit collection");
+                // best of up to 3 cycles (distinct key ranges on one
+                // growing log): these cells are milliseconds long, so a
+                // single scheduler stall would otherwise decide the
+                // group-vs-per-commit comparison
+                let cycles = scale.reps.clamp(1, 3);
+                let total = clients * per_client;
+                let mut best: Option<udbms_driver::ConcurrentStats> = None;
+                for cycle in 0..cycles {
+                    let stats = run_concurrent(clients, per_client, |client, i| {
+                        // distinct keys: the cell measures the commit
+                        // path, not conflict retries
+                        let k = (cycle * total + client * per_client + i) as i64;
+                        engine.run(Isolation::Snapshot, |t| {
+                            t.put("commits", Key::int(k), Value::Int(k))
+                        })
+                    })
+                    .expect("commit loop");
+                    if best.as_ref().is_none_or(|b| stats.elapsed < b.elapsed) {
+                        best = Some(stats);
+                    }
+                }
+                let stats = best.expect("at least one cycle");
+                let es = engine.stats();
+                report.row(vec![
+                    arm.into(),
+                    level.label().into(),
+                    clients.to_string(),
+                    total.to_string(),
+                    format!(
+                        "{:.1}",
+                        es.wal_records as f64 / es.wal_batches.max(1) as f64
+                    ),
+                    format!("{:?}", stats.elapsed),
+                    us(stats.percentile_us(95.0).into()),
+                    per_sec(total, stats.elapsed.as_secs_f64()),
+                ]);
+                drop(subject);
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+
+    // --- recovery time vs log size (+ a torn-tail crash simulation) ---
+    let build_log = |path: &std::path::Path, commits: usize| {
+        let engine = Engine::with_wal_config(
+            path,
+            EngineConfig {
+                shards: scale.shards,
+                durability: Durability::Buffered,
+                group_commit: true,
+            },
+        )
+        .expect("log-builder engine");
+        engine
+            .create_collection(CollectionSchema::key_value("commits"))
+            .expect("commit collection");
+        for i in 0..commits {
+            engine
+                .run(Isolation::Snapshot, |t| {
+                    t.put("commits", Key::int(i as i64), Value::Int(i as i64))
+                })
+                .expect("log-builder commit");
+        }
+        // clean drop flushes the queue, leaving a complete log
+    };
+    // distinct arm labels: the gate keys E8 rows by (arm, durability,
+    // clients), so the two log sizes must not collapse into one metric.
+    // logs are sized so replay takes milliseconds even in the quick
+    // profile — sub-millisecond recovery cells made the gated rates
+    // flake on one scheduler blip
+    for (label, commits, tear) in [
+        ("recovery", per_client * 8, false),
+        ("recovery 4x-log", per_client * 32, false),
+        ("recovery torn-tail", per_client * 8, true),
+    ] {
+        let path = tmp(&format!("{}-{commits}", label.replace(' ', "-")));
+        build_log(&path, commits);
+        if tear {
+            // crash simulation: a half-written record at the tail
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("append tear");
+            f.write_all(b"{\"ts\": 999999, \"txn\": 1, \"wri")
+                .expect("torn bytes");
+        }
+        let t0 = Instant::now();
+        let engine = Engine::with_wal_config(
+            &path,
+            EngineConfig {
+                shards: scale.shards,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("recovery");
+        let dt = t0.elapsed();
+        let replayed = Wal::read_all(&path).expect("post-recovery log").len();
+        assert_eq!(
+            replayed, commits,
+            "every complete commit must survive recovery"
+        );
+        report.row(vec![
+            label.into(),
+            "-".into(),
+            "-".into(),
+            commits.to_string(),
+            "-".into(),
+            format!("{dt:?}"),
+            "-".into(),
+            per_sec(commits, dt.as_secs_f64()),
+        ]);
+        drop(engine);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    report.note("commit arms run the identical distinct-key loop: group-commit is the new");
+    report.note("durability stack (queue + leader/follower drain + mmap appends), per-commit");
+    report.note("is the seed engine's write+flush under commit_lock. recovery rows time");
+    report.note("Engine::with_wal over the log size; the torn-tail row recovers a log");
+    report.note("ending in a half-written record");
+    report
+}
+
 /// Run everything (the `harness all` path).
 pub fn all_reports(scale: RunScale) -> Vec<Report> {
     vec![
@@ -876,6 +1082,7 @@ pub fn all_reports(scale: RunScale) -> Vec<Report> {
         e5_conversion(scale),
         e6_crud_scaling(scale),
         e7_ablation(scale),
+        e8_durability(scale),
     ]
 }
 
@@ -891,6 +1098,7 @@ mod tests {
             trials: 60,
             clients: 2,
             shards: 4,
+            durability: None,
         };
         for report in all_reports(scale) {
             let rendered = report.render();
@@ -907,6 +1115,7 @@ mod tests {
             trials: 10,
             clients: 4,
             shards: 4,
+            durability: None,
         };
         let r = e2_queries(scale);
         let n_subjects = registry().len();
@@ -940,6 +1149,7 @@ mod tests {
             trials: 10,
             clients: 4,
             shards: 4,
+            durability: None,
         };
         let r = e4a_transactions(scale);
         // client counts {1, 4} x theta {0, 0.9} x (unified: RC/SI/SER + polyglot: 2PC)
@@ -969,6 +1179,7 @@ mod tests {
             trials: 10,
             clients: 2,
             shards: 2,
+            durability: None,
         };
         let r = e6_crud_scaling(scale);
         // 5 ops × shard arms {1, 2} × client arms {1, 2}
@@ -990,6 +1201,41 @@ mod tests {
     }
 
     #[test]
+    fn e8_sweeps_durability_and_reports_recovery() {
+        let scale = RunScale {
+            sf: 0.01,
+            reps: 2,
+            trials: 10,
+            clients: 2,
+            shards: 2,
+            durability: None,
+        };
+        let r = e8_durability(scale);
+        // 3 levels × clients {1, 2} × {group-commit, per-commit} + 3 recovery rows
+        assert_eq!(r.rows.len(), 3 * 2 * 2 + 3);
+        for level in ["buffered", "flush", "fsync"] {
+            for arm in ["group-commit", "per-commit"] {
+                assert!(
+                    r.rows
+                        .iter()
+                        .any(|row| row[0] == arm && row[1] == level && row[2] == "2"),
+                    "missing row {arm} × {level}"
+                );
+            }
+        }
+        assert!(r.rows.iter().any(|row| row[0] == "recovery torn-tail"));
+        for row in &r.rows {
+            assert!(row[7].ends_with("/s"), "rate cell: {row:?}");
+        }
+
+        // a pinned level (the CI configuration) sweeps only that level
+        let pinned = scale.with_durability(Durability::Flush);
+        let r = e8_durability(pinned);
+        assert_eq!(r.rows.len(), 2 * 2 + 3);
+        assert!(r.rows.iter().all(|row| row[1] != "fsync"));
+    }
+
+    #[test]
     fn e7_gc_arm_bounds_chains() {
         let scale = RunScale {
             sf: 0.01,
@@ -997,6 +1243,7 @@ mod tests {
             trials: 10,
             clients: 2,
             shards: 4,
+            durability: None,
         };
         let r = e7_ablation(scale);
         let chain_rows: Vec<&Vec<String>> = r

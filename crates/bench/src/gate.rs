@@ -26,6 +26,7 @@ const GATED: &[(&str, &[&str], &str)] = &[
     ("e2", &["query", "subject"], "ops/s"),
     ("e4a", &["subject", "iso", "clients", "theta"], "txn/s"),
     ("e6", &["op", "shards", "clients"], "ops/s"),
+    ("e8", &["arm", "durability", "clients"], "rate"),
 ];
 
 /// Result of one gate comparison.
@@ -173,7 +174,11 @@ pub fn compare_reports(baseline: &Value, current: &[Value], tolerance: f64) -> G
         }
     }
 
-    // ratios for metrics present in both documents
+    // ratios for metrics present in both documents; a zero or
+    // non-finite baseline rate (a stalled run committed into the
+    // baseline, or a hand-edited cell) must be skipped with a named
+    // warning, not divided by — the ratio would be NaN/∞ and poison the
+    // median (this used to panic the whole gate)
     let mut shared: Vec<(&str, f64, f64)> = Vec::new(); // (key, base, ratio)
     for (key, base_rate) in &base {
         let Some(&cur_rate) = cur_map.get(key.as_str()) else {
@@ -182,11 +187,20 @@ pub fn compare_reports(baseline: &Value, current: &[Value], tolerance: f64) -> G
                 .push(format!("metric disappeared from report: {key}"));
             continue;
         };
-        if *base_rate <= 0.0 {
-            outcome.notes.push(format!("skipped zero baseline: {key}"));
+        if !base_rate.is_finite() || *base_rate <= 0.0 {
+            outcome.notes.push(format!(
+                "skipped zero/non-finite baseline rate ({base_rate}/s): {key}"
+            ));
             continue;
         }
-        shared.push((key, *base_rate, cur_rate / base_rate));
+        let ratio = cur_rate / base_rate;
+        if !ratio.is_finite() {
+            outcome.notes.push(format!(
+                "skipped non-finite current/baseline ratio ({cur_rate}/s vs {base_rate}/s): {key}"
+            ));
+            continue;
+        }
+        shared.push((key, *base_rate, ratio));
     }
     if shared.is_empty() {
         if outcome.failures.is_empty() {
@@ -195,7 +209,7 @@ pub fn compare_reports(baseline: &Value, current: &[Value], tolerance: f64) -> G
         return outcome;
     }
     let mut ratios: Vec<f64> = shared.iter().map(|(_, _, r)| *r).collect();
-    ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaN ratios"));
+    ratios.sort_by(f64::total_cmp);
     let median = ratios[ratios.len() / 2];
     outcome.median_ratio = median;
     outcome.checked = shared.len();
@@ -328,7 +342,7 @@ mod tests {
     }
 
     #[test]
-    fn e4a_and_e6_rows_are_gated() {
+    fn e4a_e6_and_e8_rows_are_gated() {
         let d = obj! {
             "reports" => Value::Array(vec![
                 obj! {"id" => "e4a", "rows" => Value::Array(vec![
@@ -339,11 +353,63 @@ mod tests {
                     obj! {"op" => "read", "shards" => "8", "clients" => "8",
                           "ops/s" => "5000/s"},
                 ])},
+                obj! {"id" => "e8", "rows" => Value::Array(vec![
+                    obj! {"arm" => "group-commit", "durability" => "flush",
+                          "clients" => "8", "rate" => "4000/s"},
+                ])},
             ]),
         };
         let out = compare_reports(&d, std::slice::from_ref(&d), 0.2);
-        assert_eq!(out.checked, 2);
+        assert_eq!(out.checked, 3);
         assert!(out.passed());
+    }
+
+    #[test]
+    fn zero_and_non_finite_baselines_skip_with_warning_instead_of_panicking() {
+        // a stalled run recorded a 0/s cell and a hand-edited baseline
+        // carries a nan cell: both used to reach the median sort (nan
+        // via `NaN <= 0.0` being false) and panic the gate binary
+        let base = doc(
+            "e2",
+            vec![
+                e2_row("Q1", "unified", "1000/s"),
+                e2_row("Q2", "unified", "0/s"),
+                e2_row("Q3", "unified", "nan/s"),
+                e2_row("Q4", "unified", "inf/s"),
+            ],
+        );
+        let cur = doc(
+            "e2",
+            vec![
+                e2_row("Q1", "unified", "1000/s"),
+                e2_row("Q2", "unified", "500/s"),
+                e2_row("Q3", "unified", "500/s"),
+                e2_row("Q4", "unified", "500/s"),
+            ],
+        );
+        let out = compare_reports(&base, std::slice::from_ref(&cur), 0.2);
+        assert!(out.passed(), "{:?}", out.failures);
+        assert_eq!(out.checked, 1, "only the finite positive baseline counts");
+        let skips: Vec<&String> = out
+            .notes
+            .iter()
+            .filter(|n| n.contains("zero/non-finite baseline"))
+            .collect();
+        assert_eq!(skips.len(), 3, "{:?}", out.notes);
+        assert!(skips.iter().any(|n| n.contains("e2:Q2:unified")));
+    }
+
+    #[test]
+    fn non_finite_current_ratio_skips_with_warning() {
+        let base = doc("e2", vec![e2_row("Q1", "unified", "1000/s")]);
+        let cur = doc("e2", vec![e2_row("Q1", "unified", "inf/s")]);
+        let out = compare_reports(&base, std::slice::from_ref(&cur), 0.2);
+        assert!(out.passed(), "{:?}", out.failures);
+        assert_eq!(out.checked, 0);
+        assert!(out
+            .notes
+            .iter()
+            .any(|n| n.contains("non-finite current/baseline ratio")));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 //! # udbms-bench
 //!
-//! The benchmark harness: the experiment suite (F1, E1–E7) mapped in
+//! The benchmark harness: the experiment suite (F1, E1–E8) mapped in
 //! DESIGN.md §4, a plain-text [`Report`] renderer, the `harness` binary
 //! that regenerates every table of EXPERIMENTS.md, the `bench_gate`
 //! binary that compares a `--json` report against `bench/baseline.json`
@@ -14,7 +14,7 @@ pub mod report;
 
 pub use experiments::{
     all_reports, e1_generation, e2_queries, e3_evolution, e4a_transactions, e4b_acid, e4c_eventual,
-    e5_conversion, e6_crud_scaling, e7_ablation, f1_inventory, RunScale,
+    e5_conversion, e6_crud_scaling, e7_ablation, e8_durability, f1_inventory, RunScale,
 };
 pub use gate::{compare_reports, merged_baseline, GateOutcome};
 pub use report::{per_sec, us, Report};

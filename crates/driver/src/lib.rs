@@ -34,7 +34,7 @@ mod subjects;
 pub use runner::{percentile_us, run_concurrent, run_query_clients, ConcurrentStats};
 pub use subjects::{EngineSubject, PolyglotSubject};
 
-pub use udbms_engine::DEFAULT_SHARDS;
+pub use udbms_engine::{Durability, EngineConfig, DEFAULT_SHARDS};
 
 use udbms_core::{Key, Params, Result, Value};
 use udbms_datagen::{workload::BenchQuery, Dataset};
@@ -151,8 +151,18 @@ pub fn registry() -> Vec<Box<dyn Subject>> {
 /// engine subject (the polyglot baseline has no shard knob and is
 /// unaffected).
 pub fn registry_with_shards(shards: usize) -> Vec<Box<dyn Subject>> {
+    registry_with_config(EngineConfig {
+        shards,
+        ..EngineConfig::default()
+    })
+}
+
+/// [`registry`] with full [`EngineConfig`] tuning for the unified
+/// engine subject — shards, durability level, group commit (the
+/// polyglot baseline has none of these knobs and is unaffected).
+pub fn registry_with_config(config: EngineConfig) -> Vec<Box<dyn Subject>> {
     vec![
-        Box::new(EngineSubject::with_shards(shards)),
+        Box::new(EngineSubject::with_config(config)),
         Box::new(PolyglotSubject::new()),
     ]
 }

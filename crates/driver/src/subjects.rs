@@ -4,7 +4,7 @@
 
 use udbms_core::{Error, Params, Result, Value};
 use udbms_datagen::{create_collections, load_into_engine, workload, Dataset};
-use udbms_engine::{Engine, Isolation};
+use udbms_engine::{Engine, EngineConfig, Isolation};
 use udbms_polyglot::{load_into_polyglot, order_update_polyglot, run_query, PolyglotDb};
 use udbms_query::Query;
 
@@ -31,6 +31,26 @@ impl EngineSubject {
         EngineSubject {
             engine: Engine::with_shards(shards),
         }
+    }
+
+    /// A fresh, empty engine subject with full [`EngineConfig`] tuning
+    /// (shards, durability level, group commit).
+    pub fn with_config(config: EngineConfig) -> EngineSubject {
+        EngineSubject {
+            engine: Engine::with_config(config),
+        }
+    }
+
+    /// A WAL-backed engine subject: commits are durable to
+    /// `config.durability` and any existing log at `path` is replayed
+    /// first (the E8 durability experiment's construction).
+    pub fn with_wal_config(
+        path: impl AsRef<std::path::Path>,
+        config: EngineConfig,
+    ) -> Result<EngineSubject> {
+        Ok(EngineSubject {
+            engine: Engine::with_wal_config(path, config)?,
+        })
     }
 
     /// Direct access to the wrapped engine (for experiment-specific
@@ -94,10 +114,16 @@ impl Subject for EngineSubject {
 
     fn counters(&self) -> Vec<(String, i64)> {
         let stats = self.engine.stats();
-        vec![
+        let mut out = vec![
             ("aborts".into(), stats.aborts as i64),
             ("shards".into(), stats.shards as i64),
-        ]
+        ];
+        if stats.wal_records > 0 {
+            // group-commit efficiency: records per flushed batch
+            out.push(("wal_batches".into(), stats.wal_batches as i64));
+            out.push(("wal_records".into(), stats.wal_records as i64));
+        }
+        out
     }
 }
 

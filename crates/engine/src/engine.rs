@@ -12,8 +12,9 @@
 //!            commit_ts = ++clock
 //!            install versions + index postings (one shard write-lock
 //!              per touched shard, ascending shard order)
-//!            append WAL record
-//!          unlock(commit) → unregister active
+//!            enqueue WAL record on the group-commit queue
+//!          unlock(commit) → park until durable (per Durability level)
+//!          → unregister active
 //! ```
 //!
 //! Because `begin` reads the clock under the same lock that commits hold
@@ -24,20 +25,22 @@
 //! at `Ts::MAX`, may observe a commit's writes shard by shard; that
 //! anomaly is within RC's contract and is documented in DESIGN.md.)
 //!
-//! Lock discipline, in decreasing strength: `commit_lock` is taken first
-//! by every multi-domain critical section (commit, checkpoint, DDL); the
-//! WAL mutex is only ever acquired while holding `commit_lock`, so its
-//! position relative to the other locks can never close a cycle; when
-//! `catalog` and shard locks are held together — which readers do
-//! without `commit_lock` — it is always catalog before shards; shards
-//! lock in ascending index order; and the `active` registry is only
-//! ever locked on its own. Every path fits this partial order, so it is
-//! acyclic.
+//! Lock discipline, in decreasing strength: `commit_lock` is taken
+//! first by every multi-domain critical section (commit, DDL, the brief
+//! checkpoint snapshot); when `catalog` and shard locks are held
+//! together — which readers do without `commit_lock` — it is always
+//! catalog before shards; shards lock in ascending index order; the
+//! group-commit queue (`state`) and the WAL file mutex come after
+//! everything, in that order (see `group.rs` — committers enqueue under
+//! `commit_lock` but never touch the file mutex; the log writer and
+//! checkpoint never wait for `commit_lock` while holding either); and
+//! the `active` registry is only ever locked on its own. Every path
+//! fits this partial order, so it is acyclic.
 
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -47,8 +50,9 @@ use udbms_relational::{IndexKind, Predicate};
 use udbms_xml::{XPath, XmlDocument};
 
 use crate::catalog::Catalog;
+use crate::group::GroupLog;
 use crate::storage::{RecordId, ShardedStorage};
-use crate::txn::{Isolation, TxnState};
+use crate::txn::{Durability, Isolation, TxnState};
 use crate::wal::{Wal, WalRecord};
 
 /// Maximum automatic retries in [`Engine::run`].
@@ -77,13 +81,37 @@ pub struct EngineConfig {
     /// many independently locked shards. `1` reproduces the pre-shard
     /// single-lock engine.
     pub shards: usize,
+    /// How durable a commit is when it returns, for WAL-backed engines
+    /// (see [`Durability`]). Default: [`Durability::Flush`].
+    pub durability: Durability,
+    /// Whether commits go through the group-commit log writer (default)
+    /// or write + flush the WAL synchronously under `commit_lock` — the
+    /// engine's historical per-commit path, kept as the E8 comparison
+    /// arm.
+    pub group_commit: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> EngineConfig {
         EngineConfig {
             shards: DEFAULT_SHARDS,
+            durability: Durability::default(),
+            group_commit: true,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Override the durability level (builder-style).
+    pub fn with_durability(mut self, durability: Durability) -> EngineConfig {
+        self.durability = durability;
+        self
+    }
+
+    /// Enable/disable group commit (builder-style).
+    pub fn with_group_commit(mut self, group_commit: bool) -> EngineConfig {
+        self.group_commit = group_commit;
+        self
     }
 }
 
@@ -102,7 +130,12 @@ struct Inner {
     storage: ShardedStorage,
     catalog: RwLock<Catalog>,
     commit_lock: Mutex<()>,
-    wal: Mutex<Option<Wal>>,
+    /// WAL endpoint (group-commit queue + log-writer thread), attached
+    /// once by [`Engine::with_wal_config`]; absent for in-memory
+    /// engines. `OnceLock` keeps the per-commit read lock-free.
+    log: OnceLock<GroupLog>,
+    /// Serializes checkpoints against each other (commits stay live).
+    checkpoint_lock: Mutex<()>,
     /// txn id → snapshot ts of every open transaction (GC watermark).
     active: Mutex<HashMap<TxnId, Ts>>,
     stats: Stats,
@@ -129,6 +162,11 @@ pub struct EngineStats {
     pub max_chain_len: usize,
     /// Currently open transactions.
     pub active_txns: usize,
+    /// WAL batches written (group commit efficiency =
+    /// `wal_records / wal_batches`); 0 without a WAL.
+    pub wal_batches: u64,
+    /// WAL records written; 0 without a WAL.
+    pub wal_records: u64,
 }
 
 /// Result of a garbage-collection pass.
@@ -184,7 +222,10 @@ impl Engine {
 
     /// A fresh in-memory engine with an explicit shard count.
     pub fn with_shards(shards: usize) -> Engine {
-        Engine::with_config(EngineConfig { shards })
+        Engine::with_config(EngineConfig {
+            shards,
+            ..EngineConfig::default()
+        })
     }
 
     /// A fresh in-memory engine with explicit tuning.
@@ -196,7 +237,8 @@ impl Engine {
                 storage: ShardedStorage::new(config.shards),
                 catalog: RwLock::new(Catalog::new()),
                 commit_lock: Mutex::new(()),
-                wal: Mutex::new(None),
+                log: OnceLock::new(),
+                checkpoint_lock: Mutex::new(()),
                 active: Mutex::new(HashMap::new()),
                 stats: Stats::default(),
             }),
@@ -214,20 +256,38 @@ impl Engine {
 
     /// [`Engine::with_wal`] with explicit tuning. The WAL records no
     /// shard placement — keys re-hash on replay — so a log written by an
-    /// engine with any shard count recovers into any other.
+    /// engine with any shard count recovers into any other. A torn
+    /// final line (crash mid-append) is truncated away and every
+    /// complete commit recovers; interior corruption still errors.
     pub fn with_wal_config(path: impl AsRef<Path>, config: EngineConfig) -> Result<Engine> {
         let engine = Engine::with_config(config);
-        engine.replay_wal(path.as_ref())?;
-        let wal = Wal::open(path)?;
-        *engine.inner.wal.lock() = Some(wal);
+        let recovery = Wal::recover(path.as_ref())?;
+        engine.apply_records(recovery.records)?;
+        // group commit appends through the mmap'd fast path (no syscall
+        // per record); the per-commit comparison arm keeps the seed
+        // engine's buffered-write path
+        let wal = if config.group_commit {
+            Wal::open_mapped(path)?
+        } else {
+            Wal::open(path)?
+        };
+        let log = GroupLog::start(wal, config.durability, config.group_commit);
+        if engine.inner.log.set(log).is_err() {
+            unreachable!("fresh engine cannot already have a log");
+        }
         Ok(engine)
     }
 
     /// Replay a WAL file into this engine (used by [`Engine::with_wal`];
-    /// public for recovery tests and tooling). Writes are grouped by
-    /// shard across the whole log, so each shard lock is taken once.
+    /// public for recovery tests and tooling). Tolerates a torn final
+    /// line without modifying the file. Writes are grouped by shard
+    /// across the whole log, so each shard lock is taken once.
     pub fn replay_wal(&self, path: &Path) -> Result<usize> {
-        let records = Wal::read_all(path)?;
+        self.apply_records(Wal::scan(path)?.records)
+    }
+
+    /// Install already-parsed WAL records (the shared replay body).
+    fn apply_records(&self, records: Vec<WalRecord>) -> Result<usize> {
         let n = records.len();
         let mut catalog = self.inner.catalog.write();
         let mut max_ts = self.inner.clock.load(Ordering::SeqCst);
@@ -259,32 +319,45 @@ impl Engine {
         Ok(n)
     }
 
-    /// Compact the WAL to one synthetic record holding the current live
-    /// state. No-op (Ok) when the engine has no WAL.
+    /// Compact the WAL: replace its history with one synthetic record
+    /// holding the live state at a snapshot, plus every commit after
+    /// that snapshot. No-op (Ok) when the engine has no WAL.
+    ///
+    /// Commits are **not** stalled for the duration: `commit_lock` is
+    /// held only long enough to read the snapshot timestamp (the same
+    /// brief hold `begin` uses, so the snapshot can never straddle a
+    /// half-installed commit), the collection scan runs against MVCC
+    /// shard reads, and only the final swap — drain the commit queue,
+    /// filter the tail, fsync + rename — briefly closes the queue
+    /// (work proportional to the log tail, not the database).
     pub fn checkpoint(&self) -> Result<()> {
-        // commit_lock before wal — the same order the commit path takes
-        // them; grabbing the wal first would deadlock against a
-        // committer holding commit_lock and waiting to append
-        let _commit = self.inner.commit_lock.lock();
-        let mut wal_guard = self.inner.wal.lock();
-        let Some(wal) = wal_guard.as_mut() else {
+        let Some(log) = self.inner.log.get() else {
             return Ok(());
         };
-        let snapshot = Ts(self.inner.clock.load(Ordering::SeqCst));
-        let catalog = self.inner.catalog.read();
+        let _ckpt = self.inner.checkpoint_lock.lock();
+        let snapshot = {
+            let _commit = self.inner.commit_lock.lock();
+            Ts(self.inner.clock.load(Ordering::SeqCst))
+        };
+        // every commit with ts ≤ snapshot is fully installed (it held
+        // commit_lock through install + enqueue), so this scan is a
+        // consistent image of the log prefix the rewrite replaces
         let mut writes = Vec::new();
-        for name in catalog.names() {
-            let id = catalog.get(&name).expect("listed name exists").id;
-            for (key, value) in self.inner.storage.scan_merged(id, snapshot) {
-                writes.push((name.clone(), key, Some(value)));
+        {
+            let catalog = self.inner.catalog.read();
+            for name in catalog.names() {
+                let id = catalog.get(&name).expect("listed name exists").id;
+                for (key, value) in self.inner.storage.scan_merged(id, snapshot) {
+                    writes.push((name.clone(), key, Some(value)));
+                }
             }
         }
-        let rec = WalRecord {
+        let synthetic = WalRecord {
             commit_ts: snapshot,
             txn: TxnId(0),
             writes,
         };
-        wal.rewrite(std::slice::from_ref(&rec))
+        log.checkpoint(synthetic, snapshot)
     }
 
     /// Register a collection.
@@ -447,6 +520,12 @@ impl Engine {
     /// Current counters and storage shape.
     pub fn stats(&self) -> EngineStats {
         let (versions, chains, max_chain_len) = self.inner.storage.shape();
+        let (wal_batches, wal_records) = self
+            .inner
+            .log
+            .get()
+            .map(GroupLog::counters)
+            .unwrap_or((0, 0));
         EngineStats {
             commits: self.inner.stats.commits.load(Ordering::Relaxed),
             aborts: self.inner.stats.aborts.load(Ordering::Relaxed),
@@ -457,6 +536,8 @@ impl Engine {
             chains,
             max_chain_len,
             active_txns: self.inner.active.lock().len(),
+            wal_batches,
+            wal_records,
         }
     }
 }
@@ -1101,7 +1182,7 @@ impl Txn {
             return Ok(state.snapshot);
         }
 
-        let commit_ts = {
+        let (commit_ts, logged) = {
             let _commit = inner.commit_lock.lock();
             // --- validation (one shard read-lock per touched shard) ---
             let write_groups = inner.storage.group_by_shard(state.write_order.iter());
@@ -1176,30 +1257,49 @@ impl Txn {
                     shard.install((*rid).clone(), commit_ts, value);
                 }
             }
-            // --- log ---
-            let mut wal_guard = inner.wal.lock();
-            if let Some(wal) = wal_guard.as_mut() {
-                let catalog = inner.catalog.read();
-                let writes: Vec<(String, Key, Option<Value>)> = state
-                    .write_order
-                    .iter()
-                    .map(|rid| {
-                        let name = catalog
-                            .name_of(rid.collection)
-                            .unwrap_or("<dropped>")
-                            .to_string();
-                        (name, rid.key.clone(), state.writes[rid].clone())
-                    })
-                    .collect();
-                wal.append(&WalRecord {
-                    commit_ts,
-                    txn: state.id,
-                    writes,
-                })?;
-            }
-            commit_ts
+            // --- log: enqueue while still holding commit_lock so the
+            //     queue order is commit-ts order; the flush/fsync wait
+            //     happens after the lock is released ---
+            let logged = match inner.log.get() {
+                Some(log) => {
+                    let catalog = inner.catalog.read();
+                    let writes: Vec<(String, Key, Option<Value>)> = state
+                        .write_order
+                        .iter()
+                        .map(|rid| {
+                            let name = catalog
+                                .name_of(rid.collection)
+                                .unwrap_or("<dropped>")
+                                .to_string();
+                            (name, rid.key.clone(), state.writes[rid].clone())
+                        })
+                        .collect();
+                    Some(log.commit(WalRecord {
+                        commit_ts,
+                        txn: state.id,
+                        writes,
+                    }))
+                }
+                None => None,
+            };
+            (commit_ts, logged)
+        };
+        // park for durability outside commit_lock: other committers can
+        // validate, install, and join the same log batch meanwhile
+        let durable = match logged {
+            Some(Ok(ticket)) => inner
+                .log
+                .get()
+                .expect("ticket implies log")
+                .wait_durable(ticket),
+            Some(Err(e)) => Err(e),
+            None => Ok(()),
         };
         inner.active.lock().remove(&state.id);
+        // the in-memory install already happened; surfacing a WAL
+        // failure (rather than acking a commit that may not survive a
+        // crash) is the durability contract
+        durable?;
         inner.stats.commits.fetch_add(1, Ordering::Relaxed);
         Ok(commit_ts)
     }

@@ -1,0 +1,610 @@
+//! Group commit: the engine's durability subsystem.
+//!
+//! Committers do not write the WAL under the global lock. Under
+//! `commit_lock` they **enqueue** their record (so queue order is
+//! commit-timestamp order) and, after releasing the lock, wait until a
+//! batch writer has drained the queue and made their record durable to
+//! the engine's [`Durability`] level. The per-commit serialization
+//! point shrinks from "format + write + flush" to a queue push, and
+//! one flush/fsync covers every commit in a batch.
+//!
+//! ```text
+//!   committer                       batch writer (leader or thread)
+//!   ─────────                       ──────────
+//!   (commit_lock held)
+//!   seq = enqueue(record) ───────►  wait for work
+//!   (commit_lock released)          take whole queue, writing = true
+//!   wait until durable ≥ seq        format + write batch
+//!        ▲                          flush / fdatasync per Durability
+//!        └───────── notify ◄──────  durable += batch, writing = false
+//! ```
+//!
+//! The batch is drained by whoever gets there first: a **waiting
+//! committer that finds the queue unclaimed leads the batch itself**
+//! (classic leader/follower group commit — no sleep/wake handoff on the
+//! hot path, which for cheap flushes would cost more than it saves),
+//! while the **dedicated log-writer thread** drains batches nobody is
+//! waiting on — which is every batch at `Buffered`, where commits
+//! return without waiting. Either way one flush/fsync covers the whole
+//! batch and `writing` arbitrates so exactly one drainer runs.
+//!
+//! `GroupLog` also supports a **synchronous** mode (no queue, no writer
+//! thread): each commit formats, writes, and flushes its own record
+//! while still holding `commit_lock` — the engine's historical
+//! behaviour, kept alive as the E8 comparison arm
+//! (`EngineConfig::group_commit = false`).
+//!
+//! Lock order: `state → wal`. The writer never holds both (it takes the
+//! batch under `state`, releases, then writes under `wal`); checkpoint
+//! holds both, which is exactly what makes its rewrite atomic against
+//! concurrent enqueues. Neither lock is ever taken while waiting for
+//! `commit_lock`, so the engine-wide order `commit_lock → … → state →
+//! wal` stays acyclic.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use udbms_core::{Error, Result, Ts};
+
+use crate::txn::Durability;
+use crate::wal::{PreparedRewrite, Wal, WalRecord};
+
+/// Lock with `parking_lot` semantics: a panic while holding the lock
+/// releases it for the next owner instead of poisoning it. This module
+/// needs condition variables, which the vendored `parking_lot` shim
+/// (see `crates/shims/parking_lot`) does not provide — hence
+/// `std::sync` primitives plus this helper, rather than the
+/// `parking_lot` types the rest of the crate uses.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[derive(Default)]
+struct LogState {
+    /// Commit records awaiting the log writer, in commit-ts order.
+    queue: Vec<WalRecord>,
+    /// Records ever enqueued; a committer's ticket is its value after
+    /// its own push.
+    enqueued: u64,
+    /// Records made durable (to the configured level) so far.
+    durable: u64,
+    /// Whether the writer holds a taken batch it has not yet retired.
+    writing: bool,
+    /// Committers currently parked on `done` (skip the notify syscall
+    /// when nobody is waiting — the common single-leader case).
+    waiters: u64,
+    /// Set by `GroupLog::drop`; the writer drains the queue then exits.
+    shutdown: bool,
+    /// Batches written (group efficiency = appended / batches).
+    batches: u64,
+    /// Records written.
+    appended: u64,
+    /// First WAL I/O failure; once set the log is poisoned and every
+    /// subsequent commit fails rather than silently losing durability.
+    error: Option<String>,
+}
+
+struct LogShared {
+    state: Mutex<LogState>,
+    /// Lock-free mirror of `LogState::durable`, published after every
+    /// retired batch: followers poll it without touching the state
+    /// mutex, which would otherwise be the contention hot spot (every
+    /// ack taking the lock serializes exactly the threads group commit
+    /// is trying to decouple).
+    durable: AtomicU64,
+    /// Lock-free mirror of `LogState::writing` — a cheap "is a drain in
+    /// flight" probe deciding whether a waiter should try to lead.
+    writing: AtomicBool,
+    /// Lock-free mirror of `LogState::error.is_some()`.
+    poisoned: AtomicBool,
+    /// Writer waits here for queue items or shutdown.
+    work: Condvar,
+    /// Committers wait here for `durable` to reach their ticket.
+    done: Condvar,
+    /// Checkpoint waits here for `writing` to clear.
+    idle: Condvar,
+    wal: Mutex<Wal>,
+    durability: Durability,
+}
+
+impl LogShared {
+    fn write_batch(&self, wal: &mut Wal, batch: &[WalRecord]) -> Result<()> {
+        for rec in batch {
+            wal.append(rec)?;
+        }
+        match self.durability {
+            Durability::Buffered => Ok(()),
+            Durability::Flush => wal.flush(),
+            Durability::Fsync => {
+                wal.flush()?;
+                wal.sync_data()
+            }
+        }
+    }
+
+    /// Take the queued batch, write + flush/fsync it, retire it. The
+    /// caller verified `!writing` and a non-empty queue. Two regimes:
+    ///
+    /// * **Fsync** — the batch write blocks on the disk for
+    ///   milliseconds, so the queue is released during the I/O
+    ///   (`writing` handshake): committers keep enqueueing the next
+    ///   batch while this one syncs.
+    /// * **Buffered / Flush** — the batch write is a memcpy into the
+    ///   mmap'd log (no syscall), so the state lock is simply held
+    ///   through it: one lock session instead of two plus a handshake.
+    ///
+    /// Returns the (re-)acquired state lock.
+    fn drain<'a>(&'a self, mut st: MutexGuard<'a, LogState>) -> MutexGuard<'a, LogState> {
+        if self.durability == Durability::Fsync {
+            st.writing = true;
+            self.writing.store(true, Ordering::Relaxed);
+            let batch = std::mem::take(&mut st.queue);
+            drop(st);
+            let result = {
+                let mut wal = lock(&self.wal);
+                self.write_batch(&mut wal, &batch)
+            };
+            st = lock(&self.state);
+            st.writing = false;
+            self.writing.store(false, Ordering::Relaxed);
+            self.retire(&mut st, batch.len() as u64, result);
+        } else {
+            let batch = std::mem::take(&mut st.queue);
+            let result = {
+                let mut wal = lock(&self.wal);
+                self.write_batch(&mut wal, &batch)
+            };
+            self.retire(&mut st, batch.len() as u64, result);
+        }
+        if st.waiters > 0 {
+            self.done.notify_all();
+        }
+        self.idle.notify_all();
+        st
+    }
+
+    fn retire(&self, st: &mut LogState, n: u64, result: Result<()>) {
+        match result {
+            Ok(()) => {
+                st.durable += n;
+                st.batches += 1;
+                st.appended += n;
+                // publish for the lock-free follower path; Release pairs
+                // with the Acquire poll in wait_durable
+                self.durable.store(st.durable, Ordering::Release);
+            }
+            Err(e) => self.poison(st, &e),
+        }
+    }
+
+    fn poison(&self, st: &mut LogState, e: &Error) {
+        if st.error.is_none() {
+            st.error = Some(e.to_string());
+        }
+        self.poisoned.store(true, Ordering::Release);
+    }
+}
+
+fn writer_loop(shared: &LogShared) {
+    let mut st = lock(&shared.state);
+    loop {
+        if !st.writing && !st.queue.is_empty() {
+            st = shared.drain(st);
+            continue;
+        }
+        if st.shutdown && st.queue.is_empty() {
+            return;
+        }
+        // a batch an assisting committer claimed (`writing` set) is
+        // theirs to retire; anything enqueued after it wakes us via
+        // `work`, or its own committer drains it on the `done` path
+        st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+fn poisoned(msg: &str) -> Error {
+    Error::Io(std::io::Error::other(format!("wal poisoned: {msg}")))
+}
+
+/// The engine's WAL endpoint: group-commit queue + log-writer thread
+/// (or the synchronous per-commit path when `grouped` is off).
+pub(crate) struct GroupLog {
+    shared: Arc<LogShared>,
+    writer: Option<JoinHandle<()>>,
+    grouped: bool,
+}
+
+impl GroupLog {
+    /// Wrap an open WAL. `grouped` spawns the dedicated log writer;
+    /// otherwise commits write synchronously.
+    pub fn start(wal: Wal, durability: Durability, grouped: bool) -> GroupLog {
+        let shared = Arc::new(LogShared {
+            state: Mutex::new(LogState::default()),
+            durable: AtomicU64::new(0),
+            writing: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            idle: Condvar::new(),
+            wal: Mutex::new(wal),
+            durability,
+        });
+        let writer = grouped.then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("udbms-log-writer".into())
+                .spawn(move || writer_loop(&shared))
+                .expect("spawn log-writer thread")
+        });
+        GroupLog {
+            shared,
+            writer,
+            grouped,
+        }
+    }
+
+    /// Log one commit. Called with `commit_lock` held, so tickets are
+    /// issued in commit-ts order. Grouped mode enqueues and returns
+    /// immediately (durability is bought later in
+    /// [`GroupLog::wait_durable`]); sync mode does the whole
+    /// write-and-flush here.
+    pub fn commit(&self, rec: WalRecord) -> Result<u64> {
+        if self.grouped {
+            let mut st = lock(&self.shared.state);
+            if let Some(msg) = &st.error {
+                return Err(poisoned(msg));
+            }
+            st.queue.push(rec);
+            st.enqueued += 1;
+            let seq = st.enqueued;
+            // only Buffered commits need the dedicated writer woken: at
+            // Flush/Fsync this committer is about to park in
+            // wait_durable and will lead the batch itself if nobody
+            // else is draining (waking the thread per enqueue would
+            // cost a futex round-trip on every commit)
+            if self.shared.durability == Durability::Buffered {
+                self.shared.work.notify_one();
+            }
+            Ok(seq)
+        } else {
+            // sync mode still takes state before wal (the engine-wide
+            // lock order) and counts the record as its own batch
+            let mut st = lock(&self.shared.state);
+            if let Some(msg) = &st.error {
+                return Err(poisoned(msg));
+            }
+            let result = {
+                let mut wal = lock(&self.shared.wal);
+                self.shared
+                    .write_batch(&mut wal, std::slice::from_ref(&rec))
+            };
+            match result {
+                Ok(()) => {
+                    st.enqueued += 1;
+                    st.durable += 1;
+                    st.batches += 1;
+                    st.appended += 1;
+                    self.shared.durable.store(st.durable, Ordering::Release);
+                    Ok(st.enqueued)
+                }
+                Err(e) => {
+                    self.shared.poison(&mut st, &e);
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Wait until ticket `seq` is durable to the configured level.
+    /// `Buffered` returns immediately — the contract is exactly that
+    /// the commit does not wait for the write.
+    ///
+    /// **Committer-assisted drain**: a waiter that finds the queue
+    /// unclaimed (no batch in flight) becomes the batch writer itself
+    /// after one cooperative yield — the classic leader/follower group
+    /// commit, with the yield giving concurrently running committers a
+    /// scheduling slot to pile into the batch before the leader pays
+    /// one flush/fsync for all of them. Followers poll the lock-free
+    /// `durable` mirror between yields (never touching the contended
+    /// state mutex) and only fall back to a condvar park after the spin
+    /// budget, which on a healthy log is rare. The dedicated log writer
+    /// still drains batches nobody is waiting on (Buffered commits).
+    pub fn wait_durable(&self, seq: u64) -> Result<()> {
+        if !self.grouped || self.shared.durability == Durability::Buffered {
+            return Ok(());
+        }
+        // spin budget before any futex sleep: an in-flight leader's
+        // drain is microseconds, so a yield loop almost always beats a
+        // sleep/wake round-trip
+        const MAX_YIELDS: u32 = 16;
+        // at Fsync a batch costs a disk round-trip, so a would-be
+        // leader yields once first, letting concurrently running
+        // committers pile into the batch (one fdatasync then covers all
+        // of them); at Flush the drain is a memcpy and batching buys
+        // nothing, so lead immediately
+        let lead_after = u32::from(self.shared.durability == Durability::Fsync);
+        let mut yields = 0u32;
+        loop {
+            // lock-free fast path (Acquire pairs with the publishing
+            // Release in drain/commit)
+            if self.shared.durable.load(Ordering::Acquire) >= seq {
+                return Ok(());
+            }
+            if self.shared.poisoned.load(Ordering::Acquire) {
+                let st = lock(&self.shared.state);
+                if st.durable >= seq {
+                    return Ok(());
+                }
+                let msg = st.error.as_deref().unwrap_or("unknown wal error");
+                return Err(poisoned(msg));
+            }
+            // lead only once the batch-formation yield (if any) is paid
+            // and no drain is in flight
+            if yields >= lead_after && !self.shared.writing.load(Ordering::Relaxed) {
+                let st = lock(&self.shared.state);
+                if st.durable >= seq {
+                    return Ok(());
+                }
+                if !st.writing && !st.queue.is_empty() {
+                    // drain the whole queue — our record is in it, or
+                    // in an already-retired batch (the loop re-checks)
+                    drop(self.shared.drain(st));
+                    continue;
+                }
+                drop(st);
+            }
+            if yields < MAX_YIELDS {
+                yields += 1;
+                std::thread::yield_now();
+                continue;
+            }
+            // spin budget exhausted (a stalled leader, e.g. a slow
+            // fsync): park until the next batch retires
+            let mut st = lock(&self.shared.state);
+            while st.durable < seq && st.error.is_none() {
+                if !st.writing && !st.queue.is_empty() {
+                    st = self.shared.drain(st);
+                    continue;
+                }
+                st.waiters += 1;
+                st = self
+                    .shared
+                    .done
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st.waiters -= 1;
+            }
+            if st.durable >= seq {
+                return Ok(());
+            }
+            let msg = st.error.as_deref().unwrap_or("unknown wal error");
+            return Err(poisoned(msg));
+        }
+    }
+
+    /// Install a checkpoint: replace the log with `synthetic` (the
+    /// engine state at `snapshot`) followed by every record committed
+    /// after `snapshot`. The whole-database synthetic record is
+    /// serialized, written, and fsync'd to the temp file **before**
+    /// the queue lock is taken (the collection scan that produced it
+    /// already ran outside any engine-wide lock, too); commits only
+    /// stall for the tail work — drain the queue, filter and append
+    /// the post-snapshot records, rename — which is proportional to
+    /// the log tail, not the database.
+    pub fn checkpoint(&self, synthetic: WalRecord, snapshot: Ts) -> Result<()> {
+        // phase 1, no state lock held: the O(database) part
+        let path = lock(&self.shared.wal).path().to_path_buf();
+        let prepared = Wal::prepare_rewrite(&path, std::slice::from_ref(&synthetic))?;
+
+        // phase 2, queue closed: the O(log tail) part
+        let mut st = lock(&self.shared.state);
+        // wait out an in-flight batch (bounded: one batch), then drain
+        // the remaining queue ourselves so the file is complete
+        while st.writing {
+            st = self
+                .shared
+                .idle
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if let Some(msg) = &st.error {
+            return Err(poisoned(msg));
+        }
+        let pending = std::mem::take(&mut st.queue);
+        let drained = pending.len() as u64;
+        let result = {
+            let mut wal = lock(&self.shared.wal);
+            Self::install_rewrite(&mut wal, pending, prepared, snapshot)
+        };
+        match result {
+            Ok(()) => {
+                // the rewrite fsyncs everything, so drained records are
+                // durable beyond any configured level
+                st.durable += drained;
+                if drained > 0 {
+                    st.batches += 1;
+                    st.appended += drained;
+                }
+                self.shared.durable.store(st.durable, Ordering::Release);
+                self.shared.done.notify_all();
+                Ok(())
+            }
+            Err(e) => {
+                // drained records may or may not have reached the file:
+                // poison the log rather than guess
+                self.shared.poison(&mut st, &e);
+                self.shared.done.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    fn install_rewrite(
+        wal: &mut Wal,
+        pending: Vec<WalRecord>,
+        prepared: PreparedRewrite,
+        snapshot: Ts,
+    ) -> Result<()> {
+        for rec in &pending {
+            wal.append(rec)?;
+        }
+        wal.flush()?;
+        // every commit with ts ≤ snapshot is inside the prepared
+        // synthetic record (it was fully installed before the snapshot
+        // was taken under commit_lock); later commits ride along as
+        // the tail
+        let tail: Vec<WalRecord> = Wal::read_all(wal.path())?
+            .into_iter()
+            .filter(|r| r.commit_ts > snapshot)
+            .collect();
+        wal.finish_rewrite(prepared, &tail)
+    }
+
+    /// `(batches, records)` written so far.
+    pub fn counters(&self) -> (u64, u64) {
+        let st = lock(&self.shared.state);
+        (st.batches, st.appended)
+    }
+}
+
+impl Drop for GroupLog {
+    fn drop(&mut self) {
+        if let Some(handle) = self.writer.take() {
+            lock(&self.shared.state).shutdown = true;
+            self.shared.work.notify_all();
+            let _ = handle.join();
+        }
+        // the Wal's BufWriter flushes on drop, so a clean shutdown
+        // persists Buffered-level commits too
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udbms_core::{Key, TxnId, Value};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "udbms-group-test-{}-{name}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn rec(ts: u64) -> WalRecord {
+        WalRecord {
+            commit_ts: Ts(ts),
+            txn: TxnId(ts),
+            writes: vec![("ns".into(), Key::int(ts as i64), Some(Value::Int(1)))],
+        }
+    }
+
+    #[test]
+    fn grouped_commits_become_durable_in_order() {
+        let path = temp_path("grouped");
+        let log = GroupLog::start(Wal::open(&path).unwrap(), Durability::Flush, true);
+        for ts in 1..=30 {
+            let seq = log.commit(rec(ts)).unwrap();
+            log.wait_durable(seq).unwrap();
+        }
+        let (batches, appended) = log.counters();
+        assert_eq!(appended, 30);
+        assert!((1..=30).contains(&batches));
+        drop(log);
+        let tss: Vec<u64> = Wal::read_all(&path)
+            .unwrap()
+            .iter()
+            .map(|r| r.commit_ts.0)
+            .collect();
+        assert_eq!(tss, (1..=30).collect::<Vec<_>>());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn buffered_commits_survive_clean_shutdown() {
+        let path = temp_path("buffered");
+        let log = GroupLog::start(Wal::open(&path).unwrap(), Durability::Buffered, true);
+        for ts in 1..=10 {
+            let seq = log.commit(rec(ts)).unwrap();
+            log.wait_durable(seq).unwrap(); // no-op for Buffered
+        }
+        drop(log); // shutdown drains the queue and the BufWriter flushes
+        assert_eq!(Wal::read_all(&path).unwrap().len(), 10);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sync_mode_writes_one_batch_per_commit() {
+        let path = temp_path("sync");
+        let log = GroupLog::start(Wal::open(&path).unwrap(), Durability::Flush, false);
+        for ts in 1..=5 {
+            let seq = log.commit(rec(ts)).unwrap();
+            log.wait_durable(seq).unwrap();
+        }
+        assert_eq!(log.counters(), (5, 5));
+        drop(log);
+        assert_eq!(Wal::read_all(&path).unwrap().len(), 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_keeps_records_after_snapshot() {
+        let path = temp_path("ckpt");
+        let log = GroupLog::start(Wal::open(&path).unwrap(), Durability::Flush, true);
+        for ts in 1..=6 {
+            let seq = log.commit(rec(ts)).unwrap();
+            log.wait_durable(seq).unwrap();
+        }
+        // records 7 and 8 land after the snapshot at ts 6
+        log.commit(rec(7)).unwrap();
+        log.commit(rec(8)).unwrap();
+        let synthetic = WalRecord {
+            commit_ts: Ts(6),
+            txn: TxnId(0),
+            writes: vec![("ns".into(), Key::int(0), Some(Value::Int(6)))],
+        };
+        log.checkpoint(synthetic, Ts(6)).unwrap();
+        drop(log);
+        let tss: Vec<u64> = Wal::read_all(&path)
+            .unwrap()
+            .iter()
+            .map(|r| r.commit_ts.0)
+            .collect();
+        assert_eq!(tss, vec![6, 7, 8], "synthetic + post-snapshot tail");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_committers_all_become_durable() {
+        let path = temp_path("concurrent");
+        let log = std::sync::Arc::new(GroupLog::start(
+            Wal::open(&path).unwrap(),
+            Durability::Flush,
+            true,
+        ));
+        let next_ts = std::sync::atomic::AtomicU64::new(1);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let log = std::sync::Arc::clone(&log);
+                let next_ts = &next_ts;
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        let ts = next_ts.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        let seq = log.commit(rec(ts)).unwrap();
+                        log.wait_durable(seq).unwrap();
+                    }
+                });
+            }
+        });
+        let (batches, appended) = log.counters();
+        assert_eq!(appended, 100);
+        assert!(batches <= 100);
+        drop(log);
+        assert_eq!(Wal::read_all(&path).unwrap().len(), 100);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

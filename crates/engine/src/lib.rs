@@ -24,7 +24,11 @@
 //!        ▼
 //!   Catalog ── schemas, auto-id counters, index *definitions*
 //!        │
-//!   Wal ── logical redo log (JSON lines), recovery, checkpointing
+//!   GroupLog ── group-commit queue + dedicated log-writer thread,
+//!        │      durability levels (Buffered / Flush / Fsync)
+//!        ▼
+//!   Wal ── logical redo log (JSON lines), torn-tail crash recovery,
+//!          fsync'd checkpoint rewrites
 //! ```
 //!
 //! ## Isolation levels
@@ -40,6 +44,7 @@
 
 mod catalog;
 mod engine;
+mod group;
 mod storage;
 mod txn;
 mod wal;
@@ -47,8 +52,8 @@ mod wal;
 pub use catalog::{Catalog, CollectionInfo};
 pub use engine::{Engine, EngineConfig, EngineStats, GcStats, Txn, DEFAULT_SHARDS};
 pub use storage::{shard_of, RecordId, Shard, ShardedStorage, Storage, Version};
-pub use txn::Isolation;
-pub use wal::{Wal, WalRecord};
+pub use txn::{Durability, Isolation};
+pub use wal::{PreparedRewrite, Wal, WalRecord, WalRecovery};
 
 #[cfg(test)]
 mod proptests {

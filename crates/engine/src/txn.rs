@@ -38,6 +38,57 @@ impl std::fmt::Display for Isolation {
     }
 }
 
+/// How durable a committed transaction is when [`crate::Txn::commit`]
+/// returns, for WAL-backed engines (engines without a WAL ignore it).
+///
+/// Together with [`Isolation`] these are the two quality knobs of a
+/// commit: what it may observe, and what survives a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Durability {
+    /// The record is enqueued for the log writer; commit returns without
+    /// waiting. A crash may lose recently acknowledged commits (a clean
+    /// shutdown still flushes everything).
+    Buffered,
+    /// Commit waits until its record is written and flushed to the OS
+    /// (survives process crash, not power loss). The default — matches
+    /// the engine's historical per-commit flush behaviour.
+    #[default]
+    Flush,
+    /// Commit waits for `fdatasync` on the log file (survives power
+    /// loss, modulo the storage stack honouring the sync).
+    Fsync,
+}
+
+impl Durability {
+    /// Every level, weakest first (report sweeps).
+    pub const ALL: [Durability; 3] = [Durability::Buffered, Durability::Flush, Durability::Fsync];
+
+    /// Short label for reports and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Durability::Buffered => "buffered",
+            Durability::Flush => "flush",
+            Durability::Fsync => "fsync",
+        }
+    }
+
+    /// Parse a CLI label (case-insensitive); `None` for unknown input.
+    pub fn parse(label: &str) -> Option<Durability> {
+        match label.to_ascii_lowercase().as_str() {
+            "buffered" => Some(Durability::Buffered),
+            "flush" => Some(Durability::Flush),
+            "fsync" => Some(Durability::Fsync),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Mutable state of an open transaction.
 #[derive(Debug)]
 pub struct TxnState {
@@ -136,5 +187,16 @@ mod tests {
         assert_eq!(Isolation::ReadCommitted.label(), "RC");
         assert_eq!(Isolation::Snapshot.to_string(), "SI");
         assert_eq!(Isolation::Serializable.label(), "SER");
+    }
+
+    #[test]
+    fn durability_labels_roundtrip() {
+        for level in Durability::ALL {
+            assert_eq!(Durability::parse(level.label()), Some(level));
+            assert_eq!(level.to_string(), level.label());
+        }
+        assert_eq!(Durability::parse("FSYNC"), Some(Durability::Fsync));
+        assert_eq!(Durability::parse("nope"), None);
+        assert_eq!(Durability::default(), Durability::Flush);
     }
 }

@@ -160,8 +160,14 @@ fn wal_replay_is_shard_count_independent() {
     let _ = std::fs::remove_file(&path);
 
     let expected: BTreeMap<Key, Value> = {
-        let engine =
-            Engine::with_wal_config(&path, udbms_engine::EngineConfig { shards: 8 }).unwrap();
+        let engine = Engine::with_wal_config(
+            &path,
+            udbms_engine::EngineConfig {
+                shards: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         engine
             .create_collection(CollectionSchema::key_value("ns"))
             .unwrap();
@@ -187,7 +193,14 @@ fn wal_replay_is_shard_count_independent() {
     assert!(!expected.is_empty());
 
     for shards in [1usize, 3, 8, 16] {
-        let engine = Engine::with_wal_config(&path, udbms_engine::EngineConfig { shards }).unwrap();
+        let engine = Engine::with_wal_config(
+            &path,
+            udbms_engine::EngineConfig {
+                shards,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let mut t = engine.begin(Isolation::Snapshot);
         let recovered: BTreeMap<Key, Value> = t.scan("ns").unwrap().into_iter().collect();
         assert_eq!(recovered, expected, "replay at {shards} shard(s) diverged");
@@ -196,11 +209,24 @@ fn wal_replay_is_shard_count_independent() {
 
     // checkpoint compacts at one shard count; recovery at another agrees
     {
-        let engine =
-            Engine::with_wal_config(&path, udbms_engine::EngineConfig { shards: 5 }).unwrap();
+        let engine = Engine::with_wal_config(
+            &path,
+            udbms_engine::EngineConfig {
+                shards: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         engine.checkpoint().unwrap();
     }
-    let engine = Engine::with_wal_config(&path, udbms_engine::EngineConfig { shards: 2 }).unwrap();
+    let engine = Engine::with_wal_config(
+        &path,
+        udbms_engine::EngineConfig {
+            shards: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let mut t = engine.begin(Isolation::Snapshot);
     let recovered: BTreeMap<Key, Value> = t.scan("ns").unwrap().into_iter().collect();
     assert_eq!(recovered, expected, "post-checkpoint recovery diverged");
