@@ -12,7 +12,7 @@
 //! metric is scored by its best run (best-of-N shields scheduler-noise
 //! spikes; a real regression depresses every run).
 //!
-//! Compares the gated throughput metrics (E2, E4a, E6) against the
+//! Compares the gated throughput metrics (E2, E4a, E6, E8, E9) against the
 //! committed baseline, normalized by the median current/baseline ratio
 //! so machine speed cancels out (see `udbms_bench::gate`). Exits
 //! non-zero when any metric regresses more than the tolerance below

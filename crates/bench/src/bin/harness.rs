@@ -113,6 +113,7 @@ fn main() {
         ("e6", experiments::e6_crud_scaling),
         ("e7", experiments::e7_ablation),
         ("e8", experiments::e8_durability),
+        ("e9", experiments::e9_read_path),
     ];
 
     let selected: Vec<&Experiment> = if wanted.is_empty() {

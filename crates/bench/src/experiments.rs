@@ -1,5 +1,5 @@
 //! The experiment suite: one function per table/figure of EXPERIMENTS.md
-//! (F1, E1–E8). Each returns a [`Report`]; the `harness` binary prints
+//! (F1, E1–E9). Each returns a [`Report`]; the `harness` binary prints
 //! them, the criterion benches time their hot loops.
 
 use std::time::Instant;
@@ -1069,6 +1069,198 @@ pub fn e8_durability(scale: RunScale) -> Report {
     report
 }
 
+/// E9 — read path: every cell pair runs the identical workload on the
+/// same loaded engine, once on the seed-style path (materialized
+/// clones, interpreted filters, full transaction machinery) and once on
+/// the zero-copy path (`Arc`-shared rows, compiled predicate closures,
+/// the lock-free read lane, limit pushdown). The arms isolate, one axis
+/// at a time, what PR 5's read-path overhaul buys on point reads,
+/// full scans, predicate scans, `LIMIT` queries and aggregations.
+pub fn e9_read_path(scale: RunScale) -> Report {
+    use udbms_core::CollectionSchema;
+    use udbms_engine::Engine;
+    use udbms_query::Query;
+
+    let rows = if scale.reps > 5 { 8192usize } else { 2048 };
+    let mut report = Report::new(
+        format!(
+            "E9 — read path: clone/interp/txn vs Arc/compiled/read-lane, {} row(s), {} shard(s)",
+            rows, scale.shards
+        ),
+        &["op", "arm", "clients", "ops", "elapsed", "p95", "rate"],
+    );
+    let engine = Engine::with_shards(scale.shards);
+    engine
+        .create_collection(CollectionSchema::key_value("bench"))
+        .expect("bench collection");
+    // moderately wide rows: cloning cost must be visible, like real docs
+    engine
+        .run(Isolation::Snapshot, |t| {
+            t.put_many(
+                "bench",
+                (0..rows)
+                    .map(|i| {
+                        (
+                            Key::int(i as i64),
+                            udbms_core::obj! {
+                                "g" => (i % 16) as i64,
+                                "n" => i as i64,
+                                "name" => format!("user-{i}"),
+                                "tags" => udbms_core::arr!["alpha", "beta", (i % 7) as i64],
+                                "addr" => udbms_core::obj! {
+                                    "city" => format!("city-{}", i % 97),
+                                    "zip" => (10_000 + i % 89_999) as i64,
+                                },
+                            },
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .expect("bench load");
+
+    let client_arms: Vec<usize> = if scale.clients <= 1 {
+        vec![1]
+    } else {
+        vec![1, scale.clients]
+    };
+    let cycles = scale.reps.clamp(1, 3);
+    // the acceptance pair: identical semantics, one text compiles into a
+    // closure tree and rides the read lane, the other defeats
+    // compilation (function call) and runs the interpreter in a full txn
+    let q_compiled = Query::parse("FOR r IN bench FILTER r.g % 4 == 3 RETURN r.n").expect("parse");
+    let q_interp =
+        Query::parse("FOR r IN bench FILTER TO_NUMBER(r.g) % 4 == 3 RETURN r.n").expect("parse");
+    // LIMIT ablation: the LET between FOR and LIMIT defeats the
+    // adjacency rule, forcing the full materialized walk
+    let q_limited = Query::parse("FOR r IN bench LIMIT 10 RETURN r.n").expect("parse");
+    let q_unlimited = Query::parse("FOR r IN bench LET x = 1 LIMIT 10 RETURN r.n").expect("parse");
+    let q_agg =
+        Query::parse("FOR r IN bench COLLECT AGGREGATE s = SUM(r.n) RETURN s").expect("parse");
+
+    let run_query_txn = |q: &Query| {
+        engine
+            .run(Isolation::Snapshot, |t| q.execute(t))
+            .map(|_| ())
+    };
+    let run_query_lane = |q: &Query| -> udbms_core::Result<()> {
+        let mut t = engine.begin_read();
+        q.execute(&mut t)?;
+        t.commit().map(|_| ())
+    };
+
+    // (op, arm, ops per client, the operation)
+    type Op<'a> = Box<dyn Fn(usize, usize) -> udbms_core::Result<()> + Sync + 'a>;
+    let point_gets = rows.min(2048);
+    let cells: Vec<(&str, &str, usize, Op)> = vec![
+        (
+            "point-get",
+            "txn-clone",
+            point_gets,
+            Box::new(|client, i| {
+                let mut rng = SplitMix64::new(3 + client as u64 * 65_537 + i as u64);
+                let k = Key::int((rng.next_u64() % rows as u64) as i64);
+                let mut t = engine.begin(Isolation::Snapshot);
+                t.get("bench", &k)?;
+                t.commit().map(|_| ())
+            }),
+        ),
+        (
+            "point-get",
+            "lane-arc",
+            point_gets,
+            Box::new(|client, i| {
+                let mut rng = SplitMix64::new(3 + client as u64 * 65_537 + i as u64);
+                let k = Key::int((rng.next_u64() % rows as u64) as i64);
+                let mut t = engine.begin_read();
+                t.get_shared("bench", &k)?;
+                t.commit().map(|_| ())
+            }),
+        ),
+        (
+            "scan-full",
+            "txn-clone",
+            6,
+            Box::new(|_, _| {
+                let mut t = engine.begin(Isolation::Snapshot);
+                let n = t.scan("bench")?.len();
+                assert_eq!(n, rows);
+                t.commit().map(|_| ())
+            }),
+        ),
+        (
+            "scan-full",
+            "lane-arc",
+            6,
+            Box::new(|_, _| {
+                let mut t = engine.begin_read();
+                let n = t.scan_shared("bench")?.len();
+                assert_eq!(n, rows);
+                t.commit().map(|_| ())
+            }),
+        ),
+        (
+            "filter-scan",
+            "interp-txn",
+            6,
+            Box::new(|_, _| run_query_txn(&q_interp)),
+        ),
+        (
+            "filter-scan",
+            "compiled-lane",
+            6,
+            Box::new(|_, _| run_query_lane(&q_compiled)),
+        ),
+        (
+            "limit-10",
+            "materialize",
+            48,
+            Box::new(|_, _| run_query_txn(&q_unlimited)),
+        ),
+        (
+            "limit-10",
+            "pushdown-lane",
+            48,
+            Box::new(|_, _| run_query_lane(&q_limited)),
+        ),
+        ("agg-sum", "txn", 6, Box::new(|_, _| run_query_txn(&q_agg))),
+        (
+            "agg-sum",
+            "read-lane",
+            6,
+            Box::new(|_, _| run_query_lane(&q_agg)),
+        ),
+    ];
+
+    for &clients in &client_arms {
+        for (op, arm, per_client, body) in &cells {
+            let total = clients * per_client;
+            let mut best: Option<udbms_driver::ConcurrentStats> = None;
+            for _ in 0..cycles {
+                let stats = run_concurrent(clients, *per_client, body).expect("read-path cell");
+                if best.as_ref().is_none_or(|b| stats.elapsed < b.elapsed) {
+                    best = Some(stats);
+                }
+            }
+            let stats = best.expect("at least one cycle");
+            report.row(vec![
+                (*op).into(),
+                (*arm).into(),
+                clients.to_string(),
+                total.to_string(),
+                format!("{:?}", stats.elapsed),
+                us(stats.percentile_us(95.0).into()),
+                per_sec(total, stats.elapsed.as_secs_f64()),
+            ]);
+        }
+    }
+    report.note("arm pairs run identical workloads on one loaded engine; the variable is the");
+    report.note("read path: txn-clone/interp = seed behaviour (materialized Value clones,");
+    report.note("interpreted filters, commit-lock snapshot), lane/arc/compiled = Arc-shared");
+    report.note("rows, closure-tree predicates, limit pushdown and the lock-free read lane");
+    report
+}
+
 /// Run everything (the `harness all` path).
 pub fn all_reports(scale: RunScale) -> Vec<Report> {
     vec![
@@ -1083,6 +1275,7 @@ pub fn all_reports(scale: RunScale) -> Vec<Report> {
         e6_crud_scaling(scale),
         e7_ablation(scale),
         e8_durability(scale),
+        e9_read_path(scale),
     ]
 }
 
@@ -1233,6 +1426,42 @@ mod tests {
         let r = e8_durability(pinned);
         assert_eq!(r.rows.len(), 2 * 2 + 3);
         assert!(r.rows.iter().all(|row| row[1] != "fsync"));
+    }
+
+    #[test]
+    fn e9_pairs_every_op_across_arms_and_clients() {
+        let scale = RunScale {
+            sf: 0.01,
+            reps: 2,
+            trials: 10,
+            clients: 2,
+            shards: 4,
+            durability: None,
+        };
+        let r = e9_read_path(scale);
+        // 5 ops × 2 arms × client arms {1, 2}
+        assert_eq!(r.rows.len(), 5 * 2 * 2);
+        for (op, arms) in [
+            ("point-get", ["txn-clone", "lane-arc"]),
+            ("scan-full", ["txn-clone", "lane-arc"]),
+            ("filter-scan", ["interp-txn", "compiled-lane"]),
+            ("limit-10", ["materialize", "pushdown-lane"]),
+            ("agg-sum", ["txn", "read-lane"]),
+        ] {
+            for arm in arms {
+                for clients in ["1", "2"] {
+                    assert!(
+                        r.rows
+                            .iter()
+                            .any(|row| row[0] == op && row[1] == arm && row[2] == clients),
+                        "missing row {op} × {arm} × {clients}"
+                    );
+                }
+            }
+        }
+        for row in &r.rows {
+            assert!(row[6].ends_with("/s"), "rate cell: {row:?}");
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ const GATED: &[(&str, &[&str], &str)] = &[
     ("e4a", &["subject", "iso", "clients", "theta"], "txn/s"),
     ("e6", &["op", "shards", "clients"], "ops/s"),
     ("e8", &["arm", "durability", "clients"], "rate"),
+    ("e9", &["op", "arm", "clients"], "rate"),
 ];
 
 /// Result of one gate comparison.

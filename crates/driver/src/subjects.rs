@@ -2,43 +2,44 @@
 //! polyglot-persistence baseline. Each is the ~100-line adapter shape a
 //! future backend (sharded engine, remote store) would copy.
 
+use std::sync::Arc;
+
 use udbms_core::{Error, Params, Result, Value};
 use udbms_datagen::{create_collections, load_into_engine, workload, Dataset};
 use udbms_engine::{Engine, EngineConfig, Isolation};
 use udbms_polyglot::{load_into_polyglot, order_update_polyglot, run_query, PolyglotDb};
-use udbms_query::Query;
+use udbms_query::{PlanCache, Query};
 
 use crate::{PreparedQuery, Subject, TxnOp};
 
 /// The unified multi-model engine as a benchmark subject: one MMQL text
-/// per query, parsed at prepare time and bound per execution.
+/// per query, resolved through an LRU **plan cache** at prepare time
+/// (repeat preparations of the same text share one parse) and bound per
+/// execution. Statements the planner proves read-only execute on the
+/// engine's **read lane** (`Engine::begin_read`): a lock-free snapshot,
+/// no OCC tracking, no commit lock, no WAL.
 pub struct EngineSubject {
     engine: Engine,
+    plans: PlanCache,
 }
 
 impl EngineSubject {
     /// A fresh, empty engine subject with the engine's default shard
     /// count.
     pub fn new() -> EngineSubject {
-        EngineSubject {
-            engine: Engine::new(),
-        }
+        EngineSubject::wrap(Engine::new())
     }
 
     /// A fresh, empty engine subject with an explicit storage shard
     /// count (the harness `--shards N` knob).
     pub fn with_shards(shards: usize) -> EngineSubject {
-        EngineSubject {
-            engine: Engine::with_shards(shards),
-        }
+        EngineSubject::wrap(Engine::with_shards(shards))
     }
 
     /// A fresh, empty engine subject with full [`EngineConfig`] tuning
     /// (shards, durability level, group commit).
     pub fn with_config(config: EngineConfig) -> EngineSubject {
-        EngineSubject {
-            engine: Engine::with_config(config),
-        }
+        EngineSubject::wrap(Engine::with_config(config))
     }
 
     /// A WAL-backed engine subject: commits are durable to
@@ -48,15 +49,26 @@ impl EngineSubject {
         path: impl AsRef<std::path::Path>,
         config: EngineConfig,
     ) -> Result<EngineSubject> {
-        Ok(EngineSubject {
-            engine: Engine::with_wal_config(path, config)?,
-        })
+        Ok(EngineSubject::wrap(Engine::with_wal_config(path, config)?))
+    }
+
+    fn wrap(engine: Engine) -> EngineSubject {
+        EngineSubject {
+            engine,
+            plans: PlanCache::default(),
+        }
     }
 
     /// Direct access to the wrapped engine (for experiment-specific
     /// probes like GC stats; benchmark loops should stay on the trait).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// The subject's plan cache (hit/miss probes for experiments; the
+    /// same numbers surface through [`Subject::counters`]).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
     }
 
     fn isolation(label: &str) -> Result<Isolation> {
@@ -87,15 +99,26 @@ impl Subject for EngineSubject {
     }
 
     fn prepare(&self, q: &workload::BenchQuery) -> Result<PreparedQuery> {
-        Ok(PreparedQuery::new(q, Query::parse(q.mmql)?))
+        // parse through the LRU plan cache: repeat preparations of the
+        // same text (every benchmark loop, most application traffic)
+        // share one parsed statement
+        Ok(PreparedQuery::new(q, self.plans.get_or_parse(q.mmql)?))
     }
 
     fn execute(&self, q: &PreparedQuery, params: &Params) -> Result<Vec<Value>> {
-        let parsed: &Query = q.payload().ok_or_else(|| {
+        let parsed: &Arc<Query> = q.payload().ok_or_else(|| {
             Error::Invalid("PreparedQuery is not an EngineSubject payload".into())
         })?;
         // bind once per draw, outside the retry loop
         let bound = parsed.bind(params)?;
+        if bound.is_read_only() {
+            // read lane: lock-free snapshot, no OCC read set, no commit
+            // lock, no WAL — and reads cannot conflict, so no retry loop
+            let mut txn = self.engine.begin_read();
+            let out = bound.execute(&mut txn)?;
+            txn.commit()?;
+            return Ok(out);
+        }
         self.engine.run(Isolation::Snapshot, |t| bound.execute(t))
     }
 
@@ -118,6 +141,14 @@ impl Subject for EngineSubject {
             ("aborts".into(), stats.aborts as i64),
             ("shards".into(), stats.shards as i64),
         ];
+        if stats.read_txns > 0 {
+            // queries routed through the lock-free read lane
+            out.push(("read_lane".into(), stats.read_txns as i64));
+        }
+        if self.plans.hits() + self.plans.misses() > 0 {
+            out.push(("plan_hits".into(), self.plans.hits() as i64));
+            out.push(("plan_misses".into(), self.plans.misses() as i64));
+        }
         if stats.wal_records > 0 {
             // group-commit efficiency: records per flushed batch
             out.push(("wal_batches".into(), stats.wal_batches as i64));

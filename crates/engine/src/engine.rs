@@ -121,10 +121,18 @@ struct Stats {
     aborts: AtomicU64,
     ww_conflicts: AtomicU64,
     read_conflicts: AtomicU64,
+    read_lane: AtomicU64,
 }
 
 struct Inner {
     clock: AtomicU64,
+    /// Timestamp of the newest **fully installed** commit. Stored (with
+    /// `Release`) after a commit's versions are in place but before
+    /// `commit_lock` is dropped, so a reader that loads it (`Acquire`)
+    /// can never observe a half-installed commit — which is what lets
+    /// [`Engine::begin_read`] take a snapshot without touching
+    /// `commit_lock` at all.
+    published: AtomicU64,
     next_txn: AtomicU64,
     /// Hash-sharded storage; every shard carries its own lock.
     storage: ShardedStorage,
@@ -152,6 +160,8 @@ pub struct EngineStats {
     pub ww_conflicts: u64,
     /// Commit-time read-validation (OCC) conflicts.
     pub read_conflicts: u64,
+    /// Read-lane transactions begun via [`Engine::begin_read`].
+    pub read_txns: u64,
     /// Storage shard count.
     pub shards: usize,
     /// Stored versions across all chains.
@@ -233,6 +243,7 @@ impl Engine {
         Engine {
             inner: Arc::new(Inner {
                 clock: AtomicU64::new(0),
+                published: AtomicU64::new(0),
                 next_txn: AtomicU64::new(1),
                 storage: ShardedStorage::new(config.shards),
                 catalog: RwLock::new(Catalog::new()),
@@ -288,13 +299,13 @@ impl Engine {
 
     /// Install already-parsed WAL records (the shared replay body).
     fn apply_records(&self, records: Vec<WalRecord>) -> Result<usize> {
+        type ReplayBucket = Vec<(RecordId, Ts, Option<Arc<Value>>)>;
         let n = records.len();
         let mut catalog = self.inner.catalog.write();
         let mut max_ts = self.inner.clock.load(Ordering::SeqCst);
         // resolve collections and bucket installs per shard, preserving
         // log order inside each bucket (per-key order is per-shard order)
-        let mut buckets: Vec<Vec<(RecordId, Ts, Option<Value>)>> =
-            vec![Vec::new(); self.inner.storage.shard_count()];
+        let mut buckets: Vec<ReplayBucket> = vec![Vec::new(); self.inner.storage.shard_count()];
         for rec in records {
             for (coll, key, value) in rec.writes {
                 let id = match catalog.get(&coll) {
@@ -302,7 +313,7 @@ impl Engine {
                     Err(_) => catalog.create(CollectionSchema::key_value(&coll))?,
                 };
                 let shard = self.inner.storage.shard_of(&key);
-                buckets[shard].push((RecordId::new(id, key), rec.commit_ts, value));
+                buckets[shard].push((RecordId::new(id, key), rec.commit_ts, value.map(Arc::new)));
             }
             max_ts = max_ts.max(rec.commit_ts.0);
         }
@@ -316,6 +327,7 @@ impl Engine {
             }
         }
         self.inner.clock.store(max_ts, Ordering::SeqCst);
+        self.inner.published.store(max_ts, Ordering::SeqCst);
         Ok(n)
     }
 
@@ -348,7 +360,7 @@ impl Engine {
             for name in catalog.names() {
                 let id = catalog.get(&name).expect("listed name exists").id;
                 for (key, value) in self.inner.storage.scan_merged(id, snapshot) {
-                    writes.push((name.clone(), key, Some(value)));
+                    writes.push((name.clone(), key, Some(value.as_ref().clone())));
                 }
             }
         }
@@ -460,6 +472,29 @@ impl Engine {
         }
     }
 
+    /// Begin a **read-lane** transaction: a snapshot read timestamp is
+    /// taken from the lock-free `published` watermark (no `commit_lock`
+    /// acquisition), no OCC read set is tracked, and the commit path is
+    /// the write-free fast exit — no validation, no WAL. Write
+    /// operations on the returned handle fail with
+    /// [`Error::Unsupported`].
+    ///
+    /// This is the lane the query layer routes statements through once
+    /// `explain`/`Statement::is_read_only` proves them read-only. The
+    /// snapshot is exactly as fresh as [`Engine::begin`]'s: `published`
+    /// is advanced before the installing commit releases `commit_lock`,
+    /// so every commit that returned before this call is visible.
+    pub fn begin_read(&self) -> Txn {
+        let snapshot = Ts(self.inner.published.load(Ordering::Acquire));
+        let id = TxnId(self.inner.next_txn.fetch_add(1, Ordering::SeqCst));
+        self.inner.active.lock().insert(id, snapshot);
+        self.inner.stats.read_lane.fetch_add(1, Ordering::Relaxed);
+        Txn {
+            inner: Arc::clone(&self.inner),
+            state: Some(TxnState::new_read_only(id, snapshot)),
+        }
+    }
+
     /// Run a closure in a transaction, retrying (with a fresh snapshot) on
     /// conflicts up to an internal limit. Non-conflict errors abort and
     /// propagate.
@@ -531,6 +566,7 @@ impl Engine {
             aborts: self.inner.stats.aborts.load(Ordering::Relaxed),
             ww_conflicts: self.inner.stats.ww_conflicts.load(Ordering::Relaxed),
             read_conflicts: self.inner.stats.read_conflicts.load(Ordering::Relaxed),
+            read_txns: self.inner.stats.read_lane.load(Ordering::Relaxed),
             shards: self.inner.storage.shard_count(),
             versions,
             chains,
@@ -573,8 +609,21 @@ impl Txn {
         Ok((info.id, info.schema.model))
     }
 
+    /// Like [`Txn::state`] but for write entry points: read-lane
+    /// transactions reject writes here, before anything is buffered.
+    fn write_state(&mut self) -> Result<&mut TxnState> {
+        let state = self.state()?;
+        if state.read_only {
+            return Err(Error::Unsupported(
+                "write on a read-lane transaction (use Engine::begin)".into(),
+            ));
+        }
+        Ok(state)
+    }
+
     /// Snapshot-correct read of a record, honouring buffered writes.
-    fn read(&mut self, rid: RecordId) -> Result<Option<Value>> {
+    /// Hands out a shared handle — no deep clone.
+    fn read_shared(&mut self, rid: RecordId) -> Result<Option<Arc<Value>>> {
         let inner = Arc::clone(&self.inner);
         let state = self.state()?;
         if let Some(buffered) = state.own_write(&rid) {
@@ -589,16 +638,22 @@ impl Txn {
         Ok(value)
     }
 
+    /// Snapshot-correct read of a record, materialized (compatibility
+    /// shape; prefer [`Txn::get_shared`] on hot read paths).
+    fn read(&mut self, rid: RecordId) -> Result<Option<Value>> {
+        Ok(self.read_shared(rid)?.map(|v| v.as_ref().clone()))
+    }
+
     /// Batched snapshot-correct reads: results in input order, each shard
     /// read-locked at most once for the whole batch.
-    fn read_many(&mut self, rids: &[RecordId]) -> Result<Vec<Option<Value>>> {
+    fn read_many(&mut self, rids: &[RecordId]) -> Result<Vec<Option<Arc<Value>>>> {
         let inner = Arc::clone(&self.inner);
         let state = self.state()?;
         let read_ts = match state.isolation {
             Isolation::ReadCommitted => Ts::MAX,
             _ => state.snapshot,
         };
-        let mut out: Vec<Option<Value>> = vec![None; rids.len()];
+        let mut out: Vec<Option<Arc<Value>>> = vec![None; rids.len()];
         // (shard, position) of every read the write buffer cannot answer
         let mut pending: Vec<(usize, usize)> = Vec::new();
         for (pos, rid) in rids.iter().enumerate() {
@@ -631,6 +686,13 @@ impl Txn {
         self.read(RecordId::new(id, key.clone()))
     }
 
+    /// Fetch a record by key as a shared handle: the zero-copy point
+    /// read (an `Arc` bump instead of a value tree clone).
+    pub fn get_shared(&mut self, collection: &str, key: &Key) -> Result<Option<Arc<Value>>> {
+        let (id, _) = self.resolve(collection)?;
+        self.read_shared(RecordId::new(id, key.clone()))
+    }
+
     /// Upsert a record. Relational collections validate their closed
     /// schema; document collections validate declared fields; XML
     /// collections require a valid bridge encoding.
@@ -647,7 +709,7 @@ impl Txn {
         if model == ModelKind::Xml {
             udbms_xml::value_to_xml(&value)?;
         }
-        self.state()?
+        self.write_state()?
             .buffer_write(RecordId::new(id, key), Some(value));
         Ok(())
     }
@@ -682,7 +744,7 @@ impl Txn {
             }
             v => Key::new(v.clone())?,
         };
-        if self.get(collection, &key)?.is_some() {
+        if self.get_shared(collection, &key)?.is_some() {
             return Err(Error::AlreadyExists(format!("key {key} in `{collection}`")));
         }
         self.put(collection, key.clone(), value)?;
@@ -691,7 +753,7 @@ impl Txn {
 
     /// Replace an existing record; fails when absent.
     pub fn update(&mut self, collection: &str, key: &Key, value: Value) -> Result<()> {
-        if self.get(collection, key)?.is_none() {
+        if self.get_shared(collection, key)?.is_none() {
             return Err(Error::NotFound(format!("key {key} in `{collection}`")));
         }
         self.put(collection, key.clone(), value)
@@ -708,10 +770,10 @@ impl Txn {
 
     /// Delete a record; returns whether it existed.
     pub fn delete(&mut self, collection: &str, key: &Key) -> Result<bool> {
-        let existed = self.get(collection, key)?.is_some();
+        let existed = self.get_shared(collection, key)?.is_some();
         if existed {
             let (id, _) = self.resolve(collection)?;
-            self.state()?
+            self.write_state()?
                 .buffer_write(RecordId::new(id, key.clone()), None);
         }
         Ok(existed)
@@ -738,7 +800,7 @@ impl Txn {
             }
             (info.id, validated)
         };
-        let state = self.state()?;
+        let state = self.write_state()?;
         for (key, value) in validated {
             state.buffer_write(RecordId::new(id, key), Some(value));
         }
@@ -812,7 +874,7 @@ impl Txn {
         let (id, _) = self.resolve(collection)?;
         let rids: Vec<RecordId> = keys.iter().map(|k| RecordId::new(id, k.clone())).collect();
         let current = self.read_many(&rids)?;
-        let state = self.state()?;
+        let state = self.write_state()?;
         let mut deleted = 0usize;
         let mut seen = std::collections::HashSet::new();
         for (rid, cur) in rids.into_iter().zip(current) {
@@ -826,8 +888,20 @@ impl Txn {
 
     /// All live `(key, value)` pairs of a collection at this transaction's
     /// read horizon, own writes applied, in key order (merged across
-    /// shards).
+    /// shards). Values are materialized copies; hot read paths should
+    /// prefer [`Txn::scan_shared`].
     pub fn scan(&mut self, collection: &str) -> Result<Vec<(Key, Value)>> {
+        Ok(self
+            .scan_shared(collection)?
+            .into_iter()
+            .map(|(k, v)| (k, v.as_ref().clone()))
+            .collect())
+    }
+
+    /// [`Txn::scan`] handing out shared handles: the zero-copy scan —
+    /// every returned row is an `Arc` bump on the stored version, never
+    /// a value tree clone.
+    pub fn scan_shared(&mut self, collection: &str) -> Result<Vec<(Key, Arc<Value>)>> {
         let (id, _) = self.resolve(collection)?;
         let inner = Arc::clone(&self.inner);
         let state = self.state()?;
@@ -835,17 +909,21 @@ impl Txn {
             Isolation::ReadCommitted => Ts::MAX,
             _ => state.snapshot,
         };
-        let mut rows: std::collections::BTreeMap<Key, Value> =
+        let mut rows: std::collections::BTreeMap<Key, Arc<Value>> =
             if state.isolation == Isolation::Serializable {
                 // a serializable scan observes every record it returns
                 let mut rows = std::collections::BTreeMap::new();
-                for (key, seen, value) in inner.storage.scan_merged_with_ts(id, read_ts) {
+                for (key, seen, value) in inner.storage.scan_iter(id, read_ts, None, None) {
                     state.note_read(RecordId::new(id, key.clone()), seen);
                     rows.insert(key, value);
                 }
                 rows
             } else {
-                inner.storage.scan_merged(id, read_ts).into_iter().collect()
+                inner
+                    .storage
+                    .scan_iter(id, read_ts, None, None)
+                    .map(|(k, _, v)| (k, v))
+                    .collect()
             };
         for (rid, w) in &state.writes {
             if rid.collection != id {
@@ -853,7 +931,7 @@ impl Txn {
             }
             match w {
                 Some(v) => {
-                    rows.insert(rid.key.clone(), v.clone());
+                    rows.insert(rid.key.clone(), Arc::clone(v));
                 }
                 None => {
                     rows.remove(&rid.key);
@@ -863,10 +941,93 @@ impl Txn {
         Ok(rows.into_iter().collect())
     }
 
+    /// Streaming scan with limit pushdown: the first `limit` live rows
+    /// in key order, without touching (or copying) the rest of the
+    /// collection. Falls back to a full scan when the limit cannot be
+    /// pushed safely — under `Serializable` (the scan's read set must
+    /// cover everything it examined) or when this transaction has
+    /// buffered writes on the collection (the overlay may shift which
+    /// rows are in the prefix).
+    pub fn scan_limited(
+        &mut self,
+        collection: &str,
+        limit: usize,
+    ) -> Result<Vec<(Key, Arc<Value>)>> {
+        let (id, _) = self.resolve(collection)?;
+        let inner = Arc::clone(&self.inner);
+        let state = self.state()?;
+        let pushable = state.isolation != Isolation::Serializable
+            && !state.writes.keys().any(|rid| rid.collection == id);
+        if !pushable {
+            let mut rows = self.scan_shared(collection)?;
+            rows.truncate(limit);
+            return Ok(rows);
+        }
+        let read_ts = match state.isolation {
+            Isolation::ReadCommitted => Ts::MAX,
+            _ => state.snapshot,
+        };
+        Ok(inner
+            .storage
+            .scan_iter(id, read_ts, None, Some(limit))
+            .map(|(k, _, v)| (k, v))
+            .collect())
+    }
+
     /// Records matching a predicate, using a secondary index when the
     /// predicate pins an indexed path (candidates are re-validated against
-    /// this transaction's read horizon), else a full scan.
+    /// this transaction's read horizon), else a full scan. Materialized
+    /// copies; hot read paths should prefer [`Txn::select_shared`].
     pub fn select(&mut self, collection: &str, pred: &Predicate) -> Result<Vec<Value>> {
+        Ok(self
+            .select_shared(collection, pred)?
+            .into_iter()
+            .map(|v| v.as_ref().clone())
+            .collect())
+    }
+
+    /// [`Txn::select`] handing out shared handles instead of copies.
+    pub fn select_shared(&mut self, collection: &str, pred: &Predicate) -> Result<Vec<Arc<Value>>> {
+        self.select_limited(collection, pred, None)
+    }
+
+    /// [`Txn::select_shared`] with **limit pushdown**: at most `limit`
+    /// matches, stopping the index probe or scan as soon as they are
+    /// found. The limit falls back to select-then-truncate under
+    /// `Serializable` or when this transaction has buffered writes on
+    /// the collection (same safety rule as [`Txn::scan_limited`]).
+    pub fn select_limited(
+        &mut self,
+        collection: &str,
+        pred: &Predicate,
+        limit: Option<usize>,
+    ) -> Result<Vec<Arc<Value>>> {
+        let (id, _) = self.resolve(collection)?;
+        // a limit may only cut the walk short when nothing after the cut
+        // could change the result set or the read-set contract
+        let pushable = {
+            let state = self.state()?;
+            state.isolation != Isolation::Serializable
+                && !state.writes.keys().any(|rid| rid.collection == id)
+        };
+        match limit {
+            Some(n) if !pushable => {
+                let mut out = self.select_impl(collection, pred, None)?;
+                out.truncate(n);
+                Ok(out)
+            }
+            limit => self.select_impl(collection, pred, limit),
+        }
+    }
+
+    /// The shared select machinery; `limit` is pre-validated as safe to
+    /// push by the callers above (`None` = unbounded).
+    fn select_impl(
+        &mut self,
+        collection: &str,
+        pred: &Predicate,
+        limit: Option<usize>,
+    ) -> Result<Vec<Arc<Value>>> {
         let (id, _) = self.resolve(collection)?;
         // primary-key fast path: an equality on the pk field is a point get
         let pk_probe: Option<Key> = {
@@ -879,13 +1040,16 @@ impl Txn {
         };
         if let Some(key) = pk_probe {
             let mut out = Vec::new();
-            if let Some(v) = self.read(RecordId::new(id, key))? {
-                if pred.matches(&v) {
+            if let Some(v) = self.read_shared(RecordId::new(id, key))? {
+                if pred.matches(v.as_ref()) {
                     out.push(v);
                 }
             }
             // own writes may still add matches under other keys only if the
             // pk equality admits them — it cannot, so we are done.
+            if let Some(n) = limit {
+                out.truncate(n);
+            }
             return Ok(out);
         }
         // probe indexes; Null probes must scan (nulls are never indexed,
@@ -930,21 +1094,28 @@ impl Txn {
                 let rids: Vec<RecordId> =
                     keys.iter().map(|k| RecordId::new(id, k.clone())).collect();
                 // batched validation: one lock per touched shard, not one
-                // per candidate
+                // per candidate; with a pushed limit, stop as soon as
+                // enough candidates validate (keys are sorted, so this
+                // is the key-order prefix)
                 let mut out = Vec::new();
                 for v in self.read_many(&rids)?.into_iter().flatten() {
-                    if pred.matches(&v) {
+                    if pred.matches(v.as_ref()) {
                         out.push(v);
+                        if limit.is_some_and(|n| out.len() >= n) {
+                            return Ok(out);
+                        }
                     }
                 }
                 // own writes may add matches the index has not seen
+                // (limit pushdown is disabled whenever own writes touch
+                // this collection, so the early return above is safe)
                 let seen: std::collections::HashSet<Key> = keys.into_iter().collect();
                 let state = self.state()?;
                 for (rid, w) in &state.writes {
                     if rid.collection == id && !seen.contains(&rid.key) {
                         if let Some(v) = w {
-                            if pred.matches(v) {
-                                out.push(v.clone());
+                            if pred.matches(v.as_ref()) {
+                                out.push(Arc::clone(v));
                             }
                         }
                     }
@@ -952,16 +1123,41 @@ impl Txn {
                 Ok(out)
             }
             // no usable index: the one shared sharded-scan implementation
-            None => self.select_scan(collection, pred),
+            None => self.select_scan_impl(collection, pred, limit),
         }
+    }
+
+    /// Predicate scan without indexes, materialized (compatibility
+    /// shape; prefer [`Txn::select_scan_shared`] on hot read paths).
+    pub fn select_scan(&mut self, collection: &str, pred: &Predicate) -> Result<Vec<Value>> {
+        Ok(self
+            .select_scan_shared(collection, pred)?
+            .into_iter()
+            .map(|v| v.as_ref().clone())
+            .collect())
     }
 
     /// Predicate scan without indexes: the single sharded-iteration
     /// implementation behind both [`Txn::select`]'s fallback and the
     /// ablation arm. Each shard filters its own run (fanning out to one
     /// thread per shard for large collections), results merge in key
-    /// order, then buffered writes overlay.
-    pub fn select_scan(&mut self, collection: &str, pred: &Predicate) -> Result<Vec<Value>> {
+    /// order, then buffered writes overlay. Rows are shared handles.
+    pub fn select_scan_shared(
+        &mut self,
+        collection: &str,
+        pred: &Predicate,
+    ) -> Result<Vec<Arc<Value>>> {
+        self.select_scan_impl(collection, pred, None)
+    }
+
+    /// The shared predicate-scan body; `limit` is pre-validated as safe
+    /// (non-serializable, no own writes on the collection).
+    fn select_scan_impl(
+        &mut self,
+        collection: &str,
+        pred: &Predicate,
+        limit: Option<usize>,
+    ) -> Result<Vec<Arc<Value>>> {
         let (id, _) = self.resolve(collection)?;
         let inner = Arc::clone(&self.inner);
         let state = self.state()?;
@@ -969,15 +1165,25 @@ impl Txn {
             Isolation::ReadCommitted => Ts::MAX,
             _ => state.snapshot,
         };
-        let mut rows: std::collections::BTreeMap<Key, Value> = Default::default();
+        if let Some(n) = limit {
+            // streaming path: predicate + limit pushed into the k-way
+            // merge, each shard walked once under its read lock
+            let matches = |v: &Value| pred.matches(v);
+            return Ok(inner
+                .storage
+                .scan_iter(id, read_ts, Some(&matches), Some(n))
+                .map(|(_, _, v)| v)
+                .collect());
+        }
+        let mut rows: std::collections::BTreeMap<Key, Arc<Value>> = Default::default();
         if state.isolation == Isolation::Serializable {
             // a serializable predicate scan observes every record it
             // *examined*, not just the matches: write skew via predicate
             // emptiness is only caught when the non-matching record that
             // later changes sits in the read set (same rule as `scan`)
-            for (key, seen, value) in inner.storage.scan_merged_with_ts(id, read_ts) {
+            for (key, seen, value) in inner.storage.scan_iter(id, read_ts, None, None) {
                 state.note_read(RecordId::new(id, key.clone()), seen);
-                if pred.matches(&value) {
+                if pred.matches(value.as_ref()) {
                     rows.insert(key, value);
                 }
             }
@@ -997,8 +1203,8 @@ impl Txn {
                 continue;
             }
             match w {
-                Some(v) if pred.matches(v) => {
-                    rows.insert(rid.key.clone(), v.clone());
+                Some(v) if pred.matches(v.as_ref()) => {
+                    rows.insert(rid.key.clone(), Arc::clone(v));
                 }
                 // buffered delete, or an overwrite that no longer matches
                 _ => {
@@ -1088,7 +1294,7 @@ impl Txn {
                     Predicate::Eq(FieldPath::key("_label"), Value::from(l)),
                 ]);
             }
-            for edge in me.select(&ecoll, &pred)? {
+            for edge in me.select_shared(&ecoll, &pred)? {
                 out.insert(Key::new(edge.get_field(other).clone())?);
             }
             Ok(())
@@ -1245,7 +1451,9 @@ impl Txn {
                 }
             }
             // --- install (versions + index postings, one shard
-            //     write-lock per touched shard, ascending order) ---
+            //     write-lock per touched shard, ascending order);
+            //     buffered values are Arc-shared, so each install is a
+            //     refcount bump, not a value tree copy ---
             let commit_ts = Ts(inner.clock.fetch_add(1, Ordering::SeqCst) + 1);
             for (si, group) in write_groups.iter().enumerate() {
                 if group.is_empty() {
@@ -1257,6 +1465,9 @@ impl Txn {
                     shard.install((*rid).clone(), commit_ts, value);
                 }
             }
+            // every version is in place: publish the timestamp so
+            // lock-free read-lane snapshots can observe this commit
+            inner.published.store(commit_ts.0, Ordering::Release);
             // --- log: enqueue while still holding commit_lock so the
             //     queue order is commit-ts order; the flush/fsync wait
             //     happens after the lock is released ---
@@ -1271,7 +1482,8 @@ impl Txn {
                                 .name_of(rid.collection)
                                 .unwrap_or("<dropped>")
                                 .to_string();
-                            (name, rid.key.clone(), state.writes[rid].clone())
+                            let value = state.writes[rid].as_ref().map(|v| v.as_ref().clone());
+                            (name, rid.key.clone(), value)
                         })
                         .collect();
                     Some(log.commit(WalRecord {
@@ -2086,6 +2298,178 @@ mod tests {
         let mut t = e.begin(Isolation::Snapshot);
         assert_eq!(t.scan("kv").unwrap().len(), 20);
         assert_eq!(t.get("kv", &Key::int(11)).unwrap(), Some(Value::Int(11)));
+    }
+
+    #[test]
+    fn read_lane_sees_committed_state_and_rejects_writes() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| {
+            t.put("feedback", Key::int(1), Value::Int(10))?;
+            t.put("feedback", Key::int(2), Value::Int(20))
+        })
+        .unwrap();
+        let mut r = e.begin_read();
+        assert_eq!(
+            r.get("feedback", &Key::int(1)).unwrap(),
+            Some(Value::Int(10))
+        );
+        assert_eq!(
+            r.get_shared("feedback", &Key::int(2))
+                .unwrap()
+                .as_deref()
+                .cloned(),
+            Some(Value::Int(20))
+        );
+        assert_eq!(r.scan_shared("feedback").unwrap().len(), 2);
+        // every write entry point is rejected
+        assert!(matches!(
+            r.put("feedback", Key::int(3), Value::Int(3)),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(
+            r.delete("feedback", &Key::int(1)),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(
+            r.put_many("feedback", vec![(Key::int(4), Value::Int(4))]),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(
+            r.delete_many("feedback", &[Key::int(1)]),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(r.insert("orders", obj! {"total" => 1.0}).is_err());
+        // empty-write commit succeeds and counts as a commit
+        r.commit().unwrap();
+        assert_eq!(e.stats().read_txns, 1);
+    }
+
+    #[test]
+    fn read_lane_snapshot_is_as_fresh_as_begin() {
+        let e = engine();
+        for i in 0..20 {
+            e.run(Isolation::Snapshot, |t| {
+                t.put("feedback", Key::str("k"), Value::Int(i))
+            })
+            .unwrap();
+            // a read-lane snapshot taken after the commit returned must
+            // observe it (published advances before commit_lock drops)
+            let mut r = e.begin_read();
+            assert_eq!(
+                r.get("feedback", &Key::str("k")).unwrap(),
+                Some(Value::Int(i))
+            );
+        }
+    }
+
+    #[test]
+    fn read_lane_snapshot_is_stable_under_later_commits() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| {
+            t.put("feedback", Key::str("k"), Value::Int(1))
+        })
+        .unwrap();
+        let mut r = e.begin_read();
+        e.run(Isolation::Snapshot, |t| {
+            t.put("feedback", Key::str("k"), Value::Int(2))
+        })
+        .unwrap();
+        assert_eq!(
+            r.get("feedback", &Key::str("k")).unwrap(),
+            Some(Value::Int(1)),
+            "read lane is snapshot-stable"
+        );
+        // and GC respects the read-lane snapshot (registered as active)
+        e.gc();
+        assert_eq!(
+            r.get("feedback", &Key::str("k")).unwrap(),
+            Some(Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn scan_limited_returns_key_order_prefix() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| {
+            t.put_many(
+                "feedback",
+                (0..50).map(|i| (Key::int(i), Value::Int(i * 2))).collect(),
+            )
+        })
+        .unwrap();
+        let mut t = e.begin(Isolation::Snapshot);
+        let full = t.scan_shared("feedback").unwrap();
+        for limit in [0usize, 1, 7, 50, 99] {
+            let got = t.scan_limited("feedback", limit).unwrap();
+            assert_eq!(got, full[..limit.min(full.len())].to_vec(), "limit {limit}");
+        }
+        // own writes force the fallback path and stay correct
+        t.put("feedback", Key::int(-1), Value::Int(-2)).unwrap();
+        let got = t.scan_limited("feedback", 3).unwrap();
+        assert_eq!(got[0].0, Key::int(-1), "buffered row sorts first");
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn select_limited_matches_select_prefix() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| {
+            t.put_many(
+                "feedback",
+                (0..60)
+                    .map(|i| (Key::int(i), obj! {"g" => i % 3, "n" => i}))
+                    .collect(),
+            )
+        })
+        .unwrap();
+        let pred = Predicate::eq("g", Value::Int(1));
+        let mut t = e.begin(Isolation::Snapshot);
+        let full = t.select_shared("feedback", &pred).unwrap();
+        assert_eq!(full.len(), 20);
+        for limit in [0usize, 1, 5, 20, 99] {
+            let got = t.select_limited("feedback", &pred, Some(limit)).unwrap();
+            assert_eq!(got, full[..limit.min(full.len())].to_vec(), "limit {limit}");
+        }
+        // serializable transactions fall back (read set must stay full)
+        let mut ser = e.begin(Isolation::Serializable);
+        let got = ser.select_limited("feedback", &pred, Some(5)).unwrap();
+        assert_eq!(got, full[..5].to_vec());
+        drop(ser);
+        // the primary-key fast path honours the limit too
+        e.run(Isolation::Snapshot, |t| {
+            t.insert("customers", obj! {"id" => 1, "name" => "Ada"})
+                .map(|_| ())
+        })
+        .unwrap();
+        let pk_pred = Predicate::eq("id", Value::Int(1));
+        let mut t = e.begin(Isolation::Snapshot);
+        assert_eq!(
+            t.select_limited("customers", &pk_pred, Some(1))
+                .unwrap()
+                .len(),
+            1
+        );
+        assert!(t
+            .select_limited("customers", &pk_pred, Some(0))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn shared_reads_hand_out_the_same_allocation() {
+        let e = engine();
+        e.run(Isolation::Snapshot, |t| {
+            t.put("feedback", Key::int(1), obj! {"big" => "payload"})
+        })
+        .unwrap();
+        let mut a = e.begin_read();
+        let mut b = e.begin_read();
+        let va = a.get_shared("feedback", &Key::int(1)).unwrap().unwrap();
+        let vb = b.get_shared("feedback", &Key::int(1)).unwrap().unwrap();
+        assert!(
+            Arc::ptr_eq(&va, &vb),
+            "both readers share the stored version"
+        );
     }
 
     #[test]

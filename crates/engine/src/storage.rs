@@ -14,6 +14,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
@@ -38,12 +39,18 @@ impl RecordId {
 
 /// One committed version of a record. `value == None` is a tombstone
 /// (the record was deleted at `commit_ts`).
+///
+/// The value is stored behind an [`Arc`] so readers hand out
+/// reference-counted handles instead of deep-cloning the row: a scan of
+/// N objects costs N pointer bumps, not N tree copies. Values are
+/// immutable once installed (MVCC never mutates a committed version),
+/// which is exactly the sharing contract `Arc<Value>` encodes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Version {
     /// Commit timestamp of the writing transaction.
     pub commit_ts: Ts,
     /// The value, or `None` for a delete.
-    pub value: Option<Value>,
+    pub value: Option<Arc<Value>>,
 }
 
 /// The multi-version store.
@@ -71,7 +78,7 @@ impl Storage {
     }
 
     /// The visible *value* (resolving tombstones to `None`).
-    pub fn visible_value(&self, rid: &RecordId, snapshot: Ts) -> Option<&Value> {
+    pub fn visible_value(&self, rid: &RecordId, snapshot: Ts) -> Option<&Arc<Value>> {
         self.visible(rid, snapshot).and_then(|v| v.value.as_ref())
     }
 
@@ -83,7 +90,7 @@ impl Storage {
 
     /// Install a new version (called by the commit protocol, which
     /// guarantees `commit_ts` is newer than everything in the chain).
-    pub fn install(&mut self, rid: RecordId, commit_ts: Ts, value: Option<Value>) {
+    pub fn install(&mut self, rid: RecordId, commit_ts: Ts, value: Option<Arc<Value>>) {
         debug_assert!(
             self.chains
                 .get(&rid)
@@ -101,47 +108,53 @@ impl Storage {
             .push(Version { commit_ts, value });
     }
 
+    /// The single visibility walk behind `scan`, `scan_with_ts` and
+    /// `live_keys`: every live `(key, commit_ts, value)` of a collection
+    /// at `snapshot`, in key order, yielded lazily by reference.
+    pub fn visible_entries(
+        &self,
+        collection: CollectionId,
+        snapshot: Ts,
+    ) -> impl Iterator<Item = (&Key, Ts, &Arc<Value>)> {
+        self.directories
+            .get(&collection)
+            .into_iter()
+            .flatten()
+            .filter_map(move |k| {
+                let rid = RecordId::new(collection, k.clone());
+                let v = self.visible(&rid, snapshot)?;
+                let value = v.value.as_ref()?;
+                Some((k, v.commit_ts, value))
+            })
+    }
+
     /// Ordered keys of a collection that are live (non-tombstone) at
     /// `snapshot`.
     pub fn live_keys(&self, collection: CollectionId, snapshot: Ts) -> Vec<Key> {
-        let Some(dir) = self.directories.get(&collection) else {
-            return Vec::new();
-        };
-        dir.iter()
-            .filter(|k| {
-                let rid = RecordId::new(collection, (*k).clone());
-                self.visible_value(&rid, snapshot).is_some()
-            })
-            .cloned()
+        self.visible_entries(collection, snapshot)
+            .map(|(k, _, _)| k.clone())
             .collect()
     }
 
     /// All `(key, value)` pairs of a collection live at `snapshot`, in key
-    /// order.
-    pub fn scan(&self, collection: CollectionId, snapshot: Ts) -> Vec<(Key, Value)> {
-        self.scan_with_ts(collection, snapshot)
-            .into_iter()
-            .map(|(k, _, v)| (k, v))
+    /// order. Values are shared handles, not copies.
+    pub fn scan(&self, collection: CollectionId, snapshot: Ts) -> Vec<(Key, Arc<Value>)> {
+        self.visible_entries(collection, snapshot)
+            .map(|(k, _, v)| (k.clone(), Arc::clone(v)))
             .collect()
     }
 
     /// Like [`Storage::scan`] but also reporting the commit timestamp of
     /// each returned version (serializable scans record what they saw
     /// without a second lookup).
-    pub fn scan_with_ts(&self, collection: CollectionId, snapshot: Ts) -> Vec<(Key, Ts, Value)> {
-        let Some(dir) = self.directories.get(&collection) else {
-            return Vec::new();
-        };
-        let mut out = Vec::new();
-        for k in dir {
-            let rid = RecordId::new(collection, k.clone());
-            if let Some(v) = self.visible(&rid, snapshot) {
-                if let Some(value) = &v.value {
-                    out.push((k.clone(), v.commit_ts, value.clone()));
-                }
-            }
-        }
-        out
+    pub fn scan_with_ts(
+        &self,
+        collection: CollectionId,
+        snapshot: Ts,
+    ) -> Vec<(Key, Ts, Arc<Value>)> {
+        self.visible_entries(collection, snapshot)
+            .map(|(k, ts, v)| (k.clone(), ts, Arc::clone(v)))
+            .collect()
     }
 
     /// Number of keys ever written to a collection in this store (live or
@@ -160,7 +173,7 @@ impl Storage {
         for k in dir {
             let rid = RecordId::new(collection, k.clone());
             if let Some(chain) = self.chains.get(&rid) {
-                let vals: Vec<&Value> = chain.iter().filter_map(|v| v.value.as_ref()).collect();
+                let vals: Vec<&Value> = chain.iter().filter_map(|v| v.value.as_deref()).collect();
                 if !vals.is_empty() {
                     out.push((k.clone(), vals));
                 }
@@ -322,9 +335,9 @@ impl Shard {
     }
 
     /// Install a version and (for non-tombstones) its index postings.
-    pub fn install(&mut self, rid: RecordId, commit_ts: Ts, value: Option<Value>) {
+    pub fn install(&mut self, rid: RecordId, commit_ts: Ts, value: Option<Arc<Value>>) {
         if let Some(v) = &value {
-            self.index_new_value(rid.collection, &rid.key, v);
+            self.index_new_value(rid.collection, &rid.key, v.as_ref());
         }
         self.store.install(rid, commit_ts, value);
     }
@@ -479,8 +492,9 @@ impl ShardedStorage {
 
     /// The newest version of a record visible at `snapshot` (value only,
     /// tombstones resolved to `None`), plus the commit timestamp observed
-    /// (`Ts::ZERO` when the record was absent).
-    pub fn visible_value_with_ts(&self, rid: &RecordId, snapshot: Ts) -> (Ts, Option<Value>) {
+    /// (`Ts::ZERO` when the record was absent). The value is a shared
+    /// handle — no deep clone happens under the shard lock.
+    pub fn visible_value_with_ts(&self, rid: &RecordId, snapshot: Ts) -> (Ts, Option<Arc<Value>>) {
         let shard = self.shard_for(&rid.key).read();
         match shard.store.visible(rid, snapshot) {
             Some(v) => (v.commit_ts, v.value.clone()),
@@ -491,9 +505,8 @@ impl ShardedStorage {
     /// Merged key-ordered scan across every shard: each shard's run is
     /// already sorted (per-shard `BTreeSet` directories) and the key
     /// spaces are disjoint, so this is a classic k-way merge.
-    pub fn scan_merged(&self, collection: CollectionId, snapshot: Ts) -> Vec<(Key, Value)> {
-        self.scan_merged_with_ts(collection, snapshot)
-            .into_iter()
+    pub fn scan_merged(&self, collection: CollectionId, snapshot: Ts) -> Vec<(Key, Arc<Value>)> {
+        self.scan_iter(collection, snapshot, None, None)
             .map(|(k, _, v)| (k, v))
             .collect()
     }
@@ -503,13 +516,47 @@ impl ShardedStorage {
         &self,
         collection: CollectionId,
         snapshot: Ts,
-    ) -> Vec<(Key, Ts, Value)> {
-        let runs: Vec<Vec<(Key, Ts, Value)>> = self
+    ) -> Vec<(Key, Ts, Arc<Value>)> {
+        self.scan_iter(collection, snapshot, None, None).collect()
+    }
+
+    /// Streaming k-way-merge scan over the per-shard snapshot runs, with
+    /// **predicate and limit pushdown**.
+    ///
+    /// Each shard is visited once under its read lock; the predicate is
+    /// applied to borrowed values during that single visibility walk, and
+    /// with a `limit` each shard contributes at most `limit` matches —
+    /// the global first `limit` keys are always within the union of each
+    /// shard's first `limit` (runs are key-sorted and disjoint), so the
+    /// merge is exact. Only `Arc` handles are retained; nothing is deep
+    /// cloned, and a `LIMIT n` query touches `O(shards × n)` entries
+    /// instead of the whole collection.
+    pub fn scan_iter(
+        &self,
+        collection: CollectionId,
+        snapshot: Ts,
+        pred: Option<&dyn Fn(&Value) -> bool>,
+        limit: Option<usize>,
+    ) -> ScanIter {
+        let runs: Vec<Vec<(Key, Ts, Arc<Value>)>> = self
             .shards
             .iter()
-            .map(|s| s.read().store.scan_with_ts(collection, snapshot))
+            .map(|shard| {
+                let s = shard.read();
+                let mut run = Vec::new();
+                for (k, ts, v) in s.store.visible_entries(collection, snapshot) {
+                    if pred.is_some_and(|p| !p(v)) {
+                        continue;
+                    }
+                    run.push((k.clone(), ts, Arc::clone(v)));
+                    if limit.is_some_and(|n| run.len() >= n) {
+                        break;
+                    }
+                }
+                run
+            })
             .collect();
-        merge_runs(runs, |t| &t.0)
+        ScanIter::new(runs, limit)
     }
 
     /// Merged predicate scan: every shard filters its own run (in
@@ -522,20 +569,19 @@ impl ShardedStorage {
         snapshot: Ts,
         parallel: bool,
         matches: F,
-    ) -> Vec<(Key, Ts, Value)>
+    ) -> Vec<(Key, Ts, Arc<Value>)>
     where
         F: Fn(&Value) -> bool + Sync,
     {
-        let scan_one = |shard: &RwLock<Shard>| -> Vec<(Key, Ts, Value)> {
-            shard
-                .read()
-                .store
-                .scan_with_ts(collection, snapshot)
-                .into_iter()
+        let scan_one = |shard: &RwLock<Shard>| -> Vec<(Key, Ts, Arc<Value>)> {
+            let s = shard.read();
+            s.store
+                .visible_entries(collection, snapshot)
                 .filter(|(_, _, v)| matches(v))
+                .map(|(k, ts, v)| (k.clone(), ts, Arc::clone(v)))
                 .collect()
         };
-        let runs: Vec<Vec<(Key, Ts, Value)>> = if parallel && self.shards.len() > 1 {
+        let runs: Vec<Vec<(Key, Ts, Arc<Value>)>> = if parallel && self.shards.len() > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
@@ -630,6 +676,74 @@ impl ShardedStorage {
     }
 }
 
+/// Lazily merged, key-ordered iterator over per-shard snapshot runs —
+/// the return type of [`ShardedStorage::scan_iter`]. Holds only `Arc`
+/// handles gathered under one read lock per shard; the merge itself is
+/// item-at-a-time, so a consumer that stops early (`LIMIT`, first-match
+/// probes) never pays for the tail.
+#[derive(Debug)]
+pub struct ScanIter {
+    cursors: Vec<std::vec::IntoIter<(Key, Ts, Arc<Value>)>>,
+    heads: Vec<Option<(Key, Ts, Arc<Value>)>>,
+    remaining: usize,
+}
+
+impl ScanIter {
+    fn new(runs: Vec<Vec<(Key, Ts, Arc<Value>)>>, limit: Option<usize>) -> ScanIter {
+        let mut cursors: Vec<std::vec::IntoIter<(Key, Ts, Arc<Value>)>> = runs
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .map(Vec::into_iter)
+            .collect();
+        let heads = cursors.iter_mut().map(Iterator::next).collect();
+        ScanIter {
+            cursors,
+            heads,
+            remaining: limit.unwrap_or(usize::MAX),
+        }
+    }
+}
+
+impl Iterator for ScanIter {
+    type Item = (Key, Ts, Arc<Value>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        // shard key spaces are disjoint, so the smallest head is unique
+        let mut min: Option<usize> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            if let Some((k, _, _)) = head {
+                match min {
+                    Some(m) => {
+                        if *k < self.heads[m].as_ref().expect("min head present").0 {
+                            min = Some(i);
+                        }
+                    }
+                    None => min = Some(i),
+                }
+            }
+        }
+        let m = min?;
+        let item = self.heads[m].take().expect("selected head present");
+        self.heads[m] = self.cursors[m].next();
+        self.remaining -= 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left: usize = self.heads.iter().flatten().count()
+            + self
+                .cursors
+                .iter()
+                .map(|c| c.as_slice().len())
+                .sum::<usize>();
+        let capped = left.min(self.remaining);
+        (capped, Some(capped))
+    }
+}
+
 /// Merge per-shard key-sorted runs (disjoint key sets) into one sorted
 /// vector. `key` projects the sort key out of an item.
 fn merge_runs<T, F>(mut runs: Vec<Vec<T>>, key: F) -> Vec<T>
@@ -678,26 +792,36 @@ mod tests {
         RecordId::new(C, Key::int(k))
     }
 
+    /// Wrap an owned value the way writers do.
+    fn some(v: Value) -> Option<Arc<Value>> {
+        Some(Arc::new(v))
+    }
+
+    /// The visible value as a plain `&Value` for assertions.
+    fn seen(s: &Storage, r: &RecordId, ts: Ts) -> Option<Value> {
+        s.visible_value(r, ts).map(|a| a.as_ref().clone())
+    }
+
     #[test]
     fn visibility_follows_snapshots() {
         let mut s = Storage::new();
-        s.install(rid(1), Ts(10), Some(Value::Int(100)));
-        s.install(rid(1), Ts(20), Some(Value::Int(200)));
-        assert_eq!(s.visible_value(&rid(1), Ts(5)), None, "before first commit");
-        assert_eq!(s.visible_value(&rid(1), Ts(10)), Some(&Value::Int(100)));
-        assert_eq!(s.visible_value(&rid(1), Ts(15)), Some(&Value::Int(100)));
-        assert_eq!(s.visible_value(&rid(1), Ts(20)), Some(&Value::Int(200)));
-        assert_eq!(s.visible_value(&rid(1), Ts::MAX), Some(&Value::Int(200)));
+        s.install(rid(1), Ts(10), some(Value::Int(100)));
+        s.install(rid(1), Ts(20), some(Value::Int(200)));
+        assert_eq!(seen(&s, &rid(1), Ts(5)), None, "before first commit");
+        assert_eq!(seen(&s, &rid(1), Ts(10)), Some(Value::Int(100)));
+        assert_eq!(seen(&s, &rid(1), Ts(15)), Some(Value::Int(100)));
+        assert_eq!(seen(&s, &rid(1), Ts(20)), Some(Value::Int(200)));
+        assert_eq!(seen(&s, &rid(1), Ts::MAX), Some(Value::Int(200)));
         assert_eq!(s.latest(&rid(1)).unwrap().commit_ts, Ts(20));
     }
 
     #[test]
     fn tombstones_hide_records() {
         let mut s = Storage::new();
-        s.install(rid(1), Ts(10), Some(Value::Int(1)));
+        s.install(rid(1), Ts(10), some(Value::Int(1)));
         s.install(rid(1), Ts(20), None);
-        assert_eq!(s.visible_value(&rid(1), Ts(15)), Some(&Value::Int(1)));
-        assert_eq!(s.visible_value(&rid(1), Ts(25)), None);
+        assert_eq!(seen(&s, &rid(1), Ts(15)), Some(Value::Int(1)));
+        assert_eq!(seen(&s, &rid(1), Ts(25)), None);
         assert!(
             s.visible(&rid(1), Ts(25)).is_some(),
             "tombstone is a version"
@@ -709,15 +833,21 @@ mod tests {
     #[test]
     fn scan_is_snapshot_consistent() {
         let mut s = Storage::new();
-        s.install(rid(1), Ts(10), Some(Value::Int(1)));
-        s.install(rid(2), Ts(20), Some(Value::Int(2)));
+        s.install(rid(1), Ts(10), some(Value::Int(1)));
+        s.install(rid(2), Ts(20), some(Value::Int(2)));
         s.install(rid(1), Ts(30), None);
-        assert_eq!(s.scan(C, Ts(10)), vec![(Key::int(1), Value::Int(1))]);
+        let flat = |ts: Ts| -> Vec<(Key, Value)> {
+            s.scan(C, ts)
+                .into_iter()
+                .map(|(k, v)| (k, v.as_ref().clone()))
+                .collect()
+        };
+        assert_eq!(flat(Ts(10)), vec![(Key::int(1), Value::Int(1))]);
         assert_eq!(
-            s.scan(C, Ts(20)),
+            flat(Ts(20)),
             vec![(Key::int(1), Value::Int(1)), (Key::int(2), Value::Int(2))]
         );
-        assert_eq!(s.scan(C, Ts(30)), vec![(Key::int(2), Value::Int(2))]);
+        assert_eq!(flat(Ts(30)), vec![(Key::int(2), Value::Int(2))]);
         assert!(s.scan(CollectionId(99), Ts(30)).is_empty());
     }
 
@@ -725,7 +855,7 @@ mod tests {
     fn gc_prunes_history_not_visibility() {
         let mut s = Storage::new();
         for t in 1..=5 {
-            s.install(rid(1), Ts(t * 10), Some(Value::Int(t as i64)));
+            s.install(rid(1), Ts(t * 10), some(Value::Int(t as i64)));
         }
         assert_eq!(s.version_count(), 5);
         let (removed, dead) = s.gc(Ts(35));
@@ -734,22 +864,22 @@ mod tests {
             "versions at 10 and 20 are invisible to snapshots >= 35"
         );
         assert_eq!(dead, 0);
-        assert_eq!(s.visible_value(&rid(1), Ts(35)), Some(&Value::Int(3)));
-        assert_eq!(s.visible_value(&rid(1), Ts(50)), Some(&Value::Int(5)));
+        assert_eq!(seen(&s, &rid(1), Ts(35)), Some(Value::Int(3)));
+        assert_eq!(seen(&s, &rid(1), Ts(50)), Some(Value::Int(5)));
         assert_eq!(s.max_chain_len(), 3);
     }
 
     #[test]
     fn gc_removes_dead_tombstoned_chains() {
         let mut s = Storage::new();
-        s.install(rid(1), Ts(10), Some(Value::Int(1)));
+        s.install(rid(1), Ts(10), some(Value::Int(1)));
         s.install(rid(1), Ts(20), None);
         let (_, dead) = s.gc(Ts(30));
         assert_eq!(dead, 1);
         assert_eq!(s.chain_count(), 0);
         assert!(s.live_keys(C, Ts(40)).is_empty());
         // tombstone newer than the watermark must survive
-        s.install(rid(2), Ts(50), Some(Value::Int(2)));
+        s.install(rid(2), Ts(50), some(Value::Int(2)));
         s.install(rid(2), Ts(60), None);
         let (_, dead) = s.gc(Ts(55));
         assert_eq!(
@@ -761,8 +891,8 @@ mod tests {
     #[test]
     fn all_retained_reports_every_live_version() {
         let mut s = Storage::new();
-        s.install(rid(1), Ts(10), Some(Value::Int(1)));
-        s.install(rid(1), Ts(20), Some(Value::Int(2)));
+        s.install(rid(1), Ts(10), some(Value::Int(1)));
+        s.install(rid(1), Ts(20), some(Value::Int(2)));
         s.install(rid(2), Ts(30), None);
         let retained = s.all_retained(C);
         assert_eq!(retained.len(), 1, "tombstone-only chains carry no values");
@@ -772,11 +902,11 @@ mod tests {
     #[test]
     fn drop_collection_erases_everything() {
         let mut s = Storage::new();
-        s.install(rid(1), Ts(10), Some(Value::Int(1)));
+        s.install(rid(1), Ts(10), some(Value::Int(1)));
         s.install(
             RecordId::new(CollectionId(2), Key::int(1)),
             Ts(10),
-            Some(Value::Int(9)),
+            some(Value::Int(9)),
         );
         s.drop_collection(C);
         assert_eq!(s.chain_count(), 1);
@@ -835,13 +965,13 @@ mod tests {
             let si = s.shard_of(&key);
             s.shard(si)
                 .write()
-                .install(RecordId::new(C, key), Ts(1), Some(Value::Int(k)));
+                .install(RecordId::new(C, key), Ts(1), some(Value::Int(k)));
         }
         let rows = s.scan_merged(C, Ts::MAX);
         assert_eq!(rows.len(), 100);
         for (i, (k, v)) in rows.iter().enumerate() {
             assert_eq!(k, &Key::int(i as i64), "key order after merge");
-            assert_eq!(v, &Value::Int(i as i64));
+            assert_eq!(v.as_ref(), &Value::Int(i as i64));
         }
         let (versions, chains, max_chain) = s.shape();
         assert_eq!((versions, chains, max_chain), (100, 100, 1));
@@ -855,12 +985,57 @@ mod tests {
             let si = s.shard_of(&key);
             s.shard(si)
                 .write()
-                .install(RecordId::new(C, key), Ts(1), Some(Value::Int(k % 5)));
+                .install(RecordId::new(C, key), Ts(1), some(Value::Int(k % 5)));
         }
         let sequential = s.filter_scan(C, Ts::MAX, false, |v| v == &Value::Int(3));
         let parallel = s.filter_scan(C, Ts::MAX, true, |v| v == &Value::Int(3));
         assert_eq!(sequential, parallel);
         assert_eq!(sequential.len(), 40);
+    }
+
+    #[test]
+    fn scan_iter_pushes_down_predicate_and_limit() {
+        for shards in [1usize, 3, 8] {
+            let s = ShardedStorage::new(shards);
+            for k in 0..200i64 {
+                let key = Key::int(k);
+                let si = s.shard_of(&key);
+                s.shard(si)
+                    .write()
+                    .install(RecordId::new(C, key), Ts(1), some(Value::Int(k % 5)));
+            }
+            // unfiltered, unlimited: identical to the materialized scan
+            let streamed: Vec<(Key, Ts, Arc<Value>)> =
+                s.scan_iter(C, Ts::MAX, None, None).collect();
+            assert_eq!(streamed, s.scan_merged_with_ts(C, Ts::MAX));
+
+            // predicate + limit: exactly the filtered scan's prefix
+            let matches = |v: &Value| v == &Value::Int(3);
+            let full: Vec<(Key, Ts, Arc<Value>)> = s.filter_scan(C, Ts::MAX, false, matches);
+            for limit in [0usize, 1, 7, 40, 1000] {
+                let got: Vec<(Key, Ts, Arc<Value>)> = s
+                    .scan_iter(C, Ts::MAX, Some(&matches), Some(limit))
+                    .collect();
+                let want: Vec<(Key, Ts, Arc<Value>)> = full.iter().take(limit).cloned().collect();
+                assert_eq!(got, want, "shards={shards} limit={limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_iter_values_are_shared_not_copied() {
+        let s = ShardedStorage::new(4);
+        let key = Key::int(7);
+        let si = s.shard_of(&key);
+        s.shard(si)
+            .write()
+            .install(RecordId::new(C, key), Ts(1), some(Value::Int(7)));
+        let first: Vec<_> = s.scan_iter(C, Ts::MAX, None, None).collect();
+        let second: Vec<_> = s.scan_iter(C, Ts::MAX, None, None).collect();
+        assert!(
+            Arc::ptr_eq(&first[0].2, &second[0].2),
+            "both scans must hand out the same allocation"
+        );
     }
 
     #[test]
@@ -872,17 +1047,17 @@ mod tests {
         shard.install(
             RecordId::new(C, Key::int(1)),
             Ts(10),
-            Some(obj! {"status" => "open"}),
+            some(obj! {"status" => "open"}),
         );
         shard.install(
             RecordId::new(C, Key::int(2)),
             Ts(11),
-            Some(obj! {"status" => "open"}),
+            some(obj! {"status" => "open"}),
         );
         shard.install(
             RecordId::new(C, Key::int(1)),
             Ts(12),
-            Some(obj! {"status" => "paid"}),
+            some(obj! {"status" => "paid"}),
         );
         let idx = shard.index_segment(C, &path).unwrap();
         // over-approximating: key 1 posted under both values
@@ -904,7 +1079,7 @@ mod tests {
         shard.install(
             RecordId::new(C, Key::int(7)),
             Ts(1),
-            Some(obj! {"tags" => udbms_core::arr!["a", "b"]}),
+            some(obj! {"tags" => udbms_core::arr!["a", "b"]}),
         );
         let path = FieldPath::key("tags");
         shard.create_index_segment(C, &path, IndexKind::Hash);

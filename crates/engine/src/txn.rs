@@ -5,6 +5,7 @@
 //! protocol validates.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use udbms_core::{Ts, TxnId, Value};
 
@@ -100,7 +101,9 @@ pub struct TxnState {
     pub isolation: Isolation,
     /// Buffered writes: record → new value (`None` = delete). Applied to
     /// storage only on commit; reads see them first (read-your-writes).
-    pub writes: HashMap<RecordId, Option<Value>>,
+    /// Values sit behind `Arc` so commit installs them into the MVCC
+    /// chains without a deep copy.
+    pub writes: HashMap<RecordId, Option<Arc<Value>>>,
     /// Deterministic ordering of first-write per record (for WAL replay
     /// and index maintenance in a stable order).
     pub write_order: Vec<RecordId>,
@@ -110,6 +113,9 @@ pub struct TxnState {
     pub reads: HashMap<RecordId, Ts>,
     /// Whether the transaction is still open.
     pub open: bool,
+    /// Read-lane transactions reject writes and skip the whole commit
+    /// machinery (see `Engine::begin_read`).
+    pub read_only: bool,
 }
 
 impl TxnState {
@@ -123,6 +129,16 @@ impl TxnState {
             write_order: Vec::new(),
             reads: HashMap::new(),
             open: true,
+            read_only: false,
+        }
+    }
+
+    /// Fresh state for a read-lane transaction: snapshot reads, no OCC
+    /// read tracking, writes rejected at the API boundary.
+    pub fn new_read_only(id: TxnId, snapshot: Ts) -> TxnState {
+        TxnState {
+            read_only: true,
+            ..TxnState::new(id, snapshot, Isolation::Snapshot)
         }
     }
 
@@ -131,7 +147,7 @@ impl TxnState {
         if !self.writes.contains_key(&rid) {
             self.write_order.push(rid.clone());
         }
-        self.writes.insert(rid, value);
+        self.writes.insert(rid, value.map(Arc::new));
     }
 
     /// Record a read observation (serializable only; no-op otherwise).
@@ -145,7 +161,7 @@ impl TxnState {
 
     /// The buffered write for a record, if any (`Some(None)` = buffered
     /// delete).
-    pub fn own_write(&self, rid: &RecordId) -> Option<&Option<Value>> {
+    pub fn own_write(&self, rid: &RecordId) -> Option<&Option<Arc<Value>>> {
         self.writes.get(rid)
     }
 }
@@ -166,8 +182,17 @@ mod tests {
         s.buffer_write(rid(2), Some(Value::Int(2)));
         s.buffer_write(rid(1), Some(Value::Int(10)));
         assert_eq!(s.write_order, vec![rid(1), rid(2)]);
-        assert_eq!(s.own_write(&rid(1)), Some(&Some(Value::Int(10))));
+        assert_eq!(s.own_write(&rid(1)), Some(&Some(Arc::new(Value::Int(10)))));
         assert_eq!(s.own_write(&rid(3)), None);
+    }
+
+    #[test]
+    fn read_only_state_reads_at_snapshot() {
+        let s = TxnState::new_read_only(TxnId(9), Ts(5));
+        assert!(s.read_only);
+        assert!(s.open);
+        assert_eq!(s.isolation, Isolation::Snapshot);
+        assert_eq!(s.snapshot, Ts(5));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Expression evaluation and the MMQL function library.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use udbms_core::{Error, Key, Result, Value};
 use udbms_engine::Txn;
@@ -9,11 +10,24 @@ use udbms_relational::like_match;
 
 use crate::ast::{BinOp, Expr, MemberStep, UnOp};
 
-/// A variable environment (one per pipeline row). Small and cloned per
-/// binding — queries bind a handful of variables.
+/// One binding frame of a persistent [`Env`] chain.
+#[derive(Debug)]
+struct Frame {
+    name: String,
+    value: Arc<Value>,
+    parent: Option<Arc<Frame>>,
+}
+
+/// A variable environment (one per pipeline row), structured as a
+/// **persistent parent-linked chain**: binding a variable allocates one
+/// frame that points at the existing chain instead of cloning every
+/// outer binding. A `FOR` loop over N rows therefore costs N frame
+/// allocations, not N copies of the whole scope — and values bound from
+/// storage scans stay `Arc`-shared all the way into the expression
+/// evaluator.
 #[derive(Debug, Clone, Default)]
 pub struct Env {
-    vars: Vec<(String, Value)>,
+    head: Option<Arc<Frame>>,
 }
 
 impl Env {
@@ -24,33 +38,64 @@ impl Env {
 
     /// Look up a variable (innermost binding wins).
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.vars
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v)
+        self.get_shared(name).map(Arc::as_ref)
+    }
+
+    /// Look up a variable as a shared handle (innermost binding wins).
+    pub fn get_shared(&self, name: &str) -> Option<&Arc<Value>> {
+        let mut cur = self.head.as_ref();
+        while let Some(frame) = cur {
+            if frame.name == name {
+                return Some(&frame.value);
+            }
+            cur = frame.parent.as_ref();
+        }
+        None
     }
 
     /// Bind (or shadow) a variable, builder-style.
     #[must_use]
     pub fn with(&self, name: &str, value: Value) -> Env {
-        let mut next = self.clone();
-        next.vars.push((name.to_string(), value));
-        next
+        self.with_shared(name, Arc::new(value))
     }
 
-    /// All bindings as an object (used by `COLLECT … INTO`).
+    /// Bind (or shadow) a variable to an already-shared value — the
+    /// zero-copy row binding used by `FOR` over collection scans.
+    #[must_use]
+    pub fn with_shared(&self, name: &str, value: Arc<Value>) -> Env {
+        Env {
+            head: Some(Arc::new(Frame {
+                name: name.to_string(),
+                value,
+                parent: self.head.clone(),
+            })),
+        }
+    }
+
+    /// All bindings as an object (used by `COLLECT … INTO`): innermost
+    /// binding wins for shadowed names.
     pub fn as_object(&self) -> Value {
         let mut m = BTreeMap::new();
-        for (n, v) in &self.vars {
-            m.insert(n.clone(), v.clone());
+        let mut cur = self.head.as_ref();
+        while let Some(frame) = cur {
+            m.entry(frame.name.clone())
+                .or_insert_with(|| frame.value.as_ref().clone());
+            cur = frame.parent.as_ref();
         }
         Value::Object(m)
     }
 
-    /// Variable names currently bound.
+    /// Variable names currently bound, outermost first (shadowed names
+    /// appear once per binding, as before).
     pub fn names(&self) -> Vec<&str> {
-        self.vars.iter().map(|(n, _)| n.as_str()).collect()
+        let mut out = Vec::new();
+        let mut cur = self.head.as_ref();
+        while let Some(frame) = cur {
+            out.push(frame.name.as_str());
+            cur = frame.parent.as_ref();
+        }
+        out.reverse();
+        out
     }
 }
 
@@ -180,7 +225,7 @@ pub fn eval(expr: &Expr, env: &Env, txn: &mut Txn) -> Result<Value> {
     }
 }
 
-fn apply_unary(op: UnOp, v: Value) -> Result<Value> {
+pub(crate) fn apply_unary(op: UnOp, v: Value) -> Result<Value> {
     match op {
         UnOp::Not => Ok(Value::Bool(!v.is_truthy())),
         UnOp::Neg => match v {
@@ -191,7 +236,7 @@ fn apply_unary(op: UnOp, v: Value) -> Result<Value> {
     }
 }
 
-fn apply_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
+pub(crate) fn apply_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
     use std::cmp::Ordering;
     let ord = || l.canonical_cmp(&r);
     Ok(match op {

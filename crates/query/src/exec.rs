@@ -1,13 +1,25 @@
 //! The MMQL executor: a materialized clause pipeline with predicate
 //! pushdown into the engine's index-accelerated `select`.
+//!
+//! Read-path fast lanes (see DESIGN.md "Read path"):
+//! * collection sources iterate `Arc`-shared rows (`scan_shared` /
+//!   `select_shared`) — no per-row deep clone between storage and the
+//!   expression evaluator;
+//! * a residual `FILTER` that is row-local compiles once per `FOR`
+//!   clause into a [`CompiledPred`] closure tree and runs against the
+//!   borrowed row, skipping the `Env` binding for rejected rows;
+//! * `FOR … [FILTER …] LIMIT o, n` pushes `o + n` into the engine's
+//!   streaming scan so the tail of the collection is never touched.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use udbms_core::{Error, Key, Result, Value};
 use udbms_engine::Txn;
 use udbms_relational::Predicate;
 
 use crate::ast::*;
+use crate::compile::CompiledPred;
 use crate::eval::{aggregate_array, eval, eval_const, Env};
 
 /// Execute a parsed statement inside a transaction.
@@ -64,28 +76,56 @@ pub fn run_body(body: &QueryBody, base: &Env, txn: &mut Txn) -> Result<Vec<Value
                 let mut pushed: Option<Predicate> = None;
                 let mut dynamic: Vec<DynPred> = Vec::new();
                 let mut residual: Option<Expr> = None;
+                // the residual, compiled once per FOR clause (not per
+                // row); non-row-local residuals keep the interpreter
+                let mut compiled: Option<CompiledPred> = None;
                 let mut consumed_filter = false;
                 if !name_is_var {
                     if let Source::Collection(_) = source {
                         if let Some(Clause::Filter(f)) = body.clauses.get(i + 1) {
                             let (p, d, r) = extract_predicates(f, var);
+                            let cp = r.as_ref().and_then(|r| CompiledPred::compile(r, var));
                             if p.is_some() || !d.is_empty() {
                                 pushed = p;
                                 dynamic = d;
                                 residual = r;
+                                compiled = cp;
+                                consumed_filter = true;
+                            } else if cp.is_some() {
+                                // nothing pushes into the engine, but the
+                                // whole filter compiles: fuse it anyway so
+                                // it runs against borrowed rows
+                                residual = r;
+                                compiled = cp;
                                 consumed_filter = true;
                             }
                         }
                     }
                 }
+                // LIMIT directly after this FOR(+fused FILTER): cap the
+                // source walk at offset+count rows per outer binding —
+                // sound because output order concatenates per-env blocks
+                // in order, so rows past that prefix can never surface
+                let next_clause = body.clauses.get(i + 1 + usize::from(consumed_filter));
+                let push_limit: Option<usize> = match next_clause {
+                    Some(Clause::Limit { offset, count })
+                        if !name_is_var
+                            && matches!(source, Source::Collection(_))
+                            && dynamic.is_empty()
+                            && residual.is_none() =>
+                    {
+                        offset.checked_add(*count)
+                    }
+                    _ => None,
+                };
                 let mut next = Vec::new();
                 for env in &rows {
-                    let items = if name_is_var {
+                    let items: Vec<Arc<Value>> = if name_is_var {
                         let Source::Collection(name) = source else {
                             unreachable!()
                         };
                         match env.get(name).cloned().unwrap_or(Value::Null) {
-                            Value::Array(items) => items,
+                            Value::Array(items) => items.into_iter().map(Arc::new).collect(),
                             Value::Null => Vec::new(),
                             other => {
                                 return Err(Error::type_err(
@@ -114,16 +154,25 @@ pub fn run_body(body: &QueryBody, base: &Env, txn: &mut Txn) -> Result<Vec<Value
                                 Predicate::And(parts)
                             })
                         };
-                        source_items(source, env, txn, bound.as_ref())?
+                        source_items(source, env, txn, bound.as_ref(), push_limit)?
                     };
                     for item in items {
-                        let child = env.with(var, item);
-                        if let Some(res) = &residual {
-                            if !eval(res, &child, txn)?.is_truthy() {
+                        if let Some(cp) = &compiled {
+                            // filter on the borrowed row; only survivors
+                            // pay for an environment frame
+                            if !cp.matches(&item)? {
                                 continue;
                             }
+                            next.push(env.with_shared(var, item));
+                        } else {
+                            let child = env.with_shared(var, item);
+                            if let Some(res) = &residual {
+                                if !eval(res, &child, txn)?.is_truthy() {
+                                    continue;
+                                }
+                            }
+                            next.push(child);
                         }
-                        next.push(child);
                     }
                 }
                 rows = next;
@@ -236,17 +285,25 @@ pub fn run_body(body: &QueryBody, base: &Env, txn: &mut Txn) -> Result<Vec<Value
     Ok(out)
 }
 
-/// Materialize the items a `FOR` iterates.
+/// Materialize the items a `FOR` iterates, as shared row handles.
+/// Collection rows come straight out of the MVCC store as `Arc` bumps;
+/// `limit` (when the caller proved a `LIMIT` adjacency) caps the walk.
 fn source_items(
     source: &Source,
     env: &Env,
     txn: &mut Txn,
     pushed: Option<&Predicate>,
-) -> Result<Vec<Value>> {
+    limit: Option<usize>,
+) -> Result<Vec<Arc<Value>>> {
     match source {
-        Source::Collection(name) => match pushed {
-            Some(pred) => txn.select(name, pred),
-            None => Ok(txn.scan(name)?.into_iter().map(|(_, v)| v).collect()),
+        Source::Collection(name) => match (pushed, limit) {
+            (Some(pred), limit) => txn.select_limited(name, pred, limit),
+            (None, Some(n)) => Ok(txn
+                .scan_limited(name, n)?
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect()),
+            (None, None) => Ok(txn.scan_shared(name)?.into_iter().map(|(_, v)| v).collect()),
         },
         Source::Traversal {
             min,
@@ -285,13 +342,13 @@ fn source_items(
                     if let Some(obj) = v.as_object_mut() {
                         obj.insert("_key".to_string(), key.value().clone());
                     }
-                    out.push(v);
+                    out.push(Arc::new(v));
                 }
             }
             Ok(out)
         }
         Source::Expr(e) => match eval(e, env, txn)? {
-            Value::Array(items) => Ok(items),
+            Value::Array(items) => Ok(items.into_iter().map(Arc::new).collect()),
             Value::Null => Ok(Vec::new()),
             other => Err(Error::type_err("Array (FOR source)", other.type_name())),
         },
@@ -543,14 +600,39 @@ pub fn explain(stmt: &Statement) -> String {
             Clause::For { var, source } => match source {
                 Source::Collection(name) => {
                     let mut line = format!("for {var} in collection `{name}`");
+                    let mut fused_residual = false;
+                    let mut fused_dynamic = false;
                     if let Some(Clause::Filter(f)) = body.clauses.get(i + 1) {
-                        let (p, r) = extract_predicate(f, var);
-                        if let Some(p) = p {
-                            line.push_str(&format!(" [pushdown: {p:?}]"));
+                        let (p, d, r) = extract_predicates(f, var);
+                        let whole_compiles = r
+                            .as_ref()
+                            .is_some_and(|r| crate::compile::compilable(r, var));
+                        if p.is_some() || !d.is_empty() || (d.is_empty() && whole_compiles) {
+                            if let Some(p) = &p {
+                                line.push_str(&format!(" [pushdown: {p:?}]"));
+                            }
+                            if !d.is_empty() {
+                                line.push_str(&format!(
+                                    " [dynamic pushdown: {} conjunct(s)]",
+                                    d.len()
+                                ));
+                                fused_dynamic = true;
+                            }
                             if r.is_some() {
-                                line.push_str(" [residual filter]");
+                                line.push_str(if whole_compiles {
+                                    " [compiled residual]"
+                                } else {
+                                    " [residual filter]"
+                                });
+                                fused_residual = true;
                             }
                             i += 1;
+                        }
+                    }
+                    // mirror the executor's LIMIT adjacency rule
+                    if !fused_residual && !fused_dynamic {
+                        if let Some(Clause::Limit { offset, count }) = body.clauses.get(i + 1) {
+                            line.push_str(&format!(" [limit pushdown: {}]", offset + count));
                         }
                     }
                     out.push_str(&line);

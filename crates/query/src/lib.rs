@@ -34,9 +34,19 @@
 //! parse once, then [`Query::bind`] or [`Query::execute_with`] per
 //! parameter draw. Binding substitutes literals before planning, so a
 //! parameterized filter uses indexes exactly like an inline constant.
+//!
+//! Read-path machinery (see DESIGN.md "Read path"): row-local filters
+//! compile once per `FOR` clause into [`CompiledPred`] closure trees
+//! evaluated against borrowed `Arc`-shared rows, `LIMIT` adjacency
+//! pushes bounds into the engine's streaming scans, [`PlanCache`] is a
+//! text-keyed LRU over parsed statements, and
+//! [`Query::is_read_only`] lets drivers route query statements through
+//! the engine's lock-free read lane.
 
 mod ast;
 mod bind;
+mod cache;
+mod compile;
 mod eval;
 mod exec;
 mod lexer;
@@ -44,6 +54,8 @@ mod parser;
 
 pub use ast::{AggFunc, BinOp, Clause, Expr, MemberStep, QueryBody, Source, Statement, UnOp};
 pub use bind::{bind_statement, check_extra_params, statement_params};
+pub use cache::{PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use compile::{compilable, CompiledPred};
 pub use eval::{eval, eval_const, Env};
 pub use exec::{execute, explain, extract_predicate};
 pub use lexer::{lex, Token, TokenKind};
@@ -97,6 +109,17 @@ impl Query {
     /// The parsed statement.
     pub fn statement(&self) -> &Statement {
         &self.stmt
+    }
+
+    /// Whether this statement provably performs no writes: query
+    /// pipelines (`FOR … RETURN`) cannot contain DML — `INSERT`,
+    /// `UPDATE` and `REMOVE` are top-level statements only — so a
+    /// `Statement::Query` is read-only by construction. Drivers use
+    /// this proof to route execution through the engine's read lane
+    /// ([`udbms_engine::Engine::begin_read`]), which skips the commit
+    /// lock, OCC tracking and the WAL entirely.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self.stmt, Statement::Query(_))
     }
 
     /// Execute inside an open transaction.
