@@ -77,6 +77,7 @@ where
             .collect();
         handles
             .into_iter()
+            // lint:allow(unwrap): a panicked client thread must fail the run loudly
             .map(|h| h.join().expect("client thread panicked"))
             .collect()
     });

@@ -12,6 +12,11 @@
 //! exist (collection, path, kind); the postings live as per-shard
 //! segments inside [`crate::Shard`], guarded by the shard locks, so a
 //! commit never takes a catalog write lock on the hot path.
+//!
+//! The catalog itself is lock-free; the engine guards the one instance
+//! with a rank-tracked `RwLock` (`parking_lot::LockRank::Catalog`,
+//! after `commit_lock`, before any shard lock — see DESIGN.md,
+//! "Invariants & static analysis").
 
 use std::collections::HashMap;
 

@@ -36,13 +36,21 @@
 //! checkpoint never wait for `commit_lock` while holding either); and
 //! the `active` registry is only ever locked on its own. Every path
 //! fits this partial order, so it is acyclic.
+//!
+//! Since PR 6 that order is *machine-checked* twice over: every lock
+//! here is a rank-carrying [`TrackedMutex`]/[`TrackedRwLock`] (see
+//! [`LockRank`] — `Checkpoint < Commit < Catalog < Shard(i asc) <
+//! GroupQueue < WalFile < ActiveTxns < PlanCache`) whose debug/
+//! `lock_audit` builds panic on any inversion at runtime, and the
+//! `udbms-lint` crate enforces the same order statically (rule L1) over
+//! the source. See DESIGN.md, "Invariants & static analysis".
 
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{LockRank, TrackedMutex, TrackedRwLock};
 
 use udbms_core::{CollectionSchema, Error, FieldPath, Key, ModelKind, Result, Ts, TxnId, Value};
 use udbms_graph::Direction;
@@ -136,16 +144,16 @@ struct Inner {
     next_txn: AtomicU64,
     /// Hash-sharded storage; every shard carries its own lock.
     storage: ShardedStorage,
-    catalog: RwLock<Catalog>,
-    commit_lock: Mutex<()>,
+    catalog: TrackedRwLock<Catalog>,
+    commit_lock: TrackedMutex<()>,
     /// WAL endpoint (group-commit queue + log-writer thread), attached
     /// once by [`Engine::with_wal_config`]; absent for in-memory
     /// engines. `OnceLock` keeps the per-commit read lock-free.
     log: OnceLock<GroupLog>,
     /// Serializes checkpoints against each other (commits stay live).
-    checkpoint_lock: Mutex<()>,
+    checkpoint_lock: TrackedMutex<()>,
     /// txn id → snapshot ts of every open transaction (GC watermark).
-    active: Mutex<HashMap<TxnId, Ts>>,
+    active: TrackedMutex<HashMap<TxnId, Ts>>,
     stats: Stats,
 }
 
@@ -246,11 +254,11 @@ impl Engine {
                 published: AtomicU64::new(0),
                 next_txn: AtomicU64::new(1),
                 storage: ShardedStorage::new(config.shards),
-                catalog: RwLock::new(Catalog::new()),
-                commit_lock: Mutex::new(()),
+                catalog: TrackedRwLock::new(LockRank::Catalog, Catalog::new()),
+                commit_lock: TrackedMutex::new(LockRank::Commit, ()),
                 log: OnceLock::new(),
-                checkpoint_lock: Mutex::new(()),
-                active: Mutex::new(HashMap::new()),
+                checkpoint_lock: TrackedMutex::new(LockRank::Checkpoint, ()),
+                active: TrackedMutex::new(LockRank::ActiveTxns, HashMap::new()),
                 stats: Stats::default(),
             }),
         }
@@ -284,6 +292,7 @@ impl Engine {
         };
         let log = GroupLog::start(wal, config.durability, config.group_commit);
         if engine.inner.log.set(log).is_err() {
+            // lint:allow(unwrap): the engine was constructed two lines up
             unreachable!("fresh engine cannot already have a log");
         }
         Ok(engine)
@@ -358,6 +367,7 @@ impl Engine {
         {
             let catalog = self.inner.catalog.read();
             for name in catalog.names() {
+                // lint:allow(unwrap): name came from catalog.names() under this read guard
                 let id = catalog.get(&name).expect("listed name exists").id;
                 for (key, value) in self.inner.storage.scan_merged(id, snapshot) {
                     writes.push((name.clone(), key, Some(value.as_ref().clone())));
@@ -1502,6 +1512,7 @@ impl Txn {
             Some(Ok(ticket)) => inner
                 .log
                 .get()
+                // lint:allow(unwrap): a ticket is only issued by the log that exists
                 .expect("ticket implies log")
                 .wait_durable(ticket),
             Some(Err(e)) => Err(e),

@@ -39,26 +39,21 @@
 //! holds both, which is exactly what makes its rewrite atomic against
 //! concurrent enqueues. Neither lock is ever taken while waiting for
 //! `commit_lock`, so the engine-wide order `commit_lock → … → state →
-//! wal` stays acyclic.
+//! wal` stays acyclic. Both locks are rank-tracked
+//! ([`LockRank::GroupQueue`] and [`LockRank::WalFile`]), so audited
+//! builds enforce this order at runtime; the shim [`Condvar`] keeps the
+//! rank bookkeeping correct across waits.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, LockRank, TrackedMutex, TrackedMutexGuard};
 
 use udbms_core::{Error, Result, Ts};
 
 use crate::txn::Durability;
 use crate::wal::{PreparedRewrite, Wal, WalRecord};
-
-/// Lock with `parking_lot` semantics: a panic while holding the lock
-/// releases it for the next owner instead of poisoning it. This module
-/// needs condition variables, which the vendored `parking_lot` shim
-/// (see `crates/shims/parking_lot`) does not provide — hence
-/// `std::sync` primitives plus this helper, rather than the
-/// `parking_lot` types the rest of the crate uses.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 #[derive(Default)]
 struct LogState {
@@ -86,7 +81,7 @@ struct LogState {
 }
 
 struct LogShared {
-    state: Mutex<LogState>,
+    state: TrackedMutex<LogState>,
     /// Lock-free mirror of `LogState::durable`, published after every
     /// retired batch: followers poll it without touching the state
     /// mutex, which would otherwise be the contention hot spot (every
@@ -104,7 +99,7 @@ struct LogShared {
     done: Condvar,
     /// Checkpoint waits here for `writing` to clear.
     idle: Condvar,
-    wal: Mutex<Wal>,
+    wal: TrackedMutex<Wal>,
     durability: Durability,
 }
 
@@ -135,24 +130,27 @@ impl LogShared {
     ///   through it: one lock session instead of two plus a handshake.
     ///
     /// Returns the (re-)acquired state lock.
-    fn drain<'a>(&'a self, mut st: MutexGuard<'a, LogState>) -> MutexGuard<'a, LogState> {
+    fn drain<'a>(
+        &'a self,
+        mut st: TrackedMutexGuard<'a, LogState>,
+    ) -> TrackedMutexGuard<'a, LogState> {
         if self.durability == Durability::Fsync {
             st.writing = true;
             self.writing.store(true, Ordering::Relaxed);
             let batch = std::mem::take(&mut st.queue);
             drop(st);
             let result = {
-                let mut wal = lock(&self.wal);
+                let mut wal = self.wal.lock();
                 self.write_batch(&mut wal, &batch)
             };
-            st = lock(&self.state);
+            st = self.state.lock();
             st.writing = false;
             self.writing.store(false, Ordering::Relaxed);
             self.retire(&mut st, batch.len() as u64, result);
         } else {
             let batch = std::mem::take(&mut st.queue);
             let result = {
-                let mut wal = lock(&self.wal);
+                let mut wal = self.wal.lock();
                 self.write_batch(&mut wal, &batch)
             };
             self.retire(&mut st, batch.len() as u64, result);
@@ -187,7 +185,7 @@ impl LogShared {
 }
 
 fn writer_loop(shared: &LogShared) {
-    let mut st = lock(&shared.state);
+    let mut st = shared.state.lock();
     loop {
         if !st.writing && !st.queue.is_empty() {
             st = shared.drain(st);
@@ -199,7 +197,7 @@ fn writer_loop(shared: &LogShared) {
         // a batch an assisting committer claimed (`writing` set) is
         // theirs to retire; anything enqueued after it wakes us via
         // `work`, or its own committer drains it on the `done` path
-        st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+        shared.work.wait(&mut st);
     }
 }
 
@@ -220,14 +218,14 @@ impl GroupLog {
     /// otherwise commits write synchronously.
     pub fn start(wal: Wal, durability: Durability, grouped: bool) -> GroupLog {
         let shared = Arc::new(LogShared {
-            state: Mutex::new(LogState::default()),
+            state: TrackedMutex::new(LockRank::GroupQueue, LogState::default()),
             durable: AtomicU64::new(0),
             writing: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
             work: Condvar::new(),
             done: Condvar::new(),
             idle: Condvar::new(),
-            wal: Mutex::new(wal),
+            wal: TrackedMutex::new(LockRank::WalFile, wal),
             durability,
         });
         let writer = grouped.then(|| {
@@ -235,6 +233,7 @@ impl GroupLog {
             std::thread::Builder::new()
                 .name("udbms-log-writer".into())
                 .spawn(move || writer_loop(&shared))
+                // lint:allow(unwrap): thread-spawn failure at startup is unrecoverable
                 .expect("spawn log-writer thread")
         });
         GroupLog {
@@ -251,7 +250,7 @@ impl GroupLog {
     /// write-and-flush here.
     pub fn commit(&self, rec: WalRecord) -> Result<u64> {
         if self.grouped {
-            let mut st = lock(&self.shared.state);
+            let mut st = self.shared.state.lock();
             if let Some(msg) = &st.error {
                 return Err(poisoned(msg));
             }
@@ -270,12 +269,12 @@ impl GroupLog {
         } else {
             // sync mode still takes state before wal (the engine-wide
             // lock order) and counts the record as its own batch
-            let mut st = lock(&self.shared.state);
+            let mut st = self.shared.state.lock();
             if let Some(msg) = &st.error {
                 return Err(poisoned(msg));
             }
             let result = {
-                let mut wal = lock(&self.shared.wal);
+                let mut wal = self.shared.wal.lock();
                 self.shared
                     .write_batch(&mut wal, std::slice::from_ref(&rec))
             };
@@ -332,7 +331,7 @@ impl GroupLog {
                 return Ok(());
             }
             if self.shared.poisoned.load(Ordering::Acquire) {
-                let st = lock(&self.shared.state);
+                let st = self.shared.state.lock();
                 if st.durable >= seq {
                     return Ok(());
                 }
@@ -342,7 +341,7 @@ impl GroupLog {
             // lead only once the batch-formation yield (if any) is paid
             // and no drain is in flight
             if yields >= lead_after && !self.shared.writing.load(Ordering::Relaxed) {
-                let st = lock(&self.shared.state);
+                let st = self.shared.state.lock();
                 if st.durable >= seq {
                     return Ok(());
                 }
@@ -361,18 +360,14 @@ impl GroupLog {
             }
             // spin budget exhausted (a stalled leader, e.g. a slow
             // fsync): park until the next batch retires
-            let mut st = lock(&self.shared.state);
+            let mut st = self.shared.state.lock();
             while st.durable < seq && st.error.is_none() {
                 if !st.writing && !st.queue.is_empty() {
                     st = self.shared.drain(st);
                     continue;
                 }
                 st.waiters += 1;
-                st = self
-                    .shared
-                    .done
-                    .wait(st)
-                    .unwrap_or_else(PoisonError::into_inner);
+                self.shared.done.wait(&mut st);
                 st.waiters -= 1;
             }
             if st.durable >= seq {
@@ -394,19 +389,15 @@ impl GroupLog {
     /// the log tail, not the database.
     pub fn checkpoint(&self, synthetic: WalRecord, snapshot: Ts) -> Result<()> {
         // phase 1, no state lock held: the O(database) part
-        let path = lock(&self.shared.wal).path().to_path_buf();
+        let path = self.shared.wal.lock().path().to_path_buf();
         let prepared = Wal::prepare_rewrite(&path, std::slice::from_ref(&synthetic))?;
 
         // phase 2, queue closed: the O(log tail) part
-        let mut st = lock(&self.shared.state);
+        let mut st = self.shared.state.lock();
         // wait out an in-flight batch (bounded: one batch), then drain
         // the remaining queue ourselves so the file is complete
         while st.writing {
-            st = self
-                .shared
-                .idle
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+            self.shared.idle.wait(&mut st);
         }
         if let Some(msg) = &st.error {
             return Err(poisoned(msg));
@@ -414,7 +405,7 @@ impl GroupLog {
         let pending = std::mem::take(&mut st.queue);
         let drained = pending.len() as u64;
         let result = {
-            let mut wal = lock(&self.shared.wal);
+            let mut wal = self.shared.wal.lock();
             Self::install_rewrite(&mut wal, pending, prepared, snapshot)
         };
         match result {
@@ -463,7 +454,7 @@ impl GroupLog {
 
     /// `(batches, records)` written so far.
     pub fn counters(&self) -> (u64, u64) {
-        let st = lock(&self.shared.state);
+        let st = self.shared.state.lock();
         (st.batches, st.appended)
     }
 }
@@ -471,7 +462,7 @@ impl GroupLog {
 impl Drop for GroupLog {
     fn drop(&mut self) {
         if let Some(handle) = self.writer.take() {
-            lock(&self.shared.state).shutdown = true;
+            self.shared.state.lock().shutdown = true;
             self.shared.work.notify_all();
             let _ = handle.join();
         }

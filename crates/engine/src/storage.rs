@@ -16,7 +16,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{LockRank, TrackedRwLock};
 
 use udbms_core::{CollectionId, FieldPath, Key, Ts, Value};
 use udbms_relational::{Index, IndexKind};
@@ -443,7 +443,7 @@ fn post_value(idx: &mut Index, path: &FieldPath, key: &Key, value: &Value) {
 /// acquired *before* any shard lock.
 #[derive(Debug)]
 pub struct ShardedStorage {
-    shards: Vec<RwLock<Shard>>,
+    shards: Vec<TrackedRwLock<Shard>>,
 }
 
 impl ShardedStorage {
@@ -451,7 +451,9 @@ impl ShardedStorage {
     pub fn new(shards: usize) -> ShardedStorage {
         let n = shards.max(1);
         ShardedStorage {
-            shards: (0..n).map(|_| RwLock::new(Shard::new())).collect(),
+            shards: (0..n)
+                .map(|i| TrackedRwLock::with_index(LockRank::Shard, i, Shard::new()))
+                .collect(),
         }
     }
 
@@ -467,12 +469,12 @@ impl ShardedStorage {
 
     /// Borrow a shard's lock by index (ascending-order discipline is the
     /// caller's responsibility for multi-shard walks).
-    pub fn shard(&self, i: usize) -> &RwLock<Shard> {
+    pub fn shard(&self, i: usize) -> &TrackedRwLock<Shard> {
         &self.shards[i]
     }
 
     /// Borrow the lock of the shard owning `key`.
-    pub fn shard_for(&self, key: &Key) -> &RwLock<Shard> {
+    pub fn shard_for(&self, key: &Key) -> &TrackedRwLock<Shard> {
         &self.shards[self.shard_of(key)]
     }
 
@@ -573,7 +575,7 @@ impl ShardedStorage {
     where
         F: Fn(&Value) -> bool + Sync,
     {
-        let scan_one = |shard: &RwLock<Shard>| -> Vec<(Key, Ts, Arc<Value>)> {
+        let scan_one = |shard: &TrackedRwLock<Shard>| -> Vec<(Key, Ts, Arc<Value>)> {
             let s = shard.read();
             s.store
                 .visible_entries(collection, snapshot)
@@ -590,6 +592,7 @@ impl ShardedStorage {
                     .collect();
                 handles
                     .into_iter()
+                    // lint:allow(unwrap): a panicked scan thread must propagate, not vanish
                     .map(|h| h.join().expect("shard scan panicked"))
                     .collect()
             })
@@ -717,6 +720,7 @@ impl Iterator for ScanIter {
             if let Some((k, _, _)) = head {
                 match min {
                     Some(m) => {
+                        // lint:allow(unwrap): m indexes a head the loop saw as Some
                         if *k < self.heads[m].as_ref().expect("min head present").0 {
                             min = Some(i);
                         }
@@ -726,6 +730,7 @@ impl Iterator for ScanIter {
             }
         }
         let m = min?;
+        // lint:allow(unwrap): min was set only after observing heads[m].is_some()
         let item = self.heads[m].take().expect("selected head present");
         self.heads[m] = self.cursors[m].next();
         self.remaining -= 1;
@@ -753,6 +758,7 @@ where
     runs.retain(|r| !r.is_empty());
     match runs.len() {
         0 => return Vec::new(),
+        // lint:allow(unwrap): len() == 1 was just matched
         1 => return runs.pop().expect("non-empty"),
         _ => {}
     }
@@ -766,6 +772,7 @@ where
             if let Some(item) = head {
                 match min {
                     Some(m) => {
+                        // lint:allow(unwrap): m indexes a head the loop saw as Some
                         if key(item) < key(heads[m].as_ref().expect("min head present")) {
                             min = Some(i);
                         }
@@ -775,6 +782,7 @@ where
             }
         }
         let Some(m) = min else { break };
+        // lint:allow(unwrap): min was set only after observing heads[m].is_some()
         let item = heads[m].take().expect("selected head present");
         out.push(item);
         heads[m] = cursors[m].next();

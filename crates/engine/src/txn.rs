@@ -2,7 +2,11 @@
 //!
 //! The commit *protocol* lives in `engine.rs` (it needs the storage and
 //! catalog locks); this module defines the per-transaction bookkeeping the
-//! protocol validates.
+//! protocol validates. A [`TxnState`] holds no locks of its own — all
+//! lock-order obligations (see `parking_lot::LockRank` and DESIGN.md,
+//! "Invariants & static analysis") are the engine's, not the handle's,
+//! which is what lets transaction handles be carried across threads and
+//! await points freely.
 
 use std::collections::HashMap;
 use std::sync::Arc;

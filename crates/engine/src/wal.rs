@@ -15,6 +15,14 @@
 //! concurrent writers, a bug) and still fails recovery. [`Wal::recover`]
 //! additionally truncates the file to the valid prefix so subsequent
 //! appends start at a record boundary.
+//!
+//! ## Locking
+//!
+//! A [`Wal`] is deliberately lock-free itself: `group.rs` owns the one
+//! instance behind its rank-tracked file mutex
+//! (`parking_lot::LockRank::WalFile`, last of the engine's I/O locks),
+//! so every method here may assume exclusive access and never blocks on
+//! another engine lock.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write as _};

@@ -12,6 +12,11 @@
 //! The mapped file is padded with zeros up to the mapped capacity; a
 //! clean shutdown truncates the padding away, and after a crash the
 //! recovery scan treats a trailing NUL run like any other torn tail.
+//!
+//! Every `unsafe` block below carries a `// SAFETY:` comment (enforced
+//! workspace-wide by `udbms-lint` rule L2); the exclusive-access
+//! obligations they cite are discharged by the WAL file mutex in
+//! `group.rs` (`parking_lot::LockRank::WalFile`).
 
 use std::fs::File;
 use std::os::unix::io::AsRawFd;

@@ -1,0 +1,311 @@
+#![warn(missing_docs)]
+
+//! Project-specific static analysis for the UDBMS workspace.
+//!
+//! `udbms-lint` is a std-only (no crates.io) lexer/walker enforcing the
+//! four concurrency-correctness rules documented in DESIGN.md,
+//! "Invariants & static analysis":
+//!
+//! * **L1 `lock-order`** — ranked-lock acquisitions within a function
+//!   must be non-decreasing in rank (shards strictly ascending).
+//! * **L2 `safety`** — every `unsafe` needs a `// SAFETY:` comment.
+//! * **L3 `unwrap`** — no `unwrap`/`expect`/`panic!`-family in non-test
+//!   engine/query/driver (and lint) code.
+//! * **L4 `raw-lock`** — no untracked `Mutex`/`RwLock` in
+//!   `crates/engine`.
+//!
+//! Findings are suppressed by an inline
+//! `// lint:allow(<rule>): reason` on the offending (or preceding)
+//! line, or by an entry in the repo-root `lint-allow.txt`:
+//!
+//! ```text
+//! # rule       path (repo-relative)            [function]
+//! lock-order   crates/engine/src/foo.rs        rebalance
+//! unwrap       crates/query/src/lexer.rs
+//! ```
+//!
+//! The same rules run over this crate and the shims — the linter lints
+//! itself.
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{lint_source, Finding, Rule};
+
+/// Parsed `lint-allow.txt`: audited, reviewable exceptions.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+#[derive(Debug)]
+struct AllowEntry {
+    rule: String,
+    path: String,
+    function: Option<String>,
+}
+
+impl Allowlist {
+    /// Parse allowlist text: one `rule path [function]` entry per line,
+    /// `#` comments and blank lines ignored.
+    pub fn parse(text: &str) -> Allowlist {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| {
+                let mut parts = l.split_whitespace();
+                let rule = parts.next()?.to_string();
+                let path = parts.next()?.to_string();
+                let function = parts.next().map(str::to_string);
+                Some(AllowEntry {
+                    rule,
+                    path,
+                    function,
+                })
+            })
+            .collect();
+        Allowlist { entries }
+    }
+
+    /// Load from a file; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> Allowlist {
+        match fs::read_to_string(path) {
+            Ok(text) => Allowlist::parse(&text),
+            Err(_) => Allowlist::default(),
+        }
+    }
+
+    /// Whether `finding` is covered by an entry.
+    pub fn allows(&self, finding: &Finding) -> bool {
+        self.entries.iter().any(|e| {
+            e.rule == finding.rule.name()
+                && (finding.file == e.path || finding.file.ends_with(&e.path))
+                && e.function
+                    .as_ref()
+                    .is_none_or(|f| finding.function.as_deref() == Some(f.as_str()))
+        })
+    }
+
+    /// Number of entries (reported by the CLI so the exception budget
+    /// stays visible).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the allowlist has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
+
+/// Collect every `.rs` file under `root` (sorted, repo-relative,
+/// forward slashes).
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lint the whole workspace rooted at `root`, applying `allow`.
+/// Returns the surviving findings, sorted by file then line.
+pub fn lint_workspace(root: &Path, allow: &Allowlist) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        findings.extend(
+            lint_source(&rel, &src)
+                .into_iter()
+                .filter(|f| !allow.allows(f)),
+        );
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rank_inversion_is_caught_statically() {
+        // wal (WalFile, rank 5) held across a commit_lock (Commit,
+        // rank 1) acquisition — the canonical inversion
+        let src = "
+impl Engine {
+    fn bad(&self) {
+        let wal = self.wal.lock();
+        let commit = self.commit_lock.lock();
+        drop(commit);
+        drop(wal);
+    }
+}
+";
+        let findings = lint_source("crates/engine/src/seeded.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::LockOrder);
+        assert_eq!(findings[0].function.as_deref(), Some("bad"));
+    }
+
+    #[test]
+    fn ascending_acquisitions_are_clean() {
+        let src = "
+fn good(&self) {
+    let commit = self.commit_lock.lock();
+    let catalog = self.catalog.read();
+    let shard = self.storage.shard(si).write();
+    let st = self.state.lock();
+}
+";
+        assert!(lint_source("crates/engine/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn shard_literal_indexes_must_ascend() {
+        let src = "
+fn bad(&self) {
+    let a = self.storage.shard(3).read();
+    let b = self.storage.shard(1).read();
+}
+";
+        let findings = lint_source("crates/engine/src/x.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::LockOrder);
+    }
+
+    #[test]
+    fn scoped_release_resets_the_floor() {
+        // active (rank 6) scoped out before commit_lock (rank 1): the
+        // gc() pattern — must NOT be flagged
+        let src = "
+fn gc(&self) {
+    let watermark = {
+        let active = self.active.lock();
+        active.len()
+    };
+    let commit = self.commit_lock.lock();
+}
+";
+        assert!(lint_source("crates/engine/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn chained_temporaries_release_at_statement_end() {
+        // the GroupLog::checkpoint pattern: wal locked only for the
+        // duration of one chained call, then state is taken
+        let src = "
+fn checkpoint(&self) {
+    let path = self.shared.wal.lock().path().to_path_buf();
+    let st = self.shared.state.lock();
+}
+";
+        assert!(lint_source("crates/engine/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn drop_releases_a_binding() {
+        let src = "
+fn ok(&self) {
+    let st = self.state.lock();
+    drop(st);
+    let commit = self.commit_lock.lock();
+}
+";
+        assert!(lint_source("crates/engine/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_comments_gate_unsafe() {
+        let bad = "fn f() { unsafe { work() } }\n";
+        let findings = lint_source("crates/core/src/x.rs", bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::Safety);
+
+        let good = "fn f() {\n    // SAFETY: justified\n    unsafe { work() }\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn unwrap_is_flagged_only_in_scope_and_outside_tests() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(lint_source("crates/engine/src/x.rs", src).len(), 1);
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+
+        let tested = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
+        assert!(lint_source("crates/engine/src/x.rs", tested).is_empty());
+    }
+
+    #[test]
+    fn inline_allow_markers_suppress() {
+        let src = "fn f() {\n    // lint:allow(unwrap): invariant — len checked above\n    x.unwrap();\n}\n";
+        assert!(lint_source("crates/engine/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_locks_in_engine_are_flagged() {
+        let src = "use std::sync::Mutex;\nfn f() { let m: std::sync::Mutex<u8>; }\n";
+        let findings = lint_source("crates/engine/src/x.rs", src);
+        assert!(findings.iter().all(|f| f.rule == Rule::RawLock));
+        assert!(!findings.is_empty());
+        // tracked types are fine
+        let ok = "use parking_lot::{LockRank, TrackedMutex};\n";
+        assert!(lint_source("crates/engine/src/x.rs", ok).is_empty());
+        // and raw locks outside crates/engine are fine
+        assert!(lint_source("crates/shims/parking_lot/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_matches_rule_path_and_function() {
+        let allow = Allowlist::parse(
+            "# comment\n\nlock-order crates/engine/src/x.rs special\nunwrap crates/query/src/lexer.rs\n",
+        );
+        assert_eq!(allow.len(), 2);
+        let mk = |rule, file: &str, function: Option<&str>| Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            function: function.map(str::to_string),
+            message: String::new(),
+        };
+        assert!(allow.allows(&mk(
+            Rule::LockOrder,
+            "crates/engine/src/x.rs",
+            Some("special")
+        )));
+        assert!(!allow.allows(&mk(
+            Rule::LockOrder,
+            "crates/engine/src/x.rs",
+            Some("other")
+        )));
+        assert!(allow.allows(&mk(Rule::Unwrap, "crates/query/src/lexer.rs", None)));
+        assert!(!allow.allows(&mk(Rule::Safety, "crates/query/src/lexer.rs", None)));
+    }
+}

@@ -1,0 +1,589 @@
+//! The four project rules, evaluated over the token stream.
+//!
+//! * **L1 `lock-order`** — within one function body, acquisitions of
+//!   ranked locks must be non-decreasing in rank (shards strictly
+//!   ascending by index where the index is a literal). Ranks are
+//!   assigned by *receiver name* (`commit_lock`, `catalog`, `shard`…),
+//!   mirroring `parking_lot::LockRank`.
+//! * **L2 `safety`** — every `unsafe` token must be preceded by a
+//!   `// SAFETY:` comment (same line or the contiguous comment block
+//!   above the statement).
+//! * **L3 `unwrap`** — no `.unwrap()` / `.expect(` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in non-test code of
+//!   the scoped crates (engine, query, driver, lint).
+//! * **L4 `raw-lock`** — `crates/engine` must not use
+//!   `std::sync::Mutex`/`RwLock` or the untracked shim `Mutex`/`RwLock`
+//!   directly; all long-lived engine locks go through the tracked
+//!   types.
+//!
+//! Suppression: an inline `// lint:allow(<rule>): reason` comment on
+//! the offending line or the line above, or an entry in the repo-root
+//! `lint-allow.txt` (see [`crate::Allowlist`]).
+
+use std::fmt;
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// Which rule produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// L1: ranked-lock acquisition order within a function.
+    LockOrder,
+    /// L2: `unsafe` without a `// SAFETY:` comment.
+    Safety,
+    /// L3: `unwrap`/`expect`/`panic!`-family in non-test scoped code.
+    Unwrap,
+    /// L4: raw (untracked) `Mutex`/`RwLock` in `crates/engine`.
+    RawLock,
+}
+
+impl Rule {
+    /// The name used in `lint:allow(...)` markers and the allowlist.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::LockOrder => "lock-order",
+            Rule::Safety => "safety",
+            Rule::Unwrap => "unwrap",
+            Rule::RawLock => "raw-lock",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: Rule,
+    /// Repo-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Enclosing function, when known.
+    pub function: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )?;
+        if let Some(func) = &self.function {
+            write!(f, " (in fn {func})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The engine's documented lock order, keyed by receiver name. Kept in
+/// sync with `parking_lot::LockRank` (same numeric ranks).
+const RANKED: &[(&str, u8)] = &[
+    ("checkpoint_lock", 0),
+    ("commit_lock", 1),
+    ("catalog", 2),
+    ("shard", 3),
+    ("shard_for", 3),
+    ("shards", 3),
+    ("state", 4),
+    ("wal", 5),
+    ("active", 6),
+    ("shelf", 7),
+];
+
+const SHARD_RANK: u8 = 3;
+
+fn rank_of(name: &str) -> Option<u8> {
+    RANKED.iter().find(|(n, _)| *n == name).map(|(_, r)| *r)
+}
+
+fn rank_name(rank: u8) -> &'static str {
+    match rank {
+        0 => "Checkpoint",
+        1 => "Commit",
+        2 => "Catalog",
+        3 => "Shard",
+        4 => "GroupQueue",
+        5 => "WalFile",
+        6 => "ActiveTxns",
+        _ => "PlanCache",
+    }
+}
+
+/// Whether L3 (unwrap/panic) applies to this repo-relative path.
+pub fn unwrap_scoped(path: &str) -> bool {
+    [
+        "crates/engine/src/",
+        "crates/query/src/",
+        "crates/driver/src/",
+        "crates/lint/src/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
+}
+
+/// Whether L4 (raw locks) applies to this repo-relative path.
+pub fn raw_lock_scoped(path: &str) -> bool {
+    path.starts_with("crates/engine/src/")
+}
+
+/// Lint one file's source. `path` is repo-relative with forward
+/// slashes; it selects which rules apply (L1/L2 run everywhere,
+/// L3/L4 on their scoped crates).
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let mut findings = Vec::new();
+    let test_from = test_region_start(&lexed.tokens);
+    let in_test = |i: usize| test_from.is_some_and(|from| i >= from);
+
+    check_lock_order(path, &lexed, &in_test, &mut findings);
+    check_safety(path, &lexed, &mut findings);
+    if unwrap_scoped(path) {
+        check_unwrap(path, &lexed, &in_test, &mut findings);
+    }
+    if raw_lock_scoped(path) {
+        check_raw_lock(path, &lexed, &mut findings);
+    }
+    findings.retain(|f| !inline_allowed(&lexed, f));
+    findings
+}
+
+/// Token index from which everything is `#[cfg(test)]`-gated. The
+/// workspace convention is one trailing `mod tests`, so the first
+/// `#[cfg(test)]` attribute starts the test region; this deliberately
+/// over-approximates (an early cfg(test) item exempts the rest of the
+/// file) — acceptable because the convention is enforced by review and
+/// the rules only *relax* inside the region.
+fn test_region_start(tokens: &[Token]) -> Option<usize> {
+    tokens.windows(6).position(|w| {
+        w[0].text == "#"
+            && w[1].text == "["
+            && w[2].text == "cfg"
+            && w[3].text == "("
+            && w[4].text == "test"
+            && w[5].text == ")"
+    })
+}
+
+/// Does the finding carry an inline `lint:allow(<rule>)` marker on its
+/// line or the line above?
+fn inline_allowed(lexed: &Lexed, f: &Finding) -> bool {
+    let marker = format!("lint:allow({})", f.rule.name());
+    [f.line, f.line.saturating_sub(1)]
+        .iter()
+        .any(|l| lexed.comment_on(*l).is_some_and(|c| c.contains(&marker)))
+}
+
+/// One ranked-lock acquisition currently assumed held.
+struct HeldLock {
+    rank: u8,
+    /// Literal shard index when the receiver was `shard(<int>)`; None
+    /// for computed indexes (those are skipped by the ascending check —
+    /// the dynamic tracker covers them).
+    index: Option<u64>,
+    /// `let` binding name, for `drop(name)` release.
+    binding: Option<String>,
+    /// Brace depth at acquisition; released when the block closes.
+    depth: usize,
+    /// Statement ordinal, for releasing same-statement temporaries.
+    stmt: u64,
+    /// Whether the guard is a temporary (released at end of statement).
+    temp: bool,
+    line: u32,
+    receiver: String,
+}
+
+struct FnFrame {
+    name: String,
+    /// Depth *inside* the body.
+    body_depth: usize,
+}
+
+fn check_lock_order(
+    path: &str,
+    lexed: &Lexed,
+    in_test: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    let mut depth = 0usize;
+    let mut fns: Vec<FnFrame> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut held: Vec<HeldLock> = Vec::new();
+    let mut stmt = 0u64;
+    let mut stmt_has_let = false;
+    let mut stmt_binding: Option<String> = None;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident, "fn") => {
+                if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                    pending_fn = Some(name.text.clone());
+                }
+            }
+            (TokenKind::Ident, "let") => {
+                stmt_has_let = true;
+                stmt_binding = None;
+                // binding name: `let x`, `let mut x`; patterns give None
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.text == "mut") {
+                    j += 1;
+                }
+                if let Some(n) = toks.get(j).filter(|n| n.kind == TokenKind::Ident) {
+                    stmt_binding = Some(n.text.clone());
+                }
+            }
+            (TokenKind::Punct, "{") => {
+                depth += 1;
+                if let Some(name) = pending_fn.take() {
+                    fns.push(FnFrame {
+                        name,
+                        body_depth: depth,
+                    });
+                }
+                stmt += 1;
+                stmt_has_let = false;
+            }
+            (TokenKind::Punct, "}") => {
+                held.retain(|h| h.depth < depth);
+                if fns.last().is_some_and(|f| f.body_depth == depth) {
+                    fns.pop();
+                }
+                depth = depth.saturating_sub(1);
+                stmt += 1;
+                stmt_has_let = false;
+            }
+            (TokenKind::Punct, ";") => {
+                let cur = stmt;
+                held.retain(|h| !(h.temp && h.stmt == cur));
+                stmt += 1;
+                stmt_has_let = false;
+                stmt_binding = None;
+                pending_fn = None; // trait method signature without a body
+            }
+            (TokenKind::Ident, "drop")
+                if toks.get(i + 1).is_some_and(|t| t.text == "(")
+                    && toks.get(i + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+                    && toks.get(i + 3).is_some_and(|t| t.text == ")") =>
+            {
+                let name = toks[i + 2].text.as_str();
+                if let Some(pos) = held
+                    .iter()
+                    .rposition(|h| h.binding.as_deref() == Some(name))
+                {
+                    held.remove(pos);
+                }
+            }
+            (TokenKind::Ident, "lock" | "read" | "write")
+                if toks.get(i.wrapping_sub(1)).is_some_and(|p| p.text == ".")
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(") =>
+            {
+                if let Some((receiver, index)) = receiver_of(toks, i - 1) {
+                    if let Some(rank) = rank_of(&receiver) {
+                        if !in_test(i) && !fns.is_empty() {
+                            report_inversions(
+                                path,
+                                &held,
+                                rank,
+                                index,
+                                &receiver,
+                                t.line,
+                                fns.last().map(|f| f.name.as_str()),
+                                findings,
+                            );
+                        }
+                        let close = matching_close(toks, i + 1);
+                        let chained = close
+                            .and_then(|c| toks.get(c + 1))
+                            .is_some_and(|n| n.text == ".");
+                        let temp = chained || !stmt_has_let;
+                        held.push(HeldLock {
+                            rank,
+                            index,
+                            binding: if temp { None } else { stmt_binding.clone() },
+                            depth,
+                            stmt,
+                            temp,
+                            line: t.line,
+                            receiver,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report_inversions(
+    path: &str,
+    held: &[HeldLock],
+    rank: u8,
+    index: Option<u64>,
+    receiver: &str,
+    line: u32,
+    function: Option<&str>,
+    findings: &mut Vec<Finding>,
+) {
+    for h in held {
+        let inverted = if h.rank == SHARD_RANK && rank == SHARD_RANK {
+            match (h.index, index) {
+                (Some(a), Some(b)) => a >= b,
+                _ => false, // computed indexes: dynamic tracker's job
+            }
+        } else {
+            h.rank > rank
+        };
+        if inverted {
+            findings.push(Finding {
+                rule: Rule::LockOrder,
+                file: path.to_string(),
+                line,
+                function: function.map(str::to_string),
+                message: format!(
+                    "acquiring `{receiver}` ({}) on line {line} while `{}` ({}) acquired on \
+                     line {} is still held — ranked locks must be taken in non-decreasing \
+                     rank order (shards strictly ascending)",
+                    rank_name(rank),
+                    h.receiver,
+                    rank_name(h.rank),
+                    h.line,
+                ),
+            });
+        }
+    }
+}
+
+/// Resolve the receiver of a `.lock()/.read()/.write()` call: walking
+/// left from the `.`, skip one balanced `(...)`/`[...]` group, then
+/// take the identifier. `shard(3)` also yields the literal index.
+fn receiver_of(toks: &[Token], dot: usize) -> Option<(String, Option<u64>)> {
+    let mut j = dot.checked_sub(1)?;
+    let mut index = None;
+    if toks[j].text == ")" || toks[j].text == "]" {
+        let open = matching_open(toks, j)?;
+        // a single integer-literal argument is a usable shard index;
+        // anything else is a computed index, left to the dynamic tracker
+        if j == open + 2 {
+            let arg = &toks[open + 1];
+            if arg.kind == TokenKind::Literal
+                && !arg.text.is_empty()
+                && arg.text.chars().all(|c| c.is_ascii_digit())
+            {
+                index = arg.text.parse().ok();
+            }
+        }
+        j = open.checked_sub(1)?;
+    }
+    let recv = toks.get(j)?;
+    if recv.kind == TokenKind::Ident {
+        Some((recv.text.clone(), index))
+    } else {
+        None
+    }
+}
+
+fn matching_close(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn matching_open(toks: &[Token], close: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for k in (0..=close).rev() {
+        match toks[k].text.as_str() {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// L2: each `unsafe` must carry a `SAFETY:` comment on its line or in
+/// the contiguous comment-only block immediately above it.
+fn check_safety(path: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    for t in lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && t.text == "unsafe")
+    {
+        if !has_safety_comment(lexed, t.line) {
+            findings.push(Finding {
+                rule: Rule::Safety,
+                file: path.to_string(),
+                line: t.line,
+                function: None,
+                message: "`unsafe` without a `// SAFETY:` comment immediately above".into(),
+            });
+        }
+    }
+}
+
+fn has_safety_comment(lexed: &Lexed, unsafe_line: u32) -> bool {
+    if lexed
+        .comment_on(unsafe_line)
+        .is_some_and(|c| c.contains("SAFETY:"))
+    {
+        return true;
+    }
+    let mut l = unsafe_line.saturating_sub(1);
+    while l > 0 {
+        match lexed.comment_on(l) {
+            Some(c) if !lexed.has_code(l) => {
+                if c.contains("SAFETY:") {
+                    return true;
+                }
+            }
+            _ => return false,
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// L3: panic-prone calls in non-test scoped code.
+fn check_unwrap(
+    path: &str,
+    lexed: &Lexed,
+    in_test: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test(i) {
+            continue;
+        }
+        let offense = match t.text.as_str() {
+            "unwrap" | "expect"
+                if toks.get(i.wrapping_sub(1)).is_some_and(|p| p.text == ".")
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(") =>
+            {
+                Some(format!("`.{}()`", t.text))
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if toks.get(i + 1).is_some_and(|n| n.text == "!") =>
+            {
+                Some(format!("`{}!`", t.text))
+            }
+            _ => None,
+        };
+        if let Some(what) = offense {
+            findings.push(Finding {
+                rule: Rule::Unwrap,
+                file: path.to_string(),
+                line: t.line,
+                function: None,
+                message: format!(
+                    "{what} in non-test engine/query/driver code — return an error, or \
+                     justify with `// lint:allow(unwrap): <reason>`"
+                ),
+            });
+        }
+    }
+}
+
+/// L4: raw `Mutex`/`RwLock` (std or untracked shim) in `crates/engine`.
+fn check_raw_lock(path: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || (t.text != "Mutex" && t.text != "RwLock") {
+            continue;
+        }
+        // `std :: sync :: Mutex` path usage anywhere in the file
+        let std_path = i >= 4
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && toks[i - 3].text == "sync"
+            && toks[i - 4].text == "std";
+        // untracked shim import: a `use parking_lot::…{Mutex,…}` stmt
+        let shim_import = statement_start(toks, i)
+            .is_some_and(|s| toks[s].text == "use" && stmt_contains(toks, s, "parking_lot"));
+        let std_import = statement_start(toks, i)
+            .is_some_and(|s| toks[s].text == "use" && stmt_contains_seq(toks, s, &["std", "sync"]));
+        if std_path || shim_import || std_import {
+            findings.push(Finding {
+                rule: Rule::RawLock,
+                file: path.to_string(),
+                line: t.line,
+                function: None,
+                message: format!(
+                    "raw `{}` in crates/engine — use the rank-tracked \
+                     `Tracked{}` from the parking_lot shim (or \
+                     `// lint:allow(raw-lock): <reason>`)",
+                    t.text, t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Index of the token starting the statement containing `i` (scans
+/// back to the nearest `;`, `{` or `}`).
+fn statement_start(toks: &[Token], i: usize) -> Option<usize> {
+    let mut j = i;
+    while j > 0 {
+        let prev = &toks[j - 1];
+        if matches!(prev.text.as_str(), ";" | "{" | "}") && prev.kind == TokenKind::Punct {
+            // `use a::{b, c};` — the brace belongs to the use stmt, so
+            // keep scanning back to the real start when inside one
+            if prev.text == "{" {
+                if let Some(s) = statement_start(toks, j - 1) {
+                    if toks[s].text == "use" {
+                        return Some(s);
+                    }
+                }
+            }
+            return Some(j);
+        }
+        j -= 1;
+    }
+    Some(0)
+}
+
+fn stmt_contains(toks: &[Token], start: usize, word: &str) -> bool {
+    toks.iter()
+        .skip(start)
+        .take_while(|t| t.text != ";")
+        .any(|t| t.text == word)
+}
+
+fn stmt_contains_seq(toks: &[Token], start: usize, words: &[&str]) -> bool {
+    let span: Vec<&str> = toks
+        .iter()
+        .skip(start)
+        .take_while(|t| t.text != ";")
+        .map(|t| t.text.as_str())
+        .collect();
+    span.windows(words.len()).any(|w| w == words)
+        || (words.len() == 2 && span.contains(&words[0]) && span.contains(&words[1]))
+}

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{LockRank, TrackedMutex};
 
 use udbms_core::Result;
 
@@ -31,9 +31,12 @@ struct Shelf {
 }
 
 /// An LRU cache of parsed queries, safe to share across client threads.
+/// The shelf mutex is rank-tracked ([`LockRank::PlanCache`], last in the
+/// engine-wide order): it nests inside anything but must never wrap an
+/// engine lock acquisition.
 #[derive(Debug)]
 pub struct PlanCache {
-    shelf: Mutex<Shelf>,
+    shelf: TrackedMutex<Shelf>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -49,7 +52,7 @@ impl PlanCache {
     /// A cache holding at most `capacity` plans (clamped to ≥ 1).
     pub fn new(capacity: usize) -> PlanCache {
         PlanCache {
-            shelf: Mutex::new(Shelf::default()),
+            shelf: TrackedMutex::new(LockRank::PlanCache, Shelf::default()),
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),

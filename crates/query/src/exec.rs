@@ -122,6 +122,7 @@ pub fn run_body(body: &QueryBody, base: &Env, txn: &mut Txn) -> Result<Vec<Value
                 for env in &rows {
                     let items: Vec<Arc<Value>> = if name_is_var {
                         let Source::Collection(name) = source else {
+                            // lint:allow(unwrap): name_is_var implies a collection source
                             unreachable!()
                         };
                         match env.get(name).cloned().unwrap_or(Value::Null) {
@@ -149,6 +150,7 @@ pub fn run_body(body: &QueryBody, base: &Env, txn: &mut Txn) -> Result<Vec<Value
                                 parts.push(d.bind(rhs));
                             }
                             Some(if parts.len() == 1 {
+                                // lint:allow(unwrap): len() == 1 was just checked
                                 parts.into_iter().next().expect("len checked")
                             } else {
                                 Predicate::And(parts)
@@ -319,6 +321,7 @@ fn source_items(
             let mut seen: std::collections::HashSet<Key> = [start_key].into_iter().collect();
             for _ in 0..*max {
                 let mut next = Vec::new();
+                // lint:allow(unwrap): layers starts non-empty and only grows
                 for v in layers.last().expect("layer 0 exists") {
                     for n in txn.neighbors(graph, v, *dir, label.as_deref())? {
                         if seen.insert(n.clone()) {
@@ -375,6 +378,7 @@ impl DynPred {
             BinOp::Le => Predicate::Le(path, value),
             BinOp::Gt => Predicate::Gt(path, value),
             BinOp::Ge => Predicate::Ge(path, value),
+            // lint:allow(unwrap): split_conjuncts only extracts comparison ops
             _ => unreachable!("only comparisons are extracted dynamically"),
         }
     }
@@ -430,6 +434,7 @@ pub fn extract_predicates(
     split_conjuncts(expr, var, &mut preds, &mut dynamic, &mut residual);
     let pred = match preds.len() {
         0 => None,
+        // lint:allow(unwrap): len() == 1 was just matched
         1 => Some(preds.into_iter().next().expect("len checked")),
         _ => Some(Predicate::And(preds)),
     };

@@ -4,13 +4,26 @@
 //!
 //! The build environment has no access to crates.io, so this workspace
 //! vendors the *subset* of the `parking_lot` API it actually uses —
-//! [`Mutex`], [`RwLock`] and their guards — as thin wrappers over
-//! `std::sync`. Semantics match `parking_lot` where they differ from std:
-//! locking never returns a poison error (a panic while holding a lock
-//! simply releases it for the next owner).
+//! [`Mutex`], [`RwLock`], [`Condvar`] and their guards — as thin
+//! wrappers over `std::sync`. Semantics match `parking_lot` where they
+//! differ from std: locking never returns a poison error (a panic while
+//! holding a lock simply releases it for the next owner).
+//!
+//! Beyond the upstream API, the [`tracked`] module adds rank-aware
+//! [`TrackedMutex`]/[`TrackedRwLock`] wrappers that audit the engine's
+//! documented lock order under `debug_assertions` or
+//! `RUSTFLAGS=--cfg lock_audit` (see DESIGN.md, "Invariants & static
+//! analysis").
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+
+pub mod tracked;
+
+pub use tracked::{
+    Condvar, LockRank, TrackedMutex, TrackedMutexGuard, TrackedRwLock, TrackedRwLockReadGuard,
+    TrackedRwLockWriteGuard,
+};
 
 /// A mutual-exclusion lock with `parking_lot`'s panic-free API.
 #[derive(Default)]
