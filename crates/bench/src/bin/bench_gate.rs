@@ -33,7 +33,7 @@
 //! (no comparison happens): the gated throughput cells are merged
 //! best-of across the runs and written to the given path.
 
-use udbms_bench::{compare_reports, merged_baseline};
+use udbms_bench::{compare_reports, merged_baseline, obs_overhead_failures};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -86,7 +86,11 @@ fn main() {
     if current.len() > 1 {
         println!("scoring best-of-{} current runs", current.len());
     }
-    let outcome = compare_reports(&baseline, &current, tolerance);
+    let mut outcome = compare_reports(&baseline, &current, tolerance);
+    // the E10 hard check compares obs-on vs obs-off within the current
+    // reports themselves (same machine, seconds apart) — no baseline or
+    // normalization involved
+    outcome.failures.extend(obs_overhead_failures(&current));
 
     for note in &outcome.notes {
         println!("note: {note}");

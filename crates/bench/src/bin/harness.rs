@@ -8,13 +8,21 @@
 //! cargo run --release -p udbms-bench --bin harness -- --json out.json e2 e4a e6
 //! cargo run --release -p udbms-bench --bin harness -- --durability flush e8
 //! cargo run --release -p udbms-bench --bin harness -- --experiments e8 --json
+//! cargo run --release -p udbms-bench --bin harness -- --obs off e9
+//! cargo run --release -p udbms-bench --bin harness -- --obs-check
 //! ```
 //!
 //! `--clients N` sets the concurrent client threads the Subject-driven
 //! experiments (E2, E4a, E6, E8) use; `--shards N` sets the unified
 //! engine's storage shard count (and the upper arm of the E6 shard
 //! sweep); `--durability LEVEL` (buffered/flush/fsync) restricts the E8
-//! durability sweep to one level (default: all three); `--json [path]`
+//! durability sweep to one level (default: all three); `--obs on|off`
+//! turns engine observability recording on/off for every constructed
+//! engine (E10 sweeps both arms regardless); `--slow-query-ms N` sets
+//! the slow-query log threshold those engines use; `--obs-check` runs
+//! a standalone observability smoke test (a WAL-backed engine must
+//! produce non-zero commit-stage histograms, a captured slow query and
+//! parseable exports) and exits non-zero on failure; `--json [path]`
 //! additionally writes every produced report as machine-readable JSON
 //! (an explicit path must end in `.json` — that suffix is what tells a
 //! path apart from an experiment id; default `bench-report.json`; the
@@ -25,13 +33,17 @@
 
 use udbms_bench::{experiments, Report, RunScale};
 use udbms_core::Value;
-use udbms_driver::Durability;
+use udbms_datagen::{generate, workload, GenConfig};
+use udbms_driver::{Durability, EngineConfig, EngineSubject, Subject, TxnOp};
 
 /// One selectable experiment: id + the function that produces its table.
 type Experiment = (&'static str, fn(RunScale) -> Report);
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--obs-check") {
+        obs_check();
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let mut scale = if quick {
         RunScale::quick()
@@ -75,6 +87,24 @@ fn main() {
                     .unwrap_or_else(|| die("--durability needs one of: buffered, flush, fsync"));
                 scale = scale.with_durability(level);
             }
+            "--obs" => {
+                i += 1;
+                let on = match args.get(i).map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => die("--obs needs `on` or `off`"),
+                };
+                scale = scale.with_obs(on);
+            }
+            "--slow-query-ms" => {
+                i += 1;
+                let ms = args
+                    .get(i)
+                    .filter(|v| !v.starts_with("--"))
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| die("--slow-query-ms needs a non-negative integer"));
+                scale = scale.with_slow_query_ms(ms);
+            }
             // accepted for compatibility: experiment ids follow as plain
             // positionals either way
             "--experiments" => {}
@@ -94,7 +124,8 @@ fn main() {
             }
             flag if flag.starts_with("--") => die(&format!(
                 "unknown flag `{flag}` (known: --quick, --clients N, --shards N, \
-                 --durability LEVEL, --experiments, --json [PATH])"
+                 --durability LEVEL, --obs on|off, --slow-query-ms N, --obs-check, \
+                 --experiments, --json [PATH])"
             )),
             id => wanted.push(id),
         }
@@ -114,6 +145,7 @@ fn main() {
         ("e7", experiments::e7_ablation),
         ("e8", experiments::e8_durability),
         ("e9", experiments::e9_read_path),
+        ("e10", experiments::e10_obs_overhead),
     ];
 
     let selected: Vec<&Experiment> = if wanted.is_empty() {
@@ -139,7 +171,7 @@ fn main() {
     };
 
     println!(
-        "UDBMS-Bench harness — profile: {} (SF {}, {} reps, {} trials, {} clients, {} shards, durability {})\n",
+        "UDBMS-Bench harness — profile: {} (SF {}, {} reps, {} trials, {} clients, {} shards, durability {}, obs {})\n",
         if quick { "quick" } else { "full" },
         scale.sf,
         scale.reps,
@@ -149,6 +181,7 @@ fn main() {
         scale
             .durability
             .map_or("all".to_string(), |d| d.to_string()),
+        if scale.obs { "on" } else { "off" },
     );
     let mut json_reports: Vec<Value> = Vec::new();
     for (id, f) in selected {
@@ -189,6 +222,14 @@ fn main() {
                             .map_or("all".to_string(), |d| d.to_string()),
                     ),
                 ),
+                (
+                    "obs".to_string(),
+                    Value::from(if scale.obs { "on" } else { "off" }),
+                ),
+                (
+                    "slow_query_ms".to_string(),
+                    Value::Int(scale.slow_query_ms as i64),
+                ),
                 ("reports".to_string(), Value::Array(json_reports)),
             ]
             .into_iter()
@@ -200,6 +241,101 @@ fn main() {
         }
         println!("machine-readable reports written to {path}");
     }
+}
+
+/// The `--obs-check` smoke test: a WAL-backed engine driven through the
+/// standard Subject surface must produce non-zero commit-stage
+/// histograms, a captured slow query, and exports that parse. Exits 0
+/// on success, 1 with a named failure otherwise — CI runs this as a
+/// cheap assertion that the observability layer is actually recording.
+fn obs_check() -> ! {
+    let mut path = std::env::temp_dir();
+    path.push(format!("udbms-obs-check-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let outcome = run_obs_check(&path);
+    let _ = std::fs::remove_file(&path);
+    match outcome {
+        Ok(summary) => {
+            println!("obs check: PASS ({summary})");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("obs check: FAIL — {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_obs_check(path: &std::path::Path) -> Result<String, String> {
+    // slow-query threshold 0: every statement is captured, so the check
+    // does not depend on machine speed
+    let subject = EngineSubject::with_wal_config(
+        path,
+        EngineConfig::default()
+            .with_durability(Durability::Flush)
+            .with_slow_query_ms(0),
+    )
+    .map_err(|e| format!("wal-backed engine: {e}"))?;
+    let data = generate(&GenConfig {
+        scale_factor: 0.01,
+        ..Default::default()
+    });
+    subject.load(&data).map_err(|e| format!("load: {e}"))?;
+
+    // queries through the plan cache + read lane
+    let q1 = workload::queries()[0];
+    let prepared = subject.prepare(&q1).map_err(|e| format!("prepare: {e}"))?;
+    let params = workload::QueryParams::draw(&data, 1).bindings();
+    for _ in 0..5 {
+        subject
+            .execute(&prepared, &params)
+            .map_err(|e| format!("execute: {e}"))?;
+    }
+    // write transactions through the full commit pipeline
+    let order = udbms_core::Key::str(
+        data.orders[0]
+            .get_field("_id")
+            .as_str()
+            .ok_or("dataset has no order id")?,
+    );
+    for _ in 0..10 {
+        subject
+            .transact(
+                &TxnOp::OrderUpdate {
+                    order: order.clone(),
+                },
+                "SI",
+            )
+            .map_err(|e| format!("transact: {e}"))?;
+    }
+
+    let snap = subject.engine().obs_snapshot();
+    let mut stage_counts = Vec::new();
+    for stage in [
+        "commit_queue_wait_ns",
+        "wal_append_ns",
+        "wal_flush_ns",
+        "commit_validate_ns",
+        "commit_install_ns",
+        "query_exec_us",
+    ] {
+        let count = snap.histogram(stage).map_or(0, |h| h.count);
+        if count == 0 {
+            return Err(format!("histogram `{stage}` recorded nothing"));
+        }
+        stage_counts.push(format!("{stage}={count}"));
+    }
+    if snap.slow_queries.is_empty() {
+        return Err("slow-query log empty at threshold 0".into());
+    }
+    if !snap.events.iter().any(|e| e.kind == "wal_batch") {
+        return Err("trace ring has no wal_batch events".into());
+    }
+    udbms_json::parse(&snap.to_json()).map_err(|e| format!("to_json not parseable: {e}"))?;
+    if !snap.to_prometheus().contains("quantile=\"0.99\"") {
+        return Err("prometheus dump lacks quantile samples".into());
+    }
+    Ok(stage_counts.join(" "))
 }
 
 fn die(msg: &str) -> ! {

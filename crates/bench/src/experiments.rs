@@ -11,14 +11,14 @@ use udbms_consistency::{
 use udbms_core::{Key, Params, SplitMix64, Value};
 use udbms_datagen::{build_engine, generate, workload, GenConfig, SchemaVariation};
 use udbms_driver::{
-    registry, registry_with_shards, run_concurrent, run_query_clients, Durability, EngineConfig,
+    registry, registry_with_config, run_concurrent, run_query_clients, Durability, EngineConfig,
     EngineSubject, TxnOp,
 };
 use udbms_engine::Isolation;
 use udbms_evolution::{analyze_workload, apply_chain, standard_chain};
 use udbms_polyglot::{load_into_polyglot, run_query, PolyglotDb};
 
-use crate::report::{per_sec, us, Report};
+use crate::report::{latency_cells, per_sec, us, Report};
 
 /// How thoroughly to run (quick = CI-sized).
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +41,14 @@ pub struct RunScale {
     /// flag sets it (CI pins `flush` to keep per-commit fsyncs out of
     /// the gated wall-time).
     pub durability: Option<Durability>,
+    /// Whether the engines the experiments construct record
+    /// observability (stage histograms, trace events, slow-query log);
+    /// the harness `--obs on|off` flag overrides it. E10 sweeps both
+    /// arms regardless of this setting.
+    pub obs: bool,
+    /// Slow-query threshold (ms) for those engines; the harness
+    /// `--slow-query-ms N` flag overrides it.
+    pub slow_query_ms: u64,
 }
 
 impl RunScale {
@@ -53,6 +61,8 @@ impl RunScale {
             clients: 2,
             shards: udbms_driver::DEFAULT_SHARDS,
             durability: None,
+            obs: true,
+            slow_query_ms: 100,
         }
     }
 
@@ -65,6 +75,8 @@ impl RunScale {
             clients: 4,
             shards: udbms_driver::DEFAULT_SHARDS,
             durability: None,
+            obs: true,
+            slow_query_ms: 100,
         }
     }
 
@@ -86,12 +98,34 @@ impl RunScale {
         self
     }
 
+    /// Override observability recording (builder-style).
+    pub fn with_obs(mut self, obs: bool) -> RunScale {
+        self.obs = obs;
+        self
+    }
+
+    /// Override the slow-query threshold (builder-style).
+    pub fn with_slow_query_ms(mut self, ms: u64) -> RunScale {
+        self.slow_query_ms = ms;
+        self
+    }
+
     /// The durability levels E8 sweeps under this scale.
     pub fn durability_levels(&self) -> Vec<Durability> {
         match self.durability {
             Some(level) => vec![level],
             None => Durability::ALL.to_vec(),
         }
+    }
+
+    /// The [`EngineConfig`] experiments construct engines with: the
+    /// scale's shard count plus its obs settings (durability and group
+    /// commit stay per-experiment decisions).
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig::default()
+            .with_shards(self.shards)
+            .with_obs(self.obs)
+            .with_slow_query_ms(self.slow_query_ms)
     }
 }
 
@@ -252,7 +286,7 @@ pub fn e2_queries(scale: RunScale) -> Report {
             scale.sf, scale.clients, scale.reps * 10, scale.shards
         ),
         &[
-            "query", "models", "subject", "rows", "p50", "p95", "p99", "ops/s",
+            "query", "models", "subject", "rows", "p50", "p90", "p95", "p99", "max", "ops/s",
         ],
     );
     let cfg = GenConfig::at_scale(scale.sf);
@@ -260,7 +294,7 @@ pub fn e2_queries(scale: RunScale) -> Report {
     let draws: Vec<Params> = (1..=4u64)
         .map(|w| workload::QueryParams::draw(&data, w).bindings())
         .collect();
-    let subjects = registry_with_shards(scale.shards);
+    let subjects = registry_with_config(scale.engine_config());
     for subject in &subjects {
         subject.load(&data).expect("subject load");
     }
@@ -284,16 +318,18 @@ pub fn e2_queries(scale: RunScale) -> Report {
                 ops_per_client,
             )
             .expect("concurrent run");
-            report.row(vec![
+            let mut row = vec![
                 q.id.into(),
                 q.models.join("+"),
                 subject.name().into(),
                 rows.to_string(),
-                us(stats.percentile_us(50.0).into()),
-                us(stats.percentile_us(95.0).into()),
-                us(stats.percentile_us(99.0).into()),
-                format!("{:.0}/s", stats.throughput()),
-            ]);
+            ];
+            row.extend(latency_cells(
+                &stats.latency_histogram(),
+                stats.percentile_us(95.0),
+            ));
+            row.push(format!("{:.0}/s", stats.throughput()));
+            report.row(row);
         }
     }
     report.note("every subject is driven through the same Subject trait and measurement loop;");
@@ -372,7 +408,8 @@ pub fn e4a_transactions(scale: RunScale) -> Report {
             scale.sf
         ),
         &[
-            "subject", "iso", "clients", "theta", "txns", "elapsed", "txn/s", "p95", "counters",
+            "subject", "iso", "clients", "theta", "txns", "elapsed", "p50", "p90", "p95", "p99",
+            "max", "txn/s", "counters",
         ],
     );
     // cells must run long enough that the bench gate compares signal,
@@ -394,7 +431,7 @@ pub fn e4a_transactions(scale: RunScale) -> Report {
             for (si, isolations) in subject_isolations.iter().enumerate() {
                 for &iso in isolations {
                     // a fresh subject per isolation keeps counters per-cell
-                    let subject = registry_with_shards(scale.shards).swap_remove(si);
+                    let subject = registry_with_config(scale.engine_config()).swap_remove(si);
                     subject.load(&data).expect("subject load");
                     let stats = run_concurrent(clients, per_client, |client, i| {
                         // deterministic per-op pick, stable across runs
@@ -409,21 +446,25 @@ pub fn e4a_transactions(scale: RunScale) -> Report {
                         .map(|(k, v)| format!("{k}={v}"))
                         .collect::<Vec<_>>()
                         .join(" ");
-                    report.row(vec![
+                    let mut row = vec![
                         subject.name().into(),
                         iso.into(),
                         clients.to_string(),
                         format!("{theta}"),
                         stats.total_ops.to_string(),
                         format!("{:?}", stats.elapsed),
-                        per_sec(stats.total_ops, stats.elapsed.as_secs_f64()),
-                        us(stats.percentile_us(95.0).into()),
-                        if counters.is_empty() {
-                            "-".into()
-                        } else {
-                            counters
-                        },
-                    ]);
+                    ];
+                    row.extend(latency_cells(
+                        &stats.latency_histogram(),
+                        stats.percentile_us(95.0),
+                    ));
+                    row.push(per_sec(stats.total_ops, stats.elapsed.as_secs_f64()));
+                    row.push(if counters.is_empty() {
+                        "-".into()
+                    } else {
+                        counters
+                    });
+                    report.row(row);
                 }
             }
         }
@@ -625,7 +666,9 @@ pub fn e6_crud_scaling(scale: RunScale) -> Report {
             "E6 — CRUD/scan scaling sweep (clients x shards), {} record(s)/client",
             if scale.reps > 5 { 2048 } else { 1024 }
         ),
-        &["op", "shards", "clients", "ops", "elapsed", "p95", "ops/s"],
+        &[
+            "op", "shards", "clients", "ops", "elapsed", "p50", "p90", "p95", "p99", "max", "ops/s",
+        ],
     );
     const BATCH: usize = 32;
     let rows_per_client = if scale.reps > 5 { 2048 } else { 1024 };
@@ -639,7 +682,7 @@ pub fn e6_crud_scaling(scale: RunScale) -> Report {
     }
     for &shards in &shard_arms {
         for &clients in &client_arms {
-            let engine = Engine::with_shards(shards);
+            let engine = Engine::with_config(scale.engine_config().with_shards(shards));
             engine
                 .create_collection(CollectionSchema::key_value("crud"))
                 .expect("crud collection");
@@ -737,15 +780,19 @@ pub fn e6_crud_scaling(scale: RunScale) -> Report {
             ];
             for (slot, op) in ops_of.iter().enumerate() {
                 let (ops_done, stats) = best[slot].take().expect("cycle ran");
-                report.row(vec![
+                let mut row = vec![
                     (*op).into(),
                     shards.to_string(),
                     clients.to_string(),
                     ops_done.to_string(),
                     format!("{:?}", stats.elapsed),
-                    us(stats.percentile_us(95.0).into()),
-                    per_sec(ops_done, stats.elapsed.as_secs_f64()),
-                ]);
+                ];
+                row.extend(latency_cells(
+                    &stats.latency_histogram(),
+                    stats.percentile_us(95.0),
+                ));
+                row.push(per_sec(ops_done, stats.elapsed.as_secs_f64()));
+                report.row(row);
             }
         }
     }
@@ -912,7 +959,11 @@ pub fn e8_durability(scale: RunScale) -> Report {
             "commits",
             "recs/batch",
             "elapsed",
+            "p50",
+            "p90",
             "p95",
+            "p99",
+            "max",
             "rate",
         ],
     );
@@ -934,11 +985,10 @@ pub fn e8_durability(scale: RunScale) -> Report {
         for &clients in &client_arms {
             for (arm, grouped) in [("group-commit", true), ("per-commit", false)] {
                 let path = tmp(&format!("{arm}-{}-{clients}", level.label()));
-                let config = EngineConfig {
-                    shards: scale.shards,
-                    durability: level,
-                    group_commit: grouped,
-                };
+                let config = scale
+                    .engine_config()
+                    .with_durability(level)
+                    .with_group_commit(grouped);
                 let subject =
                     EngineSubject::with_wal_config(&path, config).expect("wal-backed subject");
                 let engine = subject.engine();
@@ -968,7 +1018,7 @@ pub fn e8_durability(scale: RunScale) -> Report {
                 }
                 let stats = best.expect("at least one cycle");
                 let es = engine.stats();
-                report.row(vec![
+                let mut row = vec![
                     arm.into(),
                     level.label().into(),
                     clients.to_string(),
@@ -978,9 +1028,13 @@ pub fn e8_durability(scale: RunScale) -> Report {
                         es.wal_records as f64 / es.wal_batches.max(1) as f64
                     ),
                     format!("{:?}", stats.elapsed),
-                    us(stats.percentile_us(95.0).into()),
-                    per_sec(total, stats.elapsed.as_secs_f64()),
-                ]);
+                ];
+                row.extend(latency_cells(
+                    &stats.latency_histogram(),
+                    stats.percentile_us(95.0),
+                ));
+                row.push(per_sec(total, stats.elapsed.as_secs_f64()));
+                report.row(row);
                 drop(subject);
                 let _ = std::fs::remove_file(&path);
             }
@@ -991,11 +1045,7 @@ pub fn e8_durability(scale: RunScale) -> Report {
     let build_log = |path: &std::path::Path, commits: usize| {
         let engine = Engine::with_wal_config(
             path,
-            EngineConfig {
-                shards: scale.shards,
-                durability: Durability::Buffered,
-                group_commit: true,
-            },
+            scale.engine_config().with_durability(Durability::Buffered),
         )
         .expect("log-builder engine");
         engine
@@ -1033,14 +1083,7 @@ pub fn e8_durability(scale: RunScale) -> Report {
                 .expect("torn bytes");
         }
         let t0 = Instant::now();
-        let engine = Engine::with_wal_config(
-            &path,
-            EngineConfig {
-                shards: scale.shards,
-                ..EngineConfig::default()
-            },
-        )
-        .expect("recovery");
+        let engine = Engine::with_wal_config(&path, scale.engine_config()).expect("recovery");
         let dt = t0.elapsed();
         let replayed = Wal::read_all(&path).expect("post-recovery log").len();
         assert_eq!(
@@ -1054,6 +1097,10 @@ pub fn e8_durability(scale: RunScale) -> Report {
             commits.to_string(),
             "-".into(),
             format!("{dt:?}"),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
             "-".into(),
             per_sec(commits, dt.as_secs_f64()),
         ]);
@@ -1087,9 +1134,11 @@ pub fn e9_read_path(scale: RunScale) -> Report {
             "E9 — read path: clone/interp/txn vs Arc/compiled/read-lane, {} row(s), {} shard(s)",
             rows, scale.shards
         ),
-        &["op", "arm", "clients", "ops", "elapsed", "p95", "rate"],
+        &[
+            "op", "arm", "clients", "ops", "elapsed", "p50", "p90", "p95", "p99", "max", "rate",
+        ],
     );
-    let engine = Engine::with_shards(scale.shards);
+    let engine = Engine::with_config(scale.engine_config());
     engine
         .create_collection(CollectionSchema::key_value("bench"))
         .expect("bench collection");
@@ -1243,21 +1292,196 @@ pub fn e9_read_path(scale: RunScale) -> Report {
                 }
             }
             let stats = best.expect("at least one cycle");
-            report.row(vec![
+            let mut row = vec![
                 (*op).into(),
                 (*arm).into(),
                 clients.to_string(),
                 total.to_string(),
                 format!("{:?}", stats.elapsed),
-                us(stats.percentile_us(95.0).into()),
-                per_sec(total, stats.elapsed.as_secs_f64()),
-            ]);
+            ];
+            row.extend(latency_cells(
+                &stats.latency_histogram(),
+                stats.percentile_us(95.0),
+            ));
+            row.push(per_sec(total, stats.elapsed.as_secs_f64()));
+            report.row(row);
         }
     }
     report.note("arm pairs run identical workloads on one loaded engine; the variable is the");
     report.note("read path: txn-clone/interp = seed behaviour (materialized Value clones,");
     report.note("interpreted filters, commit-lock snapshot), lane/arc/compiled = Arc-shared");
     report.note("rows, closure-tree predicates, limit pushdown and the lock-free read lane");
+    report
+}
+
+/// E10 — observability overhead: the E9 acceptance pair (point-get on
+/// the read lane, compiled filter-scan) runs twice on identically
+/// loaded engines, once with obs recording enabled and once disabled —
+/// the arms differ only in `EngineConfig::obs`, so the rate gap *is*
+/// the cost of the stage histograms and trace events on the hot path.
+/// A WAL-backed commit phase on the enabled engine then proves the
+/// per-stage commit-pipeline histograms (queue wait, WAL append, flush,
+/// install) actually populate, and the notes quote their p99s plus the
+/// measured on/off overhead per cell.
+pub fn e10_obs_overhead(scale: RunScale) -> Report {
+    use udbms_core::CollectionSchema;
+    use udbms_engine::Engine;
+    use udbms_query::Query;
+
+    let rows = if scale.reps > 5 { 8192usize } else { 2048 };
+    let mut report = Report::new(
+        format!(
+            "E10 — observability overhead: obs on vs off on the E9 hot loops, {} row(s), {} shard(s)",
+            rows, scale.shards
+        ),
+        &[
+            "op", "obs", "clients", "ops", "elapsed", "p50", "p90", "p95", "p99", "max", "rate",
+        ],
+    );
+    let client_arms: Vec<usize> = if scale.clients <= 1 {
+        vec![1]
+    } else {
+        vec![1, scale.clients]
+    };
+    let cycles = scale.reps.clamp(1, 3);
+    let point_gets = rows.min(2048);
+    // (op, obs-arm, clients) → best rate, for the overhead notes
+    let mut rates: Vec<(&str, &str, usize, f64)> = Vec::new();
+
+    for (arm, enabled) in [("on", true), ("off", false)] {
+        let engine = Engine::with_config(scale.engine_config().with_obs(enabled));
+        engine
+            .create_collection(CollectionSchema::key_value("bench"))
+            .expect("bench collection");
+        engine
+            .run(Isolation::Snapshot, |t| {
+                t.put_many(
+                    "bench",
+                    (0..rows)
+                        .map(|i| {
+                            (
+                                Key::int(i as i64),
+                                udbms_core::obj! {"g" => (i % 16) as i64, "n" => i as i64},
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .expect("bench load");
+        let q = Query::parse("FOR r IN bench FILTER r.g % 4 == 3 RETURN r.n").expect("parse");
+
+        type Op<'a> = Box<dyn Fn(usize, usize) -> udbms_core::Result<()> + Sync + 'a>;
+        let cells: Vec<(&str, usize, Op)> = vec![
+            (
+                "point-get",
+                point_gets,
+                Box::new(|client, i| {
+                    let mut rng = SplitMix64::new(3 + client as u64 * 65_537 + i as u64);
+                    let k = Key::int((rng.next_u64() % rows as u64) as i64);
+                    let mut t = engine.begin_read();
+                    t.get_shared("bench", &k)?;
+                    t.commit().map(|_| ())
+                }),
+            ),
+            (
+                "filter-scan",
+                6,
+                Box::new(|_, _| {
+                    let mut t = engine.begin_read();
+                    q.execute(&mut t)?;
+                    t.commit().map(|_| ())
+                }),
+            ),
+        ];
+        for &clients in &client_arms {
+            for (op, per_client, body) in &cells {
+                let total = clients * per_client;
+                let mut best: Option<udbms_driver::ConcurrentStats> = None;
+                for _ in 0..cycles {
+                    let stats = run_concurrent(clients, *per_client, body).expect("e10 cell");
+                    if best.as_ref().is_none_or(|b| stats.elapsed < b.elapsed) {
+                        best = Some(stats);
+                    }
+                }
+                let stats = best.expect("at least one cycle");
+                let rate = total as f64 / stats.elapsed.as_secs_f64().max(1e-9);
+                rates.push((op, arm, clients, rate));
+                let mut row = vec![
+                    (*op).to_string(),
+                    arm.to_string(),
+                    clients.to_string(),
+                    total.to_string(),
+                    format!("{:?}", stats.elapsed),
+                ];
+                row.extend(latency_cells(
+                    &stats.latency_histogram(),
+                    stats.percentile_us(95.0),
+                ));
+                row.push(per_sec(total, stats.elapsed.as_secs_f64()));
+                report.row(row);
+            }
+        }
+    }
+
+    // the measured cost of recording, per cell: on-vs-off rate delta
+    for &(op, _, clients, on_rate) in rates.iter().filter(|(_, a, _, _)| *a == "on") {
+        if let Some(&(_, _, _, off_rate)) = rates
+            .iter()
+            .find(|(o, a, c, _)| *o == op && *a == "off" && *c == clients)
+        {
+            let overhead = (1.0 - on_rate / off_rate.max(1e-9)) * 100.0;
+            report.note(format!(
+                "{op} @ {clients} client(s): obs-on {:.0}/s vs obs-off {:.0}/s ({overhead:+.1}% overhead)",
+                on_rate, off_rate
+            ));
+        }
+    }
+
+    // commit-pipeline proof: a short WAL-backed run with obs on must
+    // populate every per-stage histogram the snapshot exports
+    let mut path = std::env::temp_dir();
+    path.push(format!("udbms-e10-pipeline-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let engine = Engine::with_wal_config(
+        &path,
+        scale
+            .engine_config()
+            .with_obs(true)
+            .with_durability(Durability::Flush),
+    )
+    .expect("wal-backed engine");
+    engine
+        .create_collection(CollectionSchema::key_value("commits"))
+        .expect("commit collection");
+    for i in 0..100i64 {
+        engine
+            .run(Isolation::Snapshot, |t| {
+                t.put("commits", Key::int(i), Value::Int(i))
+            })
+            .expect("pipeline commit");
+    }
+    let snap = engine.obs_snapshot();
+    for stage in [
+        "commit_queue_wait_ns",
+        "wal_append_ns",
+        "wal_flush_ns",
+        "commit_validate_ns",
+        "commit_install_ns",
+    ] {
+        let hist = snap
+            .histogram(stage)
+            .unwrap_or_else(|| panic!("obs snapshot must carry `{stage}`"));
+        assert!(hist.count > 0, "`{stage}` must populate under commits");
+        report.note(format!(
+            "commit stage {stage}: count {} p99 {}",
+            hist.count,
+            us((hist.p99() / 1000).into())
+        ));
+    }
+    drop(engine);
+    let _ = std::fs::remove_file(&path);
+    report.note("on/off arms run the identical loops on identically loaded engines; the only");
+    report.note("difference is EngineConfig::obs — disabled recording must cost one branch");
     report
 }
 
@@ -1276,6 +1500,7 @@ pub fn all_reports(scale: RunScale) -> Vec<Report> {
         e7_ablation(scale),
         e8_durability(scale),
         e9_read_path(scale),
+        e10_obs_overhead(scale),
     ]
 }
 
@@ -1292,6 +1517,7 @@ mod tests {
             clients: 2,
             shards: 4,
             durability: None,
+            ..RunScale::quick()
         };
         for report in all_reports(scale) {
             let rendered = report.render();
@@ -1309,6 +1535,7 @@ mod tests {
             clients: 4,
             shards: 4,
             durability: None,
+            ..RunScale::quick()
         };
         let r = e2_queries(scale);
         let n_subjects = registry().len();
@@ -1330,7 +1557,7 @@ mod tests {
             }
         }
         for row in &r.rows {
-            assert!(row[7].ends_with("/s"), "throughput cell: {row:?}");
+            assert!(row[9].ends_with("/s"), "throughput cell: {row:?}");
         }
     }
 
@@ -1343,6 +1570,7 @@ mod tests {
             clients: 4,
             shards: 4,
             durability: None,
+            ..RunScale::quick()
         };
         let r = e4a_transactions(scale);
         // client counts {1, 4} x theta {0, 0.9} x (unified: RC/SI/SER + polyglot: 2PC)
@@ -1360,7 +1588,7 @@ mod tests {
             "concurrent cells present"
         );
         for row in r.rows.iter().filter(|row| row[0] == "unified") {
-            assert!(row[8].contains("aborts="), "unified counters: {row:?}");
+            assert!(row[12].contains("aborts="), "unified counters: {row:?}");
         }
     }
 
@@ -1373,6 +1601,7 @@ mod tests {
             clients: 2,
             shards: 2,
             durability: None,
+            ..RunScale::quick()
         };
         let r = e6_crud_scaling(scale);
         // 5 ops × shard arms {1, 2} × client arms {1, 2}
@@ -1389,7 +1618,7 @@ mod tests {
         assert!(r.rows.iter().any(|row| row[1] == "1" && row[2] == "2"));
         assert!(r.rows.iter().any(|row| row[1] == "2" && row[2] == "2"));
         for row in &r.rows {
-            assert!(row[6].ends_with("/s"), "throughput cell: {row:?}");
+            assert!(row[10].ends_with("/s"), "throughput cell: {row:?}");
         }
     }
 
@@ -1402,6 +1631,7 @@ mod tests {
             clients: 2,
             shards: 2,
             durability: None,
+            ..RunScale::quick()
         };
         let r = e8_durability(scale);
         // 3 levels × clients {1, 2} × {group-commit, per-commit} + 3 recovery rows
@@ -1418,7 +1648,7 @@ mod tests {
         }
         assert!(r.rows.iter().any(|row| row[0] == "recovery torn-tail"));
         for row in &r.rows {
-            assert!(row[7].ends_with("/s"), "rate cell: {row:?}");
+            assert!(row[11].ends_with("/s"), "rate cell: {row:?}");
         }
 
         // a pinned level (the CI configuration) sweeps only that level
@@ -1437,6 +1667,7 @@ mod tests {
             clients: 2,
             shards: 4,
             durability: None,
+            ..RunScale::quick()
         };
         let r = e9_read_path(scale);
         // 5 ops × 2 arms × client arms {1, 2}
@@ -1460,7 +1691,53 @@ mod tests {
             }
         }
         for row in &r.rows {
-            assert!(row[6].ends_with("/s"), "rate cell: {row:?}");
+            assert!(row[10].ends_with("/s"), "rate cell: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e10_sweeps_obs_arms_and_proves_the_pipeline() {
+        let scale = RunScale {
+            sf: 0.01,
+            reps: 2,
+            trials: 10,
+            clients: 2,
+            shards: 4,
+            durability: None,
+            ..RunScale::quick()
+        };
+        let r = e10_obs_overhead(scale);
+        // 2 ops × obs arms {on, off} × client arms {1, 2}
+        assert_eq!(r.rows.len(), 2 * 2 * 2);
+        for op in ["point-get", "filter-scan"] {
+            for arm in ["on", "off"] {
+                for clients in ["1", "2"] {
+                    assert!(
+                        r.rows
+                            .iter()
+                            .any(|row| row[0] == op && row[1] == arm && row[2] == clients),
+                        "missing row {op} × obs {arm} × {clients}"
+                    );
+                }
+            }
+        }
+        for row in &r.rows {
+            assert!(row[10].ends_with("/s"), "rate cell: {row:?}");
+        }
+        // the notes quote measured overhead and prove every commit
+        // stage histogram populated on the WAL-backed phase
+        assert!(r.notes.iter().any(|n| n.contains("% overhead")));
+        for stage in [
+            "commit_queue_wait_ns",
+            "wal_append_ns",
+            "wal_flush_ns",
+            "commit_validate_ns",
+            "commit_install_ns",
+        ] {
+            assert!(
+                r.notes.iter().any(|n| n.contains(stage)),
+                "missing stage note {stage}"
+            );
         }
     }
 
@@ -1473,6 +1750,7 @@ mod tests {
             clients: 2,
             shards: 4,
             durability: None,
+            ..RunScale::quick()
         };
         let r = e7_ablation(scale);
         let chain_rows: Vec<&Vec<String>> = r

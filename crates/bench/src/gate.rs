@@ -28,7 +28,41 @@ const GATED: &[(&str, &[&str], &str)] = &[
     ("e6", &["op", "shards", "clients"], "ops/s"),
     ("e8", &["arm", "durability", "clients"], "rate"),
     ("e9", &["op", "arm", "clients"], "rate"),
+    ("e10", &["op", "obs", "clients"], "rate"),
 ];
+
+/// The fraction of the obs-off rate the obs-on filter-scan arm must
+/// keep: recording may cost at most 5% on the E10 hot-scan cells.
+const OBS_OVERHEAD_FLOOR: f64 = 0.95;
+
+/// The E10 obs-overhead hard check: within the *current* reports (no
+/// baseline involved — both arms ran on the same machine seconds
+/// apart), the obs-enabled filter-scan rate must stay within
+/// [`OBS_OVERHEAD_FLOOR`] of the obs-disabled rate at every client
+/// count. Returns one failure string per violated cell.
+pub fn obs_overhead_failures(current: &[Value]) -> Vec<String> {
+    let best: std::collections::HashMap<String, f64> = best_metrics(current).into_iter().collect();
+    let mut out = Vec::new();
+    for (key, on_rate) in &best {
+        let Some(clients) = key.strip_prefix("e10:filter-scan:on:") else {
+            continue;
+        };
+        let off_key = format!("e10:filter-scan:off:{clients}");
+        let Some(off_rate) = best.get(&off_key) else {
+            continue;
+        };
+        if *on_rate < OBS_OVERHEAD_FLOOR * off_rate {
+            out.push(format!(
+                "obs overhead on filter-scan @ {clients} client(s): enabled {on_rate:.0}/s is \
+                 {:.1}% of disabled {off_rate:.0}/s (floor {:.0}%)",
+                100.0 * on_rate / off_rate,
+                100.0 * OBS_OVERHEAD_FLOOR
+            ));
+        }
+    }
+    out.sort();
+    out
+}
 
 /// Result of one gate comparison.
 #[derive(Debug)]
@@ -411,6 +445,76 @@ mod tests {
             .notes
             .iter()
             .any(|n| n.contains("non-finite current/baseline ratio")));
+    }
+
+    fn e10_row(op: &str, obs: &str, clients: &str, rate: &str) -> Value {
+        obj! {"op" => op, "obs" => obs, "clients" => clients, "rate" => rate}
+    }
+
+    #[test]
+    fn e10_rows_are_gated() {
+        let d = doc(
+            "e10",
+            vec![
+                e10_row("filter-scan", "on", "2", "1000/s"),
+                e10_row("filter-scan", "off", "2", "1000/s"),
+            ],
+        );
+        let out = compare_reports(&d, std::slice::from_ref(&d), 0.2);
+        assert_eq!(out.checked, 2);
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn obs_overhead_within_five_percent_passes() {
+        let d = doc(
+            "e10",
+            vec![
+                e10_row("filter-scan", "on", "1", "970/s"),
+                e10_row("filter-scan", "off", "1", "1000/s"),
+                e10_row("point-get", "on", "1", "500/s"),
+                e10_row("point-get", "off", "1", "1000/s"), // point-get is not hard-checked
+            ],
+        );
+        assert!(obs_overhead_failures(std::slice::from_ref(&d)).is_empty());
+    }
+
+    #[test]
+    fn obs_overhead_beyond_five_percent_fails_per_client_arm() {
+        let d = doc(
+            "e10",
+            vec![
+                e10_row("filter-scan", "on", "1", "800/s"),
+                e10_row("filter-scan", "off", "1", "1000/s"),
+                e10_row("filter-scan", "on", "8", "990/s"),
+                e10_row("filter-scan", "off", "8", "1000/s"),
+            ],
+        );
+        let fails = obs_overhead_failures(std::slice::from_ref(&d));
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("@ 1 client(s)"), "{fails:?}");
+        assert!(fails[0].contains("80.0%"), "{fails:?}");
+    }
+
+    #[test]
+    fn obs_overhead_check_scores_best_of_runs() {
+        // run A's on-arm stalled; run B's is healthy — best-of passes
+        let run_a = doc(
+            "e10",
+            vec![
+                e10_row("filter-scan", "on", "1", "700/s"),
+                e10_row("filter-scan", "off", "1", "1000/s"),
+            ],
+        );
+        let run_b = doc(
+            "e10",
+            vec![
+                e10_row("filter-scan", "on", "1", "990/s"),
+                e10_row("filter-scan", "off", "1", "1000/s"),
+            ],
+        );
+        assert!(obs_overhead_failures(std::slice::from_ref(&run_a)).len() == 1);
+        assert!(obs_overhead_failures(&[run_a, run_b]).is_empty());
     }
 
     #[test]

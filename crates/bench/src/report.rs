@@ -114,6 +114,21 @@ impl Report {
     }
 }
 
+/// The five latency cells every throughput table carries, in header
+/// order `p50, p90, p95, p99, max`: four come from one mergeable
+/// histogram snapshot (µs units), while `p95_exact` is the exact-sample
+/// percentile passed through unchanged — the legacy column older
+/// baselines keyed on stays byte-comparable across this change.
+pub fn latency_cells(h: &udbms_obs::HistSnapshot, p95_exact: u64) -> [String; 5] {
+    [
+        us(h.p50() as u128),
+        us(h.p90() as u128),
+        us(p95_exact as u128),
+        us(h.p99() as u128),
+        us(h.max as u128),
+    ]
+}
+
 /// Format microseconds compactly.
 pub fn us(micros: u128) -> String {
     if micros >= 10_000 {
@@ -175,5 +190,21 @@ mod tests {
         assert_eq!(us(900), "900µs");
         assert_eq!(us(25_000), "25.0ms");
         assert_eq!(per_sec(500, 2.0), "250/s");
+    }
+
+    #[test]
+    fn latency_cells_carry_the_full_percentile_set() {
+        let h = udbms_obs::Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let cells = latency_cells(&h.snapshot(), 95);
+        // p95 is the exact-sample passthrough, the rest are histogram
+        // percentiles (bucket upper bounds, clamped to the true max)
+        assert_eq!(cells[2], "95µs");
+        assert_eq!(cells[4], "100µs");
+        for cell in &cells {
+            assert!(cell.ends_with("µs"), "{cell}");
+        }
     }
 }

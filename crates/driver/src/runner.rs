@@ -32,6 +32,17 @@ impl ConcurrentStats {
     pub fn percentile_us(&self, p: f64) -> u64 {
         percentile_us(&self.latencies_us, p)
     }
+
+    /// The latency sample as a mergeable log2 histogram snapshot (µs
+    /// units) — the shape reports carry so per-run percentile sets
+    /// (p50/p90/p99/max) come from one representation everywhere.
+    pub fn latency_histogram(&self) -> udbms_obs::HistSnapshot {
+        let h = udbms_obs::Histogram::new();
+        for &us in &self.latencies_us {
+            h.record(us);
+        }
+        h.snapshot()
+    }
 }
 
 /// Percentile over a latency sample (nearest-rank); 0 for empty input.

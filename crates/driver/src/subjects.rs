@@ -6,7 +6,8 @@ use std::sync::Arc;
 
 use udbms_core::{Error, Params, Result, Value};
 use udbms_datagen::{create_collections, load_into_engine, workload, Dataset};
-use udbms_engine::{Engine, EngineConfig, Isolation};
+use udbms_engine::{Engine, EngineConfig, Isolation, SlowQuery};
+use udbms_obs::Histogram;
 use udbms_polyglot::{load_into_polyglot, order_update_polyglot, run_query, PolyglotDb};
 use udbms_query::{PlanCache, Query};
 
@@ -21,6 +22,9 @@ use crate::{PreparedQuery, Subject, TxnOp};
 pub struct EngineSubject {
     engine: Engine,
     plans: PlanCache,
+    /// End-to-end statement latency (µs), pre-fetched from the engine's
+    /// obs registry so the execute path never touches it.
+    exec_us: Arc<Histogram>,
 }
 
 impl EngineSubject {
@@ -53,9 +57,15 @@ impl EngineSubject {
     }
 
     fn wrap(engine: Engine) -> EngineSubject {
+        let plans = PlanCache::default();
+        // plan-cache hits/misses and parse latency join the engine's
+        // registry, so Engine::obs_snapshot() covers the query layer too
+        plans.attach_obs(engine.obs());
+        let exec_us = engine.obs().histogram("query_exec_us");
         EngineSubject {
             engine,
-            plans: PlanCache::default(),
+            plans,
+            exec_us,
         }
     }
 
@@ -109,17 +119,38 @@ impl Subject for EngineSubject {
         let parsed: &Arc<Query> = q.payload().ok_or_else(|| {
             Error::Invalid("PreparedQuery is not an EngineSubject payload".into())
         })?;
+        let obs = self.engine.obs();
+        let total_stamp = obs.start();
+        let bind_stamp = obs.start();
         // bind once per draw, outside the retry loop
         let bound = parsed.bind(params)?;
-        if bound.is_read_only() {
+        let bind_us = bind_stamp.elapsed_us();
+        let exec_stamp = obs.start();
+        let out = if bound.is_read_only() {
             // read lane: lock-free snapshot, no OCC read set, no commit
             // lock, no WAL — and reads cannot conflict, so no retry loop
             let mut txn = self.engine.begin_read();
-            let out = bound.execute(&mut txn)?;
+            let rows = bound.execute(&mut txn)?;
             txn.commit()?;
-            return Ok(out);
+            rows
+        } else {
+            self.engine.run(Isolation::Snapshot, |t| bound.execute(t))?
+        };
+        if let Some(total_us) = total_stamp.elapsed_us() {
+            self.exec_us.record(total_us);
+            if obs.slow().should_log(total_us) {
+                obs.slow().push(SlowQuery {
+                    statement: parsed.text().to_string(),
+                    plan: bound.explain(),
+                    total_us,
+                    stages: vec![
+                        ("bind", bind_us.unwrap_or(0)),
+                        ("execute", exec_stamp.elapsed_us().unwrap_or(0)),
+                    ],
+                });
+            }
         }
-        self.engine.run(Isolation::Snapshot, |t| bound.execute(t))
+        Ok(out)
     }
 
     fn transact(&self, op: &TxnOp, isolation: &str) -> Result<()> {
@@ -153,6 +184,13 @@ impl Subject for EngineSubject {
             // group-commit efficiency: records per flushed batch
             out.push(("wal_batches".into(), stats.wal_batches as i64));
             out.push(("wal_records".into(), stats.wal_records as i64));
+        }
+        // statement-latency percentiles from the obs histogram (µs);
+        // a plain snapshot read — nothing is drained
+        let exec = self.exec_us.snapshot();
+        if exec.count > 0 {
+            out.push(("query_p50_us".into(), exec.p50() as i64));
+            out.push(("query_p99_us".into(), exec.p99() as i64));
         }
         out
     }

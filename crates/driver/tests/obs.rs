@@ -1,0 +1,187 @@
+//! Integration tests for the engine-wide observability layer, driven
+//! through the public `Subject` surface the harness uses: the slow-query
+//! log captures seeded slow statements with stage timings, a WAL-backed
+//! engine reports per-stage commit-pipeline histograms, and the snapshot
+//! exports (Prometheus text, JSON) round-trip through the repo's own
+//! parsers.
+
+use udbms_datagen::{generate, workload, GenConfig};
+use udbms_driver::{EngineSubject, Subject};
+use udbms_engine::{Durability, EngineConfig};
+
+/// A tiny dataset every test can afford to load.
+fn small_dataset() -> udbms_datagen::Dataset {
+    generate(&GenConfig {
+        scale_factor: 0.01,
+        ..Default::default()
+    })
+}
+
+/// Run `n` executions of workload query `q_idx` against `subject`.
+fn drive(subject: &EngineSubject, data: &udbms_datagen::Dataset, q_idx: usize, n: usize) {
+    let q = workload::queries()[q_idx];
+    let prepared = subject.prepare(&q).unwrap();
+    let params = workload::QueryParams::draw(data, 1).bindings();
+    for _ in 0..n {
+        subject.execute(&prepared, &params).unwrap();
+    }
+}
+
+#[test]
+fn slow_query_log_captures_statement_and_stage_timings() {
+    // threshold 0 ms: every execution is "slow", so one run seeds the log
+    let subject = EngineSubject::with_config(EngineConfig::default().with_slow_query_ms(0));
+    let data = small_dataset();
+    subject.load(&data).unwrap();
+    drive(&subject, &data, 0, 3);
+
+    let snap = subject.engine().obs_snapshot();
+    assert!(
+        !snap.slow_queries.is_empty(),
+        "threshold 0 must capture every execution"
+    );
+    let entry = &snap.slow_queries[0];
+    assert!(
+        entry.statement.contains("FOR c IN customers"),
+        "slow-query entries carry the statement text, got `{}`",
+        entry.statement
+    );
+    assert!(!entry.plan.is_empty(), "entries carry a plan summary");
+    let stage_names: Vec<&str> = entry.stages.iter().map(|(name, _)| *name).collect();
+    assert_eq!(
+        stage_names,
+        vec!["bind", "execute"],
+        "stage timings name the execution phases"
+    );
+    // total roughly covers the stages — the stage stamps are read a
+    // moment after the total, so allow scheduling/truncation skew
+    let stage_sum: u64 = entry.stages.iter().map(|(_, us)| *us).sum();
+    assert!(
+        entry.total_us + 1000 >= stage_sum,
+        "total {}µs vs stages {}µs",
+        entry.total_us,
+        stage_sum
+    );
+}
+
+#[test]
+fn default_threshold_captures_nothing_fast() {
+    // the default 100 ms threshold should not trip on point lookups
+    let subject = EngineSubject::with_config(EngineConfig::default());
+    let data = small_dataset();
+    subject.load(&data).unwrap();
+    drive(&subject, &data, 0, 3);
+    let snap = subject.engine().obs_snapshot();
+    assert!(
+        snap.slow_queries.is_empty(),
+        "sub-millisecond lookups must not spam the slow-query log"
+    );
+}
+
+#[test]
+fn wal_engine_reports_per_stage_commit_histograms() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("udbms-driver-obs-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let subject = EngineSubject::with_wal_config(
+        &path,
+        EngineConfig::default().with_durability(Durability::Flush),
+    )
+    .unwrap();
+    let data = small_dataset();
+    subject.load(&data).unwrap();
+    // a handful of write transactions push commits through the full
+    // group-commit pipeline: queue wait → WAL append → flush → install
+    let order = udbms_core::Key::str(data.orders[0].get_field("_id").as_str().unwrap());
+    for _ in 0..10 {
+        subject
+            .transact(
+                &udbms_driver::TxnOp::OrderUpdate {
+                    order: order.clone(),
+                },
+                "SI",
+            )
+            .unwrap();
+    }
+
+    let snap = subject.engine().obs_snapshot();
+    for stage in [
+        "commit_queue_wait_ns",
+        "wal_append_ns",
+        "wal_flush_ns",
+        "commit_validate_ns",
+        "commit_install_ns",
+    ] {
+        let hist = snap
+            .histogram(stage)
+            .unwrap_or_else(|| panic!("snapshot must contain `{stage}`"));
+        assert!(hist.count > 0, "`{stage}` must have recorded samples");
+        assert!(hist.max >= hist.p50(), "`{stage}` percentiles are ordered");
+    }
+    // the trace ring saw the WAL batches commit durably
+    assert!(
+        snap.events.iter().any(|e| e.kind == "wal_batch"),
+        "trace ring must carry wal_batch events"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn snapshot_exports_parse_cleanly() {
+    let subject = EngineSubject::with_config(EngineConfig::default());
+    let data = small_dataset();
+    subject.load(&data).unwrap();
+    drive(&subject, &data, 0, 5);
+
+    let snap = subject.engine().obs_snapshot();
+
+    // JSON export must be valid by the repo's own parser
+    let json = snap.to_json();
+    let doc = udbms_json::parse(&json).expect("ObsSnapshot::to_json must be valid JSON");
+    let text = udbms_json::to_string(&doc);
+    assert!(text.contains("query_exec_us"), "histograms serialize");
+
+    // Prometheus text export carries counts and quantiles
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("query_exec_us_count"));
+    assert!(prom.contains("quantile=\"0.99\""));
+    assert!(prom.contains("# TYPE"));
+}
+
+#[test]
+fn plan_cache_counters_surface_in_engine_stats() {
+    let subject = EngineSubject::with_config(EngineConfig::default());
+    let data = small_dataset();
+    subject.load(&data).unwrap();
+    let q = workload::queries()[0];
+    for _ in 0..3 {
+        subject.prepare(&q).unwrap();
+    }
+    let stats = subject.engine().stats();
+    assert_eq!(stats.plan_misses, 1, "first prepare parses");
+    assert_eq!(stats.plan_hits, 2, "repeat prepares hit the cache");
+    // and the same numbers ride the Subject::counters() surface
+    let counters = subject.counters();
+    let get = |name: &str| counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    assert_eq!(get("plan_hits"), Some(2));
+    assert_eq!(get("plan_misses"), Some(1));
+}
+
+#[test]
+fn disabled_obs_keeps_the_subject_silent() {
+    let subject = EngineSubject::with_config(
+        EngineConfig::default()
+            .with_obs(false)
+            .with_slow_query_ms(0),
+    );
+    let data = small_dataset();
+    subject.load(&data).unwrap();
+    drive(&subject, &data, 0, 3);
+    let snap = subject.engine().obs_snapshot();
+    assert!(!snap.enabled);
+    assert!(snap.slow_queries.is_empty(), "disabled obs logs nothing");
+    assert!(
+        snap.histogram("query_exec_us").map_or(0, |h| h.count) == 0,
+        "disabled obs records no statement latencies"
+    );
+}

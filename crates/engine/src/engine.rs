@@ -52,6 +52,8 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::{LockRank, TrackedMutex, TrackedRwLock};
 
+use udbms_obs::{Histogram, Obs, ObsSnapshot};
+
 use udbms_core::{CollectionSchema, Error, FieldPath, Key, ModelKind, Result, Ts, TxnId, Value};
 use udbms_graph::Direction;
 use udbms_relational::{IndexKind, Predicate};
@@ -97,6 +99,13 @@ pub struct EngineConfig {
     /// engine's historical per-commit path, kept as the E8 comparison
     /// arm.
     pub group_commit: bool,
+    /// Whether observability recording (stage histograms, trace events,
+    /// slow-query log) is on. Disabled, every timing site reduces to one
+    /// branch — the E10 experiment measures the difference.
+    pub obs: bool,
+    /// Slow-query threshold in milliseconds: executions at or over it
+    /// are captured in the slow-query log (when `obs` is on).
+    pub slow_query_ms: u64,
 }
 
 impl Default for EngineConfig {
@@ -105,11 +114,19 @@ impl Default for EngineConfig {
             shards: DEFAULT_SHARDS,
             durability: Durability::default(),
             group_commit: true,
+            obs: true,
+            slow_query_ms: 100,
         }
     }
 }
 
 impl EngineConfig {
+    /// Override the storage shard count (builder-style, clamped to ≥ 1).
+    pub fn with_shards(mut self, shards: usize) -> EngineConfig {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Override the durability level (builder-style).
     pub fn with_durability(mut self, durability: Durability) -> EngineConfig {
         self.durability = durability;
@@ -121,6 +138,18 @@ impl EngineConfig {
         self.group_commit = group_commit;
         self
     }
+
+    /// Enable/disable observability recording (builder-style).
+    pub fn with_obs(mut self, obs: bool) -> EngineConfig {
+        self.obs = obs;
+        self
+    }
+
+    /// Override the slow-query threshold (builder-style).
+    pub fn with_slow_query_ms(mut self, ms: u64) -> EngineConfig {
+        self.slow_query_ms = ms;
+        self
+    }
 }
 
 #[derive(Debug, Default)]
@@ -130,6 +159,28 @@ struct Stats {
     ww_conflicts: AtomicU64,
     read_conflicts: AtomicU64,
     read_lane: AtomicU64,
+}
+
+/// Pre-fetched obs handles for the engine's own timing sites — grabbed
+/// once at construction so the commit hot path never touches the
+/// registry (zero allocation, no interning lock).
+struct Metrics {
+    /// Commit validation (write-write + OCC), per writing commit.
+    validate_ns: Arc<Histogram>,
+    /// Version + index-posting install, per writing commit.
+    install_ns: Arc<Histogram>,
+    /// Checkpoint end-to-end.
+    checkpoint_ns: Arc<Histogram>,
+}
+
+impl Metrics {
+    fn new(obs: &Obs) -> Metrics {
+        Metrics {
+            validate_ns: obs.histogram("commit_validate_ns"),
+            install_ns: obs.histogram("commit_install_ns"),
+            checkpoint_ns: obs.histogram("checkpoint_ns"),
+        }
+    }
 }
 
 struct Inner {
@@ -155,6 +206,11 @@ struct Inner {
     /// txn id → snapshot ts of every open transaction (GC watermark).
     active: TrackedMutex<HashMap<TxnId, Ts>>,
     stats: Stats,
+    /// Engine-wide observability: the metric registry, trace ring, and
+    /// slow-query log shared by storage, the WAL pipeline, and (via
+    /// [`Engine::obs`]) the driver's query layer.
+    obs: Arc<Obs>,
+    metrics: Metrics,
 }
 
 /// Counters and storage shape, for reports and the E6 ablations.
@@ -185,6 +241,11 @@ pub struct EngineStats {
     pub wal_batches: u64,
     /// WAL records written; 0 without a WAL.
     pub wal_records: u64,
+    /// Plan-cache hits (0 until a plan cache attaches to this engine's
+    /// obs registry — see `PlanCache::attach_obs` in `udbms-query`).
+    pub plan_hits: u64,
+    /// Plan-cache misses (compiled plans); 0 until a cache attaches.
+    pub plan_misses: u64,
 }
 
 /// Result of a garbage-collection pass.
@@ -248,18 +309,26 @@ impl Engine {
 
     /// A fresh in-memory engine with explicit tuning.
     pub fn with_config(config: EngineConfig) -> Engine {
+        let obs = Arc::new(Obs::new(config.obs));
+        obs.slow()
+            .set_threshold_us(config.slow_query_ms.saturating_mul(1000));
+        let metrics = Metrics::new(&obs);
+        let storage = ShardedStorage::new(config.shards);
+        storage.attach_obs(&obs);
         Engine {
             inner: Arc::new(Inner {
                 clock: AtomicU64::new(0),
                 published: AtomicU64::new(0),
                 next_txn: AtomicU64::new(1),
-                storage: ShardedStorage::new(config.shards),
+                storage,
                 catalog: TrackedRwLock::new(LockRank::Catalog, Catalog::new()),
                 commit_lock: TrackedMutex::new(LockRank::Commit, ()),
                 log: OnceLock::new(),
                 checkpoint_lock: TrackedMutex::new(LockRank::Checkpoint, ()),
                 active: TrackedMutex::new(LockRank::ActiveTxns, HashMap::new()),
                 stats: Stats::default(),
+                obs,
+                metrics,
             }),
         }
     }
@@ -281,7 +350,11 @@ impl Engine {
     pub fn with_wal_config(path: impl AsRef<Path>, config: EngineConfig) -> Result<Engine> {
         let engine = Engine::with_config(config);
         let recovery = Wal::recover(path.as_ref())?;
-        engine.apply_records(recovery.records)?;
+        let replayed = engine.apply_records(recovery.records)?;
+        engine
+            .inner
+            .obs
+            .event("recovery", replayed as u64, recovery.truncated_bytes);
         // group commit appends through the mmap'd fast path (no syscall
         // per record); the per-commit comparison arm keeps the seed
         // engine's buffered-write path
@@ -290,7 +363,12 @@ impl Engine {
         } else {
             Wal::open(path)?
         };
-        let log = GroupLog::start(wal, config.durability, config.group_commit);
+        let log = GroupLog::start(
+            wal,
+            config.durability,
+            config.group_commit,
+            Arc::clone(&engine.inner.obs),
+        );
         if engine.inner.log.set(log).is_err() {
             // lint:allow(unwrap): the engine was constructed two lines up
             unreachable!("fresh engine cannot already have a log");
@@ -355,6 +433,7 @@ impl Engine {
         let Some(log) = self.inner.log.get() else {
             return Ok(());
         };
+        let stamp = self.inner.obs.start();
         let _ckpt = self.inner.checkpoint_lock.lock();
         let snapshot = {
             let _commit = self.inner.commit_lock.lock();
@@ -374,12 +453,19 @@ impl Engine {
                 }
             }
         }
+        self.inner
+            .obs
+            .event("checkpoint", snapshot.0, writes.len() as u64);
         let synthetic = WalRecord {
             commit_ts: snapshot,
             txn: TxnId(0),
             writes,
         };
-        log.checkpoint(synthetic, snapshot)
+        let out = log.checkpoint(synthetic, snapshot);
+        self.inner
+            .obs
+            .record_ns(&self.inner.metrics.checkpoint_ns, stamp);
+        out
     }
 
     /// Register a collection.
@@ -584,7 +670,33 @@ impl Engine {
             active_txns: self.inner.active.lock().len(),
             wal_batches,
             wal_records,
+            plan_hits: self.inner.obs.counter("plan_cache_hits").get(),
+            plan_misses: self.inner.obs.counter("plan_cache_misses").get(),
         }
+    }
+
+    /// The engine's observability handle. Subsystems that execute on the
+    /// engine's behalf (the query layer's plan cache, the driver's
+    /// statement executor) attach their metrics here so one snapshot
+    /// covers the whole stack.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.inner.obs
+    }
+
+    /// Snapshot the full observability state: every counter, gauge, and
+    /// stage histogram (commit queue-wait / WAL append / flush / install
+    /// among them), the recent-event trace, and the slow-query log.
+    /// Storage-shape gauges are refreshed first so the snapshot is
+    /// self-contained.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let (versions, chains, max_chain_len) = self.inner.storage.shape();
+        let obs = &self.inner.obs;
+        obs.gauge("storage_versions").set(versions as i64);
+        obs.gauge("storage_chains").set(chains as i64);
+        obs.gauge("storage_max_chain_len").set(max_chain_len as i64);
+        obs.gauge("active_txns")
+            .set(self.inner.active.lock().len() as i64);
+        obs.snapshot()
     }
 }
 
@@ -1401,6 +1513,7 @@ impl Txn {
         let (commit_ts, logged) = {
             let _commit = inner.commit_lock.lock();
             // --- validation (one shard read-lock per touched shard) ---
+            let validate_stamp = inner.obs.start();
             let write_groups = inner.storage.group_by_shard(state.write_order.iter());
             if state.isolation != Isolation::ReadCommitted {
                 // write-write: first committer wins
@@ -1460,10 +1573,14 @@ impl Txn {
                     }
                 }
             }
+            inner
+                .obs
+                .record_ns(&inner.metrics.validate_ns, validate_stamp);
             // --- install (versions + index postings, one shard
             //     write-lock per touched shard, ascending order);
             //     buffered values are Arc-shared, so each install is a
             //     refcount bump, not a value tree copy ---
+            let install_stamp = inner.obs.start();
             let commit_ts = Ts(inner.clock.fetch_add(1, Ordering::SeqCst) + 1);
             for (si, group) in write_groups.iter().enumerate() {
                 if group.is_empty() {
@@ -1478,6 +1595,9 @@ impl Txn {
             // every version is in place: publish the timestamp so
             // lock-free read-lane snapshots can observe this commit
             inner.published.store(commit_ts.0, Ordering::Release);
+            inner
+                .obs
+                .record_ns(&inner.metrics.install_ns, install_stamp);
             // --- log: enqueue while still holding commit_lock so the
             //     queue order is commit-ts order; the flush/fsync wait
             //     happens after the lock is released ---

@@ -50,15 +50,44 @@ use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, LockRank, TrackedMutex, TrackedMutexGuard};
 
+use udbms_obs::{Histogram, Obs, Stamp};
+
 use udbms_core::{Error, Result, Ts};
 
 use crate::txn::Durability;
 use crate::wal::{PreparedRewrite, Wal, WalRecord};
 
+/// Pre-fetched obs handles for the commit pipeline's stage histograms —
+/// one registry lookup each at [`GroupLog::start`], then the record
+/// path is pure atomics.
+struct PipelineMetrics {
+    /// Enqueue → batch-taken wait, per record.
+    queue_wait_ns: Arc<Histogram>,
+    /// WAL append (format + write) per batch.
+    append_ns: Arc<Histogram>,
+    /// Flush / fdatasync per batch (≈0 at `Buffered`).
+    flush_ns: Arc<Histogram>,
+    /// Records per written batch (group-commit efficiency shape).
+    batch_records: Arc<Histogram>,
+}
+
+impl PipelineMetrics {
+    fn new(obs: &Obs) -> PipelineMetrics {
+        PipelineMetrics {
+            queue_wait_ns: obs.histogram("commit_queue_wait_ns"),
+            append_ns: obs.histogram("wal_append_ns"),
+            flush_ns: obs.histogram("wal_flush_ns"),
+            batch_records: obs.histogram("wal_batch_records"),
+        }
+    }
+}
+
 #[derive(Default)]
 struct LogState {
-    /// Commit records awaiting the log writer, in commit-ts order.
-    queue: Vec<WalRecord>,
+    /// Commit records awaiting the log writer, in commit-ts order, each
+    /// carrying its enqueue stamp (empty when obs is off) so the batch
+    /// writer can attribute queue wait per record.
+    queue: Vec<(WalRecord, Stamp)>,
     /// Records ever enqueued; a committer's ticket is its value after
     /// its own push.
     enqueued: u64,
@@ -101,21 +130,46 @@ struct LogShared {
     idle: Condvar,
     wal: TrackedMutex<Wal>,
     durability: Durability,
+    obs: Arc<Obs>,
+    pipe: PipelineMetrics,
 }
 
 impl LogShared {
     fn write_batch(&self, wal: &mut Wal, batch: &[WalRecord]) -> Result<()> {
+        let append_stamp = self.obs.start();
         for rec in batch {
             wal.append(rec)?;
         }
-        match self.durability {
+        self.obs.record_ns(&self.pipe.append_ns, append_stamp);
+        let flush_stamp = self.obs.start();
+        let flushed = match self.durability {
             Durability::Buffered => Ok(()),
             Durability::Flush => wal.flush(),
             Durability::Fsync => {
                 wal.flush()?;
                 wal.sync_data()
             }
+        };
+        self.obs.record_ns(&self.pipe.flush_ns, flush_stamp);
+        flushed
+    }
+
+    /// Take the whole queue, retiring each record's queue-wait stamp
+    /// into the stage histogram.
+    fn take_batch(&self, st: &mut LogState) -> Vec<WalRecord> {
+        let taken = std::mem::take(&mut st.queue);
+        if self.obs.is_enabled() && !taken.is_empty() {
+            self.pipe.batch_records.record(taken.len() as u64);
         }
+        taken
+            .into_iter()
+            .map(|(rec, stamp)| {
+                if let Some(ns) = stamp.elapsed_ns() {
+                    self.pipe.queue_wait_ns.record(ns);
+                }
+                rec
+            })
+            .collect()
     }
 
     /// Take the queued batch, write + flush/fsync it, retire it. The
@@ -137,7 +191,7 @@ impl LogShared {
         if self.durability == Durability::Fsync {
             st.writing = true;
             self.writing.store(true, Ordering::Relaxed);
-            let batch = std::mem::take(&mut st.queue);
+            let batch = self.take_batch(&mut st);
             drop(st);
             let result = {
                 let mut wal = self.wal.lock();
@@ -148,7 +202,7 @@ impl LogShared {
             self.writing.store(false, Ordering::Relaxed);
             self.retire(&mut st, batch.len() as u64, result);
         } else {
-            let batch = std::mem::take(&mut st.queue);
+            let batch = self.take_batch(&mut st);
             let result = {
                 let mut wal = self.wal.lock();
                 self.write_batch(&mut wal, &batch)
@@ -171,6 +225,7 @@ impl LogShared {
                 // publish for the lock-free follower path; Release pairs
                 // with the Acquire poll in wait_durable
                 self.durable.store(st.durable, Ordering::Release);
+                self.obs.event("wal_batch", n, st.durable);
             }
             Err(e) => self.poison(st, &e),
         }
@@ -215,8 +270,10 @@ pub(crate) struct GroupLog {
 
 impl GroupLog {
     /// Wrap an open WAL. `grouped` spawns the dedicated log writer;
-    /// otherwise commits write synchronously.
-    pub fn start(wal: Wal, durability: Durability, grouped: bool) -> GroupLog {
+    /// otherwise commits write synchronously. Stage timings (queue
+    /// wait, append, flush) land in `obs`'s histograms.
+    pub fn start(wal: Wal, durability: Durability, grouped: bool, obs: Arc<Obs>) -> GroupLog {
+        let pipe = PipelineMetrics::new(&obs);
         let shared = Arc::new(LogShared {
             state: TrackedMutex::new(LockRank::GroupQueue, LogState::default()),
             durable: AtomicU64::new(0),
@@ -227,6 +284,8 @@ impl GroupLog {
             idle: Condvar::new(),
             wal: TrackedMutex::new(LockRank::WalFile, wal),
             durability,
+            obs,
+            pipe,
         });
         let writer = grouped.then(|| {
             let shared = Arc::clone(&shared);
@@ -254,7 +313,7 @@ impl GroupLog {
             if let Some(msg) = &st.error {
                 return Err(poisoned(msg));
             }
-            st.queue.push(rec);
+            st.queue.push((rec, self.shared.obs.start()));
             st.enqueued += 1;
             let seq = st.enqueued;
             // only Buffered commits need the dedicated writer woken: at
@@ -285,6 +344,10 @@ impl GroupLog {
                     st.batches += 1;
                     st.appended += 1;
                     self.shared.durable.store(st.durable, Ordering::Release);
+                    if self.shared.obs.is_enabled() {
+                        self.shared.pipe.batch_records.record(1);
+                    }
+                    self.shared.obs.event("wal_batch", 1, st.durable);
                     Ok(st.enqueued)
                 }
                 Err(e) => {
@@ -402,7 +465,7 @@ impl GroupLog {
         if let Some(msg) = &st.error {
             return Err(poisoned(msg));
         }
-        let pending = std::mem::take(&mut st.queue);
+        let pending = self.shared.take_batch(&mut st);
         let drained = pending.len() as u64;
         let result = {
             let mut wal = self.shared.wal.lock();
@@ -476,6 +539,10 @@ mod tests {
     use super::*;
     use udbms_core::{Key, TxnId, Value};
 
+    fn test_obs() -> Arc<Obs> {
+        Arc::new(Obs::new(true))
+    }
+
     fn temp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
         p.push(format!(
@@ -497,7 +564,12 @@ mod tests {
     #[test]
     fn grouped_commits_become_durable_in_order() {
         let path = temp_path("grouped");
-        let log = GroupLog::start(Wal::open(&path).unwrap(), Durability::Flush, true);
+        let log = GroupLog::start(
+            Wal::open(&path).unwrap(),
+            Durability::Flush,
+            true,
+            test_obs(),
+        );
         for ts in 1..=30 {
             let seq = log.commit(rec(ts)).unwrap();
             log.wait_durable(seq).unwrap();
@@ -518,7 +590,12 @@ mod tests {
     #[test]
     fn buffered_commits_survive_clean_shutdown() {
         let path = temp_path("buffered");
-        let log = GroupLog::start(Wal::open(&path).unwrap(), Durability::Buffered, true);
+        let log = GroupLog::start(
+            Wal::open(&path).unwrap(),
+            Durability::Buffered,
+            true,
+            test_obs(),
+        );
         for ts in 1..=10 {
             let seq = log.commit(rec(ts)).unwrap();
             log.wait_durable(seq).unwrap(); // no-op for Buffered
@@ -531,7 +608,12 @@ mod tests {
     #[test]
     fn sync_mode_writes_one_batch_per_commit() {
         let path = temp_path("sync");
-        let log = GroupLog::start(Wal::open(&path).unwrap(), Durability::Flush, false);
+        let log = GroupLog::start(
+            Wal::open(&path).unwrap(),
+            Durability::Flush,
+            false,
+            test_obs(),
+        );
         for ts in 1..=5 {
             let seq = log.commit(rec(ts)).unwrap();
             log.wait_durable(seq).unwrap();
@@ -545,7 +627,12 @@ mod tests {
     #[test]
     fn checkpoint_keeps_records_after_snapshot() {
         let path = temp_path("ckpt");
-        let log = GroupLog::start(Wal::open(&path).unwrap(), Durability::Flush, true);
+        let log = GroupLog::start(
+            Wal::open(&path).unwrap(),
+            Durability::Flush,
+            true,
+            test_obs(),
+        );
         for ts in 1..=6 {
             let seq = log.commit(rec(ts)).unwrap();
             log.wait_durable(seq).unwrap();
@@ -570,12 +657,68 @@ mod tests {
     }
 
     #[test]
+    fn stage_histograms_cover_the_pipeline() {
+        let path = temp_path("stages");
+        let obs = test_obs();
+        let log = GroupLog::start(
+            Wal::open(&path).unwrap(),
+            Durability::Flush,
+            true,
+            Arc::clone(&obs),
+        );
+        for ts in 1..=20 {
+            let seq = log.commit(rec(ts)).unwrap();
+            log.wait_durable(seq).unwrap();
+        }
+        drop(log);
+        let snap = obs.snapshot();
+        for stage in [
+            "commit_queue_wait_ns",
+            "wal_append_ns",
+            "wal_flush_ns",
+            "wal_batch_records",
+        ] {
+            let h = snap.histogram(stage).expect(stage);
+            assert!(h.count > 0, "{stage} recorded nothing");
+        }
+        let waits = snap.histogram("commit_queue_wait_ns").unwrap();
+        assert_eq!(waits.count, 20, "every record's queue wait measured");
+        assert!(
+            snap.events.iter().any(|e| e.kind == "wal_batch"),
+            "batch events traced"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let path = temp_path("disabled");
+        let obs = Obs::disabled();
+        let log = GroupLog::start(
+            Wal::open(&path).unwrap(),
+            Durability::Flush,
+            true,
+            Arc::clone(&obs),
+        );
+        for ts in 1..=5 {
+            let seq = log.commit(rec(ts)).unwrap();
+            log.wait_durable(seq).unwrap();
+        }
+        drop(log);
+        let snap = obs.snapshot();
+        assert_eq!(snap.histogram("wal_append_ns").map(|h| h.count), Some(0));
+        assert!(snap.events.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn concurrent_committers_all_become_durable() {
         let path = temp_path("concurrent");
         let log = std::sync::Arc::new(GroupLog::start(
             Wal::open(&path).unwrap(),
             Durability::Flush,
             true,
+            test_obs(),
         ));
         let next_ts = std::sync::atomic::AtomicU64::new(1);
         std::thread::scope(|scope| {

@@ -55,6 +55,11 @@ pub use storage::{shard_of, RecordId, Shard, ShardedStorage, Storage, Version};
 pub use txn::{Durability, Isolation};
 pub use wal::{PreparedRewrite, Wal, WalRecord, WalRecovery};
 
+// Re-exported so engine users can consume snapshots and attach
+// metrics without naming `udbms-obs` themselves.
+pub use udbms_obs as obs;
+pub use udbms_obs::{HistSnapshot, Obs, ObsSnapshot, SlowQuery};
+
 #[cfg(test)]
 mod proptests {
     use super::*;

@@ -18,6 +18,8 @@ use std::sync::Arc;
 
 use parking_lot::{LockRank, TrackedRwLock};
 
+use udbms_obs::{Histogram, Obs, Stamp};
+
 use udbms_core::{CollectionId, FieldPath, Key, Ts, Value};
 use udbms_relational::{Index, IndexKind};
 
@@ -444,6 +446,20 @@ fn post_value(idx: &mut Index, path: &FieldPath, key: &Key, value: &Value) {
 #[derive(Debug)]
 pub struct ShardedStorage {
     shards: Vec<TrackedRwLock<Shard>>,
+    /// Obs handles for the scan histograms, attached once by the engine
+    /// (absent for bare `ShardedStorage` unit-test use).
+    obs: std::sync::OnceLock<StorageObs>,
+}
+
+/// Pre-fetched scan-path obs handles.
+#[derive(Debug)]
+struct StorageObs {
+    obs: Arc<Obs>,
+    /// Run-building time of [`ShardedStorage::scan_iter`] (the eager,
+    /// under-lock part of every merged/limited scan).
+    scan_ns: Arc<Histogram>,
+    /// End-to-end [`ShardedStorage::filter_scan`] time.
+    filter_scan_ns: Arc<Histogram>,
 }
 
 impl ShardedStorage {
@@ -454,7 +470,18 @@ impl ShardedStorage {
             shards: (0..n)
                 .map(|i| TrackedRwLock::with_index(LockRank::Shard, i, Shard::new()))
                 .collect(),
+            obs: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attach the engine's obs handle (idempotent; first caller wins).
+    /// Scan timing stays off until this is called.
+    pub fn attach_obs(&self, obs: &Arc<Obs>) {
+        let _ = self.obs.set(StorageObs {
+            obs: Arc::clone(obs),
+            scan_ns: obs.histogram("scan_ns"),
+            filter_scan_ns: obs.histogram("filter_scan_ns"),
+        });
     }
 
     /// Number of partitions.
@@ -540,6 +567,8 @@ impl ShardedStorage {
         pred: Option<&dyn Fn(&Value) -> bool>,
         limit: Option<usize>,
     ) -> ScanIter {
+        let sobs = self.obs.get();
+        let stamp = sobs.map_or(Stamp::NONE, |o| o.obs.start());
         let runs: Vec<Vec<(Key, Ts, Arc<Value>)>> = self
             .shards
             .iter()
@@ -558,6 +587,9 @@ impl ShardedStorage {
                 run
             })
             .collect();
+        if let Some(o) = sobs {
+            o.obs.record_ns(&o.scan_ns, stamp);
+        }
         ScanIter::new(runs, limit)
     }
 
@@ -575,6 +607,8 @@ impl ShardedStorage {
     where
         F: Fn(&Value) -> bool + Sync,
     {
+        let sobs = self.obs.get();
+        let stamp = sobs.map_or(Stamp::NONE, |o| o.obs.start());
         let scan_one = |shard: &TrackedRwLock<Shard>| -> Vec<(Key, Ts, Arc<Value>)> {
             let s = shard.read();
             s.store
@@ -599,7 +633,11 @@ impl ShardedStorage {
         } else {
             self.shards.iter().map(scan_one).collect()
         };
-        merge_runs(runs, |t| &t.0)
+        let merged = merge_runs(runs, |t| &t.0);
+        if let Some(o) = sobs {
+            o.obs.record_ns(&o.filter_scan_ns, stamp);
+        }
+        merged
     }
 
     /// Candidate keys for an equality probe, concatenated across every

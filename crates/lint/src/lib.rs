@@ -3,7 +3,7 @@
 //! Project-specific static analysis for the UDBMS workspace.
 //!
 //! `udbms-lint` is a std-only (no crates.io) lexer/walker enforcing the
-//! four concurrency-correctness rules documented in DESIGN.md,
+//! five concurrency/performance rules documented in DESIGN.md,
 //! "Invariants & static analysis":
 //!
 //! * **L1 `lock-order`** — ranked-lock acquisitions within a function
@@ -13,6 +13,10 @@
 //!   engine/query/driver (and lint) code.
 //! * **L4 `raw-lock`** — no untracked `Mutex`/`RwLock` in
 //!   `crates/engine`.
+//! * **L5 `hot-clock`** — no raw `Instant::now()`/`SystemTime::now()`
+//!   in non-test `crates/engine` code; engine hot paths time
+//!   themselves through the `udbms-obs` helpers, which cost one
+//!   branch when observability is disabled.
 //!
 //! Findings are suppressed by an inline
 //! `// lint:allow(<rule>): reason` on the offending (or preceding)
@@ -280,6 +284,42 @@ fn ok(&self) {
         assert!(lint_source("crates/engine/src/x.rs", ok).is_empty());
         // and raw locks outside crates/engine are fine
         assert!(lint_source("crates/shims/parking_lot/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_clock_reads_in_engine_are_flagged() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let findings = lint_source("crates/engine/src/x.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::HotClock);
+        assert!(findings[0].message.contains("Obs::start"));
+
+        let sys = "fn f() { let t = SystemTime::now(); }\n";
+        let findings = lint_source("crates/engine/src/x.rs", sys);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::HotClock);
+    }
+
+    #[test]
+    fn hot_clock_is_scoped_and_relaxes_in_tests() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        // outside crates/engine the rule does not apply (obs owns its
+        // own Instant::now calls)
+        assert!(lint_source("crates/obs/src/lib.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/report.rs", src).is_empty());
+
+        let tested =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { let t = Instant::now(); }\n}\n";
+        assert!(lint_source("crates/engine/src/x.rs", tested).is_empty());
+    }
+
+    #[test]
+    fn hot_clock_inline_allow_suppresses() {
+        let src = "fn f() {\n    // lint:allow(hot-clock): startup-only, not a hot path\n    let t = Instant::now();\n}\n";
+        assert!(lint_source("crates/engine/src/x.rs", src).is_empty());
+        // a bare `Instant` type mention without `::now` is fine
+        let ty = "fn f(deadline: Instant) -> Instant { deadline }\n";
+        assert!(lint_source("crates/engine/src/x.rs", ty).is_empty());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The four project rules, evaluated over the token stream.
+//! The five project rules, evaluated over the token stream.
 //!
 //! * **L1 `lock-order`** — within one function body, acquisitions of
 //!   ranked locks must be non-decreasing in rank (shards strictly
@@ -15,6 +15,10 @@
 //!   `std::sync::Mutex`/`RwLock` or the untracked shim `Mutex`/`RwLock`
 //!   directly; all long-lived engine locks go through the tracked
 //!   types.
+//! * **L5 `hot-clock`** — no raw `Instant::now()` / `SystemTime::now()`
+//!   in non-test `crates/engine` code; hot-path timing goes through
+//!   the branch-on-disabled `udbms-obs` helpers (`Obs::start()` /
+//!   `Stamp`) so a disabled registry costs one branch, not a syscall.
 //!
 //! Suppression: an inline `// lint:allow(<rule>): reason` comment on
 //! the offending line or the line above, or an entry in the repo-root
@@ -35,6 +39,9 @@ pub enum Rule {
     Unwrap,
     /// L4: raw (untracked) `Mutex`/`RwLock` in `crates/engine`.
     RawLock,
+    /// L5: raw `Instant::now()`/`SystemTime::now()` in non-test
+    /// `crates/engine` code.
+    HotClock,
 }
 
 impl Rule {
@@ -45,6 +52,7 @@ impl Rule {
             Rule::Safety => "safety",
             Rule::Unwrap => "unwrap",
             Rule::RawLock => "raw-lock",
+            Rule::HotClock => "hot-clock",
         }
     }
 }
@@ -135,9 +143,16 @@ pub fn raw_lock_scoped(path: &str) -> bool {
     path.starts_with("crates/engine/src/")
 }
 
+/// Whether L5 (raw clock reads) applies to this repo-relative path.
+/// Engine hot paths must time themselves through `udbms-obs` (which
+/// owns the only `Instant::now()` calls and skips them when disabled).
+pub fn hot_clock_scoped(path: &str) -> bool {
+    path.starts_with("crates/engine/src/")
+}
+
 /// Lint one file's source. `path` is repo-relative with forward
 /// slashes; it selects which rules apply (L1/L2 run everywhere,
-/// L3/L4 on their scoped crates).
+/// L3/L4/L5 on their scoped crates).
 pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     let lexed = lex(src);
     let mut findings = Vec::new();
@@ -151,6 +166,9 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     }
     if raw_lock_scoped(path) {
         check_raw_lock(path, &lexed, &mut findings);
+    }
+    if hot_clock_scoped(path) {
+        check_hot_clock(path, &lexed, &in_test, &mut findings);
     }
     findings.retain(|f| !inline_allowed(&lexed, f));
     findings
@@ -541,6 +559,47 @@ fn check_raw_lock(path: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
                      `Tracked{}` from the parking_lot shim (or \
                      `// lint:allow(raw-lock): <reason>`)",
                     t.text, t.text
+                ),
+            });
+        }
+    }
+}
+
+/// L5: raw clock reads in non-test `crates/engine` code. The engine's
+/// only time source is the obs layer — `Obs::start()` returns a
+/// [`Stamp`] that is `None` when observability is off, so the hot path
+/// pays a branch instead of a `clock_gettime` syscall. A direct
+/// `Instant::now()` (or `SystemTime::now()`) defeats that and is
+/// invisible to the E10 overhead gate.
+fn check_hot_clock(
+    path: &str,
+    lexed: &Lexed,
+    in_test: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || (t.text != "Instant" && t.text != "SystemTime") {
+            continue;
+        }
+        if in_test(i) {
+            continue;
+        }
+        // `Instant :: now` / `SystemTime :: now` in the token stream
+        let calls_now = toks.get(i + 1).is_some_and(|a| a.text == ":")
+            && toks.get(i + 2).is_some_and(|b| b.text == ":")
+            && toks.get(i + 3).is_some_and(|n| n.text == "now");
+        if calls_now {
+            findings.push(Finding {
+                rule: Rule::HotClock,
+                file: path.to_string(),
+                line: t.line,
+                function: None,
+                message: format!(
+                    "raw `{}::now()` in crates/engine — time hot paths through the \
+                     obs layer (`Obs::start()` / `Stamp`, free when disabled) or \
+                     justify with `// lint:allow(hot-clock): <reason>`",
+                    t.text
                 ),
             });
         }

@@ -1,0 +1,398 @@
+//! The metric primitives: lock-free counters/gauges and log2-bucketed
+//! latency histograms, plus the registry that interns them by name.
+//!
+//! Everything on the **record path** is a handful of relaxed atomic
+//! operations on pre-fetched `Arc` handles — no allocation, no locks,
+//! no formatting. The registry's interior mutex is touched only at
+//! handle-creation and snapshot time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Number of histogram buckets: one per power of two of `u64`.
+pub const BUCKETS: usize = 64;
+
+/// The bucket index a value lands in: bucket 0 holds `{0, 1}`, bucket
+/// `i ≥ 1` holds `[2^i, 2^(i+1) - 1]`. Total order over buckets matches
+/// total order over values up to intra-bucket ties, which is what makes
+/// bucketed percentiles exact *at bucket granularity*.
+pub fn bucket_of(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// The largest value bucket `i` can hold (`u64::MAX` for the top one).
+pub fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 1,
+        63.. => u64::MAX,
+        _ => (1u64 << (i + 1)) - 1,
+    }
+}
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed level gauge (versions resident, queue depth, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-bucketed latency/size histogram: 64 atomic buckets (one per
+/// power of two) plus exact count/sum/max. Recording is three relaxed
+/// atomic adds and one `fetch_max` — no allocation, no locks — so it is
+/// safe to call from every engine hot path.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy (relaxed loads; concurrent recording may
+    /// skew count vs buckets by in-flight observations, never corrupt).
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An immutable histogram snapshot: mergeable across shards/clients,
+/// with nearest-rank percentile estimates at bucket granularity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Observations.
+    pub count: u64,
+    /// Exact sum of observations.
+    pub sum: u64,
+    /// Exact maximum observation.
+    pub max: u64,
+    /// Per-bucket counts (see [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Fold another snapshot into this one (per-shard / per-client
+    /// histograms merge into a global distribution losslessly — bucket
+    /// counts add, max takes max).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        self.count += other.count;
+        // sum is advisory (drives the mean); saturate rather than trap
+        // when merged totals exceed u64
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Nearest-rank percentile (`p` in `0..=100`), reported as the upper
+    /// bound of the bucket holding the rank-th observation, capped at
+    /// the exact observed max. Cumulative bucket counts are exact, so
+    /// the *bucket* is always the one a sorted-vector oracle would pick;
+    /// only intra-bucket position is approximated.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (((p / 100.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Interns metrics by `&'static str` name and hands out shared handles.
+/// Handles are meant to be fetched **once** at subsystem construction;
+/// after that the registry is out of the picture until snapshot time.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first request.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(
+            unpoison(self.counters.lock())
+                .entry(name)
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge named `name`, created on first request.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(
+            unpoison(self.gauges.lock())
+                .entry(name)
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram named `name`, created on first request.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(
+            unpoison(self.histograms.lock())
+                .entry(name)
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Every metric's current value, names sorted.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot(
+        &self,
+    ) -> (
+        Vec<(String, u64)>,
+        Vec<(String, i64)>,
+        Vec<(String, HistSnapshot)>,
+    ) {
+        let counters = unpoison(self.counters.lock())
+            .iter()
+            .map(|(n, c)| (n.to_string(), c.get()))
+            .collect();
+        let gauges = unpoison(self.gauges.lock())
+            .iter()
+            .map(|(n, g)| (n.to_string(), g.get()))
+            .collect();
+        let histograms = unpoison(self.histograms.lock())
+            .iter()
+            .map(|(n, h)| (n.to_string(), h.snapshot()))
+            .collect();
+        (counters, gauges, histograms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_upper(i)), i, "upper bound stays in bucket");
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 2106);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1); // 1
+        assert_eq!(s.buckets[1], 2); // 2, 3
+        assert_eq!(s.buckets[6], 1); // 100
+        assert_eq!(s.buckets[9], 2); // 1000 ×2
+                                     // p50 over [1,2,3,100,1000,1000]: oracle = 3 (bucket 1, upper 3)
+        assert_eq!(s.p50(), 3);
+        // p99 → the max
+        assert_eq!(s.p99(), 1000);
+        assert!((s.mean() - 351.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_distributions() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..50u64 {
+            a.record(v);
+        }
+        for v in 50..100u64 {
+            b.record(v * 10);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 100);
+        assert_eq!(m.max, 990);
+        assert_eq!(
+            m.sum,
+            (0..50).sum::<u64>() + (50..100).map(|v| v * 10).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn registry_interns_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1, "same name → same counter");
+        r.gauge("g").set(-5);
+        r.histogram("h").record(7);
+        let (cs, gs, hs) = r.snapshot();
+        assert_eq!(cs, vec![("x".to_string(), 1)]);
+        assert_eq!(gs, vec![("g".to_string(), -5)]);
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].1.count, 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 40_000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 40_000);
+        assert_eq!(snap.max, 39_999);
+    }
+}

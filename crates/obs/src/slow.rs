@@ -1,0 +1,120 @@
+//! The slow-query log: a small bounded buffer of the most recent
+//! executions that crossed the configured latency threshold, each with
+//! its statement text, plan summary, and per-stage timings.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// One captured slow execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// The statement text as submitted.
+    pub statement: String,
+    /// A one-line plan summary (e.g. the optimizer's explain string).
+    pub plan: String,
+    /// End-to-end latency in microseconds.
+    pub total_us: u64,
+    /// Per-stage timings in microseconds, in execution order.
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+/// Bounded log of recent slow queries. The threshold check is one
+/// relaxed atomic load, so the fast path (query under threshold, or log
+/// disabled via `u64::MAX`) costs nothing measurable.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold_us: AtomicU64,
+    entries: Mutex<VecDeque<SlowQuery>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl SlowLog {
+    /// A log keeping the latest `capacity` entries, capturing queries
+    /// at or over `threshold_us` microseconds.
+    pub fn new(capacity: usize, threshold_us: u64) -> SlowLog {
+        SlowLog {
+            threshold_us: AtomicU64::new(threshold_us),
+            entries: Mutex::new(VecDeque::with_capacity(capacity.min(64))),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Current capture threshold in microseconds.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Change the capture threshold (`u64::MAX` disables capture).
+    pub fn set_threshold_us(&self, t: u64) {
+        self.threshold_us.store(t, Ordering::Relaxed);
+    }
+
+    /// Whether `total_us` crosses the threshold — callers check this
+    /// *before* building the (allocating) [`SlowQuery`] entry.
+    pub fn should_log(&self, total_us: u64) -> bool {
+        total_us >= self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Append an entry, evicting the oldest when full.
+    pub fn push(&self, q: SlowQuery) {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if entries.len() == self.capacity {
+            entries.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push_back(q);
+    }
+
+    /// Take every buffered entry, oldest first.
+    pub fn drain(&self) -> Vec<SlowQuery> {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect()
+    }
+
+    /// Entries evicted to make room since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_gates_capture() {
+        let log = SlowLog::new(8, 1000);
+        assert!(!log.should_log(999));
+        assert!(log.should_log(1000));
+        assert!(log.should_log(5000));
+        log.set_threshold_us(u64::MAX);
+        assert!(!log.should_log(u64::MAX - 1), "MAX-1 under MAX threshold");
+        log.set_threshold_us(0);
+        assert!(log.should_log(0), "threshold 0 captures everything");
+    }
+
+    #[test]
+    fn bounded_log_evicts_oldest() {
+        let log = SlowLog::new(2, 0);
+        for i in 0..3u64 {
+            log.push(SlowQuery {
+                statement: format!("q{i}"),
+                plan: String::new(),
+                total_us: i,
+                stages: vec![("exec", i)],
+            });
+        }
+        let entries = log.drain();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].statement, "q1");
+        assert_eq!(entries[1].statement, "q2");
+        assert_eq!(log.dropped(), 1);
+        assert!(log.drain().is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Point-in-time export of everything the obs layer knows: metric
+//! values, recent trace events, and the slow-query log — plus the two
+//! text serializations (Prometheus exposition format and JSON).
+
+use crate::metrics::{bucket_upper, HistSnapshot};
+use crate::ring::Event;
+use crate::slow::SlowQuery;
+
+/// A structured snapshot of the whole observability state, as returned
+/// by `Engine::obs_snapshot()`.
+#[derive(Debug, Clone, Default)]
+pub struct ObsSnapshot {
+    /// Whether recording was enabled when the snapshot was taken.
+    pub enabled: bool,
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<(String, HistSnapshot)>,
+    /// Recent trace events in causal (global sequence) order.
+    pub events: Vec<Event>,
+    /// Trace events lost to ring overwrite before this snapshot.
+    pub events_dropped: u64,
+    /// Recent slow queries, oldest first.
+    pub slow_queries: Vec<SlowQuery>,
+}
+
+impl ObsSnapshot {
+    /// The counter named `name`, or 0 if never recorded.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The histogram named `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Prometheus-style exposition text: counters and gauges as single
+    /// samples, histograms as `_count`/`_sum`/`_max` plus quantile
+    /// samples (log2 buckets are an implementation detail; quantiles
+    /// are what dashboards plot).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_max {}\n", h.max));
+            for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+            }
+        }
+        out
+    }
+
+    /// JSON serialization of the full snapshot. Hand-rolled so the obs
+    /// crate stays dependency-free; the output parses with any JSON
+    /// reader (the workspace's `udbms-json` included).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"enabled\":{},", self.enabled));
+
+        out.push_str("\"counters\":{");
+        push_pairs(
+            &mut out,
+            self.counters.iter().map(|(n, v)| (n, v.to_string())),
+        );
+        out.push_str("},\"gauges\":{");
+        push_pairs(
+            &mut out,
+            self.gauges.iter().map(|(n, v)| (n, v.to_string())),
+        );
+        out.push_str("},\"histograms\":{");
+        push_pairs(
+            &mut out,
+            self.histograms.iter().map(|(n, h)| (n, hist_json(h))),
+        );
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seq\":{},\"kind\":{},\"a\":{},\"b\":{}}}",
+                e.seq,
+                json_string(e.kind),
+                e.a,
+                e.b
+            ));
+        }
+        out.push_str(&format!("],\"events_dropped\":{},", self.events_dropped));
+        out.push_str("\"slow_queries\":[");
+        for (i, q) in self.slow_queries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"statement\":{},\"plan\":{},\"total_us\":{},\"stages\":{{",
+                json_string(&q.statement),
+                json_string(&q.plan),
+                q.total_us
+            ));
+            push_pairs(&mut out, q.stages.iter().map(|(n, v)| (n, v.to_string())));
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Histogram as a JSON object: summary stats plus the non-empty buckets
+/// keyed by their upper bound (the full 64-slot array would be noise).
+fn hist_json(h: &HistSnapshot) -> String {
+    let mut out = format!(
+        "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":{{",
+        h.count,
+        h.sum,
+        h.max,
+        h.p50(),
+        h.p90(),
+        h.p99()
+    );
+    push_pairs(
+        &mut out,
+        h.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, c)| (bucket_upper(i).to_string(), c.to_string())),
+    );
+    out.push_str("}}");
+    out
+}
+
+fn push_pairs<K: AsRef<str>>(out: &mut String, pairs: impl Iterator<Item = (K, String)>) {
+    for (i, (k, v)) in pairs.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(k.as_ref()));
+        out.push(':');
+        out.push_str(&v);
+    }
+}
+
+/// Quote + escape a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    fn sample() -> ObsSnapshot {
+        let h = Histogram::new();
+        for v in [5u64, 10, 100] {
+            h.record(v);
+        }
+        ObsSnapshot {
+            enabled: true,
+            counters: vec![("commits".into(), 42)],
+            gauges: vec![("versions".into(), -1)],
+            histograms: vec![("wal_append_ns".into(), h.snapshot())],
+            events: vec![Event {
+                seq: 0,
+                kind: "wal_batch",
+                a: 3,
+                b: 9,
+            }],
+            events_dropped: 2,
+            slow_queries: vec![SlowQuery {
+                statement: "FOR r IN \"x\"\nRETURN r".into(),
+                plan: "scan(x)".into(),
+                total_us: 1234,
+                stages: vec![("bind", 10), ("exec", 1224)],
+            }],
+        }
+    }
+
+    #[test]
+    fn prometheus_dump_has_every_metric() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE commits counter"));
+        assert!(text.contains("commits 42"));
+        assert!(text.contains("versions -1"));
+        assert!(text.contains("wal_append_ns_count 3"));
+        assert!(text.contains("wal_append_ns_sum 115"));
+        assert!(text.contains("wal_append_ns_max 100"));
+        assert!(text.contains("wal_append_ns{quantile=\"0.99\"} 100"));
+    }
+
+    #[test]
+    fn json_escapes_and_balances() {
+        let json = sample().to_json();
+        assert!(json.contains("\\\"x\\\""), "quotes in statement escaped");
+        assert!(json.contains("\\n"), "newline escaped");
+        assert!(json.contains("\"total_us\":1234"));
+        assert!(json.contains("\"events_dropped\":2"));
+        // structurally balanced — every brace/bracket closed
+        let (mut braces, mut brackets, mut in_str, mut esc) = (0i32, 0i32, false, false);
+        for c in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' if !in_str => braces += 1,
+                '}' if !in_str => braces -= 1,
+                '[' if !in_str => brackets += 1,
+                ']' if !in_str => brackets -= 1,
+                _ => {}
+            }
+            assert!(braces >= 0 && brackets >= 0);
+        }
+        assert_eq!((braces, brackets, in_str), (0, 0, false));
+    }
+
+    #[test]
+    fn lookups_by_name() {
+        let s = sample();
+        assert_eq!(s.counter("commits"), 42);
+        assert_eq!(s.counter("missing"), 0);
+        assert!(s.histogram("wal_append_ns").is_some());
+        assert!(s.histogram("missing").is_none());
+    }
+}

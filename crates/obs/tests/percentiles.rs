@@ -1,0 +1,74 @@
+//! Property test: percentiles over a merged set of histograms land in
+//! the same log2 bucket as a sorted-vector oracle over the combined
+//! sample — i.e. bucketing is the *only* error source, and merging
+//! per-shard histograms loses nothing beyond it.
+
+use proptest::prelude::*;
+use udbms_obs::{bucket_of, HistSnapshot, Histogram};
+
+/// Nearest-rank percentile over the raw sample — the oracle the
+/// histogram estimate is checked against. Same rank formula as
+/// `HistSnapshot::percentile`.
+fn oracle(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = (((p / 100.0) * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #[test]
+    fn merged_percentiles_match_oracle_bucket(
+        // several independent "shards" of samples, merged at the end;
+        // full-range u64 values so the top buckets get exercised too
+        shards in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 1..200),
+            1..6,
+        ),
+        p in (0usize..4).prop_map(|i| [50.0f64, 90.0, 99.0, 100.0][i]),
+    ) {
+        let mut merged = HistSnapshot::default();
+        let mut all: Vec<u64> = Vec::new();
+        for shard in &shards {
+            let h = Histogram::new();
+            for &v in shard {
+                h.record(v);
+            }
+            merged.merge(&h.snapshot());
+            all.extend_from_slice(shard);
+        }
+        all.sort_unstable();
+
+        prop_assert_eq!(merged.count as usize, all.len());
+        prop_assert_eq!(merged.max, *all.last().unwrap());
+
+        let want = oracle(&all, p);
+        let got = merged.percentile(p);
+        prop_assert_eq!(
+            bucket_of(got),
+            bucket_of(want),
+            "p{} estimate {} and oracle {} must share a log2 bucket",
+            p, got, want
+        );
+        // and the estimate never understates the oracle by more than
+        // the bucket, nor overstates the observed max
+        prop_assert!(got <= merged.max);
+        prop_assert!(got >= want || bucket_of(got) == bucket_of(want));
+    }
+
+    #[test]
+    fn merge_is_order_independent(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        let (sa, sb) = (ha.snapshot(), hb.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+}

@@ -15,6 +15,8 @@ use std::sync::Arc;
 
 use parking_lot::{LockRank, TrackedMutex};
 
+use udbms_obs::{Counter, Histogram, Obs, Stamp};
+
 use udbms_core::Result;
 
 use crate::Query;
@@ -40,6 +42,18 @@ pub struct PlanCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Engine obs handles, attached by the driver so cache hit/miss
+    /// counters and parse latency show up in `Engine::obs_snapshot()`.
+    obs: std::sync::OnceLock<CacheObs>,
+}
+
+/// Pre-fetched obs handles (see [`PlanCache::attach_obs`]).
+#[derive(Debug)]
+struct CacheObs {
+    obs: Arc<Obs>,
+    hit_counter: Arc<Counter>,
+    miss_counter: Arc<Counter>,
+    parse_ns: Arc<Histogram>,
 }
 
 impl Default for PlanCache {
@@ -56,7 +70,20 @@ impl PlanCache {
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            obs: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attach an engine's obs handle (idempotent; first caller wins):
+    /// hits/misses mirror into the `plan_cache_hits`/`plan_cache_misses`
+    /// counters and fresh parses time into `plan_parse_ns`.
+    pub fn attach_obs(&self, obs: &Arc<Obs>) {
+        let _ = self.obs.set(CacheObs {
+            obs: Arc::clone(obs),
+            hit_counter: obs.counter("plan_cache_hits"),
+            miss_counter: obs.counter("plan_cache_misses"),
+            parse_ns: obs.histogram("plan_parse_ns"),
+        });
     }
 
     /// The parsed query for `text`: a shared handle on a hit, a fresh
@@ -73,12 +100,24 @@ impl PlanCache {
                 let plan = Arc::clone(plan);
                 drop(shelf);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = self.obs.get() {
+                    if o.obs.is_enabled() {
+                        o.hit_counter.inc();
+                    }
+                }
                 return Ok(plan);
             }
         }
         // parse outside the lock: misses don't serialize other clients
+        let parse_stamp = self.obs.get().map_or(Stamp::NONE, |o| o.obs.start());
         let parsed = Arc::new(Query::parse(text)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs.get() {
+            o.obs.record_ns(&o.parse_ns, parse_stamp);
+            if o.obs.is_enabled() {
+                o.miss_counter.inc();
+            }
+        }
         let mut shelf = self.shelf.lock();
         shelf.tick += 1;
         let tick = shelf.tick;
@@ -146,6 +185,19 @@ mod tests {
         assert_eq!(cache.hits(), 2, "1 stayed resident");
         cache.get_or_parse("RETURN 2").unwrap();
         assert_eq!(cache.misses(), 4, "2 was evicted and re-parsed");
+    }
+
+    #[test]
+    fn attached_obs_mirrors_counters() {
+        let obs = Arc::new(Obs::new(true));
+        let cache = PlanCache::new(4);
+        cache.attach_obs(&obs);
+        cache.get_or_parse("RETURN 1").unwrap(); // miss
+        cache.get_or_parse("RETURN 1").unwrap(); // hit
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("plan_cache_hits"), 1);
+        assert_eq!(snap.counter("plan_cache_misses"), 1);
+        assert_eq!(snap.histogram("plan_parse_ns").map(|h| h.count), Some(1));
     }
 
     #[test]

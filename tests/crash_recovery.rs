@@ -144,6 +144,7 @@ fn every_durability_level_survives_clean_restart() {
                         shards: 4,
                         durability,
                         group_commit,
+                        ..EngineConfig::default()
                     },
                 )
                 .unwrap();
