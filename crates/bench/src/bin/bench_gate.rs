@@ -12,7 +12,8 @@
 //! metric is scored by its best run (best-of-N shields scheduler-noise
 //! spikes; a real regression depresses every run).
 //!
-//! Compares the gated throughput metrics (E2, E4a, E6, E8, E9) against the
+//! Compares the gated throughput metrics (E2, E4a, E6, E8, E9, E10,
+//! E11) against the
 //! committed baseline, normalized by the median current/baseline ratio
 //! so machine speed cancels out (see `udbms_bench::gate`). Exits
 //! non-zero when any metric regresses more than the tolerance below
@@ -31,15 +32,25 @@
 //!
 //! In `--write-merged` mode every positional path is a current report
 //! (no comparison happens): the gated throughput cells are merged
-//! best-of across the runs and written to the given path.
+//! best-of across the runs and written to the given path, with the
+//! embedded results matrix rebuilt from the merged cells.
+//!
+//! `--summary-md PATH` (either mode) additionally writes the
+//! cross-experiment results matrix of the best-of-merged current runs
+//! as a GitHub-flavored markdown table — CI appends it to
+//! `$GITHUB_STEP_SUMMARY`.
 
-use udbms_bench::{compare_reports, merged_baseline, obs_overhead_failures};
+use udbms_bench::{
+    attach_matrix, compare_reports, matrix_markdown, matrix_rows, merged_baseline,
+    obs_overhead_failures,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&str> = Vec::new();
     let mut tolerance = 0.2f64;
     let mut write_merged: Option<&str> = None;
+    let mut summary_md: Option<&str> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -59,8 +70,17 @@ fn main() {
                         .unwrap_or_else(|| die("--write-merged needs an output path")),
                 );
             }
+            "--summary-md" => {
+                i += 1;
+                summary_md = Some(
+                    args.get(i)
+                        .map(String::as_str)
+                        .unwrap_or_else(|| die("--summary-md needs an output path")),
+                );
+            }
             flag if flag.starts_with("--") => die(&format!(
-                "unknown flag `{flag}` (known: --tolerance F, --write-merged PATH)"
+                "unknown flag `{flag}` (known: --tolerance F, --write-merged PATH, \
+                 --summary-md PATH)"
             )),
             path => paths.push(path),
         }
@@ -71,10 +91,14 @@ fn main() {
             die("usage: bench_gate --write-merged <baseline-out.json> <run.json>...");
         }
         let runs: Vec<udbms_core::Value> = paths.iter().map(|p| load(p)).collect();
-        let merged = merged_baseline(&runs).unwrap_or_else(|| die("no runs to merge"));
+        let mut merged = merged_baseline(&runs).unwrap_or_else(|| die("no runs to merge"));
+        // the merge rewrote throughput cells, so the embedded matrix
+        // must be rebuilt — carrying run 1's matrix would be stale
+        attach_matrix(&mut merged);
         std::fs::write(out_path, udbms_json::to_string_pretty(&merged))
             .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
         println!("wrote best-of-{} merged baseline to {out_path}", runs.len());
+        write_summary(summary_md, &merged);
         return;
     }
     if paths.len() < 2 {
@@ -91,6 +115,12 @@ fn main() {
     // reports themselves (same machine, seconds apart) — no baseline or
     // normalization involved
     outcome.failures.extend(obs_overhead_failures(&current));
+    if summary_md.is_some() {
+        // the summary matrix scores each cell best-of across the
+        // current runs, exactly like the gate does
+        let merged = merged_baseline(&current).unwrap_or_else(|| die("no current runs"));
+        write_summary(summary_md, &merged);
+    }
 
     for note in &outcome.notes {
         println!("note: {note}");
@@ -114,6 +144,13 @@ fn main() {
         );
         std::process::exit(1);
     }
+}
+
+fn write_summary(summary_md: Option<&str>, doc: &udbms_core::Value) {
+    let Some(path) = summary_md else { return };
+    let md = matrix_markdown(&matrix_rows(doc));
+    std::fs::write(path, &md).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    println!("wrote benchmark matrix markdown to {path}");
 }
 
 fn load(path: &str) -> udbms_core::Value {

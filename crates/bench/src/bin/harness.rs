@@ -13,27 +13,34 @@
 //! ```
 //!
 //! `--clients N` sets the concurrent client threads the Subject-driven
-//! experiments (E2, E4a, E6, E8) use; `--shards N` sets the unified
+//! experiments (E2, E4a, E6, E8, E11) use; `--shards N` sets the unified
 //! engine's storage shard count (and the upper arm of the E6 shard
 //! sweep); `--durability LEVEL` (buffered/flush/fsync) restricts the E8
 //! durability sweep to one level (default: all three); `--obs on|off`
 //! turns engine observability recording on/off for every constructed
 //! engine (E10 sweeps both arms regardless); `--slow-query-ms N` sets
-//! the slow-query log threshold those engines use; `--obs-check` runs
-//! a standalone observability smoke test (a WAL-backed engine must
-//! produce non-zero commit-stage histograms, a captured slow query and
-//! parseable exports) and exits non-zero on failure; `--json [path]`
-//! additionally writes every produced report as machine-readable JSON
-//! (an explicit path must end in `.json` — that suffix is what tells a
-//! path apart from an experiment id; default `bench-report.json`; the
-//! `BENCH_*.json` perf trajectory input and what the `bench_gate`
-//! binary compares against `bench/baseline.json`). Experiments select
-//! by bare id; the `--experiments` flag is an accepted no-op prefix
-//! for them.
+//! the slow-query log threshold those engines use; `--key-dist
+//! uniform|zipf[:THETA]` sets the key distribution the E6 read/update
+//! draws use (and the Zipfian theta E11 sweeps); `--value-shape
+//! flat|nested|deep|D,F,A,S` sets the generated record shape those
+//! experiments write; `--mode open|closed` restricts E11 to one issue
+//! mode (default: both arms); `--rate N` pins the E11 open-loop target
+//! to N ops/sec (default: half the matching closed cell's measured
+//! rate); `--obs-check` runs a standalone observability smoke test (a
+//! WAL-backed engine must produce non-zero commit-stage histograms, a
+//! captured slow query and parseable exports) and exits non-zero on
+//! failure; `--json [path]` additionally writes every produced report
+//! as machine-readable JSON, including the cross-experiment results
+//! matrix under a `"matrix"` key (an explicit path must end in `.json`
+//! — that suffix is what tells a path apart from an experiment id;
+//! default `bench-report.json`; the `BENCH_*.json` perf trajectory
+//! input and what the `bench_gate` binary compares against
+//! `bench/baseline.json`). Experiments select by bare id; the
+//! `--experiments` flag is an accepted no-op prefix for them.
 
-use udbms_bench::{experiments, Report, RunScale};
+use udbms_bench::{attach_matrix, experiments, ModeFilter, Report, RunScale};
 use udbms_core::Value;
-use udbms_datagen::{generate, workload, GenConfig};
+use udbms_datagen::{generate, workload, GenConfig, KeyDist, ValueShape};
 use udbms_driver::{Durability, EngineConfig, EngineSubject, Subject, TxnOp};
 
 /// One selectable experiment: id + the function that produces its table.
@@ -105,6 +112,45 @@ fn main() {
                     .unwrap_or_else(|| die("--slow-query-ms needs a non-negative integer"));
                 scale = scale.with_slow_query_ms(ms);
             }
+            "--key-dist" => {
+                i += 1;
+                let dist = args
+                    .get(i)
+                    .filter(|v| !v.starts_with("--"))
+                    .and_then(|v| KeyDist::parse(v))
+                    .unwrap_or_else(|| die("--key-dist needs uniform, zipf, or zipf:THETA"));
+                scale = scale.with_key_dist(dist);
+            }
+            "--value-shape" => {
+                i += 1;
+                let shape = args
+                    .get(i)
+                    .filter(|v| !v.starts_with("--"))
+                    .and_then(|v| ValueShape::parse(v))
+                    .unwrap_or_else(|| {
+                        die("--value-shape needs flat, nested, deep, or DEPTH,FANOUT,ARRAY,STRING")
+                    });
+                scale = scale.with_value_shape(shape);
+            }
+            "--mode" => {
+                i += 1;
+                let mode = args
+                    .get(i)
+                    .filter(|v| !v.starts_with("--"))
+                    .and_then(|v| ModeFilter::parse(v))
+                    .unwrap_or_else(|| die("--mode needs `open` or `closed`"));
+                scale = scale.with_mode(mode);
+            }
+            "--rate" => {
+                i += 1;
+                let rate = args
+                    .get(i)
+                    .filter(|v| !v.starts_with("--"))
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|r| r.is_finite() && *r > 0.0)
+                    .unwrap_or_else(|| die("--rate needs a positive ops/sec number"));
+                scale = scale.with_rate(rate);
+            }
             // accepted for compatibility: experiment ids follow as plain
             // positionals either way
             "--experiments" => {}
@@ -124,7 +170,8 @@ fn main() {
             }
             flag if flag.starts_with("--") => die(&format!(
                 "unknown flag `{flag}` (known: --quick, --clients N, --shards N, \
-                 --durability LEVEL, --obs on|off, --slow-query-ms N, --obs-check, \
+                 --durability LEVEL, --obs on|off, --slow-query-ms N, --key-dist DIST, \
+                 --value-shape SHAPE, --mode open|closed, --rate N, --obs-check, \
                  --experiments, --json [PATH])"
             )),
             id => wanted.push(id),
@@ -146,6 +193,7 @@ fn main() {
         ("e8", experiments::e8_durability),
         ("e9", experiments::e9_read_path),
         ("e10", experiments::e10_obs_overhead),
+        ("e11", experiments::e11_contention_tail),
     ];
 
     let selected: Vec<&Experiment> = if wanted.is_empty() {
@@ -171,7 +219,7 @@ fn main() {
     };
 
     println!(
-        "UDBMS-Bench harness — profile: {} (SF {}, {} reps, {} trials, {} clients, {} shards, durability {}, obs {})\n",
+        "UDBMS-Bench harness — profile: {} (SF {}, {} reps, {} trials, {} clients, {} shards, durability {}, obs {}, key-dist {}, value-shape {})\n",
         if quick { "quick" } else { "full" },
         scale.sf,
         scale.reps,
@@ -182,6 +230,8 @@ fn main() {
             .durability
             .map_or("all".to_string(), |d| d.to_string()),
         if scale.obs { "on" } else { "off" },
+        scale.key_dist.label(),
+        scale.value_shape.label(),
     );
     let mut json_reports: Vec<Value> = Vec::new();
     for (id, f) in selected {
@@ -230,11 +280,20 @@ fn main() {
                     "slow_query_ms".to_string(),
                     Value::Int(scale.slow_query_ms as i64),
                 ),
+                ("key_dist".to_string(), Value::from(scale.key_dist.label())),
+                (
+                    "value_shape".to_string(),
+                    Value::from(scale.value_shape.label()),
+                ),
                 ("reports".to_string(), Value::Array(json_reports)),
             ]
             .into_iter()
             .collect(),
         );
+        let mut doc = doc;
+        // the (experiment, op, dist, mode, clients) results matrix rides
+        // along in the same document the gate and step summary consume
+        attach_matrix(&mut doc);
         if let Err(e) = std::fs::write(&path, udbms_json::to_string_pretty(&doc)) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);

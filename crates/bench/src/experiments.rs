@@ -9,10 +9,13 @@ use udbms_consistency::{
     staleness_distribution, write_skew_census, ConsistencyConfig, LagModel, ReadPolicy,
 };
 use udbms_core::{Key, Params, SplitMix64, Value};
-use udbms_datagen::{build_engine, generate, workload, GenConfig, SchemaVariation};
+use udbms_datagen::{
+    build_engine, generate, workload, GenConfig, InsertOrder, KeyDist, KeyProvider,
+    SchemaVariation, ValueProvider, ValueShape,
+};
 use udbms_driver::{
-    registry, registry_with_config, run_concurrent, run_query_clients, Durability, EngineConfig,
-    EngineSubject, TxnOp,
+    registry, registry_with_config, run_concurrent, run_concurrent_mode, run_query_clients,
+    Durability, EngineConfig, EngineSubject, RunMode, TxnOp,
 };
 use udbms_engine::Isolation;
 use udbms_evolution::{analyze_workload, apply_chain, standard_chain};
@@ -49,6 +52,41 @@ pub struct RunScale {
     /// Slow-query threshold (ms) for those engines; the harness
     /// `--slow-query-ms N` flag overrides it.
     pub slow_query_ms: u64,
+    /// Key distribution for the workload-dimension experiments (the E6
+    /// read/update draws and the E11 contention sweep's Zipfian theta);
+    /// the harness `--key-dist uniform|zipf[:THETA]` flag overrides it.
+    pub key_dist: KeyDist,
+    /// Record shape those experiments generate documents with; the
+    /// harness `--value-shape flat|nested|deep|D,F,A,S` flag sets it.
+    pub value_shape: ValueShape,
+    /// Restrict E11 to one issue mode (`None` = run both the
+    /// closed-loop and open-loop arms); the harness `--mode open|closed`
+    /// flag sets it.
+    pub mode: Option<ModeFilter>,
+    /// Open-loop target rate (total ops/sec across clients) for the E11
+    /// open arms; `None` auto-derives half the matching closed cell's
+    /// measured rate. The harness `--rate N` flag sets it.
+    pub rate: Option<f64>,
+}
+
+/// Which E11 issue-mode arms to run (the harness `--mode` flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeFilter {
+    /// Only the closed-loop cells.
+    Closed,
+    /// Only the open-loop cells.
+    Open,
+}
+
+impl ModeFilter {
+    /// Parse a harness flag value (`closed` / `open`).
+    pub fn parse(s: &str) -> Option<ModeFilter> {
+        match s {
+            "closed" => Some(ModeFilter::Closed),
+            "open" => Some(ModeFilter::Open),
+            _ => None,
+        }
+    }
 }
 
 impl RunScale {
@@ -63,6 +101,10 @@ impl RunScale {
             durability: None,
             obs: true,
             slow_query_ms: 100,
+            key_dist: KeyDist::Uniform,
+            value_shape: ValueShape::nested(),
+            mode: None,
+            rate: None,
         }
     }
 
@@ -77,6 +119,10 @@ impl RunScale {
             durability: None,
             obs: true,
             slow_query_ms: 100,
+            key_dist: KeyDist::Uniform,
+            value_shape: ValueShape::nested(),
+            mode: None,
+            rate: None,
         }
     }
 
@@ -107,6 +153,30 @@ impl RunScale {
     /// Override the slow-query threshold (builder-style).
     pub fn with_slow_query_ms(mut self, ms: u64) -> RunScale {
         self.slow_query_ms = ms;
+        self
+    }
+
+    /// Override the key distribution (builder-style).
+    pub fn with_key_dist(mut self, dist: KeyDist) -> RunScale {
+        self.key_dist = dist;
+        self
+    }
+
+    /// Override the record shape (builder-style).
+    pub fn with_value_shape(mut self, shape: ValueShape) -> RunScale {
+        self.value_shape = shape;
+        self
+    }
+
+    /// Restrict E11 to one issue mode (builder-style).
+    pub fn with_mode(mut self, mode: ModeFilter) -> RunScale {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Pin the E11 open-loop target rate (builder-style).
+    pub fn with_rate(mut self, rate: f64) -> RunScale {
+        self.rate = Some(rate);
         self
     }
 
@@ -663,15 +733,20 @@ pub fn e6_crud_scaling(scale: RunScale) -> Report {
 
     let mut report = Report::new(
         format!(
-            "E6 — CRUD/scan scaling sweep (clients x shards), {} record(s)/client",
-            if scale.reps > 5 { 2048 } else { 1024 }
+            "E6 — CRUD/scan scaling sweep (clients x shards), {} record(s)/client, dist {}, shape {}",
+            if scale.reps > 5 { 2048 } else { 1024 },
+            scale.key_dist.label(),
+            scale.value_shape.label()
         ),
         &[
-            "op", "shards", "clients", "ops", "elapsed", "p50", "p90", "p95", "p99", "max", "ops/s",
+            "op", "dist", "shards", "clients", "ops", "elapsed", "p50", "p90", "p95", "p99",
+            "max", "ops/s",
         ],
     );
     const BATCH: usize = 32;
     let rows_per_client = if scale.reps > 5 { 2048 } else { 1024 };
+    let values = ValueProvider::new(scale.value_shape, 23);
+    let dist_label = scale.key_dist.label();
     let mut shard_arms = vec![1usize];
     if scale.shards > 1 {
         shard_arms.push(scale.shards);
@@ -688,9 +763,10 @@ pub fn e6_crud_scaling(scale: RunScale) -> Report {
                 .expect("crud collection");
             let total = clients * rows_per_client;
             let key_of = |i: usize| Key::int(i as i64);
-            let record = |i: usize| {
-                udbms_core::obj! {"n" => i as i64, "g" => (i % 16) as i64}
-            };
+            let record = |i: usize| values.record(i);
+            // the read/update phases draw keys from the configured
+            // distribution over this cell's full key space
+            let kp = KeyProvider::new(total, scale.key_dist, 13);
 
             // each cell is scored best-of-`cycles`: the first CRUD cycle
             // runs cold (allocator warmup, hash-map growth) and its
@@ -723,11 +799,12 @@ pub fn e6_crud_scaling(scale: RunScale) -> Report {
                 .expect("create phase");
                 keep(0, total, stats);
 
-                // read: every client point-reads keys drawn across the whole
-                // key space (and so across every shard)
+                // read: every client point-reads keys drawn from the
+                // configured distribution across the whole key space
+                // (and so across every shard)
                 let stats = run_concurrent(clients, rows_per_client, |client, i| {
                     let mut rng = SplitMix64::new(7 + client as u64 * 65_537 + i as u64);
-                    let k = key_of((rng.next_u64() % total as u64) as usize);
+                    let k = key_of(kp.draw(&mut rng));
                     engine
                         .run(Isolation::Snapshot, |t| t.get("crud", &k))
                         .map(|_| ())
@@ -735,10 +812,10 @@ pub fn e6_crud_scaling(scale: RunScale) -> Report {
                 .expect("read phase");
                 keep(1, total, stats);
 
-                // update: point overwrites, uniformly spread
+                // update: point overwrites drawn from the same distribution
                 let stats = run_concurrent(clients, rows_per_client, |client, i| {
                     let mut rng = SplitMix64::new(11 + client as u64 * 65_537 + i as u64);
-                    let n = (rng.next_u64() % total as u64) as usize;
+                    let n = kp.draw(&mut rng);
                     engine.run(Isolation::Snapshot, |t| {
                         t.put("crud", key_of(n), record(n + total))
                     })
@@ -782,6 +859,7 @@ pub fn e6_crud_scaling(scale: RunScale) -> Report {
                 let (ops_done, stats) = best[slot].take().expect("cycle ran");
                 let mut row = vec![
                     (*op).into(),
+                    dist_label.clone(),
                     shards.to_string(),
                     clients.to_string(),
                     ops_done.to_string(),
@@ -797,6 +875,7 @@ pub fn e6_crud_scaling(scale: RunScale) -> Report {
         }
     }
     report.note("every cell runs the identical loop; shard count is the only storage variable");
+    report.note("read/update keys come from --key-dist, records from --value-shape");
     report.note(
         "create/delete are batched (put_many/delete_many): one shard lock per shard per batch",
     );
@@ -1485,6 +1564,221 @@ pub fn e10_obs_overhead(scale: RunScale) -> Report {
     report
 }
 
+/// E11 — contention and tail latency over the workload dimensions:
+/// read-modify-write updates and point reads against one loaded engine,
+/// sweeping key distribution (uniform vs Zipfian hot keys) and client
+/// count, with exact OCC abort counts per cell (the experiment runs its
+/// own begin/commit retry loop instead of [`udbms_engine::Engine::run`],
+/// which hides its retries). The open-loop arms re-run the Zipfian
+/// cells on a fixed-rate schedule — latency measured from each
+/// operation's *intended* start — so queueing delay shows up in the
+/// tail percentiles instead of vanishing to coordinated omission.
+pub fn e11_contention_tail(scale: RunScale) -> Report {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use udbms_core::CollectionSchema;
+    use udbms_engine::Engine;
+
+    let n_keys = if scale.reps > 5 { 8192usize } else { 2048 };
+    let per_client = if scale.reps > 5 { 1024usize } else { 256 };
+    // the Zipfian arm's skew: the configured --key-dist theta, or YCSB's
+    // classic 0.99 when the run is otherwise uniform
+    let theta = match scale.key_dist {
+        KeyDist::Zipfian { theta } => theta,
+        KeyDist::Uniform => 0.99,
+    };
+    let mut report = Report::new(
+        format!(
+            "E11 — contention & tail latency: OCC aborts under key skew + open-loop pacing, {} key(s), shape {}",
+            n_keys,
+            scale.value_shape.label()
+        ),
+        &[
+            "op", "dist", "mode", "clients", "ops", "target", "elapsed", "p50", "p90", "p95",
+            "p99", "max", "aborts", "abort%", "rate",
+        ],
+    );
+    let engine = Engine::with_config(scale.engine_config());
+    engine
+        .create_collection(CollectionSchema::key_value("hot"))
+        .expect("hot collection");
+    let values = ValueProvider::new(scale.value_shape, 99);
+    // load the key space in a seeded-random insert order so the
+    // measured phases never benefit from insertion-order locality
+    let loader = KeyProvider::new(n_keys, KeyDist::Uniform, 17);
+    engine
+        .run(Isolation::Snapshot, |t| {
+            t.put_many(
+                "hot",
+                loader
+                    .insert_order(InsertOrder::Random)
+                    .into_iter()
+                    .map(|i| (Key::int(i as i64), values.record(i)))
+                    .collect(),
+            )
+        })
+        .expect("hot load");
+
+    let cycles = scale.reps.clamp(1, 3);
+    // one measured cell, scored best-of-`cycles` by rate; returns the
+    // best cycle's stats plus its exact abort (conflict-retry) count
+    let run_cell = |is_update: bool, kp: &KeyProvider, mode: RunMode, clients: usize, seed: u64| {
+        let mut best: Option<(udbms_driver::ConcurrentStats, u64)> = None;
+        for cycle in 0..cycles {
+            let retries = AtomicU64::new(0);
+            let stats = run_concurrent_mode(clients, per_client, mode, |client, i| {
+                let mut rng = SplitMix64::new(
+                    seed + cycle as u64 * 1_000_003 + client as u64 * 65_537 + i as u64,
+                );
+                let idx = kp.draw(&mut rng);
+                let k = Key::int(idx as i64);
+                if is_update {
+                    // read-modify-write under first-committer-wins:
+                    // concurrent writers of one hot key conflict at
+                    // commit, and every conflict is counted exactly
+                    loop {
+                        let mut t = engine.begin(Isolation::Snapshot);
+                        let staged = t.get("hot", &k).and_then(|_| {
+                            // hold the snapshot across a scheduler
+                            // yield: the application work a client does
+                            // between reading and writing back — the
+                            // lost-update window. Without it a
+                            // single-core runner timeslices whole
+                            // transactions back-to-back and no snapshot
+                            // ever straddles a concurrent install, so
+                            // abort rates read as zero at any skew
+                            std::thread::yield_now();
+                            t.put("hot", k.clone(), values.record(idx))
+                        });
+                        let r = staged.and_then(|_| t.commit().map(|_| ()));
+                        match r {
+                            Ok(()) => return Ok(()),
+                            Err(e) if e.is_retryable() => {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                } else {
+                    engine
+                        .run(Isolation::Snapshot, |t| t.get("hot", &k))
+                        .map(|_| ())
+                }
+            })
+            .expect("e11 cell");
+            let aborts = retries.load(Ordering::Relaxed);
+            let rate = stats.total_ops as f64 / stats.elapsed.as_secs_f64().max(1e-9);
+            let better = best
+                .as_ref()
+                .is_none_or(|(b, _)| rate > b.total_ops as f64 / b.elapsed.as_secs_f64().max(1e-9));
+            if better {
+                best = Some((stats, aborts));
+            }
+        }
+        best.expect("at least one cycle")
+    };
+
+    let mut emit = |op: &str,
+                    dist: KeyDist,
+                    mode_label: &str,
+                    target: String,
+                    clients: usize,
+                    stats: udbms_driver::ConcurrentStats,
+                    aborts: u64| {
+        let ops = stats.total_ops;
+        let abort_pct = aborts as f64 / (ops as u64 + aborts).max(1) as f64 * 100.0;
+        let mut row = vec![
+            op.to_string(),
+            dist.label(),
+            mode_label.to_string(),
+            clients.to_string(),
+            ops.to_string(),
+            target,
+            format!("{:?}", stats.elapsed),
+        ];
+        row.extend(latency_cells(
+            &stats.latency_histogram(),
+            stats.percentile_us(95.0),
+        ));
+        row.push(aborts.to_string());
+        row.push(format!("{abort_pct:.1}%"));
+        row.push(per_sec(ops, stats.elapsed.as_secs_f64()));
+        report.row(row);
+    };
+
+    let run_closed = scale.mode != Some(ModeFilter::Open);
+    let run_open = scale.mode != Some(ModeFilter::Closed);
+    let clients_hi = scale.clients.max(1);
+    // the N-client closed rates, keyed (op, dist-label), for deriving a
+    // sustainable open-loop target on whatever machine this is
+    let mut closed_rate: std::collections::HashMap<(String, String), f64> =
+        std::collections::HashMap::new();
+    let dists = [KeyDist::Uniform, KeyDist::Zipfian { theta }];
+
+    if run_closed {
+        for dist in dists {
+            let kp = KeyProvider::new(n_keys, dist, 29);
+            let update_arms: Vec<usize> = if clients_hi <= 1 {
+                vec![1]
+            } else {
+                vec![1, clients_hi]
+            };
+            for &clients in &update_arms {
+                let (stats, aborts) = run_cell(true, &kp, RunMode::Closed, clients, 101);
+                closed_rate.insert(("update".into(), dist.label()), stats.throughput());
+                emit("update", dist, "closed", "-".into(), clients, stats, aborts);
+            }
+            let (stats, aborts) = run_cell(false, &kp, RunMode::Closed, clients_hi, 203);
+            closed_rate.insert(("read".into(), dist.label()), stats.throughput());
+            emit(
+                "read",
+                dist,
+                "closed",
+                "-".into(),
+                clients_hi,
+                stats,
+                aborts,
+            );
+        }
+    }
+
+    if run_open {
+        let dist = KeyDist::Zipfian { theta };
+        let kp = KeyProvider::new(n_keys, dist, 29);
+        for (op, is_update) in [("update", true), ("read", false)] {
+            let rate = scale.rate.unwrap_or_else(|| {
+                // half the matching closed cell's measured rate: a
+                // schedule any machine sustains, so the open-loop tail
+                // reflects service jitter rather than saturation
+                closed_rate
+                    .get(&(op.to_string(), dist.label()))
+                    .copied()
+                    .unwrap_or(500.0)
+                    * 0.5
+            });
+            let (stats, aborts) = run_cell(is_update, &kp, RunMode::Open { rate }, clients_hi, 307);
+            emit(
+                op,
+                dist,
+                "open",
+                format!("{rate:.0}/s"),
+                clients_hi,
+                stats,
+                aborts,
+            );
+        }
+    }
+
+    report.note("update = read-modify-write with its own begin/commit retry loop: `aborts` are");
+    report.note("first-committer-wins conflicts, counted exactly and retried to success;");
+    report.note("abort% = aborts / (ops + aborts). Each update yields the scheduler between");
+    report.note("read and write-back (the lost-update window), so contention is observable");
+    report.note("even when client threads timeslice a single core");
+    report.note("open cells schedule intended starts at `target` (--rate, or half the matching");
+    report.note("closed cell's measured rate) and measure latency from the intended start, so");
+    report.note("queueing delay lands in the tail instead of vanishing to coordinated omission");
+    report
+}
+
 /// Run everything (the `harness all` path).
 pub fn all_reports(scale: RunScale) -> Vec<Report> {
     vec![
@@ -1501,6 +1795,7 @@ pub fn all_reports(scale: RunScale) -> Vec<Report> {
         e8_durability(scale),
         e9_read_path(scale),
         e10_obs_overhead(scale),
+        e11_contention_tail(scale),
     ]
 }
 
@@ -1615,11 +1910,75 @@ mod tests {
         ] {
             assert!(r.rows.iter().any(|row| row[0] == op), "missing op row {op}");
         }
-        assert!(r.rows.iter().any(|row| row[1] == "1" && row[2] == "2"));
-        assert!(r.rows.iter().any(|row| row[1] == "2" && row[2] == "2"));
+        assert!(r.rows.iter().any(|row| row[2] == "1" && row[3] == "2"));
+        assert!(r.rows.iter().any(|row| row[2] == "2" && row[3] == "2"));
         for row in &r.rows {
-            assert!(row[10].ends_with("/s"), "throughput cell: {row:?}");
+            assert_eq!(row[1], "uniform", "dist cell: {row:?}");
+            assert!(row[11].ends_with("/s"), "throughput cell: {row:?}");
         }
+
+        // a Zipfian scale labels its rows and still sweeps every cell
+        let r = e6_crud_scaling(scale.with_key_dist(KeyDist::Zipfian { theta: 0.9 }));
+        assert_eq!(r.rows.len(), 5 * 2 * 2);
+        assert!(r.rows.iter().all(|row| row[1] == "zipf(0.9)"));
+    }
+
+    #[test]
+    fn e11_measures_contention_and_open_loop_tail() {
+        let scale = RunScale {
+            sf: 0.01,
+            reps: 2,
+            trials: 10,
+            clients: 4,
+            shards: 4,
+            durability: None,
+            ..RunScale::quick()
+        };
+        let r = e11_contention_tail(scale);
+        // closed: update × {uniform, zipf} × {1, 4} + read × {uniform, zipf} × {4}
+        // open (zipf only): update × {4} + read × {4}
+        assert_eq!(r.rows.len(), 8);
+        for row in &r.rows {
+            assert!(row[14].ends_with("/s"), "rate cell: {row:?}");
+            assert!(row[13].ends_with('%'), "abort% cell: {row:?}");
+            let _aborts: u64 = row[12].parse().expect("abort count is a number");
+        }
+        assert!(r
+            .rows
+            .iter()
+            .any(|row| row[0] == "update" && row[1] == "zipf(0.99)" && row[3] == "4"));
+        // the experiment's reason to exist: the Zipfian multi-client
+        // update arm actually conflicts — each update holds its
+        // snapshot across a yield, so even a single-core runner
+        // overlaps transactions and first-committer-wins aborts show up
+        let zipf_aborts: u64 = r
+            .rows
+            .iter()
+            .filter(|row| row[0] == "update" && row[1] == "zipf(0.99)" && row[3] == "4")
+            .map(|row| row[12].parse::<u64>().expect("abort count"))
+            .sum();
+        assert!(zipf_aborts > 0, "skewed 4-client updates must conflict");
+        // open rows are zipf-only and carry an explicit target rate
+        let open: Vec<_> = r.rows.iter().filter(|row| row[2] == "open").collect();
+        assert_eq!(open.len(), 2);
+        for row in &open {
+            assert!(row[1].starts_with("zipf"), "open rows sweep zipf: {row:?}");
+            assert!(row[5].ends_with("/s"), "open rows carry a target: {row:?}");
+        }
+        assert!(r
+            .rows
+            .iter()
+            .filter(|row| row[2] == "closed")
+            .all(|row| row[5] == "-"));
+
+        // the mode filter restricts arms; --rate pins the open target
+        let r = e11_contention_tail(scale.with_mode(ModeFilter::Closed));
+        assert!(!r.rows.is_empty());
+        assert!(r.rows.iter().all(|row| row[2] == "closed"));
+        let r = e11_contention_tail(scale.with_mode(ModeFilter::Open).with_rate(2000.0));
+        assert!(!r.rows.is_empty());
+        assert!(r.rows.iter().all(|row| row[2] == "open"));
+        assert!(r.rows.iter().all(|row| row[5] == "2000/s"));
     }
 
     #[test]

@@ -21,14 +21,17 @@ use udbms_core::Value;
 
 /// Gated experiments: `(report id, identity columns, throughput column)`.
 /// A metric key is the report id plus the identity cells; the metric is
-/// the throughput cell parsed from its `"123/s"` form.
-const GATED: &[(&str, &[&str], &str)] = &[
+/// the throughput cell parsed from its `"123/s"` form. The matrix
+/// renderer ([`crate::report::matrix_rows`]) shares this spec so the
+/// per-commit matrix and the gate always describe the same cells.
+pub const GATED: &[(&str, &[&str], &str)] = &[
     ("e2", &["query", "subject"], "ops/s"),
     ("e4a", &["subject", "iso", "clients", "theta"], "txn/s"),
-    ("e6", &["op", "shards", "clients"], "ops/s"),
+    ("e6", &["op", "dist", "shards", "clients"], "ops/s"),
     ("e8", &["arm", "durability", "clients"], "rate"),
     ("e9", &["op", "arm", "clients"], "rate"),
     ("e10", &["op", "obs", "clients"], "rate"),
+    ("e11", &["op", "dist", "mode", "clients"], "rate"),
 ];
 
 /// The fraction of the obs-off rate the obs-on filter-scan arm must
@@ -201,12 +204,34 @@ pub fn compare_reports(baseline: &Value, current: &[Value], tolerance: f64) -> G
         failures: Vec::new(),
         notes: Vec::new(),
     };
-    for (key, _) in &cur {
-        if !base_keys.contains(key.as_str()) {
-            outcome
-                .notes
-                .push(format!("new metric (not in baseline): {key}"));
-        }
+    // one-pass key census: every extra and missing key is collected and
+    // reported as one consolidated line each. A renamed experiment then
+    // reads as "N disappeared: [old keys]" next to "N new: [new keys]"
+    // in a single gate run, instead of surfacing one confusing
+    // note-per-key drip across reruns.
+    let extra: Vec<&str> = cur
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .filter(|k| !base_keys.contains(k))
+        .collect();
+    if !extra.is_empty() {
+        outcome.notes.push(format!(
+            "{} new metric(s) not in baseline: {}",
+            extra.len(),
+            extra.join(", ")
+        ));
+    }
+    let missing: Vec<&str> = base
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .filter(|k| !cur_map.contains_key(k))
+        .collect();
+    if !missing.is_empty() {
+        outcome.failures.push(format!(
+            "{} baseline metric(s) disappeared from report (renamed or removed?): {}",
+            missing.len(),
+            missing.join(", ")
+        ));
     }
 
     // ratios for metrics present in both documents; a zero or
@@ -217,10 +242,7 @@ pub fn compare_reports(baseline: &Value, current: &[Value], tolerance: f64) -> G
     let mut shared: Vec<(&str, f64, f64)> = Vec::new(); // (key, base, ratio)
     for (key, base_rate) in &base {
         let Some(&cur_rate) = cur_map.get(key.as_str()) else {
-            outcome
-                .failures
-                .push(format!("metric disappeared from report: {key}"));
-            continue;
+            continue; // already reported in the consolidated census
         };
         if !base_rate.is_finite() || *base_rate <= 0.0 {
             outcome.notes.push(format!(
@@ -385,8 +407,8 @@ mod tests {
                           "theta" => "0.9", "txn/s" => "250/s"},
                 ])},
                 obj! {"id" => "e6", "rows" => Value::Array(vec![
-                    obj! {"op" => "read", "shards" => "8", "clients" => "8",
-                          "ops/s" => "5000/s"},
+                    obj! {"op" => "read", "dist" => "uniform", "shards" => "8",
+                          "clients" => "8", "ops/s" => "5000/s"},
                 ])},
                 obj! {"id" => "e8", "rows" => Value::Array(vec![
                     obj! {"arm" => "group-commit", "durability" => "flush",
@@ -445,6 +467,64 @@ mod tests {
             .notes
             .iter()
             .any(|n| n.contains("non-finite current/baseline ratio")));
+    }
+
+    #[test]
+    fn renamed_experiment_reports_every_key_in_one_pass() {
+        let base = doc(
+            "e2",
+            vec![
+                e2_row("Q1", "unified", "1000/s"),
+                e2_row("Q2", "unified", "900/s"),
+                e2_row("Q3", "unified", "800/s"),
+            ],
+        );
+        // every key renamed (say the experiment's identity column moved)
+        let cur = doc(
+            "e2",
+            vec![
+                e2_row("R1", "unified", "1000/s"),
+                e2_row("R2", "unified", "900/s"),
+                e2_row("R3", "unified", "800/s"),
+            ],
+        );
+        let out = compare_reports(&base, std::slice::from_ref(&cur), 0.2);
+        assert!(!out.passed());
+        // ONE failure naming all three missing keys, ONE note naming
+        // all three new keys — not a drip of one line per key
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        for old in ["e2:Q1:unified", "e2:Q2:unified", "e2:Q3:unified"] {
+            assert!(out.failures[0].contains(old), "{:?}", out.failures);
+        }
+        assert!(out.failures[0].contains("3 baseline metric(s)"));
+        let new_notes: Vec<&String> = out
+            .notes
+            .iter()
+            .filter(|n| n.contains("new metric"))
+            .collect();
+        assert_eq!(new_notes.len(), 1, "{:?}", out.notes);
+        for new in ["e2:R1:unified", "e2:R2:unified", "e2:R3:unified"] {
+            assert!(new_notes[0].contains(new), "{:?}", out.notes);
+        }
+    }
+
+    #[test]
+    fn e11_rows_are_gated_by_op_dist_mode_clients() {
+        let d = doc(
+            "e11",
+            vec![
+                obj! {"op" => "update", "dist" => "zipf(0.99)", "mode" => "closed",
+                "clients" => "8", "rate" => "4000/s"},
+                obj! {"op" => "read", "dist" => "zipf(0.99)", "mode" => "open",
+                "clients" => "8", "rate" => "2000/s"},
+            ],
+        );
+        let out = compare_reports(&d, std::slice::from_ref(&d), 0.2);
+        assert_eq!(out.checked, 2);
+        assert!(out.passed());
+        let keys: Vec<String> = metrics_of(&d).into_iter().map(|(k, _)| k).collect();
+        assert!(keys.contains(&"e11:update:zipf(0.99):closed:8".to_string()));
+        assert!(keys.contains(&"e11:read:zipf(0.99):open:8".to_string()));
     }
 
     fn e10_row(op: &str, obs: &str, clients: &str, rate: &str) -> Value {

@@ -13,9 +13,11 @@ pub mod gate;
 pub mod report;
 
 pub use experiments::{
-    all_reports, e10_obs_overhead, e1_generation, e2_queries, e3_evolution, e4a_transactions,
-    e4b_acid, e4c_eventual, e5_conversion, e6_crud_scaling, e7_ablation, e8_durability,
-    e9_read_path, f1_inventory, RunScale,
+    all_reports, e10_obs_overhead, e11_contention_tail, e1_generation, e2_queries, e3_evolution,
+    e4a_transactions, e4b_acid, e4c_eventual, e5_conversion, e6_crud_scaling, e7_ablation,
+    e8_durability, e9_read_path, f1_inventory, ModeFilter, RunScale,
 };
-pub use gate::{compare_reports, merged_baseline, obs_overhead_failures, GateOutcome};
-pub use report::{latency_cells, per_sec, us, Report};
+pub use gate::{compare_reports, merged_baseline, obs_overhead_failures, GateOutcome, GATED};
+pub use report::{
+    attach_matrix, latency_cells, matrix_markdown, matrix_rows, per_sec, us, MatrixRow, Report,
+};

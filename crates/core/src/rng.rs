@@ -196,6 +196,16 @@ impl Zipf {
         let u = rng.f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
+
+    /// The probability mass of `rank` — the exact share of draws expected
+    /// to land on it. Benchmark validity tests compare observed draw
+    /// frequencies against this (chi-squared style) instead of
+    /// re-deriving the normalization constant.
+    pub fn share(&self, rank: usize) -> f64 {
+        let hi = self.cdf[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        hi - lo
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +336,24 @@ mod tests {
         for &c in &counts {
             let frac = c as f64 / N as f64;
             assert!((frac - 0.1).abs() < 0.02, "uniform share off: {frac}");
+        }
+    }
+
+    #[test]
+    fn zipf_shares_sum_to_one_and_decrease() {
+        let z = Zipf::new(100, 0.9);
+        let total: f64 = (0..100).map(|r| z.share(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares must sum to 1: {total}");
+        for r in 1..100 {
+            assert!(
+                z.share(r) <= z.share(r - 1) + 1e-12,
+                "share must be non-increasing in rank"
+            );
+        }
+        // theta = 0: every rank carries the same mass
+        let u = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((u.share(r) - 0.1).abs() < 1e-9);
         }
     }
 

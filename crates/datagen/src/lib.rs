@@ -15,12 +15,14 @@ mod config;
 mod dataset;
 mod domain;
 mod load;
+mod providers;
 pub mod workload;
 
 pub use config::{GenConfig, SchemaVariation};
 pub use dataset::{generate, Dataset};
 pub use domain::{customer_id, feedback_key, gen_invoice, invoice_key, order_id, product_id};
 pub use load::{build_engine, create_collections, load_into_engine, schemas};
+pub use providers::{InsertOrder, KeyDist, KeyProvider, ValueProvider, ValueShape};
 
 #[cfg(test)]
 mod proptests {

@@ -1,0 +1,68 @@
+//! Distribution checks for the workload-dimension providers: Zipfian
+//! key draws must actually follow the distribution they claim (a
+//! chi-squared-style goodness-of-fit against the provider's own
+//! expected shares) and must be seed-deterministic, so two runs of a
+//! contention experiment compare engines, never inputs.
+
+use proptest::prelude::*;
+use udbms_core::SplitMix64;
+use udbms_datagen::{KeyDist, KeyProvider};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Goodness of fit: observed key frequencies over many draws must
+    /// match [`KeyProvider::expected_share`] under a chi-squared
+    /// statistic, at any seed and skew.
+    #[test]
+    fn zipf_draws_match_expected_rank_frequencies(
+        seed in 0u64..1000,
+        theta in 0.5f64..1.2,
+    ) {
+        const N_KEYS: usize = 64;
+        const DRAWS: usize = 20_000;
+        let p = KeyProvider::new(N_KEYS, KeyDist::Zipfian { theta }, seed);
+        let mut rng = SplitMix64::new(seed ^ 0xdead_beef);
+        let mut counts = vec![0usize; N_KEYS];
+        for _ in 0..DRAWS {
+            counts[p.draw(&mut rng)] += 1;
+        }
+        let mut chi2 = 0.0f64;
+        for (k, &observed) in counts.iter().enumerate() {
+            let expected = p.expected_share(k) * DRAWS as f64;
+            let diff = observed as f64 - expected;
+            chi2 += diff * diff / expected.max(1e-9);
+        }
+        // 63 degrees of freedom: the 99.9th percentile of χ²(63) is
+        // ≈ 103; the looser bound keeps honest sampling noise out while
+        // still failing outright on a wrong sampler or a broken scatter
+        prop_assert!(chi2 < 150.0, "chi² = {} for theta {}", chi2, theta);
+        // the skew is visible: the hottest key clearly beats uniform
+        let hot = *counts.iter().max().expect("non-empty") as f64 / DRAWS as f64;
+        prop_assert!(hot > 1.5 / N_KEYS as f64, "no skew visible: {}", hot);
+        // and every expected share is a probability that sums to one
+        let total: f64 = (0..N_KEYS).map(|k| p.expected_share(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Same `(seed, config)` → byte-identical draw streams, regardless
+    /// of skew; a different provider seed scatters hot keys elsewhere.
+    #[test]
+    fn zipf_draws_are_seed_deterministic(seed in 0u64..1000, theta in 0.1f64..1.5) {
+        let a = KeyProvider::new(128, KeyDist::Zipfian { theta }, seed);
+        let b = KeyProvider::new(128, KeyDist::Zipfian { theta }, seed);
+        let mut ra = SplitMix64::new(42);
+        let mut rb = SplitMix64::new(42);
+        for _ in 0..256 {
+            prop_assert_eq!(a.draw(&mut ra), b.draw(&mut rb));
+        }
+        // uniform draws are deterministic too (no scatter involved)
+        let u1 = KeyProvider::new(128, KeyDist::Uniform, seed);
+        let u2 = KeyProvider::new(128, KeyDist::Uniform, seed);
+        let mut ra = SplitMix64::new(seed);
+        let mut rb = SplitMix64::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(u1.draw(&mut ra), u2.draw(&mut rb));
+        }
+    }
+}

@@ -31,7 +31,9 @@
 mod runner;
 mod subjects;
 
-pub use runner::{percentile_us, run_concurrent, run_query_clients, ConcurrentStats};
+pub use runner::{
+    percentile_us, run_concurrent, run_concurrent_mode, run_query_clients, ConcurrentStats, RunMode,
+};
 pub use subjects::{EngineSubject, PolyglotSubject};
 
 pub use udbms_engine::{Durability, EngineConfig, DEFAULT_SHARDS};

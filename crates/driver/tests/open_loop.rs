@@ -1,0 +1,86 @@
+//! Intended-start accounting: the open-loop runner must charge queueing
+//! delay to the latency sample instead of silently pausing the request
+//! stream — the coordinated-omission failure the closed loop exhibits
+//! by construction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use udbms_driver::{run_concurrent_mode, RunMode};
+
+const RATE: f64 = 1000.0;
+const OPS: usize = 100;
+const STALL: Duration = Duration::from_millis(40);
+
+/// One operation stream: op 10 stalls for 40 ms, every other op is
+/// instantaneous.
+fn stalling_op(_client: usize, i: usize) -> udbms_core::Result<()> {
+    if i == 10 {
+        std::thread::sleep(STALL);
+    }
+    Ok(())
+}
+
+#[test]
+fn open_loop_charges_the_stall_to_the_tail_not_the_throughput() {
+    // 1 client at 1000 ops/s: intended starts at 0, 1 ms, 2 ms, …; the
+    // 40 ms stall at op 10 puts ops 11..~50 behind their intended
+    // starts, so their recorded latencies carry the queueing delay
+    let stats = run_concurrent_mode(1, OPS, RunMode::Open { rate: RATE }, stalling_op)
+        .expect("open-loop run");
+    assert_eq!(stats.total_ops, OPS);
+    assert!(
+        stats.percentile_us(99.0) >= 10_000,
+        "queueing behind the stall must inflate the open-loop tail, got p99 = {}µs",
+        stats.percentile_us(99.0)
+    );
+    // the schedule absorbs the stall: ops whose intended starts passed
+    // run back-to-back, so the run still spans ~OPS/RATE seconds and
+    // throughput stays at the configured rate instead of collapsing
+    assert!(
+        stats.elapsed >= Duration::from_millis(80),
+        "schedule must still pace the run: {:?}",
+        stats.elapsed
+    );
+    let throughput = stats.throughput();
+    assert!(
+        (500.0..=1100.0).contains(&throughput),
+        "open-loop throughput must track the schedule (~{RATE}/s), got {throughput}/s"
+    );
+}
+
+#[test]
+fn closed_loop_hides_the_same_stall_from_the_tail() {
+    // identical op stream, closed loop: only op 10 itself records the
+    // stall; the requests that would have queued behind it simply never
+    // happen, so nearest-rank p99 over 100 samples misses the 40 ms op
+    // entirely — the textbook coordinated-omission blind spot
+    let stats = run_concurrent_mode(1, OPS, RunMode::Closed, stalling_op).expect("closed-loop run");
+    assert_eq!(stats.total_ops, OPS);
+    let max = *stats.latencies_us.iter().max().expect("non-empty");
+    assert!(max >= 10_000, "the stalled op itself is in the sample");
+    assert!(
+        stats.percentile_us(99.0) < 10_000,
+        "closed-loop p99 must miss the stall (1 slow op in 100), got {}µs",
+        stats.percentile_us(99.0)
+    );
+}
+
+#[test]
+fn open_loop_latency_includes_wait_even_when_ops_are_fast() {
+    // sanity for the accounting itself: with no stall at all, recorded
+    // open-loop latencies stay near zero — intended-start measurement
+    // must not spuriously charge the scheduled sleep as latency
+    let ran = AtomicBool::new(false);
+    let stats = run_concurrent_mode(2, 20, RunMode::Open { rate: 800.0 }, |_, _| {
+        ran.store(true, Ordering::Relaxed);
+        Ok(())
+    })
+    .expect("open-loop run");
+    assert!(ran.load(Ordering::Relaxed));
+    assert!(
+        stats.percentile_us(50.0) < 20_000,
+        "on-schedule ops must not be charged their sleep: p50 = {}µs",
+        stats.percentile_us(50.0)
+    );
+}
