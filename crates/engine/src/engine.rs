@@ -50,7 +50,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::{LockRank, TrackedMutex, TrackedRwLock};
+use parking_lot::{LockRank, TrackedAtomicU64, TrackedMutex, TrackedRwLock};
 
 use udbms_obs::{Histogram, Obs, ObsSnapshot};
 
@@ -184,15 +184,18 @@ impl Metrics {
 }
 
 struct Inner {
-    clock: AtomicU64,
+    /// Commit-timestamp clock. RMW'd (`AcqRel`) under `commit_lock` by
+    /// writing commits; loaded under `commit_lock` everywhere a snapshot
+    /// is taken. Tracked so the model checker can interleave it.
+    clock: TrackedAtomicU64,
     /// Timestamp of the newest **fully installed** commit. Stored (with
     /// `Release`) after a commit's versions are in place but before
     /// `commit_lock` is dropped, so a reader that loads it (`Acquire`)
     /// can never observe a half-installed commit — which is what lets
     /// [`Engine::begin_read`] take a snapshot without touching
     /// `commit_lock` at all.
-    published: AtomicU64,
-    next_txn: AtomicU64,
+    published: TrackedAtomicU64,
+    next_txn: TrackedAtomicU64,
     /// Hash-sharded storage; every shard carries its own lock.
     storage: ShardedStorage,
     catalog: TrackedRwLock<Catalog>,
@@ -317,9 +320,9 @@ impl Engine {
         storage.attach_obs(&obs);
         Engine {
             inner: Arc::new(Inner {
-                clock: AtomicU64::new(0),
-                published: AtomicU64::new(0),
-                next_txn: AtomicU64::new(1),
+                clock: TrackedAtomicU64::named("engine.clock", 0),
+                published: TrackedAtomicU64::named("engine.published", 0),
+                next_txn: TrackedAtomicU64::named("engine.next_txn", 1),
                 storage,
                 catalog: TrackedRwLock::new(LockRank::Catalog, Catalog::new()),
                 commit_lock: TrackedMutex::new(LockRank::Commit, ()),
@@ -389,7 +392,10 @@ impl Engine {
         type ReplayBucket = Vec<(RecordId, Ts, Option<Arc<Value>>)>;
         let n = records.len();
         let mut catalog = self.inner.catalog.write();
-        let mut max_ts = self.inner.clock.load(Ordering::SeqCst);
+        // ORDER: Acquire pairs with the commit path's AcqRel fetch_add;
+        // replay runs before concurrent commits but must still observe
+        // any clock value a prior engine incarnation published.
+        let mut max_ts = self.inner.clock.load(Ordering::Acquire);
         // resolve collections and bucket installs per shard, preserving
         // log order inside each bucket (per-key order is per-shard order)
         let mut buckets: Vec<ReplayBucket> = vec![Vec::new(); self.inner.storage.shard_count()];
@@ -413,8 +419,13 @@ impl Engine {
                 shard.install(rid, ts, value);
             }
         }
-        self.inner.clock.store(max_ts, Ordering::SeqCst);
-        self.inner.published.store(max_ts, Ordering::SeqCst);
+        // ORDER: Release — `clock` pairs with the Acquire loads under
+        // commit_lock in begin/checkpoint/gc.
+        self.inner.clock.store(max_ts, Ordering::Release);
+        // ORDER: Release — a reader that Acquire-loads `published`
+        // (begin_read) must see every version installed by the shard
+        // writes above.
+        self.inner.published.store(max_ts, Ordering::Release);
         Ok(n)
     }
 
@@ -437,7 +448,10 @@ impl Engine {
         let _ckpt = self.inner.checkpoint_lock.lock();
         let snapshot = {
             let _commit = self.inner.commit_lock.lock();
-            Ts(self.inner.clock.load(Ordering::SeqCst))
+            // ORDER: Acquire under commit_lock; the lock already orders
+            // this after the last commit's AcqRel fetch_add, Acquire (not
+            // SeqCst) states the actual requirement.
+            Ts(self.inner.clock.load(Ordering::Acquire))
         };
         // every commit with ts ≤ snapshot is fully installed (it held
         // commit_lock through install + enqueue), so this scan is a
@@ -558,9 +572,11 @@ impl Engine {
     pub fn begin(&self, isolation: Isolation) -> Txn {
         let snapshot = {
             let _g = self.inner.commit_lock.lock();
-            Ts(self.inner.clock.load(Ordering::SeqCst))
+            // ORDER: Acquire under commit_lock (see checkpoint): the lock
+            // orders this load after the last commit's install.
+            Ts(self.inner.clock.load(Ordering::Acquire))
         };
-        let id = TxnId(self.inner.next_txn.fetch_add(1, Ordering::SeqCst));
+        let id = TxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed));
         self.inner.active.lock().insert(id, snapshot);
         Txn {
             inner: Arc::clone(&self.inner),
@@ -581,8 +597,10 @@ impl Engine {
     /// is advanced before the installing commit releases `commit_lock`,
     /// so every commit that returned before this call is visible.
     pub fn begin_read(&self) -> Txn {
+        // ORDER: Acquire pairs with the Release publish in commit — the
+        // snapshot must see every version install that preceded it.
         let snapshot = Ts(self.inner.published.load(Ordering::Acquire));
-        let id = TxnId(self.inner.next_txn.fetch_add(1, Ordering::SeqCst));
+        let id = TxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed));
         self.inner.active.lock().insert(id, snapshot);
         self.inner.stats.read_lane.fetch_add(1, Ordering::Relaxed);
         Txn {
@@ -632,7 +650,9 @@ impl Engine {
                 .values()
                 .copied()
                 .min()
-                .unwrap_or(Ts(self.inner.clock.load(Ordering::SeqCst)))
+                // ORDER: Acquire; commit_lock below orders the gc scan
+                // itself, the watermark only needs a current-ish clock.
+                .unwrap_or(Ts(self.inner.clock.load(Ordering::Acquire)))
         };
         let _commit = self.inner.commit_lock.lock();
         let (versions_removed, chains_removed) = self.inner.storage.gc(watermark);
@@ -1581,7 +1601,10 @@ impl Txn {
             //     buffered values are Arc-shared, so each install is a
             //     refcount bump, not a value tree copy ---
             let install_stamp = inner.obs.start();
-            let commit_ts = Ts(inner.clock.fetch_add(1, Ordering::SeqCst) + 1);
+            // ORDER: AcqRel — the new ts must come after every install
+            // the previous holder of commit_lock released (Acquire), and
+            // the snapshot loads above must not sink below it (Release).
+            let commit_ts = Ts(inner.clock.fetch_add(1, Ordering::AcqRel) + 1);
             for (si, group) in write_groups.iter().enumerate() {
                 if group.is_empty() {
                     continue;
@@ -1594,6 +1617,9 @@ impl Txn {
             }
             // every version is in place: publish the timestamp so
             // lock-free read-lane snapshots can observe this commit
+            // ORDER: Release pairs with begin_read's Acquire load; every
+            // shard install above happens-before a snapshot that sees
+            // this watermark.
             inner.published.store(commit_ts.0, Ordering::Release);
             inner
                 .obs

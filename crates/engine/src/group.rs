@@ -44,11 +44,13 @@
 //! builds enforce this order at runtime; the shim [`Condvar`] keeps the
 //! rank bookkeeping correct across waits.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, LockRank, TrackedMutex, TrackedMutexGuard};
+use parking_lot::{
+    Condvar, LockRank, TrackedAtomicBool, TrackedAtomicU64, TrackedMutex, TrackedMutexGuard,
+};
 
 use udbms_obs::{Histogram, Obs, Stamp};
 
@@ -116,12 +118,12 @@ struct LogShared {
     /// mutex, which would otherwise be the contention hot spot (every
     /// ack taking the lock serializes exactly the threads group commit
     /// is trying to decouple).
-    durable: AtomicU64,
+    durable: TrackedAtomicU64,
     /// Lock-free mirror of `LogState::writing` — a cheap "is a drain in
     /// flight" probe deciding whether a waiter should try to lead.
-    writing: AtomicBool,
+    writing: TrackedAtomicBool,
     /// Lock-free mirror of `LogState::error.is_some()`.
-    poisoned: AtomicBool,
+    poisoned: TrackedAtomicBool,
     /// Writer waits here for queue items or shutdown.
     work: Condvar,
     /// Committers wait here for `durable` to reach their ticket.
@@ -222,8 +224,9 @@ impl LogShared {
                 st.durable += n;
                 st.batches += 1;
                 st.appended += n;
-                // publish for the lock-free follower path; Release pairs
-                // with the Acquire poll in wait_durable
+                // ORDER: Release pairs with the Acquire poll in
+                // wait_durable — a follower that sees this count must
+                // also see the batch's WAL writes behind it.
                 self.durable.store(st.durable, Ordering::Release);
                 self.obs.event("wal_batch", n, st.durable);
             }
@@ -235,6 +238,10 @@ impl LogShared {
         if st.error.is_none() {
             st.error = Some(e.to_string());
         }
+        // ORDER: Release pairs with wait_durable's Acquire probe; the
+        // probe's lock-free reader must see `st.error` context only via
+        // the state lock, but the flag itself must not be reorderable
+        // ahead of the failed write it reports.
         self.poisoned.store(true, Ordering::Release);
     }
 }
@@ -276,9 +283,9 @@ impl GroupLog {
         let pipe = PipelineMetrics::new(&obs);
         let shared = Arc::new(LogShared {
             state: TrackedMutex::new(LockRank::GroupQueue, LogState::default()),
-            durable: AtomicU64::new(0),
-            writing: AtomicBool::new(false),
-            poisoned: AtomicBool::new(false),
+            durable: TrackedAtomicU64::named("log.durable", 0),
+            writing: TrackedAtomicBool::named("log.writing", false),
+            poisoned: TrackedAtomicBool::named("log.poisoned", false),
             work: Condvar::new(),
             done: Condvar::new(),
             idle: Condvar::new(),
@@ -343,6 +350,8 @@ impl GroupLog {
                     st.durable += 1;
                     st.batches += 1;
                     st.appended += 1;
+                    // ORDER: Release pairs with wait_durable's Acquire
+                    // poll (same contract as retire()).
                     self.shared.durable.store(st.durable, Ordering::Release);
                     if self.shared.obs.is_enabled() {
                         self.shared.pipe.batch_records.record(1);
@@ -388,11 +397,13 @@ impl GroupLog {
         let lead_after = u32::from(self.shared.durability == Durability::Fsync);
         let mut yields = 0u32;
         loop {
-            // lock-free fast path (Acquire pairs with the publishing
-            // Release in drain/commit)
+            // ORDER: Acquire pairs with the publishing Release in
+            // retire/commit/checkpoint — seeing the count implies seeing
+            // the durable bytes.
             if self.shared.durable.load(Ordering::Acquire) >= seq {
                 return Ok(());
             }
+            // ORDER: Acquire pairs with poison()'s Release store.
             if self.shared.poisoned.load(Ordering::Acquire) {
                 let st = self.shared.state.lock();
                 if st.durable >= seq {
@@ -480,6 +491,7 @@ impl GroupLog {
                     st.batches += 1;
                     st.appended += drained;
                 }
+                // ORDER: Release pairs with wait_durable's Acquire poll.
                 self.shared.durable.store(st.durable, Ordering::Release);
                 self.shared.done.notify_all();
                 Ok(())

@@ -3,7 +3,7 @@
 //! Project-specific static analysis for the UDBMS workspace.
 //!
 //! `udbms-lint` is a std-only (no crates.io) lexer/walker enforcing the
-//! five concurrency/performance rules documented in DESIGN.md,
+//! six concurrency/performance rules documented in DESIGN.md,
 //! "Invariants & static analysis":
 //!
 //! * **L1 `lock-order`** — ranked-lock acquisitions within a function
@@ -17,6 +17,10 @@
 //!   in non-test `crates/engine` code; engine hot paths time
 //!   themselves through the `udbms-obs` helpers, which cost one
 //!   branch when observability is disabled.
+//! * **L6 `atomic-order`** — explicit-ordering discipline for atomics
+//!   in `crates/engine`/`crates/query`: `Relaxed` only on registered
+//!   pure counters, synchronizing orderings only with an adjacent
+//!   `// ORDER:` comment naming the pairing.
 //!
 //! Findings are suppressed by an inline
 //! `// lint:allow(<rule>): reason` on the offending (or preceding)
@@ -28,6 +32,11 @@
 //! unwrap       crates/query/src/lexer.rs
 //! ```
 //!
+//! Suppressions are themselves audited: an inline marker that no longer
+//! matches any finding, or a `lint-allow.txt` entry nothing needed, is
+//! reported as `unused-suppression` so the exception budget can only
+//! shrink, never silently grow.
+//!
 //! The same rules run over this crate and the shims — the linter lints
 //! itself.
 
@@ -38,7 +47,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-pub use rules::{lint_source, Finding, Rule};
+pub use rules::{lint_file, lint_source, AllowMarker, FileLint, Finding, Rule};
 
 /// Parsed `lint-allow.txt`: audited, reviewable exceptions.
 #[derive(Debug, Default)]
@@ -51,6 +60,19 @@ struct AllowEntry {
     rule: String,
     path: String,
     function: Option<String>,
+    /// 1-based line in `lint-allow.txt`, for stale-entry reports.
+    line: u32,
+}
+
+impl AllowEntry {
+    fn matches(&self, finding: &Finding) -> bool {
+        self.rule == finding.rule.name()
+            && (finding.file == self.path || finding.file.ends_with(&self.path))
+            && self
+                .function
+                .as_ref()
+                .is_none_or(|f| finding.function.as_deref() == Some(f.as_str()))
+    }
 }
 
 impl Allowlist {
@@ -59,9 +81,10 @@ impl Allowlist {
     pub fn parse(text: &str) -> Allowlist {
         let entries = text
             .lines()
-            .map(str::trim)
-            .filter(|l| !l.is_empty() && !l.starts_with('#'))
-            .filter_map(|l| {
+            .enumerate()
+            .map(|(i, l)| (i as u32 + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|(line, l)| {
                 let mut parts = l.split_whitespace();
                 let rule = parts.next()?.to_string();
                 let path = parts.next()?.to_string();
@@ -70,6 +93,7 @@ impl Allowlist {
                     rule,
                     path,
                     function,
+                    line,
                 })
             })
             .collect();
@@ -86,13 +110,12 @@ impl Allowlist {
 
     /// Whether `finding` is covered by an entry.
     pub fn allows(&self, finding: &Finding) -> bool {
-        self.entries.iter().any(|e| {
-            e.rule == finding.rule.name()
-                && (finding.file == e.path || finding.file.ends_with(&e.path))
-                && e.function
-                    .as_ref()
-                    .is_none_or(|f| finding.function.as_deref() == Some(f.as_str()))
-        })
+        self.match_index(finding).is_some()
+    }
+
+    /// Index of the first entry covering `finding`, for usage tracking.
+    fn match_index(&self, finding: &Finding) -> Option<usize> {
+        self.entries.iter().position(|e| e.matches(finding))
     }
 
     /// Number of entries (reported by the CLI so the exception budget
@@ -134,10 +157,26 @@ pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
+/// Rule names an inline marker can legitimately name; anything else in
+/// a `lint:allow(...)`-shaped comment (docs, prose, placeholders like
+/// `<rule>`) is ignored rather than reported stale.
+const KNOWN_RULES: &[&str] = &[
+    "lock-order",
+    "safety",
+    "unwrap",
+    "raw-lock",
+    "hot-clock",
+    "atomic-order",
+    "unused-suppression",
+];
+
 /// Lint the whole workspace rooted at `root`, applying `allow`.
-/// Returns the surviving findings, sorted by file then line.
+/// Returns the surviving findings — including `unused-suppression`
+/// reports for inline markers and allowlist entries that no longer
+/// suppress anything — sorted by file then line.
 pub fn lint_workspace(root: &Path, allow: &Allowlist) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
+    let mut entry_used = vec![false; allow.entries.len()];
     for path in workspace_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -145,11 +184,57 @@ pub fn lint_workspace(root: &Path, allow: &Allowlist) -> io::Result<Vec<Finding>
             .to_string_lossy()
             .replace('\\', "/");
         let src = fs::read_to_string(&path)?;
-        findings.extend(
-            lint_source(&rel, &src)
-                .into_iter()
-                .filter(|f| !allow.allows(f)),
-        );
+        let file = lint_file(&rel, &src);
+        for f in &file.findings {
+            if file.markers.iter().any(|m| FileLint::covers(m, f)) {
+                continue; // inline suppression wins; marker is "used"
+            }
+            match allow.match_index(f) {
+                Some(i) => entry_used[i] = true,
+                None => findings.push(f.clone()),
+            }
+        }
+        // Stale inline markers: a real rule name, outside the test
+        // region, covering no raw finding.
+        for m in &file.markers {
+            if !KNOWN_RULES.contains(&m.rule.as_str()) {
+                continue;
+            }
+            if file.test_region_line.is_some_and(|from| m.line >= from) {
+                continue;
+            }
+            if !file.findings.iter().any(|f| FileLint::covers(m, f)) {
+                findings.push(Finding {
+                    rule: Rule::UnusedSuppression,
+                    file: rel.clone(),
+                    line: m.line,
+                    function: None,
+                    message: format!(
+                        "stale `lint:allow({})` — no {} finding on this or the next                          line; remove the marker",
+                        m.rule, m.rule
+                    ),
+                });
+            }
+        }
+    }
+    for (e, used) in allow.entries.iter().zip(&entry_used) {
+        if !used {
+            findings.push(Finding {
+                rule: Rule::UnusedSuppression,
+                file: "lint-allow.txt".to_string(),
+                line: e.line,
+                function: None,
+                message: format!(
+                    "stale allowlist entry `{} {}{}` — it suppresses nothing; remove it",
+                    e.rule,
+                    e.path,
+                    e.function
+                        .as_deref()
+                        .map(|f| format!(" {f}"))
+                        .unwrap_or_default()
+                ),
+            });
+        }
     }
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
@@ -320,6 +405,102 @@ fn ok(&self) {
         // a bare `Instant` type mention without `::now` is fine
         let ty = "fn f(deadline: Instant) -> Instant { deadline }\n";
         assert!(lint_source("crates/engine/src/x.rs", ty).is_empty());
+    }
+
+    #[test]
+    fn relaxed_is_legal_only_on_registered_counters() {
+        let ok = "fn f(&self) { self.stats.commits.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(lint_source("crates/engine/src/x.rs", ok).is_empty());
+
+        let bad = "fn f(&self) { self.ready.store(true, Ordering::Relaxed); }\n";
+        let findings = lint_source("crates/engine/src/x.rs", bad);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::AtomicOrder);
+        assert!(findings[0].message.contains("registered pure counter"));
+    }
+
+    #[test]
+    fn sync_orderings_need_an_order_comment() {
+        let bad = "fn f(&self) { self.published.store(ts, Ordering::Release); }\n";
+        let findings = lint_source("crates/engine/src/x.rs", bad);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::AtomicOrder);
+        assert!(findings[0].message.contains("ORDER:"));
+
+        let above = "fn f(&self) {\n    // ORDER: pairs with the Acquire load in begin_read.\n    self.published.store(ts, Ordering::Release);\n}\n";
+        assert!(lint_source("crates/engine/src/x.rs", above).is_empty());
+
+        let same_line =
+            "fn f(&self) { self.published.load(Ordering::Acquire); // ORDER: pairs with commit\n}\n";
+        assert!(lint_source("crates/engine/src/x.rs", same_line).is_empty());
+    }
+
+    #[test]
+    fn atomic_order_scope_tests_and_cmp_are_exempt() {
+        let bad = "fn f(&self) { self.ready.store(true, Ordering::Relaxed); }\n";
+        // out of scope: only engine + query are model-checked
+        assert!(lint_source("crates/obs/src/lib.rs", bad).is_empty());
+        // test regions may do whatever they need
+        let tested = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(a: &A) { a.x.store(1, Ordering::SeqCst); }\n}\n";
+        assert!(lint_source("crates/engine/src/x.rs", tested).is_empty());
+        // cmp::Ordering variants don't collide with memory orderings
+        let cmp = "fn f(a: u8, b: u8) -> bool { a.cmp(&b) == std::cmp::Ordering::Less }\n";
+        assert!(lint_source("crates/engine/src/x.rs", cmp).is_empty());
+        // inline allow works like every other rule
+        let allowed = "fn f(&self) {\n    // lint:allow(atomic-order): transient flag, no data published\n    self.ready.store(true, Ordering::Relaxed);\n}\n";
+        assert!(lint_source("crates/engine/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn stale_suppressions_are_reported() {
+        let dir = std::env::temp_dir().join(format!("udbms-lint-stale-{}", std::process::id()));
+        let sub = dir.join("crates/engine/src");
+        fs::create_dir_all(&sub).unwrap();
+        fs::write(
+            sub.join("x.rs"),
+            "fn f() {\n    // lint:allow(unwrap): stale — nothing here unwraps\n    let _y = 1;\n}\n",
+        )
+        .unwrap();
+        let allow = Allowlist::parse("unwrap crates/engine/src/x.rs\n");
+        let findings = lint_workspace(&dir, &allow).unwrap();
+        fs::remove_dir_all(&dir).ok();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == Rule::UnusedSuppression));
+        assert!(findings.iter().any(|f| f.file == "lint-allow.txt"));
+        assert!(findings
+            .iter()
+            .any(|f| f.file.ends_with("x.rs") && f.line == 2));
+    }
+
+    #[test]
+    fn live_suppressions_are_not_reported() {
+        let dir = std::env::temp_dir().join(format!("udbms-lint-live-{}", std::process::id()));
+        let sub = dir.join("crates/engine/src");
+        fs::create_dir_all(&sub).unwrap();
+        fs::write(
+            sub.join("x.rs"),
+            "fn f(x: Option<u8>) {\n    // lint:allow(unwrap): checked by caller\n    x.unwrap();\n}\nfn g(y: Option<u8>) {\n    y.unwrap();\n}\n",
+        )
+        .unwrap();
+        let allow = Allowlist::parse("unwrap crates/engine/src/x.rs\n");
+        let findings = lint_workspace(&dir, &allow).unwrap();
+        fs::remove_dir_all(&dir).ok();
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn test_region_markers_are_exempt_from_staleness() {
+        let dir = std::env::temp_dir().join(format!("udbms-lint-texempt-{}", std::process::id()));
+        let sub = dir.join("crates/engine/src");
+        fs::create_dir_all(&sub).unwrap();
+        fs::write(
+            sub.join("x.rs"),
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    // lint:allow(unwrap): demo marker inside a test\n    fn g() {}\n}\n",
+        )
+        .unwrap();
+        let findings = lint_workspace(&dir, &Allowlist::default()).unwrap();
+        fs::remove_dir_all(&dir).ok();
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

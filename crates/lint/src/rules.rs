@@ -1,4 +1,4 @@
-//! The five project rules, evaluated over the token stream.
+//! The six project rules, evaluated over the token stream.
 //!
 //! * **L1 `lock-order`** — within one function body, acquisitions of
 //!   ranked locks must be non-decreasing in rank (shards strictly
@@ -19,6 +19,14 @@
 //!   in non-test `crates/engine` code; hot-path timing goes through
 //!   the branch-on-disabled `udbms-obs` helpers (`Obs::start()` /
 //!   `Stamp`) so a disabled registry costs one branch, not a syscall.
+//! * **L6 `atomic-order`** — in non-test `crates/engine` and
+//!   `crates/query` code, `Ordering::Relaxed` is legal only on the
+//!   registered pure counters (see [`RELAXED_OK`], the atomic analogue
+//!   of the `RANKED` lock table), and every *synchronizing* ordering
+//!   (`Acquire`/`Release`/`AcqRel`/`SeqCst`) must carry an adjacent
+//!   `// ORDER:` comment naming the store/load it pairs with. The
+//!   model checker (`--cfg model_check`) explores what these orderings
+//!   allow; the comment is the human-readable half of that contract.
 //!
 //! Suppression: an inline `// lint:allow(<rule>): reason` comment on
 //! the offending line or the line above, or an entry in the repo-root
@@ -42,6 +50,13 @@ pub enum Rule {
     /// L5: raw `Instant::now()`/`SystemTime::now()` in non-test
     /// `crates/engine` code.
     HotClock,
+    /// L6: undisciplined atomic memory orderings in `crates/engine` /
+    /// `crates/query` (unregistered `Relaxed`, or a synchronizing
+    /// ordering without an `// ORDER:` pairing comment).
+    AtomicOrder,
+    /// A `lint:allow` marker or `lint-allow.txt` entry that no longer
+    /// suppresses anything (reported by [`crate::lint_workspace`]).
+    UnusedSuppression,
 }
 
 impl Rule {
@@ -53,6 +68,8 @@ impl Rule {
             Rule::Unwrap => "unwrap",
             Rule::RawLock => "raw-lock",
             Rule::HotClock => "hot-clock",
+            Rule::AtomicOrder => "atomic-order",
+            Rule::UnusedSuppression => "unused-suppression",
         }
     }
 }
@@ -109,6 +126,25 @@ const RANKED: &[(&str, u8)] = &[
 
 const SHARD_RANK: u8 = 3;
 
+/// Atomics allowed to use `Ordering::Relaxed`, by field name: pure
+/// counters and advisory flags whose readers never infer *other* memory
+/// from the value (stats counters, txn-id allocation, the
+/// is-a-drain-in-flight probe, plan-cache hit/miss tallies). The atomic
+/// analogue of [`RANKED`]: adding a name here is a reviewed decision,
+/// not a default. Everything else either upgrades to a synchronizing
+/// ordering (with an `// ORDER:` comment) or gets a `lint:allow`.
+const RELAXED_OK: &[&str] = &[
+    "commits",
+    "aborts",
+    "ww_conflicts",
+    "read_conflicts",
+    "read_lane",
+    "next_txn",
+    "writing",
+    "hits",
+    "misses",
+];
+
 fn rank_of(name: &str) -> Option<u8> {
     RANKED.iter().find(|(n, _)| *n == name).map(|(_, r)| *r)
 }
@@ -150,10 +186,49 @@ pub fn hot_clock_scoped(path: &str) -> bool {
     path.starts_with("crates/engine/src/")
 }
 
-/// Lint one file's source. `path` is repo-relative with forward
-/// slashes; it selects which rules apply (L1/L2 run everywhere,
-/// L3/L4/L5 on their scoped crates).
-pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+/// Whether L6 (atomic orderings) applies to this repo-relative path:
+/// the crates whose lock-free paths the model checker covers.
+pub fn atomic_order_scoped(path: &str) -> bool {
+    path.starts_with("crates/engine/src/") || path.starts_with("crates/query/src/")
+}
+
+/// An inline `// lint:allow(<rule>)` marker found in a file.
+#[derive(Debug, Clone)]
+pub struct AllowMarker {
+    /// The rule name inside the parentheses (not validated).
+    pub rule: String,
+    /// 1-based line the marker's comment is on.
+    pub line: u32,
+}
+
+/// The raw lint result for one file: unsuppressed findings, every
+/// inline allow marker, and where the `#[cfg(test)]` region starts (by
+/// line), so [`crate::lint_workspace`] can apply suppressions *and*
+/// notice the stale ones.
+#[derive(Debug, Default)]
+pub struct FileLint {
+    /// All findings, before any inline/allowlist suppression.
+    pub findings: Vec<Finding>,
+    /// Every `lint:allow(...)` marker in the file.
+    pub markers: Vec<AllowMarker>,
+    /// First line of the trailing test region, when present.
+    pub test_region_line: Option<u32>,
+}
+
+impl FileLint {
+    /// Whether `marker` suppresses `finding` (same rule, marker on the
+    /// finding's line or the line above).
+    pub fn covers(marker: &AllowMarker, finding: &Finding) -> bool {
+        marker.rule == finding.rule.name()
+            && (finding.line == marker.line || finding.line == marker.line + 1)
+    }
+}
+
+/// Lint one file's source, returning raw findings plus the suppression
+/// inventory. `path` is repo-relative with forward slashes; it selects
+/// which rules apply (L1/L2 run everywhere, L3-L6 on their scoped
+/// crates).
+pub fn lint_file(path: &str, src: &str) -> FileLint {
     let lexed = lex(src);
     let mut findings = Vec::new();
     let test_from = test_region_start(&lexed.tokens);
@@ -170,8 +245,43 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     if hot_clock_scoped(path) {
         check_hot_clock(path, &lexed, &in_test, &mut findings);
     }
-    findings.retain(|f| !inline_allowed(&lexed, f));
-    findings
+    if atomic_order_scoped(path) {
+        check_atomic_order(path, &lexed, &in_test, &mut findings);
+    }
+    FileLint {
+        findings,
+        markers: allow_markers(&lexed),
+        test_region_line: test_from.map(|i| lexed.tokens[i].line),
+    }
+}
+
+/// Lint one file's source with inline `lint:allow` markers applied
+/// (the allowlist is the caller's concern).
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let file = lint_file(path, src);
+    file.findings
+        .into_iter()
+        .filter(|f| !file.markers.iter().any(|m| FileLint::covers(m, f)))
+        .collect()
+}
+
+/// Every `lint:allow(<rule>)` occurrence in the file's comments.
+fn allow_markers(lexed: &Lexed) -> Vec<AllowMarker> {
+    let mut markers = Vec::new();
+    for (line, text) in &lexed.comments {
+        let mut rest = text.as_str();
+        while let Some(at) = rest.find("lint:allow(") {
+            rest = &rest[at + "lint:allow(".len()..];
+            if let Some(end) = rest.find(')') {
+                markers.push(AllowMarker {
+                    rule: rest[..end].to_string(),
+                    line: *line,
+                });
+                rest = &rest[end..];
+            }
+        }
+    }
+    markers
 }
 
 /// Token index from which everything is `#[cfg(test)]`-gated. The
@@ -189,15 +299,6 @@ fn test_region_start(tokens: &[Token]) -> Option<usize> {
             && w[4].text == "test"
             && w[5].text == ")"
     })
-}
-
-/// Does the finding carry an inline `lint:allow(<rule>)` marker on its
-/// line or the line above?
-fn inline_allowed(lexed: &Lexed, f: &Finding) -> bool {
-    let marker = format!("lint:allow({})", f.rule.name());
-    [f.line, f.line.saturating_sub(1)]
-        .iter()
-        .any(|l| lexed.comment_on(*l).is_some_and(|c| c.contains(&marker)))
 }
 
 /// One ranked-lock acquisition currently assumed held.
@@ -604,6 +705,97 @@ fn check_hot_clock(
             });
         }
     }
+}
+
+/// L6: atomic-ordering discipline in the model-checked crates. Every
+/// `Ordering::<memory ordering>` token is classified: `Relaxed` must sit
+/// in a statement touching a [`RELAXED_OK`]-registered counter/flag;
+/// a synchronizing ordering must carry an `// ORDER:` comment on its
+/// line or the contiguous comment block above, naming its pairing.
+fn check_atomic_order(
+    path: &str,
+    lexed: &Lexed,
+    in_test: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || !matches!(
+                t.text.as_str(),
+                "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst"
+            )
+        {
+            continue;
+        }
+        // must be a path ending `Ordering :: <ord>` (filters out
+        // `cmp::Ordering` variants by name and bare idents by path)
+        let is_ordering_path = i >= 3
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && toks[i - 3].text == "Ordering";
+        if !is_ordering_path || in_test(i) {
+            continue;
+        }
+        if t.text == "Relaxed" {
+            let start = statement_start(toks, i).unwrap_or(0);
+            let registered = toks
+                .iter()
+                .skip(start)
+                .take_while(|t| t.text != ";")
+                .any(|t| t.kind == TokenKind::Ident && RELAXED_OK.contains(&t.text.as_str()));
+            if !registered {
+                findings.push(Finding {
+                    rule: Rule::AtomicOrder,
+                    file: path.to_string(),
+                    line: t.line,
+                    function: None,
+                    message: "`Ordering::Relaxed` on an atomic that is not a registered pure \
+                              counter — use a synchronizing ordering (with an `// ORDER:` \
+                              comment), register the counter in RELAXED_OK, or justify with \
+                              `// lint:allow(atomic-order): <reason>`"
+                        .into(),
+                });
+            }
+        } else if !has_order_comment(lexed, t.line) {
+            findings.push(Finding {
+                rule: Rule::AtomicOrder,
+                file: path.to_string(),
+                line: t.line,
+                function: None,
+                message: format!(
+                    "`Ordering::{}` without an adjacent `// ORDER:` comment — document \
+                     which store/load this pairs with (or justify with \
+                     `// lint:allow(atomic-order): <reason>`)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// `// ORDER:` on the ordering's line or in the contiguous comment-only
+/// block immediately above the statement (same shape as `SAFETY:`).
+fn has_order_comment(lexed: &Lexed, line: u32) -> bool {
+    if lexed.comment_on(line).is_some_and(|c| c.contains("ORDER:")) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l > 0 {
+        match lexed.comment_on(l) {
+            Some(c) if !lexed.has_code(l) => {
+                if c.contains("ORDER:") {
+                    return true;
+                }
+            }
+            // a code line above may be the same multi-line statement;
+            // keep scanning while it still has a comment attached? No —
+            // the contract is comment-block-adjacent, same as SAFETY.
+            _ => return false,
+        }
+        l -= 1;
+    }
+    false
 }
 
 /// Index of the token starting the statement containing `i` (scans

@@ -1,0 +1,176 @@
+//! Model of checkpoint-vs-commit: the WAL rewrite must not lose records.
+//!
+//! Mirrors `Engine::checkpoint` against the group-commit drain
+//! (`crates/engine/src/group.rs`): the checkpointer rewrites the log
+//! file — a synthetic base record covering everything retired so far,
+//! plus the still-queued tail — while a committer may be mid-drain,
+//! holding a batch it already took from the queue. An in-flight batch is
+//! in neither the retired count nor the queue, so a rewrite that does
+//! not wait for it effectively writes it to the replaced file: modeled
+//! with a file *generation* — the drain opens the file (captures the
+//! generation) before its I/O, and an append whose generation was
+//! bumped by a rewrite lands in the unlinked old file and vanishes.
+//!
+//! The real code serializes the two with `while st.writing {
+//! idle.wait() }` before rewriting; the seeded variant skips that wait.
+
+use std::sync::Arc;
+
+use parking_lot::model::{explore, Config, Report, Shared};
+use parking_lot::{Condvar, LockRank, TrackedMutex};
+
+/// Which flavor of the protocol to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Checkpoint waits out an in-flight drain before rewriting.
+    Correct,
+    /// Seeded bug: checkpoint rewrites while a drain's I/O is in
+    /// flight; the drain's batch is lost with the replaced file.
+    SkipWritingWait,
+}
+
+struct LogState {
+    queue: Vec<u64>,
+    enqueued: u64,
+    durable: u64,
+    writing: bool,
+}
+
+/// `(generation, records)` — a rewrite bumps the generation.
+type File = (u64, Vec<u64>);
+
+struct Log {
+    state: TrackedMutex<LogState>,
+    /// Serializes file I/O, like the engine's `WalFile` mutex. Rank
+    /// order GroupQueue < WalFile matches the engine.
+    wal: TrackedMutex<()>,
+    idle: Condvar,
+    file: Shared<File>,
+    /// Records subsumed by the checkpoint's synthetic base record.
+    covered: Shared<u64>,
+}
+
+impl Log {
+    fn new() -> Log {
+        Log {
+            state: TrackedMutex::new(
+                LockRank::GroupQueue,
+                LogState {
+                    queue: Vec::new(),
+                    enqueued: 0,
+                    durable: 0,
+                    writing: false,
+                },
+            ),
+            wal: TrackedMutex::new(LockRank::WalFile, ()),
+            idle: Condvar::new(),
+            file: Shared::new("wal-file", (0, Vec::new())),
+            covered: Shared::new("covered", 0),
+        }
+    }
+
+    /// Committer: enqueue and lead the drain (Buffered-style, no
+    /// follower wait — keeps the model small).
+    fn commit(&self, record: u64) {
+        let mut st = self.state.lock();
+        st.queue.push(record);
+        st.enqueued += 1;
+        drop(st);
+        // Lead the drain in a second critical section, as in the engine
+        // (a checkpoint may slip in between and take the queued tail).
+        let mut st = self.state.lock();
+        if st.writing || st.queue.is_empty() {
+            return; // drained or checkpointed by someone else
+        }
+        st.writing = true;
+        let batch = std::mem::take(&mut st.queue);
+        let n = batch.len() as u64;
+        drop(st);
+        // "Open" the file: capture the generation this drain writes to.
+        let my_gen = {
+            let _w = self.wal.lock();
+            self.file.read(|(gen, _)| *gen)
+        };
+        // The I/O, possibly interleaved with a checkpoint rewrite.
+        {
+            let _w = self.wal.lock();
+            self.file.write(|(gen, records)| {
+                if *gen == my_gen {
+                    records.extend_from_slice(&batch);
+                }
+                // else: the append went to the unlinked old file — lost
+            });
+        }
+        let mut st = self.state.lock();
+        st.writing = false;
+        st.durable += n;
+        drop(st);
+        self.idle.notify_all();
+    }
+
+    /// Checkpointer: wait for writer idle (unless seeded), then rewrite
+    /// the file as `[synthetic base] + queued tail`, retiring the tail.
+    ///
+    /// The state lock is held across the rewrite: releasing it first
+    /// would let a whole commit (enqueue, drain, append) slip in between
+    /// the capture and the rewrite, and the rewrite would clobber the
+    /// freshly durable record — an interleaving the checker found in an
+    /// earlier draft of this model that released the lock early.
+    fn checkpoint(&self, variant: Variant) {
+        let mut st = self.state.lock();
+        if variant == Variant::Correct {
+            while st.writing {
+                self.idle.wait(&mut st);
+            }
+        }
+        let pending = std::mem::take(&mut st.queue);
+        let base = st.durable;
+        st.durable += pending.len() as u64;
+        self.covered.set(base);
+        {
+            let _w = self.wal.lock();
+            self.file.write(|(gen, records)| {
+                *gen += 1;
+                records.clear();
+                records.extend_from_slice(&pending);
+            });
+        }
+        drop(st);
+    }
+}
+
+/// Build the model program for `variant`: one committer, one
+/// checkpointer, then audit that no record vanished.
+pub fn program(variant: Variant) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let log = Arc::new(Log::new());
+        let c = {
+            let log = Arc::clone(&log);
+            parking_lot::model::spawn("committer", move || {
+                log.commit(100);
+            })
+        };
+        let k = {
+            let log = Arc::clone(&log);
+            parking_lot::model::spawn("checkpointer", move || {
+                log.checkpoint(variant);
+            })
+        };
+        c.join();
+        k.join();
+        let st = log.state.lock();
+        let covered = log.covered.get();
+        let in_file = log.file.read(|(_, records)| records.len() as u64);
+        assert_eq!(
+            covered + in_file,
+            st.enqueued,
+            "checkpoint lost records (covered={covered}, file={in_file}, enqueued={})",
+            st.enqueued
+        );
+    }
+}
+
+/// Explore `variant` under `cfg`.
+pub fn check(variant: Variant, cfg: Config) -> Report {
+    explore(cfg, program(variant))
+}

@@ -1,0 +1,192 @@
+//! Model of the engine's group-commit leader/follower protocol.
+//!
+//! Mirrors `crates/engine/src/group.rs`: committers enqueue a record
+//! under the `GroupQueue` lock, then wait for durability. A waiter may
+//! *lead* — drain the queue, release the state lock for the "I/O", and
+//! retire the batch — or *follow*: park on the `done` condvar until the
+//! leader's retire advances `durable` past its sequence number. The
+//! `writing` flag hands the file to exactly one drainer at a time;
+//! `durable` is the Release/Acquire mirror of the locked field.
+//!
+//! Invariants: every waiter returns only once its record is durable
+//! (never lost, never woken early for good), the file is written by one
+//! drainer at a time (no double-drain), and at quiescence the file
+//! holds every enqueued record exactly once.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::model::{explore, Config, Report, Shared};
+use parking_lot::{Condvar, LockRank, TrackedAtomicBool, TrackedAtomicU64, TrackedMutex};
+
+/// Which flavor of the protocol to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// The engine's actual protocol.
+    Correct,
+    /// Seeded bug: the parked follower uses `if` instead of `while` —
+    /// it trusts any wakeup instead of re-checking `durable >= seq`.
+    /// A notify from an *earlier* batch's retire releases it too soon.
+    FollowerNoRecheck,
+    /// Seeded bug: a would-be leader skips the `writing` hand-off check
+    /// and drains while another drain's I/O is still in flight; the two
+    /// unserialized file writes are a data race.
+    DrainWhileWriting,
+}
+
+struct LogState {
+    queue: Vec<u64>,
+    enqueued: u64,
+    durable: u64,
+    writing: bool,
+}
+
+struct Log {
+    state: TrackedMutex<LogState>,
+    durable: TrackedAtomicU64,
+    writing: TrackedAtomicBool,
+    done: Condvar,
+    file: Shared<Vec<u64>>,
+}
+
+impl Log {
+    fn new() -> Log {
+        Log {
+            state: TrackedMutex::new(
+                LockRank::GroupQueue,
+                LogState {
+                    queue: Vec::new(),
+                    enqueued: 0,
+                    durable: 0,
+                    writing: false,
+                },
+            ),
+            durable: TrackedAtomicU64::named("durable", 0),
+            writing: TrackedAtomicBool::named("writing", false),
+            done: Condvar::new(),
+            file: Shared::new("wal-file", Vec::new()),
+        }
+    }
+
+    /// Drain the queue as leader: take the batch, release the state lock
+    /// around the "write", retire. Caller has checked the `writing`
+    /// hand-off (unless the seeded variant skips it).
+    fn drain(&self, mut st: parking_lot::TrackedMutexGuard<'_, LogState>) {
+        st.writing = true;
+        self.writing.store(true, Ordering::Relaxed);
+        let batch = std::mem::take(&mut st.queue);
+        drop(st);
+        // The "I/O": unserialized concurrent drains race here.
+        self.file.write(|f| f.extend_from_slice(&batch));
+        let mut st = self.state.lock();
+        st.writing = false;
+        self.writing.store(false, Ordering::Relaxed);
+        st.durable += batch.len() as u64;
+        // ORDER: Release pairs with the Acquire spin in wait_durable.
+        self.durable.store(st.durable, Ordering::Release);
+        drop(st);
+        self.done.notify_all();
+    }
+
+    fn commit(&self, variant: Variant, record: u64) {
+        let mut st = self.state.lock();
+        st.queue.push(record);
+        st.enqueued += 1;
+        let seq = st.enqueued;
+        drop(st);
+        self.wait_durable(variant, seq);
+    }
+
+    fn wait_durable(&self, variant: Variant, seq: u64) {
+        // Lock-free fast path, as in group.rs (spin budget kept tiny so
+        // schedules stay short).
+        for _ in 0..2 {
+            // ORDER: Acquire pairs with the Release store in drain.
+            if self.durable.load(Ordering::Acquire) >= seq {
+                return;
+            }
+            if !self.writing.load(Ordering::Relaxed) {
+                let st = self.state.lock();
+                if st.durable >= seq {
+                    return;
+                }
+                let may_lead = match variant {
+                    Variant::DrainWhileWriting => !st.queue.is_empty(),
+                    _ => !st.writing && !st.queue.is_empty(),
+                };
+                if may_lead {
+                    self.drain(st);
+                    continue;
+                }
+                drop(st);
+            }
+            parking_lot::model::yield_now();
+        }
+        // Parked follower path.
+        let mut st = self.state.lock();
+        match variant {
+            Variant::FollowerNoRecheck => {
+                // Seeded bug: `if` instead of `while` — any notify,
+                // including one for an earlier batch, releases us.
+                if st.durable < seq {
+                    self.done.wait(&mut st);
+                }
+            }
+            _ => {
+                while st.durable < seq {
+                    let may_lead = match variant {
+                        Variant::DrainWhileWriting => !st.queue.is_empty(),
+                        _ => !st.writing && !st.queue.is_empty(),
+                    };
+                    if may_lead {
+                        self.drain(st);
+                        st = self.state.lock();
+                        continue;
+                    }
+                    self.done.wait(&mut st);
+                }
+            }
+        }
+        assert!(
+            st.durable >= seq,
+            "waiter released before its record was durable (durable={}, seq={seq})",
+            st.durable
+        );
+    }
+}
+
+/// Build the model program for `variant`: two committers, one record
+/// each, then a quiescent audit of the file.
+pub fn program(variant: Variant) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let log = Arc::new(Log::new());
+        let mut handles = Vec::new();
+        for i in 0..2u64 {
+            let log = Arc::clone(&log);
+            handles.push(parking_lot::model::spawn(
+                &format!("committer{i}"),
+                move || {
+                    log.commit(variant, 100 + i);
+                },
+            ));
+        }
+        for h in handles {
+            h.join();
+        }
+        let st = log.state.lock();
+        assert!(st.queue.is_empty(), "records left behind in the queue");
+        assert_eq!(st.durable, st.enqueued, "retired count diverged");
+        let mut contents = log.file.read(Vec::clone);
+        contents.sort_unstable();
+        assert_eq!(
+            contents,
+            vec![100, 101],
+            "file must hold every record exactly once"
+        );
+    }
+}
+
+/// Explore `variant` under `cfg`.
+pub fn check(variant: Variant, cfg: Config) -> Report {
+    explore(cfg, program(variant))
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Model-checked mirrors of the engine's lock-free protocols.
+//!
+//! Each module reproduces one protocol from `udbms-engine` — small
+//! enough for exhaustive bounded exploration, faithful enough that its
+//! memory orderings and lock structure are the ones the engine uses —
+//! and exposes a `Variant` enum whose non-`Correct` members seed the
+//! known-bad mutations the checker must catch (see `DESIGN.md` §10).
+//!
+//! The protocol models drive `TrackedMutex`/`Condvar`/`TrackedAtomic*`
+//! and therefore only explore real interleavings when the shim's hooks
+//! are compiled in with `RUSTFLAGS=--cfg model_check`; the test suite
+//! gates itself accordingly. Scheduler mechanics that don't need the
+//! hooks are exercised unconditionally in the shim's own tests.
+
+pub mod ckpt;
+pub mod group;
+pub mod published;
+
+pub use parking_lot::model::{explore, replay, Config, Report, Violation};
+
+/// Exploration config used by the protocol suites: preemption bound 2,
+/// caps sized so every seeded bug is found well inside CI's wall-clock
+/// budget.
+pub fn suite_config() -> Config {
+    Config {
+        max_preemptions: 2,
+        max_schedules: 40_000,
+        max_steps: 5_000,
+        prune_states: true,
+    }
+}

@@ -13,16 +13,22 @@
 //! [`TrackedMutex`]/[`TrackedRwLock`] wrappers that audit the engine's
 //! documented lock order under `debug_assertions` or
 //! `RUSTFLAGS=--cfg lock_audit` (see DESIGN.md, "Invariants & static
-//! analysis").
+//! analysis"), plus `TrackedAtomic{U64,Bool,Usize}` wrappers for the
+//! engine's sync-carrying atomics. The [`model`] module is a
+//! deterministic interleaving model checker: under
+//! `RUSTFLAGS=--cfg model_check` every tracked primitive routes through
+//! its cooperative scheduler so the engine's lock-free protocols can be
+//! exhaustively explored and failing schedules replayed.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 
+pub mod model;
 pub mod tracked;
 
 pub use tracked::{
-    Condvar, LockRank, TrackedMutex, TrackedMutexGuard, TrackedRwLock, TrackedRwLockReadGuard,
-    TrackedRwLockWriteGuard,
+    Condvar, LockRank, TrackedAtomicBool, TrackedAtomicU64, TrackedAtomicUsize, TrackedMutex,
+    TrackedMutexGuard, TrackedRwLock, TrackedRwLockReadGuard, TrackedRwLockWriteGuard,
 };
 
 /// A mutual-exclusion lock with `parking_lot`'s panic-free API.

@@ -207,6 +207,8 @@ use audit::Acq;
 pub struct TrackedMutex<T: ?Sized> {
     #[cfg(any(debug_assertions, lock_audit))]
     acq: Acq,
+    #[cfg(model_check)]
+    model: crate::model::ModelSlot,
     inner: std::sync::Mutex<T>,
 }
 
@@ -219,6 +221,10 @@ pub struct TrackedMutexGuard<'a, T: ?Sized> {
     acq: Acq,
     #[cfg(any(debug_assertions, lock_audit))]
     token: u64,
+    #[cfg(model_check)]
+    lock: &'a TrackedMutex<T>,
+    #[cfg(model_check)]
+    in_model: bool,
     inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
@@ -229,6 +235,8 @@ impl<T> TrackedMutex<T> {
         TrackedMutex {
             #[cfg(any(debug_assertions, lock_audit))]
             acq: Acq { rank, index: 0 },
+            #[cfg(model_check)]
+            model: crate::model::ModelSlot::new(),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -247,12 +255,24 @@ impl<T: ?Sized> TrackedMutex<T> {
     pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
         #[cfg(any(debug_assertions, lock_audit))]
         audit::check(self.acq);
+        #[cfg(model_check)]
+        let in_model = crate::model::in_session();
+        #[cfg(model_check)]
+        if in_model {
+            // Model admission first: the scheduler grants exclusivity,
+            // so the real lock below is uncontended by construction.
+            crate::model::lock_acquire(&self.model, true, "TrackedMutex");
+        }
         let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         TrackedMutexGuard {
             #[cfg(any(debug_assertions, lock_audit))]
             acq: self.acq,
             #[cfg(any(debug_assertions, lock_audit))]
             token: audit::register(self.acq),
+            #[cfg(model_check)]
+            lock: self,
+            #[cfg(model_check)]
+            in_model,
             inner: Some(inner),
         }
     }
@@ -290,10 +310,18 @@ impl<T: ?Sized> DerefMut for TrackedMutexGuard<'_, T> {
     }
 }
 
-#[cfg(any(debug_assertions, lock_audit))]
+#[cfg(any(debug_assertions, lock_audit, model_check))]
 impl<T: ?Sized> Drop for TrackedMutexGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(any(debug_assertions, lock_audit))]
         audit::unregister(self.token);
+        // Model release precedes the real unlock (the `inner` field
+        // drops after this body), which is safe: no other virtual
+        // thread can be scheduled between here and the field drop.
+        #[cfg(model_check)]
+        if self.in_model {
+            crate::model::lock_release(&self.lock.model, true);
+        }
     }
 }
 
@@ -301,6 +329,8 @@ impl<T: ?Sized> Drop for TrackedMutexGuard<'_, T> {
 /// `parking_lot::Condvar`'s `wait(&mut guard)` shape over `std::sync`.
 pub struct Condvar {
     inner: std::sync::Condvar,
+    #[cfg(model_check)]
+    model: crate::model::ModelSlot,
 }
 
 impl Default for Condvar {
@@ -314,21 +344,55 @@ impl Condvar {
     pub const fn new() -> Condvar {
         Condvar {
             inner: std::sync::Condvar::new(),
+            #[cfg(model_check)]
+            model: crate::model::ModelSlot::new(),
         }
     }
 
     /// Atomically release the guard's lock, block until notified, and
     /// reacquire. The tracked rank is unregistered for the duration of
     /// the wait and re-checked on reacquisition.
+    ///
+    /// The reacquisition check alone would leave a hole: a rank
+    /// inversion between the guard's rank and a lock still held during
+    /// the wait would only be reported *after* the wake — i.e. after the
+    /// system already parked inside the inversion and possibly
+    /// deadlocked. So the same check also runs at wait *entry*, before
+    /// parking, where it fails fast.
     pub fn wait<T>(&self, guard: &mut TrackedMutexGuard<'_, T>) {
         #[cfg(any(debug_assertions, lock_audit))]
-        audit::unregister(guard.token);
+        {
+            audit::unregister(guard.token);
+            // Wait-entry check: reacquiring this rank on wake must not
+            // invert with anything the thread keeps holding.
+            audit::check(guard.acq);
+        }
         let inner = guard.inner.take().expect("guard holds the lock");
-        let inner = self
-            .inner
-            .wait(inner)
-            .unwrap_or_else(PoisonError::into_inner);
-        guard.inner = Some(inner);
+        #[cfg(model_check)]
+        if guard.in_model && crate::model::in_session() {
+            drop(inner);
+            crate::model::condvar_wait(&self.model, &guard.lock.model, "Condvar");
+            let reacquired = guard
+                .lock
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            guard.inner = Some(reacquired);
+        } else {
+            let inner = self
+                .inner
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard.inner = Some(inner);
+        }
+        #[cfg(not(model_check))]
+        {
+            let inner = self
+                .inner
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard.inner = Some(inner);
+        }
         #[cfg(any(debug_assertions, lock_audit))]
         {
             audit::check(guard.acq);
@@ -338,11 +402,21 @@ impl Condvar {
 
     /// Wake one waiter.
     pub fn notify_one(&self) {
+        #[cfg(model_check)]
+        if crate::model::in_session() {
+            crate::model::condvar_notify(&self.model, false);
+            return;
+        }
         self.inner.notify_one();
     }
 
     /// Wake all waiters.
     pub fn notify_all(&self) {
+        #[cfg(model_check)]
+        if crate::model::in_session() {
+            crate::model::condvar_notify(&self.model, true);
+            return;
+        }
         self.inner.notify_all();
     }
 }
@@ -359,6 +433,8 @@ impl fmt::Debug for Condvar {
 pub struct TrackedRwLock<T: ?Sized> {
     #[cfg(any(debug_assertions, lock_audit))]
     acq: Acq,
+    #[cfg(model_check)]
+    model: crate::model::ModelSlot,
     inner: std::sync::RwLock<T>,
 }
 
@@ -366,6 +442,10 @@ pub struct TrackedRwLock<T: ?Sized> {
 pub struct TrackedRwLockReadGuard<'a, T: ?Sized> {
     #[cfg(any(debug_assertions, lock_audit))]
     token: u64,
+    #[cfg(model_check)]
+    lock: &'a TrackedRwLock<T>,
+    #[cfg(model_check)]
+    in_model: bool,
     inner: std::sync::RwLockReadGuard<'a, T>,
 }
 
@@ -373,6 +453,10 @@ pub struct TrackedRwLockReadGuard<'a, T: ?Sized> {
 pub struct TrackedRwLockWriteGuard<'a, T: ?Sized> {
     #[cfg(any(debug_assertions, lock_audit))]
     token: u64,
+    #[cfg(model_check)]
+    lock: &'a TrackedRwLock<T>,
+    #[cfg(model_check)]
+    in_model: bool,
     inner: std::sync::RwLockWriteGuard<'a, T>,
 }
 
@@ -390,6 +474,8 @@ impl<T> TrackedRwLock<T> {
         TrackedRwLock {
             #[cfg(any(debug_assertions, lock_audit))]
             acq: Acq { rank, index },
+            #[cfg(model_check)]
+            model: crate::model::ModelSlot::new(),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -408,10 +494,20 @@ impl<T: ?Sized> TrackedRwLock<T> {
     pub fn read(&self) -> TrackedRwLockReadGuard<'_, T> {
         #[cfg(any(debug_assertions, lock_audit))]
         audit::check(self.acq);
+        #[cfg(model_check)]
+        let in_model = crate::model::in_session();
+        #[cfg(model_check)]
+        if in_model {
+            crate::model::lock_acquire(&self.model, false, "TrackedRwLock");
+        }
         let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
         TrackedRwLockReadGuard {
             #[cfg(any(debug_assertions, lock_audit))]
             token: audit::register(self.acq),
+            #[cfg(model_check)]
+            lock: self,
+            #[cfg(model_check)]
+            in_model,
             inner,
         }
     }
@@ -421,10 +517,20 @@ impl<T: ?Sized> TrackedRwLock<T> {
     pub fn write(&self) -> TrackedRwLockWriteGuard<'_, T> {
         #[cfg(any(debug_assertions, lock_audit))]
         audit::check(self.acq);
+        #[cfg(model_check)]
+        let in_model = crate::model::in_session();
+        #[cfg(model_check)]
+        if in_model {
+            crate::model::lock_acquire(&self.model, true, "TrackedRwLock");
+        }
         let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         TrackedRwLockWriteGuard {
             #[cfg(any(debug_assertions, lock_audit))]
             token: audit::register(self.acq),
+            #[cfg(model_check)]
+            lock: self,
+            #[cfg(model_check)]
+            in_model,
             inner,
         }
     }
@@ -448,10 +554,15 @@ impl<T: ?Sized> Deref for TrackedRwLockReadGuard<'_, T> {
     }
 }
 
-#[cfg(any(debug_assertions, lock_audit))]
+#[cfg(any(debug_assertions, lock_audit, model_check))]
 impl<T: ?Sized> Drop for TrackedRwLockReadGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(any(debug_assertions, lock_audit))]
         audit::unregister(self.token);
+        #[cfg(model_check)]
+        if self.in_model {
+            crate::model::lock_release(&self.lock.model, false);
+        }
     }
 }
 
@@ -468,22 +579,361 @@ impl<T: ?Sized> DerefMut for TrackedRwLockWriteGuard<'_, T> {
     }
 }
 
-#[cfg(any(debug_assertions, lock_audit))]
+#[cfg(any(debug_assertions, lock_audit, model_check))]
 impl<T: ?Sized> Drop for TrackedRwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(any(debug_assertions, lock_audit))]
         audit::unregister(self.token);
+        #[cfg(model_check)]
+        if self.in_model {
+            crate::model::lock_release(&self.lock.model, true);
+        }
+    }
+}
+
+/// An `AtomicU64` that participates in the interleaving model checker.
+///
+/// Outside a model session — always, in builds without
+/// `--cfg model_check` — every operation is a direct passthrough to the
+/// inner [`std::sync::atomic::AtomicU64`] with the caller's ordering,
+/// and the wrapper is layout-identical to the raw atomic (checked
+/// below). Inside a session, stores append to a per-atomic history and
+/// loads become model choice points that may observe any store not
+/// excluded by coherence or happens-before, so an under-synchronized
+/// ordering shows up as an observably stale read.
+///
+/// The engine's sync-carrying atomics (`clock`, `published`, the
+/// group-commit state) live on these wrappers; pure counters stay on the
+/// raw std types and are policed by lint rule L6 instead.
+pub struct TrackedAtomicU64 {
+    inner: std::sync::atomic::AtomicU64,
+    #[cfg(model_check)]
+    model: crate::model::ModelSlot,
+    #[cfg(model_check)]
+    name: &'static str,
+    #[cfg(model_check)]
+    init: u64,
+}
+
+impl TrackedAtomicU64 {
+    /// Create a new tracked atomic with initial value `v`.
+    pub const fn new(v: u64) -> TrackedAtomicU64 {
+        TrackedAtomicU64::named("u64", v)
+    }
+
+    /// Like [`new`](TrackedAtomicU64::new) with a name for model traces.
+    #[cfg_attr(not(model_check), allow(unused_variables))]
+    pub const fn named(name: &'static str, v: u64) -> TrackedAtomicU64 {
+        TrackedAtomicU64 {
+            inner: std::sync::atomic::AtomicU64::new(v),
+            #[cfg(model_check)]
+            model: crate::model::ModelSlot::new(),
+            #[cfg(model_check)]
+            name,
+            #[cfg(model_check)]
+            init: v,
+        }
+    }
+
+    /// Atomic load with an explicit ordering.
+    pub fn load(&self, order: std::sync::atomic::Ordering) -> u64 {
+        #[cfg(model_check)]
+        if crate::model::in_session() {
+            return crate::model::atomic_load(
+                &self.model,
+                crate::model::MemOrd::from_std(order),
+                self.name,
+                self.init,
+            );
+        }
+        self.inner.load(order)
+    }
+
+    /// Atomic store with an explicit ordering.
+    pub fn store(&self, val: u64, order: std::sync::atomic::Ordering) {
+        #[cfg(model_check)]
+        if crate::model::in_session() {
+            crate::model::atomic_store(
+                &self.model,
+                val,
+                crate::model::MemOrd::from_std(order),
+                self.name,
+                self.init,
+            );
+            // Keep the real cell in sync for passthrough observers.
+            self.inner.store(val, std::sync::atomic::Ordering::SeqCst);
+            return;
+        }
+        self.inner.store(val, order);
+    }
+
+    /// Atomic add; returns the previous value. RMWs always observe the
+    /// newest store in the model.
+    pub fn fetch_add(&self, val: u64, order: std::sync::atomic::Ordering) -> u64 {
+        #[cfg(model_check)]
+        if crate::model::in_session() {
+            let old = crate::model::atomic_rmw(
+                &self.model,
+                crate::model::MemOrd::from_std(order),
+                self.name,
+                self.init,
+                |x| x.wrapping_add(val),
+            );
+            self.inner
+                .store(old.wrapping_add(val), std::sync::atomic::Ordering::SeqCst);
+            return old;
+        }
+        self.inner.fetch_add(val, order)
+    }
+
+    /// Atomic maximum; returns the previous value.
+    pub fn fetch_max(&self, val: u64, order: std::sync::atomic::Ordering) -> u64 {
+        #[cfg(model_check)]
+        if crate::model::in_session() {
+            let old = crate::model::atomic_rmw(
+                &self.model,
+                crate::model::MemOrd::from_std(order),
+                self.name,
+                self.init,
+                |x| x.max(val),
+            );
+            self.inner
+                .store(old.max(val), std::sync::atomic::Ordering::SeqCst);
+            return old;
+        }
+        self.inner.fetch_max(val, order)
+    }
+
+    /// Mutable access without synchronization (requires exclusive
+    /// ownership).
+    pub fn get_mut(&mut self) -> &mut u64 {
+        self.inner.get_mut()
+    }
+}
+
+impl fmt::Debug for TrackedAtomicU64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // diagnostic read; deliberately bypasses the model
+        write!(
+            f,
+            "TrackedAtomicU64({})",
+            self.inner.load(std::sync::atomic::Ordering::Relaxed)
+        )
+    }
+}
+
+/// Boolean sibling of [`TrackedAtomicU64`]; the model stores 0/1.
+pub struct TrackedAtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+    #[cfg(model_check)]
+    model: crate::model::ModelSlot,
+    #[cfg(model_check)]
+    name: &'static str,
+    #[cfg(model_check)]
+    init: bool,
+}
+
+impl TrackedAtomicBool {
+    /// Create a new tracked atomic bool.
+    pub const fn new(v: bool) -> TrackedAtomicBool {
+        TrackedAtomicBool::named("bool", v)
+    }
+
+    /// Like [`new`](TrackedAtomicBool::new) with a model-trace name.
+    #[cfg_attr(not(model_check), allow(unused_variables))]
+    pub const fn named(name: &'static str, v: bool) -> TrackedAtomicBool {
+        TrackedAtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(v),
+            #[cfg(model_check)]
+            model: crate::model::ModelSlot::new(),
+            #[cfg(model_check)]
+            name,
+            #[cfg(model_check)]
+            init: v,
+        }
+    }
+
+    /// Atomic load with an explicit ordering.
+    pub fn load(&self, order: std::sync::atomic::Ordering) -> bool {
+        #[cfg(model_check)]
+        if crate::model::in_session() {
+            return crate::model::atomic_load(
+                &self.model,
+                crate::model::MemOrd::from_std(order),
+                self.name,
+                u64::from(self.init),
+            ) != 0;
+        }
+        self.inner.load(order)
+    }
+
+    /// Atomic store with an explicit ordering.
+    pub fn store(&self, val: bool, order: std::sync::atomic::Ordering) {
+        #[cfg(model_check)]
+        if crate::model::in_session() {
+            crate::model::atomic_store(
+                &self.model,
+                u64::from(val),
+                crate::model::MemOrd::from_std(order),
+                self.name,
+                u64::from(self.init),
+            );
+            self.inner.store(val, std::sync::atomic::Ordering::SeqCst);
+            return;
+        }
+        self.inner.store(val, order);
+    }
+
+    /// Atomic swap; returns the previous value.
+    pub fn swap(&self, val: bool, order: std::sync::atomic::Ordering) -> bool {
+        #[cfg(model_check)]
+        if crate::model::in_session() {
+            let old = crate::model::atomic_rmw(
+                &self.model,
+                crate::model::MemOrd::from_std(order),
+                self.name,
+                u64::from(self.init),
+                |_| u64::from(val),
+            );
+            self.inner.store(val, std::sync::atomic::Ordering::SeqCst);
+            return old != 0;
+        }
+        self.inner.swap(val, order)
+    }
+
+    /// Mutable access without synchronization.
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+}
+
+impl fmt::Debug for TrackedAtomicBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TrackedAtomicBool({})",
+            self.inner.load(std::sync::atomic::Ordering::Relaxed)
+        )
+    }
+}
+
+/// Usize sibling of [`TrackedAtomicU64`].
+pub struct TrackedAtomicUsize {
+    inner: std::sync::atomic::AtomicUsize,
+    #[cfg(model_check)]
+    model: crate::model::ModelSlot,
+    #[cfg(model_check)]
+    name: &'static str,
+    #[cfg(model_check)]
+    init: usize,
+}
+
+impl TrackedAtomicUsize {
+    /// Create a new tracked atomic usize.
+    pub const fn new(v: usize) -> TrackedAtomicUsize {
+        TrackedAtomicUsize::named("usize", v)
+    }
+
+    /// Like [`new`](TrackedAtomicUsize::new) with a model-trace name.
+    #[cfg_attr(not(model_check), allow(unused_variables))]
+    pub const fn named(name: &'static str, v: usize) -> TrackedAtomicUsize {
+        TrackedAtomicUsize {
+            inner: std::sync::atomic::AtomicUsize::new(v),
+            #[cfg(model_check)]
+            model: crate::model::ModelSlot::new(),
+            #[cfg(model_check)]
+            name,
+            #[cfg(model_check)]
+            init: v,
+        }
+    }
+
+    /// Atomic load with an explicit ordering.
+    pub fn load(&self, order: std::sync::atomic::Ordering) -> usize {
+        #[cfg(model_check)]
+        if crate::model::in_session() {
+            return crate::model::atomic_load(
+                &self.model,
+                crate::model::MemOrd::from_std(order),
+                self.name,
+                self.init as u64,
+            ) as usize;
+        }
+        self.inner.load(order)
+    }
+
+    /// Atomic store with an explicit ordering.
+    pub fn store(&self, val: usize, order: std::sync::atomic::Ordering) {
+        #[cfg(model_check)]
+        if crate::model::in_session() {
+            crate::model::atomic_store(
+                &self.model,
+                val as u64,
+                crate::model::MemOrd::from_std(order),
+                self.name,
+                self.init as u64,
+            );
+            self.inner.store(val, std::sync::atomic::Ordering::SeqCst);
+            return;
+        }
+        self.inner.store(val, order);
+    }
+
+    /// Atomic add; returns the previous value.
+    pub fn fetch_add(&self, val: usize, order: std::sync::atomic::Ordering) -> usize {
+        #[cfg(model_check)]
+        if crate::model::in_session() {
+            let old = crate::model::atomic_rmw(
+                &self.model,
+                crate::model::MemOrd::from_std(order),
+                self.name,
+                self.init as u64,
+                |x| x.wrapping_add(val as u64),
+            ) as usize;
+            self.inner
+                .store(old.wrapping_add(val), std::sync::atomic::Ordering::SeqCst);
+            return old;
+        }
+        self.inner.fetch_add(val, order)
+    }
+
+    /// Mutable access without synchronization.
+    pub fn get_mut(&mut self) -> &mut usize {
+        self.inner.get_mut()
+    }
+}
+
+impl fmt::Debug for TrackedAtomicUsize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TrackedAtomicUsize({})",
+            self.inner.load(std::sync::atomic::Ordering::Relaxed)
+        )
     }
 }
 
 // Zero-cost claim, checked at compile time: without auditing compiled
 // in, tracked locks are layout-identical to the untracked shim types.
-#[cfg(not(any(debug_assertions, lock_audit)))]
+#[cfg(not(any(debug_assertions, lock_audit, model_check)))]
 const _: () = {
     use std::mem::{align_of, size_of};
     assert!(size_of::<TrackedMutex<u64>>() == size_of::<crate::Mutex<u64>>());
     assert!(align_of::<TrackedMutex<u64>>() == align_of::<crate::Mutex<u64>>());
     assert!(size_of::<TrackedRwLock<Vec<u8>>>() == size_of::<crate::RwLock<Vec<u8>>>());
     assert!(align_of::<TrackedRwLock<Vec<u8>>>() == align_of::<crate::RwLock<Vec<u8>>>());
+};
+
+// The atomic wrappers carry no audit state, so they are layout-identical
+// to the raw std atomics in every build without `--cfg model_check`.
+#[cfg(not(model_check))]
+const _: () = {
+    use std::mem::{align_of, size_of};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+    assert!(size_of::<TrackedAtomicU64>() == size_of::<AtomicU64>());
+    assert!(align_of::<TrackedAtomicU64>() == align_of::<AtomicU64>());
+    assert!(size_of::<TrackedAtomicBool>() == size_of::<AtomicBool>());
+    assert!(size_of::<TrackedAtomicUsize>() == size_of::<AtomicUsize>());
 };
 
 #[cfg(test)]
@@ -608,7 +1058,43 @@ mod tests {
     }
 
     #[test]
-    #[cfg(not(any(debug_assertions, lock_audit)))]
+    #[cfg(any(debug_assertions, lock_audit))]
+    fn condvar_wait_entry_reports_hidden_inversion() {
+        // Thread holds GroupQueue (guard) then WalFile, and waits on the
+        // GroupQueue condvar: the wake-side reacquisition of GroupQueue
+        // while still holding WalFile would be a rank inversion. The
+        // wait-entry check must report it *before* parking (parking here
+        // would hang forever: nobody notifies).
+        assert!(panics(|| {
+            let q = TrackedMutex::new(LockRank::GroupQueue, ());
+            let wal = TrackedMutex::new(LockRank::WalFile, ());
+            let cv = Condvar::new();
+            let mut gq = q.lock();
+            let _gw = wal.lock();
+            cv.wait(&mut gq);
+        }));
+    }
+
+    #[test]
+    fn tracked_atomics_pass_through() {
+        use std::sync::atomic::Ordering;
+        let a = TrackedAtomicU64::new(7);
+        assert_eq!(a.load(Ordering::Acquire), 7);
+        a.store(9, Ordering::Release);
+        assert_eq!(a.fetch_add(1, Ordering::AcqRel), 9);
+        assert_eq!(a.fetch_max(100, Ordering::AcqRel), 10);
+        assert_eq!(a.load(Ordering::Acquire), 100);
+        let b = TrackedAtomicBool::new(false);
+        b.store(true, Ordering::Release);
+        assert!(b.load(Ordering::Acquire));
+        assert!(b.swap(false, Ordering::AcqRel));
+        let u = TrackedAtomicUsize::new(1);
+        assert_eq!(u.fetch_add(2, Ordering::AcqRel), 1);
+        assert_eq!(u.load(Ordering::Acquire), 3);
+    }
+
+    #[test]
+    #[cfg(not(any(debug_assertions, lock_audit, model_check)))]
     fn release_tracked_locks_are_layout_identical() {
         use std::mem::size_of;
         assert_eq!(
