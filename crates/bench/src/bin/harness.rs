@@ -26,7 +26,10 @@
 //! experiments write; `--mode open|closed` restricts E11 to one issue
 //! mode (default: both arms); `--rate N` pins the E11 open-loop target
 //! to N ops/sec (default: half the matching closed cell's measured
-//! rate); `--obs-check` runs a standalone observability smoke test (a
+//! rate); `--faults SEED` seeds the E12 fault plan's deterministic
+//! draws and backoff jitter (E12 always injects; the seed only fixes
+//! the randomness); `--retries N` sets the E12 retry policy's bounded
+//! conflict-retry budget (default 8); `--obs-check` runs a standalone observability smoke test (a
 //! WAL-backed engine must produce non-zero commit-stage histograms, a
 //! captured slow query and parseable exports) and exits non-zero on
 //! failure; `--json [path]` additionally writes every produced report
@@ -151,6 +154,24 @@ fn main() {
                     .unwrap_or_else(|| die("--rate needs a positive ops/sec number"));
                 scale = scale.with_rate(rate);
             }
+            "--faults" => {
+                i += 1;
+                let seed = args
+                    .get(i)
+                    .filter(|v| !v.starts_with("--"))
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| die("--faults needs a u64 seed"));
+                scale = scale.with_fault_seed(seed);
+            }
+            "--retries" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .filter(|v| !v.starts_with("--"))
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .unwrap_or_else(|| die("--retries needs a non-negative integer"));
+                scale = scale.with_retries(n);
+            }
             // accepted for compatibility: experiment ids follow as plain
             // positionals either way
             "--experiments" => {}
@@ -171,8 +192,8 @@ fn main() {
             flag if flag.starts_with("--") => die(&format!(
                 "unknown flag `{flag}` (known: --quick, --clients N, --shards N, \
                  --durability LEVEL, --obs on|off, --slow-query-ms N, --key-dist DIST, \
-                 --value-shape SHAPE, --mode open|closed, --rate N, --obs-check, \
-                 --experiments, --json [PATH])"
+                 --value-shape SHAPE, --mode open|closed, --rate N, --faults SEED, \
+                 --retries N, --obs-check, --experiments, --json [PATH])"
             )),
             id => wanted.push(id),
         }
@@ -194,6 +215,7 @@ fn main() {
         ("e9", experiments::e9_read_path),
         ("e10", experiments::e10_obs_overhead),
         ("e11", experiments::e11_contention_tail),
+        ("e12", experiments::e12_faults),
     ];
 
     let selected: Vec<&Experiment> = if wanted.is_empty() {

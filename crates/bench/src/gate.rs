@@ -32,6 +32,7 @@ pub const GATED: &[(&str, &[&str], &str)] = &[
     ("e9", &["op", "arm", "clients"], "rate"),
     ("e10", &["op", "obs", "clients"], "rate"),
     ("e11", &["op", "dist", "mode", "clients"], "rate"),
+    ("e12", &["phase", "op"], "rate"),
 ];
 
 /// The fraction of the obs-off rate the obs-on filter-scan arm must

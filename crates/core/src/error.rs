@@ -46,6 +46,14 @@ pub enum Error {
     Invalid(String),
     /// Operation not supported by this model/store.
     Unsupported(String),
+    /// The engine can no longer serve this class of operation and will
+    /// not recover without intervention: a failed flush/fsync poisoned
+    /// the WAL (the fsyncgate rule — a failed fsync is never retried,
+    /// because the kernel may have already dropped the dirty pages), or
+    /// the log device is out of space and the engine degraded to
+    /// read-only mode. **Not retryable**: retrying cannot succeed and
+    /// would risk acking a commit whose durability cannot be attested.
+    Unavailable(String),
     /// An underlying I/O failure (WAL, export files).
     Io(std::io::Error),
 }
@@ -97,6 +105,7 @@ impl fmt::Display for Error {
             Error::Constraint(why) => write!(f, "constraint violation: {why}"),
             Error::Invalid(why) => write!(f, "invalid: {why}"),
             Error::Unsupported(what) => write!(f, "unsupported: {what}"),
+            Error::Unavailable(why) => write!(f, "unavailable: {why}"),
             Error::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -138,6 +147,15 @@ mod tests {
         assert!(Error::TxnConflict("ww".into()).is_retryable());
         assert!(!Error::NotFound("x".into()).is_retryable());
         assert!(!Error::Constraint("pk".into()).is_retryable());
+        // sticky by definition: retrying an unavailable engine cannot
+        // succeed and must never be hidden behind an automatic retry
+        assert!(!Error::Unavailable("wal poisoned".into()).is_retryable());
+    }
+
+    #[test]
+    fn unavailable_displays_its_cause() {
+        let e = Error::Unavailable("wal poisoned: fsync failed".into());
+        assert_eq!(e.to_string(), "unavailable: wal poisoned: fsync failed");
     }
 
     #[test]

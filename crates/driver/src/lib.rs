@@ -32,7 +32,8 @@ mod runner;
 mod subjects;
 
 pub use runner::{
-    percentile_us, run_concurrent, run_concurrent_mode, run_query_clients, ConcurrentStats, RunMode,
+    percentile_us, run_concurrent, run_concurrent_mode, run_query_clients, ConcurrentStats,
+    RetryPolicy, RunMode,
 };
 pub use subjects::{EngineSubject, PolyglotSubject};
 

@@ -56,6 +56,20 @@ impl EngineSubject {
         Ok(EngineSubject::wrap(Engine::with_wal_config(path, config)?))
     }
 
+    /// [`EngineSubject::with_wal_config`] with a seeded storage fault
+    /// plan threaded under the WAL (the E12 fault experiment's
+    /// construction). Recovery of any existing log runs un-faulted; the
+    /// plan covers the running engine.
+    pub fn with_wal_faults(
+        path: impl AsRef<std::path::Path>,
+        config: EngineConfig,
+        faults: std::sync::Arc<udbms_engine::FaultPlan>,
+    ) -> Result<EngineSubject> {
+        Ok(EngineSubject::wrap(Engine::with_wal_faults(
+            path, config, faults,
+        )?))
+    }
+
     fn wrap(engine: Engine) -> EngineSubject {
         let plans = PlanCache::default();
         // plan-cache hits/misses and parse latency join the engine's
@@ -184,6 +198,19 @@ impl Subject for EngineSubject {
             // group-commit efficiency: records per flushed batch
             out.push(("wal_batches".into(), stats.wal_batches as i64));
             out.push(("wal_records".into(), stats.wal_records as i64));
+        }
+        // fault-path counters: silent when the run was healthy
+        if stats.wal_poisoned > 0 {
+            out.push(("wal_poisoned".into(), stats.wal_poisoned as i64));
+        }
+        if stats.write_rejected > 0 {
+            out.push(("write_rejected".into(), stats.write_rejected as i64));
+        }
+        if stats.degraded_reads > 0 {
+            out.push(("degraded_reads".into(), stats.degraded_reads as i64));
+        }
+        if stats.txn_retries > 0 {
+            out.push(("txn_retries".into(), stats.txn_retries as i64));
         }
         // statement-latency percentiles from the obs histogram (µs);
         // a plain snapshot read — nothing is drained

@@ -52,7 +52,7 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::{LockRank, TrackedAtomicU64, TrackedMutex, TrackedRwLock};
 
-use udbms_obs::{Histogram, Obs, ObsSnapshot};
+use udbms_obs::{Counter, Histogram, Obs, ObsSnapshot};
 
 use udbms_core::{CollectionSchema, Error, FieldPath, Key, ModelKind, Result, Ts, TxnId, Value};
 use udbms_graph::Direction;
@@ -63,6 +63,7 @@ use crate::catalog::Catalog;
 use crate::group::GroupLog;
 use crate::storage::{RecordId, ShardedStorage};
 use crate::txn::{Durability, Isolation, TxnState};
+use crate::wal::fault::FaultPlan;
 use crate::wal::{Wal, WalRecord};
 
 /// Maximum automatic retries in [`Engine::run`].
@@ -171,6 +172,12 @@ struct Metrics {
     install_ns: Arc<Histogram>,
     /// Checkpoint end-to-end.
     checkpoint_ns: Arc<Histogram>,
+    /// Read-lane transactions served while the engine was degraded to
+    /// read-only (the E12 "reads keep flowing under ENOSPC" evidence).
+    degraded_reads: Arc<Counter>,
+    /// Conflict retries inside [`Engine::run`] (reported separately
+    /// from aborts: a retried transaction eventually commits).
+    txn_retries: Arc<Counter>,
 }
 
 impl Metrics {
@@ -179,6 +186,8 @@ impl Metrics {
             validate_ns: obs.histogram("commit_validate_ns"),
             install_ns: obs.histogram("commit_install_ns"),
             checkpoint_ns: obs.histogram("checkpoint_ns"),
+            degraded_reads: obs.counter("degraded_reads"),
+            txn_retries: obs.counter("txn_retries"),
         }
     }
 }
@@ -249,6 +258,16 @@ pub struct EngineStats {
     pub plan_hits: u64,
     /// Plan-cache misses (compiled plans); 0 until a cache attaches.
     pub plan_misses: u64,
+    /// Times the WAL transitioned to a failed state (0 or 1): a failed
+    /// flush/fsync (poison) or ENOSPC (read-only degraded mode).
+    pub wal_poisoned: u64,
+    /// Read-lane transactions served while the engine was read-only.
+    pub degraded_reads: u64,
+    /// Writes rejected fast because the WAL had already failed.
+    pub write_rejected: u64,
+    /// Conflict retries inside [`Engine::run`] (distinct from aborts:
+    /// a retried transaction may still commit).
+    pub txn_retries: u64,
 }
 
 /// Result of a garbage-collection pass.
@@ -351,6 +370,21 @@ impl Engine {
     /// final line (crash mid-append) is truncated away and every
     /// complete commit recovers; interior corruption still errors.
     pub fn with_wal_config(path: impl AsRef<Path>, config: EngineConfig) -> Result<Engine> {
+        Engine::with_wal_faults(path, config, Arc::new(FaultPlan::none()))
+    }
+
+    /// [`Engine::with_wal_config`] with a storage fault-injection plan
+    /// threaded under every WAL I/O site (the torture harness and the
+    /// E12 fault experiment build engines this way; a
+    /// [`FaultPlan::none`] plan costs one relaxed load per site).
+    /// Recovery itself runs un-faulted — the plan covers the *running*
+    /// engine's I/O; crash images are recovered by opening a fresh
+    /// engine on the image.
+    pub fn with_wal_faults(
+        path: impl AsRef<Path>,
+        config: EngineConfig,
+        faults: Arc<FaultPlan>,
+    ) -> Result<Engine> {
         let engine = Engine::with_config(config);
         let recovery = Wal::recover(path.as_ref())?;
         let replayed = engine.apply_records(recovery.records)?;
@@ -362,9 +396,9 @@ impl Engine {
         // per record); the per-commit comparison arm keeps the seed
         // engine's buffered-write path
         let wal = if config.group_commit {
-            Wal::open_mapped(path)?
+            Wal::open_mapped_with_faults(path, faults)?
         } else {
-            Wal::open(path)?
+            Wal::open_with_faults(path, faults)?
         };
         let log = GroupLog::start(
             wal,
@@ -603,6 +637,16 @@ impl Engine {
         let id = TxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed));
         self.inner.active.lock().insert(id, snapshot);
         self.inner.stats.read_lane.fetch_add(1, Ordering::Relaxed);
+        // degraded-mode evidence for E12: reads served while the engine
+        // is read-only (one predicted-false atomic probe when healthy)
+        if self
+            .inner
+            .log
+            .get()
+            .is_some_and(|log| log.failure() == Some(true))
+        {
+            self.inner.metrics.degraded_reads.add(1);
+        }
         Txn {
             inner: Arc::clone(&self.inner),
             state: Some(TxnState::new_read_only(id, snapshot)),
@@ -622,10 +666,14 @@ impl Engine {
             match body(&mut txn) {
                 Ok(out) => match txn.commit() {
                     Ok(_) => return Ok(out),
-                    Err(e) if e.is_retryable() => continue,
+                    Err(e) if e.is_retryable() => {
+                        self.inner.metrics.txn_retries.add(1);
+                        continue;
+                    }
                     Err(e) => return Err(e),
                 },
                 Err(e) if e.is_retryable() => {
+                    self.inner.metrics.txn_retries.add(1);
                     txn.abort();
                     continue;
                 }
@@ -692,6 +740,10 @@ impl Engine {
             wal_records,
             plan_hits: self.inner.obs.counter("plan_cache_hits").get(),
             plan_misses: self.inner.obs.counter("plan_cache_misses").get(),
+            wal_poisoned: self.inner.obs.counter("wal_poisoned").get(),
+            degraded_reads: self.inner.metrics.degraded_reads.get(),
+            write_rejected: self.inner.obs.counter("write_rejected").get(),
+            txn_retries: self.inner.metrics.txn_retries.get(),
         }
     }
 
@@ -1528,6 +1580,17 @@ impl Txn {
             inner.active.lock().remove(&state.id);
             inner.stats.commits.fetch_add(1, Ordering::Relaxed);
             return Ok(state.snapshot);
+        }
+
+        // fail fast on a degraded/poisoned WAL *before* taking
+        // commit_lock: a doomed write must not install versions it can
+        // never log, nor serialize behind the healthy commit path
+        if let Some(log) = inner.log.get() {
+            if let Err(e) = log.check_available() {
+                inner.active.lock().remove(&state.id);
+                inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
         }
 
         let (commit_ts, logged) = {

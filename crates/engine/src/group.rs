@@ -52,7 +52,7 @@ use parking_lot::{
     Condvar, LockRank, TrackedAtomicBool, TrackedAtomicU64, TrackedMutex, TrackedMutexGuard,
 };
 
-use udbms_obs::{Histogram, Obs, Stamp};
+use udbms_obs::{Counter, Histogram, Obs, Stamp};
 
 use udbms_core::{Error, Result, Ts};
 
@@ -71,6 +71,10 @@ struct PipelineMetrics {
     flush_ns: Arc<Histogram>,
     /// Records per written batch (group-commit efficiency shape).
     batch_records: Arc<Histogram>,
+    /// Times the log transitioned to a failed state (0 or 1 per run).
+    wal_poisoned: Arc<Counter>,
+    /// Commits rejected because the log had already failed.
+    write_rejected: Arc<Counter>,
 }
 
 impl PipelineMetrics {
@@ -80,6 +84,8 @@ impl PipelineMetrics {
             append_ns: obs.histogram("wal_append_ns"),
             flush_ns: obs.histogram("wal_flush_ns"),
             batch_records: obs.histogram("wal_batch_records"),
+            wal_poisoned: obs.counter("wal_poisoned"),
+            write_rejected: obs.counter("write_rejected"),
         }
     }
 }
@@ -109,6 +115,13 @@ struct LogState {
     /// First WAL I/O failure; once set the log is poisoned and every
     /// subsequent commit fails rather than silently losing durability.
     error: Option<String>,
+    /// Failure flavor: `true` when the first failure was out-of-space
+    /// (`ENOSPC`), which degrades the engine to read-only mode — reads
+    /// keep serving, writes fail fast — instead of a device/fsync
+    /// failure, which poisons the log outright (the fsyncgate rule: a
+    /// failed fsync is never retried, because the kernel may already
+    /// have dropped the dirty pages).
+    read_only: bool,
 }
 
 struct LogShared {
@@ -124,6 +137,10 @@ struct LogShared {
     writing: TrackedAtomicBool,
     /// Lock-free mirror of `LogState::error.is_some()`.
     poisoned: TrackedAtomicBool,
+    /// Lock-free mirror of `LogState::read_only` (meaningful only once
+    /// `poisoned` is set): lets the engine's read lane classify the
+    /// failure without touching the state mutex.
+    read_only: TrackedAtomicBool,
     /// Writer waits here for queue items or shutdown.
     work: Condvar,
     /// Committers wait here for `durable` to reach their ticket.
@@ -237,12 +254,40 @@ impl LogShared {
     fn poison(&self, st: &mut LogState, e: &Error) {
         if st.error.is_none() {
             st.error = Some(e.to_string());
+            st.read_only = is_enospc(e);
+            // ORDER: Release pairs with the Acquire in GroupLog::failure
+            // (published before `poisoned`, whose Acquire load gates
+            // every read of this flag).
+            self.read_only.store(st.read_only, Ordering::Release);
+            self.pipe.wal_poisoned.add(1);
+            self.obs.event("wal_poisoned", u64::from(st.read_only), 0);
         }
         // ORDER: Release pairs with wait_durable's Acquire probe; the
         // probe's lock-free reader must see `st.error` context only via
         // the state lock, but the flag itself must not be reorderable
         // ahead of the failed write it reports.
         self.poisoned.store(true, Ordering::Release);
+        // broadcast the failure to every parked thread — followers on
+        // `done`, a checkpoint on `idle`, the writer on `work` — so a
+        // leader's failed drain reaches the whole batch immediately: no
+        // hang, and no waiter left to infer a false durability ack
+        self.done.notify_all();
+        self.idle.notify_all();
+        self.work.notify_all();
+    }
+}
+
+/// Whether an I/O failure is the out-of-space class (`ENOSPC`), which
+/// degrades the engine to read-only instead of poisoning it outright.
+fn is_enospc(e: &Error) -> bool {
+    match e {
+        Error::Io(io) => {
+            // raw errno when the OS surfaced it; kind covers injected or
+            // wrapped errors that preserved only the classification
+            io.raw_os_error() == Some(28)
+                || io.kind() == std::io::Error::from_raw_os_error(28).kind()
+        }
+        _ => false,
     }
 }
 
@@ -263,8 +308,16 @@ fn writer_loop(shared: &LogShared) {
     }
 }
 
-fn poisoned(msg: &str) -> Error {
-    Error::Io(std::io::Error::other(format!("wal poisoned: {msg}")))
+/// The typed error a failed log surfaces on every subsequent write:
+/// sticky, non-retryable, with the flavor in the message. Read-only
+/// (ENOSPC) keeps the read lane alive; a poisoned log means durability
+/// can no longer be attested at all.
+fn unavailable(read_only: bool, msg: &str) -> Error {
+    if read_only {
+        Error::Unavailable(format!("engine is read-only (wal out of space): {msg}"))
+    } else {
+        Error::Unavailable(format!("wal poisoned: {msg}"))
+    }
 }
 
 /// The engine's WAL endpoint: group-commit queue + log-writer thread
@@ -286,6 +339,7 @@ impl GroupLog {
             durable: TrackedAtomicU64::named("log.durable", 0),
             writing: TrackedAtomicBool::named("log.writing", false),
             poisoned: TrackedAtomicBool::named("log.poisoned", false),
+            read_only: TrackedAtomicBool::named("log.read_only", false),
             work: Condvar::new(),
             done: Condvar::new(),
             idle: Condvar::new(),
@@ -318,7 +372,8 @@ impl GroupLog {
         if self.grouped {
             let mut st = self.shared.state.lock();
             if let Some(msg) = &st.error {
-                return Err(poisoned(msg));
+                self.shared.pipe.write_rejected.add(1);
+                return Err(unavailable(st.read_only, msg));
             }
             st.queue.push((rec, self.shared.obs.start()));
             st.enqueued += 1;
@@ -337,7 +392,8 @@ impl GroupLog {
             // lock order) and counts the record as its own batch
             let mut st = self.shared.state.lock();
             if let Some(msg) = &st.error {
-                return Err(poisoned(msg));
+                self.shared.pipe.write_rejected.add(1);
+                return Err(unavailable(st.read_only, msg));
             }
             let result = {
                 let mut wal = self.shared.wal.lock();
@@ -360,8 +416,11 @@ impl GroupLog {
                     Ok(st.enqueued)
                 }
                 Err(e) => {
+                    // the failing committer gets the same typed error
+                    // later commits will: its record's durability is
+                    // unattested either way
                     self.shared.poison(&mut st, &e);
-                    Err(e)
+                    Err(unavailable(st.read_only, &e.to_string()))
                 }
             }
         }
@@ -410,7 +469,7 @@ impl GroupLog {
                     return Ok(());
                 }
                 let msg = st.error.as_deref().unwrap_or("unknown wal error");
-                return Err(poisoned(msg));
+                return Err(unavailable(st.read_only, msg));
             }
             // lead only once the batch-formation yield (if any) is paid
             // and no drain is in flight
@@ -448,7 +507,7 @@ impl GroupLog {
                 return Ok(());
             }
             let msg = st.error.as_deref().unwrap_or("unknown wal error");
-            return Err(poisoned(msg));
+            return Err(unavailable(st.read_only, msg));
         }
     }
 
@@ -463,18 +522,24 @@ impl GroupLog {
     /// the log tail, not the database.
     pub fn checkpoint(&self, synthetic: WalRecord, snapshot: Ts) -> Result<()> {
         // phase 1, no state lock held: the O(database) part
-        let path = self.shared.wal.lock().path().to_path_buf();
-        let prepared = Wal::prepare_rewrite(&path, std::slice::from_ref(&synthetic))?;
+        let (path, faults) = {
+            let wal = self.shared.wal.lock();
+            (wal.path().to_path_buf(), Arc::clone(wal.faults()))
+        };
+        // a failed prepare leaves the live log untouched: the
+        // checkpoint simply didn't happen, no poisoning
+        let prepared = Wal::prepare_rewrite(&path, std::slice::from_ref(&synthetic), &faults)?;
 
         // phase 2, queue closed: the O(log tail) part
         let mut st = self.shared.state.lock();
-        // wait out an in-flight batch (bounded: one batch), then drain
-        // the remaining queue ourselves so the file is complete
+        // wait out an in-flight batch (bounded: one batch — or a failed
+        // drain, whose poison broadcast also notifies `idle`), then
+        // drain the remaining queue ourselves so the file is complete
         while st.writing {
             self.shared.idle.wait(&mut st);
         }
         if let Some(msg) = &st.error {
-            return Err(poisoned(msg));
+            return Err(unavailable(st.read_only, msg));
         }
         let pending = self.shared.take_batch(&mut st);
         let drained = pending.len() as u64;
@@ -531,6 +596,35 @@ impl GroupLog {
     pub fn counters(&self) -> (u64, u64) {
         let st = self.shared.state.lock();
         (st.batches, st.appended)
+    }
+
+    /// How the log has failed, if it has: `None` while healthy,
+    /// `Some(true)` for read-only degraded mode (ENOSPC — reads keep
+    /// serving), `Some(false)` for a poisoned log. One atomic load on
+    /// the healthy path, so callers can probe per-operation.
+    pub fn failure(&self) -> Option<bool> {
+        // ORDER: Acquire pairs with poison()'s Release store.
+        if self.shared.poisoned.load(Ordering::Acquire) {
+            // ORDER: Acquire pairs with poison()'s read_only Release
+            // store, which happens-before the poisoned store above.
+            Some(self.shared.read_only.load(Ordering::Acquire))
+        } else {
+            None
+        }
+    }
+
+    /// Fail fast if the log can no longer accept writes, with the same
+    /// typed error a commit attempt would surface. The engine calls
+    /// this before taking `commit_lock`, so writes against a degraded
+    /// engine don't serialize behind healthy-path locking.
+    pub fn check_available(&self) -> Result<()> {
+        if self.failure().is_none() {
+            return Ok(());
+        }
+        let st = self.shared.state.lock();
+        let msg = st.error.as_deref().unwrap_or("unknown wal error");
+        self.shared.pipe.write_rejected.add(1);
+        Err(unavailable(st.read_only, msg))
     }
 }
 
@@ -720,6 +814,97 @@ mod tests {
         let snap = obs.snapshot();
         assert_eq!(snap.histogram("wal_append_ns").map(|h| h.count), Some(0));
         assert!(snap.events.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_fsync_poisons_the_log_on_both_backends() {
+        // fsyncgate rule, pinned on both backends: one failed fsync and
+        // the log never acks durability again — every later commit gets
+        // Error::Unavailable, not a silent retry
+        for mapped in [false, true] {
+            let path = temp_path(if mapped { "poison-m" } else { "poison-b" });
+            let wal = if mapped {
+                Wal::open_mapped(&path).unwrap()
+            } else {
+                Wal::open(&path).unwrap()
+            };
+            wal.faults().fail_once("sync");
+            let log = GroupLog::start(wal, Durability::Fsync, true, test_obs());
+            let seq = log.commit(rec(1)).unwrap();
+            let err = log.wait_durable(seq).unwrap_err();
+            assert!(
+                matches!(err, Error::Unavailable(_)),
+                "mapped={mapped}: {err}"
+            );
+            assert!(err.to_string().contains("wal poisoned"), "{err}");
+            // the sync fault was one-shot, but the poison is sticky:
+            // retrying the fsync is exactly what must never happen
+            for _ in 0..3 {
+                let err = log.commit(rec(2)).unwrap_err();
+                assert!(
+                    matches!(err, Error::Unavailable(_)),
+                    "mapped={mapped}: {err}"
+                );
+                assert!(!err.is_retryable());
+            }
+            assert!(
+                matches!(log.failure(), Some(false)),
+                "poisoned, not read-only"
+            );
+            drop(log);
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn enospc_degrades_to_read_only_flavor() {
+        let path = temp_path("enospc");
+        let wal = Wal::open(&path).unwrap();
+        wal.faults().enospc("append.write");
+        let log = GroupLog::start(wal, Durability::Flush, false, test_obs());
+        let err = log.commit(rec(1)).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)), "{err}");
+        assert!(err.to_string().contains("read-only"), "{err}");
+        assert!(
+            matches!(log.failure(), Some(true)),
+            "ENOSPC classifies as read-only degraded mode"
+        );
+        assert!(log.check_available().is_err());
+        drop(log);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn leader_drain_failure_reaches_every_follower() {
+        // a leader whose flush fails must broadcast the error to every
+        // follower in the batch: all of them return (no hang), none of
+        // them gets a false durability ack
+        let path = temp_path("broadcast");
+        let wal = Wal::open(&path).unwrap();
+        wal.faults().fail_sticky("flush");
+        let log = std::sync::Arc::new(GroupLog::start(wal, Durability::Flush, true, test_obs()));
+        let outcomes = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for ts in 1..=8u64 {
+                let log = std::sync::Arc::clone(&log);
+                let outcomes = &outcomes;
+                scope.spawn(move || {
+                    // enqueue may already see the poison from an earlier
+                    // thread's drain; either way the outcome is a typed
+                    // error, never a hang or an Ok
+                    let res = log.commit(rec(ts)).and_then(|seq| log.wait_durable(seq));
+                    outcomes.lock().unwrap().push(res);
+                });
+            }
+        });
+        let outcomes = outcomes.into_inner().unwrap();
+        assert_eq!(outcomes.len(), 8, "every follower returned");
+        for res in &outcomes {
+            let err = res.as_ref().unwrap_err();
+            assert!(matches!(err, Error::Unavailable(_)), "{err}");
+        }
+        drop(log);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -53,6 +53,7 @@ pub use catalog::{Catalog, CollectionInfo};
 pub use engine::{Engine, EngineConfig, EngineStats, GcStats, Txn, DEFAULT_SHARDS};
 pub use storage::{shard_of, RecordId, Shard, ShardedStorage, Storage, Version};
 pub use txn::{Durability, Isolation};
+pub use wal::fault::{FaultPlan, SITES as FAULT_SITES};
 pub use wal::{PreparedRewrite, Wal, WalRecord, WalRecovery};
 
 // Re-exported so engine users can consume snapshots and attach

@@ -27,11 +27,15 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use udbms_core::{obj, Error, Key, Result, Ts, TxnId, Value};
 
+pub mod fault;
 #[cfg(unix)]
 mod mapped;
+
+use fault::{Action, FaultPlan};
 #[cfg(unix)]
 use mapped::MmapAppender;
 
@@ -142,18 +146,28 @@ pub struct Wal {
     path: PathBuf,
     backend: Backend,
     records_written: usize,
+    faults: Arc<FaultPlan>,
 }
 
 impl Wal {
     /// Open (creating or appending to) a WAL file on the buffered
     /// backend (`BufWriter` + per-flush `write` syscall).
     pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
+        Wal::open_with_faults(path, Arc::new(FaultPlan::none()))
+    }
+
+    /// [`Wal::open`] with a fault-injection plan threaded under every
+    /// I/O site (see [`fault::SITES`]). A [`FaultPlan::none`] plan costs
+    /// one relaxed load per site.
+    pub fn open_with_faults(path: impl AsRef<Path>, faults: Arc<FaultPlan>) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
+        Wal::clean_orphan_tmp(&path)?;
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(Wal {
             path,
             backend: Backend::Buffered(BufWriter::new(file)),
             records_written: 0,
+            faults,
         })
     }
 
@@ -165,9 +179,16 @@ impl Wal {
     /// capacity — recovery treats the padding as a torn tail and clean
     /// shutdown trims it. Falls back to [`Wal::open`] off unix.
     pub fn open_mapped(path: impl AsRef<Path>) -> Result<Wal> {
+        Wal::open_mapped_with_faults(path, Arc::new(FaultPlan::none()))
+    }
+
+    /// [`Wal::open_mapped`] with a fault-injection plan (see
+    /// [`Wal::open_with_faults`]).
+    pub fn open_mapped_with_faults(path: impl AsRef<Path>, faults: Arc<FaultPlan>) -> Result<Wal> {
         #[cfg(unix)]
         {
             let path = path.as_ref().to_path_buf();
+            Wal::clean_orphan_tmp(&path)?;
             let existing = match std::fs::metadata(&path) {
                 Ok(m) => m.len(),
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
@@ -178,17 +199,42 @@ impl Wal {
                 path,
                 backend: Backend::Mapped(appender),
                 records_written: 0,
+                faults,
             })
         }
         #[cfg(not(unix))]
         {
-            Wal::open(path)
+            Wal::open_with_faults(path, faults)
+        }
+    }
+
+    /// Remove a stale `<log>.tmp` sibling left by a rewrite that died
+    /// between `prepare_rewrite` and the rename. The temp file was
+    /// never installed, so its contents are not part of the log; left
+    /// behind it would leak disk and confuse the *next* rewrite's
+    /// prepare phase.
+    fn clean_orphan_tmp(path: &Path) -> Result<()> {
+        match std::fs::remove_file(path.with_extension("tmp")) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
         }
     }
 
     /// The log file path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The fault-injection plan threaded under this log's I/O sites.
+    pub fn faults(&self) -> &Arc<FaultPlan> {
+        &self.faults
+    }
+
+    /// Evaluate the fault plan at a non-write site: proceed, snapshot a
+    /// crash image and fail, or fail outright.
+    fn gate(&self, site: &str) -> Result<()> {
+        gate_at(&self.faults, &self.path, site)
     }
 
     /// Records appended through this handle.
@@ -200,17 +246,40 @@ impl Wal {
     /// call [`Wal::flush`] (and [`Wal::sync_data`]) per batch — the
     /// group-commit log writer does exactly that.
     pub fn append(&mut self, rec: &WalRecord) -> Result<()> {
+        let mut line = rec.to_line();
+        line.push('\n');
+        match self.faults.on_write("append.write", line.len()) {
+            Action::Proceed => {}
+            Action::Short(keep) => {
+                // a torn write: exactly `keep` bytes reach the log (and
+                // are made OS-visible, so recovery tests see the tear),
+                // then the device "fails"
+                let torn = &line.as_bytes()[..keep];
+                match &mut self.backend {
+                    Backend::Buffered(w) => {
+                        w.write_all(torn)?;
+                        w.flush()?;
+                    }
+                    #[cfg(unix)]
+                    Backend::Mapped(m) => m.append(torn)?,
+                }
+                return Err(injected("append.write", "short write"));
+            }
+            Action::Crash => return self.crash("append.write"),
+            Action::Fail(e) => return Err(e),
+        }
+        // mapped capacity growth is its own site: the zero-extension in
+        // remap is where a full disk actually bites on this backend
+        #[cfg(unix)]
+        if let Backend::Mapped(m) = &self.backend {
+            if m.would_grow(line.len()) {
+                self.gate("mapped.remap")?;
+            }
+        }
         match &mut self.backend {
-            Backend::Buffered(w) => {
-                w.write_all(rec.to_line().as_bytes())?;
-                w.write_all(b"\n")?;
-            }
+            Backend::Buffered(w) => w.write_all(line.as_bytes())?,
             #[cfg(unix)]
-            Backend::Mapped(m) => {
-                let mut line = rec.to_line();
-                line.push('\n');
-                m.append(line.as_bytes())?;
-            }
+            Backend::Mapped(m) => m.append(line.as_bytes())?,
         }
         self.records_written += 1;
         Ok(())
@@ -220,6 +289,7 @@ impl Wal {
     /// `write` syscall on the buffered backend, a no-op on the mapped
     /// backend (the memcpy already landed in the page cache).
     pub fn flush(&mut self) -> Result<()> {
+        self.gate("flush")?;
         match &mut self.backend {
             Backend::Buffered(w) => w.flush()?,
             #[cfg(unix)]
@@ -231,6 +301,7 @@ impl Wal {
     /// `fdatasync` the log file (survives power loss). Call after
     /// [`Wal::flush`] — only flushed bytes can be synced.
     pub fn sync_data(&mut self) -> Result<()> {
+        self.gate("sync")?;
         match &mut self.backend {
             Backend::Buffered(w) => w.get_ref().sync_data()?,
             #[cfg(unix)]
@@ -310,8 +381,9 @@ impl Wal {
                         .all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n' | 0));
                     if !tail_is_noise && !segment_is_gap {
                         return Err(Error::Invalid(format!(
-                            "wal corruption before the final line (byte offset {pos}): \
-                             records after the corrupt line would be lost"
+                            "wal corruption before the final line (record index {}, byte \
+                             offset {pos}): records after the corrupt line would be lost",
+                            records.len(),
                         )));
                     }
                     break;
@@ -345,7 +417,7 @@ impl Wal {
     /// crash just after the rename could surface an empty or missing log
     /// even though `rewrite` returned Ok.
     pub fn rewrite(&mut self, records: &[WalRecord]) -> Result<()> {
-        let prepared = Wal::prepare_rewrite(&self.path, records)?;
+        let prepared = Wal::prepare_rewrite(&self.path, records, &self.faults)?;
         self.finish_rewrite(prepared, &[])
     }
 
@@ -355,14 +427,21 @@ impl Wal {
     /// whole-database synthetic record here, *outside* the group-commit
     /// queue lock, so commits only stall for [`Wal::finish_rewrite`]'s
     /// tail work.
-    pub fn prepare_rewrite(path: &Path, records: &[WalRecord]) -> Result<PreparedRewrite> {
+    pub fn prepare_rewrite(
+        path: &Path,
+        records: &[WalRecord],
+        faults: &FaultPlan,
+    ) -> Result<PreparedRewrite> {
         let tmp = path.with_extension("tmp");
+        gate_at(faults, path, "rewrite.prepare.create")?;
         let mut writer = BufWriter::new(File::create(&tmp)?);
+        gate_at(faults, path, "rewrite.prepare.write")?;
         for rec in records {
             writer.write_all(rec.to_line().as_bytes())?;
             writer.write_all(b"\n")?;
         }
         writer.flush()?;
+        gate_at(faults, path, "rewrite.prepare.sync")?;
         // the bulk of the data syncs here; finish_rewrite's second sync
         // only has the tail pages left to flush
         writer.get_ref().sync_all()?;
@@ -374,15 +453,19 @@ impl Wal {
     /// fsync), reopening the same backend kind.
     pub fn finish_rewrite(&mut self, prepared: PreparedRewrite, tail: &[WalRecord]) -> Result<()> {
         let PreparedRewrite { tmp, mut writer } = prepared;
+        self.gate("rewrite.finish.write")?;
         for rec in tail {
             writer.write_all(rec.to_line().as_bytes())?;
             writer.write_all(b"\n")?;
         }
         writer.flush()?;
+        self.gate("rewrite.finish.sync")?;
         // data must be on disk before the rename makes it reachable
         writer.get_ref().sync_all()?;
         drop(writer);
+        self.gate("rewrite.rename")?;
         std::fs::rename(&tmp, &self.path)?;
+        self.gate("rewrite.dirsync")?;
         // persist the rename itself (the directory entry)
         if let Some(parent) = self.path.parent() {
             let dir = if parent.as_os_str().is_empty() {
@@ -392,6 +475,7 @@ impl Wal {
             };
             File::open(dir)?.sync_all()?;
         }
+        self.gate("rewrite.reopen")?;
         // reopen the same backend kind over the new file (the old
         // handle pointed at the now-orphaned inode)
         self.backend = match &self.backend {
@@ -405,6 +489,33 @@ impl Wal {
             }
         };
         Ok(())
+    }
+
+    /// Snapshot the crash image for `site`, then fail the operation.
+    fn crash(&self, site: &str) -> Result<()> {
+        fault::snapshot_crash_image(&self.faults, &self.path)?;
+        Err(injected(site, "crash"))
+    }
+}
+
+/// The error every injected (non-ENOSPC) fault surfaces as.
+fn injected(site: &str, what: &str) -> Error {
+    Error::Io(std::io::Error::other(format!(
+        "injected {what} at `{site}`"
+    )))
+}
+
+/// Evaluate `faults` at a non-write site for the log at `path`.
+fn gate_at(faults: &FaultPlan, path: &Path, site: &str) -> Result<()> {
+    match faults.on_op(site) {
+        Action::Proceed => Ok(()),
+        Action::Crash => {
+            fault::snapshot_crash_image(faults, path)?;
+            Err(injected(site, "crash"))
+        }
+        Action::Fail(e) => Err(e),
+        // on_op degrades Short to Fail; keep the match total anyway
+        Action::Short(_) => Err(injected(site, "fault")),
     }
 }
 
@@ -594,6 +705,100 @@ mod tests {
         let recs = Wal::read_all(&path).unwrap();
         let tss: Vec<u64> = recs.iter().map(|r| r.commit_ts.0).collect();
         assert_eq!(tss, vec![9, 10]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_cleans_orphaned_rewrite_tmp() {
+        // a rewrite that died between prepare and rename leaves a .tmp
+        // sibling that was never part of the log; open must remove it
+        for mapped in [false, true] {
+            let path = temp_path(if mapped { "orphan-m" } else { "orphan-b" });
+            let tmp = path.with_extension("tmp");
+            std::fs::write(&path, format!("{}\n", sample(1).to_line())).unwrap();
+            std::fs::write(&tmp, "half-written checkpoint").unwrap();
+            let wal = if mapped {
+                Wal::open_mapped(&path).unwrap()
+            } else {
+                Wal::open(&path).unwrap()
+            };
+            assert!(
+                !tmp.exists(),
+                "orphan tmp removed on open (mapped={mapped})"
+            );
+            drop(wal);
+            // the log itself is untouched
+            assert_eq!(Wal::read_all(&path).unwrap().len(), 1);
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn short_write_fault_leaves_recoverable_torn_prefix() {
+        for mapped in [false, true] {
+            let path = temp_path(if mapped { "short-m" } else { "short-b" });
+            let mut wal = if mapped {
+                Wal::open_mapped(&path).unwrap()
+            } else {
+                Wal::open(&path).unwrap()
+            };
+            wal.append(&sample(1)).unwrap();
+            wal.flush().unwrap();
+            wal.faults().short_write("append.write", 7);
+            assert!(wal.append(&sample(2)).is_err(), "mapped={mapped}");
+            drop(wal); // mapped Drop trims padding but keeps the tear
+            let recovery = Wal::recover(&path).unwrap();
+            assert_eq!(recovery.records.len(), 1, "mapped={mapped}");
+            assert_eq!(recovery.records[0].commit_ts, Ts(1));
+            assert!(recovery.was_torn(), "mapped={mapped}");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn crash_point_snapshots_an_image_and_fails() {
+        let path = temp_path("crashpoint");
+        let image = temp_path("crashpoint-img");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&sample(1)).unwrap();
+        wal.flush().unwrap();
+        wal.faults().crash_at("flush", &image);
+        wal.append(&sample(2)).unwrap();
+        assert!(wal.flush().is_err());
+        // the image holds the pre-fault on-disk state: record 2 was
+        // still in the BufWriter, exactly like a process crash
+        let recs = Wal::read_all(&image).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].commit_ts, Ts(1));
+        drop(wal);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&image).unwrap();
+    }
+
+    #[test]
+    fn sticky_sync_fault_fails_every_attempt() {
+        let path = temp_path("sticky-sync");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&sample(1)).unwrap();
+        wal.flush().unwrap();
+        wal.faults().fail_sticky("sync");
+        assert!(wal.sync_data().is_err());
+        assert!(wal.sync_data().is_err(), "sticky faults never clear");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn interior_corruption_error_names_offset_and_index() {
+        let path = temp_path("interior-diag");
+        let a = sample(1).to_line();
+        let b = sample(2).to_line();
+        std::fs::write(&path, format!("{a}\nnot json\n{b}\n")).unwrap();
+        let err = Wal::scan(&path).unwrap_err().to_string();
+        assert!(err.contains("record index 1"), "{err}");
+        assert!(
+            err.contains(&format!("byte offset {}", a.len() + 1)),
+            "{err}"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -166,6 +166,14 @@ impl MmapAppender {
         self.len as u64
     }
 
+    /// Whether appending `add` more bytes would trigger a capacity
+    /// remap. The fault layer treats growth as its own site
+    /// (`mapped.remap`): the zero-extension inside [`remap`] is where a
+    /// full disk actually bites on this backend.
+    pub fn would_grow(&self, add: usize) -> bool {
+        self.ptr.is_null() || self.len + add > self.cap
+    }
+
     /// `fdatasync` the file — mapped dirty pages flush like any others.
     pub fn sync_data(&mut self) -> Result<()> {
         self.file.sync_data()?;

@@ -265,17 +265,25 @@ proptest! {
         commits in 2usize..14,
         cut_permille in 0u32..1000,
         shards in 1usize..9,
+        zero_pad in any::<bool>(),
     ) {
-        let path = temp_wal(&format!("prop-{commits}-{cut_permille}-{shards}"));
+        let path = temp_wal(&format!("prop-{commits}-{cut_permille}-{shards}-{zero_pad}"));
         let ends = build_log(&path, commits);
         let len = std::fs::metadata(&path).unwrap().len();
         let cut = (len as u128 * cut_permille as u128 / 1000) as u64;
-        std::fs::OpenOptions::new()
+        let file = std::fs::OpenOptions::new()
             .write(true)
             .open(&path)
-            .unwrap()
-            .set_len(cut)
             .unwrap();
+        file.set_len(cut).unwrap();
+        if zero_pad {
+            // the mmap appender's crash signature: the file is
+            // zero-extended to the mapped chunk capacity, so the torn
+            // tail is NUL padding after the valid prefix rather than a
+            // clean end-of-file (set_len past the cut zero-fills)
+            file.set_len(cut + 4096).unwrap();
+        }
+        drop(file);
         let expected = expected_commits(&ends, cut);
 
         let engine = Engine::with_wal_config(&path, config(shards)).expect("recover");
